@@ -1,0 +1,152 @@
+#pragma once
+// Shared machinery for the figure-reproduction harnesses: run every
+// workload through a set of configurations once and tabulate a metric
+// normalised to BC, exactly the way the paper's figures present data.
+//
+// Every harness honours:
+//   CPC_TRACE_OPS   trace length per workload (default 600000)
+//   CPC_WORKLOADS   comma-separated workload filter
+//   CPC_SEED        workload generator seed
+//   CPC_CSV         directory to additionally write each table as CSV
+//   CPC_SEEDS       run each workload with N consecutive seeds and report
+//                   aggregate counts (ratios become ratios-of-sums)
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace cpc::bench {
+
+struct SweepRow {
+  workload::Workload workload;
+  std::map<std::string, sim::RunResult> by_config;  // key: config name
+};
+
+/// Accumulates the additive counters of `from` into `into` (used for
+/// multi-seed aggregation; ratios over sums are seed-weighted means).
+inline void accumulate(sim::RunResult& into, const sim::RunResult& from) {
+  into.core.cycles += from.core.cycles;
+  into.core.committed += from.core.committed;
+  into.core.miss_cycles += from.core.miss_cycles;
+  into.core.ready_sum_miss_cycles += from.core.ready_sum_miss_cycles;
+  into.core.ready_sum_all_cycles += from.core.ready_sum_all_cycles;
+  into.core.ops_depending_on_miss += from.core.ops_depending_on_miss;
+  into.core.value_mismatches += from.core.value_mismatches;
+  into.hierarchy.reads += from.hierarchy.reads;
+  into.hierarchy.writes += from.hierarchy.writes;
+  into.hierarchy.l1_misses += from.hierarchy.l1_misses;
+  into.hierarchy.l2_misses += from.hierarchy.l2_misses;
+  into.hierarchy.l1_affiliated_hits += from.hierarchy.l1_affiliated_hits;
+  into.hierarchy.l2_affiliated_hits += from.hierarchy.l2_affiliated_hits;
+  into.hierarchy.l1_pbuf_hits += from.hierarchy.l1_pbuf_hits;
+  into.hierarchy.l2_pbuf_hits += from.hierarchy.l2_pbuf_hits;
+  into.hierarchy.traffic.merge(from.hierarchy.traffic);
+}
+
+/// Runs every selected workload on every requested configuration.
+/// Progress goes to stderr so stdout stays a clean report.
+inline std::vector<SweepRow> run_sweep(const sim::BenchOptions& options,
+                                       std::vector<sim::ConfigKind> configs) {
+  unsigned seeds = 1;
+  if (const char* env = std::getenv("CPC_SEEDS")) {
+    seeds = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (seeds == 0) seeds = 1;
+  }
+  std::vector<SweepRow> rows;
+  for (const workload::Workload& wl : options.workloads) {
+    SweepRow row{wl, {}};
+    for (unsigned s = 0; s < seeds; ++s) {
+      workload::WorkloadParams params = options.params();
+      params.seed += s;
+      std::cerr << "  generating " << wl.name << " (" << options.trace_ops
+                << " ops, seed " << params.seed << ")...\n";
+      const cpu::Trace trace = workload::generate(wl, params);
+      for (sim::ConfigKind kind : configs) {
+        std::cerr << "    " << sim::config_name(kind) << "...";
+        sim::RunResult r = sim::run_trace(trace, kind);
+        std::cerr << " " << r.core.cycles << " cycles\n";
+        if (r.core.value_mismatches != 0) {
+          std::cerr << "FATAL: value mismatches in " << wl.name << "/" << r.config
+                    << "\n";
+          std::exit(1);
+        }
+        auto it = row.by_config.find(r.config);
+        if (it == row.by_config.end()) {
+          row.by_config.emplace(r.config, std::move(r));
+        } else {
+          accumulate(it->second, r);
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Builds the paper-style normalised table: one row per benchmark, one
+/// column per configuration, each cell = metric(config) / metric(BC) * 100.
+inline stats::Table normalised_table(
+    const std::string& title, const std::vector<SweepRow>& rows,
+    const std::vector<std::string>& configs,
+    const std::function<double(const sim::RunResult&)>& metric) {
+  stats::Table table(title, configs);
+  for (const SweepRow& row : rows) {
+    const double base = metric(row.by_config.at("BC"));
+    std::vector<double> cells;
+    for (const std::string& config : configs) {
+      const double value = metric(row.by_config.at(config));
+      cells.push_back(base == 0.0 ? 0.0 : value / base * 100.0);
+    }
+    table.add_row(row.workload.name, std::move(cells));
+  }
+  table.add_mean_row();
+  return table;
+}
+
+/// Absolute-valued table (no normalisation).
+inline stats::Table absolute_table(
+    const std::string& title, const std::vector<SweepRow>& rows,
+    const std::vector<std::string>& configs,
+    const std::function<double(const sim::RunResult&)>& metric) {
+  stats::Table table(title, configs);
+  for (const SweepRow& row : rows) {
+    std::vector<double> cells;
+    for (const std::string& config : configs) {
+      cells.push_back(metric(row.by_config.at(config)));
+    }
+    table.add_row(row.workload.name, std::move(cells));
+  }
+  table.add_mean_row();
+  return table;
+}
+
+inline const std::vector<std::string>& paper_config_names() {
+  static const std::vector<std::string> names = {"BC", "BCC", "HAC", "BCP", "CPP"};
+  return names;
+}
+
+/// Prints the table to stdout and, when CPC_CSV names a directory, also
+/// writes `<dir>/<slug>.csv` for plotting.
+inline void emit(const stats::Table& table, const std::string& slug,
+                 int precision = 1) {
+  std::cout << table.to_ascii(precision) << '\n';
+  if (const char* dir = std::getenv("CPC_CSV")) {
+    const std::string path = std::string(dir) + "/" + slug + ".csv";
+    std::ofstream out(path);
+    if (out) {
+      out << table.to_csv();
+      std::cerr << "  wrote " << path << '\n';
+    } else {
+      std::cerr << "  could not write " << path << '\n';
+    }
+  }
+}
+
+}  // namespace cpc::bench

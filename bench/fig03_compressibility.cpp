@@ -1,0 +1,38 @@
+// Reproduces paper Figure 3: "Values encountered in memory accesses" —
+// the percentage of dynamically accessed word values that are compressible
+// small values, compressible pointers, or incompressible, per benchmark.
+// The paper reports 59% compressible on average.
+
+#include <iostream>
+
+#include "compress/classification_stats.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace cpc;
+  const sim::BenchOptions options = sim::BenchOptions::from_env();
+
+  stats::Table table(
+      "Figure 3: dynamic value compressibility (% of word accesses)",
+      {"small value", "pointer", "compressible", "incompressible"});
+
+  for (const workload::Workload& wl : options.workloads) {
+    std::cerr << "  " << wl.name << "...\n";
+    const cpu::Trace trace = workload::generate(wl, options.params());
+    compress::ClassificationStats stats;
+    for (const cpu::MicroOp& op : trace) {
+      if (cpu::is_memory_op(op.kind)) stats.record(op.value, op.addr);
+    }
+    table.add_row(wl.name, {stats.small_fraction() * 100.0,
+                            stats.pointer_fraction() * 100.0,
+                            stats.compressible_fraction() * 100.0,
+                            (1.0 - stats.compressible_fraction()) * 100.0});
+  }
+  table.add_mean_row();
+
+  std::cout << table.to_ascii(1) << '\n';
+  std::cout << "Paper reference: on average 59% of dynamically accessed values\n"
+               "are compressible under this scheme (section 2.1, Fig. 3).\n";
+  return 0;
+}

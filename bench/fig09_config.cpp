@@ -1,0 +1,55 @@
+// Reproduces paper Figure 9: the baseline experimental setup table, printed
+// from the live configuration structs so the report always matches the code.
+
+#include <iostream>
+
+#include "cache/config.hpp"
+#include "compress/gate_model.hpp"
+#include "cpu/core_config.hpp"
+
+int main() {
+  using namespace cpc;
+  const cpu::CoreConfig core;
+  const cache::HierarchyConfig base = cache::kBaselineConfig;
+  const cache::HierarchyConfig hac = cache::kHigherAssocConfig;
+
+  std::cout << "Figure 9: baseline experimental setup\n";
+  std::cout << "  Issue width             " << core.issue_width << " issue, OO\n";
+  std::cout << "  IFQ size                " << core.ifq_size << " instr.\n";
+  std::cout << "  Branch predictor        Bimod (" << core.bimod_entries
+            << " entries)\n";
+  std::cout << "  LD/ST queue             " << core.lsq_size << " entry\n";
+  std::cout << "  Window (RUU) size       " << core.window_size
+            << " (SimpleScalar default; not listed in Fig. 9)\n";
+  std::cout << "  Func. units             " << core.int_alu_units << " ALUs, "
+            << core.int_mult_units << " Mult/Div, " << core.mem_ports
+            << " Mem ports, " << core.fp_alu_units << " FALU, "
+            << core.fp_mult_units << " FMult/FDiv\n";
+  std::cout << "  I-cache hit latency     " << core.icache_hit_latency << " cycle\n";
+  std::cout << "  I-cache miss latency    " << core.icache_miss_latency << " cycles\n";
+  std::cout << "  L1 D-cache hit latency  " << base.latency.l1_hit << " cycle\n";
+  std::cout << "  L1 D-cache miss latency " << base.latency.l2_hit << " cycles\n";
+  std::cout << "  Memory access latency   " << base.latency.memory
+            << " cycles (L2 cache miss latency)\n";
+  std::cout << '\n';
+  std::cout << "Cache configurations (section 4.1):\n";
+  std::cout << "  BC/BCC/BCP/CPP L1: " << base.l1.size_bytes / 1024 << "K, "
+            << base.l1.ways << "-way, " << base.l1.line_bytes << " B lines ("
+            << base.l1.num_sets() << " sets)\n";
+  std::cout << "  BC/BCC/BCP/CPP L2: " << base.l2.size_bytes / 1024 << "K, "
+            << base.l2.ways << "-way, " << base.l2.line_bytes << " B lines ("
+            << base.l2.num_sets() << " sets)\n";
+  std::cout << "  HAC L1: " << hac.l1.size_bytes / 1024 << "K " << hac.l1.ways
+            << "-way;  HAC L2: " << hac.l2.size_bytes / 1024 << "K " << hac.l2.ways
+            << "-way\n";
+  std::cout << "  BCP prefetch buffers: " << cache::kL1PrefetchEntries
+            << "-entry (L1), " << cache::kL2PrefetchEntries
+            << "-entry (L2), fully associative, LRU\n";
+  std::cout << '\n';
+  std::cout << "Compression logic (Fig. 8): compressor "
+            << compress::compressor_gate_delay(compress::kPaperScheme)
+            << " gate levels, decompressor "
+            << compress::decompressor_gate_delay(compress::kPaperScheme)
+            << " gate levels\n";
+  return 0;
+}

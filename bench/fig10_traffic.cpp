@@ -1,0 +1,29 @@
+// Reproduces paper Figure 10: memory traffic of each configuration
+// normalised to BC (= 100). Paper reference points: BCC ≈ 60%, BCP ≈ 180%,
+// CPP ≈ 90% on average.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cpc;
+  const sim::BenchOptions options = sim::BenchOptions::from_env();
+  const auto rows = bench::run_sweep(
+      options, {sim::kAllConfigs, sim::kAllConfigs + std::size(sim::kAllConfigs)});
+
+  stats::Table table = bench::normalised_table(
+      "Figure 10: memory traffic normalised to BC (%)", rows,
+      bench::paper_config_names(),
+      [](const sim::RunResult& r) { return r.traffic_words(); });
+  bench::emit(table, "fig10_traffic_normalised");
+
+  stats::Table words = bench::absolute_table(
+      "Raw memory traffic (32-bit words over the L2<->memory bus)", rows,
+      bench::paper_config_names(),
+      [](const sim::RunResult& r) { return r.traffic_words(); });
+  bench::emit(words, "fig10_traffic_words", 0);
+
+  std::cout << "Paper reference: BCC ~60, BCP ~180, CPP ~90 (average row).\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Google-benchmark microbenchmarks of the simulator's hot paths: the
+// compressor/decompressor, single-level cache operations, the CPP lookup
+// path, and end-to-end simulation throughput. These measure *simulator*
+// performance (host ops/sec), not simulated latency — useful when sizing
+// experiment sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/baseline_hierarchy.hpp"
+#include "compress/scheme.hpp"
+#include "core/cpp_hierarchy.hpp"
+#include "sim/experiment.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace cpc;
+
+void BM_Compress(benchmark::State& state) {
+  const compress::Scheme scheme;
+  std::uint32_t value = 0, addr = 0x1000'0000;
+  for (auto _ : state) {
+    value = value * 1664525u + 1013904223u;
+    addr += 4;
+    benchmark::DoNotOptimize(scheme.compress(value, addr));
+  }
+}
+BENCHMARK(BM_Compress);
+
+void BM_Decompress(benchmark::State& state) {
+  const compress::Scheme scheme;
+  const compress::CompressedWord cw = *scheme.compress(1234, 0x1000'0000);
+  std::uint32_t addr = 0x1000'0000;
+  for (auto _ : state) {
+    addr += 4;
+    benchmark::DoNotOptimize(scheme.decompress(cw, addr));
+  }
+}
+BENCHMARK(BM_Decompress);
+
+void BM_Classify(benchmark::State& state) {
+  const compress::Scheme scheme;
+  std::uint32_t value = 0;
+  for (auto _ : state) {
+    value = value * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(scheme.classify(value, 0x1000'0000));
+  }
+}
+BENCHMARK(BM_Classify);
+
+void BM_BaselineHierarchyAccess(benchmark::State& state) {
+  auto h = cache::BaselineHierarchy::make_bc();
+  std::uint32_t lcg = 1, v = 0;
+  for (auto _ : state) {
+    lcg = lcg * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(h.read(0x1000'0000u + (lcg % 0x40000u & ~3u), v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BaselineHierarchyAccess);
+
+void BM_CppHierarchyAccess(benchmark::State& state) {
+  core::CppHierarchy h;
+  std::uint32_t lcg = 1, v = 0;
+  for (auto _ : state) {
+    lcg = lcg * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(h.read(0x1000'0000u + (lcg % 0x40000u & ~3u), v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CppHierarchyAccess);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const workload::Workload& wl = workload::find_workload("olden.treeadd");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::generate(wl, {50'000, 0x5eed}));
+  }
+  state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const auto trace = workload::generate(workload::find_workload("olden.mst"),
+                                        {50'000, 0x5eed});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_trace(trace, sim::ConfigKind::kCPP));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_EndToEndSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Sweeping cache geometry with the public API: how does CPP's advantage
+// over BC change as the L1 grows? (The paper fixes 8K/64K; this example
+// shows the library is not hard-wired to those sizes.)
+//
+//   ./examples/config_sweep [workload] [ops]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cache/baseline_hierarchy.hpp"
+#include "core/cpp_hierarchy.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cpc;
+
+  const std::string name = argc > 1 ? argv[1] : "olden.mst";
+  const std::uint64_t ops = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 300'000;
+  const cpu::Trace trace = workload::generate(workload::find_workload(name), {ops, 1});
+  std::cout << "workload: " << name << ", " << trace.size() << " micro-ops\n\n";
+
+  stats::Table table("CPP speedup over BC across L1 sizes",
+                     {"BC cycles", "CPP cycles", "speedup %", "CPP traffic %"});
+  for (std::uint32_t l1_kb : {4u, 8u, 16u, 32u}) {
+    cache::HierarchyConfig config = cache::kBaselineConfig;
+    config.l1.size_bytes = l1_kb * 1024;
+
+    cache::BaselineHierarchy bc("BC", config, cache::TransferFormat::kUncompressed);
+    const sim::RunResult r_bc = sim::run_trace_on(trace, bc);
+
+    core::CppHierarchy::Options opts;
+    opts.config = config;
+    core::CppHierarchy cpp(opts);
+    const sim::RunResult r_cpp = sim::run_trace_on(trace, cpp);
+
+    table.add_row("L1 " + std::to_string(l1_kb) + "K",
+                  {r_bc.cycles(), r_cpp.cycles(),
+                   (r_bc.cycles() / r_cpp.cycles() - 1.0) * 100.0,
+                   r_cpp.traffic_words() / r_bc.traffic_words() * 100.0});
+  }
+  std::cout << table.to_ascii(1) << '\n';
+  std::cout << "Typical result: the relative benefit of partial-line prefetching\n"
+               "shrinks as L1 grows and capacity misses disappear.\n";
+  return 0;
+}

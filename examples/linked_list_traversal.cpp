@@ -1,0 +1,83 @@
+// The paper's motivating example (section 2.2, Figures 5 and 6): a linked
+// list whose nodes hold two pointers, a small type field and one large
+// value. Traversal sums the value field of nodes with a matching type.
+//
+// With the baseline cache every new node is a cache miss at the pointer
+// load (statement (2) in the paper) — on the critical path. With CPP the
+// compressible fields of the *next* node ride along in the freed half-
+// slots, so the pointer/type loads hit and only the large value field can
+// miss (statement (3)) — off the critical path.
+
+#include <iostream>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "workload/rng.hpp"
+#include "workload/trace_recorder.hpp"
+
+int main() {
+  using namespace cpc;
+  using Val = workload::TraceRecorder::Val;
+
+  // Node layout from Fig. 5(a): {next, prev, type, info} — 16 bytes, one
+  // node per L1-line-quarter; the paper's illustration uses 16-byte lines,
+  // our caches use 64-byte lines, so four nodes share a line and the
+  // next-line prefetch covers the following four.
+  constexpr std::uint32_t kNext = 0;
+  constexpr std::uint32_t kPrev = 4;
+  constexpr std::uint32_t kType = 8;
+  constexpr std::uint32_t kInfo = 12;
+  constexpr std::uint32_t kNodes = 20'000;  // 320 KB list
+
+  workload::TraceRecorder recorder(1'500'000);
+  workload::Rng rng(42);
+
+  // Build the list in allocation order (as a list built by appends is).
+  std::vector<std::uint32_t> nodes;
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    const std::uint32_t n = recorder.alloc(16);
+    nodes.push_back(n);
+    recorder.block("build");
+    recorder.store(Val{n + kType}, recorder.alu(rng.below(4)));  // small
+    recorder.store(Val{n + kInfo},
+                   recorder.alu(static_cast<std::uint32_t>(rng.next())));  // large
+    recorder.store(Val{n + kPrev}, recorder.alu(prev));
+    recorder.store(Val{n + kNext}, recorder.alu(0));
+    if (prev != 0) recorder.store(Val{prev + kNext}, recorder.alu(n));
+    prev = n;
+  }
+
+  // Fig. 5(b): sum += p->info for nodes of type T, following p->next.
+  while (!recorder.done()) {
+    recorder.block("traverse");
+    Val p{nodes.front()};
+    Val sum = recorder.alu(0);
+    while (p.value != 0 && !recorder.done()) {
+      recorder.block("traverse");
+      Val type = recorder.load(p + kType);            // statement (4)
+      const bool match = type.value == 1;
+      recorder.branch(match, type);
+      if (match) {
+        Val info = recorder.load(p + kInfo);          // statement (3)
+        sum = recorder.alu(sum.value + info.value, sum, info);
+      }
+      p = recorder.load(p + kNext);                   // statement (2)
+    }
+  }
+
+  const cpu::Trace trace = recorder.take_trace();
+  std::cout << "list traversal trace: " << trace.size() << " micro-ops, "
+            << kNodes << " nodes\n\n";
+
+  for (sim::ConfigKind kind : {sim::ConfigKind::kBC, sim::ConfigKind::kCPP}) {
+    const sim::RunResult r = sim::run_trace(trace, kind);
+    std::cout << r.config << ": " << r.core.cycles << " cycles, "
+              << r.hierarchy.l1_misses << " L1 misses, "
+              << r.hierarchy.l1_affiliated_hits << " affiliated hits, "
+              << r.traffic_words() << " memory words\n";
+  }
+  std::cout << "\nCPP turns the pointer-chase misses into affiliated-place hits\n"
+               "without moving a single extra word from memory (section 2.2).\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Record-once / replay-many workflow via the library API (the same flow
+// the tools/ CLIs expose): generate a trace, save it, reload it, verify the
+// round-trip, analyse it, and replay it on two configurations.
+
+#include <iostream>
+#include <sstream>
+
+#include "analysis/miss_classifier.hpp"
+#include "analysis/working_set.hpp"
+#include "cpu/trace_io.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace cpc;
+
+  // 1. Record.
+  const auto& wl = workload::find_workload("spec95.130.li");
+  const cpu::Trace recorded = workload::generate(wl, {300'000, 7});
+  std::cout << "recorded " << recorded.size() << " micro-ops of " << wl.name
+            << "\n";
+
+  // 2. Serialise + reload (to a buffer here; write_trace_file for disk).
+  std::stringstream storage;
+  cpu::write_trace(storage, recorded);
+  const cpu::Trace trace = cpu::read_trace(storage);
+  std::cout << "serialised form: " << storage.str().size() << " bytes; reload "
+            << (trace.size() == recorded.size() ? "ok" : "MISMATCH") << "\n\n";
+
+  // 3. Analyse offline — no simulation needed.
+  const analysis::WorkingSet ws = analysis::measure_working_set(trace);
+  analysis::MissClassifier l1(cache::kBaselineConfig.l1);
+  for (const cpu::MicroOp& op : trace) {
+    if (cpu::is_memory_op(op.kind)) l1.access(op.addr);
+  }
+  std::cout << "footprint: " << ws.footprint_bytes() / 1024 << " KiB, "
+            << ws.write_fraction() * 100 << "% writes\n";
+  const auto& b = l1.breakdown();
+  std::cout << "L1 reference stream: " << b.miss_rate() * 100 << "% miss rate ("
+            << b.compulsory << " compulsory / " << b.capacity << " capacity / "
+            << b.conflict << " conflict)\n\n";
+
+  // 4. Replay on two designs.
+  for (sim::ConfigKind kind : {sim::ConfigKind::kBC, sim::ConfigKind::kCPP}) {
+    const sim::RunResult r = sim::run_trace(trace, kind);
+    std::cout << r.config << ": " << r.core.cycles << " cycles, IPC "
+              << r.core.ipc() << ", traffic " << r.traffic_words() << " words\n";
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Plot the reproduced figures from the CSV files the bench harnesses emit.
+
+Usage:
+    CPC_CSV=results ./build/bench/fig10_traffic     # writes results/*.csv
+    python3 scripts/plot_figures.py results/        # writes results/*.png
+
+Each CSV has a `benchmark` label column and one column per configuration,
+exactly the layout of the paper's grouped-bar figures. Requires matplotlib.
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    header, body = rows[0], rows[1:]
+    labels = [r[0] for r in body]
+    series = {
+        name: [float(r[i]) if r[i] else float("nan") for r in body]
+        for i, name in enumerate(header[1:], start=1)
+    }
+    return labels, series
+
+
+def plot(path, out_dir):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    labels, series = load(path)
+    n_groups, n_series = len(labels), len(series)
+    width = 0.8 / max(n_series, 1)
+
+    fig, ax = plt.subplots(figsize=(max(8, n_groups * 0.9), 4.5))
+    for i, (name, values) in enumerate(series.items()):
+        xs = [g + i * width for g in range(n_groups)]
+        ax.bar(xs, values, width=width, label=name)
+    ax.set_xticks([g + 0.4 - width / 2 for g in range(n_groups)])
+    ax.set_xticklabels(labels, rotation=45, ha="right", fontsize=8)
+    ax.set_title(path.stem.replace("_", " "))
+    ax.legend(fontsize=8)
+    ax.grid(axis="y", alpha=0.3)
+    fig.tight_layout()
+    out = out_dir / (path.stem + ".png")
+    fig.savefig(out, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    directory = pathlib.Path(sys.argv[1])
+    csvs = sorted(directory.glob("*.csv"))
+    if not csvs:
+        print(f"no CSV files in {directory} — run benches with CPC_CSV={directory}")
+        return 1
+    for path in csvs:
+        plot(path, directory)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+#include "analysis/miss_classifier.hpp"
+
+namespace cpc::analysis {
+
+MissClassifier::MissClassifier(cache::CacheGeometry geometry)
+    : geo_(geometry),
+      ways_(static_cast<std::size_t>(geo_.num_sets()) * geo_.ways),
+      reuse_(geo_.line_bytes) {}
+
+bool MissClassifier::set_associative_access(std::uint32_t line_addr) {
+  const std::uint32_t set = geo_.set_of_line(line_addr);
+  Way* victim = nullptr;
+  for (std::uint32_t w = 0; w < geo_.ways; ++w) {
+    Way& way = ways_[static_cast<std::size_t>(set) * geo_.ways + w];
+    if (way.valid && way.line_addr == line_addr) {
+      way.last_use = ++clock_;
+      return false;  // hit
+    }
+    if (!way.valid) {
+      if (victim == nullptr || victim->valid) victim = &way;
+    } else if (victim == nullptr || (victim->valid && way.last_use < victim->last_use)) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->line_addr = line_addr;
+  victim->last_use = ++clock_;
+  return true;  // miss
+}
+
+bool MissClassifier::access(std::uint32_t addr) {
+  const std::uint32_t line_addr = geo_.line_of(addr);
+  ++breakdown_.accesses;
+
+  const std::uint64_t distance = reuse_.access(addr);
+  const bool first_touch = touched_.insert(line_addr).second;
+  const bool real_miss = set_associative_access(line_addr);
+
+  if (!real_miss) {
+    ++breakdown_.hits;
+    return false;
+  }
+  if (first_touch) {
+    ++breakdown_.compulsory;
+  } else if (distance >= geo_.num_lines()) {
+    ++breakdown_.capacity;  // fully associative LRU of equal size misses too
+  } else {
+    ++breakdown_.conflict;
+  }
+  return true;
+}
+
+}  // namespace cpc::analysis

@@ -1,0 +1,65 @@
+#pragma once
+// Hill's 3C miss decomposition for a reference stream and a cache geometry:
+//
+//   compulsory — first touch of the line (an infinite cache misses too)
+//   capacity   — non-compulsory misses a fully associative LRU cache of the
+//                same size also takes (reuse distance >= line capacity)
+//   conflict   — everything else (the set mapping's fault)
+//
+// The experiment analysis uses this to substantiate the paper's section 4.3
+// narrative: HAC removes conflict misses; CPP attacks capacity/compulsory
+// misses by prefetching, which is why it wins exactly where conflicts are
+// not the story — and why it beats BCP when they are.
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "analysis/reuse_distance.hpp"
+#include "cache/config.hpp"
+
+namespace cpc::analysis {
+
+struct MissBreakdown {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t compulsory = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t conflict = 0;
+
+  std::uint64_t misses() const { return compulsory + capacity + conflict; }
+  double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses()) / static_cast<double>(accesses);
+  }
+};
+
+/// Streams word accesses and classifies each one online.
+class MissClassifier {
+ public:
+  explicit MissClassifier(cache::CacheGeometry geometry);
+
+  /// Records one access; returns true when it missed in the set-associative
+  /// cache (the real miss, which the 3C counters then attribute).
+  bool access(std::uint32_t addr);
+
+  const MissBreakdown& breakdown() const { return breakdown_; }
+  const cache::CacheGeometry& geometry() const { return geo_; }
+
+ private:
+  struct Way {
+    std::uint32_t line_addr = 0;
+    bool valid = false;
+    std::uint64_t last_use = 0;
+  };
+
+  bool set_associative_access(std::uint32_t line_addr);
+
+  cache::CacheGeometry geo_;
+  std::vector<Way> ways_;  // sets x ways, tag-only
+  std::uint64_t clock_ = 0;
+  std::unordered_set<std::uint32_t> touched_;    // lines seen ever
+  ReuseDistanceProfiler reuse_;                  // fully associative oracle
+  MissBreakdown breakdown_;
+};
+
+}  // namespace cpc::analysis

@@ -1,0 +1,122 @@
+#include "analysis/reuse_distance.hpp"
+
+#include <cassert>
+
+namespace cpc::analysis {
+
+namespace {
+/// Deterministic 64-bit mix for treap priorities (splitmix64 finaliser).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+ReuseDistanceProfiler::Node* ReuseDistanceProfiler::merge(Node* a, Node* b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->priority > b->priority) {
+    a->right = merge(a->right, b);
+    pull(a);
+    return a;
+  }
+  b->left = merge(a, b->left);
+  pull(b);
+  return b;
+}
+
+void ReuseDistanceProfiler::split(Node* n, std::uint64_t time, Node*& left,
+                                  Node*& right) {
+  if (n == nullptr) {
+    left = right = nullptr;
+    return;
+  }
+  if (n->time <= time) {
+    left = n;
+    split(n->right, time, n->right, right);
+    pull(n);
+  } else {
+    right = n;
+    split(n->left, time, left, n->left);
+    pull(n);
+  }
+}
+
+void ReuseDistanceProfiler::insert(std::uint64_t time) {
+  Node* node;
+  if (!free_.empty()) {
+    node = free_.back();
+    free_.pop_back();
+  } else {
+    // std::deque gives stable references, so treap pointers survive growth.
+    pool_.push_back(Node{});
+    node = &pool_.back();
+  }
+  *node = Node{time, mix(time), 1, nullptr, nullptr};
+  Node *left, *right;
+  split(root_, time, left, right);
+  root_ = merge(merge(left, node), right);
+}
+
+void ReuseDistanceProfiler::erase(std::uint64_t time) {
+  Node *left, *mid, *right;
+  split(root_, time - 1, left, mid);
+  split(mid, time, mid, right);
+  assert(mid != nullptr && mid->time == time);
+  free_.push_back(mid);
+  root_ = merge(left, right);
+}
+
+std::uint64_t ReuseDistanceProfiler::count_greater(std::uint64_t time) const {
+  std::uint64_t count = 0;
+  const Node* n = root_;
+  while (n != nullptr) {
+    if (n->time > time) {
+      count += 1 + size_of(n->right);
+      n = n->left;
+    } else {
+      n = n->right;
+    }
+  }
+  return count;
+}
+
+std::uint64_t ReuseDistanceProfiler::access(std::uint32_t addr) {
+  const std::uint32_t line = addr / line_bytes_;
+  ++time_;
+  ++histogram_.total;
+
+  std::uint64_t distance = kInfinite;
+  const auto it = last_access_.find(line);
+  if (it != last_access_.end()) {
+    distance = count_greater(it->second);
+    erase(it->second);
+  }
+  insert(time_);
+  last_access_[line] = time_;
+
+  if (distance == kInfinite) {
+    ++histogram_.cold;
+  } else {
+    unsigned bucket = 0;
+    while ((std::uint64_t{2} << bucket) <= distance) ++bucket;
+    if (histogram_.buckets.size() <= bucket) histogram_.buckets.resize(bucket + 1, 0);
+    ++histogram_.buckets[bucket];
+    ++distance_counts_[distance];
+  }
+  return distance;
+}
+
+std::uint64_t ReuseDistanceProfiler::misses_at_capacity(std::uint64_t lines) const {
+  // Miss iff distance >= lines (LRU stack property), plus all cold misses.
+  std::uint64_t misses = histogram_.cold;
+  for (auto it = distance_counts_.lower_bound(lines); it != distance_counts_.end();
+       ++it) {
+    misses += it->second;
+  }
+  return misses;
+}
+
+}  // namespace cpc::analysis

@@ -1,0 +1,59 @@
+#pragma once
+// Working-set and footprint statistics for a trace's memory reference
+// stream: distinct bytes touched, read/write balance, and per-region
+// (heap / globals / stack / code) footprints. Used by the analysis bench
+// and by tests that pin each workload's footprint against the cache sizes
+// of Fig. 9.
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+
+#include "cpu/micro_op.hpp"
+#include "mem/heap_allocator.hpp"
+
+namespace cpc::analysis {
+
+struct WorkingSet {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t distinct_words = 0;
+  std::uint64_t distinct_lines64 = 0;  ///< 64-byte line granularity
+  std::uint64_t heap_words = 0;
+  std::uint64_t global_words = 0;
+
+  std::uint64_t footprint_bytes() const { return distinct_lines64 * 64; }
+  double write_fraction() const {
+    const std::uint64_t total = loads + stores;
+    return total == 0 ? 0.0 : static_cast<double>(stores) / static_cast<double>(total);
+  }
+};
+
+/// Single pass over a trace.
+inline WorkingSet measure_working_set(std::span<const cpu::MicroOp> trace) {
+  WorkingSet ws;
+  std::unordered_set<std::uint32_t> words;
+  std::unordered_set<std::uint32_t> lines;
+  for (const cpu::MicroOp& op : trace) {
+    if (!cpu::is_memory_op(op.kind)) continue;
+    if (op.kind == cpu::OpKind::kLoad) {
+      ++ws.loads;
+    } else {
+      ++ws.stores;
+    }
+    const std::uint32_t word = op.addr & ~3u;
+    if (words.insert(word).second) {
+      if (word >= mem::kDefaultHeapBase) {
+        ++ws.heap_words;
+      } else if (word >= mem::kGlobalBase) {
+        ++ws.global_words;
+      }
+    }
+    lines.insert(op.addr / 64);
+  }
+  ws.distinct_words = words.size();
+  ws.distinct_lines64 = lines.size();
+  return ws;
+}
+
+}  // namespace cpc::analysis

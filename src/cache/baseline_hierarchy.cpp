@@ -1,0 +1,120 @@
+#include "cache/baseline_hierarchy.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace cpc::cache {
+
+BaselineHierarchy::BaselineHierarchy(std::string name, HierarchyConfig config,
+                                     TransferFormat format)
+    : name_(std::move(name)),
+      config_(config),
+      format_(format),
+      l1_(config.l1),
+      l2_(config.l2) {
+  assert(config.l2.line_bytes % config.l1.line_bytes == 0);
+}
+
+void BaselineHierarchy::retire_l1_victim(const BasicCache::Evicted& victim) {
+  if (!victim.valid || !victim.dirty) return;
+  ++stats_.l1_writebacks;
+  const std::uint32_t base = config_.l1.base_of_line(victim.line_addr);
+  if (BasicCache::Line* l2_line = l2_.find(config_.l2.line_of(base))) {
+    // Merge the dirty half-line into the resident L2 line; on-chip, no traffic.
+    const std::uint32_t word0 = config_.l2.word_of(base);
+    for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
+      l2_.write_word(*l2_line, word0 + i, victim.words[i]);
+    }
+  } else {
+    // Non-allocating write-back straight to memory.
+    ++stats_.mem_writebacks;
+    for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
+      memory_.write_word(base + i * 4, victim.words[i]);
+    }
+    meter_line_transfer(stats_.traffic, victim.words, base, format_,
+                        /*writeback=*/true);
+  }
+}
+
+void BaselineHierarchy::retire_l2_victim(const BasicCache::Evicted& victim) {
+  if (!victim.valid || !victim.dirty) return;
+  ++stats_.mem_writebacks;
+  const std::uint32_t base = config_.l2.base_of_line(victim.line_addr);
+  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
+    memory_.write_word(base + i * 4, victim.words[i]);
+  }
+  meter_line_transfer(stats_.traffic, victim.words, base, format_,
+                      /*writeback=*/true);
+}
+
+BasicCache::Line& BaselineHierarchy::ensure_l2_line(std::uint32_t addr,
+                                                    AccessResult& result) {
+  const std::uint32_t line_addr = config_.l2.line_of(addr);
+  if (BasicCache::Line* line = l2_.find(line_addr)) {
+    l2_.touch(*line);
+    return *line;
+  }
+  // L2 miss: fetch the full line from memory.
+  result.l2_miss = true;
+  result.served_by = ServedBy::kMemory;
+  result.latency = config_.latency.memory;
+  ++stats_.l2_misses;
+  ++stats_.mem_fetch_lines;
+
+  const std::uint32_t base = config_.l2.base_of_line(line_addr);
+  std::vector<std::uint32_t> words(config_.l2.words_per_line());
+  for (std::uint32_t i = 0; i < words.size(); ++i) {
+    words[i] = memory_.read_word(base + i * 4);
+  }
+  meter_line_transfer(stats_.traffic, words, base, format_, /*writeback=*/false);
+
+  retire_l2_victim(l2_.fill(line_addr, words));
+  BasicCache::Line* line = l2_.find(line_addr);
+  assert(line != nullptr);
+  return *line;
+}
+
+BasicCache::Line& BaselineHierarchy::ensure_l1_line(std::uint32_t addr,
+                                                    AccessResult& result) {
+  const std::uint32_t line_addr = config_.l1.line_of(addr);
+  if (BasicCache::Line* line = l1_.find(line_addr)) {
+    l1_.touch(*line);
+    result.latency = config_.latency.l1_hit;
+    result.served_by = ServedBy::kL1;
+    return *line;
+  }
+  result.l1_miss = true;
+  result.served_by = ServedBy::kL2;
+  result.latency = config_.latency.l2_hit;
+  ++stats_.l1_misses;
+
+  BasicCache::Line& l2_line = ensure_l2_line(addr, result);
+
+  // Copy the covering half of the L2 line into L1.
+  const std::uint32_t base = config_.l1.base_of_line(line_addr);
+  const std::uint32_t word0 = config_.l2.word_of(base);
+  const std::span<const std::uint32_t> half{l2_line.words.data() + word0,
+                                            config_.l1.words_per_line()};
+  retire_l1_victim(l1_.fill(line_addr, half));
+  BasicCache::Line* line = l1_.find(line_addr);
+  assert(line != nullptr);
+  return *line;
+}
+
+AccessResult BaselineHierarchy::read(std::uint32_t addr, std::uint32_t& value) {
+  ++stats_.reads;
+  AccessResult result;
+  BasicCache::Line& line = ensure_l1_line(addr, result);
+  value = l1_.read_word(line, config_.l1.word_of(addr));
+  return result;
+}
+
+AccessResult BaselineHierarchy::write(std::uint32_t addr, std::uint32_t value) {
+  ++stats_.writes;
+  AccessResult result;
+  BasicCache::Line& line = ensure_l1_line(addr, result);  // write-allocate
+  l1_.write_word(line, config_.l1.word_of(addr), value);
+  return result;
+}
+
+}  // namespace cpc::cache

@@ -1,0 +1,69 @@
+#pragma once
+// BC / BCC / HAC: a conventional two-level write-back hierarchy.
+//
+//  * BC  — baseline geometry, uncompressed transfers.
+//  * BCC — identical caches and timing; values are (de)compressed at the
+//    CPU/L1 and L2/memory interfaces, so only the metered traffic changes
+//    (paper: "BC and BCC have the same performance").
+//  * HAC — doubled associativity at both levels, uncompressed transfers.
+
+#include <cstdint>
+#include <string>
+
+#include "cache/basic_cache.hpp"
+#include "cache/config.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/traffic_policy.hpp"
+#include "mem/sparse_memory.hpp"
+
+namespace cpc::cache {
+
+class BaselineHierarchy : public MemoryHierarchy {
+ public:
+  BaselineHierarchy(std::string name, HierarchyConfig config, TransferFormat format);
+
+  AccessResult read(std::uint32_t addr, std::uint32_t& value) override;
+  AccessResult write(std::uint32_t addr, std::uint32_t value) override;
+  std::string name() const override { return name_; }
+
+  const BasicCache& l1() const { return l1_; }
+  const BasicCache& l2() const { return l2_; }
+  mem::SparseMemory& memory() { return memory_; }
+  const HierarchyConfig& config() const { return config_; }
+
+  /// Convenience factories for the paper's configurations.
+  static BaselineHierarchy make_bc() {
+    return BaselineHierarchy("BC", kBaselineConfig, TransferFormat::kUncompressed);
+  }
+  static BaselineHierarchy make_bcc() {
+    return BaselineHierarchy("BCC", kBaselineConfig, TransferFormat::kCompressed);
+  }
+  static BaselineHierarchy make_hac() {
+    return BaselineHierarchy("HAC", kHigherAssocConfig, TransferFormat::kUncompressed);
+  }
+
+ protected:
+  /// Ensures `l1_line` is resident in L1 and returns it, recording miss
+  /// counters and the end-to-end latency into `result`.
+  BasicCache::Line& ensure_l1_line(std::uint32_t addr, AccessResult& result);
+
+  /// Ensures the L2 line covering `addr` is resident in L2 and returns it.
+  /// Sets `result.l2_miss`/latency when it had to go to memory.
+  BasicCache::Line& ensure_l2_line(std::uint32_t addr, AccessResult& result);
+
+  /// Handles a line evicted from L1: dirty data goes to L2 if resident there,
+  /// otherwise to memory (non-allocating write-back).
+  void retire_l1_victim(const BasicCache::Evicted& victim);
+
+  /// Handles a line evicted from L2: dirty data goes to memory.
+  void retire_l2_victim(const BasicCache::Evicted& victim);
+
+  std::string name_;
+  HierarchyConfig config_;
+  TransferFormat format_;
+  BasicCache l1_;
+  BasicCache l2_;
+  mem::SparseMemory memory_;
+};
+
+}  // namespace cpc::cache

@@ -1,0 +1,76 @@
+#include "cache/basic_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cpc::cache {
+
+BasicCache::BasicCache(CacheGeometry geometry) : geo_(geometry) {
+  assert(geo_.num_sets() >= 1);
+  lines_.resize(static_cast<std::size_t>(geo_.num_sets()) * geo_.ways);
+  for (auto& line : lines_) line.words.resize(geo_.words_per_line(), 0);
+}
+
+BasicCache::Line* BasicCache::find(std::uint32_t line_addr) {
+  const std::uint32_t set = geo_.set_of_line(line_addr);
+  for (std::uint32_t w = 0; w < geo_.ways; ++w) {
+    Line& line = lines_[static_cast<std::size_t>(set) * geo_.ways + w];
+    if (line.valid && line.line_addr == line_addr) return &line;
+  }
+  return nullptr;
+}
+
+const BasicCache::Line* BasicCache::find(std::uint32_t line_addr) const {
+  return const_cast<BasicCache*>(this)->find(line_addr);
+}
+
+BasicCache::Line& BasicCache::lru_way(std::uint32_t set) {
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < geo_.ways; ++w) {
+    Line& line = lines_[static_cast<std::size_t>(set) * geo_.ways + w];
+    if (!line.valid) return line;  // free way beats any occupied one
+    if (victim == nullptr || line.last_use < victim->last_use) victim = &line;
+  }
+  return *victim;
+}
+
+BasicCache::Evicted BasicCache::fill(std::uint32_t line_addr,
+                                     std::span<const std::uint32_t> words) {
+  assert(find(line_addr) == nullptr && "fill of already-resident line");
+  assert(words.size() == geo_.words_per_line());
+  Line& slot = lru_way(geo_.set_of_line(line_addr));
+
+  Evicted out;
+  if (slot.valid) {
+    out.valid = true;
+    out.dirty = slot.dirty;
+    out.line_addr = slot.line_addr;
+    out.words = slot.words;
+  }
+  slot.valid = true;
+  slot.dirty = false;
+  slot.line_addr = line_addr;
+  std::copy(words.begin(), words.end(), slot.words.begin());
+  touch(slot);
+  return out;
+}
+
+BasicCache::Evicted BasicCache::invalidate(std::uint32_t line_addr) {
+  Evicted out;
+  if (Line* line = find(line_addr)) {
+    out.valid = true;
+    out.dirty = line->dirty;
+    out.line_addr = line->line_addr;
+    out.words = line->words;
+    line->valid = false;
+    line->dirty = false;
+  }
+  return out;
+}
+
+std::size_t BasicCache::valid_lines() const {
+  return static_cast<std::size_t>(
+      std::count_if(lines_.begin(), lines_.end(), [](const Line& l) { return l.valid; }));
+}
+
+}  // namespace cpc::cache

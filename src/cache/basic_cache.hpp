@@ -1,0 +1,70 @@
+#pragma once
+// A conventional set-associative write-back cache with true-LRU replacement
+// that stores real data words. Used for BC, BCC (identical behaviour, only
+// traffic metering differs), HAC, and as the cache component of BCP.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/config.hpp"
+
+namespace cpc::cache {
+
+class BasicCache {
+ public:
+  struct Line {
+    std::uint32_t line_addr = 0;  ///< full-address line index (addr / line_bytes)
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t last_use = 0;  ///< LRU timestamp
+    std::vector<std::uint32_t> words;
+  };
+
+  /// Result of an eviction: the victim's identity and content, so the
+  /// hierarchy can write it back.
+  struct Evicted {
+    bool valid = false;
+    bool dirty = false;
+    std::uint32_t line_addr = 0;
+    std::vector<std::uint32_t> words;
+  };
+
+  explicit BasicCache(CacheGeometry geometry);
+
+  const CacheGeometry& geometry() const { return geo_; }
+
+  /// Returns the resident line for `line_addr`, or nullptr. Does not touch LRU.
+  Line* find(std::uint32_t line_addr);
+  const Line* find(std::uint32_t line_addr) const;
+
+  /// Marks a line most-recently-used.
+  void touch(Line& line) { line.last_use = ++clock_; }
+
+  /// Installs `words` as line `line_addr` (clean, MRU), evicting the LRU way
+  /// of the set if necessary. `line_addr` must not currently be resident.
+  Evicted fill(std::uint32_t line_addr, std::span<const std::uint32_t> words);
+
+  /// Invalidates the line if resident; returns its prior content.
+  Evicted invalidate(std::uint32_t line_addr);
+
+  std::uint32_t read_word(const Line& line, std::uint32_t word) const {
+    return line.words.at(word);
+  }
+  void write_word(Line& line, std::uint32_t word, std::uint32_t value) {
+    line.words.at(word) = value;
+    line.dirty = true;
+  }
+
+  /// Number of currently valid lines (for tests).
+  std::size_t valid_lines() const;
+
+ private:
+  Line& lru_way(std::uint32_t set);
+
+  CacheGeometry geo_;
+  std::vector<Line> lines_;  // sets * ways, row-major by set
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace cpc::cache

@@ -1,0 +1,74 @@
+#pragma once
+// Cache geometry and latency parameters (paper Fig. 9 and section 4.1).
+
+#include <cassert>
+#include <cstdint>
+
+namespace cpc::cache {
+
+/// Geometry of one cache level. Sizes are powers of two.
+struct CacheGeometry {
+  std::uint32_t size_bytes = 8 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 1;
+
+  constexpr std::uint32_t num_lines() const { return size_bytes / line_bytes; }
+  constexpr std::uint32_t num_sets() const { return num_lines() / ways; }
+  constexpr std::uint32_t words_per_line() const { return line_bytes / 4; }
+
+  /// Line number (full-address line index) of a byte address.
+  constexpr std::uint32_t line_of(std::uint32_t addr) const { return addr / line_bytes; }
+  constexpr std::uint32_t set_of_line(std::uint32_t line_addr) const {
+    return line_addr % num_sets();
+  }
+  constexpr std::uint32_t word_of(std::uint32_t addr) const {
+    return (addr % line_bytes) / 4;
+  }
+  constexpr std::uint32_t base_of_line(std::uint32_t line_addr) const {
+    return line_addr * line_bytes;
+  }
+
+  friend bool operator==(const CacheGeometry&, const CacheGeometry&) = default;
+};
+
+/// End-to-end latencies in CPU cycles, as the paper reports them: an access
+/// that hits at a level observes that level's value (they are not additive).
+struct LatencyConfig {
+  unsigned l1_hit = 1;    ///< L1 D-cache hit (Fig. 9)
+  unsigned l2_hit = 10;   ///< L1 miss that hits in L2 ("L1 D-cache miss latency")
+  unsigned memory = 100;  ///< L2 miss ("memory access latency")
+  unsigned affiliated_extra = 1;  ///< extra cycle for an affiliated-line hit (section 3.3)
+
+  /// Returns a copy with miss penalties halved — the perturbation the
+  /// paper's Fig. 14 importance analysis applies (S_enhanced = 2).
+  constexpr LatencyConfig halved_miss_penalty() const {
+    return LatencyConfig{l1_hit, l2_hit / 2, memory / 2, affiliated_extra};
+  }
+
+  friend bool operator==(const LatencyConfig&, const LatencyConfig&) = default;
+};
+
+/// Two-level hierarchy parameters for one experimental configuration.
+struct HierarchyConfig {
+  CacheGeometry l1{8 * 1024, 64, 1};    // 8K direct-mapped, 64 B lines
+  CacheGeometry l2{64 * 1024, 128, 2};  // 64K 2-way, 128 B lines
+  LatencyConfig latency{};
+};
+
+/// Paper configurations (section 4.1).
+inline constexpr HierarchyConfig kBaselineConfig{};  // BC and BCC
+
+inline constexpr HierarchyConfig kHigherAssocConfig{
+    CacheGeometry{8 * 1024, 64, 2},    // L1: 2-way
+    CacheGeometry{64 * 1024, 128, 4},  // L2: 4-way
+    LatencyConfig{}};
+
+/// BCP prefetch-buffer sizes: 8 entries helping L1, 32 entries helping L2.
+inline constexpr std::uint32_t kL1PrefetchEntries = 8;
+inline constexpr std::uint32_t kL2PrefetchEntries = 32;
+
+/// Affiliation mask: primary and affiliated line addresses differ by this
+/// XOR mask; 0x1 pairs consecutive lines = next-line prefetch (section 3.1).
+inline constexpr std::uint32_t kAffiliationMask = 0x1;
+
+}  // namespace cpc::cache

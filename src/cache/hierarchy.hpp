@@ -1,0 +1,99 @@
+#pragma once
+// The word-based memory-hierarchy interface the CPU model drives, plus the
+// statistics every configuration reports. All five paper configurations
+// (BC, BCC, HAC, BCP, CPP) implement `MemoryHierarchy`.
+
+#include <cstdint>
+#include <string>
+
+#include "mem/traffic_meter.hpp"
+
+namespace cpc::cache {
+
+/// Which component ultimately served an access (for stats/debugging).
+enum class ServedBy : std::uint8_t {
+  kL1,
+  kL1Affiliated,
+  kL1PrefetchBuffer,
+  kL2,
+  kL2Affiliated,
+  kL2PrefetchBuffer,
+  kMemory,
+};
+
+/// Timing and classification of one word access.
+struct AccessResult {
+  unsigned latency = 1;  ///< cycles until the value is available to the CPU
+  ServedBy served_by = ServedBy::kL1;
+  bool l1_miss = false;  ///< demand miss as the paper counts them (a prefetch
+                         ///< buffer hit is NOT a miss, section 4.4)
+  bool l2_miss = false;
+};
+
+/// Counters common to every hierarchy implementation.
+struct HierarchyStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l1_affiliated_hits = 0;  ///< CPP only
+  std::uint64_t l2_affiliated_hits = 0;  ///< CPP only
+  std::uint64_t l1_pbuf_hits = 0;        ///< BCP only
+  std::uint64_t l2_pbuf_hits = 0;        ///< BCP only
+  std::uint64_t l1_writebacks = 0;       ///< dirty L1 evictions
+  std::uint64_t mem_writebacks = 0;      ///< write-backs that reached memory
+  std::uint64_t mem_fetch_lines = 0;     ///< demand line fetches from memory
+  std::uint64_t prefetch_lines = 0;      ///< prefetch line fetches from memory (BCP)
+  std::uint64_t l1_prefetch_inserts = 0;  ///< lines placed in the L1 buffer (BCP)
+  std::uint64_t l2_prefetch_inserts = 0;  ///< lines placed in the L2 buffer (BCP)
+  std::uint64_t partial_promotions = 0;  ///< CPP: affiliated→primary moves
+  std::uint64_t affiliated_demotions = 0;  ///< CPP: victims kept as affiliated
+  mem::TrafficMeter traffic;             ///< L2 <-> memory words (Fig. 10)
+
+  std::uint64_t accesses() const { return reads + writes; }
+
+  /// Fraction of buffered prefetches that were referenced before eviction
+  /// (BCP prefetch accuracy). 0 when no prefetches were issued.
+  double prefetch_accuracy() const {
+    const std::uint64_t inserts = l1_prefetch_inserts + l2_prefetch_inserts;
+    return inserts == 0 ? 0.0
+                        : static_cast<double>(l1_pbuf_hits + l2_pbuf_hits) /
+                              static_cast<double>(inserts);
+  }
+
+  double l1_miss_rate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(l1_misses) / static_cast<double>(accesses());
+  }
+};
+
+/// A two-level data-cache hierarchy fed word-granular CPU requests.
+///
+/// Implementations are *functional*: they store real words, so `read` returns
+/// exactly the most recently written value for the address (the property
+/// tests rely on this).
+class MemoryHierarchy {
+ public:
+  virtual ~MemoryHierarchy() = default;
+
+  /// Reads the 32-bit word at `addr` (4-byte aligned).
+  virtual AccessResult read(std::uint32_t addr, std::uint32_t& value) = 0;
+
+  /// Writes the 32-bit word at `addr`.
+  virtual AccessResult write(std::uint32_t addr, std::uint32_t value) = 0;
+
+  /// Short configuration name ("BC", "BCC", "HAC", "BCP", "CPP").
+  virtual std::string name() const = 0;
+
+  /// Checks internal structural invariants; aborts via assert on violation.
+  /// A no-op for configurations without extra invariants.
+  virtual void validate() const {}
+
+  const HierarchyStats& stats() const { return stats_; }
+  HierarchyStats& mutable_stats() { return stats_; }
+
+ protected:
+  HierarchyStats stats_;
+};
+
+}  // namespace cpc::cache

@@ -1,0 +1,202 @@
+#include "cache/line_compression_hierarchy.hpp"
+
+#include <cassert>
+
+#include "common/check.hpp"
+
+namespace cpc::cache {
+
+LineCompressionHierarchy::LineCompressionHierarchy(HierarchyConfig config,
+                                                   compress::Scheme scheme)
+    : config_(config), scheme_(scheme), l2_(config.l2) {
+  assert(config_.l1.ways == 1 && "LCC doubles residency inside direct-mapped frames");
+  frames_.resize(config_.l1.num_sets());
+}
+
+bool LineCompressionHierarchy::fully_compressible(
+    const std::vector<std::uint32_t>& words, std::uint32_t line_addr) const {
+  const std::uint32_t base = config_.l1.base_of_line(line_addr);
+  for (std::uint32_t i = 0; i < words.size(); ++i) {
+    if (!scheme_.is_compressible(words[i], base + i * 4)) return false;
+  }
+  return true;
+}
+
+LineCompressionHierarchy::Resident* LineCompressionHierarchy::find(
+    std::uint32_t line_addr, Frame** frame_out) {
+  Frame& frame = frames_[config_.l1.set_of_line(line_addr)];
+  for (auto& slot : frame.slots) {
+    if (slot && slot->line_addr == line_addr) {
+      if (frame_out != nullptr) *frame_out = &frame;
+      return &*slot;
+    }
+  }
+  return nullptr;
+}
+
+void LineCompressionHierarchy::retire(Resident& resident) {
+  if (!resident.dirty) return;
+  ++stats_.l1_writebacks;
+  const std::uint32_t base = config_.l1.base_of_line(resident.line_addr);
+  if (BasicCache::Line* l2_line = l2_.find(config_.l2.line_of(base))) {
+    const std::uint32_t word0 = config_.l2.word_of(base);
+    for (std::uint32_t i = 0; i < resident.words.size(); ++i) {
+      l2_.write_word(*l2_line, word0 + i, resident.words[i]);
+    }
+    return;
+  }
+  ++stats_.mem_writebacks;
+  for (std::uint32_t i = 0; i < resident.words.size(); ++i) {
+    memory_.write_word(base + i * 4, resident.words[i]);
+  }
+  meter_line_transfer(stats_.traffic, resident.words, base, TransferFormat::kCompressed,
+                      /*writeback=*/true, scheme_);
+}
+
+LineCompressionHierarchy::Resident& LineCompressionHierarchy::install(
+    std::uint32_t line_addr, std::vector<std::uint32_t> words) {
+  Frame& frame = frames_[config_.l1.set_of_line(line_addr)];
+  Resident incoming{line_addr, false, ++clock_, std::move(words)};
+  const bool incoming_small = fully_compressible(incoming.words, line_addr);
+
+  // Free slot 0: empty frame.
+  if (!frame.slots[0]) {
+    frame.slots[0] = std::move(incoming);
+    return *frame.slots[0];
+  }
+  // Sharing: both resident and incoming fully compressible.
+  if (!frame.slots[1] && incoming_small &&
+      fully_compressible(frame.slots[0]->words, frame.slots[0]->line_addr)) {
+    frame.slots[1] = std::move(incoming);
+    return *frame.slots[1];
+  }
+  // Eviction. If the frame is shared, evict the LRU resident; if the
+  // incoming line is incompressible it needs the whole frame, so evict both.
+  if (frame.slots[1]) {
+    if (!incoming_small) {
+      retire(*frame.slots[0]);
+      retire(*frame.slots[1]);
+      frame.slots[0] = std::move(incoming);
+      frame.slots[1].reset();
+      return *frame.slots[0];
+    }
+    const int lru = frame.slots[0]->last_use <= frame.slots[1]->last_use ? 0 : 1;
+    retire(*frame.slots[lru]);
+    frame.slots[lru] = std::move(incoming);
+    return *frame.slots[lru];
+  }
+  retire(*frame.slots[0]);
+  frame.slots[0] = std::move(incoming);
+  return *frame.slots[0];
+}
+
+void LineCompressionHierarchy::retire_l2_victim(const BasicCache::Evicted& victim) {
+  if (!victim.valid || !victim.dirty) return;
+  ++stats_.mem_writebacks;
+  const std::uint32_t base = config_.l2.base_of_line(victim.line_addr);
+  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
+    memory_.write_word(base + i * 4, victim.words[i]);
+  }
+  meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kCompressed,
+                      /*writeback=*/true, scheme_);
+}
+
+BasicCache::Line& LineCompressionHierarchy::ensure_l2_line(std::uint32_t addr,
+                                                           AccessResult& result) {
+  const std::uint32_t line_addr = config_.l2.line_of(addr);
+  if (BasicCache::Line* line = l2_.find(line_addr)) {
+    l2_.touch(*line);
+    return *line;
+  }
+  result.l2_miss = true;
+  result.served_by = ServedBy::kMemory;
+  result.latency = config_.latency.memory;
+  ++stats_.l2_misses;
+  ++stats_.mem_fetch_lines;
+  const std::uint32_t base = config_.l2.base_of_line(line_addr);
+  std::vector<std::uint32_t> words(config_.l2.words_per_line());
+  for (std::uint32_t i = 0; i < words.size(); ++i) {
+    words[i] = memory_.read_word(base + i * 4);
+  }
+  meter_line_transfer(stats_.traffic, words, base, TransferFormat::kCompressed,
+                      /*writeback=*/false, scheme_);
+  retire_l2_victim(l2_.fill(line_addr, words));
+  BasicCache::Line* line = l2_.find(line_addr);
+  assert(line != nullptr);
+  return *line;
+}
+
+LineCompressionHierarchy::Resident& LineCompressionHierarchy::ensure_line(
+    std::uint32_t addr, AccessResult& result) {
+  const std::uint32_t line_addr = config_.l1.line_of(addr);
+  if (Resident* resident = find(line_addr)) {
+    resident->last_use = ++clock_;
+    result.latency = config_.latency.l1_hit;
+    result.served_by = ServedBy::kL1;
+    return *resident;
+  }
+  result.l1_miss = true;
+  result.served_by = ServedBy::kL2;
+  result.latency = config_.latency.l2_hit;
+  ++stats_.l1_misses;
+
+  BasicCache::Line& l2_line = ensure_l2_line(addr, result);
+  const std::uint32_t base = config_.l1.base_of_line(line_addr);
+  const std::uint32_t word0 = config_.l2.word_of(base);
+  std::vector<std::uint32_t> words{l2_line.words.begin() + word0,
+                                   l2_line.words.begin() + word0 +
+                                       config_.l1.words_per_line()};
+  return install(line_addr, std::move(words));
+}
+
+AccessResult LineCompressionHierarchy::read(std::uint32_t addr, std::uint32_t& value) {
+  ++stats_.reads;
+  AccessResult result;
+  Resident& resident = ensure_line(addr, result);
+  value = resident.words[config_.l1.word_of(addr)];
+  return result;
+}
+
+AccessResult LineCompressionHierarchy::write(std::uint32_t addr, std::uint32_t value) {
+  ++stats_.writes;
+  AccessResult result;
+  Resident& resident = ensure_line(addr, result);
+  resident.words[config_.l1.word_of(addr)] = value;
+  resident.dirty = true;
+
+  // A write can make a shared resident incompressible; the frame can then
+  // no longer hold both lines — evict the other resident ([6]'s policy:
+  // "otherwise, only one of them is stored").
+  if (!fully_compressible(resident.words, resident.line_addr)) {
+    Frame& frame = frames_[config_.l1.set_of_line(resident.line_addr)];
+    if (frame.slots[0] && frame.slots[1]) {
+      const int other = &*frame.slots[0] == &resident ? 1 : 0;
+      retire(*frame.slots[other]);
+      frame.slots[other].reset();
+      if (other == 0) std::swap(frame.slots[0], frame.slots[1]);
+    }
+  }
+  return result;
+}
+
+std::uint64_t LineCompressionHierarchy::shared_frames() const {
+  std::uint64_t count = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.slots[0] && frame.slots[1]) ++count;
+  }
+  return count;
+}
+
+void LineCompressionHierarchy::validate() const {
+  for (const Frame& frame : frames_) {
+    if (!(frame.slots[0] && frame.slots[1])) continue;
+    for (const auto& slot : frame.slots) {
+      check(fully_compressible(slot->words, slot->line_addr),
+            "shared LCC frame holds an incompressible line");
+    }
+    check(frame.slots[0]->line_addr != frame.slots[1]->line_addr,
+          "duplicate resident in LCC frame");
+  }
+}
+
+}  // namespace cpc::cache

@@ -1,0 +1,85 @@
+#pragma once
+// LCC: a line-granularity compression cache in the style of the paper's
+// reference [6] (Yang, Zhang, Gupta — "Frequent Value Compression in Data
+// Caches", MICRO 2000), the related-work design section 5 contrasts CPP
+// against:
+//
+//   "Two conflicting cache lines can be stored in the same line if both are
+//    compressible; otherwise, only one of them is stored. Both of the above
+//    schemes operate at the cache line level and do not distinguish the
+//    importance of different words within a cache line. As a result, they
+//    could not exploit the saved memory bandwidth for partial cache line
+//    prefetching."
+//
+// Implementation: each L1 physical frame holds either one uncompressed line
+// or two *fully compressible* lines mapping to the same set (every word
+// compresses to 16 bits under the same scheme CPP uses — our stand-in for
+// the frequent-value table). No prefetching: the doubled residency is pure
+// capacity. Transfers are metered compressed, as in [6].
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/basic_cache.hpp"
+#include "cache/config.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/traffic_policy.hpp"
+#include "compress/scheme.hpp"
+#include "mem/sparse_memory.hpp"
+
+namespace cpc::cache {
+
+class LineCompressionHierarchy : public MemoryHierarchy {
+ public:
+  explicit LineCompressionHierarchy(HierarchyConfig config = kBaselineConfig,
+                                    compress::Scheme scheme = compress::kPaperScheme);
+
+  AccessResult read(std::uint32_t addr, std::uint32_t& value) override;
+  AccessResult write(std::uint32_t addr, std::uint32_t value) override;
+  std::string name() const override { return "LCC"; }
+  void validate() const override;
+
+  const HierarchyConfig& config() const { return config_; }
+  mem::SparseMemory& memory() { return memory_; }
+
+  /// Number of physical frames currently holding two compressed residents.
+  std::uint64_t shared_frames() const;
+
+ private:
+  struct Resident {
+    std::uint32_t line_addr = 0;
+    bool dirty = false;
+    std::uint64_t last_use = 0;
+    std::vector<std::uint32_t> words;
+  };
+  struct Frame {
+    // Slot 0 always used first. Two residents => both fully compressible.
+    std::optional<Resident> slots[2];
+  };
+
+  bool fully_compressible(const std::vector<std::uint32_t>& words,
+                          std::uint32_t line_addr) const;
+
+  Resident* find(std::uint32_t line_addr, Frame** frame_out = nullptr);
+
+  /// Installs a line into its set, possibly sharing a frame; returns it.
+  Resident& install(std::uint32_t line_addr, std::vector<std::uint32_t> words);
+
+  void retire(Resident& resident);
+
+  BasicCache::Line& ensure_l2_line(std::uint32_t addr, AccessResult& result);
+  void retire_l2_victim(const BasicCache::Evicted& victim);
+
+  Resident& ensure_line(std::uint32_t addr, AccessResult& result);
+
+  HierarchyConfig config_;
+  compress::Scheme scheme_;
+  std::vector<Frame> frames_;  // one per L1 set (direct-mapped frames)
+  BasicCache l2_;
+  mem::SparseMemory memory_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace cpc::cache

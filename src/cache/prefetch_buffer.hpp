@@ -1,0 +1,72 @@
+#pragma once
+// Fully associative LRU prefetch buffer (paper section 4.1: an 8-entry
+// buffer helps the L1 cache and a 32-entry buffer helps the L2 cache in the
+// BCP configuration). Prefetched lines are always clean: a write first moves
+// the line into the cache proper.
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <vector>
+
+namespace cpc::cache {
+
+class PrefetchBuffer {
+ public:
+  struct Entry {
+    std::uint32_t line_addr = 0;
+    std::vector<std::uint32_t> words;
+  };
+
+  PrefetchBuffer(std::uint32_t entries, std::uint32_t words_per_line)
+      : capacity_(entries), words_per_line_(words_per_line) {}
+
+  bool contains(std::uint32_t line_addr) const {
+    for (const Entry& e : entries_) {
+      if (e.line_addr == line_addr) return true;
+    }
+    return false;
+  }
+
+  /// Removes and returns the entry for `line_addr` (used when an access hits
+  /// the buffer and the line moves into the cache).
+  std::optional<Entry> take(std::uint32_t line_addr) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->line_addr == line_addr) {
+        Entry out = std::move(*it);
+        entries_.erase(it);
+        return out;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Inserts a prefetched line, evicting the LRU entry if full. A line
+  /// already buffered is refreshed (moved to MRU, content replaced).
+  void insert(std::uint32_t line_addr, std::vector<std::uint32_t> words) {
+    take(line_addr);  // drop any stale copy
+    if (entries_.size() == capacity_) entries_.pop_back();  // back = LRU
+    entries_.push_front(Entry{line_addr, std::move(words)});
+  }
+
+  /// Marks a buffered line most-recently-used.
+  void touch(std::uint32_t line_addr) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->line_addr == line_addr) {
+        entries_.splice(entries_.begin(), entries_, it);
+        return;
+      }
+    }
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t words_per_line() const { return words_per_line_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t words_per_line_;
+  std::list<Entry> entries_;  // front = MRU, back = LRU
+};
+
+}  // namespace cpc::cache

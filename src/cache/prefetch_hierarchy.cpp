@@ -1,0 +1,207 @@
+#include "cache/prefetch_hierarchy.hpp"
+
+#include <cassert>
+
+namespace cpc::cache {
+
+PrefetchHierarchy::PrefetchHierarchy(HierarchyConfig config,
+                                     std::uint32_t l1_buffer_entries,
+                                     std::uint32_t l2_buffer_entries)
+    : config_(config),
+      l1_(config.l1),
+      l2_(config.l2),
+      l1_buffer_(l1_buffer_entries, config.l1.words_per_line()),
+      l2_buffer_(l2_buffer_entries, config.l2.words_per_line()) {}
+
+std::vector<std::uint32_t> PrefetchHierarchy::read_memory_line(std::uint32_t base,
+                                                               std::uint32_t words,
+                                                               bool prefetch) {
+  std::vector<std::uint32_t> out(words);
+  for (std::uint32_t i = 0; i < words; ++i) out[i] = memory_.read_word(base + i * 4);
+  // BCP transfers everything uncompressed; prefetches are real bus traffic.
+  meter_line_transfer(stats_.traffic, out, base, TransferFormat::kUncompressed,
+                      /*writeback=*/false);
+  if (prefetch) {
+    ++stats_.prefetch_lines;
+  } else {
+    ++stats_.mem_fetch_lines;
+  }
+  return out;
+}
+
+void PrefetchHierarchy::retire_l1_victim(const BasicCache::Evicted& victim) {
+  if (!victim.valid || !victim.dirty) return;
+  ++stats_.l1_writebacks;
+  const std::uint32_t base = config_.l1.base_of_line(victim.line_addr);
+  const std::uint32_t l2_line_addr = config_.l2.line_of(base);
+  if (BasicCache::Line* l2_line = l2_.find(l2_line_addr)) {
+    const std::uint32_t word0 = config_.l2.word_of(base);
+    for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
+      l2_.write_word(*l2_line, word0 + i, victim.words[i]);
+    }
+    return;
+  }
+  // The line may be sitting in the L2 prefetch buffer; keep that copy
+  // coherent while writing through to memory.
+  if (auto entry = l2_buffer_.take(l2_line_addr)) {
+    const std::uint32_t word0 = config_.l2.word_of(base);
+    for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
+      entry->words[word0 + i] = victim.words[i];
+    }
+    l2_buffer_.insert(l2_line_addr, std::move(entry->words));
+  }
+  ++stats_.mem_writebacks;
+  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
+    memory_.write_word(base + i * 4, victim.words[i]);
+  }
+  meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kUncompressed,
+                      /*writeback=*/true);
+}
+
+void PrefetchHierarchy::retire_l2_victim(const BasicCache::Evicted& victim) {
+  if (!victim.valid || !victim.dirty) return;
+  ++stats_.mem_writebacks;
+  const std::uint32_t base = config_.l2.base_of_line(victim.line_addr);
+  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
+    memory_.write_word(base + i * 4, victim.words[i]);
+  }
+  meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kUncompressed,
+                      /*writeback=*/true);
+}
+
+BasicCache::Line& PrefetchHierarchy::ensure_l2_line(std::uint32_t l2_line_addr,
+                                                    bool demand, AccessResult& result) {
+  if (BasicCache::Line* line = l2_.find(l2_line_addr)) {
+    l2_.touch(*line);
+    return *line;
+  }
+  if (auto entry = l2_buffer_.take(l2_line_addr)) {
+    // Demand reference moves the prefetched line into the cache proper.
+    ++stats_.l2_pbuf_hits;
+    result.served_by = ServedBy::kL2PrefetchBuffer;
+    retire_l2_victim(l2_.fill(l2_line_addr, entry->words));
+    BasicCache::Line* line = l2_.find(l2_line_addr);
+    assert(line != nullptr);
+    return *line;
+  }
+  // Demand L2 miss: fetch from memory and trigger the L2-level prefetch.
+  result.l2_miss = true;
+  result.served_by = ServedBy::kMemory;
+  result.latency = config_.latency.memory;
+  ++stats_.l2_misses;
+
+  const std::uint32_t base = config_.l2.base_of_line(l2_line_addr);
+  auto words = read_memory_line(base, config_.l2.words_per_line(), /*prefetch=*/false);
+  retire_l2_victim(l2_.fill(l2_line_addr, words));
+
+  // Prefetch-on-miss applies uniformly at this level: every L2 line miss
+  // (demand or triggered by an L1-level prefetch) pulls the next L2 line
+  // into the buffer. This is what makes BCP's traffic balloon (Fig. 10).
+  (void)demand;
+  prefetch_into_l2_buffer(l2_line_addr + 1);
+
+  BasicCache::Line* line = l2_.find(l2_line_addr);
+  assert(line != nullptr);
+  return *line;
+}
+
+void PrefetchHierarchy::prefetch_into_l2_buffer(std::uint32_t l2_line_addr) {
+  if (l2_.find(l2_line_addr) != nullptr || l2_buffer_.contains(l2_line_addr)) return;
+  const std::uint32_t base = config_.l2.base_of_line(l2_line_addr);
+  l2_buffer_.insert(l2_line_addr,
+                    read_memory_line(base, config_.l2.words_per_line(), /*prefetch=*/true));
+  ++stats_.l2_prefetch_inserts;
+}
+
+std::vector<std::uint32_t> PrefetchHierarchy::fetch_half_line_from_l2_side(
+    std::uint32_t l1_line_addr, bool demand, AccessResult& result) {
+  const std::uint32_t base = config_.l1.base_of_line(l1_line_addr);
+  const std::uint32_t l2_line_addr = config_.l2.line_of(base);
+  const std::uint32_t word0 = config_.l2.word_of(base);
+  const std::uint32_t n = config_.l1.words_per_line();
+
+  if (demand) {
+    BasicCache::Line& line = ensure_l2_line(l2_line_addr, /*demand=*/true, result);
+    return {line.words.begin() + word0, line.words.begin() + word0 + n};
+  }
+
+  // Prefetch request: read without disturbing L2 residency. A miss fetches
+  // the enclosing L2 line from memory into the L2 *buffer* (it is prefetch
+  // data and must not pollute the L2 cache).
+  if (BasicCache::Line* line = l2_.find(l2_line_addr)) {
+    return {line->words.begin() + word0, line->words.begin() + word0 + n};
+  }
+  if (auto entry = l2_buffer_.take(l2_line_addr)) {
+    std::vector<std::uint32_t> half{entry->words.begin() + word0,
+                                    entry->words.begin() + word0 + n};
+    l2_buffer_.insert(l2_line_addr, std::move(entry->words));  // keep buffered, MRU
+    return half;
+  }
+  const std::uint32_t l2_base = config_.l2.base_of_line(l2_line_addr);
+  auto words = read_memory_line(l2_base, config_.l2.words_per_line(), /*prefetch=*/true);
+  std::vector<std::uint32_t> half{words.begin() + word0, words.begin() + word0 + n};
+  l2_buffer_.insert(l2_line_addr, std::move(words));
+  // This was an L2 miss too, so the L2-level prefetch-on-miss also fires.
+  prefetch_into_l2_buffer(l2_line_addr + 1);
+  return half;
+}
+
+void PrefetchHierarchy::prefetch_into_l1_buffer(std::uint32_t l1_line_addr) {
+  if (l1_.find(l1_line_addr) != nullptr || l1_buffer_.contains(l1_line_addr)) return;
+  AccessResult scratch;  // prefetch timing is off the critical path
+  l1_buffer_.insert(l1_line_addr,
+                    fetch_half_line_from_l2_side(l1_line_addr, /*demand=*/false, scratch));
+  ++stats_.l1_prefetch_inserts;
+}
+
+BasicCache::Line& PrefetchHierarchy::ensure_l1_line(std::uint32_t addr,
+                                                    AccessResult& result) {
+  const std::uint32_t line_addr = config_.l1.line_of(addr);
+  if (BasicCache::Line* line = l1_.find(line_addr)) {
+    l1_.touch(*line);
+    result.latency = config_.latency.l1_hit;
+    result.served_by = ServedBy::kL1;
+    return *line;
+  }
+  if (auto entry = l1_buffer_.take(line_addr)) {
+    // Prefetch-buffer hit: not a miss (section 4.4); line moves into L1.
+    ++stats_.l1_pbuf_hits;
+    result.latency = config_.latency.l1_hit;
+    result.served_by = ServedBy::kL1PrefetchBuffer;
+    retire_l1_victim(l1_.fill(line_addr, entry->words));
+    BasicCache::Line* line = l1_.find(line_addr);
+    assert(line != nullptr);
+    return *line;
+  }
+  // Demand L1 miss: fetch line and prefetch its successor.
+  result.l1_miss = true;
+  result.served_by = ServedBy::kL2;
+  result.latency = config_.latency.l2_hit;
+  ++stats_.l1_misses;
+
+  auto words = fetch_half_line_from_l2_side(line_addr, /*demand=*/true, result);
+  retire_l1_victim(l1_.fill(line_addr, words));
+  prefetch_into_l1_buffer(line_addr + 1);
+
+  BasicCache::Line* line = l1_.find(line_addr);
+  assert(line != nullptr);
+  return *line;
+}
+
+AccessResult PrefetchHierarchy::read(std::uint32_t addr, std::uint32_t& value) {
+  ++stats_.reads;
+  AccessResult result;
+  BasicCache::Line& line = ensure_l1_line(addr, result);
+  value = l1_.read_word(line, config_.l1.word_of(addr));
+  return result;
+}
+
+AccessResult PrefetchHierarchy::write(std::uint32_t addr, std::uint32_t value) {
+  ++stats_.writes;
+  AccessResult result;
+  BasicCache::Line& line = ensure_l1_line(addr, result);
+  l1_.write_word(line, config_.l1.word_of(addr), value);
+  return result;
+}
+
+}  // namespace cpc::cache

@@ -1,0 +1,73 @@
+#pragma once
+// BCP: the baseline hierarchy extended with next-line prefetch-on-miss into
+// dedicated fully associative prefetch buffers (paper section 4.1):
+//
+//  * an L1 demand miss prefetches the next L1-sized line into an 8-entry
+//    buffer beside L1 (sourced from L2, going to memory if L2 misses);
+//  * an L2 demand miss prefetches the next L2-sized line from memory into a
+//    32-entry buffer beside L2.
+//
+// A hit in either buffer is not counted as a miss (section 4.4) and moves
+// the line into the corresponding cache. All transfers are uncompressed, so
+// prefetching shows up directly as extra memory traffic (Fig. 10: +80% on
+// average).
+
+#include <cstdint>
+#include <string>
+
+#include "cache/baseline_hierarchy.hpp"
+#include "cache/prefetch_buffer.hpp"
+
+namespace cpc::cache {
+
+class PrefetchHierarchy : public MemoryHierarchy {
+ public:
+  explicit PrefetchHierarchy(HierarchyConfig config = kBaselineConfig,
+                             std::uint32_t l1_buffer_entries = kL1PrefetchEntries,
+                             std::uint32_t l2_buffer_entries = kL2PrefetchEntries);
+
+  AccessResult read(std::uint32_t addr, std::uint32_t& value) override;
+  AccessResult write(std::uint32_t addr, std::uint32_t value) override;
+  std::string name() const override { return "BCP"; }
+
+  const BasicCache& l1() const { return l1_; }
+  const BasicCache& l2() const { return l2_; }
+  const PrefetchBuffer& l1_buffer() const { return l1_buffer_; }
+  const PrefetchBuffer& l2_buffer() const { return l2_buffer_; }
+  const HierarchyConfig& config() const { return config_; }
+  mem::SparseMemory& memory() { return memory_; }
+
+ private:
+  /// Ensures the word's L1 line is resident (cache proper) and returns it.
+  BasicCache::Line& ensure_l1_line(std::uint32_t addr, AccessResult& result);
+
+  /// Reads an L1-sized line image out of the L2 side (L2 cache, L2 buffer,
+  /// or memory). `demand` distinguishes demand fills from L1-level
+  /// prefetches: only demand L2 misses count as misses and trigger the
+  /// L2-level next-line prefetch.
+  std::vector<std::uint32_t> fetch_half_line_from_l2_side(std::uint32_t l1_line_addr,
+                                                          bool demand,
+                                                          AccessResult& result);
+
+  /// Ensures the L2 line is resident in the L2 cache proper.
+  BasicCache::Line& ensure_l2_line(std::uint32_t l2_line_addr, bool demand,
+                                   AccessResult& result);
+
+  void prefetch_into_l1_buffer(std::uint32_t l1_line_addr);
+  void prefetch_into_l2_buffer(std::uint32_t l2_line_addr);
+
+  void retire_l1_victim(const BasicCache::Evicted& victim);
+  void retire_l2_victim(const BasicCache::Evicted& victim);
+
+  std::vector<std::uint32_t> read_memory_line(std::uint32_t base, std::uint32_t words,
+                                              bool prefetch);
+
+  HierarchyConfig config_;
+  BasicCache l1_;
+  BasicCache l2_;
+  PrefetchBuffer l1_buffer_;
+  PrefetchBuffer l2_buffer_;
+  mem::SparseMemory memory_;
+};
+
+}  // namespace cpc::cache

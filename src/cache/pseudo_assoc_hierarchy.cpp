@@ -1,0 +1,141 @@
+#include "cache/pseudo_assoc_hierarchy.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace cpc::cache {
+
+PseudoAssocHierarchy::PseudoAssocHierarchy(HierarchyConfig config)
+    : config_(config), l2_(config.l2) {
+  assert(config_.l1.ways == 1 && "pseudo-associativity augments a direct-mapped L1");
+  assert(config_.l1.num_sets() >= 2);
+  slots_.resize(config_.l1.num_sets());
+  for (Line& line : slots_) line.words.resize(config_.l1.words_per_line(), 0);
+}
+
+void PseudoAssocHierarchy::retire_l2_victim(const BasicCache::Evicted& victim) {
+  if (!victim.valid || !victim.dirty) return;
+  ++stats_.mem_writebacks;
+  const std::uint32_t base = config_.l2.base_of_line(victim.line_addr);
+  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
+    memory_.write_word(base + i * 4, victim.words[i]);
+  }
+  meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kUncompressed,
+                      /*writeback=*/true);
+}
+
+BasicCache::Line& PseudoAssocHierarchy::ensure_l2_line(std::uint32_t addr,
+                                                       AccessResult& result) {
+  const std::uint32_t line_addr = config_.l2.line_of(addr);
+  if (BasicCache::Line* line = l2_.find(line_addr)) {
+    l2_.touch(*line);
+    return *line;
+  }
+  result.l2_miss = true;
+  result.served_by = ServedBy::kMemory;
+  result.latency = config_.latency.memory;
+  ++stats_.l2_misses;
+  ++stats_.mem_fetch_lines;
+  const std::uint32_t base = config_.l2.base_of_line(line_addr);
+  std::vector<std::uint32_t> words(config_.l2.words_per_line());
+  for (std::uint32_t i = 0; i < words.size(); ++i) {
+    words[i] = memory_.read_word(base + i * 4);
+  }
+  meter_line_transfer(stats_.traffic, words, base, TransferFormat::kUncompressed,
+                      /*writeback=*/false);
+  retire_l2_victim(l2_.fill(line_addr, words));
+  BasicCache::Line* line = l2_.find(line_addr);
+  assert(line != nullptr);
+  return *line;
+}
+
+void PseudoAssocHierarchy::retire(Line& line) {
+  if (!line.valid) return;
+  if (line.dirty) {
+    ++stats_.l1_writebacks;
+    const std::uint32_t base = config_.l1.base_of_line(line.line_addr);
+    if (BasicCache::Line* l2_line = l2_.find(config_.l2.line_of(base))) {
+      const std::uint32_t word0 = config_.l2.word_of(base);
+      for (std::uint32_t i = 0; i < line.words.size(); ++i) {
+        l2_.write_word(*l2_line, word0 + i, line.words[i]);
+      }
+    } else {
+      ++stats_.mem_writebacks;
+      for (std::uint32_t i = 0; i < line.words.size(); ++i) {
+        memory_.write_word(base + i * 4, line.words[i]);
+      }
+      meter_line_transfer(stats_.traffic, line.words, base,
+                          TransferFormat::kUncompressed, /*writeback=*/true);
+    }
+  }
+  line.valid = false;
+  line.dirty = false;
+}
+
+PseudoAssocHierarchy::Line& PseudoAssocHierarchy::ensure_line(std::uint32_t addr,
+                                                              AccessResult& result) {
+  const std::uint32_t line_addr = config_.l1.line_of(addr);
+  const std::uint32_t home = home_slot(line_addr);
+  const std::uint32_t alt = alternate_slot(home);
+
+  Line& primary = slots_[home];
+  if (primary.valid && primary.line_addr == line_addr) {
+    result.latency = config_.latency.l1_hit;
+    result.served_by = ServedBy::kL1;
+    return primary;
+  }
+  Line& secondary = slots_[alt];
+  if (secondary.valid && secondary.line_addr == line_addr) {
+    // Slow hit: swap so the next access to this line is fast — which also
+    // displaces the current primary occupant to the alternate slot (the
+    // "kick out" behaviour the paper criticises).
+    ++slow_hits_;
+    ++stats_.l1_affiliated_hits;  // reported as the "secondary place" hit
+    std::swap(primary, secondary);
+    result.latency = config_.latency.l1_hit + config_.latency.affiliated_extra;
+    result.served_by = ServedBy::kL1Affiliated;
+    return primary;
+  }
+
+  // Miss at both locations.
+  result.l1_miss = true;
+  result.served_by = ServedBy::kL2;
+  result.latency = config_.latency.l2_hit;
+  ++stats_.l1_misses;
+
+  BasicCache::Line& l2_line = ensure_l2_line(addr, result);
+
+  // Displace the primary occupant into the alternate slot, evicting the
+  // line that lived there.
+  retire(slots_[alt]);
+  std::swap(slots_[alt], primary);
+
+  const std::uint32_t base = config_.l1.base_of_line(line_addr);
+  const std::uint32_t word0 = config_.l2.word_of(base);
+  primary.valid = true;
+  primary.dirty = false;
+  primary.line_addr = line_addr;
+  for (std::uint32_t i = 0; i < primary.words.size(); ++i) {
+    primary.words[i] = l2_line.words[word0 + i];
+  }
+  return primary;
+}
+
+AccessResult PseudoAssocHierarchy::read(std::uint32_t addr, std::uint32_t& value) {
+  ++stats_.reads;
+  AccessResult result;
+  Line& line = ensure_line(addr, result);
+  value = line.words[config_.l1.word_of(addr)];
+  return result;
+}
+
+AccessResult PseudoAssocHierarchy::write(std::uint32_t addr, std::uint32_t value) {
+  ++stats_.writes;
+  AccessResult result;
+  Line& line = ensure_line(addr, result);
+  line.words[config_.l1.word_of(addr)] = value;
+  line.dirty = true;
+  return result;
+}
+
+}  // namespace cpc::cache

@@ -1,0 +1,72 @@
+#pragma once
+// PAC: a pseudo-associative (column-associative) L1, the related-work
+// design the paper contrasts CPP against in section 5:
+//
+//   "The pseudo associative cache also has a primary and a secondary cache
+//    line. Our new design has similar access sequence. However, the cache
+//    line is updated very differently. For pseudo associative cache, if a
+//    cache line enters its secondary place, it has to kick out the original
+//    line. Thus it has the danger to degrade the cache performance by
+//    converting a fast hit to a slow hit or even a cache miss."
+//
+// Implementation: direct-mapped L1; a primary-location miss probes the
+// alternate location (set index with its top bit flipped). An alternate hit
+// costs one extra cycle and swaps the two lines so the next access is fast.
+// A full miss fills the primary location and displaces the previous
+// occupant into the alternate location, kicking out whatever lived there —
+// the eviction pressure CPP avoids by only using *free* half-slots.
+
+#include <cstdint>
+#include <string>
+
+#include "cache/baseline_hierarchy.hpp"
+
+namespace cpc::cache {
+
+class PseudoAssocHierarchy : public MemoryHierarchy {
+ public:
+  explicit PseudoAssocHierarchy(HierarchyConfig config = kBaselineConfig);
+
+  AccessResult read(std::uint32_t addr, std::uint32_t& value) override;
+  AccessResult write(std::uint32_t addr, std::uint32_t value) override;
+  std::string name() const override { return "PAC"; }
+
+  const HierarchyConfig& config() const { return config_; }
+  mem::SparseMemory& memory() { return memory_; }
+
+  std::uint64_t slow_hits() const { return slow_hits_; }
+
+ private:
+  struct Line {
+    std::uint32_t line_addr = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::vector<std::uint32_t> words;
+  };
+
+  std::uint32_t alternate_slot(std::uint32_t slot) const {
+    return slot ^ (config_.l1.num_sets() >> 1);
+  }
+  std::uint32_t home_slot(std::uint32_t line_addr) const {
+    return config_.l1.set_of_line(line_addr);
+  }
+
+  /// Ensures the line is in its primary slot; returns it. Tracks latency and
+  /// miss flags in `result`.
+  Line& ensure_line(std::uint32_t addr, AccessResult& result);
+
+  /// Dirty lines displaced out of the L1 go to L2 / memory.
+  void retire(Line& line);
+
+  // Shared L2/memory backend (same policies as the baseline hierarchy).
+  BasicCache::Line& ensure_l2_line(std::uint32_t addr, AccessResult& result);
+  void retire_l2_victim(const BasicCache::Evicted& victim);
+
+  HierarchyConfig config_;
+  std::vector<Line> slots_;  // one line per set (direct mapped)
+  BasicCache l2_;
+  mem::SparseMemory memory_;
+  std::uint64_t slow_hits_ = 0;
+};
+
+}  // namespace cpc::cache

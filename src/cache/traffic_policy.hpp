@@ -1,0 +1,56 @@
+#pragma once
+// How each configuration meters line transfers over the memory bus.
+//
+//  * kUncompressed — BC, HAC, BCP: every word costs a full bus slot.
+//  * kCompressed   — BCC and CPP write-backs: compressible words are
+//    transferred in 16-bit form and cost half a slot (paper section 4.1:
+//    BCC "only changes the format in which the data is ... transmitted").
+//  * CPP demand fetches are metered separately (full line slot with the
+//    affiliated words riding in the compression slack — "the memory
+//    bandwidth is still the same as before", section 3.3).
+
+#include <cstdint>
+#include <span>
+
+#include "compress/scheme.hpp"
+#include "mem/traffic_meter.hpp"
+
+namespace cpc::cache {
+
+enum class TransferFormat : std::uint8_t { kUncompressed, kCompressed };
+
+/// Meters the transfer of `words` whose first word lives at `base_addr`.
+/// `writeback` selects the write-back counters of the meter.
+inline void meter_line_transfer(mem::TrafficMeter& meter,
+                                std::span<const std::uint32_t> words,
+                                std::uint32_t base_addr, TransferFormat format,
+                                bool writeback,
+                                const compress::Scheme& scheme = compress::kPaperScheme) {
+  if (format == TransferFormat::kUncompressed) {
+    if (writeback) {
+      meter.add_writeback_uncompressed_words(words.size());
+    } else {
+      meter.add_uncompressed_words(words.size());
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::uint32_t addr = base_addr + static_cast<std::uint32_t>(i) * 4;
+    const bool compressible = scheme.is_compressible(words[i], addr);
+    if (writeback) {
+      if (compressible) {
+        meter.add_writeback_compressed_words();
+      } else {
+        meter.add_writeback_uncompressed_words();
+      }
+    } else {
+      if (compressible) {
+        meter.add_compressed_words();
+      } else {
+        meter.add_uncompressed_words();
+      }
+    }
+  }
+}
+
+}  // namespace cpc::cache

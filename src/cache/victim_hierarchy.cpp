@@ -1,0 +1,134 @@
+#include "cache/victim_hierarchy.hpp"
+
+#include <cassert>
+
+namespace cpc::cache {
+
+VictimHierarchy::VictimHierarchy(HierarchyConfig config, std::uint32_t victim_entries)
+    : config_(config), capacity_(victim_entries), l1_(config.l1), l2_(config.l2) {}
+
+void VictimHierarchy::retire_l2_victim(const BasicCache::Evicted& victim) {
+  if (!victim.valid || !victim.dirty) return;
+  ++stats_.mem_writebacks;
+  const std::uint32_t base = config_.l2.base_of_line(victim.line_addr);
+  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
+    memory_.write_word(base + i * 4, victim.words[i]);
+  }
+  meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kUncompressed,
+                      /*writeback=*/true);
+}
+
+BasicCache::Line& VictimHierarchy::ensure_l2_line(std::uint32_t addr,
+                                                  AccessResult& result) {
+  const std::uint32_t line_addr = config_.l2.line_of(addr);
+  if (BasicCache::Line* line = l2_.find(line_addr)) {
+    l2_.touch(*line);
+    return *line;
+  }
+  result.l2_miss = true;
+  result.served_by = ServedBy::kMemory;
+  result.latency = config_.latency.memory;
+  ++stats_.l2_misses;
+  ++stats_.mem_fetch_lines;
+  const std::uint32_t base = config_.l2.base_of_line(line_addr);
+  std::vector<std::uint32_t> words(config_.l2.words_per_line());
+  for (std::uint32_t i = 0; i < words.size(); ++i) {
+    words[i] = memory_.read_word(base + i * 4);
+  }
+  meter_line_transfer(stats_.traffic, words, base, TransferFormat::kUncompressed,
+                      /*writeback=*/false);
+  retire_l2_victim(l2_.fill(line_addr, words));
+  BasicCache::Line* line = l2_.find(line_addr);
+  assert(line != nullptr);
+  return *line;
+}
+
+void VictimHierarchy::retire_entry(Entry entry) {
+  if (!entry.dirty) return;
+  ++stats_.l1_writebacks;
+  const std::uint32_t base = config_.l1.base_of_line(entry.line_addr);
+  if (BasicCache::Line* l2_line = l2_.find(config_.l2.line_of(base))) {
+    const std::uint32_t word0 = config_.l2.word_of(base);
+    for (std::uint32_t i = 0; i < entry.words.size(); ++i) {
+      l2_.write_word(*l2_line, word0 + i, entry.words[i]);
+    }
+    return;
+  }
+  ++stats_.mem_writebacks;
+  for (std::uint32_t i = 0; i < entry.words.size(); ++i) {
+    memory_.write_word(base + i * 4, entry.words[i]);
+  }
+  meter_line_transfer(stats_.traffic, entry.words, base, TransferFormat::kUncompressed,
+                      /*writeback=*/true);
+}
+
+void VictimHierarchy::park_victim(const BasicCache::Evicted& evicted) {
+  if (!evicted.valid) return;
+  victims_.push_front(Entry{evicted.line_addr, evicted.dirty, evicted.words});
+  if (victims_.size() > capacity_) {
+    Entry last = std::move(victims_.back());
+    victims_.pop_back();
+    retire_entry(std::move(last));
+  }
+}
+
+BasicCache::Line& VictimHierarchy::ensure_line(std::uint32_t addr,
+                                               AccessResult& result) {
+  const std::uint32_t line_addr = config_.l1.line_of(addr);
+  if (BasicCache::Line* line = l1_.find(line_addr)) {
+    l1_.touch(*line);
+    result.latency = config_.latency.l1_hit;
+    result.served_by = ServedBy::kL1;
+    return *line;
+  }
+  // Probe the victim cache: a hit swaps the line back into L1 and parks the
+  // displaced L1 line in its place.
+  for (auto it = victims_.begin(); it != victims_.end(); ++it) {
+    if (it->line_addr != line_addr) continue;
+    ++victim_hits_;
+    ++stats_.l1_affiliated_hits;  // reported as "second chance" hits
+    Entry entry = std::move(*it);
+    victims_.erase(it);
+    const BasicCache::Evicted displaced = l1_.fill(line_addr, entry.words);
+    BasicCache::Line* line = l1_.find(line_addr);
+    assert(line != nullptr);
+    line->dirty = entry.dirty;
+    park_victim(displaced);
+    result.latency = config_.latency.l1_hit + config_.latency.affiliated_extra;
+    result.served_by = ServedBy::kL1Affiliated;
+    return *line;
+  }
+
+  result.l1_miss = true;
+  result.served_by = ServedBy::kL2;
+  result.latency = config_.latency.l2_hit;
+  ++stats_.l1_misses;
+
+  BasicCache::Line& l2_line = ensure_l2_line(addr, result);
+  const std::uint32_t base = config_.l1.base_of_line(line_addr);
+  const std::uint32_t word0 = config_.l2.word_of(base);
+  const std::span<const std::uint32_t> half{l2_line.words.data() + word0,
+                                            config_.l1.words_per_line()};
+  park_victim(l1_.fill(line_addr, half));
+  BasicCache::Line* line = l1_.find(line_addr);
+  assert(line != nullptr);
+  return *line;
+}
+
+AccessResult VictimHierarchy::read(std::uint32_t addr, std::uint32_t& value) {
+  ++stats_.reads;
+  AccessResult result;
+  BasicCache::Line& line = ensure_line(addr, result);
+  value = l1_.read_word(line, config_.l1.word_of(addr));
+  return result;
+}
+
+AccessResult VictimHierarchy::write(std::uint32_t addr, std::uint32_t value) {
+  ++stats_.writes;
+  AccessResult result;
+  BasicCache::Line& line = ensure_line(addr, result);
+  l1_.write_word(line, config_.l1.word_of(addr), value);
+  return result;
+}
+
+}  // namespace cpc::cache

@@ -1,0 +1,56 @@
+#pragma once
+// VC: a direct-mapped L1 backed by a small fully associative victim cache
+// (Jouppi 1990 — the same paper BCP's prefetch buffers come from, reference
+// [3] of the reproduced paper). Evicted L1 lines park in the victim cache;
+// a miss that hits there swaps the line back at a one-cycle penalty.
+//
+// Included as a third related-work comparator: like CPP's affiliated place
+// it gives conflict victims a second chance near the L1, but it needs
+// dedicated storage, holds whole lines only, and cannot prefetch.
+
+#include <cstdint>
+#include <list>
+#include <string>
+
+#include "cache/baseline_hierarchy.hpp"
+
+namespace cpc::cache {
+
+class VictimHierarchy : public MemoryHierarchy {
+ public:
+  explicit VictimHierarchy(HierarchyConfig config = kBaselineConfig,
+                           std::uint32_t victim_entries = 8);
+
+  AccessResult read(std::uint32_t addr, std::uint32_t& value) override;
+  AccessResult write(std::uint32_t addr, std::uint32_t value) override;
+  std::string name() const override { return "VC"; }
+
+  const HierarchyConfig& config() const { return config_; }
+  mem::SparseMemory& memory() { return memory_; }
+  std::uint64_t victim_hits() const { return victim_hits_; }
+  std::size_t victim_occupancy() const { return victims_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t line_addr = 0;
+    bool dirty = false;
+    std::vector<std::uint32_t> words;
+  };
+
+  BasicCache::Line& ensure_line(std::uint32_t addr, AccessResult& result);
+  void park_victim(const BasicCache::Evicted& evicted);
+  void retire_entry(Entry entry);
+
+  BasicCache::Line& ensure_l2_line(std::uint32_t addr, AccessResult& result);
+  void retire_l2_victim(const BasicCache::Evicted& victim);
+
+  HierarchyConfig config_;
+  std::uint32_t capacity_;
+  BasicCache l1_;
+  BasicCache l2_;
+  std::list<Entry> victims_;  // front = MRU
+  mem::SparseMemory memory_;
+  std::uint64_t victim_hits_ = 0;
+};
+
+}  // namespace cpc::cache

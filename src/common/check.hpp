@@ -1,0 +1,20 @@
+#pragma once
+// Always-on invariant checking. Unlike assert(), these fire in every build
+// type: the structural invariants of the compression cache are part of its
+// contract and the property tests exercise them through release binaries.
+
+#include <stdexcept>
+#include <string>
+
+namespace cpc {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+inline void check(bool condition, const std::string& message) {
+  if (!condition) throw InvariantViolation(message);
+}
+
+}  // namespace cpc

@@ -1,0 +1,56 @@
+#pragma once
+// Accumulator for the value-compressibility study of paper Fig. 3:
+// every word-level memory access is classified as compressible small value,
+// compressible pointer, or incompressible.
+
+#include <cstdint>
+
+#include "compress/scheme.hpp"
+
+namespace cpc::compress {
+
+/// Counts classified word accesses; feeds bench/fig03_compressibility.
+class ClassificationStats {
+ public:
+  constexpr explicit ClassificationStats(Scheme scheme = kPaperScheme)
+      : scheme_(scheme) {}
+
+  void record(std::uint32_t value, std::uint32_t address) {
+    switch (scheme_.classify(value, address)) {
+      case ValueClass::kSmallValue: ++small_; break;
+      case ValueClass::kPointer: ++pointer_; break;
+      case ValueClass::kIncompressible: ++incompressible_; break;
+    }
+  }
+
+  std::uint64_t small_values() const { return small_; }
+  std::uint64_t pointers() const { return pointer_; }
+  std::uint64_t incompressible() const { return incompressible_; }
+  std::uint64_t total() const { return small_ + pointer_ + incompressible_; }
+
+  /// Fraction of accesses that were compressible, in [0, 1]; 0 when empty.
+  double compressible_fraction() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>(small_ + pointer_) / static_cast<double>(t);
+  }
+  double small_fraction() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>(small_) / static_cast<double>(t);
+  }
+  double pointer_fraction() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>(pointer_) / static_cast<double>(t);
+  }
+
+  void reset() { small_ = pointer_ = incompressible_ = 0; }
+
+  const Scheme& scheme() const { return scheme_; }
+
+ private:
+  Scheme scheme_;
+  std::uint64_t small_ = 0;
+  std::uint64_t pointer_ = 0;
+  std::uint64_t incompressible_ = 0;
+};
+
+}  // namespace cpc::compress

@@ -1,0 +1,52 @@
+#pragma once
+// Gate-level delay model of the compressor/decompressor (paper Fig. 8).
+//
+// The paper argues both delays are hidden: compression happens before
+// write-back (data is ready early in the pipeline), decompression overlaps
+// tag matching. The model below reproduces the paper's arithmetic — a
+// ceil(log2(n))-level AND/NOR reduction per parallel check plus a fixed
+// priority-encode stage — so the ablation benches can report how the delay
+// grows with the compressed width and confirm the "8 gate delays" figure.
+
+#include <cstdint>
+
+#include "compress/scheme.hpp"
+
+namespace cpc::compress {
+
+/// ceil(log2(n)) for n >= 1, the depth of a binary tree of 2-input gates.
+constexpr unsigned gate_tree_depth(unsigned n) {
+  unsigned depth = 0;
+  unsigned span = 1;
+  while (span < n) {
+    span *= 2;
+    ++depth;
+  }
+  return depth;
+}
+
+/// Gate levels needed to distinguish the three compression cases once the
+/// parallel checks have resolved (paper: "extra delay ... in form of 3
+/// levels of gates").
+inline constexpr unsigned kPriorityLevels = 3;
+
+/// Gate levels on the decompression path: each reconstructed high-order bit
+/// is driven through a flag-enabled 2-level mux (paper Fig. 8b).
+inline constexpr unsigned kDecompressLevels = 2;
+
+/// Total compressor delay in 2-input gate levels for a scheme.
+/// For the paper's scheme: ceil(log2(18)) + 3 = 5 + 3 = 8.
+constexpr unsigned compressor_gate_delay(const Scheme& s) {
+  return gate_tree_depth(s.small_check_bits()) + kPriorityLevels;
+}
+
+/// Total decompressor delay in 2-input gate levels (2 for any width).
+constexpr unsigned decompressor_gate_delay(const Scheme&) {
+  return kDecompressLevels;
+}
+
+static_assert(compressor_gate_delay(kPaperScheme) == 8,
+              "paper reports a total compressor delay of 8 gate levels");
+static_assert(decompressor_gate_delay(kPaperScheme) == 2);
+
+}  // namespace cpc::compress

@@ -1,0 +1,44 @@
+#include "compress/scheme.hpp"
+
+namespace cpc::compress {
+
+ValueClass Scheme::classify(std::uint32_t value, std::uint32_t address) const {
+  // Small value: bits [payload_bits_-1 .. 31] all equal (all-zero or all-one
+  // sign extension). Equivalent to the signed value fitting payload_bits_ bits.
+  const std::uint32_t sign_region = value >> (payload_bits_ - 1);
+  const std::uint32_t all_ones = (1u << (kWordBits - payload_bits_ + 1)) - 1;
+  if (sign_region == 0 || sign_region == all_ones) {
+    return ValueClass::kSmallValue;
+  }
+  // Pointer: high (32 - payload_bits_) bits match those of the address.
+  if ((value & prefix_mask()) == (address & prefix_mask())) {
+    return ValueClass::kPointer;
+  }
+  return ValueClass::kIncompressible;
+}
+
+std::optional<CompressedWord> Scheme::compress(std::uint32_t value,
+                                               std::uint32_t address) const {
+  switch (classify(value, address)) {
+    case ValueClass::kSmallValue:
+      return CompressedWord{value & payload_mask()};
+    case ValueClass::kPointer:
+      return CompressedWord{(value & payload_mask()) | vt_mask()};
+    case ValueClass::kIncompressible:
+      return std::nullopt;
+  }
+  return std::nullopt;  // unreachable
+}
+
+std::uint32_t Scheme::decompress(CompressedWord cw, std::uint32_t address) const {
+  const std::uint32_t payload = cw.bits & payload_mask();
+  if ((cw.bits & vt_mask()) != 0) {
+    // Pointer: borrow the prefix from the address the word lives at.
+    return (address & prefix_mask()) | payload;
+  }
+  // Small value: replicate the sign bit (bit payload_bits_-1) upward.
+  const std::uint32_t sign_bit = payload >> (payload_bits_ - 1);
+  return sign_bit ? (payload | prefix_mask()) : payload;
+}
+
+}  // namespace cpc::compress

@@ -1,0 +1,102 @@
+#pragma once
+// Value compression scheme of Zhang & Gupta (ICPP 2003), section 2.1 / 3.2.
+//
+// A 32-bit word is compressible when either
+//   * it is a "small value": its high-order (33 - P) bits are all zeros or
+//     all ones (i.e. bits [P-1 .. 31] are identical), so they are pure sign
+//     extension and only the low P bits need to be kept; or
+//   * it is a "pointer": its high-order (32 - P) bits equal the same bits of
+//     the *address the word is stored at*, so the prefix can be borrowed from
+//     the address at decompression time.
+//
+// With the paper's parameters (16-bit compressed form, P = 15 payload bits)
+// the small-value check inspects the 18 high-order bits, the pointer check
+// inspects the 17 high-order bits, small values cover [-16384, 16383] and
+// pointers compress within an aligned 32K chunk.
+//
+// The compressed form is P payload bits plus one VT (value-type) flag bit
+// stored with the value; the VC (value-compressed) flag lives outside the
+// value (in the cache line's flag array, see cpc::core::CompressedLine).
+
+#include <cstdint>
+#include <optional>
+
+namespace cpc::compress {
+
+/// Classification of a dynamically accessed word (paper Fig. 2 / Fig. 3).
+enum class ValueClass : std::uint8_t {
+  kSmallValue,      ///< high bits are sign extension; VT = 0
+  kPointer,         ///< high bits match the word's own address; VT = 1
+  kIncompressible,  ///< stored uncompressed; VC = 0
+};
+
+/// A word in compressed form. Only ever produced for compressible words.
+/// Bit layout (for payload width P): bit P = VT, bits [0, P-1] = payload.
+struct CompressedWord {
+  std::uint32_t bits = 0;
+
+  friend bool operator==(const CompressedWord&, const CompressedWord&) = default;
+};
+
+/// A compression scheme with a configurable compressed width.
+///
+/// `compressed_bits` is the total size of the compressed form including the
+/// VT flag; the paper uses 16 (section 2.1: "compressing a 32 bit value down
+/// to 16 bits strikes a good balance"). The ablation benches sweep 8/16/24.
+class Scheme {
+ public:
+  static constexpr unsigned kWordBits = 32;
+
+  /// Constructs a scheme. `compressed_bits` must be in [2, 31].
+  constexpr explicit Scheme(unsigned compressed_bits = 16)
+      : payload_bits_(compressed_bits - 1) {}
+
+  constexpr unsigned compressed_bits() const { return payload_bits_ + 1; }
+  constexpr unsigned payload_bits() const { return payload_bits_; }
+
+  /// Number of high-order bits inspected by the small-value check
+  /// (18 for the paper's parameters).
+  constexpr unsigned small_check_bits() const { return kWordBits - payload_bits_ + 1; }
+
+  /// Number of high-order bits shared with the address for the pointer check
+  /// (17 for the paper's parameters).
+  constexpr unsigned prefix_bits() const { return kWordBits - payload_bits_; }
+
+  /// Most positive / most negative small value representable.
+  constexpr std::int32_t small_max() const {
+    return static_cast<std::int32_t>((1u << (payload_bits_ - 1)) - 1);
+  }
+  constexpr std::int32_t small_min() const { return -small_max() - 1; }
+
+  /// Classifies `value` stored at `address` (paper checks (i)-(iii), Fig. 8a).
+  /// The small-value checks win ties with the pointer check; both decodings
+  /// agree whenever both conditions hold, so the priority is unobservable.
+  ValueClass classify(std::uint32_t value, std::uint32_t address) const;
+
+  bool is_compressible(std::uint32_t value, std::uint32_t address) const {
+    return classify(value, address) != ValueClass::kIncompressible;
+  }
+
+  /// Compresses `value` stored at `address`; empty when incompressible.
+  std::optional<CompressedWord> compress(std::uint32_t value,
+                                         std::uint32_t address) const;
+
+  /// Reconstructs the original word from its compressed form. `address` must
+  /// be the address the word is stored at (pointer prefixes are borrowed
+  /// from it, paper Fig. 1a).
+  std::uint32_t decompress(CompressedWord cw, std::uint32_t address) const;
+
+  friend bool operator==(const Scheme&, const Scheme&) = default;
+
+ private:
+  constexpr std::uint32_t payload_mask() const { return (1u << payload_bits_) - 1; }
+  constexpr std::uint32_t vt_mask() const { return 1u << payload_bits_; }
+  constexpr std::uint32_t prefix_mask() const { return ~payload_mask(); }
+
+  unsigned payload_bits_;
+};
+
+/// The scheme the paper evaluates: 16-bit compressed words.
+inline constexpr Scheme kPaperScheme{16};
+
+}  // namespace cpc::compress

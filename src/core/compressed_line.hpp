@@ -1,0 +1,105 @@
+#pragma once
+// One physical cache line of the compression cache (paper Fig. 7).
+//
+// A physical line can hold content from two cache lines: the *primary* line
+// (the line a conventional cache would map here) and its *affiliated* line
+// (line address = primary ^ mask). Per-word flags:
+//
+//   PA  (primary availability)   — word i of the primary line is present
+//   AA  (affiliated availability)— word i of the affiliated line is present
+//   VCP (value compressed, primary) — primary word i is stored compressed,
+//        freeing the half-slot the affiliated word i occupies
+//
+// An affiliated word is necessarily compressible (it is stored in 16-bit
+// form) and may only occupy slot i when the primary word there is itself
+// compressed or absent. The simulator stores primary words uncompressed for
+// convenience; VCP records what the hardware layout would be, which is what
+// gates affiliated packing.
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/scheme.hpp"
+
+namespace cpc::core {
+
+class CompressedLine {
+ public:
+  CompressedLine() = default;
+  explicit CompressedLine(std::uint32_t words_per_line)
+      : primary_(words_per_line, 0), affiliated_(words_per_line, 0) {}
+
+  bool valid = false;
+  bool dirty = false;  ///< applies to primary content; affiliated copies are clean
+  std::uint32_t line_addr = 0;  ///< primary line address
+  std::uint64_t last_use = 0;
+
+  std::uint32_t words_per_line() const {
+    return static_cast<std::uint32_t>(primary_.size());
+  }
+
+  // --- flag accessors -------------------------------------------------
+  bool has_primary(std::uint32_t i) const { return (pa_ >> i) & 1u; }
+  bool has_affiliated(std::uint32_t i) const { return (aa_ >> i) & 1u; }
+  bool primary_compressed(std::uint32_t i) const { return (vcp_ >> i) & 1u; }
+
+  std::uint32_t pa_mask() const { return pa_; }
+  std::uint32_t aa_mask() const { return aa_; }
+  std::uint32_t vcp_mask() const { return vcp_; }
+
+  /// True when slot i can accept an affiliated word: no affiliated word yet
+  /// and the primary half-slot is free (word compressed or absent).
+  bool slot_free_for_affiliated(std::uint32_t i) const {
+    return !has_affiliated(i) && (!has_primary(i) || primary_compressed(i));
+  }
+
+  // --- primary content -------------------------------------------------
+  std::uint32_t primary_word(std::uint32_t i) const { return primary_[i]; }
+
+  /// Installs/overwrites primary word i with `value` stored at `addr`,
+  /// recomputing VCP. Returns true when the word transitioned from
+  /// compressed to uncompressed storage (the transition of section 3.3).
+  bool set_primary_word(std::uint32_t i, std::uint32_t value, std::uint32_t addr,
+                        const compress::Scheme& scheme) {
+    const bool was_compressed = has_primary(i) && primary_compressed(i);
+    primary_[i] = value;
+    pa_ |= 1u << i;
+    const bool now_compressed = scheme.is_compressible(value, addr);
+    if (now_compressed) {
+      vcp_ |= 1u << i;
+    } else {
+      vcp_ &= ~(1u << i);
+    }
+    return was_compressed && !now_compressed;
+  }
+
+  void clear_primary() {
+    pa_ = 0;
+    vcp_ = 0;
+    dirty = false;
+  }
+
+  // --- affiliated content ----------------------------------------------
+  compress::CompressedWord affiliated_word(std::uint32_t i) const {
+    return compress::CompressedWord{affiliated_[i]};
+  }
+
+  void set_affiliated_word(std::uint32_t i, compress::CompressedWord cw) {
+    affiliated_[i] = cw.bits;
+    aa_ |= 1u << i;
+  }
+
+  void drop_affiliated_word(std::uint32_t i) { aa_ &= ~(1u << i); }
+  void drop_all_affiliated() { aa_ = 0; }
+
+ private:
+  std::uint32_t pa_ = 0;
+  std::uint32_t aa_ = 0;
+  std::uint32_t vcp_ = 0;
+  std::vector<std::uint32_t> primary_;  // uncompressed primary values
+  // Compressed affiliated values; 16 bits for the paper's scheme, stored in
+  // 32-bit slots so the width-ablation schemes (up to 24 bits) fit too.
+  std::vector<std::uint32_t> affiliated_;
+};
+
+}  // namespace cpc::core

@@ -1,0 +1,254 @@
+#include "core/cpp_cache.hpp"
+
+#include <cassert>
+
+#include "common/check.hpp"
+
+namespace cpc::core {
+
+CppCache::CppCache(cache::CacheGeometry geometry, compress::Scheme scheme,
+                   std::uint32_t affiliation_mask, bool affiliation_enabled)
+    : geo_(geometry),
+      scheme_(scheme),
+      mask_(affiliation_mask),
+      affiliation_enabled_(affiliation_enabled) {
+  assert(geo_.words_per_line() <= 32 && "flag masks are 32 bits wide");
+  assert(geo_.num_sets() >= 2 && "affiliation needs at least two sets");
+  lines_.reserve(static_cast<std::size_t>(geo_.num_sets()) * geo_.ways);
+  for (std::uint32_t i = 0; i < geo_.num_sets() * geo_.ways; ++i) {
+    lines_.emplace_back(geo_.words_per_line());
+  }
+}
+
+CompressedLine* CppCache::find_primary(std::uint32_t line_addr) {
+  const std::uint32_t set = geo_.set_of_line(line_addr);
+  for (std::uint32_t w = 0; w < geo_.ways; ++w) {
+    CompressedLine& line = lines_[static_cast<std::size_t>(set) * geo_.ways + w];
+    if (line.valid && line.line_addr == line_addr) return &line;
+  }
+  return nullptr;
+}
+
+const CompressedLine* CppCache::find_primary(std::uint32_t line_addr) const {
+  return const_cast<CppCache*>(this)->find_primary(line_addr);
+}
+
+CompressedLine* CppCache::find_affiliated_host(std::uint32_t line_addr) {
+  CompressedLine* buddy = find_primary(buddy_of(line_addr));
+  return (buddy != nullptr && buddy->aa_mask() != 0) ? buddy : nullptr;
+}
+
+const CompressedLine* CppCache::find_affiliated_host(std::uint32_t line_addr) const {
+  return const_cast<CppCache*>(this)->find_affiliated_host(line_addr);
+}
+
+bool CppCache::peek_word(std::uint32_t line_addr, std::uint32_t i,
+                         std::uint32_t& value) const {
+  if (const CompressedLine* p = find_primary(line_addr); p && p->has_primary(i)) {
+    value = p->primary_word(i);
+    return true;
+  }
+  if (const CompressedLine* h = find_affiliated_host(line_addr); h && h->has_affiliated(i)) {
+    value = scheme_.decompress(h->affiliated_word(i), word_addr(line_addr, i));
+    return true;
+  }
+  return false;
+}
+
+CompressedLine& CppCache::victim_way(std::uint32_t set) {
+  CompressedLine* victim = nullptr;
+  for (std::uint32_t w = 0; w < geo_.ways; ++w) {
+    CompressedLine& line = lines_[static_cast<std::size_t>(set) * geo_.ways + w];
+    if (!line.valid) return line;
+    if (victim == nullptr || line.last_use < victim->last_use) victim = &line;
+  }
+  return *victim;
+}
+
+CompressedLine& CppCache::install(const IncomingLine& incoming, WritebackSink& sink) {
+  const std::uint32_t L = incoming.line_addr;
+  const std::uint32_t n = geo_.words_per_line();
+  assert(incoming.words.size() == n && incoming.aff_words.size() == n);
+
+  // Case 1: L already primary-resident — merge the missing words only, so
+  // locally dirty words are never clobbered by (possibly older) lower-level
+  // data.
+  if (CompressedLine* line = find_primary(L)) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (((incoming.present >> i) & 1u) && !line->has_primary(i)) {
+        line->set_primary_word(i, incoming.words[i], word_addr(L, i), scheme_);
+        // An incompressible merged word claims the whole slot: the primary
+        // line has priority, so a prefetched affiliated word there is
+        // evicted (clean — simply dropped).
+        if (!line->primary_compressed(i) && line->has_affiliated(i)) {
+          line->drop_affiliated_word(i);
+          ++aff_word_evictions_;
+        }
+      }
+    }
+    // Merge prefetched affiliated words into still-free slots, unless the
+    // affiliated line is resident as a primary line somewhere.
+    if (find_primary(buddy_of(L)) == nullptr) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (((incoming.aff_present >> i) & 1u) && line->slot_free_for_affiliated(i)) {
+          line->set_affiliated_word(i, compress::CompressedWord{incoming.aff_words[i]});
+        }
+      }
+    }
+    touch(*line);
+    return *line;
+  }
+
+  // Case 2: fresh install. First fold in any affiliated copy of L (it is
+  // clean and consistent with the level below, so it can only widen
+  // coverage), then drop it — a line lives in one place at a time.
+  IncomingLine merged = incoming;
+  if (CompressedLine* host = find_affiliated_host(L)) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (host->has_affiliated(i) && !((merged.present >> i) & 1u)) {
+        merged.words[i] = scheme_.decompress(host->affiliated_word(i), word_addr(L, i));
+        merged.present |= 1u << i;
+      }
+    }
+    host->drop_all_affiliated();
+  }
+
+  // Evict the victim: write back dirty words, then try to keep a clean
+  // partial copy in the victim's affiliated place (section 3.3).
+  CompressedLine& slot = victim_way(geo_.set_of_line(L));
+  if (slot.valid) {
+    if (slot.dirty && slot.pa_mask() != 0) {
+      std::vector<std::uint32_t> words(n, 0);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (slot.has_primary(i)) words[i] = slot.primary_word(i);
+      }
+      sink.writeback(slot.line_addr, slot.pa_mask(), words);
+    }
+    std::vector<std::uint32_t> keep(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (slot.has_primary(i)) keep[i] = slot.primary_word(i);
+    }
+    const std::uint32_t victim_addr = slot.line_addr;
+    const std::uint32_t victim_mask = slot.pa_mask();
+    // Invalidate before demotion so the demoted copy is the only copy.
+    slot.valid = false;
+    slot.clear_primary();
+    slot.drop_all_affiliated();
+    demote_into_affiliated(victim_addr, victim_mask, keep);
+  }
+
+  slot.valid = true;
+  slot.dirty = false;
+  slot.line_addr = L;
+  slot.clear_primary();
+  slot.drop_all_affiliated();
+  slot.valid = true;  // clear_primary leaves valid untouched; be explicit anyway
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if ((merged.present >> i) & 1u) {
+      slot.set_primary_word(i, merged.words[i], word_addr(L, i), scheme_);
+    }
+  }
+  slot.dirty = false;  // set_primary_word never dirties; fills are clean
+
+  // Attach the prefetched affiliated half unless that line is already
+  // resident in its primary place ("the prefetched affiliated line is
+  // discarded if it is already in the cache", section 3.3).
+  if (find_primary(buddy_of(L)) == nullptr) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (((merged.aff_present >> i) & 1u) && slot.slot_free_for_affiliated(i)) {
+        slot.set_affiliated_word(i, compress::CompressedWord{merged.aff_words[i]});
+      }
+    }
+  }
+  touch(slot);
+  return slot;
+}
+
+CompressedLine& CppCache::promote(std::uint32_t line_addr, WritebackSink& sink) {
+  CompressedLine* host = find_affiliated_host(line_addr);
+  assert(host != nullptr && "promote requires an affiliated copy");
+  const std::uint32_t n = geo_.words_per_line();
+
+  IncomingLine img;
+  img.line_addr = line_addr;
+  img.words.assign(n, 0);
+  img.aff_words.assign(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (host->has_affiliated(i)) {
+      img.words[i] = scheme_.decompress(host->affiliated_word(i), word_addr(line_addr, i));
+      img.present |= 1u << i;
+    }
+  }
+  host->drop_all_affiliated();
+  ++promotions_;
+  return install(img, sink);
+}
+
+void CppCache::write_primary_word(CompressedLine& line, std::uint32_t i,
+                                  std::uint32_t value) {
+  const std::uint32_t addr = word_addr(line.line_addr, i);
+  const bool lost_compression = line.set_primary_word(i, value, addr, scheme_);
+  // An uncompressed primary word needs the whole slot: the affiliated word
+  // sharing it is evicted (it is clean, so it is simply dropped). The paper
+  // gives priority to the primary line's words (section 3.3).
+  if ((lost_compression || !line.primary_compressed(i)) && line.has_affiliated(i)) {
+    line.drop_affiliated_word(i);
+    ++aff_word_evictions_;
+  }
+  line.dirty = true;
+}
+
+std::uint32_t CppCache::demote_into_affiliated(std::uint32_t line_addr,
+                                               std::uint32_t mask,
+                                               std::span<const std::uint32_t> words) {
+  if (!affiliation_enabled_) return 0;
+  CompressedLine* buddy = find_primary(buddy_of(line_addr));
+  if (buddy == nullptr) return 0;
+  std::uint32_t packed = 0;
+  for (std::uint32_t i = 0; i < geo_.words_per_line(); ++i) {
+    if (!((mask >> i) & 1u) || !buddy->slot_free_for_affiliated(i)) continue;
+    const auto cw = scheme_.compress(words[i], word_addr(line_addr, i));
+    if (!cw) continue;  // incompressible words cannot live in a half-slot
+    buddy->set_affiliated_word(i, *cw);
+    ++packed;
+  }
+  if (packed > 0) ++demotions_;
+  return packed;
+}
+
+void CppCache::validate() const {
+  for (const CompressedLine& line : lines_) {
+    if (!line.valid) continue;
+    const std::uint32_t n = geo_.words_per_line();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (line.has_affiliated(i)) {
+        // AA[i] requires a free primary half-slot.
+        check(!line.has_primary(i) || line.primary_compressed(i),
+              "AA bit set over an uncompressed primary word");
+        // An affiliated word is stored compressed, so it must decompress to
+        // a value that is itself compressible at its address.
+        const std::uint32_t aff_addr = word_addr(buddy_of(line.line_addr), i);
+        const std::uint32_t value = scheme_.decompress(line.affiliated_word(i), aff_addr);
+        check(scheme_.is_compressible(value, aff_addr),
+              "affiliated word does not round-trip through compression");
+      }
+      if (line.has_primary(i) && line.primary_compressed(i)) {
+        check(scheme_.is_compressible(line.primary_word(i),
+                                      word_addr(line.line_addr, i)),
+              "VCP flag disagrees with the compression scheme");
+      }
+    }
+    // At most one copy of any line: if this line's buddy is primary
+    // resident, this line must not also carry affiliated content for it.
+    if (line.aa_mask() != 0) {
+      check(find_primary(buddy_of(line.line_addr)) == nullptr,
+            "line present both as primary and as affiliated copy");
+    }
+    if (line.dirty) {
+      check(line.pa_mask() != 0, "dirty line with no primary words");
+    }
+  }
+}
+
+}  // namespace cpc::core

@@ -1,0 +1,125 @@
+#pragma once
+// One level of the CPP compression cache (paper section 3).
+//
+// Placement: a line L may reside in its *primary* location (the set a
+// conventional cache maps it to) or packed, in compressed form, into the
+// free half-slots of the physical line whose primary tag is L ^ mask (its
+// *affiliated* location). At most one copy exists at a time.
+//
+// This class owns placement, lookup, partial fills, victim demotion and
+// write promotion; the enclosing CppHierarchy owns the inter-level protocol
+// and traffic metering. Dirty data leaving the cache is handed to a
+// WritebackSink.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "compress/scheme.hpp"
+#include "core/compressed_line.hpp"
+
+namespace cpc::core {
+
+/// Receives dirty words evicted from a CppCache. `mask` flags which entries
+/// of `words` are valid; `words` is indexed by word offset within the line.
+class WritebackSink {
+ public:
+  virtual ~WritebackSink() = default;
+  virtual void writeback(std::uint32_t line_addr, std::uint32_t mask,
+                         std::span<const std::uint32_t> words) = 0;
+};
+
+/// A (possibly partial) line image moving into a CppCache: the primary
+/// line's available words plus the prefetched compressible words of its
+/// affiliated line.
+struct IncomingLine {
+  std::uint32_t line_addr = 0;
+  std::uint32_t present = 0;  ///< mask over primary words
+  std::vector<std::uint32_t> words;  ///< full line size; valid where `present`
+  std::uint32_t aff_present = 0;  ///< mask over affiliated (line_addr ^ mask) words
+  std::vector<std::uint32_t> aff_words;  ///< compressed forms; valid where `aff_present`
+};
+
+class CppCache {
+ public:
+  /// `affiliation_enabled = false` turns the level into a plain partial-line
+  /// cache: no affiliated packing, demotion, or affiliated hits (used by the
+  /// per-level ablation).
+  CppCache(cache::CacheGeometry geometry, compress::Scheme scheme,
+           std::uint32_t affiliation_mask = cache::kAffiliationMask,
+           bool affiliation_enabled = true);
+
+  const cache::CacheGeometry& geometry() const { return geo_; }
+  const compress::Scheme& scheme() const { return scheme_; }
+  std::uint32_t affiliation_mask() const { return mask_; }
+
+  std::uint32_t buddy_of(std::uint32_t line_addr) const { return line_addr ^ mask_; }
+
+  /// Byte address of word i of line `line_addr`.
+  std::uint32_t word_addr(std::uint32_t line_addr, std::uint32_t i) const {
+    return geo_.base_of_line(line_addr) + i * 4;
+  }
+
+  /// Resident physical line whose primary tag is `line_addr`, or nullptr.
+  CompressedLine* find_primary(std::uint32_t line_addr);
+  const CompressedLine* find_primary(std::uint32_t line_addr) const;
+
+  /// Physical line currently hosting an affiliated copy of `line_addr`
+  /// (i.e. the primary-resident buddy with at least one AA bit), or nullptr.
+  CompressedLine* find_affiliated_host(std::uint32_t line_addr);
+  const CompressedLine* find_affiliated_host(std::uint32_t line_addr) const;
+
+  void touch(CompressedLine& line) { line.last_use = ++clock_; }
+
+  /// Reads the current value of word i of line `line_addr` if any copy
+  /// (primary or affiliated) holds it. Returns false when absent.
+  bool peek_word(std::uint32_t line_addr, std::uint32_t i, std::uint32_t& value) const;
+
+  /// Installs (or merges) `incoming` as a primary line. Existing dirty words
+  /// are never overwritten by the merge; the prefetched affiliated half is
+  /// discarded if that line is already resident; a valid victim is written
+  /// back via `sink` when dirty and then demoted into its affiliated place
+  /// when its buddy is primary-resident. Returns the installed line.
+  CompressedLine& install(const IncomingLine& incoming, WritebackSink& sink);
+
+  /// Moves the affiliated copy of `line_addr` into its primary place (the
+  /// paper's write-promotion, section 3.3). Requires an affiliated copy to
+  /// exist. Returns the promoted (partial, clean) primary line.
+  CompressedLine& promote(std::uint32_t line_addr, WritebackSink& sink);
+
+  /// Writes `value` into primary word i (write-validate: the word need not
+  /// be present beforehand). Handles the compressible→incompressible
+  /// transition by evicting the conflicting affiliated word (clean, so it is
+  /// simply dropped). Marks the line dirty.
+  void write_primary_word(CompressedLine& line, std::uint32_t i, std::uint32_t value);
+
+  /// Packs the compressible words of a (clean) line image into the free
+  /// half-slots of the buddy's physical line, if the buddy is primary
+  /// resident. Returns the number of words packed.
+  std::uint32_t demote_into_affiliated(std::uint32_t line_addr, std::uint32_t mask,
+                                       std::span<const std::uint32_t> words);
+
+  /// Checks the structural invariants of every resident line (asserts).
+  void validate() const;
+
+  /// Counters the hierarchy exposes.
+  std::uint64_t demotions() const { return demotions_; }
+  std::uint64_t promotions() const { return promotions_; }
+  std::uint64_t affiliated_word_evictions() const { return aff_word_evictions_; }
+
+ private:
+  CompressedLine& victim_way(std::uint32_t set);
+
+  cache::CacheGeometry geo_;
+  compress::Scheme scheme_;
+  std::uint32_t mask_;
+  bool affiliation_enabled_;
+  std::vector<CompressedLine> lines_;  // sets * ways
+  std::uint64_t clock_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t aff_word_evictions_ = 0;
+};
+
+}  // namespace cpc::core

@@ -1,0 +1,303 @@
+#include "core/cpp_hierarchy.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace cpc::core {
+
+namespace {
+/// All-ones mask over `n` words (n <= 32).
+constexpr std::uint32_t full_mask(std::uint32_t n) {
+  return n >= 32 ? 0xffff'ffffu : (1u << n) - 1u;
+}
+}  // namespace
+
+CppHierarchy::CppHierarchy(Options options)
+    : options_(std::move(options)),
+      l1_(options_.config.l1, options_.scheme, options_.affiliation_mask,
+          options_.prefetch_l1),
+      l2_(options_.config.l2, options_.scheme, options_.affiliation_mask,
+          options_.prefetch_l2),
+      l1_sink_(*this),
+      l2_sink_(*this) {}
+
+CppHierarchy::L2View CppHierarchy::l2_view(std::uint32_t l2_line) const {
+  L2View view;
+  if (const CompressedLine* p = l2_.find_primary(l2_line)) {
+    view.primary = p;
+    view.avail = p->pa_mask();
+    return view;
+  }
+  if (const CompressedLine* h = l2_.find_affiliated_host(l2_line)) {
+    view.aff_host = h;
+    view.avail = h->aa_mask();
+  }
+  return view;
+}
+
+std::uint32_t CppHierarchy::l2_view_word(const L2View& view, std::uint32_t l2_line,
+                                         std::uint32_t i) const {
+  assert((view.avail >> i) & 1u);
+  if (view.primary != nullptr) return view.primary->primary_word(i);
+  return options_.scheme.decompress(view.aff_host->affiliated_word(i),
+                                    l2_.word_addr(l2_line, i));
+}
+
+CppHierarchy::L2View CppHierarchy::ensure_l2_word(std::uint32_t addr,
+                                                  cache::AccessResult& result) {
+  const std::uint32_t q = options_.config.l2.line_of(addr);
+  const std::uint32_t wq = options_.config.l2.word_of(addr);
+  const std::uint32_t n2 = options_.config.l2.words_per_line();
+
+  if (CompressedLine* p = l2_.find_primary(q); p && p->has_primary(wq)) {
+    l2_.touch(*p);
+    result.served_by = cache::ServedBy::kL2;
+    result.latency = options_.config.latency.l2_hit;
+    return l2_view(q);
+  }
+  if (CompressedLine* h = l2_.find_affiliated_host(q); h && h->has_affiliated(wq)) {
+    l2_.touch(*h);
+    ++stats_.l2_affiliated_hits;
+    result.served_by = cache::ServedBy::kL2Affiliated;
+    result.latency = options_.config.latency.l2_hit + options_.config.latency.affiliated_extra;
+    return l2_view(q);
+  }
+
+  // L2 miss: fetch the full primary line from memory. The bus transfer costs
+  // exactly one uncompressed L2 line; the affiliated line's compressible
+  // words travel in the compression slack for free (section 3.3).
+  result.l2_miss = true;
+  result.served_by = cache::ServedBy::kMemory;
+  result.latency = options_.config.latency.memory;
+  ++stats_.l2_misses;
+  ++stats_.mem_fetch_lines;
+
+  IncomingLine in;
+  in.line_addr = q;
+  in.words.assign(n2, 0);
+  in.aff_words.assign(n2, 0);
+  in.present = full_mask(n2);
+  const std::uint32_t base = options_.config.l2.base_of_line(q);
+  for (std::uint32_t i = 0; i < n2; ++i) in.words[i] = memory_.read_word(base + i * 4);
+  stats_.traffic.add_uncompressed_words(n2);
+
+  if (options_.prefetch_l2) {
+    const std::uint32_t buddy = l2_.buddy_of(q);
+    for (std::uint32_t i = 0; i < n2; ++i) {
+      // A half-slot frees up only where the primary word is compressible.
+      if (!options_.scheme.is_compressible(in.words[i], l2_.word_addr(q, i))) continue;
+      const std::uint32_t aff_addr = l2_.word_addr(buddy, i);
+      const auto cw = options_.scheme.compress(memory_.read_word(aff_addr), aff_addr);
+      if (!cw) continue;
+      in.aff_present |= 1u << i;
+      in.aff_words[i] = cw->bits;
+    }
+  }
+  l2_.install(in, l2_sink_);
+  return l2_view(q);
+}
+
+IncomingLine CppHierarchy::l2_request_word(std::uint32_t addr,
+                                           cache::AccessResult& result) {
+  const L2View view = ensure_l2_word(addr, result);
+  const std::uint32_t q = options_.config.l2.line_of(addr);
+  const std::uint32_t l1_line = options_.config.l1.line_of(addr);
+  const std::uint32_t n1 = options_.config.l1.words_per_line();
+  // Word offset of the L1 half-line within the L2 line.
+  const std::uint32_t offset =
+      options_.config.l2.word_of(options_.config.l1.base_of_line(l1_line));
+
+  IncomingLine resp;
+  resp.line_addr = l1_line;
+  resp.words.assign(n1, 0);
+  resp.aff_words.assign(n1, 0);
+  for (std::uint32_t i = 0; i < n1; ++i) {
+    const std::uint32_t qi = offset + i;
+    if ((view.avail >> qi) & 1u) {
+      resp.words[i] = l2_view_word(view, q, qi);
+      resp.present |= 1u << i;
+    }
+  }
+  assert((resp.present >> options_.config.l1.word_of(addr)) & 1u);
+
+  if (options_.prefetch_l1) {
+    // Pack the compressible words of the L1 affiliated line. With the
+    // paper's mask (0x1) this is the other half of the same L2 line; with
+    // ablation masks it may live in a different L2 line — pack only if that
+    // line is resident (no extra traffic is ever spent on prefetching).
+    const std::uint32_t aff_line = l1_.buddy_of(l1_line);
+    const std::uint32_t aff_q = options_.config.l2.line_of(
+        options_.config.l1.base_of_line(aff_line));
+    const L2View aff_view = aff_q == q ? view : l2_view(aff_q);
+    if (aff_view.resident()) {
+      const std::uint32_t aff_offset =
+          options_.config.l2.word_of(options_.config.l1.base_of_line(aff_line));
+      for (std::uint32_t i = 0; i < n1; ++i) {
+        const std::uint32_t qa = aff_offset + i;
+        if (!((aff_view.avail >> qa) & 1u)) continue;
+        // Pairing rule (section 3.3): an affiliated word travels only when
+        // it is compressible and the corresponding primary word leaves the
+        // half-slot free (compressible or absent).
+        if ((resp.present >> i) & 1u) {
+          if (!options_.scheme.is_compressible(resp.words[i], l1_.word_addr(l1_line, i))) {
+            continue;
+          }
+        }
+        const std::uint32_t aff_addr = l1_.word_addr(aff_line, i);
+        const auto cw =
+            options_.scheme.compress(l2_view_word(aff_view, aff_q, qa), aff_addr);
+        if (!cw) continue;
+        resp.aff_present |= 1u << i;
+        resp.aff_words[i] = cw->bits;
+      }
+    }
+  }
+  return resp;
+}
+
+void CppHierarchy::accept_l1_writeback(std::uint32_t l1_line, std::uint32_t mask,
+                                       std::span<const std::uint32_t> words) {
+  ++stats_.l1_writebacks;
+  const std::uint32_t base = options_.config.l1.base_of_line(l1_line);
+  const std::uint32_t q = options_.config.l2.line_of(base);
+  const std::uint32_t offset = options_.config.l2.word_of(base);
+  const std::uint32_t n1 = options_.config.l1.words_per_line();
+
+  CompressedLine* line = l2_.find_primary(q);
+  if (line == nullptr) {
+    // The line may exist as a clean prefetched affiliated copy. If the copy
+    // plus the written-back words cover the whole line, promoting costs no
+    // more than the write-allocate fill a conventional L2 performs — and
+    // saves the memory write-back. A *sparse* copy is dropped instead:
+    // promoting it would evict a (typically full, hot) primary line to make
+    // room for mostly-absent data, which measurably hurts low-
+    // compressibility programs.
+    if (CompressedLine* host = l2_.find_affiliated_host(q)) {
+      const std::uint32_t n2 = options_.config.l2.words_per_line();
+      const std::uint32_t coverage = host->aa_mask() | (mask << offset);
+      if (coverage == full_mask(n2)) {
+        line = &l2_.promote(q, l2_sink_);
+        ++stats_.partial_promotions;
+      } else {
+        host->drop_all_affiliated();
+      }
+    }
+  }
+  if (line != nullptr) {
+    // Merge without touching LRU state: a write-back is not a demand
+    // reference (matches the baseline hierarchy's behaviour).
+    for (std::uint32_t i = 0; i < n1; ++i) {
+      if ((mask >> i) & 1u) l2_.write_primary_word(*line, offset + i, words[i]);
+    }
+    return;
+  }
+  // Not resident at L2: non-allocating write-back straight to memory,
+  // transferred in compressed form.
+  ++stats_.mem_writebacks;
+  for (std::uint32_t i = 0; i < n1; ++i) {
+    if (!((mask >> i) & 1u)) continue;
+    const std::uint32_t addr = base + i * 4;
+    memory_.write_word(addr, words[i]);
+    if (options_.scheme.is_compressible(words[i], addr)) {
+      stats_.traffic.add_writeback_compressed_words();
+    } else {
+      stats_.traffic.add_writeback_uncompressed_words();
+    }
+  }
+}
+
+void CppHierarchy::writeback_to_memory(std::uint32_t l2_line, std::uint32_t mask,
+                                       std::span<const std::uint32_t> words) {
+  ++stats_.mem_writebacks;
+  const std::uint32_t base = options_.config.l2.base_of_line(l2_line);
+  for (std::uint32_t i = 0; i < options_.config.l2.words_per_line(); ++i) {
+    if (!((mask >> i) & 1u)) continue;
+    const std::uint32_t addr = base + i * 4;
+    memory_.write_word(addr, words[i]);
+    if (options_.scheme.is_compressible(words[i], addr)) {
+      stats_.traffic.add_writeback_compressed_words();
+    } else {
+      stats_.traffic.add_writeback_uncompressed_words();
+    }
+  }
+}
+
+CompressedLine& CppHierarchy::fill_l1_line(std::uint32_t addr,
+                                           cache::AccessResult& result) {
+  const IncomingLine resp = l2_request_word(addr, result);
+  CompressedLine& line = l1_.install(resp, l1_sink_);
+  assert(line.has_primary(options_.config.l1.word_of(addr)));
+  return line;
+}
+
+cache::AccessResult CppHierarchy::read(std::uint32_t addr, std::uint32_t& value) {
+  ++stats_.reads;
+  cache::AccessResult result;
+  const std::uint32_t l1_line = options_.config.l1.line_of(addr);
+  const std::uint32_t w = options_.config.l1.word_of(addr);
+
+  if (CompressedLine* p = l1_.find_primary(l1_line); p && p->has_primary(w)) {
+    l1_.touch(*p);
+    value = p->primary_word(w);
+    result.latency = options_.config.latency.l1_hit;
+    result.served_by = cache::ServedBy::kL1;
+    return result;
+  }
+  if (CompressedLine* h = l1_.find_affiliated_host(l1_line); h && h->has_affiliated(w)) {
+    // Affiliated hit: data returns one cycle later; reads do not promote.
+    l1_.touch(*h);
+    value = options_.scheme.decompress(h->affiliated_word(w), addr & ~3u);
+    ++stats_.l1_affiliated_hits;
+    result.latency = options_.config.latency.l1_hit + options_.config.latency.affiliated_extra;
+    result.served_by = cache::ServedBy::kL1Affiliated;
+    return result;
+  }
+
+  result.l1_miss = true;
+  ++stats_.l1_misses;
+  CompressedLine& line = fill_l1_line(addr, result);
+  value = line.primary_word(w);
+  return result;
+}
+
+cache::AccessResult CppHierarchy::write(std::uint32_t addr, std::uint32_t value) {
+  ++stats_.writes;
+  cache::AccessResult result;
+  const std::uint32_t l1_line = options_.config.l1.line_of(addr);
+  const std::uint32_t w = options_.config.l1.word_of(addr);
+
+  if (CompressedLine* p = l1_.find_primary(l1_line)) {
+    // Hit, or write-validate of a missing word in a resident partial line
+    // (the per-word PA bits make the merge unambiguous).
+    l1_.touch(*p);
+    l1_.write_primary_word(*p, w, value);
+    result.latency = options_.config.latency.l1_hit;
+    result.served_by = cache::ServedBy::kL1;
+    return result;
+  }
+  if (CompressedLine* h = l1_.find_affiliated_host(l1_line); h && h->has_affiliated(w)) {
+    // Write hit in the affiliated place: bring the line to its primary
+    // place, then update (section 3.3). Handles the incompressible-value
+    // case too — write_primary_word re-derives VCP.
+    CompressedLine& promoted = l1_.promote(l1_line, l1_sink_);
+    ++stats_.partial_promotions;
+    l1_.write_primary_word(promoted, w, value);
+    result.latency = options_.config.latency.l1_hit + options_.config.latency.affiliated_extra;
+    result.served_by = cache::ServedBy::kL1Affiliated;
+    return result;
+  }
+
+  // Write miss: word-based fetch, then update (write-allocate).
+  result.l1_miss = true;
+  ++stats_.l1_misses;
+  CompressedLine& line = fill_l1_line(addr, result);
+  l1_.write_primary_word(line, w, value);
+  return result;
+}
+
+void CppHierarchy::validate() const {
+  l1_.validate();
+  l2_.validate();
+}
+
+}  // namespace cpc::core

@@ -1,0 +1,114 @@
+#pragma once
+// CPP: the paper's compression-enabled partial-cache-line-prefetching
+// hierarchy (sections 3.1–3.3).
+//
+//  * CPU ↔ L1: both the primary and the affiliated location are probed; an
+//    affiliated hit costs one extra cycle; a write hit in the affiliated
+//    location promotes the line to its primary place.
+//  * L1 ↔ L2: requests are word-based; an L2 hit returns the available words
+//    of the enclosing L1-sized half-line plus the compressible words of the
+//    other half (the L1 affiliated line — both halves share one L2 line).
+//  * L2 ↔ memory: a miss fetches the full L2 line (full line bandwidth) and
+//    the compressible words of the L2 affiliated line ride along in the
+//    compression slack, so the bus cost equals one uncompressed line.
+//
+// Dirty evictions write back through the levels; a written-back line may
+// leave a clean partial copy in its affiliated place (demotion).
+
+#include <cstdint>
+#include <string>
+
+#include "cache/config.hpp"
+#include "cache/hierarchy.hpp"
+#include "compress/scheme.hpp"
+#include "core/cpp_cache.hpp"
+#include "mem/sparse_memory.hpp"
+
+namespace cpc::core {
+
+class CppHierarchy : public cache::MemoryHierarchy {
+ public:
+  struct Options {
+    cache::HierarchyConfig config = cache::kBaselineConfig;
+    compress::Scheme scheme = compress::kPaperScheme;
+    std::uint32_t affiliation_mask = cache::kAffiliationMask;
+    bool prefetch_l1 = true;  ///< pack affiliated words at the L1 level
+    bool prefetch_l2 = true;  ///< pack affiliated words at the L2 level
+    std::string name = "CPP";
+  };
+
+  CppHierarchy() : CppHierarchy(Options{}) {}
+  explicit CppHierarchy(Options options);
+
+  cache::AccessResult read(std::uint32_t addr, std::uint32_t& value) override;
+  cache::AccessResult write(std::uint32_t addr, std::uint32_t value) override;
+  std::string name() const override { return options_.name; }
+  void validate() const override;
+
+  const CppCache& l1() const { return l1_; }
+  const CppCache& l2() const { return l2_; }
+  mem::SparseMemory& memory() { return memory_; }
+  const Options& options() const { return options_; }
+
+ private:
+  // Write-back sinks connecting the levels.
+  class L1Sink final : public WritebackSink {
+   public:
+    explicit L1Sink(CppHierarchy& h) : h_(h) {}
+    void writeback(std::uint32_t line_addr, std::uint32_t mask,
+                   std::span<const std::uint32_t> words) override {
+      h_.accept_l1_writeback(line_addr, mask, words);
+    }
+
+   private:
+    CppHierarchy& h_;
+  };
+  class L2Sink final : public WritebackSink {
+   public:
+    explicit L2Sink(CppHierarchy& h) : h_(h) {}
+    void writeback(std::uint32_t line_addr, std::uint32_t mask,
+                   std::span<const std::uint32_t> words) override {
+      h_.writeback_to_memory(line_addr, mask, words);
+    }
+
+   private:
+    CppHierarchy& h_;
+  };
+
+  /// Word-availability view of one L2 line (primary or affiliated copy).
+  struct L2View {
+    const CompressedLine* primary = nullptr;
+    const CompressedLine* aff_host = nullptr;  // buddy line hosting the copy
+    std::uint32_t avail = 0;
+    bool resident() const { return primary != nullptr || aff_host != nullptr; }
+  };
+  L2View l2_view(std::uint32_t l2_line) const;
+  std::uint32_t l2_view_word(const L2View& view, std::uint32_t l2_line,
+                             std::uint32_t i) const;
+
+  /// Serves a word-based request from L1: ensures the word is available at
+  /// the L2 level (fetching from memory on a miss) and builds the partial
+  /// L1 line response. Sets latency / miss flags in `result`.
+  IncomingLine l2_request_word(std::uint32_t addr, cache::AccessResult& result);
+
+  /// Ensures the word at `addr` is available in L2; returns its view.
+  L2View ensure_l2_word(std::uint32_t addr, cache::AccessResult& result);
+
+  void accept_l1_writeback(std::uint32_t l1_line, std::uint32_t mask,
+                           std::span<const std::uint32_t> words);
+  void writeback_to_memory(std::uint32_t l2_line, std::uint32_t mask,
+                           std::span<const std::uint32_t> words);
+
+  /// Ensures the L1 line containing `addr` is primary resident with the
+  /// requested word present; used by both the read and the write miss paths.
+  CompressedLine& fill_l1_line(std::uint32_t addr, cache::AccessResult& result);
+
+  Options options_;
+  CppCache l1_;
+  CppCache l2_;
+  mem::SparseMemory memory_;
+  L1Sink l1_sink_;
+  L2Sink l2_sink_;
+};
+
+}  // namespace cpc::core

@@ -1,0 +1,38 @@
+#pragma once
+// Bimodal branch predictor (paper Fig. 9: "Branch Predictor: Bimod") — a
+// table of 2-bit saturating counters indexed by the branch PC.
+
+#include <cstdint>
+#include <vector>
+
+namespace cpc::cpu {
+
+class BimodalPredictor {
+ public:
+  explicit BimodalPredictor(std::uint32_t entries = 2048)
+      : counters_(entries, kWeaklyTaken) {}
+
+  bool predict(std::uint32_t pc) const { return counters_[index(pc)] >= kWeaklyTaken; }
+
+  void update(std::uint32_t pc, bool taken) {
+    std::uint8_t& c = counters_[index(pc)];
+    if (taken) {
+      if (c < kStronglyTaken) ++c;
+    } else {
+      if (c > kStronglyNotTaken) --c;
+    }
+  }
+
+  std::size_t entries() const { return counters_.size(); }
+
+ private:
+  static constexpr std::uint8_t kStronglyNotTaken = 0;
+  static constexpr std::uint8_t kWeaklyTaken = 2;
+  static constexpr std::uint8_t kStronglyTaken = 3;
+
+  std::size_t index(std::uint32_t pc) const { return (pc >> 2) % counters_.size(); }
+
+  std::vector<std::uint8_t> counters_;
+};
+
+}  // namespace cpc::cpu

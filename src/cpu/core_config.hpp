@@ -1,0 +1,44 @@
+#pragma once
+// Baseline processor parameters (paper Fig. 9): a four-issue out-of-order
+// superscalar. Window size is not listed in Fig. 9; we use SimpleScalar
+// 3.0's default RUU size of 16 (the paper's 8-entry LD/ST queue is also the
+// SimpleScalar default, suggesting the defaults were kept).
+
+#include <cstdint>
+
+#include "cache/config.hpp"
+
+namespace cpc::cpu {
+
+struct CoreConfig {
+  unsigned fetch_width = 4;
+  unsigned issue_width = 4;
+  unsigned commit_width = 4;
+  unsigned ifq_size = 16;    ///< Fig. 9: "IFQ size: 16 instr."
+  unsigned window_size = 16; ///< SimpleScalar RUU default
+  unsigned lsq_size = 8;     ///< Fig. 9: "LD/ST Queue: 8 entry"
+
+  // Functional units (Fig. 9): 4 ALUs, 1 Mult/Div, 2 Mem ports,
+  // 4 FALU, 1 FMult/FDiv. Units are pipelined with fixed latencies.
+  unsigned int_alu_units = 4;
+  unsigned int_mult_units = 1;
+  unsigned mem_ports = 2;
+  unsigned fp_alu_units = 4;
+  unsigned fp_mult_units = 1;
+
+  unsigned lat_int_alu = 1;
+  unsigned lat_int_mult = 3;
+  unsigned lat_int_div = 20;
+  unsigned lat_fp_alu = 2;
+  unsigned lat_fp_mult = 4;
+  unsigned lat_fp_div = 12;
+  unsigned lat_branch = 1;
+
+  unsigned icache_hit_latency = 1;    ///< Fig. 9
+  unsigned icache_miss_latency = 10;  ///< Fig. 9
+  cache::CacheGeometry icache{8 * 1024, 64, 1};
+
+  std::uint32_t bimod_entries = 2048;
+};
+
+}  // namespace cpc::cpu

@@ -1,0 +1,49 @@
+#pragma once
+// The micro-op trace IR the workload kernels emit and the out-of-order core
+// consumes. Each op carries explicit producer edges as backward distances in
+// program order, the real effective address and 32-bit value for memory
+// ops, and the actual outcome for branches — everything the paper's
+// experiments observe (dependence-limited throughput, the memory reference
+// stream, branch behaviour) without committing to a concrete ISA encoding.
+
+#include <cstdint>
+#include <vector>
+
+namespace cpc::cpu {
+
+enum class OpKind : std::uint8_t {
+  kIntAlu,
+  kIntMul,
+  kIntDiv,
+  kFpAlu,
+  kFpMul,
+  kFpDiv,
+  kLoad,
+  kStore,
+  kBranch,
+};
+
+constexpr bool is_memory_op(OpKind k) { return k == OpKind::kLoad || k == OpKind::kStore; }
+
+struct MicroOp {
+  std::uint32_t pc = 0;     ///< instruction address (drives I-cache + predictor)
+  std::uint32_t addr = 0;   ///< memory ops: effective address; branches: target
+  std::uint32_t value = 0;  ///< memory ops: the value read/written
+  OpKind kind = OpKind::kIntAlu;
+  std::uint8_t dep1 = 0;  ///< backward distance to first producer; 0 = none
+  std::uint8_t dep2 = 0;  ///< backward distance to second producer; 0 = none
+  std::uint8_t flags = 0;
+
+  static constexpr std::uint8_t kFlagTaken = 1u << 0;  ///< branch outcome
+
+  bool branch_taken() const { return (flags & kFlagTaken) != 0; }
+};
+
+using Trace = std::vector<MicroOp>;
+
+/// Maximum representable producer distance; recorders clamp longer edges to
+/// zero (a producer ≥256 ops back has long since completed in a 16-entry
+/// window, so the edge carries no timing information).
+inline constexpr std::uint32_t kMaxDepDistance = 255;
+
+}  // namespace cpc::cpu

@@ -1,0 +1,241 @@
+#include "cpu/ooo_core.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cpc::cpu {
+
+namespace {
+constexpr std::uint64_t kPending = ~std::uint64_t{0};
+constexpr std::uint64_t kNobody = ~std::uint64_t{0};
+}  // namespace
+
+OooCore::OooCore(CoreConfig config, cache::MemoryHierarchy& dcache)
+    : cfg_(config),
+      dcache_(dcache),
+      predictor_(config.bimod_entries),
+      icache_(config.icache),
+      done_ring_(kRingSize, 0),
+      who_ring_(kRingSize, kNobody),
+      missed_ring_(kRingSize, false) {
+  assert(cfg_.window_size + cfg_.ifq_size + kMaxDepDistance < kRingSize);
+}
+
+void OooCore::record_dispatch(std::uint64_t idx) {
+  done_ring_[idx % kRingSize] = kPending;
+  who_ring_[idx % kRingSize] = idx;
+  missed_ring_[idx % kRingSize] = false;
+}
+
+void OooCore::record_done(std::uint64_t idx, std::uint64_t done) {
+  assert(who_ring_[idx % kRingSize] == idx);
+  done_ring_[idx % kRingSize] = done;
+}
+
+bool OooCore::producer_done(std::uint64_t producer, std::uint64_t cycle) const {
+  if (who_ring_[producer % kRingSize] != producer) {
+    return true;  // producer left the tracked span long ago — surely complete
+  }
+  const std::uint64_t done = done_ring_[producer % kRingSize];
+  return done != kPending && done <= cycle;
+}
+
+bool OooCore::deps_ready(const MicroOp& op, std::uint64_t idx, std::uint64_t cycle) const {
+  if (op.dep1 != 0 && op.dep1 <= idx && !producer_done(idx - op.dep1, cycle)) return false;
+  if (op.dep2 != 0 && op.dep2 <= idx && !producer_done(idx - op.dep2, cycle)) return false;
+  return true;
+}
+
+bool OooCore::memory_order_clear(std::span<const MicroOp> trace,
+                                 std::size_t window_pos) const {
+  // Perfect disambiguation: only an older, not-yet-issued memory op to the
+  // same word blocks this one.
+  const std::uint32_t word = trace[window_[window_pos].idx].addr & ~3u;
+  for (std::size_t i = 0; i < window_pos; ++i) {
+    const WindowEntry& e = window_[i];
+    if (e.issued) continue;
+    const MicroOp& other = trace[e.idx];
+    if (is_memory_op(other.kind) && (other.addr & ~3u) == word) return false;
+  }
+  return true;
+}
+
+CoreStats OooCore::run(std::span<const MicroOp> trace) {
+  CoreStats stats;
+  std::uint64_t cycle = 0;
+  std::uint64_t fetch_index = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t lsq_used = 0;
+  std::uint64_t fetch_blocked_until = 0;  // I-cache miss stall
+  std::uint64_t redirect_op = kNobody;    // mispredicted branch blocking fetch
+
+  window_.clear();
+  ifq_.clear();
+  outstanding_miss_ends_.clear();
+
+  while (committed < trace.size()) {
+    // ---- commit (in order) ------------------------------------------
+    unsigned committed_now = 0;
+    while (!window_.empty() && committed_now < cfg_.commit_width) {
+      WindowEntry& head = window_.front();
+      if (!head.issued || head.done_cycle > cycle) break;
+      if (head.in_lsq) --lsq_used;
+      window_.pop_front();
+      ++committed;
+      ++committed_now;
+    }
+
+    // ---- issue (oldest first) ----------------------------------------
+    unsigned issued_now = 0;
+    unsigned int_alu_used = 0, int_mult_used = 0, mem_used = 0;
+    unsigned fp_alu_used = 0, fp_mult_used = 0;
+    for (std::size_t i = 0; i < window_.size() && issued_now < cfg_.issue_width; ++i) {
+      WindowEntry& e = window_[i];
+      if (e.issued) continue;
+      const MicroOp& op = trace[e.idx];
+      if (!deps_ready(op, e.idx, cycle)) continue;
+
+      unsigned latency = 0;
+      switch (op.kind) {
+        case OpKind::kIntAlu:
+          if (int_alu_used == cfg_.int_alu_units) continue;
+          ++int_alu_used;
+          latency = cfg_.lat_int_alu;
+          break;
+        case OpKind::kIntMul:
+          if (int_mult_used == cfg_.int_mult_units) continue;
+          ++int_mult_used;
+          latency = cfg_.lat_int_mult;
+          break;
+        case OpKind::kIntDiv:
+          if (int_mult_used == cfg_.int_mult_units) continue;
+          ++int_mult_used;
+          latency = cfg_.lat_int_div;
+          break;
+        case OpKind::kFpAlu:
+          if (fp_alu_used == cfg_.fp_alu_units) continue;
+          ++fp_alu_used;
+          latency = cfg_.lat_fp_alu;
+          break;
+        case OpKind::kFpMul:
+          if (fp_mult_used == cfg_.fp_mult_units) continue;
+          ++fp_mult_used;
+          latency = cfg_.lat_fp_mult;
+          break;
+        case OpKind::kFpDiv:
+          if (fp_mult_used == cfg_.fp_mult_units) continue;
+          ++fp_mult_used;
+          latency = cfg_.lat_fp_div;
+          break;
+        case OpKind::kBranch:
+          latency = cfg_.lat_branch;
+          break;
+        case OpKind::kLoad:
+        case OpKind::kStore: {
+          if (mem_used == cfg_.mem_ports) continue;
+          if (!memory_order_clear(trace, i)) continue;
+          ++mem_used;
+          if (op.kind == OpKind::kLoad) {
+            std::uint32_t value = 0;
+            const cache::AccessResult r = dcache_.read(op.addr, value);
+            if (value != op.value) ++stats.value_mismatches;
+            latency = r.latency;
+            if (r.l1_miss) {
+              outstanding_miss_ends_.push_back(cycle + latency);
+              missed_ring_[e.idx % kRingSize] = true;
+            }
+          } else {
+            dcache_.write(op.addr, op.value);
+            latency = 1;  // stores retire through the write buffer
+          }
+          break;
+        }
+      }
+
+      e.issued = true;
+      e.done_cycle = cycle + latency;
+      record_done(e.idx, e.done_cycle);
+      ++issued_now;
+
+      // Measured miss importance (Fig. 14): does this op directly consume
+      // the result of an L1-missing load?
+      const auto produced_by_miss = [this, &e](std::uint8_t dep) {
+        if (dep == 0 || dep > e.idx) return false;
+        const std::uint64_t producer = e.idx - dep;
+        return who_ring_[producer % kRingSize] == producer &&
+               missed_ring_[producer % kRingSize];
+      };
+      if (produced_by_miss(op.dep1) || produced_by_miss(op.dep2)) {
+        ++stats.ops_depending_on_miss;
+      }
+    }
+
+    // ---- dispatch IFQ → window ----------------------------------------
+    while (!ifq_.empty() && window_.size() < cfg_.window_size) {
+      const std::uint64_t idx = ifq_.front();
+      const bool mem = is_memory_op(trace[idx].kind);
+      if (mem && lsq_used == cfg_.lsq_size) break;
+      ifq_.pop_front();
+      if (mem) ++lsq_used;
+      window_.push_back(WindowEntry{idx, false, mem, 0});
+      record_dispatch(idx);
+    }
+
+    // ---- fetch ---------------------------------------------------------
+    if (redirect_op != kNobody && producer_done(redirect_op, cycle)) {
+      redirect_op = kNobody;  // mispredicted branch resolved; fetch resumes
+    }
+    if (redirect_op == kNobody && cycle >= fetch_blocked_until) {
+      unsigned fetched = 0;
+      while (fetched < cfg_.fetch_width && ifq_.size() < cfg_.ifq_size &&
+             fetch_index < trace.size()) {
+        const MicroOp& op = trace[fetch_index];
+        if (!icache_.access(op.pc)) {
+          ++stats.icache_misses;
+          fetch_blocked_until = cycle + cfg_.icache_miss_latency;
+          break;
+        }
+        if (op.kind == OpKind::kBranch) {
+          ++stats.branches;
+          const bool predicted = predictor_.predict(op.pc);
+          predictor_.update(op.pc, op.branch_taken());
+          if (predicted != op.branch_taken()) {
+            ++stats.mispredicts;
+            redirect_op = fetch_index;  // fetch stalls until this resolves
+            ifq_.push_back(fetch_index);
+            ++fetch_index;
+            ++fetched;
+            break;
+          }
+        }
+        ifq_.push_back(fetch_index);
+        ++fetch_index;
+        ++fetched;
+      }
+    }
+
+    // ---- per-cycle statistics ------------------------------------------
+    std::erase_if(outstanding_miss_ends_,
+                  [cycle](std::uint64_t end) { return end <= cycle; });
+    std::uint64_t ready = 0;
+    for (std::size_t i = 0; i < window_.size(); ++i) {
+      const WindowEntry& e = window_[i];
+      if (!e.issued && deps_ready(trace[e.idx], e.idx, cycle)) ++ready;
+    }
+    stats.ready_sum_all_cycles += ready;
+    if (!outstanding_miss_ends_.empty()) {
+      ++stats.miss_cycles;
+      stats.ready_sum_miss_cycles += ready;
+    }
+
+    ++cycle;
+  }
+
+  stats.cycles = cycle;
+  stats.committed = committed;
+  stats.loads = dcache_.stats().reads;
+  stats.stores = dcache_.stats().writes;
+  return stats;
+}
+
+}  // namespace cpc::cpu

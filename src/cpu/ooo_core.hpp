@@ -1,0 +1,115 @@
+#pragma once
+// Simplified SimpleScalar-style out-of-order core (paper Fig. 9).
+//
+// Trace-driven timing model: fetch (I-cache + bimodal predictor) → dispatch
+// into a small instruction window with an 8-entry load/store queue → issue
+// (oldest-first, limited by issue width, functional units and memory ports,
+// with producer edges taken from the trace) → in-order commit.
+//
+// Memory disambiguation is perfect (addresses come from the trace): memory
+// ops to the same word issue in program order, everything else issues out of
+// order. Stores update the data cache at issue and never stall the pipeline;
+// loads complete after the hierarchy's reported latency and, when they miss,
+// are tracked as outstanding misses for the ready-queue statistic the
+// paper's Fig. 15 reports.
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "cpu/branch_predictor.hpp"
+#include "cpu/core_config.hpp"
+#include "cpu/icache.hpp"
+#include "cpu/micro_op.hpp"
+
+namespace cpc::cpu {
+
+struct CoreStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t icache_misses = 0;
+  /// Loads whose value from the hierarchy differed from the trace value —
+  /// always zero for a correct hierarchy (checked by the integration tests).
+  std::uint64_t value_mismatches = 0;
+
+  // Ready-queue statistics (paper Fig. 15): ready-to-issue ops per cycle,
+  // accumulated separately for cycles with at least one outstanding miss.
+  std::uint64_t miss_cycles = 0;
+  std::uint64_t ready_sum_miss_cycles = 0;
+  std::uint64_t ready_sum_all_cycles = 0;
+
+  /// Ops with a direct producer edge to a load that missed L1 — the
+  /// *measured* counterpart of the paper's Amdahl-estimated miss-importance
+  /// parameter (Fig. 14): how many instructions the misses directly block.
+  std::uint64_t ops_depending_on_miss = 0;
+
+  double direct_miss_dependence_fraction() const {
+    return committed == 0 ? 0.0
+                          : static_cast<double>(ops_depending_on_miss) /
+                                static_cast<double>(committed);
+  }
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(committed) / static_cast<double>(cycles);
+  }
+  double avg_ready_queue_in_miss_cycles() const {
+    return miss_cycles == 0 ? 0.0
+                            : static_cast<double>(ready_sum_miss_cycles) /
+                                  static_cast<double>(miss_cycles);
+  }
+  double mispredict_rate() const {
+    return branches == 0 ? 0.0
+                         : static_cast<double>(mispredicts) / static_cast<double>(branches);
+  }
+};
+
+class OooCore {
+ public:
+  /// The core drives `dcache` for every load/store; the hierarchy's own
+  /// stats accumulate alongside the core's timing stats.
+  OooCore(CoreConfig config, cache::MemoryHierarchy& dcache);
+
+  /// Simulates the trace to completion and returns the timing statistics.
+  CoreStats run(std::span<const MicroOp> trace);
+
+ private:
+  struct WindowEntry {
+    std::uint64_t idx = 0;  // trace index
+    bool issued = false;
+    bool in_lsq = false;
+    std::uint64_t done_cycle = 0;  // valid once issued
+  };
+
+  bool deps_ready(const MicroOp& op, std::uint64_t idx, std::uint64_t cycle) const;
+  bool producer_done(std::uint64_t producer, std::uint64_t cycle) const;
+  bool memory_order_clear(std::span<const MicroOp> trace, std::size_t window_pos) const;
+
+  void record_dispatch(std::uint64_t idx);
+  void record_done(std::uint64_t idx, std::uint64_t done);
+
+  CoreConfig cfg_;
+  cache::MemoryHierarchy& dcache_;
+  BimodalPredictor predictor_;
+  InstructionCache icache_;
+
+  // Completion-time ring indexed by trace position. Sized far beyond the
+  // maximum dependence distance plus in-flight span, so a slot is never
+  // reused while a consumer may still ask about it.
+  static constexpr std::size_t kRingSize = 1024;
+  std::vector<std::uint64_t> done_ring_;
+  std::vector<std::uint64_t> who_ring_;
+  std::vector<bool> missed_ring_;  // producer was an L1-missing load
+
+  std::deque<WindowEntry> window_;
+  std::deque<std::uint64_t> ifq_;  // fetched trace indices
+  std::vector<std::uint64_t> outstanding_miss_ends_;
+};
+
+}  // namespace cpc::cpu

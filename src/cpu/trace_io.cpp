@@ -1,0 +1,128 @@
+#include "cpu/trace_io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace cpc::cpu {
+
+namespace {
+
+constexpr std::size_t kOpBytes = 16;
+
+void put_u32(char* p, std::uint32_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+  p[2] = static_cast<char>((v >> 16) & 0xff);
+  p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint8_t>(p[0]) | (static_cast<std::uint8_t>(p[1]) << 8) |
+         (static_cast<std::uint8_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24);
+}
+
+void put_u64(char* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const char* p) {
+  return get_u32(p) | (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  char header[24];
+  std::memcpy(header, kTraceMagic, 8);
+  put_u32(header + 8, kTraceVersion);
+  put_u32(header + 12, 0);
+  put_u64(header + 16, trace.size());
+  out.write(header, sizeof(header));
+
+  // Buffered encode, 4096 ops at a time.
+  std::array<char, 4096 * kOpBytes> buffer;
+  std::size_t filled = 0;
+  for (const MicroOp& op : trace) {
+    char* p = buffer.data() + filled;
+    put_u32(p + 0, op.pc);
+    put_u32(p + 4, op.addr);
+    put_u32(p + 8, op.value);
+    p[12] = static_cast<char>(op.kind);
+    p[13] = static_cast<char>(op.dep1);
+    p[14] = static_cast<char>(op.dep2);
+    p[15] = static_cast<char>(op.flags);
+    filled += kOpBytes;
+    if (filled == buffer.size()) {
+      out.write(buffer.data(), static_cast<std::streamsize>(filled));
+      filled = 0;
+    }
+  }
+  if (filled > 0) out.write(buffer.data(), static_cast<std::streamsize>(filled));
+  if (!out) throw TraceIoError("trace write failed");
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw TraceIoError("cannot open for writing: " + path);
+  write_trace(out, trace);
+}
+
+Trace read_trace(std::istream& in) {
+  char header[24];
+  in.read(header, sizeof(header));
+  if (!in || in.gcount() != sizeof(header)) {
+    throw TraceIoError("truncated trace header");
+  }
+  if (std::memcmp(header, kTraceMagic, 8) != 0) {
+    throw TraceIoError("bad trace magic");
+  }
+  const std::uint32_t version = get_u32(header + 8);
+  if (version != kTraceVersion) {
+    throw TraceIoError("unsupported trace version " + std::to_string(version));
+  }
+  const std::uint64_t count = get_u64(header + 16);
+
+  Trace trace;
+  trace.reserve(count);
+  std::array<char, 4096 * kOpBytes> buffer;
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::size_t batch =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, 4096));
+    in.read(buffer.data(), static_cast<std::streamsize>(batch * kOpBytes));
+    if (!in || in.gcount() != static_cast<std::streamsize>(batch * kOpBytes)) {
+      throw TraceIoError("truncated trace body");
+    }
+    for (std::size_t i = 0; i < batch; ++i) {
+      const char* p = buffer.data() + i * kOpBytes;
+      MicroOp op;
+      op.pc = get_u32(p + 0);
+      op.addr = get_u32(p + 4);
+      op.value = get_u32(p + 8);
+      op.kind = static_cast<OpKind>(static_cast<std::uint8_t>(p[12]));
+      if (static_cast<std::uint8_t>(p[12]) > static_cast<std::uint8_t>(OpKind::kBranch)) {
+        throw TraceIoError("corrupt op kind");
+      }
+      op.dep1 = static_cast<std::uint8_t>(p[13]);
+      op.dep2 = static_cast<std::uint8_t>(p[14]);
+      op.flags = static_cast<std::uint8_t>(p[15]);
+      trace.push_back(op);
+    }
+    remaining -= batch;
+  }
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceIoError("cannot open for reading: " + path);
+  return read_trace(in);
+}
+
+}  // namespace cpc::cpu

@@ -1,0 +1,39 @@
+#pragma once
+// Versioned binary serialisation of micro-op traces. Lets a workload be
+// generated once (tools/cpc_tracegen) and replayed across configurations
+// and machines (tools/cpc_run) with bit-identical results.
+//
+// Format (little-endian):
+//   0x00  8-byte magic "CPCTRACE"
+//   0x08  u32 version (currently 1)
+//   0x0c  u32 reserved (0)
+//   0x10  u64 op count
+//   0x18  ops, 16 bytes each: pc, addr, value (u32), kind, dep1, dep2,
+//         flags (u8)
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "cpu/micro_op.hpp"
+
+namespace cpc::cpu {
+
+class TraceIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kTraceMagic[8] = {'C', 'P', 'C', 'T', 'R', 'A', 'C', 'E'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Writes a trace; throws TraceIoError on I/O failure.
+void write_trace(std::ostream& out, const Trace& trace);
+void write_trace_file(const std::string& path, const Trace& trace);
+
+/// Reads a trace; throws TraceIoError on bad magic/version/truncation.
+Trace read_trace(std::istream& in);
+Trace read_trace_file(const std::string& path);
+
+}  // namespace cpc::cpu

@@ -1,0 +1,73 @@
+#pragma once
+// Deterministic heap allocator over the simulated 32-bit address space.
+//
+// Workload kernels allocate their data structures through this allocator so
+// that pointer values stored into the heap are *real* 32-bit addresses.
+// Whether two pointers share a 17-bit prefix — the property the paper's
+// pointer compression exploits — is then an emergent property of allocation
+// order and object size, exactly as with a real malloc. The allocator is a
+// bump allocator with an optional per-size free list (malloc-like reuse),
+// 8-byte alignment (matching the cache-conscious allocators the paper cites
+// [10, 11]), and a deterministic layout for reproducible traces.
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cpc::mem {
+
+/// Default start of the simulated heap; chosen away from zero so null
+/// pointers are never valid objects, and not 32K-aligned-degenerate.
+inline constexpr std::uint32_t kDefaultHeapBase = 0x1000'0000;
+
+/// Base of the simulated global/static data segment used by kernels.
+inline constexpr std::uint32_t kGlobalBase = 0x0040'0000;
+
+/// Base of the simulated stack segment (grows down).
+inline constexpr std::uint32_t kStackBase = 0x7fff'0000;
+
+class HeapAllocator {
+ public:
+  explicit HeapAllocator(std::uint32_t base = kDefaultHeapBase) : next_(base), base_(base) {}
+
+  /// Allocates `bytes` (rounded up to 8-byte granularity); returns the
+  /// simulated address. Reuses freed blocks of the same rounded size in
+  /// LIFO order, like a segregated free list.
+  std::uint32_t allocate(std::uint32_t bytes) {
+    const std::uint32_t size = round_up(bytes);
+    auto it = free_lists_.find(size);
+    if (it != free_lists_.end() && !it->second.empty()) {
+      const std::uint32_t addr = it->second.back();
+      it->second.pop_back();
+      return addr;
+    }
+    const std::uint32_t addr = next_;
+    assert(addr + size > addr && "simulated heap exhausted");
+    next_ += size;
+    ++live_;
+    return addr;
+  }
+
+  /// Returns a block to the free list. `bytes` must match the allocation
+  /// request size (as with sized deallocation).
+  void deallocate(std::uint32_t addr, std::uint32_t bytes) {
+    free_lists_[round_up(bytes)].push_back(addr);
+  }
+
+  std::uint32_t bytes_reserved() const { return next_ - base_; }
+  std::uint32_t high_water() const { return next_; }
+  std::uint64_t blocks_allocated() const { return live_; }
+
+ private:
+  static constexpr std::uint32_t round_up(std::uint32_t bytes) {
+    return (bytes + 7u) & ~7u;
+  }
+
+  std::uint32_t next_;
+  std::uint32_t base_;
+  std::uint64_t live_ = 0;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> free_lists_;
+};
+
+}  // namespace cpc::mem

@@ -1,0 +1,64 @@
+#pragma once
+// Sparse word-addressable 32-bit physical/virtual memory.
+//
+// Used both as the simulated main memory behind the cache hierarchy (which
+// always holds uncompressed words, paper section 3.1) and as the scratch
+// address space the workload kernels materialise their heaps in while
+// generating traces.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace cpc::mem {
+
+/// Word-granular sparse memory over the full 32-bit address space.
+/// Unwritten locations read as zero. Addresses are byte addresses; word
+/// accesses are 4-byte aligned (the low two bits are ignored, matching the
+/// word-level access model the paper's study uses).
+class SparseMemory {
+ public:
+  static constexpr std::uint32_t kPageBytes = 4096;
+  static constexpr std::uint32_t kWordsPerPage = kPageBytes / 4;
+
+  std::uint32_t read_word(std::uint32_t addr) const {
+    const Page* page = find_page(addr);
+    return page == nullptr ? 0 : page->words[word_index(addr)];
+  }
+
+  void write_word(std::uint32_t addr, std::uint32_t value) {
+    touch_page(addr).words[word_index(addr)] = value;
+  }
+
+  /// Number of pages that have been written at least once.
+  std::size_t resident_pages() const { return pages_.size(); }
+
+  void clear() { pages_.clear(); }
+
+ private:
+  struct Page {
+    std::uint32_t words[kWordsPerPage] = {};
+  };
+
+  static constexpr std::uint32_t page_number(std::uint32_t addr) {
+    return addr / kPageBytes;
+  }
+  static constexpr std::uint32_t word_index(std::uint32_t addr) {
+    return (addr % kPageBytes) / 4;
+  }
+
+  const Page* find_page(std::uint32_t addr) const {
+    auto it = pages_.find(page_number(addr));
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+
+  Page& touch_page(std::uint32_t addr) {
+    auto& slot = pages_[page_number(addr)];
+    if (!slot) slot = std::make_unique<Page>();
+    return *slot;
+  }
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace cpc::mem

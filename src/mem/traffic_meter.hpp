@@ -1,0 +1,48 @@
+#pragma once
+// Memory-traffic accounting for the L2 <-> memory interface (paper Fig. 10).
+//
+// The paper measures traffic in words moved over the memory bus, where two
+// compressed (16-bit) words share one 32-bit bus slot. To keep the count
+// exact we meter in *half-word units*: an uncompressed word costs 2 units,
+// a compressed word costs 1 unit.
+
+#include <cstdint>
+
+namespace cpc::mem {
+
+class TrafficMeter {
+ public:
+  /// One full uncompressed 32-bit word moved over the bus.
+  void add_uncompressed_words(std::uint64_t n = 1) { fetch_half_units_ += 2 * n; }
+
+  /// One compressed 16-bit word moved over the bus (half a slot).
+  void add_compressed_words(std::uint64_t n = 1) { fetch_half_units_ += n; }
+
+  /// Write-back traffic uses the same costing but is tracked separately so
+  /// benches can report the split.
+  void add_writeback_uncompressed_words(std::uint64_t n = 1) { wb_half_units_ += 2 * n; }
+  void add_writeback_compressed_words(std::uint64_t n = 1) { wb_half_units_ += n; }
+
+  /// Total traffic in 32-bit word units (fetch + write-back).
+  double words() const {
+    return static_cast<double>(fetch_half_units_ + wb_half_units_) / 2.0;
+  }
+  double fetch_words() const { return static_cast<double>(fetch_half_units_) / 2.0; }
+  double writeback_words() const { return static_cast<double>(wb_half_units_) / 2.0; }
+
+  std::uint64_t half_units() const { return fetch_half_units_ + wb_half_units_; }
+
+  void reset() { fetch_half_units_ = wb_half_units_ = 0; }
+
+  /// Accumulates another meter's counts (multi-seed aggregation).
+  void merge(const TrafficMeter& other) {
+    fetch_half_units_ += other.fetch_half_units_;
+    wb_half_units_ += other.wb_half_units_;
+  }
+
+ private:
+  std::uint64_t fetch_half_units_ = 0;
+  std::uint64_t wb_half_units_ = 0;
+};
+
+}  // namespace cpc::mem

@@ -1,0 +1,106 @@
+#include "sim/experiment.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "cache/baseline_hierarchy.hpp"
+#include "cache/prefetch_hierarchy.hpp"
+#include "core/cpp_hierarchy.hpp"
+
+namespace cpc::sim {
+
+std::string config_name(ConfigKind kind) {
+  switch (kind) {
+    case ConfigKind::kBC: return "BC";
+    case ConfigKind::kBCC: return "BCC";
+    case ConfigKind::kHAC: return "HAC";
+    case ConfigKind::kBCP: return "BCP";
+    case ConfigKind::kCPP: return "CPP";
+  }
+  return "?";
+}
+
+std::unique_ptr<cache::MemoryHierarchy> make_hierarchy(
+    ConfigKind kind, const cache::LatencyConfig& latency) {
+  cache::HierarchyConfig base = cache::kBaselineConfig;
+  base.latency = latency;
+  cache::HierarchyConfig hac = cache::kHigherAssocConfig;
+  hac.latency = latency;
+
+  switch (kind) {
+    case ConfigKind::kBC:
+      return std::make_unique<cache::BaselineHierarchy>(
+          "BC", base, cache::TransferFormat::kUncompressed);
+    case ConfigKind::kBCC:
+      return std::make_unique<cache::BaselineHierarchy>(
+          "BCC", base, cache::TransferFormat::kCompressed);
+    case ConfigKind::kHAC:
+      return std::make_unique<cache::BaselineHierarchy>(
+          "HAC", hac, cache::TransferFormat::kUncompressed);
+    case ConfigKind::kBCP:
+      return std::make_unique<cache::PrefetchHierarchy>(base);
+    case ConfigKind::kCPP: {
+      core::CppHierarchy::Options opts;
+      opts.config = base;
+      return std::make_unique<core::CppHierarchy>(opts);
+    }
+  }
+  throw std::logic_error("unreachable config kind");
+}
+
+RunResult run_trace_on(std::span<const cpu::MicroOp> trace,
+                       cache::MemoryHierarchy& hierarchy,
+                       const cpu::CoreConfig& core_config) {
+  cpu::OooCore core(core_config, hierarchy);
+  RunResult result;
+  result.config = hierarchy.name();
+  result.core = core.run(trace);
+  result.hierarchy = hierarchy.stats();
+  return result;
+}
+
+RunResult run_trace(std::span<const cpu::MicroOp> trace, ConfigKind kind,
+                    const cpu::CoreConfig& core_config,
+                    const cache::LatencyConfig& latency) {
+  auto hierarchy = make_hierarchy(kind, latency);
+  return run_trace_on(trace, *hierarchy, core_config);
+}
+
+ImportanceResult miss_importance(std::span<const cpu::MicroOp> trace, ConfigKind kind,
+                                 const cpu::CoreConfig& core_config) {
+  const cache::LatencyConfig normal{};
+  const RunResult slow = run_trace(trace, kind, core_config, normal);
+  const RunResult fast =
+      run_trace(trace, kind, core_config, normal.halved_miss_penalty());
+
+  ImportanceResult out;
+  out.s_overall = slow.cycles() / fast.cycles();
+  constexpr double kSEnhanced = 2.0;  // miss penalty halved
+  out.fraction_enhanced =
+      kSEnhanced * (1.0 - 1.0 / out.s_overall) / (kSEnhanced - 1.0);
+  out.measured_direct_fraction = slow.core.direct_miss_dependence_fraction();
+  return out;
+}
+
+BenchOptions BenchOptions::from_env() {
+  BenchOptions opts;
+  if (const char* ops = std::getenv("CPC_TRACE_OPS")) {
+    opts.trace_ops = std::strtoull(ops, nullptr, 10);
+  }
+  if (const char* seed = std::getenv("CPC_SEED")) {
+    opts.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* filter = std::getenv("CPC_WORKLOADS")) {
+    std::stringstream ss{std::string(filter)};
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (!name.empty()) opts.workloads.push_back(workload::find_workload(name));
+    }
+  } else {
+    opts.workloads = workload::all_workloads();
+  }
+  return opts;
+}
+
+}  // namespace cpc::sim

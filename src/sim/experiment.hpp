@@ -1,0 +1,84 @@
+#pragma once
+// Experiment driver: builds the paper's five cache configurations, replays
+// workload traces through them on the out-of-order core, and packages the
+// statistics the figures report. Every bench binary is a thin wrapper over
+// this header.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "cache/hierarchy.hpp"
+#include "cpu/core_config.hpp"
+#include "cpu/micro_op.hpp"
+#include "cpu/ooo_core.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::sim {
+
+/// The five configurations of section 4.1, in the order the figures plot.
+enum class ConfigKind { kBC, kBCC, kHAC, kBCP, kCPP };
+
+inline constexpr ConfigKind kAllConfigs[] = {ConfigKind::kBC, ConfigKind::kBCC,
+                                             ConfigKind::kHAC, ConfigKind::kBCP,
+                                             ConfigKind::kCPP};
+
+std::string config_name(ConfigKind kind);
+
+/// Builds a fresh hierarchy of the given kind with the given latencies.
+std::unique_ptr<cache::MemoryHierarchy> make_hierarchy(
+    ConfigKind kind, const cache::LatencyConfig& latency = {});
+
+/// One complete simulation of a trace on one configuration.
+struct RunResult {
+  std::string config;
+  cpu::CoreStats core;
+  cache::HierarchyStats hierarchy;
+
+  double cycles() const { return static_cast<double>(core.cycles); }
+  double traffic_words() const { return hierarchy.traffic.words(); }
+  double l1_misses() const { return static_cast<double>(hierarchy.l1_misses); }
+  double l2_misses() const { return static_cast<double>(hierarchy.l2_misses); }
+};
+
+RunResult run_trace(std::span<const cpu::MicroOp> trace, ConfigKind kind,
+                    const cpu::CoreConfig& core_config = {},
+                    const cache::LatencyConfig& latency = {});
+
+/// Runs a trace on an externally constructed hierarchy (used by the
+/// ablation benches, which tweak CppHierarchy::Options directly).
+RunResult run_trace_on(std::span<const cpu::MicroOp> trace,
+                       cache::MemoryHierarchy& hierarchy,
+                       const cpu::CoreConfig& core_config = {});
+
+/// Fig. 14: the miss-importance parameter. Runs the trace twice — once with
+/// the paper's latencies and once with miss penalties halved — and applies
+///   Fraction_enhanced = S_enh * (1 - 1/S_overall) / (S_enh - 1),  S_enh = 2.
+struct ImportanceResult {
+  double s_overall = 1.0;
+  double fraction_enhanced = 0.0;
+  /// Directly measured fraction of committed ops consuming an L1-missing
+  /// load's result (free in our simulator; the paper could only estimate
+  /// this through the Amdahl construction above).
+  double measured_direct_fraction = 0.0;
+};
+ImportanceResult miss_importance(std::span<const cpu::MicroOp> trace, ConfigKind kind,
+                                 const cpu::CoreConfig& core_config = {});
+
+/// Benchmark-selection and sizing knobs shared by all bench binaries.
+/// Reads environment variables:
+///   CPC_TRACE_OPS   — micro-ops per workload trace (default 600000)
+///   CPC_WORKLOADS   — comma-separated name filter (default: all 14)
+///   CPC_SEED        — RNG seed for the workload generators
+struct BenchOptions {
+  std::uint64_t trace_ops = 600'000;
+  std::uint64_t seed = 0x5eed;
+  std::vector<workload::Workload> workloads;
+
+  static BenchOptions from_env();
+  workload::WorkloadParams params() const { return {trace_ops, seed}; }
+};
+
+}  // namespace cpc::sim

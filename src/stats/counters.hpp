@@ -1,0 +1,45 @@
+#pragma once
+// Named 64-bit event counters shared by the cache and CPU models.
+// Deliberately tiny: the simulators own strongly-typed stats structs; this
+// registry exists for ad-hoc instrumentation and debug dumps.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace cpc::stats {
+
+/// An ordered bag of named monotonically increasing counters.
+class CounterSet {
+ public:
+  void add(std::string_view name, std::uint64_t delta = 1) {
+    counters_[std::string(name)] += delta;
+  }
+
+  std::uint64_t get(std::string_view name) const {
+    auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void reset() { counters_.clear(); }
+
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+  /// "name=value" lines, sorted by name.
+  std::string to_string() const {
+    std::string out;
+    for (const auto& [name, value] : counters_) {
+      out += name;
+      out += '=';
+      out += std::to_string(value);
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace cpc::stats

@@ -1,0 +1,137 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace cpc::stats {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string format_cell(double v, int precision) {
+  if (std::isnan(v)) return "-";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+}  // namespace
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::string label, std::vector<double> cells) {
+  cells.resize(columns_.size(), kNaN);
+  labels_.push_back(std::move(label));
+  cells_.push_back(std::move(cells));
+}
+
+void Table::add_mean_row(std::string label) {
+  std::vector<double> row;
+  row.reserve(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) row.push_back(mean(column_values(c)));
+  add_row(std::move(label), std::move(row));
+}
+
+void Table::add_geomean_row(std::string label) {
+  std::vector<double> row;
+  row.reserve(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) row.push_back(geomean(column_values(c)));
+  add_row(std::move(label), std::move(row));
+}
+
+double Table::cell(std::size_t row, std::size_t col) const {
+  return cells_.at(row).at(col);
+}
+
+std::vector<double> Table::column_values(std::size_t col) const {
+  std::vector<double> out;
+  out.reserve(cells_.size());
+  for (const auto& row : cells_) out.push_back(row.at(col));
+  return out;
+}
+
+std::string Table::to_ascii(int precision) const {
+  // Compute column widths: label column then data columns.
+  std::size_t label_width = 0;
+  for (const auto& l : labels_) label_width = std::max(label_width, l.size());
+  label_width = std::max(label_width, std::size_t{4});
+
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (std::size_t r = 0; r < rows(); ++r) {
+      widths[c] = std::max(widths[c], format_cell(cells_[r][c], precision).size());
+    }
+  }
+
+  std::ostringstream os;
+  os << title_ << '\n';
+  os << std::left << std::setw(static_cast<int>(label_width)) << "" << "  ";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::right << std::setw(static_cast<int>(widths[c])) << columns_[c]
+       << (c + 1 < columns_.size() ? "  " : "");
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < rows(); ++r) {
+    os << std::left << std::setw(static_cast<int>(label_width)) << labels_[r] << "  ";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << std::right << std::setw(static_cast<int>(widths[c]))
+         << format_cell(cells_[r][c], precision)
+         << (c + 1 < columns_.size() ? "  " : "");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::to_csv(int precision) const {
+  std::ostringstream os;
+  os << "benchmark";
+  for (const auto& c : columns_) os << ',' << c;
+  os << '\n';
+  for (std::size_t r = 0; r < rows(); ++r) {
+    os << labels_[r];
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << ',';
+      if (!std::isnan(cells_[r][c])) {
+        os << std::fixed << std::setprecision(precision) << cells_[r][c];
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_ascii();
+}
+
+double mean(const std::vector<double>& values) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (double v : values) {
+    if (!std::isnan(v)) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n == 0 ? kNaN : sum / static_cast<double>(n);
+}
+
+double geomean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double v : values) {
+    if (!std::isnan(v) && v > 0.0) {
+      log_sum += std::log(v);
+      ++n;
+    }
+  }
+  return n == 0 ? kNaN : std::exp(log_sum / static_cast<double>(n));
+}
+
+}  // namespace cpc::stats

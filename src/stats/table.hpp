@@ -1,0 +1,61 @@
+#pragma once
+// Minimal result-table builder used by the bench harnesses to print the
+// paper's figures as aligned ASCII tables and CSV. Rows are benchmarks,
+// columns are cache configurations (or value classes, etc.).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cpc::stats {
+
+/// A rectangular table of doubles with row/column labels.
+/// Cells are stored row-major; missing cells render as "-".
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; `cells` shorter than the column count is padded with NaN.
+  void add_row(std::string label, std::vector<double> cells);
+
+  /// Appends a summary row holding the arithmetic mean of each column
+  /// (ignoring NaN cells), labelled `label`.
+  void add_mean_row(std::string label = "average");
+
+  /// Appends a summary row holding the geometric mean of each column
+  /// (ignoring NaN and non-positive cells), labelled `label`.
+  void add_geomean_row(std::string label = "geomean");
+
+  std::size_t rows() const { return labels_.size(); }
+  std::size_t columns() const { return columns_.size(); }
+  double cell(std::size_t row, std::size_t col) const;
+  const std::string& row_label(std::size_t row) const { return labels_.at(row); }
+  const std::string& column_label(std::size_t col) const { return columns_.at(col); }
+  const std::string& title() const { return title_; }
+
+  /// Renders an aligned ASCII table. `precision` controls digits after the
+  /// decimal point.
+  std::string to_ascii(int precision = 3) const;
+
+  /// Renders RFC-4180-ish CSV (title omitted; header row of column labels).
+  std::string to_csv(int precision = 6) const;
+
+ private:
+  std::vector<double> column_values(std::size_t col) const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<double>> cells_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+/// Arithmetic mean of `values`, NaN entries skipped; NaN when empty.
+double mean(const std::vector<double>& values);
+
+/// Geometric mean of the positive entries of `values`; NaN when none.
+double geomean(const std::vector<double>& values);
+
+}  // namespace cpc::stats

@@ -1,0 +1,255 @@
+// Olden-like graph/FP kernels: em3d, power, tsp.
+//
+// These mix pointer chasing with floating-point payloads whose raw bit
+// patterns are incompressible, diluting the value compressibility the way
+// the paper's Fig. 3 shows for FP-leaning programs.
+
+#include <vector>
+
+#include "workload/rng.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::workload {
+
+using Val = TraceRecorder::Val;
+
+void kernel_em3d(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0xe3dull);
+
+  // Node: {value(fp), from_count, from_array, coeff_array, next} — 24 bytes.
+  constexpr std::uint32_t kNValue = 0;
+  constexpr std::uint32_t kFromCount = 4;
+  constexpr std::uint32_t kFromArr = 8;
+  constexpr std::uint32_t kCoeffArr = 12;
+  constexpr std::uint32_t kNNext = 16;
+  constexpr unsigned kDegree = 4;
+
+  // Build cost ≈ 32 ops/node (allocation + wiring); two sides.
+  const std::uint32_t nodes_per_side = params.scaled_units(64, 400, 2400);
+  auto build_side = [&](std::vector<std::uint32_t>& side) {
+    std::uint32_t head = 0;
+    for (std::uint32_t i = 0; i < nodes_per_side; ++i) {
+      const std::uint32_t n = R.alloc(24);
+      side.push_back(n);
+      R.block("ebuild");
+      R.store(Val{n + kNValue}, R.fp_alu(rng.fp_bits()));
+      R.store(Val{n + kFromCount}, R.alu(kDegree));
+      R.store(Val{n + kNNext}, R.alu(head));
+      head = n;
+    }
+  };
+  std::vector<std::uint32_t> e_nodes, h_nodes;
+  build_side(e_nodes);
+  build_side(h_nodes);
+
+  auto wire = [&](const std::vector<std::uint32_t>& from,
+                  const std::vector<std::uint32_t>& to) {
+    for (std::uint32_t n : to) {
+      const std::uint32_t froms = R.alloc(kDegree * 4);
+      const std::uint32_t coeffs = R.alloc(kDegree * 4);
+      R.block("ewire");
+      R.store(Val{n + kFromArr}, R.alu(froms));
+      R.store(Val{n + kCoeffArr}, R.alu(coeffs));
+      for (unsigned d = 0; d < kDegree; ++d) {
+        R.store(Val{froms + d * 4},
+                R.alu(from[rng.below(nodes_per_side)]));
+        R.store(Val{coeffs + d * 4}, R.fp_alu(rng.fp_bits()));
+      }
+    }
+  };
+  wire(h_nodes, e_nodes);
+  wire(e_nodes, h_nodes);
+
+  // Relaxation: value -= coeff[i] * from[i]->value for every node, walking
+  // each side's linked list (em3d's compute_nodes()).
+  auto relax_side = [&](std::uint32_t head) {
+    R.block("erelax");
+    Val cur{head};
+    while (cur.value != 0 && !R.done()) {
+      R.block("erelax");
+      Val value = R.load(cur + kNValue);
+      Val froms = R.load(cur + kFromArr);
+      Val coeffs = R.load(cur + kCoeffArr);
+      Val acc = value;
+      for (unsigned d = 0; d < kDegree; ++d) {
+        Val neighbor = R.load(froms + d * 4);
+        Val nv = R.load(neighbor + kNValue);
+        Val coeff = R.load(coeffs + d * 4);
+        Val prod = R.fp_mul(rng.fp_bits(), nv, coeff);
+        acc = R.fp_alu(rng.fp_bits(), acc, prod);
+      }
+      R.store(cur + kNValue, acc);
+      cur = R.load(cur + kNNext);
+      R.branch(cur.value != 0, cur);
+    }
+  };
+
+  while (!R.done()) {
+    relax_side(e_nodes.back());
+    relax_side(h_nodes.back());
+  }
+}
+
+void kernel_power(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x90e4ull);
+
+  // Three-level tree as in Olden's power: root → laterals → branches →
+  // leaves. Leaf: {demand_p(fp), demand_q(fp), pi, pad} — 16 bytes.
+  // Inner: {child[10], total_p(fp), total_q(fp)} — 48 bytes.
+  constexpr unsigned kFanout = 10;
+  constexpr std::uint32_t kChild0 = 0;
+  constexpr std::uint32_t kTotalP = 40;
+  constexpr std::uint32_t kTotalQ = 44;
+
+  auto build = [&](auto&& self, unsigned level) -> std::uint32_t {
+    if (level == 0) {
+      const std::uint32_t leaf = R.alloc(16);
+      R.block("pbuild");
+      R.store(Val{leaf + 0}, R.fp_alu(rng.fp_bits()));
+      R.store(Val{leaf + 4}, R.fp_alu(rng.fp_bits()));
+      R.store(Val{leaf + 8}, R.alu(rng.below(100)));
+      return leaf;
+    }
+    const std::uint32_t node = R.alloc(48);
+    R.block("pbuild");
+    for (unsigned c = 0; c < kFanout; ++c) {
+      const std::uint32_t child = self(self, level - 1);
+      R.block("pbuild");
+      R.store(Val{node + kChild0 + c * 4}, R.alu(child));
+    }
+    R.store(Val{node + kTotalP}, R.fp_alu(rng.fp_bits()));
+    R.store(Val{node + kTotalQ}, R.fp_alu(rng.fp_bits()));
+    return node;
+  };
+  // Four levels (11K nodes, ~250 KB) at full scale; three for test budgets.
+  const unsigned levels = params.target_ops >= 200'000 ? 4 : 3;
+  const std::uint32_t root = build(build, levels);
+
+  // Upward demand aggregation followed by a downward price update.
+  auto compute = [&](auto&& self, Val node, unsigned level) -> Val {
+    R.block("pcompute");
+    if (level == 0) {
+      Val p = R.load(node + 0);
+      Val q = R.load(node + 4);
+      Val sum = R.fp_alu(rng.fp_bits(), p, q);
+      // Clamp check on the leaf demand (power's optimisation constraint).
+      const bool over_limit = (sum.value & 0xffu) > 200u;
+      R.branch(over_limit, sum);
+      R.store(node + 8, R.alu(rng.below(100), sum));
+      return sum;
+    }
+    Val acc = R.fp_alu(rng.fp_bits());
+    for (unsigned c = 0; c < kFanout && !R.done(); ++c) {
+      R.block("pcompute");
+      Val child = R.load(node + kChild0 + c * 4);
+      Val s = self(self, child, level - 1);
+      acc = R.fp_alu(rng.fp_bits(), acc, s);
+    }
+    R.store(node + kTotalP, acc);
+    R.store(node + kTotalQ, R.fp_mul(rng.fp_bits(), acc));
+    return acc;
+  };
+
+  while (!R.done()) {
+    R.block("ppass");
+    compute(compute, Val{root}, levels);
+  }
+}
+
+void kernel_tsp(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x75bull);
+
+  // City: {x(fp), y(fp), next, prev} — 16 bytes, doubly linked tour.
+  constexpr std::uint32_t kX = 0;
+  constexpr std::uint32_t kY = 4;
+  constexpr std::uint32_t kNext = 8;
+  constexpr std::uint32_t kPrev = 12;
+
+  auto new_city = [&]() -> std::uint32_t {
+    const std::uint32_t c = R.alloc(16);
+    R.block("cnew");
+    R.store(Val{c + kX}, R.fp_alu(rng.fp_bits()));
+    R.store(Val{c + kY}, R.fp_alu(rng.fp_bits()));
+    return c;
+  };
+
+  // Seed the tour with enough cities that a scan far exceeds the L2
+  // capacity (8192 cities * 16 B = 128 KB of cities alone).
+  const std::uint32_t kSeedCities = params.scaled_units(8, 1024, 8192);
+  std::uint32_t first = new_city();
+  std::uint32_t prev = first;
+  for (std::uint32_t i = 1; i < kSeedCities; ++i) {
+    const std::uint32_t c = new_city();
+    R.block("cinit");
+    R.store(Val{prev + kNext}, R.alu(c));
+    R.store(Val{c + kPrev}, R.alu(prev));
+    prev = c;
+  }
+  R.block("cinit");
+  R.store(Val{prev + kNext}, R.alu(first));
+  R.store(Val{first + kPrev}, R.alu(prev));
+  std::uint32_t tour_head = first;
+  std::uint32_t tour_len = kSeedCities;
+
+  // Cheapest-insertion: walk the whole tour computing an FP cost for each
+  // edge, then splice the new city after the best position.
+  while (!R.done()) {
+    const std::uint32_t city = new_city();
+    Val cx = R.load(Val{city + kX});
+    Val cy = R.load(Val{city + kY});
+
+    Val best{tour_head};
+    std::uint32_t best_metric = ~0u;
+    Val cur{tour_head};
+    for (std::uint32_t i = 0; i < tour_len && !R.done(); ++i) {
+      R.block("cscan");
+      Val x = R.load(cur + kX);
+      Val y = R.load(cur + kY);
+      Val dx = R.fp_alu(rng.fp_bits(), x, cx);
+      Val dy = R.fp_alu(rng.fp_bits(), y, cy);
+      Val d2 = R.fp_mul(rng.fp_bits(), dx, dy);
+      const std::uint32_t metric = d2.value ^ (d2.value >> 7);
+      R.branch(metric < best_metric, d2);
+      if (metric < best_metric) {
+        best_metric = metric;
+        best = cur;
+      }
+      cur = R.load(cur + kNext);
+    }
+
+    // Splice city after `best`.
+    R.block("csplice");
+    Val succ = R.load(best + kNext);
+    R.store(Val{city + kNext}, succ);
+    R.store(Val{city + kPrev}, best);
+    R.store(best + kNext, Val{city});
+    R.store(succ + kPrev, Val{city});
+    ++tour_len;
+
+    // 2-opt-style improvement pass (tsp's tour optimisation): walk a
+    // window of the tour and conditionally exchange a city with its
+    // successor when the local FP cost says so.
+    Val cur2{tour_head};
+    for (std::uint32_t i = 0; i < tour_len / 8 && !R.done(); ++i) {
+      R.block("c2opt");
+      Val next = R.load(cur2 + kNext);
+      Val x1 = R.load(cur2 + kX);
+      Val x2 = R.load(next + kX);
+      Val gain = R.fp_alu(rng.fp_bits(), x1, x2);
+      const bool swap = (gain.value & 7u) == 0;
+      R.branch(swap, gain);
+      if (swap && next.value != tour_head && cur2.value != next.value) {
+        // Exchange coordinates (cheaper than relinking, same traffic shape).
+        Val y1 = R.load(cur2 + kY);
+        Val y2 = R.load(next + kY);
+        R.store(cur2 + kX, x2);
+        R.store(cur2 + kY, y2);
+        R.store(next + kX, x1);
+        R.store(next + kY, y1);
+      }
+      cur2 = next;
+    }
+  }
+}
+
+}  // namespace cpc::workload

@@ -1,0 +1,240 @@
+// Olden-like linked-structure kernels: health and mst.
+//
+// health is the paper's poster child (section 4.3 singles it out as a case
+// where CPP beats BCP): a hierarchy of villages whose patient lists are
+// traversed and spliced every simulation step — next-pointer chases with
+// small status/count fields, exactly the structure of Fig. 5.
+
+#include <vector>
+
+#include "workload/rng.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::workload {
+
+using Val = TraceRecorder::Val;
+
+void kernel_health(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x43a17ull);
+
+  // Village: {child[4], wait_head, num_waiting, seed, pad} — 32 bytes.
+  constexpr std::uint32_t kChild0 = 0;
+  constexpr std::uint32_t kWaitHead = 16;
+  constexpr std::uint32_t kNumWaiting = 20;
+  // Patient: {next, remaining_time, hops, id} — 16 bytes.
+  constexpr std::uint32_t kNext = 0;
+  constexpr std::uint32_t kTime = 4;
+  constexpr std::uint32_t kHops = 8;
+  constexpr std::uint32_t kId = 12;
+
+  std::vector<std::uint32_t> villages;
+  auto build = [&](auto&& self, unsigned depth) -> std::uint32_t {
+    const std::uint32_t v = R.alloc(32);
+    villages.push_back(v);
+    R.block("vbuild");
+    R.store(Val{v + kWaitHead}, R.alu(0));
+    R.store(Val{v + kNumWaiting}, R.alu(0));
+    for (unsigned c = 0; c < 4; ++c) {
+      const std::uint32_t child = depth == 0 ? 0u : self(self, depth - 1);
+      R.block("vbuild");
+      R.store(Val{v + kChild0 + c * 4}, R.alu(child));
+    }
+    return v;
+  };
+  // 1365 villages (depth 5) for full-size runs, 341 for small test budgets.
+  const std::uint32_t root = build(build, params.target_ops >= 400'000 ? 5 : 4);
+
+  // Seed every village with a few patients (list push-front).
+  std::uint32_t next_id = 1;
+  auto add_patient = [&](std::uint32_t village) {
+    const std::uint32_t p = R.alloc(16);
+    R.block("admit");
+    Val head = R.load(Val{village + kWaitHead});
+    R.store(Val{p + kNext}, head);
+    R.store(Val{p + kTime}, R.alu(rng.range(1, 12)));
+    R.store(Val{p + kHops}, R.alu(0));
+    R.store(Val{p + kId}, R.alu(next_id++));
+    R.store(Val{village + kWaitHead}, R.alu(p));
+    Val n = R.load(Val{village + kNumWaiting});
+    R.store(Val{village + kNumWaiting}, R.alu(n.value + 1, n));
+  };
+  for (std::uint32_t v : villages) {
+    for (unsigned i = 0, n = rng.range(2, 10); i < n; ++i) add_patient(v);
+  }
+
+  // Simulation steps: walk every village's waiting list; decrement patient
+  // timers; a patient whose timer expires is unlinked and either discharged
+  // (freed) or transferred to a random village's list.
+  while (!R.done()) {
+    for (std::uint32_t v : villages) {
+      if (R.done()) break;
+      R.block("step");
+      Val prev_addr = Val{v + kWaitHead};  // address of the link we came from
+      Val cur = R.load(prev_addr);
+      R.branch(cur.value != 0, cur);
+      while (cur.value != 0 && !R.done()) {
+        R.block("visit");
+        Val next = R.load(cur + kNext);
+        Val time = R.load(cur + kTime);
+        const bool expired = static_cast<std::int32_t>(time.value) <= 1;
+        R.branch(expired, time);
+        if (expired) {
+          // Unlink.
+          R.store(prev_addr, next);
+          Val n = R.load(Val{v + kNumWaiting});
+          R.store(Val{v + kNumWaiting}, R.alu(n.value - 1, n));
+          if (rng.chance(1, 3)) {
+            R.free(cur.value, 16);  // discharged
+          } else {
+            // Transfer to another village: push-front there.
+            const std::uint32_t dst = villages[rng.below(
+                static_cast<std::uint32_t>(villages.size()))];
+            R.block("transfer");
+            Val hops = R.load(cur + kHops);
+            R.store(cur + kHops, R.alu(hops.value + 1, hops));
+            Val dhead = R.load(Val{dst + kWaitHead});
+            R.store(cur + kNext, dhead);
+            R.store(cur + kTime, R.alu(rng.range(1, 12)));
+            R.store(Val{dst + kWaitHead}, cur);
+            Val dn = R.load(Val{dst + kNumWaiting});
+            R.store(Val{dst + kNumWaiting}, R.alu(dn.value + 1, dn));
+          }
+        } else {
+          R.store(cur + kTime, R.alu(time.value - 1, time));
+          prev_addr = cur + kNext;
+        }
+        cur = next;
+      }
+      // Occasionally admit a new patient, keeping the population stable.
+      if (rng.chance(1, 4)) add_patient(v);
+    }
+
+    // Assessment sweep (health's check() phase): a read-only walk over a
+    // random subtree's waiting lists, accumulating hop statistics.
+    const std::uint32_t start = rng.below(static_cast<std::uint32_t>(villages.size()));
+    Val total = R.alu(0);
+    for (std::uint32_t k = 0; k < 64 && !R.done(); ++k) {
+      const std::uint32_t v = villages[(start + k) % villages.size()];
+      R.block("assess");
+      Val cur = R.load(Val{v + kWaitHead});
+      R.branch(cur.value != 0, cur);
+      while (cur.value != 0 && !R.done()) {
+        R.block("assess");
+        Val hops = R.load(cur + kHops);
+        total = R.alu(total.value + hops.value, total, hops);
+        cur = R.load(cur + kNext);
+      }
+    }
+    R.block("assess");
+    R.store(Val{root + kNumWaiting}, total);
+  }
+}
+
+void kernel_mst(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x357ull);
+
+  // Vertices in one array: {mindist, in_tree, pad, pad} — 16 bytes each.
+  // Edge weights live in per-vertex chained hash tables, as in Olden's mst:
+  // HashEntry {key_vertex, weight, next} — 16 bytes.
+  constexpr std::uint32_t kMindist = 0;
+  constexpr std::uint32_t kInTree = 4;
+  constexpr std::uint32_t kHashBuckets = 32;
+
+  // Build cost ≈ 75 ops/vertex (bucket init + 8 hash entries).
+  const std::uint32_t num_vertices = params.scaled_units(75, 192, 640);
+  const std::uint32_t vbase = R.alloc(num_vertices * 16);
+  // Per-vertex bucket arrays.
+  std::vector<std::uint32_t> buckets(num_vertices);
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    buckets[v] = R.alloc(kHashBuckets * 4);
+    R.block("hinit");
+    for (std::uint32_t b = 0; b < kHashBuckets; ++b) {
+      R.store(Val{buckets[v] + b * 4}, R.alu(0));
+    }
+    R.store(Val{vbase + v * 16 + kMindist}, R.alu(0x7fffu));
+    R.store(Val{vbase + v * 16 + kInTree}, R.alu(0));
+  }
+  // Sparse random weights: ~8 entries per vertex. As in Olden's HashInsert,
+  // the chain is searched for the key before a new entry is linked in.
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    for (unsigned e = 0; e < 8; ++e) {
+      const std::uint32_t u = rng.below(num_vertices);
+      if (u == v) continue;
+      const std::uint32_t b = u % kHashBuckets;
+      R.block("hadd");
+      Val head = R.load(Val{buckets[v] + b * 4});
+      Val probe = head;
+      bool exists = false;
+      while (probe.value != 0 && !R.done()) {
+        R.block("hprobe");
+        Val k = R.load(probe + 0);
+        R.branch(k.value == u, k);
+        if (k.value == u) {
+          exists = true;
+          break;
+        }
+        probe = R.load(probe + 8);
+      }
+      if (exists) continue;
+      const std::uint32_t entry = R.alloc(16);
+      R.block("hadd");
+      R.store(Val{entry + 0}, R.alu(u));
+      R.store(Val{entry + 4}, R.alu(rng.range(1, 4096)));
+      R.store(Val{entry + 8}, head);
+      R.store(Val{buckets[v] + b * 4}, R.alu(entry));
+    }
+  }
+
+  // Hash lookup: chase the chain for `key` in vertex v's table.
+  auto hash_lookup = [&](std::uint32_t v, std::uint32_t key) -> Val {
+    R.block("hlookup");
+    Val cur = R.load(Val{buckets[v] + (key % kHashBuckets) * 4});
+    R.branch(cur.value != 0, cur);
+    while (cur.value != 0 && !R.done()) {
+      R.block("hchase");
+      Val k = R.load(cur + 0);
+      R.branch(k.value == key, k);
+      if (k.value == key) return R.load(cur + 4);
+      cur = R.load(cur + 8);
+    }
+    return R.alu(0x7fffu);  // no edge: "infinite" weight
+  };
+
+  // Prim/Blue-rule growth, restarted until the op budget is used.
+  while (!R.done()) {
+    for (std::uint32_t v = 0; v < num_vertices; ++v) {
+      R.block("reset");
+      R.store(Val{vbase + v * 16 + kInTree}, R.alu(0));
+      R.store(Val{vbase + v * 16 + kMindist}, R.alu(0x7fffu));
+      if (R.done()) return;
+    }
+    std::uint32_t current = 0;
+    for (std::uint32_t step = 1; step < num_vertices && !R.done(); ++step) {
+      R.block("grow");
+      R.store(Val{vbase + current * 16 + kInTree}, R.alu(1));
+      std::uint32_t best = 0;
+      std::uint32_t best_dist = ~0u;
+      // Blue rule: relax every out-of-tree vertex against `current`.
+      for (std::uint32_t v = 0; v < num_vertices && !R.done(); ++v) {
+        R.block("relax");
+        Val in_tree = R.load(Val{vbase + v * 16 + kInTree});
+        R.branch(in_tree.value != 0, in_tree);
+        if (in_tree.value != 0) continue;
+        Val w = hash_lookup(v, current);
+        R.block("relax2");
+        Val dist = R.load(Val{vbase + v * 16 + kMindist});
+        const bool closer = w.value < dist.value;
+        R.branch(closer, w);
+        if (closer) R.store(Val{vbase + v * 16 + kMindist}, w);
+        const std::uint32_t d = closer ? w.value : dist.value;
+        if (d < best_dist) {
+          best_dist = d;
+          best = v;
+        }
+      }
+      current = best;
+    }
+  }
+}
+
+}  // namespace cpc::workload

@@ -1,0 +1,173 @@
+// Olden-like tree kernels: treeadd, bisort, perimeter.
+//
+// All three build real trees on the simulated heap and traverse them with
+// dependence-carrying pointer loads, reproducing the access patterns the
+// Olden suite is known for: depth-first pointer chasing over nodes whose
+// fields are a mix of compressible pointers/small values and (occasionally)
+// incompressible payloads.
+
+#include "workload/rng.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::workload {
+
+using Val = TraceRecorder::Val;
+
+namespace {
+
+// treeadd node layout: {left, right, value, pad} — 16 bytes.
+constexpr std::uint32_t kLeft = 0;
+constexpr std::uint32_t kRight = 4;
+constexpr std::uint32_t kValue = 8;
+
+constexpr std::uint32_t kPad = 12;
+
+std::uint32_t build_binary_tree(TraceRecorder& R, Rng& rng, unsigned depth,
+                                bool random_values) {
+  const std::uint32_t node = R.alloc(16);
+  R.block("build");
+  const std::uint32_t value = random_values ? rng.below(1u << 20) : 1u;
+  R.store(Val{node + kValue}, R.alu(value));
+  // The fourth word carries metadata/garbage in the C original — an
+  // arbitrary bit pattern, typically incompressible.
+  R.store(Val{node + kPad}, R.alu(static_cast<std::uint32_t>(rng.next())));
+  if (depth == 0) {
+    R.store(Val{node + kLeft}, R.alu(0));
+    R.store(Val{node + kRight}, R.alu(0));
+  } else {
+    const std::uint32_t l = build_binary_tree(R, rng, depth - 1, random_values);
+    const std::uint32_t r = build_binary_tree(R, rng, depth - 1, random_values);
+    R.block("build");
+    R.store(Val{node + kLeft}, R.alu(l));
+    R.store(Val{node + kRight}, R.alu(r));
+  }
+  return node;
+}
+
+/// Tree depth whose build phase (~10 ops/node) fits the op budget, between
+/// 2^10-1 nodes (16 KB, still beyond L1) and 2^15-1 nodes (512 KB, beyond L2).
+unsigned scaled_tree_depth(const WorkloadParams& params) {
+  const std::uint32_t nodes = params.scaled_units(10, 1 << 10, 1 << 15);
+  unsigned depth = 9;
+  while ((2u << (depth + 1)) - 1 <= nodes && depth < 14) ++depth;
+  return depth;
+}
+
+}  // namespace
+
+void kernel_treeadd(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x7eeaddull);
+  const unsigned depth = scaled_tree_depth(params);
+  const std::uint32_t root = build_binary_tree(R, rng, depth, /*random_values=*/false);
+
+  // Recursive sum, exactly treeadd's TreeAdd().
+  auto sum = [&R](auto&& self, Val node) -> Val {
+    R.block("sum");
+    Val left = R.load(node + kLeft);
+    Val right = R.load(node + kRight);
+    Val value = R.load(node + kValue);
+    R.branch(left.value != 0, left);
+    Val acc = value;
+    if (left.value != 0 && !R.done()) {
+      Val sl = self(self, left);
+      acc = R.alu(acc.value + sl.value, acc, sl);
+    }
+    if (right.value != 0 && !R.done()) {
+      Val sr = self(self, right);
+      acc = R.alu(acc.value + sr.value, acc, sr);
+    }
+    return acc;
+  };
+
+  while (!R.done()) {
+    R.block("pass");
+    sum(sum, Val{root});
+  }
+}
+
+void kernel_bisort(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0xb150f7ull);
+  const unsigned depth = scaled_tree_depth(params);
+  const std::uint32_t root = build_binary_tree(R, rng, depth, /*random_values=*/true);
+
+  // Bimerge-style pass: walk the tree, conditionally swapping the value
+  // fields of each node's children (compare-and-swap over pointers).
+  auto bimerge = [&R](auto&& self, Val node, bool direction) -> void {
+    R.block("bimerge");
+    Val left = R.load(node + kLeft);
+    Val right = R.load(node + kRight);
+    R.branch(left.value != 0, left);
+    if (left.value == 0 || right.value == 0 || R.done()) return;
+    Val lv = R.load(left + kValue);
+    Val rv = R.load(right + kValue);
+    const bool swap = (lv.value > rv.value) == direction;
+    R.branch(swap, R.alu(lv.value - rv.value, lv, rv));
+    if (swap) {
+      R.store(left + kValue, rv);
+      R.store(right + kValue, lv);
+    }
+    self(self, left, direction);
+    self(self, right, !direction);
+  };
+
+  bool dir = true;
+  while (!R.done()) {
+    R.block("sortpass");
+    bimerge(bimerge, Val{root}, dir);
+    dir = !dir;
+  }
+}
+
+void kernel_perimeter(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x9e21ull);
+  // Quadtree node: {children[4], type, pad} — 24 bytes. type: 0 = white
+  // leaf, 1 = black leaf, 2 = inner.
+  constexpr std::uint32_t kChild0 = 0;
+  constexpr std::uint32_t kType = 16;
+
+  constexpr std::uint32_t kArea = 20;
+  const unsigned max_depth = params.target_ops >= 400'000 ? 8 : 6;
+  auto build = [&](auto&& self, unsigned depth) -> std::uint32_t {
+    const std::uint32_t node = R.alloc(24);
+    R.block("qbuild");
+    // Top levels always split (a map's coarse quadrants are never uniform);
+    // deeper regions become leaves with probability 1/4 per level.
+    const bool leaf = depth == 0 || (depth + 4 <= max_depth && rng.chance(1, 4));
+    R.store(Val{node + kType}, R.alu(leaf ? rng.below(2) : 2u));
+    // Leaves carry an FP area payload — incompressible bits.
+    R.store(Val{node + kArea}, R.alu(leaf ? static_cast<std::uint32_t>(rng.next()) : 0u));
+    for (unsigned c = 0; c < 4; ++c) {
+      const std::uint32_t child = leaf ? 0u : self(self, depth - 1);
+      R.block("qbuild");
+      R.store(Val{node + kChild0 + c * 4}, R.alu(child));
+    }
+    return node;
+  };
+  const std::uint32_t root = build(build, max_depth);
+
+  // Perimeter walk: count exposed edges of black leaves.
+  auto walk = [&R](auto&& self, Val node) -> Val {
+    R.block("qwalk");
+    Val type = R.load(node + kType);
+    R.branch(type.value == 2, type);
+    if (type.value != 2) {
+      // Leaf: contributes 4 * black.
+      return R.alu(type.value * 4, type);
+    }
+    Val perim = R.alu(0);
+    for (unsigned c = 0; c < 4 && !R.done(); ++c) {
+      R.block("qwalk");
+      Val child = R.load(node + kChild0 + c * 4);
+      Val p = self(self, child);
+      perim = R.alu(perim.value + p.value, perim, p);
+    }
+    return perim;
+  };
+
+  while (!R.done()) {
+    R.block("qpass");
+    walk(walk, Val{root});
+  }
+}
+
+}  // namespace cpc::workload

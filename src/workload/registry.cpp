@@ -1,0 +1,47 @@
+#include <stdexcept>
+
+#include "workload/workloads.hpp"
+
+namespace cpc::workload {
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> workloads = {
+      {"olden.bisort", "Olden", "binary-tree bitonic sort with value swaps",
+       &kernel_bisort},
+      {"olden.em3d", "Olden", "bipartite E/H-node electromagnetic relaxation",
+       &kernel_em3d},
+      {"olden.health", "Olden", "hierarchical village patient-list simulation",
+       &kernel_health},
+      {"olden.mst", "Olden", "Prim MST with per-vertex chained hash tables",
+       &kernel_mst},
+      {"olden.perimeter", "Olden", "quadtree perimeter traversal", &kernel_perimeter},
+      {"olden.power", "Olden", "multiway-tree power-flow optimisation", &kernel_power},
+      {"olden.treeadd", "Olden", "recursive binary-tree sum", &kernel_treeadd},
+      {"olden.tsp", "Olden", "cheapest-insertion tour construction", &kernel_tsp},
+      {"spec95.099.go", "SPECint95", "board scans and liberty flood fill", &kernel_go},
+      {"spec95.124.m88ksim", "SPECint95", "table-driven CPU simulator loop",
+       &kernel_m88ksim},
+      {"spec95.130.li", "SPECint95", "cons-cell Lisp expression evaluator", &kernel_li},
+      {"spec2000.164.gzip", "SPECint2000", "LZ77 hash-chain match search", &kernel_gzip},
+      {"spec2000.181.mcf", "SPECint2000", "network-simplex arc pricing sweeps",
+       &kernel_mcf},
+      {"spec2000.300.twolf", "SPECint2000", "standard-cell placement pair swaps",
+       &kernel_twolf},
+  };
+  return workloads;
+}
+
+const Workload& find_workload(std::string_view name) {
+  for (const Workload& w : all_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw std::out_of_range("unknown workload: " + std::string(name));
+}
+
+cpu::Trace generate(const Workload& workload, const WorkloadParams& params) {
+  TraceRecorder recorder(params.target_ops);
+  workload.kernel(recorder, params);
+  return recorder.take_trace();
+}
+
+}  // namespace cpc::workload

@@ -1,0 +1,43 @@
+#pragma once
+// Small deterministic RNG (xorshift64*) for workload generation. Kernels
+// must not depend on std::rand or platform RNGs: traces have to be
+// bit-identical across runs and platforms so experiments are reproducible.
+
+#include <cstdint>
+
+namespace cpc::workload {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint32_t below(std::uint32_t bound) {
+    return static_cast<std::uint32_t>(next() % bound);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint32_t range(std::uint32_t lo, std::uint32_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  bool chance(std::uint32_t numerator, std::uint32_t denominator) {
+    return below(denominator) < numerator;
+  }
+
+  /// Raw bits of a double in [0,1) truncated to 32 — a typical
+  /// incompressible FP payload word.
+  std::uint32_t fp_bits() { return static_cast<std::uint32_t>(next() >> 16) | 0x3f00'0000u; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cpc::workload

@@ -1,0 +1,245 @@
+// SPECint2000-like kernels: gzip (164), mcf (181), twolf (300).
+//
+//  * gzip  — LZ77 hash-chain match search over a sliding window: byte
+//            values and chain indices are small (highly compressible).
+//  * mcf   — network-simplex pricing sweeps over arc structs holding
+//            node pointers, large costs and small flows.
+//  * twolf — standard-cell placement with random pair swaps and net-cost
+//            evaluation; scattered accesses with heavy conflict misses
+//            (the paper singles twolf out as a case where CPP beats BCP).
+
+#include <vector>
+
+#include "workload/rng.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::workload {
+
+using Val = TraceRecorder::Val;
+
+void kernel_gzip(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x621bull);
+
+  constexpr std::uint32_t kWindow = 32 * 1024;  // bytes, stored one per word
+  constexpr std::uint32_t kHashSize = 4096;
+
+  const std::uint32_t window = R.alloc(kWindow * 4);
+  const std::uint32_t head = R.alloc(kHashSize * 4);
+  const std::uint32_t prev = R.alloc(kWindow * 4);
+  const std::uint32_t output = R.alloc(kWindow * 4);
+
+  R.block("zinit");
+  for (std::uint32_t h = 0; h < kHashSize; ++h) {
+    R.store(Val{head + h * 4}, R.alu(0));
+  }
+
+  std::uint32_t pos = 0;
+  std::uint32_t out_pos = 0;
+  // Skewed byte distribution (text-like) so matches actually occur.
+  auto next_byte = [&rng]() -> std::uint32_t {
+    return rng.chance(3, 4) ? rng.below(32) + 64 : rng.below(256);
+  };
+
+  while (!R.done()) {
+    // Deflate step: insert current position into the hash chain, then walk
+    // the chain comparing window bytes to find the longest match.
+    const std::uint32_t b0 = next_byte();
+    R.block("zstep");
+    Val byte_val = R.alu(b0);
+    R.store(Val{window + (pos % kWindow) * 4}, byte_val);
+    const std::uint32_t h = (b0 * 33 + pos * 7) % kHashSize;
+    Val chain = R.load(Val{head + h * 4});
+    R.store(Val{prev + (pos % kWindow) * 4}, chain);
+    R.store(Val{head + h * 4}, R.alu(pos % kWindow, byte_val));
+
+    std::uint32_t match_len = 0;
+    Val cursor = chain;
+    for (unsigned probes = 0; probes < 8 && cursor.value != 0 && !R.done(); ++probes) {
+      R.block("zmatch");
+      Val candidate = R.load(Val{window + (cursor.value % kWindow) * 4, cursor.producer});
+      const bool matches = candidate.value == b0;
+      R.branch(matches, candidate);
+      if (matches) ++match_len;
+      cursor = R.load(Val{prev + (cursor.value % kWindow) * 4, cursor.producer});
+    }
+
+    // Emit literal or (length, distance) token: small values.
+    R.block("zemit");
+    if (match_len >= 2) {
+      R.store(Val{output + (out_pos % kWindow) * 4}, R.alu(match_len));
+      R.store(Val{output + ((out_pos + 1) % kWindow) * 4},
+              R.alu(pos % kWindow));
+      out_pos += 2;
+    } else {
+      R.store(Val{output + (out_pos % kWindow) * 4}, byte_val);
+      ++out_pos;
+    }
+    // Rolling CRC of the stream — a full-width, incompressible word, as in
+    // gzip's crc32 accumulator.
+    if (pos % 16 == 0) {
+      R.store(Val{output + ((out_pos + 2) % kWindow) * 4},
+              R.alu(static_cast<std::uint32_t>(rng.next()), byte_val));
+    }
+    // End-of-block flush (deflate emits blocks): reset a stripe of the
+    // hash heads, a burst of sequential small-value stores.
+    if (pos % 8192 == 8191) {
+      R.block("zflush");
+      const std::uint32_t stripe = (pos / 8192) % 8 * (kHashSize / 8);
+      for (std::uint32_t i = 0; i < kHashSize / 8 && !R.done(); ++i) {
+        R.store(Val{head + (stripe + i) * 4}, R.alu(0));
+      }
+    }
+    ++pos;
+  }
+}
+
+void kernel_mcf(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x3cfull);
+
+  // Node: {potential, first_arc, depth, pad} — 16 bytes.
+  // Arc: {cost, tail, head, flow, ident, next_out} — 24 bytes.
+  constexpr std::uint32_t kPotential = 0;
+  constexpr std::uint32_t kACost = 0;
+  constexpr std::uint32_t kATail = 4;
+  constexpr std::uint32_t kAHead = 8;
+  constexpr std::uint32_t kAFlow = 12;
+  constexpr std::uint32_t kAIdent = 16;
+
+  // Arcs sized to the op budget (6 build ops each); up to 192 KB of arcs.
+  const std::uint32_t num_arcs = params.scaled_units(6, 2048, 8192);
+  const std::uint32_t num_nodes = num_arcs / 8;
+  const std::uint32_t nodes = R.alloc(num_nodes * 16);
+  const std::uint32_t arcs = R.alloc(num_arcs * 24);
+
+  R.block("minit");
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    // Potentials are large dual values — mostly incompressible.
+    R.store(Val{nodes + n * 16 + kPotential}, R.alu(rng.next() & 0x3fff'ffffu));
+  }
+  for (std::uint32_t a = 0; a < num_arcs; ++a) {
+    const std::uint32_t base = arcs + a * 24;
+    R.block("ainit");
+    R.store(Val{base + kACost}, R.alu(rng.below(1u << 24)));
+    R.store(Val{base + kATail}, R.alu(nodes + rng.below(num_nodes) * 16));
+    R.store(Val{base + kAHead}, R.alu(nodes + rng.below(num_nodes) * 16));
+    R.store(Val{base + kAFlow}, R.alu(0));
+    R.store(Val{base + kAIdent}, R.alu(rng.below(3)));
+    if (R.done()) return;
+  }
+
+  // Pricing sweeps (primal_bea_mpp): scan all arcs sequentially, computing
+  // the reduced cost via the endpoint potentials, and update the flow on
+  // the few violating arcs.
+  while (!R.done()) {
+    for (std::uint32_t a = 0; a < num_arcs && !R.done(); ++a) {
+      const std::uint32_t base = arcs + a * 24;
+      R.block("price");
+      Val ident = R.load(Val{base + kAIdent});
+      R.branch(ident.value != 0, ident);
+      if (ident.value == 0) continue;
+      Val cost = R.load(Val{base + kACost});
+      Val tail = R.load(Val{base + kATail});
+      Val head_ptr = R.load(Val{base + kAHead});
+      Val pot_tail = R.load(tail + kPotential);
+      Val pot_head = R.load(head_ptr + kPotential);
+      const std::uint32_t red =
+          cost.value + pot_tail.value - pot_head.value;
+      Val red_cost = R.alu(red, pot_tail, pot_head);
+      const bool violating = (red & 0x8000'0000u) != 0;
+      R.branch(violating, red_cost);
+      if (violating) {
+        Val flow = R.load(Val{base + kAFlow});
+        R.store(Val{base + kAFlow}, R.alu(flow.value + 1, flow, red_cost));
+        // Push the dual change to the head node.
+        R.store(head_ptr + kPotential, R.alu(pot_head.value + 13, pot_head));
+      }
+    }
+  }
+}
+
+void kernel_twolf(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x2a01full);
+
+  // Cell: {x, y, pin_head, cost} — 16 bytes.
+  // Pin: {cell_ptr, net_id, next_on_net, offset} — 16 bytes; pins of one
+  // net form a linked list.
+  constexpr std::uint32_t kX = 0;
+  constexpr std::uint32_t kY = 4;
+  constexpr std::uint32_t kPinHead = 8;
+  constexpr std::uint32_t kPCell = 0;
+  constexpr std::uint32_t kPNext = 8;
+
+  // ~3 build ops per cell plus ~16 per net; sized to the op budget.
+  const std::uint32_t num_cells = params.scaled_units(12, 1024, 4096);
+  const std::uint32_t num_nets = num_cells / 2;
+  const std::uint32_t cells = R.alloc(num_cells * 16);
+  std::vector<std::uint32_t> net_heads(num_nets, 0);
+
+  R.block("tinit");
+  for (std::uint32_t c = 0; c < num_cells; ++c) {
+    R.store(Val{cells + c * 16 + kX}, R.alu(rng.below(1000)));
+    R.store(Val{cells + c * 16 + kY}, R.alu(rng.below(1000)));
+    R.store(Val{cells + c * 16 + kPinHead}, R.alu(0));
+    if (R.done()) return;
+  }
+  // 3-5 pins per net, randomly attached to cells.
+  for (std::uint32_t n = 0; n < num_nets; ++n) {
+    const unsigned pins = rng.range(3, 5);
+    for (unsigned p = 0; p < pins; ++p) {
+      const std::uint32_t pin = R.alloc(16);
+      const std::uint32_t cell = cells + rng.below(num_cells) * 16;
+      R.block("tpin");
+      R.store(Val{pin + kPCell}, R.alu(cell));
+      R.store(Val{pin + 4}, R.alu(n));
+      R.store(Val{pin + kPNext}, R.alu(net_heads[n]));
+      R.store(Val{pin + 12}, R.alu(rng.below(8)));
+      net_heads[n] = pin;
+    }
+  }
+
+  // Net half-perimeter cost: walk the pin list, loading each pin's cell
+  // coordinates (scattered pointer dereferences).
+  auto net_cost = [&](std::uint32_t net) -> Val {
+    Val lo_x = R.alu(~0u), hi_x = R.alu(0);
+    Val cur{net_heads[net]};
+    while (cur.value != 0 && !R.done()) {
+      R.block("tcost");
+      Val cell = R.load(cur + kPCell);
+      Val x = R.load(cell + kX);
+      Val y = R.load(cell + kY);
+      lo_x = R.alu(x.value < lo_x.value ? x.value : lo_x.value, lo_x, x);
+      hi_x = R.alu(x.value + y.value > hi_x.value ? x.value + y.value : hi_x.value,
+                   hi_x, y);
+      cur = R.load(cur + kPNext);
+      R.branch(cur.value != 0, cur);
+    }
+    return R.alu(hi_x.value - lo_x.value, hi_x, lo_x);
+  };
+
+  // Simulated-annealing-ish pair swaps.
+  while (!R.done()) {
+    const std::uint32_t a = cells + rng.below(num_cells) * 16;
+    const std::uint32_t b = cells + rng.below(num_cells) * 16;
+    const std::uint32_t net_a = rng.below(num_nets);
+    const std::uint32_t net_b = rng.below(num_nets);
+    R.block("tswap");
+    Val old_cost_a = net_cost(net_a);
+    Val old_cost_b = net_cost(net_b);
+    Val ax = R.load(Val{a + kX});
+    Val ay = R.load(Val{a + kY});
+    Val bx = R.load(Val{b + kX});
+    Val by = R.load(Val{b + kY});
+    const bool accept =
+        rng.chance(1, 2) || old_cost_a.value + old_cost_b.value > 900;
+    R.branch(accept, old_cost_a);
+    if (accept) {
+      R.block("tcommit");
+      R.store(Val{a + kX}, bx);
+      R.store(Val{a + kY}, by);
+      R.store(Val{b + kX}, ax);
+      R.store(Val{b + kY}, ay);
+    }
+  }
+}
+
+}  // namespace cpc::workload

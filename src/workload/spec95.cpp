@@ -1,0 +1,285 @@
+// SPECint95-like kernels: go (099.go), li (130.li), m88ksim (124.m88ksim).
+//
+//  * go     — board arrays of small values, neighbourhood scans and
+//             flood-fill liberty counting: array-indexed loads/stores of
+//             highly compressible values with branchy control.
+//  * li     — a cons-cell Lisp evaluator: deep car/cdr pointer chasing over
+//             an arena of 16-byte cells with small type tags (the paper's
+//             section 4.4 discusses 130.li explicitly).
+//  * m88ksim — a table-driven CPU simulator: sequential instruction image
+//             fetch, decode-table pointer lookups, register-file updates.
+
+#include <vector>
+
+#include "workload/rng.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::workload {
+
+using Val = TraceRecorder::Val;
+
+void kernel_go(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x60ull);
+
+  constexpr std::uint32_t kSize = 19;
+  constexpr std::uint32_t kPoints = kSize * kSize;
+  // Several board-sized arrays of words, as go keeps (board, liberties,
+  // group ids, scratch marks) — ~6 KB of hot small-valued arrays plus a
+  // history of positions that pushes the footprint past L2.
+  const std::uint32_t board = R.static_data(kPoints * 4);
+  const std::uint32_t libs = R.static_data(kPoints * 4);
+  const std::uint32_t marks = R.static_data(kPoints * 4);
+  constexpr std::uint32_t kHistory = 160;
+  const std::uint32_t history = R.alloc(kHistory * kPoints * 4);
+  // Zobrist-style position hashes: full-width incompressible words, as go's
+  // superko detection keeps.
+  const std::uint32_t hashes = R.static_data(kHistory * 4);
+
+  R.block("ginit");
+  for (std::uint32_t p = 0; p < kPoints; ++p) {
+    R.store(Val{board + p * 4}, R.alu(0));
+    R.store(Val{libs + p * 4}, R.alu(0));
+    R.store(Val{marks + p * 4}, R.alu(0));
+  }
+
+  const std::int32_t kDirs[4] = {1, -1, static_cast<std::int32_t>(kSize),
+                                 -static_cast<std::int32_t>(kSize)};
+  std::uint32_t move_number = 0;
+
+  while (!R.done()) {
+    // Play a pseudo-move: claim a random empty point for the side to move.
+    const std::uint32_t point = rng.below(kPoints);
+    const std::uint32_t colour = 1 + (move_number & 1);
+    R.block("gmove");
+    Val occupied = R.load(Val{board + point * 4});
+    R.branch(occupied.value != 0, occupied);
+    if (occupied.value == 0) {
+      R.store(Val{board + point * 4}, R.alu(colour));
+    }
+
+    // Liberty scan around the point: branchy neighbourhood reads.
+    Val liberty_count = R.alu(0);
+    for (std::int32_t d : kDirs) {
+      const std::int64_t q = static_cast<std::int64_t>(point) + d;
+      if (q < 0 || q >= kPoints) continue;
+      R.block("glibs");
+      Val neighbor = R.load(Val{board + static_cast<std::uint32_t>(q) * 4});
+      R.branch(neighbor.value == 0, neighbor);
+      liberty_count =
+          R.alu(liberty_count.value + (neighbor.value == 0 ? 1 : 0), liberty_count, neighbor);
+    }
+    R.store(Val{libs + point * 4}, liberty_count);
+
+    // Small flood-fill over the group using the marks array.
+    std::vector<std::uint32_t> stack{point};
+    unsigned steps = 0;
+    while (!stack.empty() && steps < 24 && !R.done()) {
+      const std::uint32_t p = stack.back();
+      stack.pop_back();
+      ++steps;
+      R.block("gfill");
+      Val mark = R.load(Val{marks + p * 4});
+      R.branch(mark.value == move_number, mark);
+      if (mark.value == (move_number & 0xffff)) continue;
+      R.store(Val{marks + p * 4}, R.alu(move_number & 0xffff));
+      for (std::int32_t d : kDirs) {
+        const std::int64_t q = static_cast<std::int64_t>(p) + d;
+        if (q < 0 || q >= kPoints) continue;
+        Val c = R.load(Val{board + static_cast<std::uint32_t>(q) * 4});
+        if (c.value == colour) stack.push_back(static_cast<std::uint32_t>(q));
+      }
+    }
+
+    // Record the position into the history ring, accumulating an
+    // incremental evaluation score along the way.
+    const std::uint32_t slot = (move_number % kHistory) * kPoints;
+    R.block("ghist");
+    Val score = R.alu(0);
+    for (std::uint32_t p = 0; p < kPoints && !R.done(); p += 8) {
+      Val b = R.load(Val{board + p * 4});
+      R.store(Val{history + (slot + p) * 4}, b);
+      score = R.alu(score.value + b.value * (p & 7), score, b);
+      score = R.alu(score.value ^ (score.value >> 3), score);
+    }
+    // Record the position hash for superko checks.
+    R.store(Val{hashes + (move_number % kHistory) * 4},
+            R.alu(static_cast<std::uint32_t>(rng.next()), score));
+    Val prev_hash = R.load(Val{hashes + ((move_number + kHistory - 1) % kHistory) * 4});
+    R.branch(prev_hash.value == score.value, prev_hash);
+    ++move_number;
+    // Occasionally clear the board (new game).
+    if (move_number % 300 == 0) {
+      R.block("gclear");
+      for (std::uint32_t p = 0; p < kPoints && !R.done(); ++p) {
+        R.store(Val{board + p * 4}, R.alu(0));
+      }
+    }
+  }
+}
+
+void kernel_li(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x115bull);
+
+  // Cons cell: {car, cdr, type, pad} — 16 bytes. type: 0 = pair,
+  // 1 = fixnum (car holds the small integer), 2 = symbol (car holds a
+  // pointer into the symbol table).
+  constexpr std::uint32_t kCar = 0;
+  constexpr std::uint32_t kCdr = 4;
+  constexpr std::uint32_t kType = 8;
+
+  const std::uint32_t kSymbols = 256;
+  const std::uint32_t symtab = R.static_data(kSymbols * 8);
+
+  auto cons = [&](Val car, Val cdr, std::uint32_t type) -> std::uint32_t {
+    const std::uint32_t cell = R.alloc(16);
+    R.block("cons");
+    R.store(Val{cell + kCar}, car);
+    R.store(Val{cell + kCdr}, cdr);
+    R.store(Val{cell + kType}, R.alu(type));
+    return cell;
+  };
+
+  // Build a forest of random expressions: lists of fixnums/symbols with
+  // nested sublists, ~24K cells ≈ 384 KB of arena.
+  auto build_expr = [&](auto&& self, unsigned depth) -> std::uint32_t {
+    const unsigned len = rng.range(2, 6);
+    std::uint32_t list = 0;
+    for (unsigned i = 0; i < len; ++i) {
+      std::uint32_t elem;
+      if (depth > 0 && rng.chance(1, 3)) {
+        elem = self(self, depth - 1);
+        list = cons(Val{elem}, Val{list}, 0);
+      } else if (rng.chance(1, 2)) {
+        list = cons(R.alu(rng.below(1000)), Val{list}, 1);
+      } else {
+        list = cons(R.alu(symtab + rng.below(kSymbols) * 8), Val{list}, 2);
+      }
+      (void)elem;
+    }
+    return list;
+  };
+  // Arena sized to the op budget: each expression costs ~110 trace ops to
+  // build (≈26 cells at 4 ops plus recursion overhead).
+  const std::uint32_t num_exprs = params.scaled_units(110, 120, 1500);
+  std::vector<std::uint32_t> exprs;
+  for (std::uint32_t i = 0; i < num_exprs; ++i) {
+    exprs.push_back(build_expr(build_expr, 3));
+  }
+
+  // Evaluator: walk an expression summing fixnums, dereferencing symbols,
+  // recursing into sublists — car/cdr/type chases with branches on the tag.
+  auto eval = [&](auto&& self, Val cell) -> Val {
+    Val acc = R.alu(0);
+    while (cell.value != 0 && !R.done()) {
+      R.block("eval");
+      Val type = R.load(cell + kType);
+      Val car = R.load(cell + kCar);
+      R.branch(type.value == 0, type);
+      if (type.value == 0 && car.value != 0) {
+        Val sub = self(self, car);
+        acc = R.alu(acc.value + sub.value, acc, sub);
+      } else if (type.value == 1) {
+        acc = R.alu(acc.value + car.value, acc, car);
+      } else if (type.value == 2) {
+        Val bound = R.load(car);  // symbol value slot
+        acc = R.alu(acc.value + bound.value, acc, bound);
+      }
+      cell = R.load(cell + kCdr);
+    }
+    return acc;
+  };
+
+  while (!R.done()) {
+    const std::uint32_t e = exprs[rng.below(static_cast<std::uint32_t>(exprs.size()))];
+    R.block("repl");
+    Val result = eval(eval, Val{e});
+    // Bind the result to a random symbol (stores into the symbol table).
+    R.store(Val{symtab + rng.below(kSymbols) * 8}, result);
+  }
+}
+
+void kernel_m88ksim(TraceRecorder& R, const WorkloadParams& params) {
+  Rng rng(params.seed ^ 0x88000ull);
+
+  // Simulated target state: an instruction image, a register file, a data
+  // segment, and a decode table mapping opcodes to handler descriptors.
+  // Image up to 192 KB, sized to the op budget (2 trace ops per image word).
+  const std::uint32_t kImageWords = params.scaled_units(2, 8 * 1024, 48 * 1024);
+  const std::uint32_t kDataWords = kImageWords / 3;
+  constexpr std::uint32_t kOpcodes = 64;
+
+  const std::uint32_t image = R.alloc(kImageWords * 4);
+  const std::uint32_t data = R.alloc(kDataWords * 4);
+  const std::uint32_t regs = R.static_data(32 * 4);
+  const std::uint32_t decode = R.static_data(kOpcodes * 16);
+  // Handler descriptor: {handler_ptr, class, latency, pad}.
+  const std::uint32_t handlers = R.static_data(kOpcodes * 8);
+
+  R.block("minit");
+  for (std::uint32_t op = 0; op < kOpcodes; ++op) {
+    R.store(Val{decode + op * 16 + 0}, R.alu(handlers + op * 8));
+    R.store(Val{decode + op * 16 + 4}, R.alu(op % 4));
+    R.store(Val{decode + op * 16 + 8}, R.alu(1 + op % 3));
+  }
+  for (std::uint32_t r = 0; r < 32; ++r) R.store(Val{regs + r * 4}, R.alu(r));
+  // Synthesised target instructions: opcode in the top bits keeps many
+  // encodings incompressible, like real RISC instruction words.
+  for (std::uint32_t i = 0; i < kImageWords; ++i) {
+    const std::uint32_t encoded =
+        (rng.below(kOpcodes) << 26) | rng.below(1u << 16) | (rng.below(32) << 21);
+    R.block("mload");
+    R.store(Val{image + i * 4}, R.alu(encoded));
+    if (R.done()) return;
+  }
+
+  // Fetch-decode-dispatch-execute loop.
+  std::uint32_t target_pc = 0;
+  while (!R.done()) {
+    R.block("mfetch");
+    Val instr = R.load(Val{image + (target_pc % kImageWords) * 4});
+    const std::uint32_t opcode = instr.value >> 26;
+    Val op_field = R.alu(opcode, instr);
+    Val entry = R.load(Val{decode + opcode * 16 + 0, op_field.producer});
+    Val op_class = R.load(Val{decode + opcode * 16 + 4, op_field.producer});
+    (void)entry;
+
+    const std::uint32_t rs = (instr.value >> 21) & 31;
+    const std::uint32_t rd = instr.value & 31;
+    R.block("mexec");
+    Val a = R.load(Val{regs + rs * 4});
+    R.branch((op_class.value & 1) != 0, op_class);
+    switch (op_class.value & 3) {
+      case 0: {  // ALU
+        Val r0 = R.alu(a.value + instr.value, a, instr);
+        R.store(Val{regs + rd * 4}, r0);
+        break;
+      }
+      case 1: {  // load from the simulated data segment
+        const std::uint32_t ea = (a.value + instr.value) % kDataWords;
+        Val v = R.load(Val{data + ea * 4, a.producer});
+        R.store(Val{regs + rd * 4}, v);
+        break;
+      }
+      case 2: {  // store to the simulated data segment
+        const std::uint32_t ea = (a.value ^ instr.value) % kDataWords;
+        R.store(Val{data + ea * 4, a.producer}, R.alu(rd + 1, a));
+        break;
+      }
+      default: {  // multiply
+        Val r1 = R.mul(a.value * 3, a, instr);
+        R.store(Val{regs + rd * 4}, r1);
+        break;
+      }
+    }
+    // Mostly sequential PC with occasional taken branches.
+    if (rng.chance(1, 6)) {
+      target_pc = rng.below(kImageWords);
+      R.branch(true, instr);
+    } else {
+      ++target_pc;
+      R.branch(false, instr);
+    }
+  }
+}
+
+}  // namespace cpc::workload

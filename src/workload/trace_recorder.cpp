@@ -1,0 +1,77 @@
+#include "workload/trace_recorder.hpp"
+
+namespace cpc::workload {
+
+void TraceRecorder::block(std::string_view name) {
+  auto [it, inserted] = block_bases_.try_emplace(std::string(name), next_block_base_);
+  if (inserted) next_block_base_ += kBlockCapacityOps * 4;
+  block_base_ = it->second;
+  pc_ = block_base_;
+}
+
+void TraceRecorder::advance_pc() {
+  pc_ += 4;
+  // Wrap within the block so arbitrarily long straight-line stretches keep a
+  // bounded I-cache footprint, like an unrolled loop body.
+  if (pc_ >= block_base_ + kBlockCapacityOps * 4) pc_ = block_base_;
+}
+
+std::uint8_t TraceRecorder::dep_of(const Val& v) const {
+  if (v.producer == kConstant) return 0;
+  const std::uint64_t dist = trace_.size() - v.producer;
+  if (dist == 0 || dist > cpu::kMaxDepDistance) return 0;
+  return static_cast<std::uint8_t>(dist);
+}
+
+TraceRecorder::Val TraceRecorder::emit(cpu::OpKind kind, std::uint32_t addr,
+                                       std::uint32_t value, Val a, Val b,
+                                       std::uint8_t flags) {
+  cpu::MicroOp op;
+  op.pc = pc_;
+  op.addr = addr;
+  op.value = value;
+  op.kind = kind;
+  op.dep1 = dep_of(a);
+  op.dep2 = dep_of(b);
+  op.flags = flags;
+  trace_.push_back(op);
+  advance_pc();
+  return Val{value, trace_.size() - 1};
+}
+
+TraceRecorder::Val TraceRecorder::load(Val addr) {
+  const std::uint32_t v = vm_.read_word(addr.value);
+  return emit(cpu::OpKind::kLoad, addr.value, v, addr, {});
+}
+
+void TraceRecorder::store(Val addr, Val value) {
+  vm_.write_word(addr.value, value.value);
+  emit(cpu::OpKind::kStore, addr.value, value.value, addr, value);
+}
+
+TraceRecorder::Val TraceRecorder::alu(std::uint32_t result, Val a, Val b) {
+  return emit(cpu::OpKind::kIntAlu, 0, result, a, b);
+}
+
+TraceRecorder::Val TraceRecorder::mul(std::uint32_t result, Val a, Val b) {
+  return emit(cpu::OpKind::kIntMul, 0, result, a, b);
+}
+
+TraceRecorder::Val TraceRecorder::div(std::uint32_t result, Val a, Val b) {
+  return emit(cpu::OpKind::kIntDiv, 0, result, a, b);
+}
+
+TraceRecorder::Val TraceRecorder::fp_alu(std::uint32_t result_bits, Val a, Val b) {
+  return emit(cpu::OpKind::kFpAlu, 0, result_bits, a, b);
+}
+
+TraceRecorder::Val TraceRecorder::fp_mul(std::uint32_t result_bits, Val a, Val b) {
+  return emit(cpu::OpKind::kFpMul, 0, result_bits, a, b);
+}
+
+void TraceRecorder::branch(bool cond_taken, Val cond) {
+  emit(cpu::OpKind::kBranch, 0, 0, cond, {},
+       cond_taken ? cpu::MicroOp::kFlagTaken : std::uint8_t{0});
+}
+
+}  // namespace cpc::workload

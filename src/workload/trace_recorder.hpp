@@ -1,0 +1,116 @@
+#pragma once
+// TraceRecorder: the bridge between workload kernels and the micro-op IR.
+//
+// Kernels execute *concretely* against a simulated 32-bit address space: a
+// load really reads the simulated memory, a store really writes it, and
+// pointers are real heap addresses handed out by the deterministic
+// allocator. Every access therefore carries the genuine 32-bit value whose
+// compressibility the caches later test — the property the whole paper
+// rests on is emergent, not sampled.
+//
+// Dependences are carried by `Val` handles: the handle remembers which op
+// produced the value, and ops consuming a handle get a producer edge.
+// Address arithmetic on a handle (`ptr + 8`) keeps the dependence, so
+// pointer-chasing loops yield the honest serial chains that make their
+// cache misses expensive (paper section 2.2 / Fig. 14).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "cpu/micro_op.hpp"
+#include "mem/heap_allocator.hpp"
+#include "mem/sparse_memory.hpp"
+
+namespace cpc::workload {
+
+class TraceRecorder {
+ public:
+  static constexpr std::uint64_t kConstant = ~std::uint64_t{0};
+
+  /// A value plus the trace position of the op that produced it
+  /// (kConstant for values with no producer, e.g. literals).
+  struct Val {
+    std::uint32_t value;
+    std::uint64_t producer;
+
+    Val() : value(0), producer(kConstant) {}
+    Val(std::uint32_t v) : value(v), producer(kConstant) {}  // NOLINT: implicit by design
+    Val(std::uint32_t v, std::uint64_t p) : value(v), producer(p) {}
+
+    /// Address arithmetic preserves the dependence.
+    friend Val operator+(Val a, std::uint32_t k) { return {a.value + k, a.producer}; }
+  };
+
+  explicit TraceRecorder(std::uint64_t max_ops = 1'000'000) : max_ops_(max_ops) {
+    block("entry");
+  }
+
+  // --- trace budget ----------------------------------------------------
+  bool done() const { return trace_.size() >= max_ops_; }
+  std::uint64_t ops() const { return trace_.size(); }
+  std::uint64_t max_ops() const { return max_ops_; }
+
+  // --- code layout -----------------------------------------------------
+  /// Switches the current PC to the named basic block (allocated on first
+  /// use). Re-entering a block replays the same PCs, which is what gives
+  /// the I-cache and the bimodal predictor loop-shaped behaviour.
+  void block(std::string_view name);
+
+  // --- data layout -----------------------------------------------------
+  /// Allocates heap storage; the returned address is a plain (ready) value.
+  std::uint32_t alloc(std::uint32_t bytes) { return heap_.allocate(bytes); }
+  void free(std::uint32_t addr, std::uint32_t bytes) { heap_.deallocate(addr, bytes); }
+
+  /// Allocates zero-initialised static storage in the global segment.
+  std::uint32_t static_data(std::uint32_t bytes) {
+    const std::uint32_t addr = static_next_;
+    static_next_ += (bytes + 7u) & ~7u;
+    return addr;
+  }
+
+  // --- memory ops --------------------------------------------------------
+  Val load(Val addr);
+  void store(Val addr, Val value);
+
+  // --- compute ops ---------------------------------------------------------
+  /// Emits an integer ALU op producing `result` from up to two producers.
+  Val alu(std::uint32_t result, Val a = {}, Val b = {});
+  Val mul(std::uint32_t result, Val a = {}, Val b = {});
+  Val div(std::uint32_t result, Val a = {}, Val b = {});
+  /// FP ops: `result_bits` is the raw bit pattern (usually incompressible).
+  Val fp_alu(std::uint32_t result_bits, Val a = {}, Val b = {});
+  Val fp_mul(std::uint32_t result_bits, Val a = {}, Val b = {});
+
+  /// Emits a conditional branch with the actual outcome `taken`.
+  void branch(bool taken, Val cond = {});
+
+  // --- results -----------------------------------------------------------
+  const cpu::Trace& trace() const { return trace_; }
+  cpu::Trace take_trace() { return std::move(trace_); }
+  const mem::SparseMemory& memory() const { return vm_; }
+  mem::HeapAllocator& heap() { return heap_; }
+
+ private:
+  std::uint8_t dep_of(const Val& v) const;
+  Val emit(cpu::OpKind kind, std::uint32_t addr, std::uint32_t value, Val a, Val b,
+           std::uint8_t flags = 0);
+  void advance_pc();
+
+  static constexpr std::uint32_t kCodeBase = 0x0001'0000;
+  static constexpr std::uint32_t kBlockCapacityOps = 256;
+
+  std::uint64_t max_ops_;
+  cpu::Trace trace_;
+  mem::SparseMemory vm_;
+  mem::HeapAllocator heap_;
+  std::uint32_t static_next_ = mem::kGlobalBase;
+
+  std::unordered_map<std::string, std::uint32_t> block_bases_;
+  std::uint32_t next_block_base_ = kCodeBase;
+  std::uint32_t pc_ = kCodeBase;
+  std::uint32_t block_base_ = kCodeBase;
+};
+
+}  // namespace cpc::workload

@@ -1,0 +1,72 @@
+#pragma once
+// The 14-program benchmark suite mirroring the paper's selection from
+// Olden, SPECint95 and SPECint2000 (section 4.1). Each kernel reproduces
+// the dominant data structures and access patterns of its namesake; see
+// DESIGN.md section 2 for the substitution rationale.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpu/micro_op.hpp"
+#include "workload/trace_recorder.hpp"
+
+namespace cpc::workload {
+
+struct WorkloadParams {
+  std::uint64_t target_ops = 1'000'000;  ///< trace length budget
+  std::uint64_t seed = 0x5eed;
+
+  /// Sizes a data structure so that building it (at ~`ops_per_unit` trace
+  /// ops per element) consumes roughly a third of the op budget, clamped to
+  /// [lo, hi]. Keeps small test traces from being all build phase while
+  /// full-size runs get paper-scale footprints.
+  std::uint32_t scaled_units(std::uint64_t ops_per_unit, std::uint32_t lo,
+                             std::uint32_t hi) const {
+    const std::uint64_t units = target_ops / (3 * ops_per_unit);
+    if (units < lo) return lo;
+    if (units > hi) return hi;
+    return static_cast<std::uint32_t>(units);
+  }
+};
+
+using KernelFn = void (*)(TraceRecorder&, const WorkloadParams&);
+
+struct Workload {
+  std::string name;   ///< e.g. "olden.treeadd"
+  std::string suite;  ///< "Olden", "SPECint95", "SPECint2000"
+  std::string description;
+  KernelFn kernel;
+};
+
+// Olden-like kernels (pointer-intensive dynamic data structures).
+void kernel_bisort(TraceRecorder&, const WorkloadParams&);
+void kernel_em3d(TraceRecorder&, const WorkloadParams&);
+void kernel_health(TraceRecorder&, const WorkloadParams&);
+void kernel_mst(TraceRecorder&, const WorkloadParams&);
+void kernel_perimeter(TraceRecorder&, const WorkloadParams&);
+void kernel_power(TraceRecorder&, const WorkloadParams&);
+void kernel_treeadd(TraceRecorder&, const WorkloadParams&);
+void kernel_tsp(TraceRecorder&, const WorkloadParams&);
+
+// SPECint95-like kernels.
+void kernel_go(TraceRecorder&, const WorkloadParams&);
+void kernel_li(TraceRecorder&, const WorkloadParams&);
+void kernel_m88ksim(TraceRecorder&, const WorkloadParams&);
+
+// SPECint2000-like kernels.
+void kernel_gzip(TraceRecorder&, const WorkloadParams&);
+void kernel_mcf(TraceRecorder&, const WorkloadParams&);
+void kernel_twolf(TraceRecorder&, const WorkloadParams&);
+
+/// All 14 workloads in the order the paper's figures list them.
+const std::vector<Workload>& all_workloads();
+
+/// Finds a workload by name; throws std::out_of_range when unknown.
+const Workload& find_workload(std::string_view name);
+
+/// Runs a kernel and returns its trace.
+cpu::Trace generate(const Workload& workload, const WorkloadParams& params);
+
+}  // namespace cpc::workload

@@ -1,0 +1,232 @@
+// Tests for the analysis substrate: reuse-distance profiling (against a
+// brute-force oracle), 3C miss classification, and working-set measurement.
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "analysis/miss_classifier.hpp"
+#include "analysis/reuse_distance.hpp"
+#include "analysis/working_set.hpp"
+#include "workload/rng.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::analysis {
+namespace {
+
+TEST(ReuseDistance, FirstTouchIsInfinite) {
+  ReuseDistanceProfiler p;
+  EXPECT_EQ(p.access(0x1000), ReuseDistanceProfiler::kInfinite);
+  EXPECT_EQ(p.access(0x2000), ReuseDistanceProfiler::kInfinite);
+  EXPECT_EQ(p.histogram().cold, 2u);
+}
+
+TEST(ReuseDistance, ImmediateReuseIsZero) {
+  ReuseDistanceProfiler p;
+  p.access(0x1000);
+  EXPECT_EQ(p.access(0x1000), 0u);
+  EXPECT_EQ(p.access(0x1004), 0u) << "same 64-byte line";
+}
+
+TEST(ReuseDistance, CountsDistinctInterveningLines) {
+  ReuseDistanceProfiler p;
+  p.access(0x0000);
+  p.access(0x1000);
+  p.access(0x2000);
+  p.access(0x1000);               // revisit: only 0x2000 intervened
+  EXPECT_EQ(p.access(0x0000), 2u);  // 0x1000 and 0x2000 since first access
+}
+
+TEST(ReuseDistance, RepeatedLineCountsOnce) {
+  ReuseDistanceProfiler p;
+  p.access(0x0000);
+  for (int i = 0; i < 10; ++i) p.access(0x1000);  // one distinct line
+  EXPECT_EQ(p.access(0x0000), 1u);
+}
+
+TEST(ReuseDistance, MatchesBruteForceOracle) {
+  ReuseDistanceProfiler p;
+  // Brute force: list of lines in LRU order.
+  std::list<std::uint32_t> stack;
+  workload::Rng rng(7);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint32_t addr = rng.below(256) * 64;  // 256 lines
+    const std::uint32_t line = addr / 64;
+    std::uint64_t expected = ReuseDistanceProfiler::kInfinite;
+    std::uint64_t depth = 0;
+    for (auto it = stack.begin(); it != stack.end(); ++it, ++depth) {
+      if (*it == line) {
+        expected = depth;
+        stack.erase(it);
+        break;
+      }
+    }
+    stack.push_front(line);
+    ASSERT_EQ(p.access(addr), expected) << "access " << i;
+  }
+}
+
+TEST(ReuseDistance, CapacityQueryMatchesLruSimulation) {
+  // misses_at_capacity(n) must equal a fully associative LRU cache of n
+  // lines run over the same stream.
+  workload::Rng rng(99);
+  std::vector<std::uint32_t> stream;
+  for (int i = 0; i < 30'000; ++i) stream.push_back(rng.below(500) * 64);
+
+  ReuseDistanceProfiler p;
+  for (std::uint32_t addr : stream) p.access(addr);
+
+  for (std::uint64_t lines : {8u, 64u, 256u, 1024u}) {
+    std::list<std::uint32_t> lru;
+    std::uint64_t misses = 0;
+    for (std::uint32_t addr : stream) {
+      const std::uint32_t line = addr / 64;
+      auto it = std::find(lru.begin(), lru.end(), line);
+      if (it == lru.end()) {
+        ++misses;
+        if (lru.size() == lines) lru.pop_back();
+      } else {
+        lru.erase(it);
+      }
+      lru.push_front(line);
+    }
+    EXPECT_EQ(p.misses_at_capacity(lines), misses) << lines << " lines";
+  }
+}
+
+TEST(ReuseDistance, HistogramAccountsForEveryAccess) {
+  ReuseDistanceProfiler p;
+  workload::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) p.access(rng.below(64) * 64);
+  std::uint64_t in_buckets = 0;
+  for (std::uint64_t b : p.histogram().buckets) in_buckets += b;
+  // distance-0 accesses land in bucket 0 (the [1,2) bucket covers 1; zero
+  // distances are counted in bucket 0 as [0,2)).
+  EXPECT_EQ(p.histogram().cold + in_buckets, p.histogram().total);
+  EXPECT_EQ(p.histogram().total, 5000u);
+}
+
+// ---- 3C classification -----------------------------------------------------
+
+TEST(MissClassifier, ColdMissesAreCompulsory) {
+  MissClassifier mc({1024, 64, 2});
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_TRUE(mc.access(i * 64));
+  EXPECT_EQ(mc.breakdown().compulsory, 8u);
+  EXPECT_EQ(mc.breakdown().capacity, 0u);
+  EXPECT_EQ(mc.breakdown().conflict, 0u);
+}
+
+TEST(MissClassifier, HitsAreCountedAsHits) {
+  MissClassifier mc({1024, 64, 2});
+  mc.access(0);
+  EXPECT_FALSE(mc.access(0));
+  EXPECT_FALSE(mc.access(32));  // same line
+  EXPECT_EQ(mc.breakdown().hits, 2u);
+}
+
+TEST(MissClassifier, CyclicSweepBeyondCapacityIsCapacity) {
+  // 16-line cache; sweep 32 lines repeatedly: after the cold pass, every
+  // miss would also miss fully associatively -> capacity.
+  MissClassifier mc({1024, 64, 2});
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint32_t i = 0; i < 32; ++i) mc.access(i * 64);
+  }
+  EXPECT_EQ(mc.breakdown().compulsory, 32u);
+  EXPECT_EQ(mc.breakdown().capacity, 64u);
+  EXPECT_EQ(mc.breakdown().conflict, 0u);
+}
+
+TEST(MissClassifier, SameSetPingPongIsConflict) {
+  // Direct-mapped 16-line cache: two lines 16 apart share set 0 while the
+  // cache is mostly empty — fully associative would hit, so: conflict.
+  MissClassifier mc({1024, 64, 1});
+  mc.access(0 * 64);
+  mc.access(16 * 64);
+  for (int i = 0; i < 10; ++i) {
+    mc.access(0 * 64);
+    mc.access(16 * 64);
+  }
+  EXPECT_EQ(mc.breakdown().compulsory, 2u);
+  EXPECT_EQ(mc.breakdown().conflict, 20u);
+  EXPECT_EQ(mc.breakdown().capacity, 0u);
+}
+
+TEST(MissClassifier, BreakdownSumsToMisses) {
+  MissClassifier mc({8 * 1024, 64, 1});
+  workload::Rng rng(11);
+  for (int i = 0; i < 50'000; ++i) mc.access(rng.below(1u << 20));
+  const MissBreakdown& b = mc.breakdown();
+  EXPECT_EQ(b.hits + b.misses(), b.accesses);
+  EXPECT_GT(b.misses(), 0u);
+}
+
+TEST(MissClassifier, HigherAssociativityShrinksConflictShare) {
+  // The same stream on DM vs 2-way: compulsory misses are placement-
+  // independent; capacity counts may drift a little (they are conditioned
+  // on which accesses actually miss, and a DM cache can luckily hit a
+  // long-distance access); the conflict count must drop substantially.
+  workload::Rng rng(13);
+  std::vector<std::uint32_t> stream;
+  for (int i = 0; i < 40'000; ++i) stream.push_back(rng.below(1u << 17) & ~3u);
+
+  MissClassifier dm({8 * 1024, 64, 1});
+  MissClassifier assoc({8 * 1024, 64, 2});
+  for (std::uint32_t a : stream) {
+    dm.access(a);
+    assoc.access(a);
+  }
+  EXPECT_EQ(dm.breakdown().compulsory, assoc.breakdown().compulsory);
+  EXPECT_NEAR(static_cast<double>(assoc.breakdown().capacity),
+              static_cast<double>(dm.breakdown().capacity),
+              0.05 * static_cast<double>(dm.breakdown().capacity));
+  EXPECT_LT(assoc.breakdown().conflict, dm.breakdown().conflict);
+}
+
+// ---- working set ------------------------------------------------------------
+
+TEST(WorkingSet, CountsDistinctWordsAndLines) {
+  cpu::Trace trace;
+  auto mem_op = [](cpu::OpKind kind, std::uint32_t addr) {
+    cpu::MicroOp op;
+    op.kind = kind;
+    op.addr = addr;
+    return op;
+  };
+  trace.push_back(mem_op(cpu::OpKind::kLoad, mem::kDefaultHeapBase));
+  trace.push_back(mem_op(cpu::OpKind::kLoad, mem::kDefaultHeapBase));  // dup
+  trace.push_back(mem_op(cpu::OpKind::kStore, mem::kDefaultHeapBase + 4));
+  trace.push_back(mem_op(cpu::OpKind::kStore, mem::kGlobalBase));
+  trace.push_back(mem_op(cpu::OpKind::kIntAlu, 0));  // ignored
+
+  const WorkingSet ws = measure_working_set(trace);
+  EXPECT_EQ(ws.loads, 2u);
+  EXPECT_EQ(ws.stores, 2u);
+  EXPECT_EQ(ws.distinct_words, 3u);
+  EXPECT_EQ(ws.distinct_lines64, 2u);
+  EXPECT_EQ(ws.heap_words, 2u);
+  EXPECT_EQ(ws.global_words, 1u);
+  EXPECT_DOUBLE_EQ(ws.write_fraction(), 0.5);
+}
+
+class WorkloadFootprints : public ::testing::TestWithParam<workload::Workload> {};
+
+TEST_P(WorkloadFootprints, ExceedsL1AtFullScale) {
+  const cpu::Trace trace = workload::generate(GetParam(), {600'000, 0x5eed});
+  const WorkingSet ws = measure_working_set(trace);
+  EXPECT_GT(ws.footprint_bytes(), 8u * 1024)
+      << GetParam().name << " fits L1 — cannot exercise the hierarchy";
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadFootprints,
+                         ::testing::ValuesIn(workload::all_workloads()),
+                         [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace cpc::analysis

@@ -1,0 +1,165 @@
+// Tests for the conventional set-associative cache and the prefetch buffer.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cache/basic_cache.hpp"
+#include "cache/prefetch_buffer.hpp"
+
+namespace cpc::cache {
+namespace {
+
+std::vector<std::uint32_t> line_data(std::uint32_t n, std::uint32_t seed) {
+  std::vector<std::uint32_t> words(n);
+  std::iota(words.begin(), words.end(), seed);
+  return words;
+}
+
+CacheGeometry small_geo() { return {1024, 64, 2}; }  // 8 sets x 2 ways
+
+TEST(CacheGeometry, DerivedQuantities) {
+  CacheGeometry g{8 * 1024, 64, 1};
+  EXPECT_EQ(g.num_lines(), 128u);
+  EXPECT_EQ(g.num_sets(), 128u);
+  EXPECT_EQ(g.words_per_line(), 16u);
+  EXPECT_EQ(g.line_of(0x1000), 0x40u);
+  EXPECT_EQ(g.word_of(0x1004), 1u);
+  EXPECT_EQ(g.base_of_line(0x40), 0x1000u);
+}
+
+TEST(CacheGeometry, SetMappingWrapsAroundTag) {
+  CacheGeometry g{1024, 64, 2};  // 8 sets
+  EXPECT_EQ(g.set_of_line(3), 3u);
+  EXPECT_EQ(g.set_of_line(11), 3u);  // same set, different tag
+}
+
+TEST(BasicCache, MissOnEmpty) {
+  BasicCache c(small_geo());
+  EXPECT_EQ(c.find(5), nullptr);
+  EXPECT_EQ(c.valid_lines(), 0u);
+}
+
+TEST(BasicCache, FillThenFind) {
+  BasicCache c(small_geo());
+  const auto data = line_data(16, 100);
+  const auto evicted = c.fill(5, data);
+  EXPECT_FALSE(evicted.valid);
+  BasicCache::Line* line = c.find(5);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(c.read_word(*line, 3), 103u);
+  EXPECT_FALSE(line->dirty);
+}
+
+TEST(BasicCache, WriteMarksDirty) {
+  BasicCache c(small_geo());
+  c.fill(5, line_data(16, 0));
+  BasicCache::Line* line = c.find(5);
+  c.write_word(*line, 2, 99u);
+  EXPECT_TRUE(line->dirty);
+  EXPECT_EQ(c.read_word(*line, 2), 99u);
+}
+
+TEST(BasicCache, EvictsLruWay) {
+  BasicCache c(small_geo());  // 8 sets, 2 ways
+  c.fill(0, line_data(16, 0));   // set 0
+  c.fill(8, line_data(16, 1));   // set 0, second way
+  c.touch(*c.find(0));           // make line 0 MRU
+  const auto evicted = c.fill(16, line_data(16, 2));  // set 0 again
+  ASSERT_TRUE(evicted.valid);
+  EXPECT_EQ(evicted.line_addr, 8u);  // LRU way was line 8
+  EXPECT_NE(c.find(0), nullptr);
+  EXPECT_EQ(c.find(8), nullptr);
+  EXPECT_NE(c.find(16), nullptr);
+}
+
+TEST(BasicCache, EvictionReturnsDirtyContent) {
+  BasicCache c({128, 64, 1});  // 2 sets, direct mapped
+  c.fill(0, line_data(16, 10));
+  c.write_word(*c.find(0), 1, 777u);
+  const auto evicted = c.fill(2, line_data(16, 0));  // same set 0
+  ASSERT_TRUE(evicted.valid);
+  EXPECT_TRUE(evicted.dirty);
+  EXPECT_EQ(evicted.line_addr, 0u);
+  EXPECT_EQ(evicted.words.at(1), 777u);
+}
+
+TEST(BasicCache, PrefersInvalidWayOverEviction) {
+  BasicCache c(small_geo());
+  c.fill(0, line_data(16, 0));
+  const auto evicted = c.fill(8, line_data(16, 1));  // same set, free way
+  EXPECT_FALSE(evicted.valid);
+  EXPECT_NE(c.find(0), nullptr);
+  EXPECT_NE(c.find(8), nullptr);
+}
+
+TEST(BasicCache, InvalidateRemovesAndReturnsContent) {
+  BasicCache c(small_geo());
+  c.fill(3, line_data(16, 50));
+  c.write_word(*c.find(3), 0, 123u);
+  const auto out = c.invalidate(3);
+  ASSERT_TRUE(out.valid);
+  EXPECT_TRUE(out.dirty);
+  EXPECT_EQ(out.words.at(0), 123u);
+  EXPECT_EQ(c.find(3), nullptr);
+  EXPECT_FALSE(c.invalidate(3).valid);  // second invalidate is a no-op
+}
+
+TEST(BasicCache, DistinctTagsSameSetCoexistUpToWays) {
+  BasicCache c(small_geo());
+  c.fill(1, line_data(16, 0));
+  c.fill(9, line_data(16, 0));  // set 1, way 2
+  EXPECT_NE(c.find(1), nullptr);
+  EXPECT_NE(c.find(9), nullptr);
+  EXPECT_EQ(c.valid_lines(), 2u);
+}
+
+// ---- prefetch buffer -------------------------------------------------------
+
+TEST(PrefetchBuffer, TakeRemovesEntry) {
+  PrefetchBuffer b(4, 16);
+  b.insert(7, line_data(16, 0));
+  EXPECT_TRUE(b.contains(7));
+  const auto e = b.take(7);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->line_addr, 7u);
+  EXPECT_FALSE(b.contains(7));
+}
+
+TEST(PrefetchBuffer, EvictsLruWhenFull) {
+  PrefetchBuffer b(2, 16);
+  b.insert(1, line_data(16, 0));
+  b.insert(2, line_data(16, 0));
+  b.insert(3, line_data(16, 0));  // evicts 1 (LRU)
+  EXPECT_FALSE(b.contains(1));
+  EXPECT_TRUE(b.contains(2));
+  EXPECT_TRUE(b.contains(3));
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(PrefetchBuffer, TouchProtectsFromEviction) {
+  PrefetchBuffer b(2, 16);
+  b.insert(1, line_data(16, 0));
+  b.insert(2, line_data(16, 0));
+  b.touch(1);                     // 1 becomes MRU
+  b.insert(3, line_data(16, 0));  // evicts 2
+  EXPECT_TRUE(b.contains(1));
+  EXPECT_FALSE(b.contains(2));
+}
+
+TEST(PrefetchBuffer, ReinsertRefreshesContent) {
+  PrefetchBuffer b(2, 16);
+  b.insert(1, line_data(16, 0));
+  b.insert(1, line_data(16, 42));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.take(1)->words.at(0), 42u);
+}
+
+TEST(PrefetchBuffer, TakeMissingReturnsNullopt) {
+  PrefetchBuffer b(2, 16);
+  EXPECT_FALSE(b.take(9).has_value());
+}
+
+}  // namespace
+}  // namespace cpc::cache

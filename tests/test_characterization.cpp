@@ -1,0 +1,137 @@
+// Characterisation tests: pin the qualitative properties the figures rely
+// on, so a regression in a workload kernel or cache policy that would
+// silently distort the reproduced results fails loudly here instead.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compress/classification_stats.hpp"
+#include "sim/experiment.hpp"
+
+namespace cpc {
+namespace {
+
+double compressible_fraction(const cpu::Trace& trace) {
+  compress::ClassificationStats stats;
+  for (const cpu::MicroOp& op : trace) {
+    if (cpu::is_memory_op(op.kind)) stats.record(op.value, op.addr);
+  }
+  return stats.compressible_fraction();
+}
+
+// Expected compressibility bands at full scale (paper Fig. 3 analogue):
+// FP-heavy kernels sit low, pointer/counter-heavy kernels sit high.
+struct Band {
+  const char* name;
+  double lo, hi;
+};
+const Band kBands[] = {
+    {"olden.bisort", 0.30, 0.75},
+    {"olden.em3d", 0.02, 0.30},      // FP values + scattered pointers
+    {"olden.health", 0.60, 0.95},
+    {"olden.mst", 0.60, 0.95},
+    {"olden.perimeter", 0.70, 0.99},
+    {"olden.power", 0.25, 0.75},
+    {"olden.treeadd", 0.70, 0.999},
+    {"olden.tsp", 0.10, 0.60},       // FP coordinates dominate
+    {"spec95.099.go", 0.85, 0.999},  // board arrays of small values
+    {"spec95.124.m88ksim", 0.35, 0.80},
+    {"spec95.130.li", 0.60, 0.95},
+    {"spec2000.164.gzip", 0.60, 0.97},
+    {"spec2000.181.mcf", 0.15, 0.60},  // large costs and potentials
+    {"spec2000.300.twolf", 0.60, 0.95},
+};
+
+class CompressibilityBand : public ::testing::TestWithParam<Band> {};
+
+TEST_P(CompressibilityBand, MatchesFig3Profile) {
+  const Band& band = GetParam();
+  const cpu::Trace trace =
+      workload::generate(workload::find_workload(band.name), {400'000, 0x5eed});
+  const double fraction = compressible_fraction(trace);
+  EXPECT_GE(fraction, band.lo) << band.name;
+  EXPECT_LE(fraction, band.hi) << band.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CompressibilityBand, ::testing::ValuesIn(kBands),
+                         [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---- suite-level shape guard -----------------------------------------------
+
+class PaperShape : public ::testing::Test {
+ protected:
+  // One shared sweep over a representative workload subset, computed once.
+  struct Sums {
+    std::map<std::string, double> cycles;
+    std::map<std::string, double> traffic;
+    std::map<std::string, double> l1_misses;
+  };
+  static const Sums& sums() {
+    static const Sums s = [] {
+      Sums out;
+      for (const char* name : {"olden.health", "olden.treeadd", "olden.mst",
+                               "spec95.130.li", "spec2000.300.twolf"}) {
+        const cpu::Trace trace =
+            workload::generate(workload::find_workload(name), {120'000, 0x5eed});
+        for (sim::ConfigKind kind : sim::kAllConfigs) {
+          const sim::RunResult r = sim::run_trace(trace, kind);
+          out.cycles[r.config] += r.cycles();
+          out.traffic[r.config] += r.traffic_words();
+          out.l1_misses[r.config] += r.l1_misses();
+        }
+      }
+      return out;
+    }();
+    return s;
+  }
+};
+
+TEST_F(PaperShape, CompressionAloneCutsTrafficHard) {
+  // Fig. 10: BCC well below BC.
+  EXPECT_LT(sums().traffic.at("BCC"), 0.80 * sums().traffic.at("BC"));
+}
+
+TEST_F(PaperShape, PrefetchBuffersInflateTraffic) {
+  // Fig. 10: BCP above BC.
+  EXPECT_GT(sums().traffic.at("BCP"), 1.05 * sums().traffic.at("BC"));
+}
+
+TEST_F(PaperShape, CppPrefetchesUnderBaselineTraffic) {
+  // Fig. 10: CPP below BC — prefetching without the traffic.
+  EXPECT_LT(sums().traffic.at("CPP"), sums().traffic.at("BC"));
+}
+
+TEST_F(PaperShape, CppIsFasterThanBaseline) {
+  // Fig. 11: CPP speedup over BC.
+  EXPECT_LT(sums().cycles.at("CPP"), sums().cycles.at("BC"));
+}
+
+TEST_F(PaperShape, BccTimingEqualsBc) {
+  EXPECT_DOUBLE_EQ(sums().cycles.at("BCC"), sums().cycles.at("BC"));
+}
+
+TEST_F(PaperShape, PrefetchingReducesL1Misses) {
+  // Fig. 12: both prefetchers cut demand misses.
+  EXPECT_LT(sums().l1_misses.at("BCP"), sums().l1_misses.at("BC"));
+  EXPECT_LT(sums().l1_misses.at("CPP"), sums().l1_misses.at("BC"));
+}
+
+TEST_F(PaperShape, CppReducesMissImportance) {
+  // Fig. 14 headline on the paper's flagship benchmark: CPP's remaining
+  // misses block no more dependent work than the baseline's.
+  const cpu::Trace trace =
+      workload::generate(workload::find_workload("olden.health"), {120'000, 0x5eed});
+  const sim::ImportanceResult bc = sim::miss_importance(trace, sim::ConfigKind::kBC);
+  const sim::ImportanceResult cpp = sim::miss_importance(trace, sim::ConfigKind::kCPP);
+  EXPECT_LE(cpp.fraction_enhanced, bc.fraction_enhanced * 1.05);
+}
+
+}  // namespace
+}  // namespace cpc

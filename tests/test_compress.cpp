@@ -1,0 +1,198 @@
+// Unit and property tests for the value-compression scheme (paper §2.1/§3.2).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "compress/classification_stats.hpp"
+#include "compress/gate_model.hpp"
+#include "compress/scheme.hpp"
+#include "workload/rng.hpp"
+
+namespace cpc::compress {
+namespace {
+
+constexpr std::uint32_t kAddr = 0x1000'0040;  // a typical heap address
+
+TEST(Scheme, PaperParameters) {
+  EXPECT_EQ(kPaperScheme.compressed_bits(), 16u);
+  EXPECT_EQ(kPaperScheme.payload_bits(), 15u);
+  EXPECT_EQ(kPaperScheme.small_check_bits(), 18u);  // "the 18 higher order bits"
+  EXPECT_EQ(kPaperScheme.prefix_bits(), 17u);       // "the 17 higher order bits"
+  EXPECT_EQ(kPaperScheme.small_max(), 16383);       // "[-16384, 16383]"
+  EXPECT_EQ(kPaperScheme.small_min(), -16384);
+}
+
+TEST(Scheme, ClassifiesSmallPositiveValues) {
+  EXPECT_EQ(kPaperScheme.classify(0, kAddr), ValueClass::kSmallValue);
+  EXPECT_EQ(kPaperScheme.classify(1, kAddr), ValueClass::kSmallValue);
+  EXPECT_EQ(kPaperScheme.classify(16383, kAddr), ValueClass::kSmallValue);
+}
+
+TEST(Scheme, ClassifiesSmallNegativeValues) {
+  EXPECT_EQ(kPaperScheme.classify(static_cast<std::uint32_t>(-1), kAddr),
+            ValueClass::kSmallValue);
+  EXPECT_EQ(kPaperScheme.classify(static_cast<std::uint32_t>(-16384), kAddr),
+            ValueClass::kSmallValue);
+}
+
+TEST(Scheme, SmallValueBoundaries) {
+  // 16384 needs 15 magnitude bits — no longer sign extension over bit 14.
+  EXPECT_NE(kPaperScheme.classify(16384, 0xdead'0000u), ValueClass::kSmallValue);
+  EXPECT_NE(kPaperScheme.classify(static_cast<std::uint32_t>(-16385), 0xdead'0000u),
+            ValueClass::kSmallValue);
+}
+
+TEST(Scheme, ClassifiesPointersSharingPrefix) {
+  // Value within the same 32K-aligned chunk as its own address.
+  const std::uint32_t pointer = (kAddr & 0xffff'8000u) | 0x1234u;
+  EXPECT_EQ(kPaperScheme.classify(pointer, kAddr), ValueClass::kPointer);
+}
+
+TEST(Scheme, RejectsPointerOutsideChunk) {
+  const std::uint32_t far_pointer = kAddr + 0x10'0000u;
+  EXPECT_EQ(kPaperScheme.classify(far_pointer, kAddr), ValueClass::kIncompressible);
+}
+
+TEST(Scheme, SmallValueWinsOverPointer) {
+  // A small value stored at a low address satisfies both conditions; the
+  // classification must still be deterministic and the decode identical.
+  const std::uint32_t addr = 0x0000'1000u;
+  const std::uint32_t value = 0x42;
+  EXPECT_EQ(kPaperScheme.classify(value, addr), ValueClass::kSmallValue);
+  const auto cw = kPaperScheme.compress(value, addr);
+  ASSERT_TRUE(cw.has_value());
+  EXPECT_EQ(kPaperScheme.decompress(*cw, addr), value);
+}
+
+TEST(Scheme, VtFlagDistinguishesPointerFromSmall) {
+  const auto small = kPaperScheme.compress(100, kAddr);
+  const auto ptr = kPaperScheme.compress((kAddr & 0xffff'8000u) | 7u, kAddr);
+  ASSERT_TRUE(small && ptr);
+  EXPECT_EQ(small->bits & 0x8000u, 0u);  // VT = 0: small value
+  EXPECT_NE(ptr->bits & 0x8000u, 0u);    // VT = 1: pointer
+}
+
+TEST(Scheme, IncompressibleReturnsNullopt) {
+  EXPECT_FALSE(kPaperScheme.compress(0x4000'0000u, kAddr).has_value());
+}
+
+TEST(Scheme, RoundTripNegativeBoundary) {
+  const std::uint32_t v = static_cast<std::uint32_t>(-16384);
+  const auto cw = kPaperScheme.compress(v, kAddr);
+  ASSERT_TRUE(cw.has_value());
+  EXPECT_EQ(kPaperScheme.decompress(*cw, kAddr), v);
+}
+
+TEST(Scheme, PointerDecompressUsesAddressPrefix) {
+  const std::uint32_t pointer = (kAddr & 0xffff'8000u) | 0x7fffu;
+  const auto cw = kPaperScheme.compress(pointer, kAddr);
+  ASSERT_TRUE(cw.has_value());
+  // Decompressing at a *different* address in the same chunk still works;
+  // a different chunk would reconstruct a different pointer (by design the
+  // cache always decompresses at the word's own address).
+  EXPECT_EQ(kPaperScheme.decompress(*cw, kAddr + 4), pointer);
+}
+
+// ---- property sweep over schemes and random values ----------------------
+
+class SchemeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SchemeRoundTrip, CompressibleValuesRoundTrip) {
+  const Scheme scheme{GetParam()};
+  workload::Rng rng(GetParam() * 7919u + 17u);
+  std::uint64_t compressible = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    // Mix of full-random, small-biased and pointer-biased values.
+    std::uint32_t value = static_cast<std::uint32_t>(rng.next());
+    const std::uint32_t addr = static_cast<std::uint32_t>(rng.next()) & ~3u;
+    switch (i % 3) {
+      case 1: value &= 0xffffu; break;                      // often small
+      case 2: value = (addr & ~0x7fffu) | (value & 0x7fffu); break;  // pointer-ish
+      default: break;
+    }
+    const auto cw = scheme.compress(value, addr);
+    ASSERT_EQ(cw.has_value(), scheme.is_compressible(value, addr));
+    if (cw) {
+      ++compressible;
+      ASSERT_EQ(scheme.decompress(*cw, addr), value)
+          << "value=" << value << " addr=" << addr;
+      // The compressed form must fit the advertised width.
+      ASSERT_LT(cw->bits, 1u << scheme.compressed_bits());
+    }
+  }
+  EXPECT_GT(compressible, 0u);
+}
+
+TEST_P(SchemeRoundTrip, ClassificationIsExhaustiveAndExclusive) {
+  const Scheme scheme{GetParam()};
+  workload::Rng rng(GetParam() * 104729u + 3u);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint32_t value = static_cast<std::uint32_t>(rng.next());
+    const std::uint32_t addr = static_cast<std::uint32_t>(rng.next()) & ~3u;
+    const ValueClass c = scheme.classify(value, addr);
+    if (c == ValueClass::kIncompressible) {
+      ASSERT_FALSE(scheme.compress(value, addr).has_value());
+    } else {
+      ASSERT_TRUE(scheme.compress(value, addr).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SchemeRoundTrip, ::testing::Values(8u, 12u, 16u, 20u, 24u),
+                         [](const auto& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+// ---- gate-delay model ----------------------------------------------------
+
+TEST(GateModel, PaperDelays) {
+  // "Each of the checks can be performed using log(18) = 5 levels ...
+  //  extra delay ... 3 levels ... total delay is 8 gate delays."
+  EXPECT_EQ(gate_tree_depth(18), 5u);
+  EXPECT_EQ(compressor_gate_delay(kPaperScheme), 8u);
+  EXPECT_EQ(decompressor_gate_delay(kPaperScheme), 2u);
+}
+
+TEST(GateModel, TreeDepthEdgeCases) {
+  EXPECT_EQ(gate_tree_depth(1), 0u);
+  EXPECT_EQ(gate_tree_depth(2), 1u);
+  EXPECT_EQ(gate_tree_depth(3), 2u);
+  EXPECT_EQ(gate_tree_depth(32), 5u);
+  EXPECT_EQ(gate_tree_depth(33), 6u);
+}
+
+TEST(GateModel, WiderSchemesAreNotSlower) {
+  // Fewer checked bits (wider payload) can only shrink the reduction tree.
+  EXPECT_LE(compressor_gate_delay(Scheme{24}), compressor_gate_delay(Scheme{8}));
+}
+
+// ---- classification stats (Fig. 3 accumulator) ---------------------------
+
+TEST(ClassificationStats, CountsByClass) {
+  ClassificationStats stats;
+  stats.record(5, kAddr);                                // small
+  stats.record((kAddr & 0xffff'8000u) | 0x10u, kAddr);   // pointer
+  stats.record(0x4000'0000u, kAddr);                     // incompressible
+  EXPECT_EQ(stats.small_values(), 1u);
+  EXPECT_EQ(stats.pointers(), 1u);
+  EXPECT_EQ(stats.incompressible(), 1u);
+  EXPECT_EQ(stats.total(), 3u);
+  EXPECT_DOUBLE_EQ(stats.compressible_fraction(), 2.0 / 3.0);
+}
+
+TEST(ClassificationStats, EmptyIsZeroNotNan) {
+  ClassificationStats stats;
+  EXPECT_EQ(stats.total(), 0u);
+  EXPECT_DOUBLE_EQ(stats.compressible_fraction(), 0.0);
+}
+
+TEST(ClassificationStats, ResetClears) {
+  ClassificationStats stats;
+  stats.record(5, kAddr);
+  stats.reset();
+  EXPECT_EQ(stats.total(), 0u);
+}
+
+}  // namespace
+}  // namespace cpc::compress

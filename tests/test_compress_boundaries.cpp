@@ -1,0 +1,103 @@
+// Exhaustive boundary sweeps of the compression scheme: every value in a
+// window around each classification boundary, for every ablation width.
+// Complements the random property tests in test_compress.cpp with complete
+// coverage of the edges where off-by-one bugs live.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compress/scheme.hpp"
+
+namespace cpc::compress {
+namespace {
+
+class BoundarySweep : public ::testing::TestWithParam<unsigned> {
+ protected:
+  Scheme scheme() const { return Scheme{GetParam()}; }
+};
+
+TEST_P(BoundarySweep, PositiveSmallValueEdge) {
+  const Scheme s = scheme();
+  const std::uint32_t max = static_cast<std::uint32_t>(s.small_max());
+  const std::uint32_t addr = 0xdead'0000u;  // prefix never matches
+  for (std::uint32_t v = max > 64 ? max - 64 : 0; v <= max; ++v) {
+    ASSERT_EQ(s.classify(v, addr), ValueClass::kSmallValue) << v;
+    ASSERT_EQ(s.decompress(*s.compress(v, addr), addr), v);
+  }
+  for (std::uint32_t v = max + 1; v <= max + 64; ++v) {
+    ASSERT_NE(s.classify(v, addr), ValueClass::kSmallValue) << v;
+  }
+}
+
+TEST_P(BoundarySweep, NegativeSmallValueEdge) {
+  const Scheme s = scheme();
+  const std::int32_t min = s.small_min();
+  const std::uint32_t addr = 0xdead'0000u;
+  for (std::int32_t v = min; v < min + 64; ++v) {
+    const std::uint32_t bits = static_cast<std::uint32_t>(v);
+    ASSERT_EQ(s.classify(bits, addr), ValueClass::kSmallValue) << v;
+    ASSERT_EQ(s.decompress(*s.compress(bits, addr), addr), bits);
+  }
+  for (std::int32_t v = min - 64; v < min; ++v) {
+    ASSERT_NE(s.classify(static_cast<std::uint32_t>(v), addr),
+              ValueClass::kSmallValue)
+        << v;
+  }
+}
+
+TEST_P(BoundarySweep, PointerChunkEdge) {
+  const Scheme s = scheme();
+  const std::uint32_t chunk = 1u << s.payload_bits();
+  const std::uint32_t addr = (0x4000'0000u & ~(chunk - 1)) | 0x10u;
+  // Values in the same aligned chunk as addr: pointers (or small — either
+  // way compressible); the first value past the chunk boundary that isn't
+  // sign-extension small must be incompressible.
+  const std::uint32_t base = addr & ~(chunk - 1);
+  for (std::uint32_t off = 0; off < 64; ++off) {
+    ASSERT_TRUE(s.is_compressible(base + off, addr)) << off;
+    ASSERT_EQ(s.decompress(*s.compress(base + off, addr), addr), base + off);
+  }
+  for (std::uint32_t off = 0; off < 64; ++off) {
+    const std::uint32_t outside = base + chunk + off;
+    ASSERT_EQ(s.classify(outside, addr), ValueClass::kIncompressible) << off;
+  }
+}
+
+TEST_P(BoundarySweep, ZeroAndMinusOne) {
+  const Scheme s = scheme();
+  for (std::uint32_t addr : {0x0u, 0x1000'0000u, 0xffff'fff0u}) {
+    EXPECT_EQ(s.classify(0u, addr), ValueClass::kSmallValue);
+    EXPECT_EQ(s.classify(0xffff'ffffu, addr), ValueClass::kSmallValue);
+    EXPECT_EQ(s.decompress(*s.compress(0u, addr), addr), 0u);
+    EXPECT_EQ(s.decompress(*s.compress(0xffff'ffffu, addr), addr), 0xffff'ffffu);
+  }
+}
+
+TEST_P(BoundarySweep, CompressedFormFitsWidth) {
+  const Scheme s = scheme();
+  const std::uint32_t addr = 0x1000'0000u;
+  // Every small value...
+  const std::uint32_t small_span =
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(s.small_max()), 4096);
+  for (std::uint32_t v = 0; v <= small_span; ++v) {
+    const auto cw = s.compress(v, addr);
+    ASSERT_TRUE(cw.has_value()) << v;
+    ASSERT_LT(cw->bits, 1u << s.compressed_bits());
+  }
+  // ...and every pointer within the chunk produces an in-width form.
+  const std::uint32_t chunk = 1u << s.payload_bits();
+  for (std::uint32_t off = 0; off < std::min<std::uint32_t>(chunk, 4096); ++off) {
+    const auto cw = s.compress(addr + off, addr);
+    ASSERT_TRUE(cw.has_value()) << off;
+    ASSERT_LT(cw->bits, 1u << s.compressed_bits());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BoundarySweep, ::testing::Values(8u, 12u, 16u, 20u, 24u),
+                         [](const auto& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cpc::compress

@@ -1,0 +1,114 @@
+// Tests for the derived statistics the figure harnesses consume: the
+// measured miss-dependence fraction (Fig. 14's direct counterpart), BCP
+// prefetch accuracy, and the stats plumbing in RunResult.
+
+#include <gtest/gtest.h>
+
+#include "cache/baseline_hierarchy.hpp"
+#include "cache/prefetch_hierarchy.hpp"
+#include "cpu/ooo_core.hpp"
+#include "sim/experiment.hpp"
+
+namespace cpc {
+namespace {
+
+cpu::MicroOp load_op(std::uint32_t addr, std::uint32_t pc = 0x1000) {
+  cpu::MicroOp op;
+  op.kind = cpu::OpKind::kLoad;
+  op.addr = addr;
+  op.pc = pc;
+  return op;
+}
+
+cpu::MicroOp alu_op(std::uint8_t dep, std::uint32_t pc = 0x1004) {
+  cpu::MicroOp op;
+  op.kind = cpu::OpKind::kIntAlu;
+  op.dep1 = dep;
+  op.pc = pc;
+  return op;
+}
+
+TEST(DirectMissDependence, CountsConsumersOfMissingLoads) {
+  cpu::Trace t;
+  t.push_back(load_op(0x1000'0000u));  // cold: misses
+  t.push_back(alu_op(1));              // depends on the missing load
+  t.push_back(alu_op(0));              // independent
+  auto h = cache::BaselineHierarchy::make_bc();
+  cpu::OooCore core({}, h);
+  const cpu::CoreStats s = core.run(t);
+  EXPECT_EQ(s.ops_depending_on_miss, 1u);
+  EXPECT_NEAR(s.direct_miss_dependence_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(DirectMissDependence, HitsProduceNoDependents) {
+  cpu::Trace t;
+  t.push_back(load_op(0x1000'0000u));  // miss (cold)
+  t.push_back(load_op(0x1000'0004u));  // hit (same line)
+  t.push_back(alu_op(1));              // depends on the HIT load
+  auto h = cache::BaselineHierarchy::make_bc();
+  cpu::OooCore core({}, h);
+  const cpu::CoreStats s = core.run(t);
+  EXPECT_EQ(s.ops_depending_on_miss, 0u);
+}
+
+TEST(DirectMissDependence, PointerChaseIsFullyMissDependent) {
+  // A chain of loads each consuming the previous one, all to distinct cold
+  // lines: every load after the first directly depends on a miss.
+  cpu::Trace t;
+  for (int i = 0; i < 50; ++i) {
+    cpu::MicroOp op = load_op(0x1000'0000u + i * 4096);
+    op.dep1 = i == 0 ? 0 : 1;
+    t.push_back(op);
+  }
+  auto h = cache::BaselineHierarchy::make_bc();
+  cpu::OooCore core({}, h);
+  const cpu::CoreStats s = core.run(t);
+  EXPECT_EQ(s.ops_depending_on_miss, 49u);
+}
+
+TEST(PrefetchAccuracy, ComputedFromInsertsAndHits) {
+  cache::PrefetchHierarchy h;
+  std::uint32_t v = 0;
+  h.read(0x1000'0000u, v);  // miss: inserts prefetches at both levels
+  h.read(0x1000'0040u, v);  // uses the L1-level prefetch
+  const cache::HierarchyStats& s = h.stats();
+  EXPECT_GT(s.l1_prefetch_inserts, 0u);
+  EXPECT_GT(s.prefetch_accuracy(), 0.0);
+  EXPECT_LE(s.prefetch_accuracy(), 1.0);
+}
+
+TEST(PrefetchAccuracy, ZeroWhenNothingPrefetched) {
+  cache::HierarchyStats s;
+  EXPECT_DOUBLE_EQ(s.prefetch_accuracy(), 0.0);
+}
+
+TEST(PrefetchAccuracy, UselessPrefetchesScoreZero) {
+  cache::PrefetchHierarchy h;
+  std::uint32_t v = 0;
+  // Stride past every prefetched successor: nothing prefetched is used.
+  for (std::uint32_t i = 0; i < 32; ++i) h.read(0x1000'0000u + i * 16384, v);
+  EXPECT_EQ(h.stats().l1_pbuf_hits + h.stats().l2_pbuf_hits, 0u);
+  EXPECT_DOUBLE_EQ(h.stats().prefetch_accuracy(), 0.0);
+  EXPECT_GT(h.stats().l1_prefetch_inserts, 0u);
+}
+
+TEST(RunResultStats, MeasuredImportancePropagates) {
+  const auto trace = workload::generate(workload::find_workload("olden.treeadd"),
+                                        {50'000, 0x5eed});
+  const sim::ImportanceResult imp = sim::miss_importance(trace, sim::ConfigKind::kBC);
+  EXPECT_GT(imp.measured_direct_fraction, 0.0);
+  EXPECT_LT(imp.measured_direct_fraction, 1.0);
+}
+
+TEST(RunResultStats, MissDependenceShrinksWithPrefetching) {
+  // CPP converts compressible-word misses into hits, so fewer committed ops
+  // should consume a missing load's value than under BC.
+  const auto trace = workload::generate(workload::find_workload("olden.treeadd"),
+                                        {80'000, 0x5eed});
+  const sim::RunResult bc = sim::run_trace(trace, sim::ConfigKind::kBC);
+  const sim::RunResult cpp = sim::run_trace(trace, sim::ConfigKind::kCPP);
+  EXPECT_LT(cpp.core.ops_depending_on_miss, bc.core.ops_depending_on_miss);
+}
+
+}  // namespace
+}  // namespace cpc

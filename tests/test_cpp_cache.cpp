@@ -1,0 +1,299 @@
+// Unit tests for the compression cache internals: CompressedLine flags and
+// CppCache placement/merge/demotion/promotion (paper sections 3.1, 3.3).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/cpp_cache.hpp"
+
+namespace cpc::core {
+namespace {
+
+using compress::kPaperScheme;
+
+// --- CompressedLine ---------------------------------------------------------
+
+TEST(CompressedLine, StartsEmpty) {
+  CompressedLine line(16);
+  EXPECT_EQ(line.pa_mask(), 0u);
+  EXPECT_EQ(line.aa_mask(), 0u);
+  EXPECT_FALSE(line.valid);
+  EXPECT_TRUE(line.slot_free_for_affiliated(0));
+}
+
+TEST(CompressedLine, SetPrimaryWordTracksCompression) {
+  CompressedLine line(16);
+  line.line_addr = 0x40'0000;  // heap line
+  const std::uint32_t addr = 0x1000'0000;
+  EXPECT_FALSE(line.set_primary_word(0, 5, addr, kPaperScheme));
+  EXPECT_TRUE(line.has_primary(0));
+  EXPECT_TRUE(line.primary_compressed(0));
+
+  // Compressed -> uncompressed transition is reported.
+  EXPECT_TRUE(line.set_primary_word(0, 0x4000'0000u, addr, kPaperScheme));
+  EXPECT_FALSE(line.primary_compressed(0));
+
+  // Uncompressed -> uncompressed is not a transition.
+  EXPECT_FALSE(line.set_primary_word(0, 0x5000'0000u, addr, kPaperScheme));
+}
+
+TEST(CompressedLine, SlotFreeRules) {
+  CompressedLine line(16);
+  const std::uint32_t addr = 0x1000'0000;
+  line.set_primary_word(0, 0x4000'0000u, addr, kPaperScheme);  // uncompressed
+  EXPECT_FALSE(line.slot_free_for_affiliated(0));
+  line.set_primary_word(1, 7u, addr + 4, kPaperScheme);  // compressed
+  EXPECT_TRUE(line.slot_free_for_affiliated(1));
+  line.set_affiliated_word(1, compress::CompressedWord{3});
+  EXPECT_FALSE(line.slot_free_for_affiliated(1));  // occupied now
+  line.drop_affiliated_word(1);
+  EXPECT_TRUE(line.slot_free_for_affiliated(1));
+}
+
+// --- CppCache ---------------------------------------------------------------
+
+class CollectingSink final : public WritebackSink {
+ public:
+  struct Record {
+    std::uint32_t line_addr;
+    std::uint32_t mask;
+    std::vector<std::uint32_t> words;
+  };
+  void writeback(std::uint32_t line_addr, std::uint32_t mask,
+                 std::span<const std::uint32_t> words) override {
+    records.push_back({line_addr, mask, {words.begin(), words.end()}});
+  }
+  std::vector<Record> records;
+};
+
+// 512-byte direct-mapped cache with 64-byte lines: 8 sets.
+cache::CacheGeometry tiny_geo() { return {512, 64, 1}; }
+
+// Heap-region line addresses: line L covers bytes [L*64, L*64+63].
+constexpr std::uint32_t kLineA = 0x0400'0000u;      // set 0 (even)
+constexpr std::uint32_t kBuddyA = kLineA ^ 1u;      // set 1
+
+IncomingLine full_line(const CppCache& c, std::uint32_t line_addr, std::uint32_t seed) {
+  IncomingLine in;
+  in.line_addr = line_addr;
+  const std::uint32_t n = c.geometry().words_per_line();
+  in.words.assign(n, 0);
+  in.aff_words.assign(n, 0);
+  in.present = 0xffffu;
+  for (std::uint32_t i = 0; i < n; ++i) in.words[i] = seed + i;  // small values
+  return in;
+}
+
+TEST(CppCache, InstallAndFindPrimary) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  c.install(full_line(c, kLineA, 10), sink);
+  CompressedLine* line = c.find_primary(kLineA);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->pa_mask(), 0xffffu);
+  EXPECT_EQ(line->primary_word(3), 13u);
+  EXPECT_FALSE(line->dirty);
+  EXPECT_TRUE(sink.records.empty());
+  c.validate();
+}
+
+TEST(CppCache, InstallWithAffiliatedHalf) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  IncomingLine in = full_line(c, kLineA, 10);
+  // Pack two affiliated words (compressed small values).
+  for (std::uint32_t i : {2u, 5u}) {
+    in.aff_present |= 1u << i;
+    in.aff_words[i] = kPaperScheme.compress(100 + i, c.word_addr(kBuddyA, i))->bits;
+  }
+  c.install(in, sink);
+
+  EXPECT_NE(c.find_affiliated_host(kBuddyA), nullptr);
+  std::uint32_t v = 0;
+  EXPECT_TRUE(c.peek_word(kBuddyA, 2, v));
+  EXPECT_EQ(v, 102u);
+  EXPECT_TRUE(c.peek_word(kBuddyA, 5, v));
+  EXPECT_EQ(v, 105u);
+  EXPECT_FALSE(c.peek_word(kBuddyA, 3, v)) << "absent affiliated word must miss";
+  c.validate();
+}
+
+TEST(CppCache, PrefetchedHalfDiscardedWhenLineResident) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  c.install(full_line(c, kBuddyA, 50), sink);  // buddy already primary
+
+  IncomingLine in = full_line(c, kLineA, 10);
+  in.aff_present = 1u << 0;
+  in.aff_words[0] = kPaperScheme.compress(1, c.word_addr(kBuddyA, 0))->bits;
+  c.install(in, sink);
+
+  // The prefetched copy must have been discarded: one copy rule.
+  EXPECT_EQ(c.find_primary(kLineA)->aa_mask(), 0u);
+  std::uint32_t v = 0;
+  EXPECT_TRUE(c.peek_word(kBuddyA, 0, v));
+  EXPECT_EQ(v, 50u) << "primary copy wins";
+  c.validate();
+}
+
+TEST(CppCache, MergePreservesDirtyWords) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  IncomingLine partial = full_line(c, kLineA, 10);
+  partial.present = 0x00ffu;  // lower half only
+  c.install(partial, sink);
+
+  CompressedLine* line = c.find_primary(kLineA);
+  c.write_primary_word(*line, 0, 777u);  // dirty word 0
+
+  IncomingLine rest = full_line(c, kLineA, 900);  // all words, different data
+  c.install(rest, sink);
+
+  line = c.find_primary(kLineA);
+  EXPECT_EQ(line->pa_mask(), 0xffffu);
+  EXPECT_EQ(line->primary_word(0), 777u) << "merge must not clobber dirty data";
+  EXPECT_EQ(line->primary_word(3), 13u) << "already-present words stay";
+  EXPECT_EQ(line->primary_word(12), 912u) << "missing words are filled";
+  EXPECT_TRUE(line->dirty);
+  c.validate();
+}
+
+TEST(CppCache, EvictionWritesBackDirtyAndDemotes) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  c.install(full_line(c, kBuddyA, 50), sink);  // buddy primary at set 1
+  c.install(full_line(c, kLineA, 10), sink);   // victim-to-be at set 0
+  c.write_primary_word(*c.find_primary(kLineA), 4, 4444u);
+
+  // Conflicting line in set 0 evicts kLineA.
+  const std::uint32_t conflict = kLineA + 8;  // 8 sets => same set 0
+  c.install(full_line(c, conflict, 70), sink);
+
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].line_addr, kLineA);
+  EXPECT_EQ(sink.records[0].mask, 0xffffu);
+  EXPECT_EQ(sink.records[0].words[4], 4444u);
+
+  // A clean partial copy was demoted into the buddy's physical line.
+  EXPECT_EQ(c.find_primary(kLineA), nullptr);
+  std::uint32_t v = 0;
+  EXPECT_TRUE(c.peek_word(kLineA, 0, v));
+  EXPECT_EQ(v, 10u);
+  EXPECT_TRUE(c.peek_word(kLineA, 4, v));
+  EXPECT_EQ(v, 4444u) << "demoted copy reflects the written-back data";
+  EXPECT_GT(c.demotions(), 0u);
+  c.validate();
+}
+
+TEST(CppCache, CleanEvictionDoesNotWriteBack) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  c.install(full_line(c, kLineA, 10), sink);
+  c.install(full_line(c, kLineA + 8, 70), sink);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+TEST(CppCache, DemotionSkipsIncompressibleWords) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  c.install(full_line(c, kBuddyA, 50), sink);
+  IncomingLine in = full_line(c, kLineA, 10);
+  in.words[7] = 0x7654'3210u;  // incompressible at this address
+  c.install(in, sink);
+  c.install(full_line(c, kLineA + 8, 70), sink);  // evict kLineA
+
+  std::uint32_t v = 0;
+  EXPECT_TRUE(c.peek_word(kLineA, 0, v));
+  EXPECT_FALSE(c.peek_word(kLineA, 7, v))
+      << "incompressible words cannot be kept in a half-slot";
+  c.validate();
+}
+
+TEST(CppCache, DemotionRequiresBuddyResident) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  c.install(full_line(c, kLineA, 10), sink);   // buddy NOT resident
+  c.install(full_line(c, kLineA + 8, 70), sink);
+  std::uint32_t v = 0;
+  EXPECT_FALSE(c.peek_word(kLineA, 0, v)) << "no affiliated place without buddy";
+}
+
+TEST(CppCache, PromoteMovesAffiliatedToPrimary) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  IncomingLine in = full_line(c, kLineA, 10);
+  in.aff_present = (1u << 1) | (1u << 9);
+  in.aff_words[1] = kPaperScheme.compress(201, c.word_addr(kBuddyA, 1))->bits;
+  in.aff_words[9] = kPaperScheme.compress(209, c.word_addr(kBuddyA, 9))->bits;
+  c.install(in, sink);
+
+  CompressedLine& promoted = c.promote(kBuddyA, sink);
+  EXPECT_EQ(promoted.line_addr, kBuddyA);
+  EXPECT_EQ(promoted.pa_mask(), (1u << 1) | (1u << 9));
+  EXPECT_EQ(promoted.primary_word(1), 201u);
+  EXPECT_FALSE(promoted.dirty);
+  EXPECT_EQ(c.find_primary(kLineA)->aa_mask(), 0u) << "source copy cleared";
+  EXPECT_EQ(c.promotions(), 1u);
+  c.validate();
+}
+
+TEST(CppCache, IncompressibleWriteEvictsAffiliatedWord) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  IncomingLine in = full_line(c, kLineA, 10);
+  in.aff_present = 1u << 3;
+  in.aff_words[3] = kPaperScheme.compress(33, c.word_addr(kBuddyA, 3))->bits;
+  c.install(in, sink);
+
+  CompressedLine* line = c.find_primary(kLineA);
+  ASSERT_TRUE(line->has_affiliated(3));
+  c.write_primary_word(*line, 3, 0x6000'0000u);  // now needs the full slot
+  EXPECT_FALSE(line->has_affiliated(3)) << "conflicting affiliated word evicted";
+  EXPECT_EQ(c.affiliated_word_evictions(), 1u);
+  // Other slots unaffected.
+  EXPECT_TRUE(line->has_primary(3));
+  c.validate();
+}
+
+TEST(CppCache, CompressibleWriteKeepsAffiliatedWord) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  IncomingLine in = full_line(c, kLineA, 10);
+  in.aff_present = 1u << 3;
+  in.aff_words[3] = kPaperScheme.compress(33, c.word_addr(kBuddyA, 3))->bits;
+  c.install(in, sink);
+
+  CompressedLine* line = c.find_primary(kLineA);
+  c.write_primary_word(*line, 3, 42u);  // still compressible
+  EXPECT_TRUE(line->has_affiliated(3));
+  c.validate();
+}
+
+TEST(CppCache, AffiliationDisabledNeverPacks) {
+  CppCache c(tiny_geo(), kPaperScheme, cache::kAffiliationMask,
+             /*affiliation_enabled=*/false);
+  CollectingSink sink;
+  c.install(full_line(c, kBuddyA, 50), sink);
+  c.install(full_line(c, kLineA, 10), sink);
+  c.install(full_line(c, kLineA + 8, 70), sink);  // evict kLineA
+  std::uint32_t v = 0;
+  EXPECT_FALSE(c.peek_word(kLineA, 0, v));
+  EXPECT_EQ(c.demotions(), 0u);
+}
+
+TEST(CppCache, ValidateCatchesCorruptedAaBit) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  CollectingSink sink;
+  IncomingLine in = full_line(c, kLineA, 10);
+  in.words[6] = 0x7000'0001u;  // incompressible primary word
+  c.install(in, sink);
+  CompressedLine* line = c.find_primary(kLineA);
+  // Corrupt: force an affiliated word over the uncompressed slot.
+  line->set_affiliated_word(6, compress::CompressedWord{1});
+  EXPECT_THROW(c.validate(), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace cpc::core

@@ -1,0 +1,195 @@
+// Integration tests: every workload replayed through every configuration
+// must return bit-exact load values and leave all structural invariants
+// intact; plus the paper-level relationships the experiment driver relies
+// on (BC == BCC timing, importance math, environment parsing).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <tuple>
+
+#include "cache/line_compression_hierarchy.hpp"
+#include "cache/pseudo_assoc_hierarchy.hpp"
+#include "cache/victim_hierarchy.hpp"
+#include "sim/experiment.hpp"
+
+namespace cpc::sim {
+namespace {
+
+using IntegrationParam = std::tuple<workload::Workload, ConfigKind>;
+
+class EveryWorkloadOnEveryConfig : public ::testing::TestWithParam<IntegrationParam> {};
+
+TEST_P(EveryWorkloadOnEveryConfig, BitExactReplayAndInvariants) {
+  const auto& [wl, kind] = GetParam();
+  const cpu::Trace trace = workload::generate(wl, {60'000, 0x5eed});
+  auto hierarchy = make_hierarchy(kind);
+  const RunResult r = run_trace_on(trace, *hierarchy);
+  EXPECT_EQ(r.core.value_mismatches, 0u)
+      << wl.name << " on " << config_name(kind) << " served stale data";
+  EXPECT_NO_THROW(hierarchy->validate());
+  EXPECT_EQ(r.core.committed, trace.size());
+  EXPECT_GT(r.core.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EveryWorkloadOnEveryConfig,
+    ::testing::Combine(::testing::ValuesIn(workload::all_workloads()),
+                       ::testing::ValuesIn(kAllConfigs)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param).name + "_" +
+                         config_name(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+// The related-work comparators (PAC, VC, LCC) must be functionally exact
+// caches too: same bit-exact replay requirement over every workload.
+using ComparatorParam = std::tuple<workload::Workload, std::string>;
+
+class EveryWorkloadOnComparators : public ::testing::TestWithParam<ComparatorParam> {
+ protected:
+  static std::unique_ptr<cache::MemoryHierarchy> make(const std::string& which) {
+    if (which == "PAC") return std::make_unique<cache::PseudoAssocHierarchy>();
+    if (which == "VC") return std::make_unique<cache::VictimHierarchy>();
+    return std::make_unique<cache::LineCompressionHierarchy>();
+  }
+};
+
+TEST_P(EveryWorkloadOnComparators, BitExactReplay) {
+  const auto& [wl, which] = GetParam();
+  const cpu::Trace trace = workload::generate(wl, {60'000, 0x5eed});
+  auto hierarchy = make(which);
+  const RunResult r = run_trace_on(trace, *hierarchy);
+  EXPECT_EQ(r.core.value_mismatches, 0u) << wl.name << " on " << which;
+  EXPECT_NO_THROW(hierarchy->validate());
+  EXPECT_EQ(r.core.committed, trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EveryWorkloadOnComparators,
+    ::testing::Combine(::testing::ValuesIn(workload::all_workloads()),
+                       ::testing::Values("PAC", "VC", "LCC")),
+    [](const auto& info) {
+      std::string name =
+          std::get<0>(info.param).name + "_" + std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(Experiment, ConfigNames) {
+  EXPECT_EQ(config_name(ConfigKind::kBC), "BC");
+  EXPECT_EQ(config_name(ConfigKind::kBCC), "BCC");
+  EXPECT_EQ(config_name(ConfigKind::kHAC), "HAC");
+  EXPECT_EQ(config_name(ConfigKind::kBCP), "BCP");
+  EXPECT_EQ(config_name(ConfigKind::kCPP), "CPP");
+  for (ConfigKind k : kAllConfigs) {
+    EXPECT_EQ(make_hierarchy(k)->name(), config_name(k));
+  }
+}
+
+TEST(Experiment, BccMatchesBcTimingButNotTraffic) {
+  // Paper section 4.1: "BC and BCC have the same performance since BCC only
+  // changes the format in which the data is stored and transmitted."
+  const auto trace = workload::generate(workload::find_workload("olden.treeadd"),
+                                        {80'000, 0x5eed});
+  const RunResult bc = run_trace(trace, ConfigKind::kBC);
+  const RunResult bcc = run_trace(trace, ConfigKind::kBCC);
+  EXPECT_EQ(bc.core.cycles, bcc.core.cycles);
+  EXPECT_EQ(bc.hierarchy.l1_misses, bcc.hierarchy.l1_misses);
+  EXPECT_EQ(bc.hierarchy.l2_misses, bcc.hierarchy.l2_misses);
+  EXPECT_LT(bcc.traffic_words(), bc.traffic_words());
+}
+
+TEST(Experiment, CppPrefetchesWithoutTrafficExplosion) {
+  // The headline claim is about the average (Fig. 10: CPP ≈ 90% of BC);
+  // individual benchmarks may pay a little extra when stores turn
+  // compressible words incompressible (section 4.2). Bound the worst case
+  // well below prefetching's +80% while requiring real prefetch activity.
+  const auto trace = workload::generate(workload::find_workload("olden.treeadd"),
+                                        {80'000, 0x5eed});
+  const RunResult bc = run_trace(trace, ConfigKind::kBC);
+  const RunResult cpp = run_trace(trace, ConfigKind::kCPP);
+  EXPECT_LE(cpp.traffic_words(), bc.traffic_words() * 1.25);
+  EXPECT_LT(cpp.hierarchy.mem_fetch_lines, bc.hierarchy.mem_fetch_lines)
+      << "packed affiliated words should save demand fetches";
+  EXPECT_GT(cpp.hierarchy.l1_affiliated_hits + cpp.hierarchy.l2_affiliated_hits, 0u);
+  EXPECT_LE(cpp.core.cycles, bc.core.cycles);
+}
+
+TEST(Experiment, CppTrafficBelowBaselineOnAverage) {
+  // Fig. 10's average-level claim across a representative subset.
+  double bc_total = 0.0, cpp_total = 0.0;
+  for (const char* name :
+       {"olden.health", "olden.treeadd", "olden.mst", "spec2000.181.mcf"}) {
+    const auto trace = workload::generate(workload::find_workload(name),
+                                          {80'000, 0x5eed});
+    bc_total += run_trace(trace, ConfigKind::kBC).traffic_words();
+    cpp_total += run_trace(trace, ConfigKind::kCPP).traffic_words();
+  }
+  EXPECT_LT(cpp_total, bc_total);
+}
+
+TEST(Experiment, BcpPrefetchesWithExtraTraffic) {
+  const auto trace = workload::generate(workload::find_workload("olden.health"),
+                                        {80'000, 0x5eed});
+  const RunResult bc = run_trace(trace, ConfigKind::kBC);
+  const RunResult bcp = run_trace(trace, ConfigKind::kBCP);
+  EXPECT_GT(bcp.traffic_words(), bc.traffic_words());
+  EXPECT_LT(bcp.hierarchy.l1_misses, bc.hierarchy.l1_misses);
+}
+
+TEST(Experiment, HalvedPenaltyNeverSlowsDown) {
+  const auto trace = workload::generate(workload::find_workload("olden.mst"),
+                                        {60'000, 0x5eed});
+  for (ConfigKind k : kAllConfigs) {
+    const ImportanceResult imp = miss_importance(trace, k);
+    EXPECT_GE(imp.s_overall, 1.0) << config_name(k);
+    EXPECT_GE(imp.fraction_enhanced, 0.0);
+    EXPECT_LE(imp.fraction_enhanced, 1.0);
+  }
+}
+
+TEST(Experiment, ImportanceFormulaMatchesAmdahl) {
+  // Fraction = S_enh (1 - 1/S_overall) / (S_enh - 1); with S_enh = 2 and
+  // S_overall = 4/3, Fraction = 0.5.
+  const double s_overall = 4.0 / 3.0;
+  const double fraction = 2.0 * (1.0 - 1.0 / s_overall) / (2.0 - 1.0);
+  EXPECT_NEAR(fraction, 0.5, 1e-12);
+}
+
+TEST(Experiment, LatencyHalvingHelper) {
+  cache::LatencyConfig normal;
+  const cache::LatencyConfig half = normal.halved_miss_penalty();
+  EXPECT_EQ(half.l1_hit, normal.l1_hit) << "hit latency is not a miss penalty";
+  EXPECT_EQ(half.l2_hit, normal.l2_hit / 2);
+  EXPECT_EQ(half.memory, normal.memory / 2);
+}
+
+TEST(BenchOptionsTest, ReadsEnvironment) {
+  setenv("CPC_TRACE_OPS", "12345", 1);
+  setenv("CPC_WORKLOADS", "olden.mst,spec95.130.li", 1);
+  setenv("CPC_SEED", "99", 1);
+  const BenchOptions opts = BenchOptions::from_env();
+  EXPECT_EQ(opts.trace_ops, 12345u);
+  EXPECT_EQ(opts.seed, 99u);
+  ASSERT_EQ(opts.workloads.size(), 2u);
+  EXPECT_EQ(opts.workloads[0].name, "olden.mst");
+  EXPECT_EQ(opts.workloads[1].name, "spec95.130.li");
+  unsetenv("CPC_TRACE_OPS");
+  unsetenv("CPC_WORKLOADS");
+  unsetenv("CPC_SEED");
+}
+
+TEST(BenchOptionsTest, DefaultsToAllWorkloads) {
+  unsetenv("CPC_WORKLOADS");
+  EXPECT_EQ(BenchOptions::from_env().workloads.size(), 14u);
+}
+
+}  // namespace
+}  // namespace cpc::sim

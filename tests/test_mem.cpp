@@ -1,0 +1,144 @@
+// Tests for the memory substrate: sparse memory, heap allocator, traffic
+// meter.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/heap_allocator.hpp"
+#include "mem/sparse_memory.hpp"
+#include "mem/traffic_meter.hpp"
+#include "workload/rng.hpp"
+
+namespace cpc::mem {
+namespace {
+
+TEST(SparseMemory, UnwrittenReadsZero) {
+  SparseMemory m;
+  EXPECT_EQ(m.read_word(0), 0u);
+  EXPECT_EQ(m.read_word(0xffff'fffcu), 0u);
+  EXPECT_EQ(m.resident_pages(), 0u);
+}
+
+TEST(SparseMemory, WriteThenRead) {
+  SparseMemory m;
+  m.write_word(0x1234'5678u & ~3u, 42u);
+  EXPECT_EQ(m.read_word(0x1234'5678u & ~3u), 42u);
+}
+
+TEST(SparseMemory, SubwordBitsIgnored) {
+  SparseMemory m;
+  m.write_word(0x100, 7u);
+  EXPECT_EQ(m.read_word(0x101), 7u);
+  EXPECT_EQ(m.read_word(0x103), 7u);
+  m.write_word(0x102, 9u);  // same word
+  EXPECT_EQ(m.read_word(0x100), 9u);
+}
+
+TEST(SparseMemory, PagesAreIndependent) {
+  SparseMemory m;
+  m.write_word(0, 1u);
+  m.write_word(SparseMemory::kPageBytes, 2u);
+  EXPECT_EQ(m.read_word(0), 1u);
+  EXPECT_EQ(m.read_word(SparseMemory::kPageBytes), 2u);
+  EXPECT_EQ(m.resident_pages(), 2u);
+}
+
+TEST(SparseMemory, ClearDropsEverything) {
+  SparseMemory m;
+  m.write_word(0x40, 5u);
+  m.clear();
+  EXPECT_EQ(m.read_word(0x40), 0u);
+  EXPECT_EQ(m.resident_pages(), 0u);
+}
+
+TEST(SparseMemory, RandomizedReadYourWrites) {
+  SparseMemory m;
+  workload::Rng rng(99);
+  std::unordered_map<std::uint32_t, std::uint32_t> reference;
+  for (int i = 0; i < 100'000; ++i) {
+    const std::uint32_t addr = (static_cast<std::uint32_t>(rng.next()) & 0x00ff'fffcu);
+    if (rng.chance(1, 2)) {
+      const std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+      m.write_word(addr, v);
+      reference[addr] = v;
+    } else {
+      const auto it = reference.find(addr);
+      ASSERT_EQ(m.read_word(addr), it == reference.end() ? 0u : it->second);
+    }
+  }
+}
+
+TEST(HeapAllocator, EightByteAlignment) {
+  HeapAllocator heap;
+  for (std::uint32_t size : {1u, 7u, 8u, 9u, 24u, 100u}) {
+    EXPECT_EQ(heap.allocate(size) % 8u, 0u);
+  }
+}
+
+TEST(HeapAllocator, DistinctNonOverlappingBlocks) {
+  HeapAllocator heap;
+  const std::uint32_t a = heap.allocate(16);
+  const std::uint32_t b = heap.allocate(16);
+  EXPECT_GE(b, a + 16u);
+}
+
+TEST(HeapAllocator, ReusesFreedBlockOfSameSize) {
+  HeapAllocator heap;
+  const std::uint32_t a = heap.allocate(32);
+  heap.deallocate(a, 32);
+  EXPECT_EQ(heap.allocate(32), a);
+}
+
+TEST(HeapAllocator, FreeListIsPerRoundedSize) {
+  HeapAllocator heap;
+  const std::uint32_t a = heap.allocate(16);
+  heap.deallocate(a, 16);
+  // 17 rounds to 24, so it must not reuse the 16-byte block.
+  EXPECT_NE(heap.allocate(17), a);
+  // 9..16 all round to 16 and may reuse it.
+  EXPECT_EQ(heap.allocate(9), a);
+}
+
+TEST(HeapAllocator, DeterministicLayout) {
+  HeapAllocator h1, h2;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(h1.allocate(16 + (i % 5) * 8), h2.allocate(16 + (i % 5) * 8));
+  }
+}
+
+TEST(HeapAllocator, StartsAtConfiguredBase) {
+  HeapAllocator heap(0x2000'0000u);
+  EXPECT_EQ(heap.allocate(8), 0x2000'0000u);
+}
+
+TEST(TrafficMeter, UncompressedWordCostsOneWord) {
+  TrafficMeter t;
+  t.add_uncompressed_words(3);
+  EXPECT_DOUBLE_EQ(t.words(), 3.0);
+}
+
+TEST(TrafficMeter, CompressedWordCostsHalf) {
+  TrafficMeter t;
+  t.add_compressed_words(3);
+  EXPECT_DOUBLE_EQ(t.words(), 1.5);
+}
+
+TEST(TrafficMeter, WritebackTrackedSeparately) {
+  TrafficMeter t;
+  t.add_uncompressed_words(2);
+  t.add_writeback_compressed_words(2);
+  EXPECT_DOUBLE_EQ(t.fetch_words(), 2.0);
+  EXPECT_DOUBLE_EQ(t.writeback_words(), 1.0);
+  EXPECT_DOUBLE_EQ(t.words(), 3.0);
+}
+
+TEST(TrafficMeter, ResetZeroes) {
+  TrafficMeter t;
+  t.add_uncompressed_words(5);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.words(), 0.0);
+}
+
+}  // namespace
+}  // namespace cpc::mem

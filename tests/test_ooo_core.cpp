@@ -1,0 +1,251 @@
+// Timing-model tests for the out-of-order core: issue width, dependence
+// serialisation, functional-unit limits, memory ports, branch mispredict
+// stalls, I-cache stalls, store/load ordering and the ready-queue statistic.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/baseline_hierarchy.hpp"
+#include "cpu/branch_predictor.hpp"
+#include "cpu/icache.hpp"
+#include "cpu/micro_op.hpp"
+#include "cpu/ooo_core.hpp"
+
+namespace cpc::cpu {
+namespace {
+
+MicroOp make_op(OpKind kind, std::uint32_t pc, std::uint8_t dep1 = 0,
+                std::uint8_t dep2 = 0) {
+  MicroOp op;
+  op.kind = kind;
+  op.pc = pc;
+  op.dep1 = dep1;
+  op.dep2 = dep2;
+  return op;
+}
+
+/// All ops share one I-cache line unless stated otherwise.
+Trace alu_trace(std::size_t n, std::uint8_t dep = 0) {
+  Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back(make_op(OpKind::kIntAlu, 0x1000 + (i % 8) * 4, dep));
+  }
+  return t;
+}
+
+CoreStats run(const Trace& t, CoreConfig cfg = {}) {
+  auto h = cache::BaselineHierarchy::make_bc();
+  OooCore core(cfg, h);
+  return core.run(t);
+}
+
+TEST(OooCore, IndependentAluOpsReachIssueWidth) {
+  const CoreStats s = run(alu_trace(4000));
+  EXPECT_EQ(s.committed, 4000u);
+  // 4-wide machine on independent single-cycle ops: IPC close to 4.
+  EXPECT_GT(s.ipc(), 3.0);
+}
+
+TEST(OooCore, DependenceChainSerialises) {
+  const CoreStats s = run(alu_trace(2000, /*dep=*/1));
+  // Every op waits for its predecessor: >= 1 cycle per op.
+  EXPECT_GE(s.cycles, 2000u);
+  EXPECT_LT(s.ipc(), 1.1);
+}
+
+TEST(OooCore, SingleMultiplierLimitsThroughput) {
+  Trace t;
+  for (int i = 0; i < 1000; ++i) t.push_back(make_op(OpKind::kIntMul, 0x1000));
+  const CoreStats s = run(t);
+  EXPECT_GE(s.cycles, 1000u) << "1 mult/div unit: at most one multiply per cycle";
+}
+
+TEST(OooCore, DivLatencyDominates) {
+  Trace t;
+  for (int i = 0; i < 100; ++i) t.push_back(make_op(OpKind::kIntDiv, 0x1000, 1));
+  const CoreStats s = run(t);
+  CoreConfig cfg;
+  EXPECT_GE(s.cycles, 100u * cfg.lat_int_div);
+}
+
+TEST(OooCore, TwoMemoryPortsLimitLoads) {
+  Trace t;
+  for (int i = 0; i < 1000; ++i) {
+    MicroOp op = make_op(OpKind::kLoad, 0x1000);
+    op.addr = 0x1000'0000u + (i % 8) * 4;  // same cache line: all hits
+    t.push_back(op);
+  }
+  // Warm the line first so every load is a 1-cycle hit.
+  auto h = cache::BaselineHierarchy::make_bc();
+  std::uint32_t v = 0;
+  h.read(0x1000'0000u, v);
+  OooCore core({}, h);
+  const CoreStats s = core.run(t);
+  EXPECT_GE(s.cycles, 500u) << "2 ports: at most 2 loads per cycle";
+  EXPECT_LE(s.cycles, 560u);
+}
+
+TEST(OooCore, LoadMissStallsDependents) {
+  Trace t;
+  MicroOp load = make_op(OpKind::kLoad, 0x1000);
+  load.addr = 0x1000'0000u;
+  t.push_back(load);
+  t.push_back(make_op(OpKind::kIntAlu, 0x1004, 1));  // depends on the load
+  const CoreStats s = run(t);
+  EXPECT_GE(s.cycles, 100u) << "cold load takes the full memory latency";
+}
+
+TEST(OooCore, IndependentMissesOverlap) {
+  // Two misses to different L2 lines issued back to back should overlap,
+  // costing far less than 2 * 100 cycles.
+  Trace t;
+  for (int i = 0; i < 2; ++i) {
+    MicroOp load = make_op(OpKind::kLoad, 0x1000);
+    load.addr = 0x1000'0000u + i * 256;
+    t.push_back(load);
+  }
+  const CoreStats s = run(t);
+  EXPECT_LT(s.cycles, 140u);
+}
+
+TEST(OooCore, StoreThenLoadSameAddressForwardsInOrder) {
+  Trace t;
+  MicroOp store = make_op(OpKind::kStore, 0x1000);
+  store.addr = 0x1000'0000u;
+  store.value = 0xabcdu;
+  t.push_back(store);
+  MicroOp load = make_op(OpKind::kLoad, 0x1004);
+  load.addr = 0x1000'0000u;
+  load.value = 0xabcdu;  // expected value
+  t.push_back(load);
+  const CoreStats s = run(t);
+  EXPECT_EQ(s.value_mismatches, 0u)
+      << "same-address memory ops must execute in program order";
+}
+
+TEST(OooCore, InterleavedStoreLoadStreamStaysConsistent) {
+  Trace t;
+  std::uint32_t shadow[64] = {};
+  std::uint32_t lcg = 5;
+  for (int i = 0; i < 5000; ++i) {
+    lcg = lcg * 1664525u + 1013904223u;
+    const std::uint32_t slot = lcg % 64;
+    const std::uint32_t addr = 0x1000'0000u + slot * 4;
+    if (lcg & 1u) {
+      MicroOp op = make_op(OpKind::kStore, 0x1000 + (i % 16) * 4);
+      op.addr = addr;
+      op.value = lcg;
+      shadow[slot] = lcg;
+      t.push_back(op);
+    } else {
+      MicroOp op = make_op(OpKind::kLoad, 0x1000 + (i % 16) * 4);
+      op.addr = addr;
+      op.value = shadow[slot];
+      t.push_back(op);
+    }
+  }
+  const CoreStats s = run(t);
+  EXPECT_EQ(s.value_mismatches, 0u);
+}
+
+TEST(OooCore, MispredictedBranchesCostCycles) {
+  // Alternating outcomes defeat the bimodal predictor; a well-predicted
+  // loop branch (always taken) runs much faster.
+  auto make_branch_trace = [](bool alternate) {
+    Trace t;
+    for (int i = 0; i < 2000; ++i) {
+      t.push_back(make_op(OpKind::kIntAlu, 0x1000));
+      MicroOp br = make_op(OpKind::kBranch, 0x1004);
+      const bool taken = alternate ? (i & 1) != 0 : true;
+      br.flags = taken ? MicroOp::kFlagTaken : std::uint8_t{0};
+      t.push_back(br);
+    }
+    return t;
+  };
+  const CoreStats alternating = run(make_branch_trace(true));
+  const CoreStats steady = run(make_branch_trace(false));
+  EXPECT_GT(alternating.mispredicts, steady.mispredicts * 4);
+  EXPECT_GT(alternating.cycles, steady.cycles);
+}
+
+TEST(OooCore, IcacheMissesStallFetch) {
+  // Ops strided across many distinct I-cache lines vs one hot line.
+  Trace cold, hot;
+  for (int i = 0; i < 2000; ++i) {
+    cold.push_back(make_op(OpKind::kIntAlu, 0x1'0000u + (i % 512) * 64));
+    hot.push_back(make_op(OpKind::kIntAlu, 0x1'0000u + (i % 8) * 4));
+  }
+  const CoreStats s_cold = run(cold);
+  const CoreStats s_hot = run(hot);
+  EXPECT_GT(s_cold.icache_misses, 100u);
+  EXPECT_GT(s_cold.cycles, s_hot.cycles * 2);
+}
+
+TEST(OooCore, ReadyQueueTrackedDuringMissCycles) {
+  Trace t;
+  MicroOp load = make_op(OpKind::kLoad, 0x1000);
+  load.addr = 0x1000'0000u;
+  t.push_back(load);
+  // Plenty of independent work available while the miss is outstanding.
+  for (int i = 0; i < 200; ++i) t.push_back(make_op(OpKind::kIntAlu, 0x1004));
+  const CoreStats s = run(t);
+  EXPECT_GT(s.miss_cycles, 0u);
+  EXPECT_GT(s.avg_ready_queue_in_miss_cycles(), 0.0)
+      << "independent ops should be ready while the miss is pending";
+}
+
+TEST(OooCore, EmptyTraceTerminates) {
+  const CoreStats s = run(Trace{});
+  EXPECT_EQ(s.cycles, 0u);
+  EXPECT_EQ(s.committed, 0u);
+}
+
+TEST(OooCore, CommitsEveryOpExactlyOnce) {
+  const CoreStats s = run(alu_trace(12345));
+  EXPECT_EQ(s.committed, 12345u);
+}
+
+// ---- predictor and I-cache units -------------------------------------------
+
+TEST(BimodalPredictor, LearnsASteadyDirection) {
+  BimodalPredictor p(64);
+  for (int i = 0; i < 4; ++i) p.update(0x40, true);
+  EXPECT_TRUE(p.predict(0x40));
+  for (int i = 0; i < 4; ++i) p.update(0x40, false);
+  EXPECT_FALSE(p.predict(0x40));
+}
+
+TEST(BimodalPredictor, HysteresisSurvivesOneFlip) {
+  BimodalPredictor p(64);
+  for (int i = 0; i < 4; ++i) p.update(0x40, true);
+  p.update(0x40, false);  // one not-taken
+  EXPECT_TRUE(p.predict(0x40)) << "2-bit counter needs two flips to change";
+}
+
+TEST(BimodalPredictor, DistinctPcsUseDistinctCounters) {
+  BimodalPredictor p(64);
+  for (int i = 0; i < 4; ++i) p.update(0x40, true);
+  for (int i = 0; i < 4; ++i) p.update(0x44, false);
+  EXPECT_TRUE(p.predict(0x40));
+  EXPECT_FALSE(p.predict(0x44));
+}
+
+TEST(InstructionCache, MissThenHit) {
+  InstructionCache ic;
+  EXPECT_FALSE(ic.access(0x1000));
+  EXPECT_TRUE(ic.access(0x1000));
+  EXPECT_TRUE(ic.access(0x103c));  // same 64-byte line
+  EXPECT_EQ(ic.misses(), 1u);
+  EXPECT_EQ(ic.hits(), 2u);
+}
+
+TEST(InstructionCache, ConflictingLinesEvict) {
+  InstructionCache ic({8 * 1024, 64, 1});
+  EXPECT_FALSE(ic.access(0x0000));
+  EXPECT_FALSE(ic.access(0x2000));  // same set in an 8K direct-mapped cache
+  EXPECT_FALSE(ic.access(0x0000)) << "original line was evicted";
+}
+
+}  // namespace
+}  // namespace cpc::cpu

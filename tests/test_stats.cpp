@@ -1,0 +1,123 @@
+// Tests for the stats/table utilities every bench binary uses.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/counters.hpp"
+#include "stats/table.hpp"
+
+namespace cpc::stats {
+namespace {
+
+TEST(Means, ArithmeticMean) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Means, MeanSkipsNan) {
+  EXPECT_DOUBLE_EQ(mean({1.0, std::nan(""), 3.0}), 2.0);
+}
+
+TEST(Means, MeanOfEmptyIsNan) {
+  EXPECT_TRUE(std::isnan(mean({})));
+  EXPECT_TRUE(std::isnan(mean({std::nan("")})));
+}
+
+TEST(Means, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({1.0, 4.0}), 2.0);
+  EXPECT_NEAR(geomean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+}
+
+TEST(Means, GeomeanSkipsNonPositive) {
+  EXPECT_DOUBLE_EQ(geomean({-5.0, 0.0, 4.0, 1.0}), 2.0);
+}
+
+TEST(Table, StoresCellsByRowAndColumn) {
+  Table t("title", {"a", "b"});
+  t.add_row("r0", {1.0, 2.0});
+  t.add_row("r1", {3.0, 4.0});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_DOUBLE_EQ(t.cell(1, 0), 3.0);
+  EXPECT_EQ(t.row_label(1), "r1");
+  EXPECT_EQ(t.column_label(1), "b");
+}
+
+TEST(Table, ShortRowsArePaddedWithNan) {
+  Table t("t", {"a", "b", "c"});
+  t.add_row("r", {1.0});
+  EXPECT_TRUE(std::isnan(t.cell(0, 2)));
+}
+
+TEST(Table, MeanRowAveragesColumns) {
+  Table t("t", {"a", "b"});
+  t.add_row("r0", {1.0, 10.0});
+  t.add_row("r1", {3.0, 30.0});
+  t.add_mean_row();
+  EXPECT_DOUBLE_EQ(t.cell(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.cell(2, 1), 20.0);
+  EXPECT_EQ(t.row_label(2), "average");
+}
+
+TEST(Table, GeomeanRow) {
+  Table t("t", {"a"});
+  t.add_row("r0", {2.0});
+  t.add_row("r1", {8.0});
+  t.add_geomean_row("gm");
+  EXPECT_DOUBLE_EQ(t.cell(2, 0), 4.0);
+}
+
+TEST(Table, AsciiContainsLabelsAndValues) {
+  Table t("my title", {"col"});
+  t.add_row("row", {1.25});
+  const std::string ascii = t.to_ascii(2);
+  EXPECT_NE(ascii.find("my title"), std::string::npos);
+  EXPECT_NE(ascii.find("row"), std::string::npos);
+  EXPECT_NE(ascii.find("col"), std::string::npos);
+  EXPECT_NE(ascii.find("1.25"), std::string::npos);
+}
+
+TEST(Table, AsciiRendersNanAsDash) {
+  Table t("t", {"a", "b"});
+  t.add_row("r", {1.0});
+  EXPECT_NE(t.to_ascii().find('-'), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t("t", {"a", "b"});
+  t.add_row("r", {1.0, 2.5});
+  const std::string csv = t.to_csv(1);
+  EXPECT_EQ(csv, "benchmark,a,b\nr,1.0,2.5\n");
+}
+
+TEST(Table, CsvEmptyCellForNan) {
+  Table t("t", {"a", "b"});
+  t.add_row("r", {1.0});
+  EXPECT_EQ(t.to_csv(0), "benchmark,a,b\nr,1,\n");
+}
+
+TEST(CounterSet, AddAndGet) {
+  CounterSet c;
+  c.add("x");
+  c.add("x", 4);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("missing"), 0u);
+}
+
+TEST(CounterSet, ToStringSortedByName) {
+  CounterSet c;
+  c.add("zeta", 1);
+  c.add("alpha", 2);
+  EXPECT_EQ(c.to_string(), "alpha=2\nzeta=1\n");
+}
+
+TEST(CounterSet, ResetClears) {
+  CounterSet c;
+  c.add("x");
+  c.reset();
+  EXPECT_EQ(c.get("x"), 0u);
+  EXPECT_TRUE(c.all().empty());
+}
+
+}  // namespace
+}  // namespace cpc::stats

@@ -1,0 +1,122 @@
+// Tests for the binary trace serialisation: round-trips, format stability,
+// and corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cpu/trace_io.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::cpu {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    MicroOp op;
+    op.pc = 0x1000 + i * 4;
+    op.addr = 0x1000'0000u + i * 8;
+    op.value = i * 2654435761u;
+    op.kind = static_cast<OpKind>(i % 9);
+    op.dep1 = static_cast<std::uint8_t>(i % 7);
+    op.dep2 = static_cast<std::uint8_t>(i % 3);
+    op.flags = static_cast<std::uint8_t>(i % 2);
+    t.push_back(op);
+  }
+  return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, original);
+  const Trace loaded = read_trace(buf);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].pc, original[i].pc);
+    EXPECT_EQ(loaded[i].addr, original[i].addr);
+    EXPECT_EQ(loaded[i].value, original[i].value);
+    EXPECT_EQ(static_cast<int>(loaded[i].kind), static_cast<int>(original[i].kind));
+    EXPECT_EQ(loaded[i].dep1, original[i].dep1);
+    EXPECT_EQ(loaded[i].dep2, original[i].dep2);
+    EXPECT_EQ(loaded[i].flags, original[i].flags);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buf;
+  write_trace(buf, Trace{});
+  EXPECT_TRUE(read_trace(buf).empty());
+}
+
+TEST(TraceIo, SizeIsHeaderPlusSixteenBytesPerOp) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, t);
+  EXPECT_EQ(buf.str().size(), 24u + 16u * t.size());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOTATRACE_AT_ALL_____________";
+  EXPECT_THROW(read_trace(buf), TraceIoError);
+}
+
+TEST(TraceIo, RejectsTruncatedHeader) {
+  std::stringstream buf;
+  buf << "CPCTR";  // cut off
+  EXPECT_THROW(read_trace(buf), TraceIoError);
+}
+
+TEST(TraceIo, RejectsTruncatedBody) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, t);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() - 100);
+  std::stringstream cut(bytes);
+  EXPECT_THROW(read_trace(cut), TraceIoError);
+}
+
+TEST(TraceIo, RejectsUnsupportedVersion) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, t);
+  std::string bytes = buf.str();
+  bytes[8] = 99;  // version field
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_trace(bad), TraceIoError);
+}
+
+TEST(TraceIo, RejectsCorruptOpKind) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, t);
+  std::string bytes = buf.str();
+  bytes[24 + 12] = 42;  // first op's kind byte
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_trace(bad), TraceIoError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cpc_trace_io_test.cpctrace";
+  const Trace original =
+      workload::generate(workload::find_workload("olden.treeadd"), {30'000, 5});
+  write_trace_file(path, original);
+  const Trace loaded = read_trace_file(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded[i].addr, original[i].addr);
+    ASSERT_EQ(loaded[i].value, original[i].value);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/dir/trace.cpctrace"), TraceIoError);
+}
+
+}  // namespace
+}  // namespace cpc::cpu

@@ -1,0 +1,122 @@
+// Tests for the trace recorder: dependence edges, PC/block management,
+// concrete memory semantics and dependence-distance clamping.
+
+#include <gtest/gtest.h>
+
+#include "workload/trace_recorder.hpp"
+
+namespace cpc::workload {
+namespace {
+
+using Val = TraceRecorder::Val;
+
+TEST(TraceRecorder, LoadsReturnStoredValues) {
+  TraceRecorder r;
+  const std::uint32_t a = r.alloc(16);
+  r.store(Val{a}, r.alu(123u));
+  const Val loaded = r.load(Val{a});
+  EXPECT_EQ(loaded.value, 123u);
+}
+
+TEST(TraceRecorder, LoadOfFreshMemoryIsZero) {
+  TraceRecorder r;
+  EXPECT_EQ(r.load(Val{r.alloc(8)}).value, 0u);
+}
+
+TEST(TraceRecorder, EmitsDependenceDistances) {
+  TraceRecorder r;
+  const std::uint32_t a = r.alloc(16);
+  const Val x = r.alu(5);              // op 0
+  const Val y = r.alu(6);              // op 1
+  r.alu(11, x, y);                     // op 2: deps at distance 2 and 1
+  r.store(Val{a}, x);                  // op 3: value dep at distance 3
+  const cpu::Trace& t = r.trace();
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[2].dep1, 2u);
+  EXPECT_EQ(t[2].dep2, 1u);
+  EXPECT_EQ(t[3].dep2, 3u);
+  EXPECT_EQ(t[3].dep1, 0u) << "constant address has no producer";
+}
+
+TEST(TraceRecorder, AddressArithmeticKeepsDependence) {
+  TraceRecorder r;
+  const std::uint32_t a = r.alloc(16);
+  r.store(Val{a + 8u}, r.alu(77));
+  const Val p = r.alu(a);       // op: produces the base pointer
+  const Val v = r.load(p + 8u); // load depends on the pointer producer
+  EXPECT_EQ(v.value, 77u);
+  EXPECT_EQ(r.trace().back().dep1, 1u);
+}
+
+TEST(TraceRecorder, FarDependencesAreClamped) {
+  TraceRecorder r;
+  const Val x = r.alu(1);  // op 0
+  for (int i = 0; i < 300; ++i) r.alu(0);
+  r.alu(2, x);  // producer 301 ops back: clamped to "no edge"
+  EXPECT_EQ(r.trace().back().dep1, 0u);
+}
+
+TEST(TraceRecorder, BlocksGiveStablePcs) {
+  TraceRecorder r;
+  r.block("loop");
+  r.alu(1);
+  const std::uint32_t pc_first = r.trace().back().pc;
+  r.alu(2);
+  r.block("other");
+  r.alu(3);
+  r.block("loop");  // re-enter: PCs repeat
+  r.alu(4);
+  const cpu::Trace& t = r.trace();
+  EXPECT_EQ(t[3].pc, pc_first);
+  EXPECT_NE(t[2].pc, pc_first);
+  EXPECT_EQ(t[1].pc, pc_first + 4);
+}
+
+TEST(TraceRecorder, BranchRecordsOutcome) {
+  TraceRecorder r;
+  r.branch(true);
+  r.branch(false);
+  EXPECT_TRUE(r.trace()[0].branch_taken());
+  EXPECT_FALSE(r.trace()[1].branch_taken());
+}
+
+TEST(TraceRecorder, OpKindsMapCorrectly) {
+  TraceRecorder r;
+  const std::uint32_t a = r.alloc(8);
+  r.alu(1);
+  r.mul(2);
+  r.div(3);
+  r.fp_alu(4);
+  r.fp_mul(5);
+  r.load(Val{a});
+  r.store(Val{a}, Val{1});
+  r.branch(true);
+  const cpu::Trace& t = r.trace();
+  EXPECT_EQ(t[0].kind, cpu::OpKind::kIntAlu);
+  EXPECT_EQ(t[1].kind, cpu::OpKind::kIntMul);
+  EXPECT_EQ(t[2].kind, cpu::OpKind::kIntDiv);
+  EXPECT_EQ(t[3].kind, cpu::OpKind::kFpAlu);
+  EXPECT_EQ(t[4].kind, cpu::OpKind::kFpMul);
+  EXPECT_EQ(t[5].kind, cpu::OpKind::kLoad);
+  EXPECT_EQ(t[6].kind, cpu::OpKind::kStore);
+  EXPECT_EQ(t[7].kind, cpu::OpKind::kBranch);
+}
+
+TEST(TraceRecorder, DoneReflectsBudget) {
+  TraceRecorder r(5);
+  EXPECT_FALSE(r.done());
+  for (int i = 0; i < 5; ++i) r.alu(0);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(TraceRecorder, StaticDataIsDisjointFromHeap) {
+  TraceRecorder r;
+  const std::uint32_t s1 = r.static_data(64);
+  const std::uint32_t s2 = r.static_data(64);
+  const std::uint32_t h = r.alloc(64);
+  EXPECT_GE(s2, s1 + 64u);
+  EXPECT_NE(s1 / 0x1000'0000u, h / 0x1000'0000u) << "separate segments";
+}
+
+}  // namespace
+}  // namespace cpc::workload

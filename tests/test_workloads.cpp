@@ -1,0 +1,141 @@
+// Property tests over all 14 workload kernels: determinism, sequential
+// trace consistency (every load matches the last store), realistic op
+// mixes, and value-compressibility diversity (the precondition for Fig. 3).
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "compress/classification_stats.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::workload {
+namespace {
+
+class WorkloadSuite : public ::testing::TestWithParam<Workload> {
+ protected:
+  static constexpr std::uint64_t kOps = 120'000;
+  cpu::Trace make_trace(std::uint64_t seed = 0x5eed) const {
+    return generate(GetParam(), {kOps, seed});
+  }
+};
+
+TEST_P(WorkloadSuite, ProducesRequestedTraceLength) {
+  const cpu::Trace t = make_trace();
+  EXPECT_GE(t.size(), kOps);
+  // Kernels may overshoot while unwinding, but not by much.
+  EXPECT_LE(t.size(), kOps * 3 / 2);
+}
+
+TEST_P(WorkloadSuite, DeterministicForSameSeed) {
+  const cpu::Trace a = make_trace(7);
+  const cpu::Trace b = make_trace(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].pc, b[i].pc);
+    ASSERT_EQ(a[i].addr, b[i].addr);
+    ASSERT_EQ(a[i].value, b[i].value);
+    ASSERT_EQ(static_cast<int>(a[i].kind), static_cast<int>(b[i].kind));
+  }
+}
+
+TEST_P(WorkloadSuite, DifferentSeedsDiffer) {
+  const cpu::Trace a = make_trace(1);
+  const cpu::Trace b = make_trace(2);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].addr != b[i].addr || a[i].value != b[i].value;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_P(WorkloadSuite, TraceIsSequentiallyConsistent) {
+  // The property the whole replay methodology rests on: played back in
+  // program order against a flat memory, every load sees the value of the
+  // latest prior store (or zero).
+  const cpu::Trace t = make_trace();
+  std::unordered_map<std::uint32_t, std::uint32_t> memory;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const cpu::MicroOp& op = t[i];
+    if (op.kind == cpu::OpKind::kStore) {
+      memory[op.addr & ~3u] = op.value;
+    } else if (op.kind == cpu::OpKind::kLoad) {
+      const auto it = memory.find(op.addr & ~3u);
+      ASSERT_EQ(op.value, it == memory.end() ? 0u : it->second)
+          << GetParam().name << " op " << i;
+    }
+  }
+}
+
+TEST_P(WorkloadSuite, DependenceDistancesAreValid) {
+  const cpu::Trace t = make_trace();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ASSERT_LE(t[i].dep1, i);
+    ASSERT_LE(t[i].dep2, i);
+  }
+}
+
+TEST_P(WorkloadSuite, RealisticOperationMix) {
+  const cpu::Trace t = make_trace();
+  std::uint64_t mem = 0, branch = 0;
+  for (const cpu::MicroOp& op : t) {
+    if (cpu::is_memory_op(op.kind)) ++mem;
+    if (op.kind == cpu::OpKind::kBranch) ++branch;
+  }
+  const double mem_frac = static_cast<double>(mem) / static_cast<double>(t.size());
+  EXPECT_GT(mem_frac, 0.15) << "memory-starved trace cannot exercise the caches";
+  EXPECT_LT(mem_frac, 0.85);
+  EXPECT_GT(branch, t.size() / 200) << "traces need branches for the predictor";
+}
+
+TEST_P(WorkloadSuite, TouchesBothCompressibleAndIncompressibleValues) {
+  const cpu::Trace t = make_trace();
+  compress::ClassificationStats stats;
+  for (const cpu::MicroOp& op : t) {
+    if (cpu::is_memory_op(op.kind)) stats.record(op.value, op.addr);
+  }
+  ASSERT_GT(stats.total(), 0u);
+  EXPECT_GT(stats.compressible_fraction(), 0.05) << GetParam().name;
+  // No kernel should be 100% compressible — real programs never are.
+  EXPECT_LT(stats.compressible_fraction(), 0.999) << GetParam().name;
+}
+
+TEST_P(WorkloadSuite, WorkingSetExceedsL1) {
+  const cpu::Trace t = make_trace();
+  std::unordered_map<std::uint32_t, bool> lines;
+  for (const cpu::MicroOp& op : t) {
+    if (cpu::is_memory_op(op.kind)) lines[op.addr / 64] = true;
+  }
+  EXPECT_GT(lines.size() * 64, 8u * 1024) << "footprint smaller than L1";
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadSuite, ::testing::ValuesIn(all_workloads()),
+                         [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(WorkloadRegistry, FourteenBenchmarksInThreeSuites) {
+  const auto& all = all_workloads();
+  EXPECT_EQ(all.size(), 14u);
+  std::uint32_t olden = 0, spec95 = 0, spec2000 = 0;
+  for (const Workload& w : all) {
+    if (w.suite == "Olden") ++olden;
+    if (w.suite == "SPECint95") ++spec95;
+    if (w.suite == "SPECint2000") ++spec2000;
+  }
+  EXPECT_EQ(olden, 8u);
+  EXPECT_EQ(spec95, 3u);
+  EXPECT_EQ(spec2000, 3u);
+}
+
+TEST(WorkloadRegistry, FindByName) {
+  EXPECT_EQ(find_workload("olden.health").name, "olden.health");
+  EXPECT_THROW(find_workload("nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cpc::workload

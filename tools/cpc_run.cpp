@@ -1,0 +1,47 @@
+// cpc_run — replay a saved trace on one or all cache configurations and
+// print the paper's metrics.
+//
+//   cpc_run <trace-file> [BC|BCC|HAC|BCP|CPP|all]
+
+#include <iostream>
+
+#include "cpu/trace_io.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cpc;
+  if (argc < 2) {
+    std::cerr << "usage: cpc_run <trace-file> [BC|BCC|HAC|BCP|CPP|all]\n";
+    return 2;
+  }
+  const std::string which = argc > 2 ? argv[2] : "all";
+
+  try {
+    const cpu::Trace trace = cpu::read_trace_file(argv[1]);
+    std::cout << argv[1] << ": " << trace.size() << " micro-ops\n\n";
+
+    stats::Table table("replay results",
+                       {"cycles", "IPC", "L1 misses", "L2 misses", "mem words"});
+    for (sim::ConfigKind kind : sim::kAllConfigs) {
+      if (which != "all" && sim::config_name(kind) != which) continue;
+      const sim::RunResult r = sim::run_trace(trace, kind);
+      if (r.core.value_mismatches != 0) {
+        std::cerr << "error: " << r.core.value_mismatches
+                  << " value mismatches — corrupt trace?\n";
+        return 1;
+      }
+      table.add_row(r.config, {r.cycles(), r.core.ipc(), r.l1_misses(),
+                               r.l2_misses(), r.traffic_words()});
+    }
+    if (table.rows() == 0) {
+      std::cerr << "error: unknown configuration '" << which << "'\n";
+      return 2;
+    }
+    std::cout << table.to_ascii(2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
