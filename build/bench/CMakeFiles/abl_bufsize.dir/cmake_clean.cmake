@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bufsize.dir/abl_bufsize.cpp.o"
+  "CMakeFiles/abl_bufsize.dir/abl_bufsize.cpp.o.d"
+  "abl_bufsize"
+  "abl_bufsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bufsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

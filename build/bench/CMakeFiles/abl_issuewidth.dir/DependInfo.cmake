@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_issuewidth.cpp" "bench/CMakeFiles/abl_issuewidth.dir/abl_issuewidth.cpp.o" "gcc" "bench/CMakeFiles/abl_issuewidth.dir/abl_issuewidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cpc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cpc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cpc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_issuewidth.dir/abl_issuewidth.cpp.o"
+  "CMakeFiles/abl_issuewidth.dir/abl_issuewidth.cpp.o.d"
+  "abl_issuewidth"
+  "abl_issuewidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_issuewidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mask.dir/abl_mask.cpp.o"
+  "CMakeFiles/abl_mask.dir/abl_mask.cpp.o.d"
+  "abl_mask"
+  "abl_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_missclass.dir/abl_missclass.cpp.o"
+  "CMakeFiles/abl_missclass.dir/abl_missclass.cpp.o.d"
+  "abl_missclass"
+  "abl_missclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_missclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

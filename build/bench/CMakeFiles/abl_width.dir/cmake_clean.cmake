@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_width.dir/abl_width.cpp.o"
+  "CMakeFiles/abl_width.dir/abl_width.cpp.o.d"
+  "abl_width"
+  "abl_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

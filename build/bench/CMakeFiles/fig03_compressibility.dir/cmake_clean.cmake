@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_compressibility.dir/fig03_compressibility.cpp.o"
+  "CMakeFiles/fig03_compressibility.dir/fig03_compressibility.cpp.o.d"
+  "fig03_compressibility"
+  "fig03_compressibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_compressibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

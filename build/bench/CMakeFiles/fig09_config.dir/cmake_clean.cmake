@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_config.dir/fig09_config.cpp.o"
+  "CMakeFiles/fig09_config.dir/fig09_config.cpp.o.d"
+  "fig09_config"
+  "fig09_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

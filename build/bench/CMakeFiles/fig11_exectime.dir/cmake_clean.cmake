@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_exectime.dir/fig11_exectime.cpp.o"
+  "CMakeFiles/fig11_exectime.dir/fig11_exectime.cpp.o.d"
+  "fig11_exectime"
+  "fig11_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_l1miss.dir/fig12_l1miss.cpp.o"
+  "CMakeFiles/fig12_l1miss.dir/fig12_l1miss.cpp.o.d"
+  "fig12_l1miss"
+  "fig12_l1miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_l1miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_l2miss.dir/fig13_l2miss.cpp.o"
+  "CMakeFiles/fig13_l2miss.dir/fig13_l2miss.cpp.o.d"
+  "fig13_l2miss"
+  "fig13_l2miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_l2miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

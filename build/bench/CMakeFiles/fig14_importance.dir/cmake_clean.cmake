@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_importance.dir/fig14_importance.cpp.o"
+  "CMakeFiles/fig14_importance.dir/fig14_importance.cpp.o.d"
+  "fig14_importance"
+  "fig14_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

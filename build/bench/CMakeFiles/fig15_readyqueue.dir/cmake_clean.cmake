@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_readyqueue.dir/fig15_readyqueue.cpp.o"
+  "CMakeFiles/fig15_readyqueue.dir/fig15_readyqueue.cpp.o.d"
+  "fig15_readyqueue"
+  "fig15_readyqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_readyqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_comparators.dir/rel_comparators.cpp.o"
+  "CMakeFiles/rel_comparators.dir/rel_comparators.cpp.o.d"
+  "rel_comparators"
+  "rel_comparators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_comparators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressibility_scan.dir/compressibility_scan.cpp.o"
+  "CMakeFiles/compressibility_scan.dir/compressibility_scan.cpp.o.d"
+  "compressibility_scan"
+  "compressibility_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressibility_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

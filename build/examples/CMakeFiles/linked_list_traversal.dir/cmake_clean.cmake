@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linked_list_traversal.dir/linked_list_traversal.cpp.o"
+  "CMakeFiles/linked_list_traversal.dir/linked_list_traversal.cpp.o.d"
+  "linked_list_traversal"
+  "linked_list_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linked_list_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

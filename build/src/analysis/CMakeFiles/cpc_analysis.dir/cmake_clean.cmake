@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_analysis.dir/miss_classifier.cpp.o"
+  "CMakeFiles/cpc_analysis.dir/miss_classifier.cpp.o.d"
+  "CMakeFiles/cpc_analysis.dir/reuse_distance.cpp.o"
+  "CMakeFiles/cpc_analysis.dir/reuse_distance.cpp.o.d"
+  "libcpc_analysis.a"
+  "libcpc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/baseline_hierarchy.cpp" "src/cache/CMakeFiles/cpc_cache.dir/baseline_hierarchy.cpp.o" "gcc" "src/cache/CMakeFiles/cpc_cache.dir/baseline_hierarchy.cpp.o.d"
+  "/root/repo/src/cache/basic_cache.cpp" "src/cache/CMakeFiles/cpc_cache.dir/basic_cache.cpp.o" "gcc" "src/cache/CMakeFiles/cpc_cache.dir/basic_cache.cpp.o.d"
+  "/root/repo/src/cache/line_compression_hierarchy.cpp" "src/cache/CMakeFiles/cpc_cache.dir/line_compression_hierarchy.cpp.o" "gcc" "src/cache/CMakeFiles/cpc_cache.dir/line_compression_hierarchy.cpp.o.d"
+  "/root/repo/src/cache/prefetch_hierarchy.cpp" "src/cache/CMakeFiles/cpc_cache.dir/prefetch_hierarchy.cpp.o" "gcc" "src/cache/CMakeFiles/cpc_cache.dir/prefetch_hierarchy.cpp.o.d"
+  "/root/repo/src/cache/pseudo_assoc_hierarchy.cpp" "src/cache/CMakeFiles/cpc_cache.dir/pseudo_assoc_hierarchy.cpp.o" "gcc" "src/cache/CMakeFiles/cpc_cache.dir/pseudo_assoc_hierarchy.cpp.o.d"
+  "/root/repo/src/cache/victim_hierarchy.cpp" "src/cache/CMakeFiles/cpc_cache.dir/victim_hierarchy.cpp.o" "gcc" "src/cache/CMakeFiles/cpc_cache.dir/victim_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/cpc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

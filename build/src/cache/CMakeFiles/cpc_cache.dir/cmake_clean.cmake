@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_cache.dir/baseline_hierarchy.cpp.o"
+  "CMakeFiles/cpc_cache.dir/baseline_hierarchy.cpp.o.d"
+  "CMakeFiles/cpc_cache.dir/basic_cache.cpp.o"
+  "CMakeFiles/cpc_cache.dir/basic_cache.cpp.o.d"
+  "CMakeFiles/cpc_cache.dir/line_compression_hierarchy.cpp.o"
+  "CMakeFiles/cpc_cache.dir/line_compression_hierarchy.cpp.o.d"
+  "CMakeFiles/cpc_cache.dir/prefetch_hierarchy.cpp.o"
+  "CMakeFiles/cpc_cache.dir/prefetch_hierarchy.cpp.o.d"
+  "CMakeFiles/cpc_cache.dir/pseudo_assoc_hierarchy.cpp.o"
+  "CMakeFiles/cpc_cache.dir/pseudo_assoc_hierarchy.cpp.o.d"
+  "CMakeFiles/cpc_cache.dir/victim_hierarchy.cpp.o"
+  "CMakeFiles/cpc_cache.dir/victim_hierarchy.cpp.o.d"
+  "libcpc_cache.a"
+  "libcpc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_compress.dir/scheme.cpp.o"
+  "CMakeFiles/cpc_compress.dir/scheme.cpp.o.d"
+  "libcpc_compress.a"
+  "libcpc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpp_cache.cpp" "src/core/CMakeFiles/cpc_core.dir/cpp_cache.cpp.o" "gcc" "src/core/CMakeFiles/cpc_core.dir/cpp_cache.cpp.o.d"
+  "/root/repo/src/core/cpp_hierarchy.cpp" "src/core/CMakeFiles/cpc_core.dir/cpp_hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/cpc_core.dir/cpp_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/cpc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cpc_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

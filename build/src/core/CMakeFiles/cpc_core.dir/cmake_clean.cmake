@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_core.dir/cpp_cache.cpp.o"
+  "CMakeFiles/cpc_core.dir/cpp_cache.cpp.o.d"
+  "CMakeFiles/cpc_core.dir/cpp_hierarchy.cpp.o"
+  "CMakeFiles/cpc_core.dir/cpp_hierarchy.cpp.o.d"
+  "libcpc_core.a"
+  "libcpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/ooo_core.cpp" "src/cpu/CMakeFiles/cpc_cpu.dir/ooo_core.cpp.o" "gcc" "src/cpu/CMakeFiles/cpc_cpu.dir/ooo_core.cpp.o.d"
+  "/root/repo/src/cpu/trace_io.cpp" "src/cpu/CMakeFiles/cpc_cpu.dir/trace_io.cpp.o" "gcc" "src/cpu/CMakeFiles/cpc_cpu.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/cpc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cpc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_cpu.dir/ooo_core.cpp.o"
+  "CMakeFiles/cpc_cpu.dir/ooo_core.cpp.o.d"
+  "CMakeFiles/cpc_cpu.dir/trace_io.cpp.o"
+  "CMakeFiles/cpc_cpu.dir/trace_io.cpp.o.d"
+  "libcpc_cpu.a"
+  "libcpc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_sim.dir/experiment.cpp.o"
+  "CMakeFiles/cpc_sim.dir/experiment.cpp.o.d"
+  "libcpc_sim.a"
+  "libcpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

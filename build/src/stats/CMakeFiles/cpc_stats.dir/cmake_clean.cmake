@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_stats.dir/table.cpp.o"
+  "CMakeFiles/cpc_stats.dir/table.cpp.o.d"
+  "libcpc_stats.a"
+  "libcpc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/olden_graphs.cpp" "src/workload/CMakeFiles/cpc_workload.dir/olden_graphs.cpp.o" "gcc" "src/workload/CMakeFiles/cpc_workload.dir/olden_graphs.cpp.o.d"
+  "/root/repo/src/workload/olden_lists.cpp" "src/workload/CMakeFiles/cpc_workload.dir/olden_lists.cpp.o" "gcc" "src/workload/CMakeFiles/cpc_workload.dir/olden_lists.cpp.o.d"
+  "/root/repo/src/workload/olden_trees.cpp" "src/workload/CMakeFiles/cpc_workload.dir/olden_trees.cpp.o" "gcc" "src/workload/CMakeFiles/cpc_workload.dir/olden_trees.cpp.o.d"
+  "/root/repo/src/workload/registry.cpp" "src/workload/CMakeFiles/cpc_workload.dir/registry.cpp.o" "gcc" "src/workload/CMakeFiles/cpc_workload.dir/registry.cpp.o.d"
+  "/root/repo/src/workload/spec2000.cpp" "src/workload/CMakeFiles/cpc_workload.dir/spec2000.cpp.o" "gcc" "src/workload/CMakeFiles/cpc_workload.dir/spec2000.cpp.o.d"
+  "/root/repo/src/workload/spec95.cpp" "src/workload/CMakeFiles/cpc_workload.dir/spec95.cpp.o" "gcc" "src/workload/CMakeFiles/cpc_workload.dir/spec95.cpp.o.d"
+  "/root/repo/src/workload/trace_recorder.cpp" "src/workload/CMakeFiles/cpc_workload.dir/trace_recorder.cpp.o" "gcc" "src/workload/CMakeFiles/cpc_workload.dir/trace_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/cpc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cpc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cpc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

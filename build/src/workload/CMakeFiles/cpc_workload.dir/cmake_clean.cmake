@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_workload.dir/olden_graphs.cpp.o"
+  "CMakeFiles/cpc_workload.dir/olden_graphs.cpp.o.d"
+  "CMakeFiles/cpc_workload.dir/olden_lists.cpp.o"
+  "CMakeFiles/cpc_workload.dir/olden_lists.cpp.o.d"
+  "CMakeFiles/cpc_workload.dir/olden_trees.cpp.o"
+  "CMakeFiles/cpc_workload.dir/olden_trees.cpp.o.d"
+  "CMakeFiles/cpc_workload.dir/registry.cpp.o"
+  "CMakeFiles/cpc_workload.dir/registry.cpp.o.d"
+  "CMakeFiles/cpc_workload.dir/spec2000.cpp.o"
+  "CMakeFiles/cpc_workload.dir/spec2000.cpp.o.d"
+  "CMakeFiles/cpc_workload.dir/spec95.cpp.o"
+  "CMakeFiles/cpc_workload.dir/spec95.cpp.o.d"
+  "CMakeFiles/cpc_workload.dir/trace_recorder.cpp.o"
+  "CMakeFiles/cpc_workload.dir/trace_recorder.cpp.o.d"
+  "libcpc_workload.a"
+  "libcpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basic_cache.dir/test_basic_cache.cpp.o"
+  "CMakeFiles/test_basic_cache.dir/test_basic_cache.cpp.o.d"
+  "test_basic_cache"
+  "test_basic_cache.pdb"
+  "test_basic_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basic_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compress_boundaries.dir/test_compress_boundaries.cpp.o"
+  "CMakeFiles/test_compress_boundaries.dir/test_compress_boundaries.cpp.o.d"
+  "test_compress_boundaries"
+  "test_compress_boundaries.pdb"
+  "test_compress_boundaries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compress_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpp_cache.dir/test_cpp_cache.cpp.o"
+  "CMakeFiles/test_cpp_cache.dir/test_cpp_cache.cpp.o.d"
+  "test_cpp_cache"
+  "test_cpp_cache.pdb"
+  "test_cpp_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

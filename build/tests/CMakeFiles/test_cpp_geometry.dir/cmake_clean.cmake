@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpp_geometry.dir/test_cpp_geometry.cpp.o"
+  "CMakeFiles/test_cpp_geometry.dir/test_cpp_geometry.cpp.o.d"
+  "test_cpp_geometry"
+  "test_cpp_geometry.pdb"
+  "test_cpp_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpp_hierarchy.dir/test_cpp_hierarchy.cpp.o"
+  "CMakeFiles/test_cpp_hierarchy.dir/test_cpp_hierarchy.cpp.o.d"
+  "test_cpp_hierarchy"
+  "test_cpp_hierarchy.pdb"
+  "test_cpp_hierarchy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpp_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierarchies.dir/test_hierarchies.cpp.o"
+  "CMakeFiles/test_hierarchies.dir/test_hierarchies.cpp.o.d"
+  "test_hierarchies"
+  "test_hierarchies.pdb"
+  "test_hierarchies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierarchies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

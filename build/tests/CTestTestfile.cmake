@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_basic_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchies[1]_include.cmake")
+include("/root/repo/build/tests/test_cpp_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cpp_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_ooo_core[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_recorder[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_characterization[1]_include.cmake")
+include("/root/repo/build/tests/test_cpp_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_comparators[1]_include.cmake")
+include("/root/repo/build/tests/test_line_compression[1]_include.cmake")
+include("/root/repo/build/tests/test_core_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_compress_boundaries[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_analyze.dir/cpc_analyze.cpp.o"
+  "CMakeFiles/cpc_analyze.dir/cpc_analyze.cpp.o.d"
+  "cpc_analyze"
+  "cpc_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_run.dir/cpc_run.cpp.o"
+  "CMakeFiles/cpc_run.dir/cpc_run.cpp.o.d"
+  "cpc_run"
+  "cpc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

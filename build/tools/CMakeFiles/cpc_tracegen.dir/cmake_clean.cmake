@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpc_tracegen.dir/cpc_tracegen.cpp.o"
+  "CMakeFiles/cpc_tracegen.dir/cpc_tracegen.cpp.o.d"
+  "cpc_tracegen"
+  "cpc_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpc_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
