@@ -5,40 +5,44 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "cache/prefetch_hierarchy.hpp"
-#include "sim/experiment.hpp"
-#include "stats/table.hpp"
 
 int main() {
   using namespace cpc;
   const sim::BenchOptions options = sim::BenchOptions::from_env();
-  struct Variant {
+  struct Size {
     const char* label;
     std::uint32_t l1, l2;
   };
-  const std::vector<Variant> variants = {
+  const std::vector<Size> sizes = {
       {"BCP 8/32", 8, 32}, {"BCP 16/64", 16, 64}, {"BCP 32/128", 32, 128}};
+
+  std::vector<bench::Variant> variants = {
+      bench::config_variant(sim::ConfigKind::kBC)};
+  for (const Size& size : sizes) {
+    variants.push_back({size.label, [size] {
+                          return std::make_unique<cache::PrefetchHierarchy>(
+                              cache::kBaselineConfig, size.l1, size.l2);
+                        }});
+  }
+  variants.push_back(bench::config_variant(sim::ConfigKind::kCPP));
+  const auto grid = bench::run_variant_grid(options, variants);
 
   stats::Table cycles("Ablation: BCP buffer size — execution time vs BC (%)",
                       {"BCP 8/32", "BCP 16/64", "BCP 32/128", "CPP"});
   stats::Table traffic("Ablation: BCP buffer size — memory traffic vs BC (%)",
                        {"BCP 8/32", "BCP 16/64", "BCP 32/128", "CPP"});
-  for (const workload::Workload& wl : options.workloads) {
-    std::cerr << "  " << wl.name << "...\n";
-    const cpu::Trace trace = workload::generate(wl, options.params());
-    const sim::RunResult bc = sim::run_trace(trace, sim::ConfigKind::kBC);
+  for (std::size_t w = 0; w < options.workloads.size(); ++w) {
+    const sim::RunResult& bc = grid[w][0].run;
     std::vector<double> c_cells, t_cells;
-    for (const Variant& v : variants) {
-      cache::PrefetchHierarchy h(cache::kBaselineConfig, v.l1, v.l2);
-      const sim::RunResult r = sim::run_trace_on(trace, h);
+    for (std::size_t v = 1; v < variants.size(); ++v) {
+      const sim::RunResult& r = grid[w][v].run;
       c_cells.push_back(r.cycles() / bc.cycles() * 100.0);
       t_cells.push_back(r.traffic_words() / bc.traffic_words() * 100.0);
     }
-    const sim::RunResult cpp = sim::run_trace(trace, sim::ConfigKind::kCPP);
-    c_cells.push_back(cpp.cycles() / bc.cycles() * 100.0);
-    t_cells.push_back(cpp.traffic_words() / bc.traffic_words() * 100.0);
-    cycles.add_row(wl.name, std::move(c_cells));
-    traffic.add_row(wl.name, std::move(t_cells));
+    cycles.add_row(options.workloads[w].name, std::move(c_cells));
+    traffic.add_row(options.workloads[w].name, std::move(t_cells));
   }
   cycles.add_mean_row();
   traffic.add_mean_row();

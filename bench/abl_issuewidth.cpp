@@ -6,8 +6,7 @@
 
 #include <iostream>
 
-#include "sim/experiment.hpp"
-#include "stats/table.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
@@ -29,19 +28,29 @@ int main() {
   const sim::BenchOptions options = sim::BenchOptions::from_env();
   const std::vector<unsigned> widths = {2, 4, 8};
 
+  // Two jobs (BC, CPP) per issue width per workload.
+  std::vector<bench::Variant> variants;
+  for (unsigned width : widths) {
+    const cpu::CoreConfig core = scaled_core(width);
+    bench::Variant bc = bench::config_variant(sim::ConfigKind::kBC, core);
+    bc.label += "@" + std::to_string(width) + "w";
+    bench::Variant cpp = bench::config_variant(sim::ConfigKind::kCPP, core);
+    cpp.label += "@" + std::to_string(width) + "w";
+    variants.push_back(std::move(bc));
+    variants.push_back(std::move(cpp));
+  }
+  const auto grid = bench::run_variant_grid(options, variants);
+
   stats::Table table("Ablation: CPP speedup over BC (%) vs issue width",
                      {"2-wide", "4-wide (paper)", "8-wide"});
-  for (const workload::Workload& wl : options.workloads) {
-    std::cerr << "  " << wl.name << "...\n";
-    const cpu::Trace trace = workload::generate(wl, options.params());
+  for (std::size_t w = 0; w < options.workloads.size(); ++w) {
     std::vector<double> cells;
-    for (unsigned width : widths) {
-      const cpu::CoreConfig core = scaled_core(width);
-      const sim::RunResult bc = sim::run_trace(trace, sim::ConfigKind::kBC, core);
-      const sim::RunResult cpp = sim::run_trace(trace, sim::ConfigKind::kCPP, core);
-      cells.push_back((bc.cycles() / cpp.cycles() - 1.0) * 100.0);
+    for (std::size_t k = 0; k < widths.size(); ++k) {
+      const double bc = grid[w][2 * k].run.cycles();
+      const double cpp = grid[w][2 * k + 1].run.cycles();
+      cells.push_back((bc / cpp - 1.0) * 100.0);
     }
-    table.add_row(wl.name, std::move(cells));
+    table.add_row(options.workloads[w].name, std::move(cells));
   }
   table.add_mean_row();
 

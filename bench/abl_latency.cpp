@@ -5,28 +5,37 @@
 
 #include <iostream>
 
-#include "sim/experiment.hpp"
-#include "stats/table.hpp"
+#include "bench_common.hpp"
 
 int main() {
   using namespace cpc;
   const sim::BenchOptions options = sim::BenchOptions::from_env();
   const std::vector<unsigned> latencies = {50, 100, 200, 400};
 
+  // Two jobs (BC, CPP) per latency point per workload.
+  std::vector<bench::Variant> variants;
+  for (unsigned memory_latency : latencies) {
+    cache::LatencyConfig lat;
+    lat.memory = memory_latency;
+    bench::Variant bc = bench::config_variant(sim::ConfigKind::kBC, {}, lat);
+    bc.label += "@" + std::to_string(memory_latency);
+    bench::Variant cpp = bench::config_variant(sim::ConfigKind::kCPP, {}, lat);
+    cpp.label += "@" + std::to_string(memory_latency);
+    variants.push_back(std::move(bc));
+    variants.push_back(std::move(cpp));
+  }
+  const auto grid = bench::run_variant_grid(options, variants);
+
   stats::Table table("Ablation: CPP speedup over BC (%) vs memory latency",
                      {"50 cyc", "100 cyc (paper)", "200 cyc", "400 cyc"});
-  for (const workload::Workload& wl : options.workloads) {
-    std::cerr << "  " << wl.name << "...\n";
-    const cpu::Trace trace = workload::generate(wl, options.params());
+  for (std::size_t w = 0; w < options.workloads.size(); ++w) {
     std::vector<double> cells;
-    for (unsigned memory_latency : latencies) {
-      cache::LatencyConfig lat;
-      lat.memory = memory_latency;
-      const sim::RunResult bc = sim::run_trace(trace, sim::ConfigKind::kBC, {}, lat);
-      const sim::RunResult cpp = sim::run_trace(trace, sim::ConfigKind::kCPP, {}, lat);
-      cells.push_back((bc.cycles() / cpp.cycles() - 1.0) * 100.0);
+    for (std::size_t l = 0; l < latencies.size(); ++l) {
+      const double bc = grid[w][2 * l].run.cycles();
+      const double cpp = grid[w][2 * l + 1].run.cycles();
+      cells.push_back((bc / cpp - 1.0) * 100.0);
     }
-    table.add_row(wl.name, std::move(cells));
+    table.add_row(options.workloads[w].name, std::move(cells));
   }
   table.add_mean_row();
 

@@ -5,47 +5,48 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/cpp_hierarchy.hpp"
-#include "sim/experiment.hpp"
-#include "stats/table.hpp"
 
 int main() {
   using namespace cpc;
   const sim::BenchOptions options = sim::BenchOptions::from_env();
-  struct Variant {
+  struct Level {
     const char* label;
     bool l1, l2;
   };
-  const std::vector<Variant> variants = {
+  const std::vector<Level> levels = {
       {"both", true, true}, {"L1 only", true, false},
       {"L2 only", false, true}, {"neither", false, false}};
+
+  std::vector<bench::Variant> variants;
+  for (const Level& level : levels) {
+    variants.push_back({level.label,
+                        [level] {
+                          core::CppHierarchy::Options o;
+                          o.prefetch_l1 = level.l1;
+                          o.prefetch_l2 = level.l2;
+                          return std::make_unique<core::CppHierarchy>(o);
+                        }});
+  }
+  const auto grid = bench::run_variant_grid(options, variants);
 
   stats::Table cycles("Ablation: CPP level — execution time vs neither (%)",
                       {"both", "L1 only", "L2 only", "neither"});
   stats::Table traffic("Ablation: CPP level — memory traffic vs neither (%)",
                        {"both", "L1 only", "L2 only", "neither"});
-  for (const workload::Workload& wl : options.workloads) {
-    std::cerr << "  " << wl.name << "...\n";
-    const cpu::Trace trace = workload::generate(wl, options.params());
-    double base_cycles = 0.0, base_traffic = 0.0;
+  for (std::size_t w = 0; w < options.workloads.size(); ++w) {
+    const double base_cycles = grid[w].back().run.cycles();
+    const double base_traffic = grid[w].back().run.traffic_words();
     std::vector<double> c_cells, t_cells;
-    for (const Variant& v : variants) {
-      core::CppHierarchy::Options o;
-      o.prefetch_l1 = v.l1;
-      o.prefetch_l2 = v.l2;
-      core::CppHierarchy h(o);
-      const sim::RunResult r = sim::run_trace_on(trace, h);
-      if (std::string(v.label) == "neither") {
-        base_cycles = r.cycles();
-        base_traffic = r.traffic_words();
-      }
-      c_cells.push_back(r.cycles());
-      t_cells.push_back(r.traffic_words());
+    for (const sim::JobResult& result : grid[w]) {
+      c_cells.push_back(result.run.cycles() / base_cycles * 100.0);
+      t_cells.push_back(base_traffic == 0.0
+                            ? 0.0
+                            : result.run.traffic_words() / base_traffic * 100.0);
     }
-    for (double& c : c_cells) c = c / base_cycles * 100.0;
-    for (double& t : t_cells) t = base_traffic == 0.0 ? 0.0 : t / base_traffic * 100.0;
-    cycles.add_row(wl.name, std::move(c_cells));
-    traffic.add_row(wl.name, std::move(t_cells));
+    cycles.add_row(options.workloads[w].name, std::move(c_cells));
+    traffic.add_row(options.workloads[w].name, std::move(t_cells));
   }
   cycles.add_mean_row();
   traffic.add_mean_row();

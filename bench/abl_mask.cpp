@@ -5,35 +5,41 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/cpp_hierarchy.hpp"
-#include "sim/experiment.hpp"
-#include "stats/table.hpp"
 
 int main() {
   using namespace cpc;
   const sim::BenchOptions options = sim::BenchOptions::from_env();
   const std::vector<std::uint32_t> masks = {0x1, 0x2, 0x4};
 
+  std::vector<bench::Variant> variants = {
+      bench::config_variant(sim::ConfigKind::kBC)};
+  for (std::uint32_t mask : masks) {
+    variants.push_back({"mask 0x" + std::to_string(mask),
+                        [mask] {
+                          core::CppHierarchy::Options o;
+                          o.affiliation_mask = mask;
+                          return std::make_unique<core::CppHierarchy>(o);
+                        }});
+  }
+  const auto grid = bench::run_variant_grid(options, variants);
+
   stats::Table cycles("Ablation: affiliation mask — execution time vs BC (%)",
                       {"mask 0x1", "mask 0x2", "mask 0x4"});
   stats::Table hits("Ablation: affiliation mask — affiliated hits (L1+L2)",
                     {"mask 0x1", "mask 0x2", "mask 0x4"});
-  for (const workload::Workload& wl : options.workloads) {
-    std::cerr << "  " << wl.name << "...\n";
-    const cpu::Trace trace = workload::generate(wl, options.params());
-    const double bc = sim::run_trace(trace, sim::ConfigKind::kBC).cycles();
+  for (std::size_t w = 0; w < options.workloads.size(); ++w) {
+    const double bc = grid[w][0].run.cycles();
     std::vector<double> c_cells, h_cells;
-    for (std::uint32_t mask : masks) {
-      core::CppHierarchy::Options o;
-      o.affiliation_mask = mask;
-      core::CppHierarchy h(o);
-      const sim::RunResult r = sim::run_trace_on(trace, h);
+    for (std::size_t m = 0; m < masks.size(); ++m) {
+      const sim::RunResult& r = grid[w][m + 1].run;
       c_cells.push_back(r.cycles() / bc * 100.0);
       h_cells.push_back(static_cast<double>(r.hierarchy.l1_affiliated_hits +
                                             r.hierarchy.l2_affiliated_hits));
     }
-    cycles.add_row(wl.name, std::move(c_cells));
-    hits.add_row(wl.name, std::move(h_cells));
+    cycles.add_row(options.workloads[w].name, std::move(c_cells));
+    hits.add_row(options.workloads[w].name, std::move(h_cells));
   }
   cycles.add_mean_row();
   hits.add_mean_row();

@@ -2,46 +2,52 @@
 // discussion). HAC can only remove *conflict* misses; prefetching (BCP,
 // CPP) attacks compulsory and capacity misses. Benchmarks whose conflict
 // share is large are exactly the ones where the paper reports CPP beating
-// BCP (olden.health, spec2000.300.twolf).
+// BCP (olden.health, spec2000.300.twolf). Workloads are analysed in
+// parallel on the sweep pool.
 
 #include <iostream>
 
 #include "analysis/miss_classifier.hpp"
 #include "analysis/working_set.hpp"
-#include "sim/experiment.hpp"
-#include "stats/table.hpp"
+#include "bench_common.hpp"
 
 int main() {
   using namespace cpc;
   const sim::BenchOptions options = sim::BenchOptions::from_env();
+
+  std::vector<std::vector<double>> l1_rows(options.workloads.size());
+  std::vector<std::vector<double>> l2_rows(options.workloads.size());
+  bench::for_each_trace(
+      options, [&](std::size_t i, const workload::Workload&,
+                   const cpu::Trace& trace) {
+        analysis::MissClassifier l1(cache::kBaselineConfig.l1);
+        analysis::MissClassifier l2(cache::kBaselineConfig.l2);
+        for (const cpu::MicroOp& op : trace) {
+          if (!cpu::is_memory_op(op.kind)) continue;
+          l1.access(op.addr);
+          l2.access(op.addr);
+        }
+        const analysis::WorkingSet ws = analysis::measure_working_set(trace);
+        const auto row = [](const analysis::MissBreakdown& b) {
+          const double m = static_cast<double>(b.misses());
+          return std::vector<double>{b.miss_rate() * 100.0,
+                                     m == 0 ? 0.0 : b.compulsory / m * 100.0,
+                                     m == 0 ? 0.0 : b.capacity / m * 100.0,
+                                     m == 0 ? 0.0 : b.conflict / m * 100.0};
+        };
+        l1_rows[i] = row(l1.breakdown());
+        l1_rows[i].push_back(static_cast<double>(ws.footprint_bytes()) / 1024.0);
+        l2_rows[i] = row(l2.breakdown());
+      });
 
   stats::Table table("3C decomposition of L1 (8K DM) misses, % of misses",
                      {"miss rate %", "compulsory", "capacity", "conflict",
                       "footprint KiB"});
   stats::Table l2_table("3C decomposition of L2 (64K 2-way) misses, % of misses",
                         {"miss rate %", "compulsory", "capacity", "conflict"});
-  for (const workload::Workload& wl : options.workloads) {
-    std::cerr << "  " << wl.name << "...\n";
-    const cpu::Trace trace = workload::generate(wl, options.params());
-    analysis::MissClassifier l1(cache::kBaselineConfig.l1);
-    analysis::MissClassifier l2(cache::kBaselineConfig.l2);
-    for (const cpu::MicroOp& op : trace) {
-      if (!cpu::is_memory_op(op.kind)) continue;
-      l1.access(op.addr);
-      l2.access(op.addr);
-    }
-    const analysis::WorkingSet ws = analysis::measure_working_set(trace);
-    const auto row = [](const analysis::MissBreakdown& b) {
-      const double m = static_cast<double>(b.misses());
-      return std::vector<double>{b.miss_rate() * 100.0,
-                                 m == 0 ? 0.0 : b.compulsory / m * 100.0,
-                                 m == 0 ? 0.0 : b.capacity / m * 100.0,
-                                 m == 0 ? 0.0 : b.conflict / m * 100.0};
-    };
-    auto l1_row = row(l1.breakdown());
-    l1_row.push_back(static_cast<double>(ws.footprint_bytes()) / 1024.0);
-    table.add_row(wl.name, std::move(l1_row));
-    l2_table.add_row(wl.name, row(l2.breakdown()));
+  for (std::size_t i = 0; i < options.workloads.size(); ++i) {
+    table.add_row(options.workloads[i].name, std::move(l1_rows[i]));
+    l2_table.add_row(options.workloads[i].name, std::move(l2_rows[i]));
   }
   table.add_mean_row();
   l2_table.add_mean_row();

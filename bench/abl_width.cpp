@@ -7,40 +7,53 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "compress/classification_stats.hpp"
 #include "core/cpp_hierarchy.hpp"
-#include "sim/experiment.hpp"
-#include "stats/table.hpp"
 
 int main() {
   using namespace cpc;
   const sim::BenchOptions options = sim::BenchOptions::from_env();
   const std::vector<unsigned> widths = {8, 12, 16};
 
+  std::vector<bench::Variant> variants = {
+      bench::config_variant(sim::ConfigKind::kBC)};
+  for (unsigned width : widths) {
+    variants.push_back({std::to_string(width) + "-bit",
+                        [width] {
+                          core::CppHierarchy::Options o;
+                          o.scheme = compress::Scheme{width};
+                          return std::make_unique<core::CppHierarchy>(o);
+                        }});
+  }
+  const auto grid = bench::run_variant_grid(options, variants);
+
+  // Classification coverage needs only the traces, not simulations.
+  std::vector<std::vector<double>> v_rows(options.workloads.size());
+  bench::for_each_trace(
+      options, [&](std::size_t i, const workload::Workload&,
+                   const cpu::Trace& trace) {
+        for (unsigned width : widths) {
+          compress::ClassificationStats stats{compress::Scheme{width}};
+          for (const cpu::MicroOp& op : trace) {
+            if (cpu::is_memory_op(op.kind)) stats.record(op.value, op.addr);
+          }
+          v_rows[i].push_back(stats.compressible_fraction() * 100.0);
+        }
+      });
+
   stats::Table cycles("Ablation: compressed width — execution time vs BC (%)",
                       {"8-bit", "12-bit", "16-bit"});
   stats::Table coverage("Ablation: compressed width — compressible accesses (%)",
                         {"8-bit", "12-bit", "16-bit"});
-  for (const workload::Workload& wl : options.workloads) {
-    std::cerr << "  " << wl.name << "...\n";
-    const cpu::Trace trace = workload::generate(wl, options.params());
-    const double bc = sim::run_trace(trace, sim::ConfigKind::kBC).cycles();
-    std::vector<double> c_cells, v_cells;
-    for (unsigned width : widths) {
-      core::CppHierarchy::Options o;
-      o.scheme = compress::Scheme{width};
-      core::CppHierarchy h(o);
-      const sim::RunResult r = sim::run_trace_on(trace, h);
-      c_cells.push_back(r.cycles() / bc * 100.0);
-
-      compress::ClassificationStats stats{compress::Scheme{width}};
-      for (const cpu::MicroOp& op : trace) {
-        if (cpu::is_memory_op(op.kind)) stats.record(op.value, op.addr);
-      }
-      v_cells.push_back(stats.compressible_fraction() * 100.0);
+  for (std::size_t w = 0; w < options.workloads.size(); ++w) {
+    const double bc = grid[w][0].run.cycles();
+    std::vector<double> c_cells;
+    for (std::size_t k = 0; k < widths.size(); ++k) {
+      c_cells.push_back(grid[w][k + 1].run.cycles() / bc * 100.0);
     }
-    cycles.add_row(wl.name, std::move(c_cells));
-    coverage.add_row(wl.name, std::move(v_cells));
+    cycles.add_row(options.workloads[w].name, std::move(c_cells));
+    coverage.add_row(options.workloads[w].name, std::move(v_rows[w]));
   }
   cycles.add_mean_row();
   coverage.add_mean_row();

@@ -1,12 +1,15 @@
 #pragma once
-// Shared machinery for the figure-reproduction harnesses: run every
-// workload through a set of configurations once and tabulate a metric
-// normalised to BC, exactly the way the paper's figures present data.
+// Shared machinery for the figure-reproduction harnesses: enumerate the
+// (configuration × workload × seed) grid into jobs, execute them on the
+// shared SweepRunner thread pool, and tabulate a metric normalised to BC,
+// exactly the way the paper's figures present data. Results are merged in
+// job-index order, so output is bit-identical at any thread count.
 //
 // Every harness honours:
 //   CPC_TRACE_OPS   trace length per workload (default 600000)
 //   CPC_WORKLOADS   comma-separated workload filter
 //   CPC_SEED        workload generator seed
+//   CPC_JOBS        worker threads (default: hardware concurrency)
 //   CPC_CSV         directory to additionally write each table as CSV
 //   CPC_SEEDS       run each workload with N consecutive seeds and report
 //                   aggregate counts (ratios become ratios-of-sums)
@@ -17,9 +20,12 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/job.hpp"
+#include "sim/sweep_runner.hpp"
 #include "stats/table.hpp"
 
 namespace cpc::bench {
@@ -50,8 +56,19 @@ inline void accumulate(sim::RunResult& into, const sim::RunResult& from) {
   into.hierarchy.traffic.merge(from.hierarchy.traffic);
 }
 
-/// Runs every selected workload on every requested configuration.
-/// Progress goes to stderr so stdout stays a clean report.
+/// Exits the process if a run produced load-value mismatches (a corrupt
+/// hierarchy would silently skew every figure).
+inline void check_values(const std::string& workload, const sim::RunResult& r) {
+  if (r.core.value_mismatches != 0) {
+    std::cerr << "FATAL: value mismatches in " << workload << "/" << r.config
+              << "\n";
+    std::exit(1);
+  }
+}
+
+/// Runs every selected workload on every requested configuration through
+/// the shared thread pool. Progress goes to stderr so stdout stays a clean
+/// report.
 inline std::vector<SweepRow> run_sweep(const sim::BenchOptions& options,
                                        std::vector<sim::ConfigKind> configs) {
   unsigned seeds = 1;
@@ -59,35 +76,113 @@ inline std::vector<SweepRow> run_sweep(const sim::BenchOptions& options,
     seeds = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
     if (seeds == 0) seeds = 1;
   }
-  std::vector<SweepRow> rows;
+
+  std::vector<sim::Job> jobs;
+  jobs.reserve(options.workloads.size() * seeds * configs.size());
   for (const workload::Workload& wl : options.workloads) {
-    SweepRow row{wl, {}};
     for (unsigned s = 0; s < seeds; ++s) {
-      workload::WorkloadParams params = options.params();
-      params.seed += s;
-      std::cerr << "  generating " << wl.name << " (" << options.trace_ops
-                << " ops, seed " << params.seed << ")...\n";
-      const cpu::Trace trace = workload::generate(wl, params);
       for (sim::ConfigKind kind : configs) {
-        std::cerr << "    " << sim::config_name(kind) << "...";
-        sim::RunResult r = sim::run_trace(trace, kind);
-        std::cerr << " " << r.core.cycles << " cycles\n";
-        if (r.core.value_mismatches != 0) {
-          std::cerr << "FATAL: value mismatches in " << wl.name << "/" << r.config
-                    << "\n";
-          std::exit(1);
-        }
-        auto it = row.by_config.find(r.config);
-        if (it == row.by_config.end()) {
-          row.by_config.emplace(r.config, std::move(r));
-        } else {
-          accumulate(it->second, r);
-        }
+        jobs.push_back(sim::make_config_job(wl, options.trace_ops,
+                                            options.seed + s, kind));
+      }
+    }
+  }
+
+  sim::SweepRunner runner;
+  std::cerr << "sweep: " << jobs.size() << " jobs on " << runner.threads()
+            << " thread(s)\n";
+  std::vector<sim::JobResult> results = runner.run(std::move(jobs));
+
+  // Merge in job-index order: workload-major, then seed, then config — the
+  // same order the old serial loops accumulated in.
+  std::vector<SweepRow> rows;
+  const std::size_t per_workload = seeds * configs.size();
+  for (std::size_t w = 0; w < options.workloads.size(); ++w) {
+    SweepRow row{options.workloads[w], {}};
+    for (std::size_t j = 0; j < per_workload; ++j) {
+      sim::JobResult& result = results[w * per_workload + j];
+      check_values(row.workload.name, result.run);
+      auto it = row.by_config.find(result.run.config);
+      if (it == row.by_config.end()) {
+        row.by_config.emplace(result.run.config, std::move(result.run));
+      } else {
+        accumulate(it->second, result.run);
       }
     }
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+/// One column of an ablation grid: a label plus the hierarchy/core the
+/// column simulates on.
+struct Variant {
+  std::string label;
+  sim::HierarchyFactory factory;
+  cpu::CoreConfig core{};
+};
+
+/// Convenience: a Variant for one of the five paper configurations.
+inline Variant config_variant(sim::ConfigKind kind,
+                              const cpu::CoreConfig& core = {},
+                              const cache::LatencyConfig& latency = {}) {
+  return Variant{sim::config_name(kind),
+                 [kind, latency] { return sim::make_hierarchy(kind, latency); },
+                 core};
+}
+
+/// Runs the full workload × variant grid on the shared pool and returns
+/// results indexed [workload][variant] in the submitted order.
+inline std::vector<std::vector<sim::JobResult>> run_variant_grid(
+    const sim::BenchOptions& options, const std::vector<Variant>& variants) {
+  std::vector<sim::Job> jobs;
+  jobs.reserve(options.workloads.size() * variants.size());
+  for (const workload::Workload& wl : options.workloads) {
+    for (const Variant& variant : variants) {
+      sim::Job job;
+      job.workload = wl;
+      job.trace_ops = options.trace_ops;
+      job.seed = options.seed;
+      job.make_hierarchy = variant.factory;
+      job.core_config = variant.core;
+      job.tag = variant.label;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  sim::SweepRunner runner;
+  std::cerr << "grid: " << jobs.size() << " jobs on " << runner.threads()
+            << " thread(s)\n";
+  std::vector<sim::JobResult> flat = runner.run(std::move(jobs));
+
+  std::vector<std::vector<sim::JobResult>> grid(options.workloads.size());
+  for (std::size_t w = 0; w < options.workloads.size(); ++w) {
+    auto first = flat.begin() + static_cast<std::ptrdiff_t>(w * variants.size());
+    grid[w].assign(std::make_move_iterator(first),
+                   std::make_move_iterator(first + static_cast<std::ptrdiff_t>(
+                                                       variants.size())));
+    for (const sim::JobResult& result : grid[w]) {
+      check_values(options.workloads[w].name, result.run);
+    }
+  }
+  return grid;
+}
+
+/// Parallelises trace-analysis harnesses (no simulation): generates each
+/// workload's trace on the pool and invokes `fn(workload_index, workload,
+/// trace)`. `fn` must only write state owned by its index; indices complete
+/// in arbitrary order.
+inline void for_each_trace(
+    const sim::BenchOptions& options,
+    const std::function<void(std::size_t, const workload::Workload&,
+                             const cpu::Trace&)>& fn) {
+  sim::SweepRunner runner;
+  runner.parallel_for(options.workloads.size(), [&](std::size_t i) {
+    const workload::Workload& wl = options.workloads[i];
+    std::cerr << "  " << wl.name << "...\n";
+    const cpu::Trace trace = workload::generate(wl, options.params());
+    fn(i, wl, trace);
+  });
 }
 
 /// Builds the paper-style normalised table: one row per benchmark, one

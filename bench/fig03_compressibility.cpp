@@ -1,13 +1,13 @@
 // Reproduces paper Figure 3: "Values encountered in memory accesses" —
 // the percentage of dynamically accessed word values that are compressible
 // small values, compressible pointers, or incompressible, per benchmark.
+// Trace generation + classification runs per-workload on the sweep pool.
 // The paper reports 59% compressible on average.
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "compress/classification_stats.hpp"
-#include "sim/experiment.hpp"
-#include "stats/table.hpp"
 
 int main() {
   using namespace cpc;
@@ -17,17 +17,21 @@ int main() {
       "Figure 3: dynamic value compressibility (% of word accesses)",
       {"small value", "pointer", "compressible", "incompressible"});
 
-  for (const workload::Workload& wl : options.workloads) {
-    std::cerr << "  " << wl.name << "...\n";
-    const cpu::Trace trace = workload::generate(wl, options.params());
-    compress::ClassificationStats stats;
-    for (const cpu::MicroOp& op : trace) {
-      if (cpu::is_memory_op(op.kind)) stats.record(op.value, op.addr);
-    }
-    table.add_row(wl.name, {stats.small_fraction() * 100.0,
-                            stats.pointer_fraction() * 100.0,
-                            stats.compressible_fraction() * 100.0,
-                            (1.0 - stats.compressible_fraction()) * 100.0});
+  std::vector<std::vector<double>> cells(options.workloads.size());
+  bench::for_each_trace(
+      options, [&](std::size_t i, const workload::Workload&,
+                   const cpu::Trace& trace) {
+        compress::ClassificationStats stats;
+        for (const cpu::MicroOp& op : trace) {
+          if (cpu::is_memory_op(op.kind)) stats.record(op.value, op.addr);
+        }
+        cells[i] = {stats.small_fraction() * 100.0,
+                    stats.pointer_fraction() * 100.0,
+                    stats.compressible_fraction() * 100.0,
+                    (1.0 - stats.compressible_fraction()) * 100.0};
+      });
+  for (std::size_t i = 0; i < options.workloads.size(); ++i) {
+    table.add_row(options.workloads[i].name, std::move(cells[i]));
   }
   table.add_mean_row();
 

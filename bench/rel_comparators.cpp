@@ -9,15 +9,26 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "cache/line_compression_hierarchy.hpp"
 #include "cache/pseudo_assoc_hierarchy.hpp"
 #include "cache/victim_hierarchy.hpp"
-#include "sim/experiment.hpp"
-#include "stats/table.hpp"
 
 int main() {
   using namespace cpc;
   const sim::BenchOptions options = sim::BenchOptions::from_env();
+
+  // Variant order: BC baseline, then the comparators; the harness reads
+  // design-specific counters back off the hierarchies the jobs kept alive.
+  const std::vector<bench::Variant> variants = {
+      bench::config_variant(sim::ConfigKind::kBC),
+      {"PAC", [] { return std::make_unique<cache::PseudoAssocHierarchy>(); }},
+      {"VC-8", [] { return std::make_unique<cache::VictimHierarchy>(); }},
+      {"LCC", [] { return std::make_unique<cache::LineCompressionHierarchy>(); }},
+      bench::config_variant(sim::ConfigKind::kHAC),
+      bench::config_variant(sim::ConfigKind::kCPP),
+  };
+  const auto grid = bench::run_variant_grid(options, variants);
 
   stats::Table cycles("Related work: execution time vs BC (%)",
                       {"PAC", "VC-8", "LCC", "HAC", "CPP"});
@@ -26,36 +37,31 @@ int main() {
   stats::Table second("Related work: secondary-place / victim / affiliated hits",
                       {"PAC slow hits", "VC hits", "LCC shared frames",
                        "CPP affiliated hits"});
-  for (const workload::Workload& wl : options.workloads) {
-    std::cerr << "  " << wl.name << "...\n";
-    const cpu::Trace trace = workload::generate(wl, options.params());
-    const sim::RunResult r_bc = sim::run_trace(trace, sim::ConfigKind::kBC);
-    const double bc = r_bc.cycles();
-    const double bc_traffic = r_bc.traffic_words();
+  for (std::size_t w = 0; w < options.workloads.size(); ++w) {
+    const std::vector<sim::JobResult>& row = grid[w];
+    const double bc = row[0].run.cycles();
+    const double bc_traffic = row[0].run.traffic_words();
 
-    cache::PseudoAssocHierarchy pac;
-    const sim::RunResult r_pac = sim::run_trace_on(trace, pac);
-    cache::VictimHierarchy vc;
-    const sim::RunResult r_vc = sim::run_trace_on(trace, vc);
-    cache::LineCompressionHierarchy lcc;
-    const sim::RunResult r_lcc = sim::run_trace_on(trace, lcc);
-    const sim::RunResult r_hac = sim::run_trace(trace, sim::ConfigKind::kHAC);
-    const sim::RunResult r_cpp = sim::run_trace(trace, sim::ConfigKind::kCPP);
+    std::vector<double> c_cells, t_cells;
+    for (std::size_t v = 1; v < variants.size(); ++v) {
+      c_cells.push_back(row[v].run.cycles() / bc * 100.0);
+      t_cells.push_back(row[v].run.traffic_words() / bc_traffic * 100.0);
+    }
+    cycles.add_row(options.workloads[w].name, std::move(c_cells));
+    traffic.add_row(options.workloads[w].name, std::move(t_cells));
 
-    cycles.add_row(wl.name, {r_pac.cycles() / bc * 100.0, r_vc.cycles() / bc * 100.0,
-                             r_lcc.cycles() / bc * 100.0, r_hac.cycles() / bc * 100.0,
-                             r_cpp.cycles() / bc * 100.0});
-    traffic.add_row(wl.name, {r_pac.traffic_words() / bc_traffic * 100.0,
-                              r_vc.traffic_words() / bc_traffic * 100.0,
-                              r_lcc.traffic_words() / bc_traffic * 100.0,
-                              r_hac.traffic_words() / bc_traffic * 100.0,
-                              r_cpp.traffic_words() / bc_traffic * 100.0});
-    second.add_row(wl.name,
-                   {static_cast<double>(pac.slow_hits()),
-                    static_cast<double>(vc.victim_hits()),
-                    static_cast<double>(lcc.shared_frames()),
-                    static_cast<double>(r_cpp.hierarchy.l1_affiliated_hits +
-                                        r_cpp.hierarchy.l2_affiliated_hits)});
+    const auto* pac =
+        static_cast<const cache::PseudoAssocHierarchy*>(row[1].hierarchy.get());
+    const auto* vc =
+        static_cast<const cache::VictimHierarchy*>(row[2].hierarchy.get());
+    const auto* lcc = static_cast<const cache::LineCompressionHierarchy*>(
+        row[3].hierarchy.get());
+    second.add_row(options.workloads[w].name,
+                   {static_cast<double>(pac->slow_hits()),
+                    static_cast<double>(vc->victim_hits()),
+                    static_cast<double>(lcc->shared_frames()),
+                    static_cast<double>(row[5].run.hierarchy.l1_affiliated_hits +
+                                        row[5].run.hierarchy.l2_affiliated_hits)});
   }
   cycles.add_mean_row();
   traffic.add_mean_row();

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# clang-format dry-run over the C++ tree. Exits non-zero if any file needs
+# reformatting (CI runs this as a non-blocking, advisory step).
+#
+#   ./scripts/check_format.sh          # check, list offending files
+#   ./scripts/check_format.sh --fix    # reformat in place
+
+set -u
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "error: clang-format not found on PATH (apt-get install clang-format)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(find src tests bench tools examples \
+  -name '*.cpp' -o -name '*.hpp' | sort)
+
+if [[ "${1:-}" == "--fix" ]]; then
+  clang-format -i "${files[@]}"
+  echo "reformatted ${#files[@]} files"
+  exit 0
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    status=1
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "all ${#files[@]} files clean"
+fi
+exit $status

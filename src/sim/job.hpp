@@ -1,0 +1,74 @@
+#pragma once
+// Job descriptions for the parallel sweep engine. A Job is one complete
+// simulation: a (hierarchy, workload, seed, op count) tuple plus the core
+// configuration driving it. Jobs are self-contained — the hierarchy is
+// constructed inside the worker thread that executes the job, so every job
+// owns isolated statistics and two runs of the same job are bit-identical.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cache/hierarchy.hpp"
+#include "cpu/core_config.hpp"
+#include "cpu/micro_op.hpp"
+#include "sim/experiment.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::sim {
+
+/// Builds a fresh hierarchy for one job. Called on the worker thread, once
+/// per job, so the returned instance's counters belong to that job alone.
+using HierarchyFactory =
+    std::function<std::unique_ptr<cache::MemoryHierarchy>()>;
+
+/// One simulation job of a sweep grid.
+struct Job {
+  /// Workload to generate the input trace from. Ignored when `trace` is set.
+  workload::Workload workload{};
+  std::uint64_t trace_ops = 0;  ///< micro-ops to generate
+  std::uint64_t seed = 0;       ///< workload-generator seed
+
+  /// Pre-recorded trace to replay instead of generating one (cpc_run --sweep,
+  /// tests). Shared, never mutated.
+  std::shared_ptr<const cpu::Trace> trace;
+
+  HierarchyFactory make_hierarchy;
+  cpu::CoreConfig core_config{};
+
+  /// Free-form label carried into the result ("CPP", "mask 0x2", ...).
+  std::string tag;
+};
+
+/// Outcome of one job, in the grid order the jobs were submitted.
+struct JobResult {
+  std::size_t index = 0;  ///< position in the submitted job vector
+  std::string tag;
+  RunResult run;
+
+  /// The hierarchy the job ran on, kept alive so harnesses can read
+  /// implementation-specific counters (victim hits, shared frames, ...).
+  std::unique_ptr<cache::MemoryHierarchy> hierarchy;
+
+  double wall_seconds = 0.0;   ///< simulation time, excluding trace generation
+  double ops_per_second = 0.0; ///< committed micro-ops per wall-clock second
+};
+
+/// Job for one of the five paper configurations (section 4.1).
+inline Job make_config_job(const workload::Workload& workload,
+                           std::uint64_t trace_ops, std::uint64_t seed,
+                           ConfigKind kind,
+                           const cpu::CoreConfig& core_config = {},
+                           const cache::LatencyConfig& latency = {}) {
+  Job job;
+  job.workload = workload;
+  job.trace_ops = trace_ops;
+  job.seed = seed;
+  job.make_hierarchy = [kind, latency] { return make_hierarchy(kind, latency); };
+  job.core_config = core_config;
+  job.tag = config_name(kind);
+  return job;
+}
+
+}  // namespace cpc::sim

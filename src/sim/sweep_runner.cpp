@@ -1,0 +1,153 @@
+#include "sim/sweep_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <iostream>
+#include <thread>
+#include <utility>
+
+namespace cpc::sim {
+
+unsigned default_job_count() {
+  if (const char* env = std::getenv("CPC_JOBS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1 && value <= 4096) {
+      return static_cast<unsigned>(value);
+    }
+    std::cerr << "warning: ignoring unparseable CPC_JOBS='" << env << "'\n";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct TraceCache::Entry {
+  std::string name;
+  std::uint64_t trace_ops;
+  std::uint64_t seed;
+  std::shared_future<std::shared_ptr<const cpu::Trace>> future;
+};
+
+TraceCache::TraceCache() = default;
+TraceCache::~TraceCache() = default;
+
+std::shared_ptr<const cpu::Trace> TraceCache::get(
+    const workload::Workload& workload, std::uint64_t trace_ops,
+    std::uint64_t seed) {
+  std::promise<std::shared_ptr<const cpu::Trace>> promise;
+  std::shared_future<std::shared_ptr<const cpu::Trace>> existing;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& entry : entries_) {
+      if (entry->name == workload.name && entry->trace_ops == trace_ops &&
+          entry->seed == seed) {
+        existing = entry->future;
+        break;
+      }
+    }
+    if (!existing.valid()) {
+      auto entry = std::make_unique<Entry>();
+      entry->name = workload.name;
+      entry->trace_ops = trace_ops;
+      entry->seed = seed;
+      entry->future = promise.get_future().share();
+      entries_.push_back(std::move(entry));
+    }
+  }
+  if (existing.valid()) return existing.get();  // wait outside the lock
+  // First requester generates outside the lock; co-waiters block on the
+  // shared_future instead of regenerating.
+  try {
+    auto trace = std::make_shared<const cpu::Trace>(
+        workload::generate(workload, {trace_ops, seed}));
+    promise.set_value(trace);
+    return trace;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(threads == 0 ? default_job_count() : threads) {}
+
+void SweepRunner::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(count);
+
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      if (failed.load(std::memory_order_relaxed)) continue;  // drain remaining
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t pool_size =
+      std::min<std::size_t>(threads_, count);
+  if (pool_size <= 1) {
+    worker();  // strictly serial on the calling thread (CPC_JOBS=1)
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size);
+    for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::vector<JobResult> SweepRunner::run(std::vector<Job> jobs,
+                                        bool quiet) const {
+  std::vector<JobResult> results(jobs.size());
+  TraceCache traces;
+  std::atomic<std::size_t> completed{0};
+  std::mutex log_mutex;
+
+  parallel_for(jobs.size(), [&](std::size_t i) {
+    const Job& job = jobs[i];
+    JobResult& out = results[i];
+    out.index = i;
+    out.tag = job.tag;
+
+    const std::shared_ptr<const cpu::Trace> trace =
+        job.trace ? job.trace : traces.get(job.workload, job.trace_ops, job.seed);
+
+    auto hierarchy = job.make_hierarchy();
+    const auto start = std::chrono::steady_clock::now();
+    out.run = run_trace_on(*trace, *hierarchy, job.core_config);
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    out.ops_per_second =
+        out.wall_seconds > 0.0
+            ? static_cast<double>(out.run.core.committed) / out.wall_seconds
+            : 0.0;
+    out.hierarchy = std::move(hierarchy);
+
+    const std::size_t done = completed.fetch_add(1) + 1;
+    if (!quiet) {
+      std::lock_guard<std::mutex> lock(log_mutex);
+      std::cerr << "  [" << done << "/" << jobs.size() << "] "
+                << (job.workload.name.empty() ? "<trace>" : job.workload.name)
+                << "/" << out.run.config << ": " << out.run.core.cycles
+                << " cycles (" << out.wall_seconds << "s)\n";
+    }
+  });
+  return results;
+}
+
+}  // namespace cpc::sim

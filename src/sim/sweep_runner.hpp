@@ -1,0 +1,71 @@
+#pragma once
+// SweepRunner — the parallel batching layer every figure/ablation harness
+// and `cpc_run --sweep` executes through. A fixed-size std::thread pool
+// drains a job vector; each job simulates on its own hierarchy/core
+// instances (isolated counters), and results are delivered in job-index
+// order, so an N-thread sweep is bit-identical to the serial run.
+//
+// Thread count resolution, in priority order:
+//   explicit constructor argument > CPC_JOBS env var > hardware_concurrency.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cpu/micro_op.hpp"
+#include "sim/job.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::sim {
+
+/// Thread count from the CPC_JOBS environment variable when it parses to a
+/// positive integer, otherwise std::thread::hardware_concurrency (min 1).
+unsigned default_job_count();
+
+/// Deduplicates trace generation across the jobs of one sweep: jobs sharing
+/// a (workload, ops, seed) key block on one generation instead of each
+/// regenerating the trace. Thread-safe.
+class TraceCache {
+ public:
+  TraceCache();
+  ~TraceCache();  // out-of-line: Entry is incomplete here
+
+  std::shared_ptr<const cpu::Trace> get(const workload::Workload& workload,
+                                        std::uint64_t trace_ops,
+                                        std::uint64_t seed);
+
+ private:
+  struct Entry;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+class SweepRunner {
+ public:
+  /// `threads` = 0 resolves via default_job_count().
+  explicit SweepRunner(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs `fn(0) .. fn(count - 1)` across the pool. Each index is executed
+  /// exactly once; `fn` must only write state owned by its index. If any
+  /// invocation throws, the exception thrown by the lowest index is
+  /// rethrown here after all workers have drained (later jobs may be
+  /// skipped once a failure is recorded).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) const;
+
+  /// Executes every job and returns results in job-index order, regardless
+  /// of thread count or completion order. Traces are generated at most once
+  /// per (workload, ops, seed) via an internal TraceCache. Progress lines go
+  /// to stderr unless `quiet` is set.
+  std::vector<JobResult> run(std::vector<Job> jobs, bool quiet = false) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace cpc::sim

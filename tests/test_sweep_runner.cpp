@@ -1,0 +1,205 @@
+// SweepRunner: the parallel batching layer must be bit-identical to a
+// serial run at any thread count, must propagate job exceptions, and must
+// honour the CPC_JOBS override.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/job.hpp"
+#include "sim/sweep_runner.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc {
+namespace {
+
+// A fig10-style grid: every paper configuration over a couple of workloads.
+std::vector<sim::Job> fig10_style_grid(std::uint64_t trace_ops) {
+  std::vector<sim::Job> jobs;
+  for (const char* name : {"olden.treeadd", "olden.health"}) {
+    const workload::Workload& wl = workload::find_workload(name);
+    for (sim::ConfigKind kind : sim::kAllConfigs) {
+      jobs.push_back(sim::make_config_job(wl, trace_ops, 0x5eed, kind));
+    }
+  }
+  return jobs;
+}
+
+void expect_identical(const sim::JobResult& a, const sim::JobResult& b) {
+  SCOPED_TRACE("job " + std::to_string(a.index) + " (" + a.tag + ")");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.tag, b.tag);
+  EXPECT_EQ(a.run.config, b.run.config);
+  EXPECT_EQ(a.run.core.cycles, b.run.core.cycles);
+  EXPECT_EQ(a.run.core.committed, b.run.core.committed);
+  EXPECT_EQ(a.run.core.loads, b.run.core.loads);
+  EXPECT_EQ(a.run.core.stores, b.run.core.stores);
+  EXPECT_EQ(a.run.core.branches, b.run.core.branches);
+  EXPECT_EQ(a.run.core.mispredicts, b.run.core.mispredicts);
+  EXPECT_EQ(a.run.core.miss_cycles, b.run.core.miss_cycles);
+  EXPECT_EQ(a.run.core.ready_sum_miss_cycles, b.run.core.ready_sum_miss_cycles);
+  EXPECT_EQ(a.run.core.ready_sum_all_cycles, b.run.core.ready_sum_all_cycles);
+  EXPECT_EQ(a.run.core.ops_depending_on_miss, b.run.core.ops_depending_on_miss);
+  EXPECT_EQ(a.run.core.value_mismatches, b.run.core.value_mismatches);
+  EXPECT_EQ(a.run.hierarchy.reads, b.run.hierarchy.reads);
+  EXPECT_EQ(a.run.hierarchy.writes, b.run.hierarchy.writes);
+  EXPECT_EQ(a.run.hierarchy.l1_misses, b.run.hierarchy.l1_misses);
+  EXPECT_EQ(a.run.hierarchy.l2_misses, b.run.hierarchy.l2_misses);
+  EXPECT_EQ(a.run.hierarchy.l1_affiliated_hits, b.run.hierarchy.l1_affiliated_hits);
+  EXPECT_EQ(a.run.hierarchy.l2_affiliated_hits, b.run.hierarchy.l2_affiliated_hits);
+  EXPECT_EQ(a.run.hierarchy.l1_pbuf_hits, b.run.hierarchy.l1_pbuf_hits);
+  EXPECT_EQ(a.run.hierarchy.l2_pbuf_hits, b.run.hierarchy.l2_pbuf_hits);
+  EXPECT_EQ(a.run.hierarchy.traffic.half_units(), b.run.hierarchy.traffic.half_units());
+}
+
+TEST(SweepRunner, ParallelRunBitIdenticalToSerial) {
+  const sim::SweepRunner serial(1);
+  const sim::SweepRunner parallel(4);
+  const auto base = serial.run(fig10_style_grid(20'000), /*quiet=*/true);
+  const auto wide = parallel.run(fig10_style_grid(20'000), /*quiet=*/true);
+
+  ASSERT_EQ(base.size(), wide.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    expect_identical(base[i], wide[i]);
+  }
+}
+
+TEST(SweepRunner, ResultsArriveInJobIndexOrder) {
+  const sim::SweepRunner runner(4);
+  const auto results = runner.run(fig10_style_grid(5'000), /*quiet=*/true);
+  ASSERT_EQ(results.size(), 10u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].tag,
+              sim::config_name(sim::kAllConfigs[i % std::size(sim::kAllConfigs)]));
+    EXPECT_NE(results[i].hierarchy, nullptr);
+    EXPECT_GT(results[i].run.core.cycles, 0u);
+  }
+}
+
+TEST(SweepRunner, ExternalTraceJobsSkipGeneration) {
+  // Jobs carrying a pre-recorded trace replay it directly.
+  const auto trace = std::make_shared<const cpu::Trace>(workload::generate(
+      workload::find_workload("olden.treeadd"), {5'000, 0x5eed}));
+  std::vector<sim::Job> jobs;
+  for (sim::ConfigKind kind : sim::kAllConfigs) {
+    sim::Job job;
+    job.trace = trace;
+    job.make_hierarchy = [kind] { return sim::make_hierarchy(kind); };
+    job.tag = sim::config_name(kind);
+    jobs.push_back(std::move(job));
+  }
+  const sim::SweepRunner runner(2);
+  const auto results = runner.run(std::move(jobs), /*quiet=*/true);
+  ASSERT_EQ(results.size(), std::size(sim::kAllConfigs));
+  for (const sim::JobResult& result : results) {
+    EXPECT_EQ(result.run.core.value_mismatches, 0u);
+    EXPECT_GT(result.run.core.committed, 0u);
+  }
+}
+
+TEST(SweepRunner, JobExceptionPropagatesAndPoolSurvives) {
+  const auto trace = std::make_shared<const cpu::Trace>();
+  const auto make_jobs = [&](bool poison) {
+    std::vector<sim::Job> jobs;
+    for (int i = 0; i < 6; ++i) {
+      sim::Job job;
+      job.trace = trace;
+      job.tag = "job" + std::to_string(i);
+      if (poison && i == 3) {
+        job.make_hierarchy = []() -> std::unique_ptr<cache::MemoryHierarchy> {
+          throw std::runtime_error("hierarchy construction failed");
+        };
+      } else {
+        job.make_hierarchy = [] {
+          return sim::make_hierarchy(sim::ConfigKind::kBC);
+        };
+      }
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  };
+
+  const sim::SweepRunner runner(3);
+  EXPECT_THROW(
+      {
+        try {
+          runner.run(make_jobs(/*poison=*/true), /*quiet=*/true);
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "hierarchy construction failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+
+  // The runner holds no poisoned state: a clean batch still runs.
+  const auto results = runner.run(make_jobs(/*poison=*/false), /*quiet=*/true);
+  EXPECT_EQ(results.size(), 6u);
+}
+
+TEST(SweepRunner, ParallelForWritesEveryIndexExactlyOnce) {
+  const sim::SweepRunner runner(4);
+  std::vector<int> hits(257, 0);
+  std::atomic<int> calls{0};
+  runner.parallel_for(hits.size(), [&](std::size_t i) {
+    ++hits[i];
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 257);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(SweepRunner, CpcJobsEnvOverridesThreadCount) {
+  ASSERT_EQ(setenv("CPC_JOBS", "1", 1), 0);
+  EXPECT_EQ(sim::default_job_count(), 1u);
+  EXPECT_EQ(sim::SweepRunner().threads(), 1u);
+
+  ASSERT_EQ(setenv("CPC_JOBS", "7", 1), 0);
+  EXPECT_EQ(sim::default_job_count(), 7u);
+  EXPECT_EQ(sim::SweepRunner().threads(), 7u);
+
+  // Explicit constructor argument wins over the environment.
+  EXPECT_EQ(sim::SweepRunner(2).threads(), 2u);
+
+  // Garbage and zero fall back to hardware concurrency (at least one).
+  ASSERT_EQ(setenv("CPC_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(sim::default_job_count(), 1u);
+  ASSERT_EQ(setenv("CPC_JOBS", "0", 1), 0);
+  EXPECT_GE(sim::default_job_count(), 1u);
+
+  ASSERT_EQ(unsetenv("CPC_JOBS"), 0);
+  EXPECT_GE(sim::default_job_count(), 1u);
+}
+
+TEST(SweepRunner, Cpc_Jobs1_RunMatchesDefaultRun) {
+  // CPC_JOBS=1 must not change results, only scheduling.
+  ASSERT_EQ(setenv("CPC_JOBS", "1", 1), 0);
+  const auto serial = sim::SweepRunner().run(fig10_style_grid(5'000), true);
+  ASSERT_EQ(unsetenv("CPC_JOBS"), 0);
+  const auto parallel = sim::SweepRunner(3).run(fig10_style_grid(5'000), true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(TraceCache, SharesOneGenerationPerKey) {
+  sim::TraceCache cache;
+  const workload::Workload& wl = workload::find_workload("olden.treeadd");
+  const auto a = cache.get(wl, 2'000, 1);
+  const auto b = cache.get(wl, 2'000, 1);
+  EXPECT_EQ(a.get(), b.get());  // same instance, not a regeneration
+
+  const auto different_seed = cache.get(wl, 2'000, 2);
+  EXPECT_NE(a.get(), different_seed.get());
+  const auto different_ops = cache.get(wl, 3'000, 1);
+  EXPECT_NE(a.get(), different_ops.get());
+}
+
+}  // namespace
+}  // namespace cpc

@@ -2,24 +2,136 @@
 // print the paper's metrics.
 //
 //   cpc_run <trace-file> [BC|BCC|HAC|BCP|CPP|all]
+//   cpc_run --sweep [--jobs N] <trace-file> [config[,config...]]
+//
+// --sweep fans the config list across the SweepRunner thread pool (thread
+// count from --jobs, else CPC_JOBS, else hardware concurrency) and writes a
+// CSV report to stdout with per-job wall time and throughput.
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "cpu/trace_io.hpp"
 #include "sim/experiment.hpp"
+#include "sim/job.hpp"
+#include "sim/sweep_runner.hpp"
 #include "stats/table.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: cpc_run <trace-file> [BC|BCC|HAC|BCP|CPP|all]\n"
+               "       cpc_run --sweep [--jobs N] <trace-file> "
+               "[config[,config...]]\n";
+  return 2;
+}
+
+std::vector<cpc::sim::ConfigKind> parse_configs(
+    const std::vector<std::string>& names) {
+  using namespace cpc;
+  std::vector<sim::ConfigKind> kinds;
+  for (const std::string& arg : names) {
+    std::stringstream ss{arg};
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (name.empty()) continue;
+      if (name == "all") {
+        kinds.insert(kinds.end(), std::begin(sim::kAllConfigs),
+                     std::end(sim::kAllConfigs));
+        continue;
+      }
+      bool found = false;
+      for (sim::ConfigKind kind : sim::kAllConfigs) {
+        if (sim::config_name(kind) == name) {
+          kinds.push_back(kind);
+          found = true;
+        }
+      }
+      if (!found) throw std::runtime_error("unknown configuration '" + name + "'");
+    }
+  }
+  if (kinds.empty()) {
+    kinds.assign(std::begin(sim::kAllConfigs), std::end(sim::kAllConfigs));
+  }
+  return kinds;
+}
+
+int run_sweep_mode(const std::string& trace_path,
+                   const std::vector<std::string>& config_args,
+                   unsigned jobs) {
+  using namespace cpc;
+  const std::vector<sim::ConfigKind> kinds = parse_configs(config_args);
+  const auto trace = std::make_shared<const cpu::Trace>(
+      cpu::read_trace_file(trace_path));
+  std::cerr << trace_path << ": " << trace->size() << " micro-ops, "
+            << kinds.size() << " configuration job(s)\n";
+
+  std::vector<sim::Job> sweep;
+  for (sim::ConfigKind kind : kinds) {
+    sim::Job job;
+    job.trace = trace;
+    job.make_hierarchy = [kind] { return sim::make_hierarchy(kind); };
+    job.tag = sim::config_name(kind);
+    sweep.push_back(std::move(job));
+  }
+
+  const sim::SweepRunner runner(jobs);
+  const std::vector<sim::JobResult> results = runner.run(std::move(sweep));
+
+  std::cout << "config,cycles,ipc,l1_misses,l2_misses,mem_words,"
+               "wall_seconds,ops_per_sec\n";
+  for (const sim::JobResult& result : results) {
+    if (result.run.core.value_mismatches != 0) {
+      std::cerr << "error: " << result.run.core.value_mismatches
+                << " value mismatches in " << result.tag << " — corrupt trace?\n";
+      return 1;
+    }
+    std::cout << result.tag << ',' << result.run.core.cycles << ','
+              << result.run.core.ipc() << ',' << result.run.hierarchy.l1_misses
+              << ',' << result.run.hierarchy.l2_misses << ','
+              << result.run.traffic_words() << ',' << result.wall_seconds << ','
+              << result.ops_per_second << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cpc;
-  if (argc < 2) {
-    std::cerr << "usage: cpc_run <trace-file> [BC|BCC|HAC|BCP|CPP|all]\n";
-    return 2;
+
+  bool sweep = false;
+  unsigned jobs = 0;  // 0 = CPC_JOBS / hardware concurrency
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sweep") {
+      sweep = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) return usage();
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else {
+      positional.push_back(arg);
+    }
   }
-  const std::string which = argc > 2 ? argv[2] : "all";
+  if (positional.empty()) return usage();
 
   try {
-    const cpu::Trace trace = cpu::read_trace_file(argv[1]);
-    std::cout << argv[1] << ": " << trace.size() << " micro-ops\n\n";
+    if (sweep) {
+      return run_sweep_mode(
+          positional[0],
+          {positional.begin() + 1, positional.end()}, jobs);
+    }
+
+    const std::string which = positional.size() > 1 ? positional[1] : "all";
+    const cpu::Trace trace = cpu::read_trace_file(positional[0]);
+    std::cout << positional[0] << ": " << trace.size() << " micro-ops\n\n";
 
     stats::Table table("replay results",
                        {"cycles", "IPC", "L1 misses", "L2 misses", "mem words"});
