@@ -13,6 +13,13 @@
 //   CPC_CSV         directory to additionally write each table as CSV
 //   CPC_SEEDS       run each workload with N consecutive seeds and report
 //                   aggregate counts (ratios become ratios-of-sums)
+//   CPC_SWEEP_JOURNAL
+//                   checkpoint/resume journal for the config sweeps
+//                   (fig10–15): a killed or failed sweep re-run with the
+//                   same journal resumes instead of recomputing
+//   CPC_CONTAIN     "1" runs the config sweeps fault-contained even
+//                   without a journal (see docs/robustness.md);
+//                   CPC_JOB_TIMEOUT_MS arms the per-job watchdog
 
 #include <cstdlib>
 #include <fstream>
@@ -66,6 +73,43 @@ inline void check_values(const std::string& workload, const sim::RunResult& r) {
   }
 }
 
+/// Env-gated contained execution for the long figure sweeps: when
+/// CPC_SWEEP_JOURNAL names a journal (or CPC_CONTAIN=1), jobs run
+/// fault-contained — a failing job is reported, the rest of the grid still
+/// completes and is checkpointed, and a re-run resumes from the journal. A
+/// figure cannot be built from a partial grid, so failures still abort the
+/// harness, but only after the journal holds every completed job.
+inline std::vector<sim::JobResult> run_config_jobs(const sim::SweepRunner& runner,
+                                                   std::vector<sim::Job> jobs) {
+  const char* journal = std::getenv("CPC_SWEEP_JOURNAL");
+  const char* contain = std::getenv("CPC_CONTAIN");
+  const bool journaled = journal != nullptr && *journal != '\0';
+  if (!journaled &&
+      (contain == nullptr || *contain == '\0' || std::string(contain) == "0")) {
+    return runner.run(std::move(jobs));
+  }
+  sim::RunOptions options = sim::RunOptions::from_env();
+  if (journaled) options.journal_path = journal;
+  sim::RunReport report = runner.run_contained(std::move(jobs), options);
+  if (report.resumed > 0) {
+    std::cerr << "resumed " << report.resumed << " job(s) from "
+              << options.journal_path << '\n';
+  }
+  if (!report.all_ok()) {
+    for (const sim::JobFailure& failure : report.failures) {
+      std::cerr << "FATAL: job " << failure.index << " (" << failure.tag
+                << ") failed" << (failure.timed_out ? " [timeout]" : "")
+                << ": " << failure.what << '\n';
+    }
+    std::cerr << "cannot build a figure from a partial grid"
+              << (journaled ? "; completed jobs will resume from the journal"
+                            : "")
+              << '\n';
+    std::exit(1);
+  }
+  return std::move(report.results);
+}
+
 /// Runs every selected workload on every requested configuration through
 /// the shared thread pool. Progress goes to stderr so stdout stays a clean
 /// report.
@@ -91,7 +135,7 @@ inline std::vector<SweepRow> run_sweep(const sim::BenchOptions& options,
   sim::SweepRunner runner;
   std::cerr << "sweep: " << jobs.size() << " jobs on " << runner.threads()
             << " thread(s)\n";
-  std::vector<sim::JobResult> results = runner.run(std::move(jobs));
+  std::vector<sim::JobResult> results = run_config_jobs(runner, std::move(jobs));
 
   // Merge in job-index order: workload-major, then seed, then config — the
   // same order the old serial loops accumulated in.

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "mem/traffic_meter.hpp"
+#include "verify/fault.hpp"
 
 namespace cpc::cache {
 
@@ -85,11 +86,22 @@ class MemoryHierarchy {
   /// Short configuration name ("BC", "BCC", "HAC", "BCP", "CPP").
   virtual std::string name() const = 0;
 
-  /// Checks internal structural invariants; aborts via assert on violation.
-  /// A no-op for configurations without extra invariants.
+  /// Checks internal structural invariants; throws cpc::InvariantViolation
+  /// on corruption. A no-op for configurations without extra invariants.
   virtual void validate() const {}
 
-  const HierarchyStats& stats() const { return stats_; }
+  /// Inflicts `command` on internal state (fault-injection campaigns,
+  /// tools/cpc_faultcamp). Returns true when a target was found and the
+  /// fault actually landed (or was armed for the next qualifying event);
+  /// the default implementation supports no faults.
+  virtual bool inject_fault(const verify::FaultCommand& command) {
+    (void)command;
+    return false;
+  }
+
+  /// Virtual so decorators (verify::GuardedHierarchy) can forward to the
+  /// hierarchy they wrap.
+  virtual const HierarchyStats& stats() const { return stats_; }
   HierarchyStats& mutable_stats() { return stats_; }
 
  protected:

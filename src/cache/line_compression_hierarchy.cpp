@@ -1,10 +1,26 @@
 #include "cache/line_compression_hierarchy.hpp"
 
 #include <cassert>
+#include <random>
 
 #include "common/check.hpp"
 
 namespace cpc::cache {
+
+namespace {
+constexpr std::uint32_t mix(std::uint32_t v, std::uint32_t salt) {
+  std::uint32_t x = v + salt * 0x9e3779b9u;
+  x *= 0x85ebca6bu;
+  x ^= x >> 15;
+  return x;
+}
+
+std::uint32_t payload_ecc(const std::vector<std::uint32_t>& words) {
+  std::uint32_t e = 0;
+  for (std::uint32_t i = 0; i < words.size(); ++i) e ^= mix(words[i], i);
+  return e;
+}
+}  // namespace
 
 LineCompressionHierarchy::LineCompressionHierarchy(HierarchyConfig config,
                                                    compress::Scheme scheme)
@@ -35,6 +51,13 @@ LineCompressionHierarchy::Resident* LineCompressionHierarchy::find(
 }
 
 void LineCompressionHierarchy::retire(Resident& resident) {
+  // Content is leaving the frame — last chance to catch a payload strike
+  // before it propagates to L2 or memory.
+  check_diag(resident.ecc == payload_ecc(resident.words), [&] {
+    return Diagnostic{Invariant::kLccLineEcc, "LCC::retire", clock_,
+                      resident.line_addr,
+                      "payload ECC mismatch on line leaving the frame"};
+  });
   if (!resident.dirty) return;
   ++stats_.l1_writebacks;
   const std::uint32_t base = config_.l1.base_of_line(resident.line_addr);
@@ -57,6 +80,7 @@ LineCompressionHierarchy::Resident& LineCompressionHierarchy::install(
     std::uint32_t line_addr, std::vector<std::uint32_t> words) {
   Frame& frame = frames_[config_.l1.set_of_line(line_addr)];
   Resident incoming{line_addr, false, ++clock_, std::move(words)};
+  incoming.ecc = payload_ecc(incoming.words);
   const bool incoming_small = fully_compressible(incoming.words, line_addr);
 
   // Free slot 0: empty frame.
@@ -161,7 +185,9 @@ AccessResult LineCompressionHierarchy::write(std::uint32_t addr, std::uint32_t v
   ++stats_.writes;
   AccessResult result;
   Resident& resident = ensure_line(addr, result);
-  resident.words[config_.l1.word_of(addr)] = value;
+  const std::uint32_t w = config_.l1.word_of(addr);
+  resident.ecc ^= mix(resident.words[w], w) ^ mix(value, w);
+  resident.words[w] = value;
   resident.dirty = true;
 
   // A write can make a shared resident incompressible; the frame can then
@@ -187,15 +213,44 @@ std::uint64_t LineCompressionHierarchy::shared_frames() const {
   return count;
 }
 
+bool LineCompressionHierarchy::inject_fault(const verify::FaultCommand& command) {
+  if (command.kind != verify::FaultKind::kPayloadBit) return false;
+  std::mt19937_64 rng(command.seed);
+  std::vector<Resident*> targets;
+  for (Frame& frame : frames_) {
+    for (auto& slot : frame.slots) {
+      if (slot) targets.push_back(&*slot);
+    }
+  }
+  if (targets.empty()) return false;
+  Resident& victim = *targets[rng() % targets.size()];
+  // Flip a stored bit without maintaining the ECC: a particle strike.
+  victim.words[rng() % victim.words.size()] ^= 1u << (rng() % 32);
+  return true;
+}
+
 void LineCompressionHierarchy::validate() const {
   for (const Frame& frame : frames_) {
+    for (const auto& slot : frame.slots) {
+      if (!slot) continue;
+      check_diag(slot->ecc == payload_ecc(slot->words), [&] {
+        return Diagnostic{Invariant::kLccLineEcc, "LCC::validate", clock_,
+                          slot->line_addr, "resident payload ECC mismatch"};
+      });
+    }
     if (!(frame.slots[0] && frame.slots[1])) continue;
     for (const auto& slot : frame.slots) {
-      check(fully_compressible(slot->words, slot->line_addr),
-            "shared LCC frame holds an incompressible line");
+      check_diag(fully_compressible(slot->words, slot->line_addr), [&] {
+        return Diagnostic{Invariant::kLccSharedIncompressible, "LCC::validate",
+                          clock_, slot->line_addr,
+                          "shared LCC frame holds an incompressible line"};
+      });
     }
-    check(frame.slots[0]->line_addr != frame.slots[1]->line_addr,
-          "duplicate resident in LCC frame");
+    check_diag(frame.slots[0]->line_addr != frame.slots[1]->line_addr, [&] {
+      return Diagnostic{Invariant::kLccDuplicateResident, "LCC::validate", clock_,
+                        frame.slots[0]->line_addr,
+                        "duplicate resident in LCC frame"};
+    });
   }
 }
 

@@ -41,6 +41,10 @@ class LineCompressionHierarchy : public MemoryHierarchy {
   std::string name() const override { return "LCC"; }
   void validate() const override;
 
+  /// Supports kPayloadBit strikes on resident L1 lines (the frame payload
+  /// array); other fault kinds have no LCC analogue and are refused.
+  bool inject_fault(const verify::FaultCommand& command) override;
+
   const HierarchyConfig& config() const { return config_; }
   mem::SparseMemory& memory() { return memory_; }
 
@@ -53,6 +57,10 @@ class LineCompressionHierarchy : public MemoryHierarchy {
     bool dirty = false;
     std::uint64_t last_use = 0;
     std::vector<std::uint32_t> words;
+    // Payload ECC over `words`, maintained incrementally by legitimate
+    // writes; fault strikes bypass it (see core/compressed_line.hpp for the
+    // rationale — recomputing would launder strikes).
+    std::uint32_t ecc = 0;
   };
   struct Frame {
     // Slot 0 always used first. Two residents => both fully compressible.

@@ -2,19 +2,126 @@
 // Always-on invariant checking. Unlike assert(), these fire in every build
 // type: the structural invariants of the compression cache are part of its
 // contract and the property tests exercise them through release binaries.
+//
+// Violations carry a structured cpc::Diagnostic (which invariant, where,
+// which line address, at what point of the run) so that auditors, the
+// fault-injection campaign and the sweep journal can report machine-readable
+// failures instead of bare strings.
 
+#include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace cpc {
 
+/// Identity of a guarded structural invariant. Stable ids: tools and the
+/// fault-campaign journal refer to these by name.
+enum class Invariant : std::uint8_t {
+  kGeneric = 0,              ///< legacy string-only check()
+  kAffiliatedOverUncompressed,  ///< AA bit set over an uncompressed primary word
+  kAffiliatedNotCompressible,   ///< affiliated word fails the compression round-trip
+  kVcpMismatch,              ///< VCP flag disagrees with the compression scheme
+  kDoubleResidency,          ///< line present both as primary and affiliated copy
+  kDirtyEmpty,               ///< dirty line with no primary words
+  kLineEcc,                  ///< per-line metadata/payload ECC mismatch
+  kResponseIncomplete,       ///< partial-line response lost words in flight
+  kTrafficMismatch,          ///< traffic meter disagrees with fetch-line count
+  kCounterRegression,        ///< a monotonic statistic decreased between audits
+  kLccSharedIncompressible,  ///< shared LCC frame holds an incompressible line
+  kLccDuplicateResident,     ///< duplicate resident in an LCC frame
+  kLccLineEcc,               ///< LCC resident payload ECC mismatch
+};
+
+const char* invariant_name(Invariant id);
+
+/// Structured description of one invariant violation: which invariant, at
+/// which site, affecting which line, observed after how many accesses. The
+/// access ordinal ("cycle") is filled in by the MetadataAuditor when the
+/// violation surfaces during an audited run; sites that cannot know it leave
+/// it zero.
+struct Diagnostic {
+  Invariant invariant = Invariant::kGeneric;
+  std::string site;            ///< e.g. "CppCache[L1].validate"
+  std::uint64_t cycle = 0;     ///< access ordinal when known (0 = unknown)
+  std::uint32_t line_addr = 0; ///< affected (primary) line address
+  std::string detail;          ///< free-form human context
+
+  std::string to_string() const;
+};
+
 class InvariantViolation : public std::logic_error {
  public:
-  using std::logic_error::logic_error;
+  explicit InvariantViolation(const std::string& message)
+      : std::logic_error(message) {
+    diagnostic_.detail = message;
+  }
+  explicit InvariantViolation(Diagnostic diagnostic)
+      : std::logic_error(diagnostic.to_string()),
+        diagnostic_(std::move(diagnostic)) {}
+
+  const Diagnostic& diagnostic() const { return diagnostic_; }
+
+ private:
+  Diagnostic diagnostic_;
 };
 
 inline void check(bool condition, const std::string& message) {
   if (!condition) throw InvariantViolation(message);
+}
+
+/// Structured check. `make` is only invoked on failure, so call sites can
+/// build the Diagnostic (two strings) lazily inside hot validation loops.
+template <typename MakeDiagnostic>
+inline void check_diag(bool condition, MakeDiagnostic&& make) {
+  if (!condition) throw InvariantViolation(std::forward<MakeDiagnostic>(make)());
+}
+
+// --- inline implementations -------------------------------------------
+
+inline const char* invariant_name(Invariant id) {
+  switch (id) {
+    case Invariant::kGeneric: return "generic";
+    case Invariant::kAffiliatedOverUncompressed: return "affiliated-over-uncompressed";
+    case Invariant::kAffiliatedNotCompressible: return "affiliated-not-compressible";
+    case Invariant::kVcpMismatch: return "vcp-mismatch";
+    case Invariant::kDoubleResidency: return "double-residency";
+    case Invariant::kDirtyEmpty: return "dirty-empty";
+    case Invariant::kLineEcc: return "line-ecc";
+    case Invariant::kResponseIncomplete: return "response-incomplete";
+    case Invariant::kTrafficMismatch: return "traffic-mismatch";
+    case Invariant::kCounterRegression: return "counter-regression";
+    case Invariant::kLccSharedIncompressible: return "lcc-shared-incompressible";
+    case Invariant::kLccDuplicateResident: return "lcc-duplicate-resident";
+    case Invariant::kLccLineEcc: return "lcc-line-ecc";
+  }
+  return "?";
+}
+
+inline std::string Diagnostic::to_string() const {
+  std::string out = "invariant violation [";
+  out += invariant_name(invariant);
+  out += "]";
+  if (!site.empty()) {
+    out += " at ";
+    out += site;
+  }
+  if (cycle != 0) {
+    out += " access #";
+    out += std::to_string(cycle);
+  }
+  if (line_addr != 0) {
+    out += " line 0x";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%x", line_addr);
+    out += buf;
+  }
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
 }
 
 }  // namespace cpc

@@ -15,6 +15,17 @@
 // compressed or absent. The simulator stores primary words uncompressed for
 // convenience; VCP records what the hardware layout would be, which is what
 // gates affiliated packing.
+//
+// Metadata/payload ECC: every line carries a 32-bit check word folded over
+// the PA/AA/VCP masks and the stored word contents, maintained
+// *incrementally* by each legitimate mutator (the model of a hardware ECC
+// codeword written alongside the data). The fault-injection strike hooks
+// below flip stored bits without touching the check word — exactly what a
+// particle strike does to an array — so any later audit, eviction or
+// writeback that calls ecc_ok() detects the corruption. Incremental (rather
+// than recomputed) maintenance matters: recomputing after an unrelated
+// legitimate write would launder a pre-existing strike into a "valid"
+// codeword.
 
 #include <cstdint>
 #include <vector>
@@ -25,9 +36,11 @@ namespace cpc::core {
 
 class CompressedLine {
  public:
-  CompressedLine() = default;
+  CompressedLine() { ecc_ = ecc_over_current_state(); }
   explicit CompressedLine(std::uint32_t words_per_line)
-      : primary_(words_per_line, 0), affiliated_(words_per_line, 0) {}
+      : primary_(words_per_line, 0), affiliated_(words_per_line, 0) {
+    ecc_ = ecc_over_current_state();
+  }
 
   bool valid = false;
   bool dirty = false;  ///< applies to primary content; affiliated copies are clean
@@ -62,6 +75,8 @@ class CompressedLine {
   bool set_primary_word(std::uint32_t i, std::uint32_t value, std::uint32_t addr,
                         const compress::Scheme& scheme) {
     const bool was_compressed = has_primary(i) && primary_compressed(i);
+    if (has_primary(i)) ecc_ ^= mix(primary_[i], kPrimarySalt + i);
+    ecc_ ^= flag_ecc();
     primary_[i] = value;
     pa_ |= 1u << i;
     const bool now_compressed = scheme.is_compressible(value, addr);
@@ -70,13 +85,19 @@ class CompressedLine {
     } else {
       vcp_ &= ~(1u << i);
     }
+    ecc_ ^= flag_ecc();
+    ecc_ ^= mix(value, kPrimarySalt + i);
     return was_compressed && !now_compressed;
   }
 
+  /// Wipes the primary half. Resets the ECC over the remaining (affiliated)
+  /// content — callers audit the outgoing content first (CppCache checks
+  /// victim lines before eviction), so this cannot launder a strike.
   void clear_primary() {
     pa_ = 0;
     vcp_ = 0;
     dirty = false;
+    ecc_ = ecc_over_current_state();
   }
 
   // --- affiliated content ----------------------------------------------
@@ -85,17 +106,78 @@ class CompressedLine {
   }
 
   void set_affiliated_word(std::uint32_t i, compress::CompressedWord cw) {
+    if (has_affiliated(i)) ecc_ ^= mix(affiliated_[i], kAffiliatedSalt + i);
+    ecc_ ^= flag_ecc();
     affiliated_[i] = cw.bits;
     aa_ |= 1u << i;
+    ecc_ ^= flag_ecc();
+    ecc_ ^= mix(cw.bits, kAffiliatedSalt + i);
   }
 
-  void drop_affiliated_word(std::uint32_t i) { aa_ &= ~(1u << i); }
-  void drop_all_affiliated() { aa_ = 0; }
+  void drop_affiliated_word(std::uint32_t i) {
+    if (!has_affiliated(i)) return;
+    ecc_ ^= mix(affiliated_[i], kAffiliatedSalt + i);
+    ecc_ ^= flag_ecc();
+    aa_ &= ~(1u << i);
+    ecc_ ^= flag_ecc();
+  }
+
+  void drop_all_affiliated() {
+    aa_ = 0;
+    ecc_ = ecc_over_current_state();
+  }
+
+  // --- metadata/payload ECC ---------------------------------------------
+  /// True when the stored check word matches the current flags and content.
+  bool ecc_ok() const { return ecc_ == ecc_over_current_state(); }
+
+  // --- fault-injection strike hooks --------------------------------------
+  // Model a particle strike on the data / flag arrays: the stored bit flips
+  // but the ECC codeword is left stale, so audits detect the corruption.
+  // Only verify::FaultCommand handling should call these.
+  void strike_primary_bit(std::uint32_t i, unsigned bit) {
+    primary_[i] ^= 1u << bit;
+  }
+  void strike_affiliated_bit(std::uint32_t i, unsigned bit) {
+    affiliated_[i] ^= 1u << bit;
+  }
+  void strike_pa_flag(std::uint32_t i) { pa_ ^= 1u << i; }
+  void strike_aa_flag(std::uint32_t i) { aa_ ^= 1u << i; }
+  void strike_vcp_flag(std::uint32_t i) { vcp_ ^= 1u << i; }
 
  private:
+  static constexpr std::uint32_t kPaSalt = 1;
+  static constexpr std::uint32_t kAaSalt = 2;
+  static constexpr std::uint32_t kVcpSalt = 3;
+  static constexpr std::uint32_t kPrimarySalt = 16;
+  static constexpr std::uint32_t kAffiliatedSalt = 64;
+
+  /// Cheap diffusion: bijective in `v` for fixed salt, so any single-bit
+  /// change of a contributing field changes the fold.
+  static constexpr std::uint32_t mix(std::uint32_t v, std::uint32_t salt) {
+    std::uint32_t x = v + salt * 0x9e3779b9u;
+    x *= 0x85ebca6bu;
+    x ^= x >> 15;
+    return x;
+  }
+
+  std::uint32_t flag_ecc() const {
+    return mix(pa_, kPaSalt) ^ mix(aa_, kAaSalt) ^ mix(vcp_, kVcpSalt);
+  }
+
+  std::uint32_t ecc_over_current_state() const {
+    std::uint32_t e = flag_ecc();
+    for (std::uint32_t i = 0; i < primary_.size(); ++i) {
+      if (has_primary(i)) e ^= mix(primary_[i], kPrimarySalt + i);
+      if (has_affiliated(i)) e ^= mix(affiliated_[i], kAffiliatedSalt + i);
+    }
+    return e;
+  }
+
   std::uint32_t pa_ = 0;
   std::uint32_t aa_ = 0;
   std::uint32_t vcp_ = 0;
+  std::uint32_t ecc_ = 0;
   std::vector<std::uint32_t> primary_;  // uncompressed primary values
   // Compressed affiliated values; 16 bits for the paper's scheme, stored in
   // 32-bit slots so the width-ablation schemes (up to 24 bits) fit too.

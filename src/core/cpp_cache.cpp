@@ -1,17 +1,21 @@
 #include "core/cpp_cache.hpp"
 
 #include <cassert>
+#include <random>
+#include <utility>
 
 #include "common/check.hpp"
 
 namespace cpc::core {
 
 CppCache::CppCache(cache::CacheGeometry geometry, compress::Scheme scheme,
-                   std::uint32_t affiliation_mask, bool affiliation_enabled)
+                   std::uint32_t affiliation_mask, bool affiliation_enabled,
+                   std::string label)
     : geo_(geometry),
       scheme_(scheme),
       mask_(affiliation_mask),
-      affiliation_enabled_(affiliation_enabled) {
+      affiliation_enabled_(affiliation_enabled),
+      label_(std::move(label)) {
   assert(geo_.words_per_line() <= 32 && "flag masks are 32 bits wide");
   assert(geo_.num_sets() >= 2 && "affiliation needs at least two sets");
   lines_.reserve(static_cast<std::size_t>(geo_.num_sets()) * geo_.ways);
@@ -104,6 +108,7 @@ CompressedLine& CppCache::install(const IncomingLine& incoming, WritebackSink& s
   // coverage), then drop it — a line lives in one place at a time.
   IncomingLine merged = incoming;
   if (CompressedLine* host = find_affiliated_host(L)) {
+    audit_line(*host, "fold-affiliated");
     for (std::uint32_t i = 0; i < n; ++i) {
       if (host->has_affiliated(i) && !((merged.present >> i) & 1u)) {
         merged.words[i] = scheme_.decompress(host->affiliated_word(i), word_addr(L, i));
@@ -117,6 +122,7 @@ CompressedLine& CppCache::install(const IncomingLine& incoming, WritebackSink& s
   // partial copy in the victim's affiliated place (section 3.3).
   CompressedLine& slot = victim_way(geo_.set_of_line(L));
   if (slot.valid) {
+    audit_line(slot, "evict");
     if (slot.dirty && slot.pa_mask() != 0) {
       std::vector<std::uint32_t> words(n, 0);
       for (std::uint32_t i = 0; i < n; ++i) {
@@ -168,6 +174,7 @@ CompressedLine& CppCache::install(const IncomingLine& incoming, WritebackSink& s
 CompressedLine& CppCache::promote(std::uint32_t line_addr, WritebackSink& sink) {
   CompressedLine* host = find_affiliated_host(line_addr);
   assert(host != nullptr && "promote requires an affiliated copy");
+  audit_line(*host, "promote");
   const std::uint32_t n = geo_.words_per_line();
 
   IncomingLine img;
@@ -217,37 +224,115 @@ std::uint32_t CppCache::demote_into_affiliated(std::uint32_t line_addr,
   return packed;
 }
 
+void CppCache::drop_affiliated_copy(CompressedLine& host) {
+  audit_line(host, "drop-affiliated");
+  host.drop_all_affiliated();
+}
+
+void CppCache::validate_line(const CompressedLine& line) const {
+  const std::uint32_t n = geo_.words_per_line();
+  const auto diag = [&](Invariant inv, std::string detail) {
+    return Diagnostic{inv, label_ + "::validate", clock_, line.line_addr,
+                      std::move(detail)};
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (line.has_affiliated(i)) {
+      // AA[i] requires a free primary half-slot.
+      check_diag(!line.has_primary(i) || line.primary_compressed(i), [&] {
+        return diag(Invariant::kAffiliatedOverUncompressed,
+                    "AA bit set over an uncompressed primary word " +
+                        std::to_string(i));
+      });
+      // An affiliated word is stored compressed, so it must decompress to
+      // a value that is itself compressible at its address.
+      const std::uint32_t aff_addr = word_addr(buddy_of(line.line_addr), i);
+      const std::uint32_t value = scheme_.decompress(line.affiliated_word(i), aff_addr);
+      check_diag(scheme_.is_compressible(value, aff_addr), [&] {
+        return diag(Invariant::kAffiliatedNotCompressible,
+                    "affiliated word " + std::to_string(i) +
+                        " does not round-trip through compression");
+      });
+    }
+    if (line.has_primary(i) && line.primary_compressed(i)) {
+      check_diag(
+          scheme_.is_compressible(line.primary_word(i), word_addr(line.line_addr, i)),
+          [&] {
+            return diag(Invariant::kVcpMismatch,
+                        "VCP flag disagrees with the compression scheme at word " +
+                            std::to_string(i));
+          });
+    }
+  }
+  // At most one copy of any line: if this line's buddy is primary
+  // resident, this line must not also carry affiliated content for it.
+  if (line.aa_mask() != 0) {
+    check_diag(find_primary(buddy_of(line.line_addr)) == nullptr, [&] {
+      return diag(Invariant::kDoubleResidency,
+                  "line present both as primary and as affiliated copy (buddy " +
+                      std::to_string(buddy_of(line.line_addr)) + ")");
+    });
+  }
+  if (line.dirty) {
+    check_diag(line.pa_mask() != 0, [&] {
+      return diag(Invariant::kDirtyEmpty, "dirty line with no primary words");
+    });
+  }
+  // Last, so a structural corruption reports its specific invariant above
+  // and a pure payload strike still trips here.
+  check_diag(line.ecc_ok(), [&] {
+    return diag(Invariant::kLineEcc, "line ECC mismatch over flags+payload");
+  });
+}
+
 void CppCache::validate() const {
   for (const CompressedLine& line : lines_) {
+    if (line.valid) validate_line(line);
+  }
+}
+
+void CppCache::audit_line(const CompressedLine& line, const char* stage) const {
+  check_diag(line.ecc_ok(), [&] {
+    return Diagnostic{Invariant::kLineEcc, label_ + "::" + stage, clock_,
+                      line.line_addr,
+                      "line ECC mismatch on content leaving the cache"};
+  });
+}
+
+bool CppCache::strike_random(const verify::FaultCommand& command) {
+  std::mt19937_64 rng(command.seed);
+  // Collect candidate lines; payload strikes need at least one stored word.
+  std::vector<CompressedLine*> targets;
+  for (CompressedLine& line : lines_) {
     if (!line.valid) continue;
-    const std::uint32_t n = geo_.words_per_line();
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (line.has_affiliated(i)) {
-        // AA[i] requires a free primary half-slot.
-        check(!line.has_primary(i) || line.primary_compressed(i),
-              "AA bit set over an uncompressed primary word");
-        // An affiliated word is stored compressed, so it must decompress to
-        // a value that is itself compressible at its address.
-        const std::uint32_t aff_addr = word_addr(buddy_of(line.line_addr), i);
-        const std::uint32_t value = scheme_.decompress(line.affiliated_word(i), aff_addr);
-        check(scheme_.is_compressible(value, aff_addr),
-              "affiliated word does not round-trip through compression");
+    if (command.kind == verify::FaultKind::kPayloadBit && line.pa_mask() == 0) {
+      continue;
+    }
+    targets.push_back(&line);
+  }
+  if (targets.empty()) return false;
+  CompressedLine& line = *targets[rng() % targets.size()];
+  const std::uint32_t n = geo_.words_per_line();
+  switch (command.kind) {
+    case verify::FaultKind::kPayloadBit: {
+      std::vector<std::uint32_t> words;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (line.has_primary(i)) words.push_back(i);
       }
-      if (line.has_primary(i) && line.primary_compressed(i)) {
-        check(scheme_.is_compressible(line.primary_word(i),
-                                      word_addr(line.line_addr, i)),
-              "VCP flag disagrees with the compression scheme");
-      }
+      line.strike_primary_bit(words[rng() % words.size()],
+                              static_cast<unsigned>(rng() % 32));
+      return true;
     }
-    // At most one copy of any line: if this line's buddy is primary
-    // resident, this line must not also carry affiliated content for it.
-    if (line.aa_mask() != 0) {
-      check(find_primary(buddy_of(line.line_addr)) == nullptr,
-            "line present both as primary and as affiliated copy");
-    }
-    if (line.dirty) {
-      check(line.pa_mask() != 0, "dirty line with no primary words");
-    }
+    case verify::FaultKind::kPaFlag:
+      line.strike_pa_flag(rng() % n);
+      return true;
+    case verify::FaultKind::kAaFlag:
+      line.strike_aa_flag(rng() % n);
+      return true;
+    case verify::FaultKind::kVcpFlag:
+      line.strike_vcp_flag(rng() % n);
+      return true;
+    default:
+      return false;  // drop/delay faults live in the hierarchy, not the array
   }
 }
 

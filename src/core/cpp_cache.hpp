@@ -13,11 +13,13 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cache/config.hpp"
 #include "compress/scheme.hpp"
 #include "core/compressed_line.hpp"
+#include "verify/fault.hpp"
 
 namespace cpc::core {
 
@@ -46,9 +48,10 @@ class CppCache {
   /// `affiliation_enabled = false` turns the level into a plain partial-line
   /// cache: no affiliated packing, demotion, or affiliated hits (used by the
   /// per-level ablation).
+  /// `label` names this level in diagnostics ("L1", "L2").
   CppCache(cache::CacheGeometry geometry, compress::Scheme scheme,
            std::uint32_t affiliation_mask = cache::kAffiliationMask,
-           bool affiliation_enabled = true);
+           bool affiliation_enabled = true, std::string label = "CppCache");
 
   const cache::CacheGeometry& geometry() const { return geo_; }
   const compress::Scheme& scheme() const { return scheme_; }
@@ -100,8 +103,20 @@ class CppCache {
   std::uint32_t demote_into_affiliated(std::uint32_t line_addr, std::uint32_t mask,
                                        std::span<const std::uint32_t> words);
 
-  /// Checks the structural invariants of every resident line (asserts).
+  /// Audits `host` and then drops its affiliated words. Callers outside the
+  /// cache must use this instead of CompressedLine::drop_all_affiliated(),
+  /// which resets the line ECC from current state and would silently launder
+  /// a prior strike on the outgoing copy.
+  void drop_affiliated_copy(CompressedLine& host);
+
+  /// Checks the structural invariants and per-line ECC of every resident
+  /// line; throws cpc::InvariantViolation carrying a Diagnostic.
   void validate() const;
+
+  /// Inflicts a strike-type fault (payload bit or PA/AA/VCP flag flip) on a
+  /// pseudo-randomly chosen resident line, bypassing ECC maintenance.
+  /// Returns false when no suitable target line is resident.
+  bool strike_random(const verify::FaultCommand& command);
 
   /// Counters the hierarchy exposes.
   std::uint64_t demotions() const { return demotions_; }
@@ -111,10 +126,19 @@ class CppCache {
  private:
   CompressedLine& victim_way(std::uint32_t set);
 
+  /// Always-on ECC audit of a line whose content is about to leave the
+  /// cache (eviction write-back, demotion, promotion): the last moment a
+  /// strike can be caught before it propagates.
+  void audit_line(const CompressedLine& line, const char* stage) const;
+
+  /// Structural + ECC checks for one resident line.
+  void validate_line(const CompressedLine& line) const;
+
   cache::CacheGeometry geo_;
   compress::Scheme scheme_;
   std::uint32_t mask_;
   bool affiliation_enabled_;
+  std::string label_;
   std::vector<CompressedLine> lines_;  // sets * ways
   std::uint64_t clock_ = 0;
   std::uint64_t demotions_ = 0;

@@ -1,7 +1,11 @@
 #include "core/cpp_hierarchy.hpp"
 
+#include <bit>
 #include <cassert>
+#include <random>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace cpc::core {
 
@@ -15,9 +19,9 @@ constexpr std::uint32_t full_mask(std::uint32_t n) {
 CppHierarchy::CppHierarchy(Options options)
     : options_(std::move(options)),
       l1_(options_.config.l1, options_.scheme, options_.affiliation_mask,
-          options_.prefetch_l1),
+          options_.prefetch_l1, "L1"),
       l2_(options_.config.l2, options_.scheme, options_.affiliation_mask,
-          options_.prefetch_l2),
+          options_.prefetch_l2, "L2"),
       l1_sink_(*this),
       l2_sink_(*this) {}
 
@@ -69,6 +73,13 @@ CppHierarchy::L2View CppHierarchy::ensure_l2_word(std::uint32_t addr,
   result.l2_miss = true;
   result.served_by = cache::ServedBy::kMemory;
   result.latency = options_.config.latency.memory;
+  if (delay_armed_) {
+    // Armed kDelayFill: the fill completes late but completely. Purely a
+    // timing fault — the campaign classifies it as timing-only.
+    result.latency += delay_cycles_;
+    delay_armed_ = false;
+    ++faults_fired_;
+  }
   ++stats_.l2_misses;
   ++stats_.mem_fetch_lines;
 
@@ -119,6 +130,39 @@ IncomingLine CppHierarchy::l2_request_word(std::uint32_t addr,
     }
   }
   assert((resp.present >> options_.config.l1.word_of(addr)) & 1u);
+  // The response must carry every word the L2 view makes available to this
+  // half-line window — the fill-path completeness check the hardware would
+  // do against the response's word-valid vector.
+  const std::uint32_t expected = resp.present;
+
+  if (drop_armed_) {
+    // Armed kDropResponseWord: lose one non-demanded word of the response in
+    // flight. If the response carries only the demanded word, the fault
+    // stays armed for the next wider response.
+    const std::uint32_t demanded = options_.config.l1.word_of(addr);
+    std::uint32_t candidates = resp.present & ~(1u << demanded);
+    if (candidates != 0) {
+      std::mt19937_64 rng(drop_seed_);
+      std::uint32_t pick = static_cast<std::uint32_t>(rng() % std::popcount(candidates));
+      std::uint32_t bit = 0;
+      for (std::uint32_t i = 0; i < n1; ++i) {
+        if (!((candidates >> i) & 1u)) continue;
+        if (pick-- == 0) {
+          bit = i;
+          break;
+        }
+      }
+      resp.present &= ~(1u << bit);
+      drop_armed_ = false;
+      ++faults_fired_;
+    }
+  }
+
+  check_diag(resp.present == expected, [&] {
+    return Diagnostic{Invariant::kResponseIncomplete, name() + "::l2_response",
+                      stats_.accesses(), l1_line,
+                      "partial-line response is missing words the L2 view holds"};
+  });
 
   if (options_.prefetch_l1) {
     // Pack the compressible words of the L1 affiliated line. With the
@@ -179,7 +223,9 @@ void CppHierarchy::accept_l1_writeback(std::uint32_t l1_line, std::uint32_t mask
         line = &l2_.promote(q, l2_sink_);
         ++stats_.partial_promotions;
       } else {
-        host->drop_all_affiliated();
+        // Audited drop: a plain drop_all_affiliated() would reset the line
+        // ECC and launder any strike on the outgoing copy.
+        l2_.drop_affiliated_copy(*host);
       }
     }
   }
@@ -295,9 +341,39 @@ cache::AccessResult CppHierarchy::write(std::uint32_t addr, std::uint32_t value)
   return result;
 }
 
+bool CppHierarchy::inject_fault(const verify::FaultCommand& command) {
+  switch (command.kind) {
+    case verify::FaultKind::kDropResponseWord:
+      drop_armed_ = true;
+      drop_seed_ = command.seed;
+      return true;
+    case verify::FaultKind::kDelayFill:
+      delay_armed_ = true;
+      delay_cycles_ = command.delay_cycles;
+      return true;
+    default:
+      return (command.level == 2 ? l2_ : l1_).strike_random(command);
+  }
+}
+
 void CppHierarchy::validate() const {
   l1_.validate();
   l2_.validate();
+  // Paper section 3.3 fetch accounting: every L2 miss moves exactly one
+  // uncompressed L2 line over the bus (the affiliated words ride in the
+  // compression slack for free), so fetch traffic is a pure function of the
+  // miss count. A divergence means a counter or the metering is corrupted.
+  const std::uint64_t n2 = options_.config.l2.words_per_line();
+  check_diag(
+      stats_.traffic.fetch_half_units() == 2 * n2 * stats_.mem_fetch_lines, [&] {
+        return Diagnostic{Invariant::kTrafficMismatch, name() + "::validate",
+                          stats_.accesses(), 0,
+                          "fetch traffic (" +
+                              std::to_string(stats_.traffic.fetch_half_units()) +
+                              " half-units) disagrees with " +
+                              std::to_string(stats_.mem_fetch_lines) +
+                              " line fetches of " + std::to_string(n2) + " words"};
+      });
 }
 
 }  // namespace cpc::core

@@ -45,6 +45,14 @@ class CppHierarchy : public cache::MemoryHierarchy {
   std::string name() const override { return options_.name; }
   void validate() const override;
 
+  /// Strike faults land immediately in the addressed level; drop/delay
+  /// faults arm a one-shot trigger consumed by the next qualifying
+  /// response/fill. Returns false when a strike found no resident target.
+  bool inject_fault(const verify::FaultCommand& command) override;
+
+  /// Number of armed drop/delay faults that have actually fired.
+  std::uint64_t faults_fired() const { return faults_fired_; }
+
   const CppCache& l1() const { return l1_; }
   const CppCache& l2() const { return l2_; }
   mem::SparseMemory& memory() { return memory_; }
@@ -109,6 +117,13 @@ class CppHierarchy : public cache::MemoryHierarchy {
   mem::SparseMemory memory_;
   L1Sink l1_sink_;
   L2Sink l2_sink_;
+
+  // One-shot armed faults (kDropResponseWord / kDelayFill).
+  bool drop_armed_ = false;
+  std::uint64_t drop_seed_ = 0;
+  bool delay_armed_ = false;
+  unsigned delay_cycles_ = 0;
+  std::uint64_t faults_fired_ = 0;
 };
 
 }  // namespace cpc::core

@@ -4,13 +4,29 @@
 // 3.0's default RUU size of 16 (the paper's 8-entry LD/ST queue is also the
 // SimpleScalar default, suggesting the defaults were kept).
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 
 #include "cache/config.hpp"
 
 namespace cpc::cpu {
 
+/// Thrown by OooCore::run when the cooperative cancel flag below is raised
+/// (sweep watchdog timeouts). Derives from runtime_error so containment
+/// layers can report it like any other job failure.
+class SimulationCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct CoreConfig {
+  /// When non-null, polled periodically by OooCore::run; raising the flag
+  /// makes the run throw SimulationCancelled within a bounded number of
+  /// simulated cycles. Used by the sweep watchdog — the simulation threads
+  /// stay joinable instead of being killed.
+  const std::atomic<bool>* cancel = nullptr;
+
   unsigned fetch_width = 4;
   unsigned issue_width = 4;
   unsigned commit_width = 4;

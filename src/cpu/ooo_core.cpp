@@ -74,6 +74,14 @@ CoreStats OooCore::run(std::span<const MicroOp> trace) {
   outstanding_miss_ends_.clear();
 
   while (committed < trace.size()) {
+    // Cooperative cancellation (sweep watchdog): cheap mask test, polled
+    // every 256 cycles so a hung configuration still reacts promptly.
+    if ((cycle & 255u) == 0 && cfg_.cancel != nullptr &&
+        cfg_.cancel->load(std::memory_order_relaxed)) {
+      throw SimulationCancelled("simulation cancelled at cycle " +
+                                std::to_string(cycle));
+    }
+
     // ---- commit (in order) ------------------------------------------
     unsigned committed_now = 0;
     while (!window_.empty() && committed_now < cfg_.commit_width) {

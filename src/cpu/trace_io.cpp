@@ -86,10 +86,45 @@ Trace read_trace(std::istream& in) {
   if (version != kTraceVersion) {
     throw TraceIoError("unsupported trace version " + std::to_string(version));
   }
+  if (get_u32(header + 12) != 0) {
+    throw TraceIoError("nonzero reserved header field");
+  }
   const std::uint64_t count = get_u64(header + 16);
 
+  // Hostile-header guard: never trust `count` for allocation. When the
+  // stream is seekable, a count whose encoded size exceeds the bytes
+  // actually present is rejected up front (the division form is
+  // overflow-safe for any 64-bit count). Unseekable streams fall back to a
+  // capped reserve — a lying count then costs at most one modest
+  // allocation before the truncation check below fires.
+  std::uint64_t known_remaining = 0;
+  bool seekable = false;
+  const std::istream::pos_type here = in.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    if (end != std::istream::pos_type(-1)) {
+      seekable = true;
+      known_remaining = static_cast<std::uint64_t>(end - here);
+      in.seekg(here);
+    } else {
+      in.clear();
+      in.seekg(here);
+    }
+  } else {
+    in.clear();
+  }
+  if (seekable && count > known_remaining / kOpBytes) {
+    throw TraceIoError("op count " + std::to_string(count) +
+                       " exceeds stream size (" +
+                       std::to_string(known_remaining / kOpBytes) +
+                       " ops of payload)");
+  }
+
+  constexpr std::uint64_t kUnseekableReserveCap = 1u << 20;
   Trace trace;
-  trace.reserve(count);
+  trace.reserve(static_cast<std::size_t>(
+      seekable ? count : std::min<std::uint64_t>(count, kUnseekableReserveCap)));
   std::array<char, 4096 * kOpBytes> buffer;
   std::uint64_t remaining = count;
   while (remaining > 0) {

@@ -33,6 +33,28 @@ class SparseMemory {
   /// Number of pages that have been written at least once.
   std::size_t resident_pages() const { return pages_.size(); }
 
+  /// Order-independent hash over all nonzero words (zero words are
+  /// indistinguishable from unwritten locations by construction). Used by
+  /// the fault campaign to compare a faulted run's final memory image
+  /// against the golden run's.
+  std::uint64_t fingerprint() const {
+    std::uint64_t fp = 0;
+    for (const auto& [page_no, page] : pages_) {
+      const std::uint32_t base = page_no * kPageBytes;
+      for (std::uint32_t i = 0; i < kWordsPerPage; ++i) {
+        const std::uint32_t v = page->words[i];
+        if (v == 0) continue;
+        std::uint64_t x = (static_cast<std::uint64_t>(base + i * 4) << 32) | v;
+        x *= 0x9e3779b97f4a7c15ull;
+        x ^= x >> 29;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 32;
+        fp += x;  // addition commutes: page iteration order cannot matter
+      }
+    }
+    return fp;
+  }
+
   void clear() { pages_.clear(); }
 
  private:

@@ -31,8 +31,16 @@ class TrafficMeter {
   double writeback_words() const { return static_cast<double>(wb_half_units_) / 2.0; }
 
   std::uint64_t half_units() const { return fetch_half_units_ + wb_half_units_; }
+  std::uint64_t fetch_half_units() const { return fetch_half_units_; }
+  std::uint64_t writeback_half_units() const { return wb_half_units_; }
 
   void reset() { fetch_half_units_ = wb_half_units_ = 0; }
+
+  /// Restores exact counts (sweep-journal resume).
+  void restore(std::uint64_t fetch_half_units, std::uint64_t wb_half_units) {
+    fetch_half_units_ = fetch_half_units;
+    wb_half_units_ = wb_half_units;
+  }
 
   /// Accumulates another meter's counts (multi-seed aggregation).
   void merge(const TrafficMeter& other) {

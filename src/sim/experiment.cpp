@@ -7,6 +7,7 @@
 #include "cache/baseline_hierarchy.hpp"
 #include "cache/prefetch_hierarchy.hpp"
 #include "core/cpp_hierarchy.hpp"
+#include "verify/metadata_auditor.hpp"
 
 namespace cpc::sim {
 
@@ -52,10 +53,23 @@ std::unique_ptr<cache::MemoryHierarchy> make_hierarchy(
 RunResult run_trace_on(std::span<const cpu::MicroOp> trace,
                        cache::MemoryHierarchy& hierarchy,
                        const cpu::CoreConfig& core_config) {
-  cpu::OooCore core(core_config, hierarchy);
   RunResult result;
   result.config = hierarchy.name();
-  result.core = core.run(trace);
+  const std::uint64_t stride = verify::MetadataAuditor::stride_from_env();
+  if (stride != 0 && dynamic_cast<verify::GuardedHierarchy*>(&hierarchy) == nullptr) {
+    // Always-on metadata audits: every simulation runs under the auditor
+    // unless CPC_AUDIT_STRIDE=0 (or the caller already wrapped the
+    // hierarchy, e.g. the fault campaign).
+    verify::GuardedHierarchy guard(hierarchy, stride);
+    cpu::OooCore core(core_config, guard);
+    result.core = core.run(trace);
+  } else {
+    cpu::OooCore core(core_config, hierarchy);
+    result.core = core.run(trace);
+  }
+  // End-of-run structural audit: cheap relative to a whole run and catches
+  // corruption that surfaced after the last stride audit.
+  hierarchy.validate();
   result.hierarchy = hierarchy.stats();
   return result;
 }

@@ -46,9 +46,13 @@ struct JobResult {
   std::size_t index = 0;  ///< position in the submitted job vector
   std::string tag;
   RunResult run;
+  /// True once the job completed (set by SweepRunner; false for the
+  /// placeholder slots of failed jobs in a contained sweep).
+  bool ok = false;
 
   /// The hierarchy the job ran on, kept alive so harnesses can read
   /// implementation-specific counters (victim hits, shared frames, ...).
+  /// Null for results restored from a sweep journal.
   std::unique_ptr<cache::MemoryHierarchy> hierarchy;
 
   double wall_seconds = 0.0;   ///< simulation time, excluding trace generation

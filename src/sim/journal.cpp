@@ -1,0 +1,201 @@
+#include "sim/journal.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cpc::sim {
+
+namespace {
+
+constexpr char kMagic[] = "cpc-sweep-journal";
+constexpr char kVersion[] = "v1";
+
+void fnv1a(std::uint64_t& hash, std::string_view bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+}
+
+void fnv1a_u64(std::uint64_t& hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffu;
+    hash *= 0x100000001b3ull;
+  }
+}
+
+/// Percent-escapes spaces, newlines, '%' and empty strings so every field
+/// is one non-empty whitespace-free token.
+std::string escape(std::string_view s) {
+  if (s.empty()) return "%-";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t' || c == '%') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view s) {
+  if (s == "%-") return "";
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      out += static_cast<char>(std::stoi(std::string(s.substr(i + 1, 2)), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+/// The counters an `ok` line serializes, in order. Kept in one place so the
+/// writer and the parser cannot drift.
+std::vector<std::uint64_t> pack_counters(const JobResult& r) {
+  const cpu::CoreStats& c = r.run.core;
+  const cache::HierarchyStats& h = r.run.hierarchy;
+  return {
+      c.cycles,        c.committed,      c.loads,
+      c.stores,        c.branches,       c.mispredicts,
+      c.icache_misses, c.value_mismatches, c.miss_cycles,
+      c.ready_sum_miss_cycles, c.ready_sum_all_cycles, c.ops_depending_on_miss,
+      h.reads,         h.writes,         h.l1_misses,
+      h.l2_misses,     h.l1_affiliated_hits, h.l2_affiliated_hits,
+      h.l1_pbuf_hits,  h.l2_pbuf_hits,   h.l1_writebacks,
+      h.mem_writebacks, h.mem_fetch_lines, h.prefetch_lines,
+      h.l1_prefetch_inserts, h.l2_prefetch_inserts, h.partial_promotions,
+      h.affiliated_demotions, h.traffic.fetch_half_units(),
+      h.traffic.writeback_half_units(),
+  };
+}
+
+void unpack_counters(const std::vector<std::uint64_t>& v, JobResult& r) {
+  cpu::CoreStats& c = r.run.core;
+  cache::HierarchyStats& h = r.run.hierarchy;
+  std::size_t i = 0;
+  c.cycles = v[i++]; c.committed = v[i++]; c.loads = v[i++];
+  c.stores = v[i++]; c.branches = v[i++]; c.mispredicts = v[i++];
+  c.icache_misses = v[i++]; c.value_mismatches = v[i++]; c.miss_cycles = v[i++];
+  c.ready_sum_miss_cycles = v[i++]; c.ready_sum_all_cycles = v[i++];
+  c.ops_depending_on_miss = v[i++];
+  h.reads = v[i++]; h.writes = v[i++]; h.l1_misses = v[i++];
+  h.l2_misses = v[i++]; h.l1_affiliated_hits = v[i++]; h.l2_affiliated_hits = v[i++];
+  h.l1_pbuf_hits = v[i++]; h.l2_pbuf_hits = v[i++]; h.l1_writebacks = v[i++];
+  h.mem_writebacks = v[i++]; h.mem_fetch_lines = v[i++]; h.prefetch_lines = v[i++];
+  h.l1_prefetch_inserts = v[i++]; h.l2_prefetch_inserts = v[i++];
+  h.partial_promotions = v[i++]; h.affiliated_demotions = v[i++];
+  const std::uint64_t fetch_half = v[i++];
+  const std::uint64_t wb_half = v[i++];
+  h.traffic.restore(fetch_half, wb_half);
+}
+
+constexpr std::size_t kCounterCount = 30;
+
+std::string header_line(std::uint64_t fingerprint, std::size_t jobs) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %s grid=%016llx jobs=%zu", kMagic, kVersion,
+                static_cast<unsigned long long>(fingerprint), jobs);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t grid_fingerprint(const std::vector<Job>& jobs) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  fnv1a_u64(hash, jobs.size());
+  for (const Job& job : jobs) {
+    fnv1a(hash, job.tag);
+    fnv1a(hash, job.workload.name);
+    fnv1a_u64(hash, job.trace_ops);
+    fnv1a_u64(hash, job.seed);
+    fnv1a_u64(hash, job.trace ? job.trace->size() : 0);
+  }
+  return hash;
+}
+
+SweepJournal::Restored SweepJournal::load(const std::string& path,
+                                          std::uint64_t fingerprint,
+                                          std::size_t jobs) {
+  Restored restored;
+  restored.results.resize(jobs);
+
+  std::ifstream in(path);
+  if (!in) return restored;
+  std::string line;
+  if (!std::getline(in, line) || line != header_line(fingerprint, jobs)) {
+    return restored;  // foreign or mismatched journal: restore nothing
+  }
+  restored.header_matched = true;
+
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string kind;
+    std::size_t index = 0;
+    if (!(fields >> kind >> index) || index >= jobs) continue;
+    if (kind == "fail") {
+      // Last-wins: a trailing failure re-opens the job for the resumed run.
+      restored.results[index].reset();
+      continue;
+    }
+    if (kind != "ok") continue;
+    std::string tag, config;
+    JobResult result;
+    if (!(fields >> tag >> config >> result.wall_seconds >> result.ops_per_second)) {
+      continue;  // truncated line (the process died mid-write)
+    }
+    std::vector<std::uint64_t> counters(kCounterCount);
+    bool complete = true;
+    for (std::uint64_t& counter : counters) {
+      if (!(fields >> counter)) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) continue;
+    result.index = index;
+    result.tag = unescape(tag);
+    result.run.config = unescape(config);
+    unpack_counters(counters, result);
+    result.ok = true;
+    restored.results[index] = std::move(result);
+  }
+  restored.restored_ok = 0;
+  for (const auto& slot : restored.results) {
+    if (slot) ++restored.restored_ok;
+  }
+  return restored;
+}
+
+SweepJournal::SweepJournal(const std::string& path, std::uint64_t fingerprint,
+                           std::size_t jobs, bool append) {
+  out_.open(path, append ? (std::ios::out | std::ios::app)
+                         : (std::ios::out | std::ios::trunc));
+  if (!out_) throw std::runtime_error("cannot open sweep journal: " + path);
+  if (!append) out_ << header_line(fingerprint, jobs) << '\n' << std::flush;
+}
+
+void SweepJournal::record_ok(const JobResult& result) {
+  std::ostringstream line;
+  line << "ok " << result.index << ' ' << escape(result.tag) << ' '
+       << escape(result.run.config) << ' ' << result.wall_seconds << ' '
+       << result.ops_per_second;
+  for (const std::uint64_t counter : pack_counters(result)) line << ' ' << counter;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line.str() << '\n' << std::flush;
+}
+
+void SweepJournal::record_failure(std::size_t index, const std::string& what) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << "fail " << index << ' ' << escape(what) << '\n' << std::flush;
+}
+
+}  // namespace cpc::sim

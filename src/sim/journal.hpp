@@ -1,0 +1,64 @@
+#pragma once
+// Checkpoint/resume journal for contained sweeps (SweepRunner::run_contained).
+//
+// A journal is a line-oriented text file:
+//
+//   cpc-sweep-journal v1 grid=<hex64> jobs=<N>
+//   ok <index> <tag> <config> <wall_seconds> <ops_per_second> <counters...>
+//   fail <index> <what>
+//
+// The header's grid fingerprint hashes every job's identity (tag, workload,
+// ops, seed, pre-supplied trace length), so a journal is only replayed
+// against the sweep that wrote it. Entries are append-only and last-wins
+// per job index: a killed sweep leaves a valid prefix, the resumed sweep
+// skips every job with a final `ok` entry and re-runs the rest (including
+// jobs whose last entry is `fail`). Strings are percent-escaped so tags and
+// error texts cannot break the line format.
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/job.hpp"
+
+namespace cpc::sim {
+
+/// Order-sensitive FNV-1a hash over the identity of every job in the grid.
+std::uint64_t grid_fingerprint(const std::vector<Job>& jobs);
+
+class SweepJournal {
+ public:
+  struct Restored {
+    /// results[i] is set iff the journal's final entry for job i is `ok`.
+    /// Restored results carry full statistics but a null hierarchy pointer.
+    std::vector<std::optional<JobResult>> results;
+    std::size_t restored_ok = 0;
+    bool header_matched = false;  ///< file existed with the right grid/jobs
+  };
+
+  /// Parses `path` if it exists. A missing file, foreign header, or
+  /// mismatched grid fingerprint restores nothing (the journal will be
+  /// rewritten from scratch). Truncated trailing lines are ignored.
+  static Restored load(const std::string& path, std::uint64_t fingerprint,
+                       std::size_t jobs);
+
+  /// Opens the journal for writing. `append` continues a matched journal
+  /// (resume); otherwise the file is truncated and a fresh header written.
+  /// Throws std::runtime_error when the file cannot be opened.
+  SweepJournal(const std::string& path, std::uint64_t fingerprint,
+               std::size_t jobs, bool append);
+
+  /// Thread-safe, flushed per entry so a killed process loses at most the
+  /// entry being written.
+  void record_ok(const JobResult& result);
+  void record_failure(std::size_t index, const std::string& what);
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace cpc::sim

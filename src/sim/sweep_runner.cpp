@@ -1,13 +1,18 @@
 #include "sim/sweep_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <future>
 #include <iostream>
+#include <list>
 #include <thread>
 #include <utility>
+
+#include "sim/journal.hpp"
 
 namespace cpc::sim {
 
@@ -110,6 +115,109 @@ void SweepRunner::parallel_for(
   }
 }
 
+namespace {
+
+/// One background thread that raises per-job cancel flags when their
+/// wall-clock deadline passes. Jobs register/deregister around each
+/// attempt; the simulation notices the flag cooperatively.
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::milliseconds budget) : budget_(budget) {
+    if (budget_.count() > 0) thread_ = std::thread([this] { loop(); });
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool enabled() const { return budget_.count() > 0; }
+
+  class Scope {
+   public:
+    Scope(Watchdog& dog, std::atomic<bool>* flag) : dog_(dog) {
+      if (dog_.enabled()) {
+        std::lock_guard<std::mutex> lock(dog_.mutex_);
+        it_ = dog_.entries_.insert(
+            dog_.entries_.end(),
+            {std::chrono::steady_clock::now() + dog_.budget_, flag});
+        armed_ = true;
+      }
+    }
+    ~Scope() {
+      if (armed_) {
+        std::lock_guard<std::mutex> lock(dog_.mutex_);
+        dog_.entries_.erase(it_);
+      }
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Watchdog& dog_;
+    std::list<std::pair<std::chrono::steady_clock::time_point,
+                        std::atomic<bool>*>>::iterator it_;
+    bool armed_ = false;
+  };
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& [deadline, flag] : entries_) {
+        if (now >= deadline) flag->store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::chrono::milliseconds budget_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::list<std::pair<std::chrono::steady_clock::time_point, std::atomic<bool>*>>
+      entries_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// The body both run() and run_contained() share: one complete simulation
+/// of jobs[i] into results-slot `out`.
+void execute_job(const Job& job, std::size_t i, TraceCache& traces,
+                 JobResult& out) {
+  out.index = i;
+  out.tag = job.tag;
+  const std::shared_ptr<const cpu::Trace> trace =
+      job.trace ? job.trace : traces.get(job.workload, job.trace_ops, job.seed);
+
+  auto hierarchy = job.make_hierarchy();
+  const auto start = std::chrono::steady_clock::now();
+  out.run = run_trace_on(*trace, *hierarchy, job.core_config);
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.ops_per_second =
+      out.wall_seconds > 0.0
+          ? static_cast<double>(out.run.core.committed) / out.wall_seconds
+          : 0.0;
+  out.hierarchy = std::move(hierarchy);
+  out.ok = true;
+}
+
+}  // namespace
+
+RunOptions RunOptions::from_env() {
+  RunOptions options;
+  if (const char* env = std::getenv("CPC_JOB_TIMEOUT_MS")) {
+    options.job_timeout_ms = std::strtoull(env, nullptr, 10);
+  }
+  return options;
+}
+
 std::vector<JobResult> SweepRunner::run(std::vector<Job> jobs,
                                         bool quiet) const {
   std::vector<JobResult> results(jobs.size());
@@ -120,23 +228,7 @@ std::vector<JobResult> SweepRunner::run(std::vector<Job> jobs,
   parallel_for(jobs.size(), [&](std::size_t i) {
     const Job& job = jobs[i];
     JobResult& out = results[i];
-    out.index = i;
-    out.tag = job.tag;
-
-    const std::shared_ptr<const cpu::Trace> trace =
-        job.trace ? job.trace : traces.get(job.workload, job.trace_ops, job.seed);
-
-    auto hierarchy = job.make_hierarchy();
-    const auto start = std::chrono::steady_clock::now();
-    out.run = run_trace_on(*trace, *hierarchy, job.core_config);
-    out.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    out.ops_per_second =
-        out.wall_seconds > 0.0
-            ? static_cast<double>(out.run.core.committed) / out.wall_seconds
-            : 0.0;
-    out.hierarchy = std::move(hierarchy);
+    execute_job(job, i, traces, out);
 
     const std::size_t done = completed.fetch_add(1) + 1;
     if (!quiet) {
@@ -148,6 +240,104 @@ std::vector<JobResult> SweepRunner::run(std::vector<Job> jobs,
     }
   });
   return results;
+}
+
+RunReport SweepRunner::run_contained(std::vector<Job> jobs,
+                                     const RunOptions& options) const {
+  RunReport report;
+  report.results.resize(jobs.size());
+
+  // Journal restore: completed jobs of a previous (killed) invocation of
+  // the same grid are taken as-is and never re-simulated.
+  std::vector<bool> restored(jobs.size(), false);
+  std::unique_ptr<SweepJournal> journal;
+  if (!options.journal_path.empty()) {
+    const std::uint64_t fingerprint = grid_fingerprint(jobs);
+    SweepJournal::Restored prior =
+        SweepJournal::load(options.journal_path, fingerprint, jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (prior.results[i]) {
+        report.results[i] = std::move(*prior.results[i]);
+        restored[i] = true;
+      }
+    }
+    report.resumed = prior.restored_ok;
+    journal = std::make_unique<SweepJournal>(options.journal_path, fingerprint,
+                                             jobs.size(),
+                                             /*append=*/prior.header_matched);
+    if (!options.quiet && report.resumed > 0) {
+      std::cerr << "  resuming: " << report.resumed << "/" << jobs.size()
+                << " jobs restored from " << options.journal_path << "\n";
+    }
+  }
+
+  TraceCache traces;
+  Watchdog watchdog(std::chrono::milliseconds(options.job_timeout_ms));
+  std::atomic<std::size_t> completed{static_cast<std::size_t>(report.resumed)};
+  std::mutex log_mutex;
+  std::mutex failures_mutex;
+
+  parallel_for(jobs.size(), [&](std::size_t i) {
+    if (restored[i]) return;
+    const Job& job = jobs[i];
+    JobResult& out = report.results[i];
+
+    JobFailure failure;
+    failure.index = i;
+    failure.tag = job.tag;
+    const unsigned attempts = 1 + options.retries;
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+      failure.attempts = attempt + 1;
+      failure.timed_out = false;
+      failure.diagnostic.reset();
+      std::atomic<bool> cancel{false};
+      Job guarded = job;  // per-attempt cancel wiring; the job stays const
+      guarded.core_config.cancel = watchdog.enabled() ? &cancel : nullptr;
+      try {
+        const Watchdog::Scope scope(watchdog, &cancel);
+        out = JobResult{};  // retries must not inherit a partial result
+        execute_job(guarded, i, traces, out);
+        break;
+      } catch (const InvariantViolation& violation) {
+        failure.what = violation.what();
+        failure.diagnostic = violation.diagnostic();
+      } catch (const cpu::SimulationCancelled& cancelled) {
+        failure.what = cancelled.what();
+        failure.timed_out = true;
+      } catch (const std::exception& error) {
+        failure.what = error.what();
+      } catch (...) {
+        failure.what = "unknown exception";
+      }
+    }
+
+    const std::size_t done = completed.fetch_add(1) + 1;
+    if (out.ok) {
+      if (journal) journal->record_ok(out);
+      if (!options.quiet) {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::cerr << "  [" << done << "/" << jobs.size() << "] "
+                  << (job.workload.name.empty() ? "<trace>" : job.workload.name)
+                  << "/" << out.run.config << ": " << out.run.core.cycles
+                  << " cycles (" << out.wall_seconds << "s)\n";
+      }
+    } else {
+      if (journal) journal->record_failure(i, failure.what);
+      if (!options.quiet) {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::cerr << "  [" << done << "/" << jobs.size() << "] job " << i << " ("
+                  << (failure.tag.empty() ? "untagged" : failure.tag)
+                  << ") FAILED after " << failure.attempts
+                  << " attempt(s): " << failure.what << "\n";
+      }
+      std::lock_guard<std::mutex> lock(failures_mutex);
+      report.failures.push_back(std::move(failure));
+    }
+  });
+
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const JobFailure& a, const JobFailure& b) { return a.index < b.index; });
+  return report;
 }
 
 }  // namespace cpc::sim

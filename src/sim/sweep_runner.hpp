@@ -9,12 +9,15 @@
 //   explicit constructor argument > CPC_JOBS env var > hardware_concurrency.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "cpu/micro_op.hpp"
 #include "sim/job.hpp"
 #include "workload/workloads.hpp"
@@ -43,6 +46,46 @@ class TraceCache {
   std::vector<std::unique_ptr<Entry>> entries_;
 };
 
+/// One failed job of a contained sweep (SweepRunner::run_contained).
+struct JobFailure {
+  std::size_t index = 0;
+  std::string tag;
+  std::string what;  ///< final attempt's exception text
+  /// Set when the failure was an InvariantViolation (structured identity of
+  /// the tripped invariant).
+  std::optional<Diagnostic> diagnostic;
+  bool timed_out = false;  ///< the watchdog cancelled the final attempt
+  unsigned attempts = 1;   ///< total attempts consumed (1 + retries used)
+};
+
+/// Policy knobs for run_contained.
+struct RunOptions {
+  bool quiet = false;
+  /// Extra attempts per failing job before it is recorded as failed.
+  unsigned retries = 0;
+  /// Wall-clock budget per job attempt, in milliseconds; 0 disables the
+  /// watchdog. The watchdog raises the job's cooperative cancel flag — the
+  /// simulation throws SimulationCancelled at its next poll; no thread is
+  /// ever killed.
+  std::uint64_t job_timeout_ms = 0;
+  /// Checkpoint/resume journal path; empty disables journaling. A journal
+  /// written by the same grid restores completed jobs (null hierarchy) and
+  /// re-runs the rest.
+  std::string journal_path;
+
+  /// Reads CPC_JOB_TIMEOUT_MS (and nothing else) on top of the defaults.
+  static RunOptions from_env();
+};
+
+/// Outcome of a contained sweep: one result slot per job (failed slots keep
+/// `ok == false`), plus the failure list in job-index order.
+struct RunReport {
+  std::vector<JobResult> results;
+  std::vector<JobFailure> failures;
+  std::size_t resumed = 0;  ///< jobs restored from the journal, not re-run
+  bool all_ok() const { return failures.empty(); }
+};
+
 class SweepRunner {
  public:
   /// `threads` = 0 resolves via default_job_count().
@@ -63,6 +106,14 @@ class SweepRunner {
   /// per (workload, ops, seed) via an internal TraceCache. Progress lines go
   /// to stderr unless `quiet` is set.
   std::vector<JobResult> run(std::vector<Job> jobs, bool quiet = false) const;
+
+  /// Fault-contained variant of run(): a throwing job is recorded as a
+  /// JobFailure (optionally after per-job retries) and the sweep continues;
+  /// a watchdog cancels attempts exceeding the per-job wall-clock budget;
+  /// completed jobs are checkpointed to the journal so a killed sweep
+  /// resumes where it left off. Unlike run(), never throws for job errors.
+  RunReport run_contained(std::vector<Job> jobs,
+                          const RunOptions& options = {}) const;
 
  private:
   unsigned threads_;

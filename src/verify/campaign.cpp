@@ -1,0 +1,136 @@
+#include "verify/campaign.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/cpp_hierarchy.hpp"
+#include "cpu/ooo_core.hpp"
+#include "verify/fault_injector.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc::verify {
+
+const char* fault_outcome_name(FaultOutcome outcome) {
+  switch (outcome) {
+    case FaultOutcome::kMasked: return "masked";
+    case FaultOutcome::kDetected: return "detected";
+    case FaultOutcome::kTimingOnly: return "timing-only";
+    case FaultOutcome::kSilent: return "silent";
+    case FaultOutcome::kNotInjected: return "not-injected";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Everything one run leaves behind that the classification compares.
+struct RunImage {
+  cpu::CoreStats core;
+  cache::HierarchyStats hierarchy;
+  std::uint64_t memory_fingerprint = 0;
+  bool fault_injected = false;
+  bool violation = false;
+  std::string violation_text;
+};
+
+RunImage run_once(std::span<const cpu::MicroOp> trace,
+                  const CampaignOptions& options, const FaultPlan* plan) {
+  auto cpp = std::make_unique<core::CppHierarchy>();
+  core::CppHierarchy* raw = cpp.get();
+  GuardedHierarchy guard(std::move(cpp), options.audit_stride);
+  if (plan != nullptr) guard.arm_fault(*plan);
+
+  RunImage image;
+  try {
+    cpu::OooCore core(cpu::CoreConfig{}, guard);
+    image.core = core.run(trace);
+    // End-of-run audit: full structural walk plus counter monotonicity —
+    // catches strikes still resident when the trace ends.
+    MetadataAuditor final_audit(/*stride=*/1);
+    final_audit.audit_now(guard.inner());
+  } catch (const InvariantViolation& violation) {
+    image.violation = true;
+    image.violation_text = violation.what();
+  }
+  image.hierarchy = guard.stats();
+  image.memory_fingerprint = raw->memory().fingerprint();
+  image.fault_injected = guard.fault_injected();
+  return image;
+}
+
+bool architecturally_equal(const RunImage& golden, const RunImage& faulted) {
+  return faulted.core.committed == golden.core.committed &&
+         faulted.core.value_mismatches == 0 &&
+         faulted.memory_fingerprint == golden.memory_fingerprint;
+}
+
+bool bit_identical(const RunImage& golden, const RunImage& faulted) {
+  const cache::HierarchyStats& a = golden.hierarchy;
+  const cache::HierarchyStats& b = faulted.hierarchy;
+  return faulted.core.cycles == golden.core.cycles &&
+         a.l1_misses == b.l1_misses && a.l2_misses == b.l2_misses &&
+         a.l1_affiliated_hits == b.l1_affiliated_hits &&
+         a.l2_affiliated_hits == b.l2_affiliated_hits &&
+         a.mem_fetch_lines == b.mem_fetch_lines &&
+         a.mem_writebacks == b.mem_writebacks &&
+         a.partial_promotions == b.partial_promotions &&
+         a.affiliated_demotions == b.affiliated_demotions &&
+         a.traffic.fetch_half_units() == b.traffic.fetch_half_units() &&
+         a.traffic.writeback_half_units() == b.traffic.writeback_half_units();
+}
+
+FaultOutcome classify(const RunImage& golden, const RunImage& faulted) {
+  if (faulted.violation) return FaultOutcome::kDetected;
+  if (!faulted.fault_injected) return FaultOutcome::kNotInjected;
+  if (!architecturally_equal(golden, faulted)) return FaultOutcome::kSilent;
+  if (bit_identical(golden, faulted)) return FaultOutcome::kMasked;
+  return FaultOutcome::kTimingOnly;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  const workload::Workload& wl = workload::find_workload(options.workload);
+  const cpu::Trace trace =
+      workload::generate(wl, {options.trace_ops, options.workload_seed});
+
+  const RunImage golden = run_once(trace, options, nullptr);
+  if (golden.violation) {
+    throw std::runtime_error("golden run failed validation for " +
+                             options.workload + ": " + golden.violation_text);
+  }
+  if (golden.core.value_mismatches != 0) {
+    throw std::runtime_error("golden run has value mismatches for " +
+                             options.workload);
+  }
+
+  CampaignResult result;
+  result.workload = options.workload;
+  result.golden_cycles = golden.core.cycles;
+  result.golden_accesses = golden.hierarchy.reads + golden.hierarchy.writes;
+
+  FaultInjector injector(options.master_seed);
+  for (std::size_t k = 0; k < options.faults; ++k) {
+    const FaultPlan plan = injector.plan(k, result.golden_accesses);
+    const RunImage faulted = run_once(trace, options, &plan);
+
+    FaultRecord record;
+    record.index = k;
+    record.command = plan.command;
+    record.trigger_access = plan.trigger_access;
+    record.outcome = classify(golden, faulted);
+    record.detection = faulted.violation_text;
+    result.records.push_back(std::move(record));
+
+    switch (result.records.back().outcome) {
+      case FaultOutcome::kMasked: ++result.masked; break;
+      case FaultOutcome::kDetected: ++result.detected; break;
+      case FaultOutcome::kTimingOnly: ++result.timing_only; break;
+      case FaultOutcome::kSilent: ++result.silent; break;
+      case FaultOutcome::kNotInjected: ++result.not_injected; break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cpc::verify

@@ -1,0 +1,77 @@
+#pragma once
+// Fault-injection campaign driver (tools/cpc_faultcamp).
+//
+// For one workload: run a fault-free *golden* simulation, then K seeded
+// faulted runs, each injecting exactly one FaultCommand at a pseudo-random
+// point of the run. Every fault must end in one of the benign buckets:
+//
+//   masked      — bit-identical stats and final memory image vs golden
+//   detected    — an audit threw InvariantViolation (structural or ECC)
+//   timing-only — kDelayFill faults: architecturally identical (same
+//                 committed ops, zero value mismatches, same memory image,
+//                 audits clean) but perf counters legitimately shifted,
+//                 because a late fill reorders issue
+//   not-injected— the strike found no resident target line the entire run
+//                 (counted separately; reported, never hidden)
+//
+// The one failure bucket is *silent*: corrupted data reached the
+// architectural state (a load returned a wrong value, memory image diverged)
+// without any audit firing. A campaign is clean iff silent == 0.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/fault.hpp"
+#include "verify/metadata_auditor.hpp"
+
+namespace cpc::verify {
+
+enum class FaultOutcome : std::uint8_t {
+  kMasked,
+  kDetected,
+  kTimingOnly,
+  kSilent,
+  kNotInjected,
+};
+
+const char* fault_outcome_name(FaultOutcome outcome);
+
+struct CampaignOptions {
+  std::string workload = "olden.treeadd";
+  std::size_t faults = 70;           ///< faulted runs per workload
+  std::uint64_t trace_ops = 60'000;  ///< trace length
+  std::uint64_t workload_seed = 0x5eed;
+  std::uint64_t master_seed = 0xfa017ca3;  ///< fault-schedule seed
+  std::uint64_t audit_stride = 4096;        ///< MetadataAuditor stride
+};
+
+struct FaultRecord {
+  std::size_t index = 0;
+  FaultCommand command;
+  std::uint64_t trigger_access = 0;
+  FaultOutcome outcome = FaultOutcome::kNotInjected;
+  std::string detection;  ///< diagnostic text when detected
+};
+
+struct CampaignResult {
+  std::string workload;
+  std::uint64_t golden_cycles = 0;
+  std::uint64_t golden_accesses = 0;
+  std::size_t masked = 0;
+  std::size_t detected = 0;
+  std::size_t timing_only = 0;
+  std::size_t silent = 0;
+  std::size_t not_injected = 0;
+  std::vector<FaultRecord> records;
+
+  std::size_t total() const { return records.size(); }
+  /// No silent corruption: the property the campaign asserts.
+  bool clean() const { return silent == 0; }
+};
+
+/// Runs one campaign. Throws std::runtime_error when the golden run itself
+/// fails validation (the campaign cannot classify against a broken golden).
+CampaignResult run_campaign(const CampaignOptions& options);
+
+}  // namespace cpc::verify

@@ -1,0 +1,47 @@
+#pragma once
+// Fault model for the robustness campaign (tools/cpc_faultcamp). A
+// FaultCommand describes one hardware-style fault a hierarchy should
+// inflict on itself: a bit flip in a stored payload word, a flipped
+// PA/AA/VCP metadata flag, a word dropped from a partial-line response in
+// flight, or a delayed fill. Hierarchies that support injection override
+// cache::MemoryHierarchy::inject_fault; the default implementation refuses
+// every command, so fault hooks are zero-cost for uninstrumented designs.
+//
+// This header is dependency-free on purpose: it is included from
+// cache/hierarchy.hpp, below every concrete cache implementation.
+
+#include <cstdint>
+
+namespace cpc::verify {
+
+enum class FaultKind : std::uint8_t {
+  kPayloadBit,        ///< flip one bit of a stored (primary) payload word
+  kPaFlag,            ///< flip one PA (primary availability) flag bit
+  kAaFlag,            ///< flip one AA (affiliated availability) flag bit
+  kVcpFlag,           ///< flip one VCP (value compressed) flag bit
+  kDropResponseWord,  ///< drop a non-demanded word from the next partial-line response
+  kDelayFill,         ///< add latency to the next memory fill
+};
+
+inline const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPayloadBit: return "payload-bit";
+    case FaultKind::kPaFlag: return "pa-flag";
+    case FaultKind::kAaFlag: return "aa-flag";
+    case FaultKind::kVcpFlag: return "vcp-flag";
+    case FaultKind::kDropResponseWord: return "drop-response-word";
+    case FaultKind::kDelayFill: return "delay-fill";
+  }
+  return "?";
+}
+
+/// One injectable fault. `seed` supplies all the entropy target selection
+/// needs (which line, which word, which bit), so a command is reproducible.
+struct FaultCommand {
+  FaultKind kind = FaultKind::kPayloadBit;
+  int level = 1;                ///< 1 = L1, 2 = L2 (strike kinds only)
+  std::uint64_t seed = 0;       ///< target-selection entropy
+  unsigned delay_cycles = 50;   ///< kDelayFill magnitude
+};
+
+}  // namespace cpc::verify

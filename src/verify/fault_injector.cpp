@@ -1,0 +1,44 @@
+#include "verify/fault_injector.hpp"
+
+namespace cpc::verify {
+
+const std::vector<FaultCommand>& FaultInjector::variants() {
+  static const std::vector<FaultCommand> kVariants = {
+      {FaultKind::kPayloadBit, 1, 0, 0},  {FaultKind::kPayloadBit, 2, 0, 0},
+      {FaultKind::kPaFlag, 1, 0, 0},      {FaultKind::kPaFlag, 2, 0, 0},
+      {FaultKind::kAaFlag, 1, 0, 0},      {FaultKind::kAaFlag, 2, 0, 0},
+      {FaultKind::kVcpFlag, 1, 0, 0},     {FaultKind::kVcpFlag, 2, 0, 0},
+      {FaultKind::kDropResponseWord, 1, 0, 0},
+      {FaultKind::kDelayFill, 1, 0, 50},
+  };
+  return kVariants;
+}
+
+std::uint64_t FaultInjector::fault_seed(std::size_t k, std::uint64_t salt) const {
+  // splitmix64 over (master_seed, k, salt): independent faults get
+  // independent target-selection entropy.
+  std::uint64_t x = master_seed_ + 0x9e3779b97f4a7c15ull * (k + 1) + salt;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+FaultCommand FaultInjector::command(std::size_t k) const {
+  FaultCommand cmd = variants()[k % variants().size()];
+  cmd.seed = fault_seed(k, /*salt=*/1);
+  return cmd;
+}
+
+FaultPlan FaultInjector::plan(std::size_t k, std::uint64_t total_accesses) const {
+  FaultPlan plan;
+  plan.command = command(k);
+  const std::uint64_t warmup = total_accesses / 8;
+  const std::uint64_t span = total_accesses > warmup ? total_accesses - warmup : 1;
+  plan.trigger_access = warmup + fault_seed(k, /*salt=*/2) % span;
+  return plan;
+}
+
+}  // namespace cpc::verify

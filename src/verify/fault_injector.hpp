@@ -1,0 +1,43 @@
+#pragma once
+// Seeded fault-schedule generation for the injection campaign.
+//
+// A FaultInjector turns (master_seed, fault index k) into a reproducible
+// FaultPlan: which FaultKind, which cache level, the per-fault entropy seed
+// the target selection consumes, and the access ordinal the fault triggers
+// at. Campaigns rotate through all supported fault variants so every K
+// consecutive faults cover the whole fault model.
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/fault.hpp"
+#include "verify/metadata_auditor.hpp"
+
+namespace cpc::verify {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+  /// The rotation of fault variants a campaign cycles through: every strike
+  /// kind at both levels, plus the in-flight drop and delay faults.
+  static const std::vector<FaultCommand>& variants();
+
+  /// The k-th fault command: variant k mod |variants|, with a per-fault
+  /// seed derived from (master_seed, k).
+  FaultCommand command(std::size_t k) const;
+
+  /// The k-th fault plan. The trigger access is placed pseudo-randomly in
+  /// [warmup, total_accesses), where warmup skips the first eighth of the
+  /// run so the caches hold state worth corrupting.
+  FaultPlan plan(std::size_t k, std::uint64_t total_accesses) const;
+
+  std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  std::uint64_t fault_seed(std::size_t k, std::uint64_t salt) const;
+
+  std::uint64_t master_seed_;
+};
+
+}  // namespace cpc::verify

@@ -1,0 +1,57 @@
+#include "verify/metadata_auditor.hpp"
+
+#include <cstdlib>
+
+namespace cpc::verify {
+
+std::uint64_t MetadataAuditor::stride_from_env() {
+  if (const char* env = std::getenv("CPC_AUDIT_STRIDE")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 32768;
+}
+
+void MetadataAuditor::on_access(const cache::MemoryHierarchy& hierarchy) {
+  ++accesses_;
+  if (stride_ == 0 || accesses_ % stride_ != 0) return;
+  audit_now(hierarchy);
+}
+
+void MetadataAuditor::audit_now(const cache::MemoryHierarchy& hierarchy) {
+  ++audits_;
+  try {
+    hierarchy.validate();
+  } catch (const InvariantViolation& violation) {
+    // Stamp the access ordinal the violation surfaced at when the site
+    // could not know it.
+    Diagnostic diagnostic = violation.diagnostic();
+    if (diagnostic.cycle == 0) diagnostic.cycle = accesses_;
+    throw InvariantViolation(std::move(diagnostic));
+  }
+  check_monotonic(hierarchy);
+}
+
+void MetadataAuditor::check_monotonic(const cache::MemoryHierarchy& hierarchy) {
+  const cache::HierarchyStats& s = hierarchy.stats();
+  const CounterSnapshot now{s.reads,      s.writes,          s.l1_misses,
+                            s.l2_misses,  s.mem_fetch_lines, s.traffic.half_units()};
+  const auto monotonic = [&](std::uint64_t before, std::uint64_t after,
+                             const char* counter) {
+    check_diag(after >= before, [&] {
+      return Diagnostic{Invariant::kCounterRegression,
+                        hierarchy.name() + "::audit", accesses_, 0,
+                        std::string(counter) + " decreased between audits (" +
+                            std::to_string(before) + " -> " +
+                            std::to_string(after) + ")"};
+    });
+  };
+  monotonic(last_.reads, now.reads, "reads");
+  monotonic(last_.writes, now.writes, "writes");
+  monotonic(last_.l1_misses, now.l1_misses, "l1_misses");
+  monotonic(last_.l2_misses, now.l2_misses, "l2_misses");
+  monotonic(last_.mem_fetch_lines, now.mem_fetch_lines, "mem_fetch_lines");
+  monotonic(last_.traffic_half_units, now.traffic_half_units, "traffic half-units");
+  last_ = now;
+}
+
+}  // namespace cpc::verify

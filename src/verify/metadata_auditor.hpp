@@ -1,0 +1,129 @@
+#pragma once
+// Always-on metadata auditing (robustness layer).
+//
+// MetadataAuditor walks a hierarchy's structural invariants every N-th
+// access: the per-line checks the hierarchy's validate() implements (VCP
+// consistency, affiliated-word gating, per-line ECC, traffic-meter
+// cross-checks) plus cross-audit counter monotonicity. N comes from
+// CPC_AUDIT_STRIDE (default 32768; 0 disables the stride audits, leaving
+// only the hierarchy's own internal audit points active).
+//
+// GuardedHierarchy is the decorator the simulation driver wraps every
+// hierarchy in: it forwards read/write to the wrapped hierarchy, feeds the
+// auditor, and optionally injects one planned FaultCommand at a chosen
+// access ordinal (the campaign's injection mechanism).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cache/hierarchy.hpp"
+#include "common/check.hpp"
+#include "verify/fault.hpp"
+
+namespace cpc::verify {
+
+class MetadataAuditor {
+ public:
+  /// Reads CPC_AUDIT_STRIDE; default 32768, 0 = stride audits off.
+  static std::uint64_t stride_from_env();
+
+  explicit MetadataAuditor(std::uint64_t stride) : stride_(stride) {}
+  MetadataAuditor() : MetadataAuditor(stride_from_env()) {}
+
+  std::uint64_t stride() const { return stride_; }
+  std::uint64_t audits_run() const { return audits_; }
+  bool enabled() const { return stride_ != 0; }
+
+  /// Called once per access. Every stride-th call runs the hierarchy's full
+  /// validate() walk and checks counter monotonicity since the last audit.
+  /// Throws cpc::InvariantViolation (with Diagnostic) on corruption.
+  void on_access(const cache::MemoryHierarchy& hierarchy);
+
+  /// One immediate audit regardless of stride (end-of-run hook).
+  void audit_now(const cache::MemoryHierarchy& hierarchy);
+
+ private:
+  struct CounterSnapshot {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t mem_fetch_lines = 0;
+    std::uint64_t traffic_half_units = 0;
+  };
+
+  void check_monotonic(const cache::MemoryHierarchy& hierarchy);
+
+  std::uint64_t stride_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t audits_ = 0;
+  CounterSnapshot last_;
+};
+
+/// One planned fault: inject `command` once the wrapped hierarchy has seen
+/// `trigger_access` accesses. Strike faults may find no resident target on
+/// the first attempt (e.g. an empty cache set); the guard re-arms every
+/// access until the injection lands.
+struct FaultPlan {
+  FaultCommand command;
+  std::uint64_t trigger_access = 0;
+};
+
+class GuardedHierarchy : public cache::MemoryHierarchy {
+ public:
+  explicit GuardedHierarchy(std::unique_ptr<cache::MemoryHierarchy> inner,
+                            std::uint64_t audit_stride = MetadataAuditor::stride_from_env())
+      : owned_(std::move(inner)), inner_(owned_.get()), auditor_(audit_stride) {}
+
+  /// Non-owning wrap: guards a hierarchy someone else keeps alive (the
+  /// simulation driver's run_trace_on path).
+  explicit GuardedHierarchy(cache::MemoryHierarchy& inner,
+                            std::uint64_t audit_stride = MetadataAuditor::stride_from_env())
+      : inner_(&inner), auditor_(audit_stride) {}
+
+  cache::AccessResult read(std::uint32_t addr, std::uint32_t& value) override {
+    pre_access();
+    const cache::AccessResult r = inner_->read(addr, value);
+    auditor_.on_access(*inner_);
+    return r;
+  }
+  cache::AccessResult write(std::uint32_t addr, std::uint32_t value) override {
+    pre_access();
+    const cache::AccessResult r = inner_->write(addr, value);
+    auditor_.on_access(*inner_);
+    return r;
+  }
+
+  std::string name() const override { return inner_->name(); }
+  void validate() const override { inner_->validate(); }
+  bool inject_fault(const FaultCommand& command) override {
+    return inner_->inject_fault(command);
+  }
+  const cache::HierarchyStats& stats() const override { return inner_->stats(); }
+
+  void arm_fault(FaultPlan plan) { plan_ = plan; }
+  bool fault_injected() const { return injected_; }
+
+  cache::MemoryHierarchy& inner() { return *inner_; }
+  const cache::MemoryHierarchy& inner() const { return *inner_; }
+  const MetadataAuditor& auditor() const { return auditor_; }
+
+ private:
+  void pre_access() {
+    ++access_no_;
+    if (plan_ && !injected_ && access_no_ >= plan_->trigger_access) {
+      injected_ = inner_->inject_fault(plan_->command);
+    }
+  }
+
+  std::unique_ptr<cache::MemoryHierarchy> owned_;
+  cache::MemoryHierarchy* inner_;
+  MetadataAuditor auditor_;
+  std::optional<FaultPlan> plan_;
+  bool injected_ = false;
+  std::uint64_t access_no_ = 0;
+};
+
+}  // namespace cpc::verify

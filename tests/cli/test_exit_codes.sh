@@ -1,0 +1,66 @@
+#!/bin/sh
+# End-to-end check of the cpc_* tools' exit-code contract (tools/cli_util.hpp):
+#   0 = success, 2 = usage error, 3 = bad input, 4 = invariant violation.
+# Usage: test_exit_codes.sh <dir-with-tool-binaries>
+set -u
+
+BIN="${1:?usage: test_exit_codes.sh <tool-dir>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+expect() {
+  # expect <wanted-code> <label> <cmd...>
+  wanted="$1"; label="$2"; shift 2
+  "$@" >"$TMP/stdout" 2>"$TMP/stderr"
+  got=$?
+  if [ "$got" -ne "$wanted" ]; then
+    echo "FAIL: $label: expected exit $wanted, got $got" >&2
+    sed 's/^/  stderr: /' "$TMP/stderr" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $label (exit $got)"
+  fi
+}
+
+# --- usage errors (2) --------------------------------------------------------
+expect 2 "cpc_run without arguments"      "$BIN/cpc_run"
+expect 2 "cpc_run unknown flag"           "$BIN/cpc_run" --bogus trace
+expect 2 "cpc_tracegen without arguments" "$BIN/cpc_tracegen"
+expect 2 "cpc_analyze without arguments"  "$BIN/cpc_analyze"
+
+# --- bad input (3) -----------------------------------------------------------
+printf 'NOT_A_TRACE_AT_ALL_123456789012345678901234' > "$TMP/garbage.cpctrace"
+expect 3 "cpc_run garbage trace"     "$BIN/cpc_run" "$TMP/garbage.cpctrace"
+expect 3 "cpc_run missing trace"     "$BIN/cpc_run" "$TMP/nonexistent.cpctrace"
+expect 3 "cpc_analyze garbage trace" "$BIN/cpc_analyze" "$TMP/garbage.cpctrace"
+expect 3 "cpc_tracegen unknown workload" \
+  "$BIN/cpc_tracegen" no.such.workload "$TMP/out.cpctrace"
+
+# A real trace but an unknown configuration name.
+expect 0 "cpc_tracegen writes a trace" \
+  "$BIN/cpc_tracegen" olden.treeadd "$TMP/t.cpctrace" 2000
+expect 3 "cpc_run unknown config"         "$BIN/cpc_run" "$TMP/t.cpctrace" NOPE
+expect 3 "cpc_run sweep unknown config"   "$BIN/cpc_run" --sweep "$TMP/t.cpctrace" NOPE
+
+# A trace whose header claims more ops than the file holds.
+cp "$TMP/t.cpctrace" "$TMP/lying.cpctrace"
+printf '\377\377\377\377' | dd of="$TMP/lying.cpctrace" bs=1 seek=16 conv=notrunc 2>/dev/null
+expect 3 "cpc_run hostile op count" "$BIN/cpc_run" "$TMP/lying.cpctrace"
+
+# --- invariant violation (4) -------------------------------------------------
+expect 4 "cpc_faultcamp --trip-invariant" "$BIN/cpc_faultcamp" --trip-invariant
+
+# --- success (0) -------------------------------------------------------------
+expect 0 "cpc_run replay"       "$BIN/cpc_run" "$TMP/t.cpctrace" CPP
+expect 0 "cpc_run contained sweep" \
+  "$BIN/cpc_run" --sweep --contain --journal "$TMP/sweep.journal" "$TMP/t.cpctrace" BC,CPP
+expect 0 "cpc_run sweep resumes from journal" \
+  "$BIN/cpc_run" --sweep --contain --journal "$TMP/sweep.journal" "$TMP/t.cpctrace" BC,CPP
+expect 0 "cpc_analyze"          "$BIN/cpc_analyze" "$TMP/t.cpctrace"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES exit-code check(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code checks passed"

@@ -5,13 +5,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "common/check.hpp"
 #include "sim/experiment.hpp"
 #include "sim/job.hpp"
+#include "sim/journal.hpp"
 #include "sim/sweep_runner.hpp"
 #include "workload/workloads.hpp"
 
@@ -186,6 +193,266 @@ TEST(SweepRunner, Cpc_Jobs1_RunMatchesDefaultRun) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     expect_identical(serial[i], parallel[i]);
   }
+}
+
+// --- contained execution (run_contained) ------------------------------------
+
+std::vector<sim::Job> poisonable_grid(const std::shared_ptr<const cpu::Trace>& trace,
+                                      int poison_index) {
+  std::vector<sim::Job> jobs;
+  for (int i = 0; i < 6; ++i) {
+    sim::Job job;
+    job.trace = trace;
+    job.tag = "job" + std::to_string(i);
+    if (i == poison_index) {
+      job.make_hierarchy = []() -> std::unique_ptr<cache::MemoryHierarchy> {
+        throw std::runtime_error("deliberate job failure");
+      };
+    } else {
+      job.make_hierarchy = [] { return sim::make_hierarchy(sim::ConfigKind::kBC); };
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::shared_ptr<const cpu::Trace> small_trace(std::uint64_t ops = 3'000) {
+  return std::make_shared<const cpu::Trace>(workload::generate(
+      workload::find_workload("olden.treeadd"), {ops, 0x5eed}));
+}
+
+TEST(ContainedSweep, FailingJobDoesNotStopTheOthers) {
+  const sim::SweepRunner runner(3);
+  sim::RunOptions options;
+  options.quiet = true;
+  const sim::RunReport report =
+      runner.run_contained(poisonable_grid(small_trace(), 3), options);
+
+  ASSERT_EQ(report.results.size(), 6u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.failures[0].index, 3u);
+  EXPECT_EQ(report.failures[0].tag, "job3");
+  EXPECT_EQ(report.failures[0].what, "deliberate job failure");
+  EXPECT_FALSE(report.failures[0].timed_out);
+  EXPECT_EQ(report.failures[0].attempts, 1u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i == 3) {
+      EXPECT_FALSE(report.results[i].ok);
+    } else {
+      EXPECT_TRUE(report.results[i].ok);
+      EXPECT_GT(report.results[i].run.core.committed, 0u);
+    }
+  }
+}
+
+TEST(ContainedSweep, InvariantViolationCarriesItsDiagnostic) {
+  const auto trace = small_trace();
+  std::vector<sim::Job> jobs = poisonable_grid(trace, -1);
+  jobs[2].make_hierarchy = []() -> std::unique_ptr<cache::MemoryHierarchy> {
+    throw InvariantViolation(
+        Diagnostic{Invariant::kLineEcc, "test::site", 7, 0x40, "synthetic"});
+  };
+  const sim::SweepRunner runner(2);
+  sim::RunOptions options;
+  options.quiet = true;
+  const sim::RunReport report = runner.run_contained(std::move(jobs), options);
+  ASSERT_EQ(report.failures.size(), 1u);
+  ASSERT_TRUE(report.failures[0].diagnostic.has_value());
+  EXPECT_EQ(report.failures[0].diagnostic->invariant, Invariant::kLineEcc);
+  EXPECT_EQ(report.failures[0].diagnostic->site, "test::site");
+}
+
+TEST(ContainedSweep, RetryRecoversTransientFailure) {
+  const auto trace = small_trace();
+  auto flaky_calls = std::make_shared<std::atomic<int>>(0);
+  std::vector<sim::Job> jobs = poisonable_grid(trace, -1);
+  jobs[1].make_hierarchy = [flaky_calls]() -> std::unique_ptr<cache::MemoryHierarchy> {
+    if (flaky_calls->fetch_add(1) == 0) {
+      throw std::runtime_error("transient failure");
+    }
+    return sim::make_hierarchy(sim::ConfigKind::kBC);
+  };
+  const sim::SweepRunner runner(2);
+  sim::RunOptions options;
+  options.quiet = true;
+  options.retries = 1;
+  const sim::RunReport report = runner.run_contained(std::move(jobs), options);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(flaky_calls->load(), 2);
+  EXPECT_TRUE(report.results[1].ok);
+}
+
+TEST(ContainedSweep, RetriesAreExhaustedAndCounted) {
+  const sim::SweepRunner runner(2);
+  sim::RunOptions options;
+  options.quiet = true;
+  options.retries = 2;
+  const sim::RunReport report =
+      runner.run_contained(poisonable_grid(small_trace(), 0), options);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].attempts, 3u);  // 1 try + 2 retries
+}
+
+// A hierarchy that sleeps on every access: wall-clock runaway for the
+// watchdog test without busy-burning CPU.
+class SleepyHierarchy final : public cache::MemoryHierarchy {
+ public:
+  cache::AccessResult read(std::uint32_t, std::uint32_t& value) override {
+    value = 0;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return {};
+  }
+  cache::AccessResult write(std::uint32_t, std::uint32_t) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return {};
+  }
+  std::string name() const override { return "sleepy"; }
+};
+
+TEST(ContainedSweep, WatchdogCancelsRunawayJob) {
+  const auto trace = small_trace(20'000);  // ~4 s at 200 µs/access, uncancelled
+  std::vector<sim::Job> jobs;
+  sim::Job job;
+  job.trace = trace;
+  job.tag = "runaway";
+  job.make_hierarchy = [] {
+    return std::unique_ptr<cache::MemoryHierarchy>(new SleepyHierarchy);
+  };
+  jobs.push_back(std::move(job));
+
+  const sim::SweepRunner runner(1);
+  sim::RunOptions options;
+  options.quiet = true;
+  options.job_timeout_ms = 100;
+  const auto start = std::chrono::steady_clock::now();
+  const sim::RunReport report = runner.run_contained(std::move(jobs), options);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_TRUE(report.failures[0].timed_out);
+  EXPECT_LT(elapsed.count(), 2'000) << "watchdog reacted far too slowly";
+}
+
+TEST(ContainedSweep, RunOptionsReadTimeoutFromEnvironment) {
+  ASSERT_EQ(setenv("CPC_JOB_TIMEOUT_MS", "1234", 1), 0);
+  EXPECT_EQ(sim::RunOptions::from_env().job_timeout_ms, 1234u);
+  ASSERT_EQ(unsetenv("CPC_JOB_TIMEOUT_MS"), 0);
+  EXPECT_EQ(sim::RunOptions::from_env().job_timeout_ms, 0u);
+}
+
+TEST(ContainedSweep, JournalResumeSkipsCompletedJobsAndRetriesFailed) {
+  const std::string path = ::testing::TempDir() + "/cpc_sweep_test.journal";
+  std::remove(path.c_str());
+  const auto trace = small_trace();
+
+  const sim::SweepRunner runner(2);
+  sim::RunOptions options;
+  options.quiet = true;
+  options.journal_path = path;
+
+  // First pass: job 4 fails, the other five are journaled as ok.
+  const sim::RunReport first =
+      runner.run_contained(poisonable_grid(trace, 4), options);
+  ASSERT_EQ(first.failures.size(), 1u);
+  EXPECT_EQ(first.resumed, 0u);
+
+  // Second pass with the poison removed: the five ok jobs are restored from
+  // the journal (no recompute, null hierarchy), only job 4 runs.
+  const sim::RunReport second =
+      runner.run_contained(poisonable_grid(trace, -1), options);
+  EXPECT_TRUE(second.all_ok());
+  EXPECT_EQ(second.resumed, 5u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(second.results[i].ok);
+    if (i == 4) {
+      EXPECT_NE(second.results[i].hierarchy, nullptr) << "job 4 must re-run";
+    } else {
+      EXPECT_EQ(second.results[i].hierarchy, nullptr) << "job " << i
+          << " must come from the journal";
+    }
+  }
+
+  // Restored counters are bit-identical to a fresh uncontained run.
+  const auto fresh = runner.run(poisonable_grid(trace, -1), /*quiet=*/true);
+  for (std::size_t i = 0; i < 6; ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    EXPECT_EQ(second.results[i].run.core.cycles, fresh[i].run.core.cycles);
+    EXPECT_EQ(second.results[i].run.core.committed, fresh[i].run.core.committed);
+    EXPECT_EQ(second.results[i].run.hierarchy.l1_misses,
+              fresh[i].run.hierarchy.l1_misses);
+    EXPECT_EQ(second.results[i].run.hierarchy.traffic.half_units(),
+              fresh[i].run.hierarchy.traffic.half_units());
+  }
+
+  // Third pass: everything restores, nothing runs.
+  const sim::RunReport third =
+      runner.run_contained(poisonable_grid(trace, -1), options);
+  EXPECT_EQ(third.resumed, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(ContainedSweep, JournalFromDifferentGridRestoresNothing) {
+  const std::string path = ::testing::TempDir() + "/cpc_sweep_grid.journal";
+  std::remove(path.c_str());
+  const auto trace = small_trace();
+
+  const sim::SweepRunner runner(2);
+  sim::RunOptions options;
+  options.quiet = true;
+  options.journal_path = path;
+  const sim::RunReport first =
+      runner.run_contained(poisonable_grid(trace, -1), options);
+  EXPECT_TRUE(first.all_ok());
+
+  // A different grid (different tags) must ignore the stale journal.
+  std::vector<sim::Job> other = poisonable_grid(trace, -1);
+  for (auto& job : other) job.tag += "-renamed";
+  const sim::RunReport second = runner.run_contained(std::move(other), options);
+  EXPECT_EQ(second.resumed, 0u);
+  EXPECT_TRUE(second.all_ok());
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, FingerprintSeparatesGrids) {
+  const auto trace = small_trace();
+  const auto a = poisonable_grid(trace, -1);
+  auto b = poisonable_grid(trace, -1);
+  b[5].tag = "different";
+  EXPECT_NE(sim::grid_fingerprint(a), sim::grid_fingerprint(b));
+  EXPECT_EQ(sim::grid_fingerprint(a),
+            sim::grid_fingerprint(poisonable_grid(trace, -1)));
+}
+
+TEST(SweepJournal, TruncatedTrailingLineIsIgnored) {
+  const std::string path = ::testing::TempDir() + "/cpc_truncated.journal";
+  std::remove(path.c_str());
+  const auto trace = small_trace();
+  const auto jobs = poisonable_grid(trace, -1);
+  const std::uint64_t fp = sim::grid_fingerprint(jobs);
+
+  const sim::SweepRunner runner(1);
+  sim::RunOptions options;
+  options.quiet = true;
+  options.journal_path = path;
+  runner.run_contained(poisonable_grid(trace, -1), options);
+
+  // Chop the file mid-line: the journal must still restore the intact prefix.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 40u);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 25));
+  out.close();
+
+  const auto restored = sim::SweepJournal::load(path, fp, jobs.size());
+  EXPECT_TRUE(restored.header_matched);
+  EXPECT_GE(restored.restored_ok, 1u);
+  EXPECT_LT(restored.restored_ok, jobs.size());
+  std::remove(path.c_str());
 }
 
 TEST(TraceCache, SharesOneGenerationPerKey) {

@@ -100,6 +100,80 @@ TEST(TraceIo, RejectsCorruptOpKind) {
   EXPECT_THROW(read_trace(bad), TraceIoError);
 }
 
+TEST(TraceIo, RejectsNonzeroReservedField) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, t);
+  std::string bytes = buf.str();
+  bytes[13] = 1;  // reserved field, bytes 12..15
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_trace(bad), TraceIoError);
+}
+
+TEST(TraceIo, RejectsOpCountExceedingStreamSize) {
+  // A hostile header claiming 2^61 ops must be rejected before allocation,
+  // not discovered through a multi-exabyte reserve.
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, t);
+  std::string bytes = buf.str();
+  for (int i = 0; i < 8; ++i) bytes[16 + i] = static_cast<char>(0x2f);
+  std::stringstream bad(bytes);
+  try {
+    read_trace(bad);
+    FAIL() << "hostile op count accepted";
+  } catch (const TraceIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds stream size"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsCountLargerThanPayloadByOne) {
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, t);
+  std::string bytes = buf.str();
+  const std::uint64_t claimed = t.size() + 1;
+  for (int i = 0; i < 8; ++i) {
+    bytes[16 + i] = static_cast<char>((claimed >> (8 * i)) & 0xff);
+  }
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_trace(bad), TraceIoError);
+}
+
+TEST(TraceIo, HeaderMutationFuzzNeverCrashes) {
+  // Every single-byte mutation of the 24-byte header, at every value in a
+  // spread sample, must either parse to the original trace (mutating a byte
+  // to itself) or throw TraceIoError — never crash, hang, or over-allocate.
+  const Trace t = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, t);
+  const std::string golden = buf.str();
+
+  for (std::size_t pos = 0; pos < 24; ++pos) {
+    for (int value : {0x00, 0x01, 0x7f, 0x80, 0xff}) {
+      std::string bytes = golden;
+      bytes[pos] = static_cast<char>(value);
+      std::stringstream mutated(bytes);
+      try {
+        const Trace loaded = read_trace(mutated);
+        // Accepted: only possible for a no-op mutation or a *smaller* count
+        // (trailing payload is ignored). A count beyond the payload must
+        // never be accepted.
+        EXPECT_LE(loaded.size(), t.size())
+            << "header byte " << pos << " <- " << value;
+        if (pos < 16) {
+          EXPECT_EQ(bytes[pos], golden[pos])
+              << "non-count header byte " << pos << " <- " << value
+              << " changed the header yet still parsed";
+        }
+      } catch (const TraceIoError&) {
+        // Rejected: the acceptable outcome for a real mutation.
+      }
+    }
+  }
+}
+
 TEST(TraceIo, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/cpc_trace_io_test.cpctrace";
   const Trace original =

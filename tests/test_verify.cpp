@@ -1,0 +1,384 @@
+// Robustness layer tests: every structural invariant must be trippable and
+// report a structured Diagnostic; every fault-injection strike kind must be
+// detectable; the MetadataAuditor must honour its stride and catch counter
+// regressions; a small campaign must come back clean.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "cache/line_compression_hierarchy.hpp"
+#include "common/check.hpp"
+#include "core/cpp_cache.hpp"
+#include "core/cpp_hierarchy.hpp"
+#include "verify/campaign.hpp"
+#include "verify/fault.hpp"
+#include "verify/fault_injector.hpp"
+#include "verify/metadata_auditor.hpp"
+
+namespace cpc {
+namespace {
+
+using compress::kPaperScheme;
+using core::CompressedLine;
+using core::CppCache;
+using core::IncomingLine;
+
+class NullSink final : public core::WritebackSink {
+ public:
+  void writeback(std::uint32_t, std::uint32_t,
+                 std::span<const std::uint32_t>) override {}
+};
+
+cache::CacheGeometry tiny_geo() { return {512, 64, 1}; }
+
+constexpr std::uint32_t kLineA = 0x0400'0000u;  // heap, set 0
+constexpr std::uint32_t kBuddyA = kLineA ^ 1u;  // set 1
+
+IncomingLine full_line(const CppCache& c, std::uint32_t line_addr,
+                       std::uint32_t seed) {
+  IncomingLine in;
+  in.line_addr = line_addr;
+  const std::uint32_t n = c.geometry().words_per_line();
+  in.words.assign(n, 0);
+  in.aff_words.assign(n, 0);
+  in.present = 0xffffu;
+  for (std::uint32_t i = 0; i < n; ++i) in.words[i] = seed + i;  // compressible
+  return in;
+}
+
+Invariant tripped_invariant(const CppCache& cache) {
+  try {
+    cache.validate();
+  } catch (const InvariantViolation& violation) {
+    EXPECT_FALSE(violation.diagnostic().site.empty());
+    return violation.diagnostic().invariant;
+  }
+  ADD_FAILURE() << "validate() accepted corrupted state";
+  return Invariant::kGeneric;
+}
+
+// --- tripping each CppCache invariant ---------------------------------------
+
+TEST(InvariantTrip, PayloadStrikeTripsLineEcc) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  NullSink sink;
+  c.install(full_line(c, kLineA, 10), sink);
+  c.validate();
+  c.find_primary(kLineA)->strike_primary_bit(3, 7);
+  EXPECT_EQ(tripped_invariant(c), Invariant::kLineEcc);
+}
+
+TEST(InvariantTrip, VcpStrikeTripsVcpMismatch) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  NullSink sink;
+  IncomingLine in = full_line(c, kLineA, 10);
+  in.words[4] = 0x4000'0000u;  // incompressible
+  c.install(in, sink);
+  c.validate();
+  c.find_primary(kLineA)->strike_vcp_flag(4);  // claims word 4 is compressed
+  EXPECT_EQ(tripped_invariant(c), Invariant::kVcpMismatch);
+}
+
+TEST(InvariantTrip, AaStrikeOverUncompressedWordTrips) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  NullSink sink;
+  IncomingLine in = full_line(c, kLineA, 10);
+  in.words[2] = 0x4000'0000u;  // incompressible → half-slot 2 is occupied
+  c.install(in, sink);
+  c.validate();
+  c.find_primary(kLineA)->strike_aa_flag(2);
+  EXPECT_EQ(tripped_invariant(c), Invariant::kAffiliatedOverUncompressed);
+}
+
+TEST(InvariantTrip, PaStrikeIsDetected) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  NullSink sink;
+  c.install(full_line(c, kLineA, 10), sink);
+  c.find_primary(kLineA)->strike_pa_flag(0);
+  EXPECT_THROW(c.validate(), InvariantViolation);
+}
+
+TEST(InvariantTrip, DirtyLineWithNoWordsTripsDirtyEmpty) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  NullSink sink;
+  c.install(full_line(c, kLineA, 10), sink);
+  CompressedLine* line = c.find_primary(kLineA);
+  line->clear_primary();
+  line->dirty = true;
+  EXPECT_EQ(tripped_invariant(c), Invariant::kDirtyEmpty);
+}
+
+TEST(InvariantTrip, PrimaryPlusAffiliatedCopyTripsDoubleResidency) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  NullSink sink;
+  c.install(full_line(c, kLineA, 10), sink);
+  c.install(full_line(c, kBuddyA, 20), sink);  // buddy primary resident too
+  // Plant an affiliated copy of the buddy inside A's physical line: now two
+  // copies of kBuddyA coexist.
+  c.find_primary(kLineA)->set_affiliated_word(
+      0, *kPaperScheme.compress(5, c.word_addr(kBuddyA, 0)));
+  EXPECT_EQ(tripped_invariant(c), Invariant::kDoubleResidency);
+}
+
+TEST(InvariantTrip, StrikeRandomFindsTargetAndValidateCatchesEveryKind) {
+  for (const verify::FaultKind kind :
+       {verify::FaultKind::kPayloadBit, verify::FaultKind::kPaFlag,
+        verify::FaultKind::kAaFlag, verify::FaultKind::kVcpFlag}) {
+    SCOPED_TRACE(verify::fault_kind_name(kind));
+    CppCache c(tiny_geo(), kPaperScheme);
+    NullSink sink;
+    c.install(full_line(c, kLineA, 10), sink);
+    verify::FaultCommand command;
+    command.kind = kind;
+    command.seed = 99;
+    ASSERT_TRUE(c.strike_random(command));
+    EXPECT_THROW(c.validate(), InvariantViolation);
+  }
+}
+
+TEST(InvariantTrip, StrikeOnEmptyCacheFindsNoTarget) {
+  CppCache c(tiny_geo(), kPaperScheme);
+  verify::FaultCommand command;
+  command.kind = verify::FaultKind::kPayloadBit;
+  EXPECT_FALSE(c.strike_random(command));
+}
+
+TEST(InvariantTrip, EvictionAuditCatchesStruckVictim) {
+  // A struck line must be caught at the audit point when its content leaves
+  // the cache, even if no stride audit ran in between.
+  CppCache c(tiny_geo(), kPaperScheme);
+  NullSink sink;
+  c.install(full_line(c, kLineA, 10), sink);
+  c.find_primary(kLineA)->strike_primary_bit(0, 3);
+  // Same set, different tag → evicts the struck victim.
+  const std::uint32_t conflicting = kLineA + 8;
+  try {
+    c.install(full_line(c, conflicting, 30), sink);
+    FAIL() << "struck victim evicted without audit";
+  } catch (const InvariantViolation& violation) {
+    EXPECT_EQ(violation.diagnostic().invariant, Invariant::kLineEcc);
+    EXPECT_NE(violation.diagnostic().site.find("evict"), std::string::npos);
+  }
+}
+
+// --- LCC invariants ----------------------------------------------------------
+
+TEST(InvariantTrip, LccPayloadStrikeTripsLccEcc) {
+  cache::LineCompressionHierarchy lcc;
+  for (std::uint32_t i = 0; i < 256; ++i) lcc.write(0x0400'0000u + i * 4, i % 9);
+  lcc.validate();
+  verify::FaultCommand command;
+  command.kind = verify::FaultKind::kPayloadBit;
+  command.seed = 7;
+  ASSERT_TRUE(lcc.inject_fault(command));
+  try {
+    lcc.validate();
+    FAIL() << "struck LCC line passed validation";
+  } catch (const InvariantViolation& violation) {
+    EXPECT_EQ(violation.diagnostic().invariant, Invariant::kLccLineEcc);
+  }
+}
+
+TEST(InvariantTrip, LccRefusesNonPayloadFaults) {
+  cache::LineCompressionHierarchy lcc;
+  for (std::uint32_t i = 0; i < 64; ++i) lcc.write(0x0400'0000u + i * 4, 1);
+  verify::FaultCommand command;
+  command.kind = verify::FaultKind::kPaFlag;
+  EXPECT_FALSE(lcc.inject_fault(command));
+}
+
+// --- hierarchy-level faults --------------------------------------------------
+
+TEST(HierarchyFault, EveryStrikeKindAtBothLevelsIsDetected) {
+  for (const std::uint8_t level : {std::uint8_t{1}, std::uint8_t{2}}) {
+    for (const verify::FaultKind kind :
+         {verify::FaultKind::kPayloadBit, verify::FaultKind::kPaFlag,
+          verify::FaultKind::kAaFlag, verify::FaultKind::kVcpFlag}) {
+      SCOPED_TRACE(std::string(verify::fault_kind_name(kind)) + " L" +
+                   std::to_string(level));
+      core::CppHierarchy hierarchy;
+      for (std::uint32_t i = 0; i < 4096; ++i) {
+        hierarchy.write(0x0400'0000u + i * 4, i % 5);
+      }
+      hierarchy.validate();
+      verify::FaultCommand command;
+      command.kind = kind;
+      command.level = level;
+      command.seed = 1234 + level;
+      ASSERT_TRUE(hierarchy.inject_fault(command));
+      EXPECT_THROW(hierarchy.validate(), InvariantViolation);
+    }
+  }
+}
+
+TEST(HierarchyFault, DropResponseWordTripsResponseIncomplete) {
+  core::CppHierarchy hierarchy;
+  // Populate well past L1 capacity (8 KiB) so re-reads miss L1 and pull
+  // multi-word responses from L2.
+  for (std::uint32_t i = 0; i < 8192; ++i) {
+    hierarchy.write(0x0400'0000u + i * 4, i % 5);
+  }
+  verify::FaultCommand command;
+  command.kind = verify::FaultKind::kDropResponseWord;
+  command.seed = 3;
+  ASSERT_TRUE(hierarchy.inject_fault(command));
+  bool detected = false;
+  try {
+    std::uint32_t value = 0;
+    for (std::uint32_t i = 0; i < 8192; ++i) {
+      hierarchy.read(0x0400'0000u + i * 4, value);
+    }
+  } catch (const InvariantViolation& violation) {
+    detected = true;
+    EXPECT_EQ(violation.diagnostic().invariant, Invariant::kResponseIncomplete);
+  }
+  EXPECT_TRUE(detected) << "dropped response word was never flagged";
+  EXPECT_EQ(hierarchy.faults_fired(), 1u);
+}
+
+TEST(HierarchyFault, DelayFillShiftsTimingOnly) {
+  const auto run = [](bool delayed) {
+    core::CppHierarchy hierarchy;
+    if (delayed) {
+      verify::FaultCommand command;
+      command.kind = verify::FaultKind::kDelayFill;
+      command.delay_cycles = 40;
+      EXPECT_TRUE(hierarchy.inject_fault(command));
+    }
+    std::uint64_t latency_sum = 0;
+    std::uint32_t value = 0;
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+      latency_sum += hierarchy.write(0x0400'0000u + i * 4, i % 5).latency;
+    }
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+      latency_sum += hierarchy.read(0x0400'0000u + i * 4, value).latency;
+      EXPECT_EQ(value, i % 5);  // values stay architecturally correct
+    }
+    hierarchy.validate();
+    return latency_sum;
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+// --- MetadataAuditor ---------------------------------------------------------
+
+class CountingHierarchy final : public cache::MemoryHierarchy {
+ public:
+  cache::AccessResult read(std::uint32_t, std::uint32_t& value) override {
+    value = 0;
+    ++mutable_stats().reads;
+    return {};
+  }
+  cache::AccessResult write(std::uint32_t, std::uint32_t) override {
+    ++mutable_stats().writes;
+    return {};
+  }
+  std::string name() const override { return "counting"; }
+  void validate() const override { ++validations; }
+
+  mutable std::uint64_t validations = 0;
+};
+
+TEST(MetadataAuditor, RunsValidateEveryStrideAccesses) {
+  CountingHierarchy hierarchy;
+  verify::MetadataAuditor auditor(4);
+  for (int i = 0; i < 12; ++i) auditor.on_access(hierarchy);
+  EXPECT_EQ(hierarchy.validations, 3u);
+  EXPECT_EQ(auditor.audits_run(), 3u);
+}
+
+TEST(MetadataAuditor, StrideZeroDisablesAudits) {
+  CountingHierarchy hierarchy;
+  verify::MetadataAuditor auditor(0);
+  EXPECT_FALSE(auditor.enabled());
+  for (int i = 0; i < 100; ++i) auditor.on_access(hierarchy);
+  EXPECT_EQ(hierarchy.validations, 0u);
+}
+
+TEST(MetadataAuditor, StrideComesFromEnvironment) {
+  ASSERT_EQ(setenv("CPC_AUDIT_STRIDE", "123", 1), 0);
+  EXPECT_EQ(verify::MetadataAuditor::stride_from_env(), 123u);
+  ASSERT_EQ(setenv("CPC_AUDIT_STRIDE", "0", 1), 0);
+  EXPECT_EQ(verify::MetadataAuditor::stride_from_env(), 0u);
+  ASSERT_EQ(unsetenv("CPC_AUDIT_STRIDE"), 0);
+  EXPECT_EQ(verify::MetadataAuditor::stride_from_env(), 32768u);
+}
+
+TEST(MetadataAuditor, CounterRegressionIsCaught) {
+  CountingHierarchy hierarchy;
+  verify::MetadataAuditor auditor(1);
+  hierarchy.mutable_stats().reads = 10;
+  auditor.on_access(hierarchy);
+  hierarchy.mutable_stats().reads = 5;  // counters must never run backwards
+  try {
+    auditor.on_access(hierarchy);
+    FAIL() << "regressing counter passed the audit";
+  } catch (const InvariantViolation& violation) {
+    EXPECT_EQ(violation.diagnostic().invariant, Invariant::kCounterRegression);
+  }
+}
+
+TEST(GuardedHierarchy, InjectsArmedFaultAtTriggerAccess) {
+  auto owned = std::make_unique<core::CppHierarchy>();
+  verify::GuardedHierarchy guard(std::move(owned), /*audit_stride=*/0);
+  verify::FaultPlan plan;
+  plan.command.kind = verify::FaultKind::kPayloadBit;
+  plan.command.seed = 5;
+  plan.trigger_access = 10;
+  guard.arm_fault(plan);
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    guard.write(0x0400'0000u + i * 4, i);
+    EXPECT_FALSE(guard.fault_injected());
+  }
+  guard.write(0x0400'0000u + 40, 1);
+  EXPECT_TRUE(guard.fault_injected());
+  EXPECT_THROW(guard.validate(), InvariantViolation);
+}
+
+// --- fault schedule and campaign ---------------------------------------------
+
+TEST(FaultInjector, ScheduleIsReproducibleAndCoversAllVariants) {
+  const verify::FaultInjector a(42), b(42), c(43);
+  const std::size_t variants = verify::FaultInjector::variants().size();
+  EXPECT_GE(variants, 10u);
+  bool any_seed_differs = false;
+  for (std::size_t k = 0; k < variants; ++k) {
+    const verify::FaultPlan pa = a.plan(k, 10'000);
+    const verify::FaultPlan pb = b.plan(k, 10'000);
+    EXPECT_EQ(static_cast<int>(pa.command.kind), static_cast<int>(pb.command.kind));
+    EXPECT_EQ(pa.command.seed, pb.command.seed);
+    EXPECT_EQ(pa.trigger_access, pb.trigger_access);
+    EXPECT_GE(pa.trigger_access, 10'000u / 8);
+    EXPECT_LT(pa.trigger_access, 10'000u);
+    if (pa.command.seed != c.plan(k, 10'000).command.seed) any_seed_differs = true;
+  }
+  EXPECT_TRUE(any_seed_differs) << "master seed does not influence the schedule";
+}
+
+TEST(Campaign, SmallCampaignIsCleanAndFullyClassified) {
+  verify::CampaignOptions options;
+  options.workload = "olden.treeadd";
+  options.faults = 12;  // ≥ one full rotation of the 10 fault variants
+  options.trace_ops = 8'000;
+  options.audit_stride = 512;
+  const verify::CampaignResult result = verify::run_campaign(options);
+  EXPECT_EQ(result.total(), 12u);
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.silent, 0u);
+  EXPECT_GT(result.golden_accesses, 0u);
+  EXPECT_EQ(result.masked + result.detected + result.timing_only +
+                result.silent + result.not_injected,
+            result.total());
+  EXPECT_GT(result.detected + result.masked + result.timing_only, 0u);
+  for (const verify::FaultRecord& record : result.records) {
+    if (record.outcome == verify::FaultOutcome::kDetected) {
+      EXPECT_FALSE(record.detection.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpc

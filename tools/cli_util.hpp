@@ -1,0 +1,66 @@
+#pragma once
+// Shared CLI conventions for the cpc_* tools.
+//
+// Exit codes (checked by tests/cli/test_exit_codes.sh):
+//   0 — success
+//   1 — unexpected internal error
+//   2 — usage error (bad flags/arguments)
+//   3 — bad input (unreadable/corrupt trace, unknown workload or config)
+//   4 — invariant violation (cache structural corruption detected)
+//
+// Tools wrap their logic in guarded_main(), which maps exception types to
+// these codes and prints one actionable line to stderr.
+
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "common/check.hpp"
+#include "cpu/trace_io.hpp"
+
+namespace cpc::cli {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitBadInput = 3;
+inline constexpr int kExitInvariant = 4;
+
+/// Thrown by tools for user-supplied input that does not make sense
+/// (unknown workload name, unknown configuration, malformed value).
+class BadInput : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Runs `body` and maps exceptions to the exit-code contract above. `body`
+/// returns the exit code for the non-throwing paths (0, or kExitUsage).
+inline int guarded_main(const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const InvariantViolation& violation) {
+    std::cerr << "error: " << violation.what()
+              << " (cache state is corrupt; rerun with CPC_AUDIT_STRIDE=1 to "
+                 "localise the first bad access)\n";
+    return kExitInvariant;
+  } catch (const cpu::TraceIoError& error) {
+    std::cerr << "error: " << error.what()
+              << " (is this a .cpctrace file written by cpc_tracegen?)\n";
+    return kExitBadInput;
+  } catch (const BadInput& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return kExitBadInput;
+  } catch (const std::out_of_range& error) {
+    // workload::find_workload throws out_of_range for unknown names.
+    std::cerr << "error: " << error.what()
+              << " (run cpc_tracegen with no arguments to list workloads)\n";
+    return kExitBadInput;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return kExitError;
+  }
+}
+
+}  // namespace cpc::cli

@@ -13,14 +13,16 @@
 #include "cpu/trace_io.hpp"
 #include "stats/table.hpp"
 
+#include "cli_util.hpp"
+
 int main(int argc, char** argv) {
   using namespace cpc;
   if (argc < 2) {
     std::cerr << "usage: cpc_analyze <trace-file>\n";
-    return 2;
+    return cli::kExitUsage;
   }
 
-  try {
+  return cli::guarded_main([&]() -> int {
     const cpu::Trace trace = cpu::read_trace_file(argv[1]);
     std::cout << argv[1] << ": " << trace.size() << " micro-ops\n\n";
 
@@ -76,9 +78,6 @@ int main(int argc, char** argv) {
     }
     sweep.add_row("misses", std::move(cells));
     std::cout << sweep.to_ascii(0);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
-  return 0;
+    return cli::kExitOk;
+  });
 }

@@ -1,0 +1,199 @@
+// cpc_faultcamp — seeded fault-injection campaign over the CPP hierarchy.
+//
+//   cpc_faultcamp [--workloads a,b,c] [--faults K] [--ops N] [--seed S]
+//                 [--master-seed S] [--stride N] [--summary PATH]
+//   cpc_faultcamp --trip-invariant
+//
+// For each workload the driver runs one fault-free golden simulation, then K
+// seeded single-fault runs, classifying every fault as masked / detected /
+// timing-only / silent / not-injected (see src/verify/campaign.hpp). Exit 0
+// iff every campaign is clean (zero silent corruptions); exit 1 otherwise.
+// --summary additionally writes a markdown report.
+//
+// --trip-invariant deliberately corrupts a CPP cache's metadata and runs the
+// validator; the process exits with the invariant-violation code (4). CTest
+// uses it to pin the exit-code contract.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cpp_hierarchy.hpp"
+#include "verify/campaign.hpp"
+#include "verify/fault.hpp"
+
+#include "cli_util.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: cpc_faultcamp [--workloads a,b,c] [--faults K] [--ops N]\n"
+         "                     [--seed S] [--master-seed S] [--stride N]\n"
+         "                     [--summary PATH]\n"
+         "       cpc_faultcamp --trip-invariant\n";
+  return cpc::cli::kExitUsage;
+}
+
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::stringstream ss{arg};
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (!name.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+/// Corrupts a live CPP hierarchy on purpose and audits it, so tests can
+/// observe the detection path end to end (exit code 4, diagnostic on stderr).
+int trip_invariant() {
+  using namespace cpc;
+  core::CppHierarchy hierarchy;
+  // Small compressible values → lines with populated PA flags to strike.
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    hierarchy.write(i * 4, i % 7);
+  }
+  verify::FaultCommand command;
+  command.kind = verify::FaultKind::kPaFlag;
+  command.level = 1;
+  command.seed = 42;
+  if (!hierarchy.inject_fault(command)) {
+    std::cerr << "error: no resident line to corrupt\n";
+    return cli::kExitError;
+  }
+  hierarchy.validate();  // throws InvariantViolation → exit 4
+  std::cerr << "error: corrupted metadata passed validation\n";
+  return cli::kExitError;
+}
+
+void print_campaign(const cpc::verify::CampaignResult& result, std::ostream& out) {
+  using namespace cpc::verify;
+  out << result.workload << ": " << result.total() << " faults — "
+      << result.masked << " masked, " << result.detected << " detected, "
+      << result.timing_only << " timing-only, " << result.silent << " SILENT, "
+      << result.not_injected << " not-injected"
+      << (result.clean() ? "" : "  << CAMPAIGN FAILED") << '\n';
+  for (const FaultRecord& record : result.records) {
+    if (record.outcome != FaultOutcome::kSilent) continue;
+    out << "  silent fault #" << record.index << ": "
+        << fault_kind_name(record.command.kind) << " L" << int(record.command.level)
+        << " seed=" << record.command.seed
+        << " trigger=" << record.trigger_access << '\n';
+  }
+}
+
+void write_summary(const std::string& path,
+                   const std::vector<cpc::verify::CampaignResult>& results,
+                   const cpc::verify::CampaignOptions& base) {
+  using namespace cpc::verify;
+  std::ofstream out(path);
+  if (!out) throw cpc::cli::BadInput("cannot open summary file: " + path);
+  out << "# Fault-injection campaign summary\n\n"
+      << "Single-fault campaigns over the CPP hierarchy: each run injects one\n"
+         "seeded fault (payload/PA/AA/VCP strike at L1 or L2, response-word\n"
+         "drop, or fill delay) at a pseudo-random access and compares the\n"
+         "outcome against a fault-free golden run. See docs/robustness.md.\n\n"
+      << "- faults per workload: " << base.faults << '\n'
+      << "- trace ops: " << base.trace_ops << '\n'
+      << "- workload seed: 0x" << std::hex << base.workload_seed << '\n'
+      << "- master fault seed: 0x" << base.master_seed << std::dec << '\n'
+      << "- audit stride: " << base.audit_stride << "\n\n"
+      << "| workload | faults | masked | detected | timing-only | silent | not-injected | clean |\n"
+      << "|---|---|---|---|---|---|---|---|\n";
+  std::size_t total = 0, silent = 0;
+  for (const CampaignResult& r : results) {
+    total += r.total();
+    silent += r.silent;
+    out << "| " << r.workload << " | " << r.total() << " | " << r.masked
+        << " | " << r.detected << " | " << r.timing_only << " | " << r.silent
+        << " | " << r.not_injected << " | " << (r.clean() ? "yes" : "**NO**")
+        << " |\n";
+  }
+  out << "\nTotal: " << total << " faults, " << silent
+      << " silent. Every injected fault was masked (bit-identical to golden),"
+         " detected by an audit, or timing-only (architecturally identical"
+         " delay effects).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpc;
+
+  std::vector<std::string> workloads = {"olden.treeadd", "olden.mst",
+                                        "spec2000.181.mcf"};
+  verify::CampaignOptions base;
+  std::string summary_path;
+  bool trip = false;
+
+  const auto value_of = [&](int& i, const std::string& arg) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "error: " << arg << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--trip-invariant") {
+      trip = true;
+    } else if (arg == "--workloads") {
+      if ((v = value_of(i, arg)) == nullptr) return usage();
+      workloads = split_csv(v);
+    } else if (arg == "--faults") {
+      if ((v = value_of(i, arg)) == nullptr) return usage();
+      base.faults = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--ops") {
+      if ((v = value_of(i, arg)) == nullptr) return usage();
+      base.trace_ops = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--seed") {
+      if ((v = value_of(i, arg)) == nullptr) return usage();
+      base.workload_seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--master-seed") {
+      if ((v = value_of(i, arg)) == nullptr) return usage();
+      base.master_seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--stride") {
+      if ((v = value_of(i, arg)) == nullptr) return usage();
+      base.audit_stride = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--summary") {
+      if ((v = value_of(i, arg)) == nullptr) return usage();
+      summary_path = v;
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "'\n";
+      return usage();
+    }
+  }
+  if (workloads.empty()) {
+    std::cerr << "error: --workloads list is empty\n";
+    return usage();
+  }
+
+  return cli::guarded_main([&]() -> int {
+    if (trip) return trip_invariant();
+
+    std::vector<verify::CampaignResult> results;
+    bool all_clean = true;
+    for (const std::string& workload : workloads) {
+      verify::CampaignOptions options = base;
+      options.workload = workload;
+      std::cerr << "campaign: " << workload << " (" << options.faults
+                << " faults, " << options.trace_ops << " ops)...\n";
+      verify::CampaignResult result = verify::run_campaign(options);
+      print_campaign(result, std::cout);
+      all_clean = all_clean && result.clean();
+      results.push_back(std::move(result));
+    }
+    if (!summary_path.empty()) write_summary(summary_path, results, base);
+    if (!all_clean) {
+      std::cerr << "error: silent corruption escaped every audit — see the "
+                   "silent fault lines above to reproduce\n";
+      return cli::kExitError;
+    }
+    return cli::kExitOk;
+  });
+}

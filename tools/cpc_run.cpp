@@ -2,11 +2,18 @@
 // print the paper's metrics.
 //
 //   cpc_run <trace-file> [BC|BCC|HAC|BCP|CPP|all]
-//   cpc_run --sweep [--jobs N] <trace-file> [config[,config...]]
+//   cpc_run --sweep [--jobs N] [--contain] [--retries N] [--timeout-ms N]
+//           [--journal PATH] <trace-file> [config[,config...]]
 //
 // --sweep fans the config list across the SweepRunner thread pool (thread
 // count from --jobs, else CPC_JOBS, else hardware concurrency) and writes a
 // CSV report to stdout with per-job wall time and throughput.
+//
+// --contain switches the sweep to fault-contained execution: a failing job
+// is reported (with optional --retries) and the remaining jobs still run;
+// --timeout-ms arms the per-job watchdog (default from CPC_JOB_TIMEOUT_MS);
+// --journal checkpoints completed jobs so a killed sweep resumes where it
+// left off. Any of --retries/--timeout-ms/--journal implies --contain.
 
 #include <cstdlib>
 #include <iostream>
@@ -21,13 +28,16 @@
 #include "sim/sweep_runner.hpp"
 #include "stats/table.hpp"
 
+#include "cli_util.hpp"
+
 namespace {
 
 int usage() {
   std::cerr << "usage: cpc_run <trace-file> [BC|BCC|HAC|BCP|CPP|all]\n"
-               "       cpc_run --sweep [--jobs N] <trace-file> "
+               "       cpc_run --sweep [--jobs N] [--contain] [--retries N]\n"
+               "               [--timeout-ms N] [--journal PATH] <trace-file> "
                "[config[,config...]]\n";
-  return 2;
+  return cpc::cli::kExitUsage;
 }
 
 std::vector<cpc::sim::ConfigKind> parse_configs(
@@ -51,7 +61,10 @@ std::vector<cpc::sim::ConfigKind> parse_configs(
           found = true;
         }
       }
-      if (!found) throw std::runtime_error("unknown configuration '" + name + "'");
+      if (!found) {
+        throw cli::BadInput("unknown configuration '" + name +
+                            "' (expected BC, BCC, HAC, BCP, CPP or all)");
+      }
     }
   }
   if (kinds.empty()) {
@@ -60,9 +73,23 @@ std::vector<cpc::sim::ConfigKind> parse_configs(
   return kinds;
 }
 
+struct SweepFlags {
+  unsigned jobs = 0;  // 0 = CPC_JOBS / hardware concurrency
+  bool contain = false;
+  cpc::sim::RunOptions options = cpc::sim::RunOptions::from_env();
+};
+
+void print_result_row(const cpc::sim::JobResult& result) {
+  std::cout << result.tag << ',' << result.run.core.cycles << ','
+            << result.run.core.ipc() << ',' << result.run.hierarchy.l1_misses
+            << ',' << result.run.hierarchy.l2_misses << ','
+            << result.run.traffic_words() << ',' << result.wall_seconds << ','
+            << result.ops_per_second << '\n';
+}
+
 int run_sweep_mode(const std::string& trace_path,
                    const std::vector<std::string>& config_args,
-                   unsigned jobs) {
+                   const SweepFlags& flags) {
   using namespace cpc;
   const std::vector<sim::ConfigKind> kinds = parse_configs(config_args);
   const auto trace = std::make_shared<const cpu::Trace>(
@@ -79,24 +106,45 @@ int run_sweep_mode(const std::string& trace_path,
     sweep.push_back(std::move(job));
   }
 
-  const sim::SweepRunner runner(jobs);
-  const std::vector<sim::JobResult> results = runner.run(std::move(sweep));
+  const sim::SweepRunner runner(flags.jobs);
+  std::vector<sim::JobResult> results;
+  std::vector<sim::JobFailure> failures;
+  if (flags.contain) {
+    sim::RunReport report = runner.run_contained(std::move(sweep), flags.options);
+    results = std::move(report.results);
+    failures = std::move(report.failures);
+  } else {
+    results = runner.run(std::move(sweep));
+  }
 
   std::cout << "config,cycles,ipc,l1_misses,l2_misses,mem_words,"
                "wall_seconds,ops_per_sec\n";
   for (const sim::JobResult& result : results) {
+    if (flags.contain && !result.ok) continue;  // reported below
     if (result.run.core.value_mismatches != 0) {
-      std::cerr << "error: " << result.run.core.value_mismatches
-                << " value mismatches in " << result.tag << " — corrupt trace?\n";
-      return 1;
+      throw cli::BadInput(std::to_string(result.run.core.value_mismatches) +
+                          " value mismatches in " + result.tag +
+                          " — corrupt trace?");
     }
-    std::cout << result.tag << ',' << result.run.core.cycles << ','
-              << result.run.core.ipc() << ',' << result.run.hierarchy.l1_misses
-              << ',' << result.run.hierarchy.l2_misses << ','
-              << result.run.traffic_words() << ',' << result.wall_seconds << ','
-              << result.ops_per_second << '\n';
+    print_result_row(result);
   }
-  return 0;
+  for (const sim::JobFailure& failure : failures) {
+    std::cerr << "job " << failure.index << " ("
+              << (failure.tag.empty() ? "untagged" : failure.tag) << ") failed"
+              << (failure.timed_out ? " [timeout]" : "") << " after "
+              << failure.attempts << " attempt(s): " << failure.what << '\n';
+  }
+  if (!failures.empty()) {
+    // An invariant violation in any job dominates the exit code.
+    for (const sim::JobFailure& failure : failures) {
+      if (failure.diagnostic &&
+          failure.diagnostic->invariant != Invariant::kGeneric) {
+        return cli::kExitInvariant;
+      }
+    }
+    return cli::kExitError;
+  }
+  return cli::kExitOk;
 }
 
 }  // namespace
@@ -105,28 +153,57 @@ int main(int argc, char** argv) {
   using namespace cpc;
 
   bool sweep = false;
-  unsigned jobs = 0;  // 0 = CPC_JOBS / hardware concurrency
+  SweepFlags flags;
   std::vector<std::string> positional;
+  const auto value_of = [&](int& i, const std::string& arg) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "error: " << arg << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--sweep") {
       sweep = true;
     } else if (arg == "--jobs") {
-      if (i + 1 >= argc) return usage();
-      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (arg.rfind("--jobs=", 0) == 0) {
-      jobs = static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+      flags.jobs =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg == "--contain") {
+      flags.contain = true;
+    } else if (arg == "--retries") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.contain = true;
+      flags.options.retries =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--timeout-ms") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.contain = true;
+      flags.options.job_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--journal") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.contain = true;
+      flags.options.journal_path = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      return usage();
     } else {
       positional.push_back(arg);
     }
   }
   if (positional.empty()) return usage();
 
-  try {
+  return cli::guarded_main([&]() -> int {
     if (sweep) {
       return run_sweep_mode(
-          positional[0],
-          {positional.begin() + 1, positional.end()}, jobs);
+          positional[0], {positional.begin() + 1, positional.end()}, flags);
     }
 
     const std::string which = positional.size() > 1 ? positional[1] : "all";
@@ -139,21 +216,17 @@ int main(int argc, char** argv) {
       if (which != "all" && sim::config_name(kind) != which) continue;
       const sim::RunResult r = sim::run_trace(trace, kind);
       if (r.core.value_mismatches != 0) {
-        std::cerr << "error: " << r.core.value_mismatches
-                  << " value mismatches — corrupt trace?\n";
-        return 1;
+        throw cli::BadInput(std::to_string(r.core.value_mismatches) +
+                            " value mismatches — corrupt trace?");
       }
       table.add_row(r.config, {r.cycles(), r.core.ipc(), r.l1_misses(),
                                r.l2_misses(), r.traffic_words()});
     }
     if (table.rows() == 0) {
-      std::cerr << "error: unknown configuration '" << which << "'\n";
-      return 2;
+      throw cli::BadInput("unknown configuration '" + which +
+                          "' (expected BC, BCC, HAC, BCP, CPP or all)");
     }
     std::cout << table.to_ascii(2);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
-  return 0;
+    return cli::kExitOk;
+  });
 }

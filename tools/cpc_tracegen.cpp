@@ -11,6 +11,8 @@
 #include "cpu/trace_io.hpp"
 #include "workload/workloads.hpp"
 
+#include "cli_util.hpp"
+
 namespace {
 
 void usage() {
@@ -27,7 +29,7 @@ int main(int argc, char** argv) {
   using namespace cpc;
   if (argc < 3) {
     usage();
-    return 2;
+    return cli::kExitUsage;
   }
   const std::string which = argv[1];
   const std::string output = argv[2];
@@ -35,7 +37,7 @@ int main(int argc, char** argv) {
   if (argc > 3) params.target_ops = std::strtoull(argv[3], nullptr, 0);
   if (argc > 4) params.seed = std::strtoull(argv[4], nullptr, 0);
 
-  try {
+  return cli::guarded_main([&]() -> int {
     if (which == "all") {
       for (const auto& wl : workload::all_workloads()) {
         const std::string path = output + "/" + wl.name + ".cpctrace";
@@ -48,9 +50,6 @@ int main(int argc, char** argv) {
       cpu::write_trace_file(output, trace);
       std::cout << output << ": " << trace.size() << " ops\n";
     }
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
-  return 0;
+    return cli::kExitOk;
+  });
 }
