@@ -1,0 +1,28 @@
+#!/bin/sh
+# Short differential-fuzz smoke run for the regular test matrix:
+#   1. a few seconds of property-based fuzzing must find zero divergences
+#      across all five configurations;
+#   2. the oracle acceptance path (--self-check) must catch a laundered
+#      payload strike and shrink it to a <= 64-access reproducer.
+# Usage: fuzz_smoke.sh <dir-with-cpc_fuzz> [budget-sec]
+set -u
+
+BIN="${1:?usage: fuzz_smoke.sh <tool-dir> [budget-sec]}"
+BUDGET="${2:-5}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== cpc_fuzz smoke: ${BUDGET}s budget =="
+if ! "$BIN/cpc_fuzz" --budget-sec "$BUDGET" --ops 1024 --out "$TMP/artifacts"; then
+  echo "FAIL: fuzz run reported a divergence; artifacts:" >&2
+  ls -l "$TMP/artifacts" >&2 || true
+  exit 1
+fi
+
+echo "== cpc_fuzz oracle self-check =="
+if ! "$BIN/cpc_fuzz" --self-check --seed 1 --ops 4096 --out "$TMP/corpus"; then
+  echo "FAIL: oracle self-check did not catch/shrink the injected fault" >&2
+  exit 1
+fi
+
+echo "fuzz smoke OK"

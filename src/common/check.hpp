@@ -32,6 +32,8 @@ enum class Invariant : std::uint8_t {
   kLccSharedIncompressible,  ///< shared LCC frame holds an incompressible line
   kLccDuplicateResident,     ///< duplicate resident in an LCC frame
   kLccLineEcc,               ///< LCC resident payload ECC mismatch
+  kShadowDivergence,         ///< committed load disagrees with the shadow golden model
+  kMetamorphicProperty,      ///< cross-configuration metamorphic relation broken
 };
 
 const char* invariant_name(Invariant id);
@@ -95,6 +97,8 @@ inline const char* invariant_name(Invariant id) {
     case Invariant::kLccSharedIncompressible: return "lcc-shared-incompressible";
     case Invariant::kLccDuplicateResident: return "lcc-duplicate-resident";
     case Invariant::kLccLineEcc: return "lcc-line-ecc";
+    case Invariant::kShadowDivergence: return "shadow-divergence";
+    case Invariant::kMetamorphicProperty: return "metamorphic-property";
   }
   return "?";
 }

@@ -144,6 +144,11 @@ class CompressedLine {
   void strike_pa_flag(std::uint32_t i) { pa_ ^= 1u << i; }
   void strike_aa_flag(std::uint32_t i) { aa_ ^= 1u << i; }
   void strike_vcp_flag(std::uint32_t i) { vcp_ ^= 1u << i; }
+  /// Rewrites the check word over the *current* (possibly struck) state —
+  /// the FaultKind::kPayloadBitSilent model of corruption the codeword
+  /// cannot witness. Every ecc_ok() audit passes afterwards; only the
+  /// architectural shadow oracle can catch what this hides.
+  void launder_ecc() { ecc_ = ecc_over_current_state(); }
 
  private:
   static constexpr std::uint32_t kPaSalt = 1;

@@ -307,6 +307,12 @@ bool CppCache::strike_random(const verify::FaultCommand& command) {
     if (command.kind == verify::FaultKind::kPayloadBit && line.pa_mask() == 0) {
       continue;
     }
+    if (command.kind == verify::FaultKind::kPayloadBitSilent &&
+        (line.pa_mask() & ~line.vcp_mask()) == 0) {
+      // The silent strike targets uncompressed primary words only, so the
+      // corrupted line satisfies every structural invariant afterwards.
+      continue;
+    }
     targets.push_back(&line);
   }
   if (targets.empty()) return false;
@@ -320,6 +326,16 @@ bool CppCache::strike_random(const verify::FaultCommand& command) {
       }
       line.strike_primary_bit(words[rng() % words.size()],
                               static_cast<unsigned>(rng() % 32));
+      return true;
+    }
+    case verify::FaultKind::kPayloadBitSilent: {
+      std::vector<std::uint32_t> words;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (line.has_primary(i) && !line.primary_compressed(i)) words.push_back(i);
+      }
+      line.strike_primary_bit(words[rng() % words.size()],
+                              static_cast<unsigned>(rng() % 32));
+      line.launder_ecc();
       return true;
     }
     case verify::FaultKind::kPaFlag:

@@ -1,0 +1,34 @@
+#pragma once
+// CommitObserver: the architectural commit hook of the out-of-order core.
+//
+// The timing model sends stores to the data cache at *issue* (they retire
+// through the write buffer and never stall the pipeline), so anything that
+// snoops the hierarchy's request stream sees speculative activity: requests
+// are issued out of program order and — when wrong-path modelling is on —
+// include probes for micro-ops that are squashed and never commit. The
+// shadow-memory oracle must track *architectural* state only, so OooCore
+// notifies an observer at in-order commit instead: stores update the golden
+// model exactly once, in program order, and loads are checked against it
+// with every older store already applied.
+
+#include <cstdint>
+
+namespace cpc::cpu {
+
+class CommitObserver {
+ public:
+  virtual ~CommitObserver() = default;
+
+  /// A load committed. `ordinal` is the op's trace index, `addr` the
+  /// word-aligned effective address, `value` the word the hierarchy
+  /// returned when the load issued. All older stores have already been
+  /// delivered through on_store_commit.
+  virtual void on_load_commit(std::uint64_t ordinal, std::uint32_t addr,
+                              std::uint32_t value) = 0;
+
+  /// A store committed. Wrong-path (squashed) stores are never reported.
+  virtual void on_store_commit(std::uint64_t ordinal, std::uint32_t addr,
+                               std::uint32_t value) = 0;
+};
+
+}  // namespace cpc::cpu

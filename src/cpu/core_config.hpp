@@ -12,6 +12,8 @@
 
 namespace cpc::cpu {
 
+class CommitObserver;  // cpu/commit_observer.hpp
+
 /// Thrown by OooCore::run when the cooperative cancel flag below is raised
 /// (sweep watchdog timeouts). Derives from runtime_error so containment
 /// layers can report it like any other job failure.
@@ -26,6 +28,27 @@ struct CoreConfig {
   /// simulated cycles. Used by the sweep watchdog — the simulation threads
   /// stay joinable instead of being killed.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// When non-null, notified at in-order commit of every load and store
+  /// (cpu/commit_observer.hpp). This is the architectural hook the shadow
+  /// oracle hangs off; sim::run_trace_on wires it automatically when the
+  /// hierarchy is an OracleHierarchy.
+  CommitObserver* commit_observer = nullptr;
+
+  /// Wrong-path modelling: probes issued per mispredicted branch while
+  /// fetch is stalled on the redirect (0 = off, the default). Wrong-path
+  /// *loads* really access the data cache — they perturb LRU state, miss
+  /// counters and traffic like real speculative execution does, but their
+  /// micro-ops never commit. Wrong-path *stores* are squashed in the store
+  /// queue: they never reach the data cache and never notify the commit
+  /// observer (matching hardware, where stores drain at commit only).
+  unsigned wrongpath_depth = 0;
+
+  /// TEST ONLY — models the conflated issue-time store path a naive
+  /// simulator has, where speculative stores write the data cache directly.
+  /// The wrong-path regression test enables this to prove the shadow
+  /// oracle catches the resulting architectural corruption.
+  bool wrongpath_stores_to_dcache = false;
 
   unsigned fetch_width = 4;
   unsigned issue_width = 4;

@@ -3,11 +3,26 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cpu/commit_observer.hpp"
+
 namespace cpc::cpu {
 
 namespace {
 constexpr std::uint64_t kPending = ~std::uint64_t{0};
 constexpr std::uint64_t kNobody = ~std::uint64_t{0};
+
+/// Deterministic wrong-path effective address: a hash of the mispredicted
+/// branch's site, its (not-taken) target and a per-run salt. Word-aligned.
+std::uint32_t wrongpath_addr(std::uint32_t pc, std::uint32_t target,
+                             std::uint32_t salt) {
+  std::uint32_t x = pc ^ (target << 1) ^ (salt * 0x9e3779b9u);
+  x ^= x >> 16;
+  x *= 0x7feb352du;
+  x ^= x >> 15;
+  x *= 0x846ca68bu;
+  x ^= x >> 16;
+  return x & ~3u;
+}
 }  // namespace
 
 OooCore::OooCore(CoreConfig config, cache::MemoryHierarchy& dcache)
@@ -19,6 +34,34 @@ OooCore::OooCore(CoreConfig config, cache::MemoryHierarchy& dcache)
       who_ring_(kRingSize, kNobody),
       missed_ring_(kRingSize, false) {
   assert(cfg_.window_size + cfg_.ifq_size + kMaxDepDistance < kRingSize);
+}
+
+void OooCore::issue_wrongpath_probes(std::uint32_t pc, std::uint32_t target,
+                                     CoreStats& stats) {
+  // Probe pattern (deterministic per mispredict): even probes walk the data
+  // just past the most recently fetched memory op — the structures the
+  // squashed code would have kept touching — odd ones hash far away.
+  // Probes 0,1 (mod 4) are loads, 2,3 are stores. None of them ever
+  // commits or notifies the commit observer.
+  for (unsigned k = 0; k < cfg_.wrongpath_depth; ++k) {
+    const std::uint32_t addr =
+        (k & 1u) ? wrongpath_addr(pc, target, wrongpath_salt_ + k)
+                 : (wrongpath_data_anchor_ + 4u * (k >> 1)) & ~3u;
+    if ((k & 2u) == 0) {
+      std::uint32_t ignored = 0;
+      dcache_.read(addr, ignored);  // speculative load: real cache pollution
+      ++stats.wrongpath_loads;
+    } else {
+      // Speculative stores die in the store queue; they must never write
+      // the data cache. The test-only escape hatch below models the buggy
+      // conflated design the shadow oracle exists to catch.
+      if (cfg_.wrongpath_stores_to_dcache) {
+        dcache_.write(addr, wrongpath_addr(pc, target, wrongpath_salt_ + 77u + k));
+      }
+      ++stats.wrongpath_stores_squashed;
+    }
+  }
+  wrongpath_salt_ += cfg_.wrongpath_depth;
 }
 
 void OooCore::record_dispatch(std::uint64_t idx) {
@@ -72,6 +115,8 @@ CoreStats OooCore::run(std::span<const MicroOp> trace) {
   window_.clear();
   ifq_.clear();
   outstanding_miss_ends_.clear();
+  wrongpath_salt_ = 0;
+  wrongpath_data_anchor_ = 0;
 
   while (committed < trace.size()) {
     // Cooperative cancellation (sweep watchdog): cheap mask test, polled
@@ -87,6 +132,16 @@ CoreStats OooCore::run(std::span<const MicroOp> trace) {
     while (!window_.empty() && committed_now < cfg_.commit_width) {
       WindowEntry& head = window_.front();
       if (!head.issued || head.done_cycle > cycle) break;
+      if (cfg_.commit_observer != nullptr) {
+        const MicroOp& op = trace[head.idx];
+        if (op.kind == OpKind::kLoad) {
+          cfg_.commit_observer->on_load_commit(head.idx, op.addr & ~3u,
+                                               head.loaded_value);
+        } else if (op.kind == OpKind::kStore) {
+          cfg_.commit_observer->on_store_commit(head.idx, op.addr & ~3u,
+                                                op.value);
+        }
+      }
       if (head.in_lsq) --lsq_used;
       window_.pop_front();
       ++committed;
@@ -147,6 +202,7 @@ CoreStats OooCore::run(std::span<const MicroOp> trace) {
             std::uint32_t value = 0;
             const cache::AccessResult r = dcache_.read(op.addr, value);
             if (value != op.value) ++stats.value_mismatches;
+            e.loaded_value = value;  // reported to the observer at commit
             latency = r.latency;
             if (r.l1_miss) {
               outstanding_miss_ends_.push_back(cycle + latency);
@@ -203,6 +259,9 @@ CoreStats OooCore::run(std::span<const MicroOp> trace) {
           fetch_blocked_until = cycle + cfg_.icache_miss_latency;
           break;
         }
+        if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) {
+          wrongpath_data_anchor_ = op.addr;
+        }
         if (op.kind == OpKind::kBranch) {
           ++stats.branches;
           const bool predicted = predictor_.predict(op.pc);
@@ -210,6 +269,9 @@ CoreStats OooCore::run(std::span<const MicroOp> trace) {
           if (predicted != op.branch_taken()) {
             ++stats.mispredicts;
             redirect_op = fetch_index;  // fetch stalls until this resolves
+            if (cfg_.wrongpath_depth > 0) {
+              issue_wrongpath_probes(op.pc, op.addr, stats);
+            }
             ifq_.push_back(fetch_index);
             ++fetch_index;
             ++fetched;

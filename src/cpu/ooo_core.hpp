@@ -38,6 +38,12 @@ struct CoreStats {
   /// always zero for a correct hierarchy (checked by the integration tests).
   std::uint64_t value_mismatches = 0;
 
+  // Wrong-path modelling (CoreConfig::wrongpath_depth): speculative probes
+  // issued in the shadow of mispredicted branches. Loads reach the data
+  // cache; stores are squashed in the store queue and never do.
+  std::uint64_t wrongpath_loads = 0;
+  std::uint64_t wrongpath_stores_squashed = 0;
+
   // Ready-queue statistics (paper Fig. 15): ready-to-issue ops per cycle,
   // accumulated separately for cycles with at least one outstanding miss.
   std::uint64_t miss_cycles = 0;
@@ -85,7 +91,12 @@ class OooCore {
     bool issued = false;
     bool in_lsq = false;
     std::uint64_t done_cycle = 0;  // valid once issued
+    std::uint32_t loaded_value = 0;  // loads: the word the hierarchy returned
   };
+
+  /// Issues the wrong-path probes a mispredicted branch at `pc` shadows.
+  void issue_wrongpath_probes(std::uint32_t pc, std::uint32_t target,
+                              CoreStats& stats);
 
   bool deps_ready(const MicroOp& op, std::uint64_t idx, std::uint64_t cycle) const;
   bool producer_done(std::uint64_t producer, std::uint64_t cycle) const;
@@ -110,6 +121,8 @@ class OooCore {
   std::deque<WindowEntry> window_;
   std::deque<std::uint64_t> ifq_;  // fetched trace indices
   std::vector<std::uint64_t> outstanding_miss_ends_;
+  std::uint32_t wrongpath_salt_ = 0;  // decorrelates successive mispredicts
+  std::uint32_t wrongpath_data_anchor_ = 0;  // last fetched memory-op address
 };
 
 }  // namespace cpc::cpu

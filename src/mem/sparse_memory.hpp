@@ -5,25 +5,71 @@
 // always holds uncompressed words, paper section 3.1) and as the scratch
 // address space the workload kernels materialise their heaps in while
 // generating traces.
+//
+// First-touch contents are governed by a deterministic fill pattern: with
+// fill seed 0 (the default) unwritten locations read as zero; with a
+// nonzero seed they read as a seeded hash of their address. The seed comes
+// from the CPC_MEM_FILL environment variable unless a constructor argument
+// overrides it, so every SparseMemory in a process — workload scratch
+// space, hierarchy backing store, shadow golden model — agrees on what an
+// untouched word contains. That agreement is what makes differential runs
+// and journal resumes bit-reproducible even when a trace reads memory it
+// never wrote.
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <unordered_map>
 
 namespace cpc::mem {
 
+/// Fill seed from CPC_MEM_FILL (parsed once per process). Unset, empty or
+/// unparseable values mean 0 — the historical zero-fill behaviour.
+inline std::uint32_t fill_seed_from_env() {
+  static const std::uint32_t seed = [] {
+    const char* env = std::getenv("CPC_MEM_FILL");
+    if (env == nullptr || *env == '\0') return 0u;
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 0);
+    return (end != env && *end == '\0') ? static_cast<std::uint32_t>(value) : 0u;
+  }();
+  return seed;
+}
+
+/// The word an unwritten location reads as under `seed`. Pure function of
+/// (address, seed): the shadow oracle and the trace fuzzer recompute it
+/// independently of any SparseMemory instance.
+constexpr std::uint32_t fill_word_for(std::uint32_t addr, std::uint32_t seed) {
+  if (seed == 0) return 0;
+  std::uint64_t x = (static_cast<std::uint64_t>(seed) << 32) | (addr & ~3u);
+  x *= 0x9e3779b97f4a7c15ull;
+  x ^= x >> 31;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 29;
+  return static_cast<std::uint32_t>(x);
+}
+
 /// Word-granular sparse memory over the full 32-bit address space.
-/// Unwritten locations read as zero. Addresses are byte addresses; word
-/// accesses are 4-byte aligned (the low two bits are ignored, matching the
-/// word-level access model the paper's study uses).
+/// Unwritten locations read as the fill pattern (zero by default).
+/// Addresses are byte addresses; word accesses are 4-byte aligned (the low
+/// two bits are ignored, matching the word-level access model the paper's
+/// study uses).
 class SparseMemory {
  public:
   static constexpr std::uint32_t kPageBytes = 4096;
   static constexpr std::uint32_t kWordsPerPage = kPageBytes / 4;
 
+  SparseMemory() : fill_seed_(fill_seed_from_env()) {}
+  explicit SparseMemory(std::uint32_t fill_seed) : fill_seed_(fill_seed) {}
+
+  std::uint32_t fill_seed() const { return fill_seed_; }
+  std::uint32_t fill_word(std::uint32_t addr) const {
+    return fill_word_for(addr, fill_seed_);
+  }
+
   std::uint32_t read_word(std::uint32_t addr) const {
     const Page* page = find_page(addr);
-    return page == nullptr ? 0 : page->words[word_index(addr)];
+    return page == nullptr ? fill_word(addr) : page->words[word_index(addr)];
   }
 
   void write_word(std::uint32_t addr, std::uint32_t value) {
@@ -33,17 +79,17 @@ class SparseMemory {
   /// Number of pages that have been written at least once.
   std::size_t resident_pages() const { return pages_.size(); }
 
-  /// Order-independent hash over all nonzero words (zero words are
-  /// indistinguishable from unwritten locations by construction). Used by
-  /// the fault campaign to compare a faulted run's final memory image
-  /// against the golden run's.
+  /// Order-independent hash over all words differing from the fill pattern
+  /// (fill-valued words are indistinguishable from unwritten locations by
+  /// construction). Used by the fault campaign to compare a faulted run's
+  /// final memory image against the golden run's.
   std::uint64_t fingerprint() const {
     std::uint64_t fp = 0;
     for (const auto& [page_no, page] : pages_) {
       const std::uint32_t base = page_no * kPageBytes;
       for (std::uint32_t i = 0; i < kWordsPerPage; ++i) {
         const std::uint32_t v = page->words[i];
-        if (v == 0) continue;
+        if (v == fill_word(base + i * 4)) continue;
         std::uint64_t x = (static_cast<std::uint64_t>(base + i * 4) << 32) | v;
         x *= 0x9e3779b97f4a7c15ull;
         x ^= x >> 29;
@@ -76,10 +122,21 @@ class SparseMemory {
 
   Page& touch_page(std::uint32_t addr) {
     auto& slot = pages_[page_number(addr)];
-    if (!slot) slot = std::make_unique<Page>();
+    if (!slot) {
+      slot = std::make_unique<Page>();
+      if (fill_seed_ != 0) {
+        // A fresh page starts as the fill pattern, so a word is never
+        // observed to change value just because a neighbour was written.
+        const std::uint32_t base = page_number(addr) * kPageBytes;
+        for (std::uint32_t i = 0; i < kWordsPerPage; ++i) {
+          slot->words[i] = fill_word(base + i * 4);
+        }
+      }
+    }
     return *slot;
   }
 
+  std::uint32_t fill_seed_;
   std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
 };
 

@@ -8,6 +8,7 @@
 #include "cache/prefetch_hierarchy.hpp"
 #include "core/cpp_hierarchy.hpp"
 #include "verify/metadata_auditor.hpp"
+#include "verify/oracle/oracle_hierarchy.hpp"
 
 namespace cpc::sim {
 
@@ -55,16 +56,28 @@ RunResult run_trace_on(std::span<const cpu::MicroOp> trace,
                        const cpu::CoreConfig& core_config) {
   RunResult result;
   result.config = hierarchy.name();
+
+  // Shadow oracle: when the caller hands us an OracleHierarchy, thread its
+  // commit hook through the core so the golden model sees architectural
+  // commits only (never speculative or wrong-path requests).
+  cpu::CoreConfig config = core_config;
+  cache::MemoryHierarchy* audit_root = &hierarchy;
+  if (auto* oracle = dynamic_cast<verify::OracleHierarchy*>(&hierarchy)) {
+    if (config.commit_observer == nullptr) config.commit_observer = oracle;
+    audit_root = &oracle->inner();  // the oracle may already wrap a guard
+  }
+
   const std::uint64_t stride = verify::MetadataAuditor::stride_from_env();
-  if (stride != 0 && dynamic_cast<verify::GuardedHierarchy*>(&hierarchy) == nullptr) {
+  if (stride != 0 &&
+      dynamic_cast<verify::GuardedHierarchy*>(audit_root) == nullptr) {
     // Always-on metadata audits: every simulation runs under the auditor
     // unless CPC_AUDIT_STRIDE=0 (or the caller already wrapped the
-    // hierarchy, e.g. the fault campaign).
+    // hierarchy, e.g. the fault campaign or a differential run).
     verify::GuardedHierarchy guard(hierarchy, stride);
-    cpu::OooCore core(core_config, guard);
+    cpu::OooCore core(config, guard);
     result.core = core.run(trace);
   } else {
-    cpu::OooCore core(core_config, hierarchy);
+    cpu::OooCore core(config, hierarchy);
     result.core = core.run(trace);
   }
   // End-of-run structural audit: cheap relative to a whole run and catches

@@ -16,6 +16,13 @@ namespace cpc::verify {
 
 enum class FaultKind : std::uint8_t {
   kPayloadBit,        ///< flip one bit of a stored (primary) payload word
+  /// Flip one payload bit AND recompute the line ECC over the corrupted
+  /// state — the model of an undetectable array fault (multi-bit upset
+  /// matching the codeword, or buggy ECC-update logic). No structural audit
+  /// can see it; only the differential shadow oracle (verify/oracle/) can,
+  /// which is why it is excluded from FaultInjector::variants() — the
+  /// audit-based campaign would rightly classify it as silent.
+  kPayloadBitSilent,
   kPaFlag,            ///< flip one PA (primary availability) flag bit
   kAaFlag,            ///< flip one AA (affiliated availability) flag bit
   kVcpFlag,           ///< flip one VCP (value compressed) flag bit
@@ -26,6 +33,7 @@ enum class FaultKind : std::uint8_t {
 inline const char* fault_kind_name(FaultKind kind) {
   switch (kind) {
     case FaultKind::kPayloadBit: return "payload-bit";
+    case FaultKind::kPayloadBitSilent: return "payload-bit-silent";
     case FaultKind::kPaFlag: return "pa-flag";
     case FaultKind::kAaFlag: return "aa-flag";
     case FaultKind::kVcpFlag: return "vcp-flag";

@@ -1,0 +1,116 @@
+#pragma once
+// DifferentialRunner: drives one trace through all five paper
+// configurations (BC, BCC, HAC, BCP, CPP) in lockstep via sim::SweepRunner,
+// each wrapped in an OracleHierarchy over a GuardedHierarchy, and then
+// enforces the cross-configuration metamorphic properties the paper's
+// argument rests on (PAPER.md §3–4): compression and partial prefetching
+// may change traffic and timing, never a loaded value.
+//
+// Per-configuration checks (the oracle): every committed load equals the
+// shadow golden model; zero trace value mismatches.
+//
+// Cross-configuration metamorphic relations:
+//   * identical committed-op counts and commit-stream hashes everywhere;
+//   * request counts match the trace's load/store population;
+//   * BC and BCC are timing-identical (the paper: "same performance",
+//     compression only changes metered traffic);
+//   * traffic(BCC) ≤ traffic(BC) always, and fetch-traffic(CPP) ≤
+//     fetch-traffic(BC) whenever CPP demand-fetches no more lines (Fig. 10;
+//     write-back totals are a figure-level result, not an invariant —
+//     buddy-conflict evictions can invert them on store-heavy phases);
+//   * miss-count sanity (L2 demand misses never exceed L1 misses, misses
+//     never exceed accesses);
+//   * TrafficMeter vs per-level counter consistency (uncompressed configs
+//     meter exactly 2 half-units per word per fetched line; compressed
+//     configs never more).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "cpu/core_config.hpp"
+#include "cpu/micro_op.hpp"
+#include "sim/experiment.hpp"
+#include "verify/metadata_auditor.hpp"
+
+namespace cpc::verify {
+
+/// Cross-configuration metamorphic properties the runner enforces.
+enum class Property : std::uint8_t {
+  kCommittedOpsEqual,     ///< all configs commit the same op counts
+  kCommitStreamEqual,     ///< all configs hash the same commit stream
+  kAccessCountsMatchTrace,///< hierarchy reads/writes match the trace population
+  kBcBccTimingIdentical,  ///< BC and BCC agree on cycles and miss counters
+  kTrafficBccLeBc,        ///< compressed transfers never cost more than BC
+  kTrafficCppLeBc,        ///< Fig. 10 fetch-path claim (see check_cross_config)
+  kMissSanity,            ///< miss counters respect structural bounds
+  kTrafficMeterConsistent,///< TrafficMeter agrees with fetched-line counters
+};
+
+const char* property_name(Property property);
+
+struct PropertyViolation {
+  Property property;
+  std::string detail;
+
+  Diagnostic to_diagnostic() const;
+};
+
+/// What one configuration's run left behind.
+struct ConfigOutcome {
+  std::string config;
+  sim::RunResult run;
+  bool ok = false;            ///< the job completed (false: see `failure`)
+  std::string failure;        ///< exception text when the job died
+  std::vector<Diagnostic> divergences;  ///< recorded shadow divergences
+  std::uint64_t divergence_count = 0;   ///< total (may exceed recorded cap)
+  std::uint64_t commit_hash = 0;
+  std::uint64_t committed_loads = 0;
+  std::uint64_t committed_stores = 0;
+  std::uint64_t stream_reads = 0;
+  std::uint64_t stream_writes = 0;
+};
+
+struct DifferentialOptions {
+  cpu::CoreConfig core{};
+  /// Metadata-audit stride inside each configuration; 0 (default) leaves
+  /// divergence detection to the oracle alone, which keeps fault-catching
+  /// attributable to the shadow model in tests.
+  std::uint64_t audit_stride = 0;
+  /// SweepRunner thread count (0 = CPC_JOBS / hardware concurrency).
+  unsigned jobs = 0;
+  /// Optional fault to arm on `fault_config` (acceptance/fuzz self-check).
+  std::optional<FaultPlan> fault;
+  sim::ConfigKind fault_config = sim::ConfigKind::kCPP;
+  bool quiet = true;
+};
+
+struct DifferentialReport {
+  std::vector<ConfigOutcome> outcomes;  ///< sim::kAllConfigs order
+  std::vector<PropertyViolation> violations;
+
+  std::uint64_t total_divergences() const;
+  std::uint64_t value_mismatches() const;
+  bool all_ran() const;
+  /// The property the whole PR enforces: every config ran, zero shadow
+  /// divergences, zero trace mismatches, every metamorphic relation holds.
+  bool clean() const;
+  std::string summary() const;
+};
+
+/// Runs the trace through all five configurations and checks everything.
+DifferentialReport run_differential(std::shared_ptr<const cpu::Trace> trace,
+                                    const DifferentialOptions& options = {});
+
+/// The pure cross-config property checker (separated for direct testing).
+/// `trace_loads`/`trace_stores` are the trace's memory-op population;
+/// `wrongpath` tells the checker speculative probes may inflate request
+/// counts past the trace population.
+std::vector<PropertyViolation> check_cross_config(
+    const std::vector<ConfigOutcome>& outcomes, std::uint64_t trace_loads,
+    std::uint64_t trace_stores, bool wrongpath = false);
+
+}  // namespace cpc::verify

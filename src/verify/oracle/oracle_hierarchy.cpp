@@ -1,0 +1,49 @@
+#include "verify/oracle/oracle_hierarchy.hpp"
+
+#include <cstdio>
+
+namespace cpc::verify {
+
+namespace {
+std::uint64_t mix_commit(std::uint64_t h, std::uint64_t ordinal,
+                         std::uint32_t addr, std::uint32_t value) {
+  h ^= ordinal + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  std::uint64_t x = (static_cast<std::uint64_t>(addr) << 32) | value;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 31;
+  return h ^ x;
+}
+}  // namespace
+
+void OracleHierarchy::on_store_commit(std::uint64_t ordinal, std::uint32_t addr,
+                                      std::uint32_t value) {
+  shadow_.commit_store(addr, value);
+  commit_hash_ = mix_commit(commit_hash_, ordinal, addr, value);
+}
+
+void OracleHierarchy::on_load_commit(std::uint64_t ordinal, std::uint32_t addr,
+                                     std::uint32_t value) {
+  ++committed_loads_;
+  commit_hash_ = mix_commit(commit_hash_, ordinal, addr, value);
+  if (shadow_.check_load(addr, value)) return;
+
+  ++divergence_count_;
+  if (divergences_.size() >= options_.max_recorded && !options_.throw_on_divergence) {
+    return;
+  }
+  const std::uint32_t expected = shadow_.expected(addr);
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "commit #%llu load 0x%08x: expected 0x%08x, got 0x%08x",
+                static_cast<unsigned long long>(ordinal), addr, expected, value);
+  Diagnostic diagnostic;
+  diagnostic.invariant = Invariant::kShadowDivergence;
+  diagnostic.site = "OracleHierarchy(" + inner_->name() + ")";
+  diagnostic.cycle = ordinal + 1;  // 1-based: Diagnostic treats 0 as unknown
+  diagnostic.line_addr = addr;
+  diagnostic.detail = detail;
+  if (options_.throw_on_divergence) throw InvariantViolation(std::move(diagnostic));
+  divergences_.push_back(std::move(diagnostic));
+}
+
+}  // namespace cpc::verify

@@ -1,0 +1,116 @@
+#pragma once
+// OracleHierarchy: the differential shadow oracle, a MemoryHierarchy
+// decorator (alongside verify::GuardedHierarchy) that proves functional
+// equivalence continuously. It forwards the CPU's request stream to the
+// wrapped hierarchy untouched — speculative and wrong-path requests
+// included — and registers as the core's CommitObserver so the shadow
+// golden model is updated only by *architecturally committed* stores and
+// consulted only for *committed* loads. Every committed load the hierarchy
+// answered differently from the flat shadow store becomes a structured
+// cpc::Diagnostic (kShadowDivergence) carrying the commit ordinal, the
+// word address, expected and actual word, and the configuration name.
+//
+// sim::run_trace_on recognises the decorator and wires the commit hook
+// automatically, so `run_trace_on(trace, oracle)` is all a caller needs.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "common/check.hpp"
+#include "cpu/commit_observer.hpp"
+#include "verify/oracle/shadow_memory.hpp"
+
+namespace cpc::verify {
+
+class OracleHierarchy final : public cache::MemoryHierarchy,
+                              public cpu::CommitObserver {
+ public:
+  struct Options {
+    /// Throw InvariantViolation at the first divergence instead of
+    /// collecting. Collection (the default) lets a differential run report
+    /// the full divergence picture for shrinking.
+    bool throw_on_divergence = false;
+    /// Collected-divergence cap; further divergences only bump the count.
+    std::size_t max_recorded = 16;
+    /// Shadow fill seed; defaults to CPC_MEM_FILL like every SparseMemory.
+    std::uint32_t fill_seed = mem::fill_seed_from_env();
+  };
+
+  explicit OracleHierarchy(std::unique_ptr<cache::MemoryHierarchy> inner)
+      : OracleHierarchy(std::move(inner), Options{}) {}
+  OracleHierarchy(std::unique_ptr<cache::MemoryHierarchy> inner,
+                  Options options)
+      : owned_(std::move(inner)),
+        inner_(owned_.get()),
+        options_(options),
+        shadow_(options.fill_seed) {}
+
+  /// Non-owning wrap: oracle-checks a hierarchy someone else keeps alive.
+  explicit OracleHierarchy(cache::MemoryHierarchy& inner)
+      : OracleHierarchy(inner, Options{}) {}
+  OracleHierarchy(cache::MemoryHierarchy& inner, Options options)
+      : inner_(&inner), options_(options), shadow_(options.fill_seed) {}
+
+  // --- MemoryHierarchy (pure forwarding; the oracle never reorders,
+  // filters or observes values here — commit is the only sample point) ----
+  cache::AccessResult read(std::uint32_t addr, std::uint32_t& value) override {
+    ++stream_reads_;
+    return inner_->read(addr, value);
+  }
+  cache::AccessResult write(std::uint32_t addr, std::uint32_t value) override {
+    ++stream_writes_;
+    return inner_->write(addr, value);
+  }
+  std::string name() const override { return inner_->name(); }
+  void validate() const override { inner_->validate(); }
+  bool inject_fault(const FaultCommand& command) override {
+    return inner_->inject_fault(command);
+  }
+  const cache::HierarchyStats& stats() const override { return inner_->stats(); }
+
+  // --- CommitObserver ---------------------------------------------------
+  void on_load_commit(std::uint64_t ordinal, std::uint32_t addr,
+                      std::uint32_t value) override;
+  void on_store_commit(std::uint64_t ordinal, std::uint32_t addr,
+                       std::uint32_t value) override;
+
+  // --- oracle state -----------------------------------------------------
+  const ShadowMemory& shadow() const { return shadow_; }
+  const std::vector<Diagnostic>& divergences() const { return divergences_; }
+  std::uint64_t divergence_count() const { return divergence_count_; }
+  bool clean() const { return divergence_count_ == 0; }
+
+  /// Rolling hash over the committed load stream (ordinal, addr, value) —
+  /// equal across two configurations iff they served every committed load
+  /// identically, the cross-config metamorphic anchor.
+  std::uint64_t commit_hash() const { return commit_hash_; }
+
+  std::uint64_t committed_loads() const { return committed_loads_; }
+  std::uint64_t committed_stores() const { return shadow_.stores(); }
+
+  /// Request-stream counts as seen below the core (includes speculative
+  /// wrong-path traffic the commit counters never see).
+  std::uint64_t stream_reads() const { return stream_reads_; }
+  std::uint64_t stream_writes() const { return stream_writes_; }
+
+  cache::MemoryHierarchy& inner() { return *inner_; }
+  const cache::MemoryHierarchy& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<cache::MemoryHierarchy> owned_;
+  cache::MemoryHierarchy* inner_;
+  Options options_;
+  ShadowMemory shadow_;
+
+  std::vector<Diagnostic> divergences_;
+  std::uint64_t divergence_count_ = 0;
+  std::uint64_t committed_loads_ = 0;
+  std::uint64_t commit_hash_ = 0x9e3779b97f4a7c15ull;
+  std::uint64_t stream_reads_ = 0;
+  std::uint64_t stream_writes_ = 0;
+};
+
+}  // namespace cpc::verify

@@ -1,0 +1,49 @@
+#pragma once
+// ShadowMemory: the flat functional golden model behind the differential
+// oracle. It is the simplest possible memory — a sparse word store updated
+// on every committed store, read on every committed load — so any cache
+// configuration whose loads disagree with it has, by definition, corrupted
+// architectural state. The shadow shares SparseMemory's deterministic fill
+// pattern (CPC_MEM_FILL), so first-touch loads agree with the hierarchy's
+// backing store without the shadow ever seeing a fill.
+
+#include <cstdint>
+
+#include "mem/sparse_memory.hpp"
+
+namespace cpc::verify {
+
+class ShadowMemory {
+ public:
+  /// Fill seed defaults to CPC_MEM_FILL, matching every hierarchy's
+  /// backing SparseMemory in the same process.
+  ShadowMemory() = default;
+  explicit ShadowMemory(std::uint32_t fill_seed) : image_(fill_seed) {}
+
+  /// Applies one committed store.
+  void commit_store(std::uint32_t addr, std::uint32_t value) {
+    image_.write_word(addr, value);
+    ++stores_;
+  }
+
+  /// The architecturally correct word at `addr` right now.
+  std::uint32_t expected(std::uint32_t addr) const {
+    return image_.read_word(addr);
+  }
+
+  /// Checks one committed load; returns true when the hierarchy's value
+  /// matches the golden model.
+  bool check_load(std::uint32_t addr, std::uint32_t value) const {
+    return image_.read_word(addr) == value;
+  }
+
+  std::uint64_t stores() const { return stores_; }
+  std::uint32_t fill_seed() const { return image_.fill_seed(); }
+  const mem::SparseMemory& image() const { return image_; }
+
+ private:
+  mem::SparseMemory image_;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace cpc::verify

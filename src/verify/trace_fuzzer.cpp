@@ -1,0 +1,515 @@
+#include "verify/trace_fuzzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "compress/scheme.hpp"
+#include "cpu/trace_io.hpp"
+#include "verify/fault.hpp"
+
+namespace cpc::verify {
+
+namespace {
+
+/// 32K-region size the paper's pointer compression keys on
+/// (prefix_bits = 17 with the 16-bit scheme → aligned 32K chunks).
+constexpr std::uint32_t kRegionBytes =
+    1u << (32 - compress::kPaperScheme.prefix_bits());
+
+constexpr std::uint32_t align_word(std::uint32_t addr) { return addr & ~3u; }
+
+}  // namespace
+
+TraceFuzzer::TraceFuzzer(const FuzzOptions& options)
+    : options_(options),
+      rng_state_(options.seed ? options.seed : 0x9e3779b97f4a7c15ull),
+      image_(options.fill_seed) {}
+
+std::uint64_t TraceFuzzer::rng() {
+  // xorshift64* (same family as workload::Rng; kept local so fuzzer streams
+  // never couple to workload-generator changes).
+  std::uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+std::uint32_t TraceFuzzer::rng_below(std::uint32_t bound) {
+  return bound == 0 ? 0 : static_cast<std::uint32_t>(rng() % bound);
+}
+
+std::uint32_t TraceFuzzer::next_pc() {
+  const std::uint32_t pc = pc_base_ + 4 * pc_slot_;
+  ++pc_slot_;
+  return pc;
+}
+
+std::uint8_t TraceFuzzer::distance_to(std::uint64_t producer) const {
+  if (producer == kNone) return 0;
+  const std::uint64_t distance = trace_.size() - producer;
+  return distance <= cpu::kMaxDepDistance ? static_cast<std::uint8_t>(distance)
+                                          : 0;
+}
+
+std::uint64_t TraceFuzzer::emit_load(std::uint32_t addr, std::uint64_t producer) {
+  cpu::MicroOp op;
+  op.pc = next_pc();
+  op.addr = align_word(addr);
+  op.value = image_.read_word(op.addr);
+  op.kind = cpu::OpKind::kLoad;
+  op.dep1 = distance_to(producer);
+  trace_.push_back(op);
+  return trace_.size() - 1;
+}
+
+void TraceFuzzer::emit_store(std::uint32_t addr, std::uint32_t value,
+                             std::uint64_t producer) {
+  cpu::MicroOp op;
+  op.pc = next_pc();
+  op.addr = align_word(addr);
+  op.value = value;
+  op.kind = cpu::OpKind::kStore;
+  op.dep1 = distance_to(producer);
+  image_.write_word(op.addr, value);
+  trace_.push_back(op);
+}
+
+void TraceFuzzer::emit_branch(bool taken) {
+  cpu::MicroOp op;
+  op.pc = next_pc();
+  // Backward target inside the current block: loop-shaped control flow so
+  // the predictor and I-side see realistic reuse.
+  const std::uint32_t back = 4 * (1 + rng_below(16));
+  op.addr = op.pc > back ? op.pc - back : op.pc + 8;
+  op.kind = cpu::OpKind::kBranch;
+  if (taken) op.flags |= cpu::MicroOp::kFlagTaken;
+  trace_.push_back(op);
+}
+
+void TraceFuzzer::emit_alu() {
+  cpu::MicroOp op;
+  op.pc = next_pc();
+  op.kind = cpu::OpKind::kIntAlu;
+  op.dep1 = trace_.empty() ? 0 : 1;
+  trace_.push_back(op);
+}
+
+std::uint32_t TraceFuzzer::boundary_value(std::uint32_t addr) {
+  const auto scheme = compress::kPaperScheme;
+  switch (rng_below(8)) {
+    case 0:  // just-compressible / just-incompressible positive small values
+      return static_cast<std::uint32_t>(scheme.small_max() -
+                                        static_cast<std::int32_t>(rng_below(3)) +
+                                        static_cast<std::int32_t>(rng_below(5)));
+    case 1:  // straddle the negative boundary
+      return static_cast<std::uint32_t>(scheme.small_min() +
+                                        static_cast<std::int32_t>(rng_below(3)) -
+                                        static_cast<std::int32_t>(rng_below(5)));
+    case 2:  // pointer into the word's own 32K region (compressible)
+      return (align_word(addr) & ~(kRegionBytes - 1)) |
+             align_word(rng_below(kRegionBytes));
+    case 3:  // pointer one region over (prefix mismatch → incompressible)
+      return ((align_word(addr) + kRegionBytes) & ~(kRegionBytes - 1)) |
+             align_word(rng_below(kRegionBytes));
+    case 4:
+      return 0;
+    case 5:
+      return 0xFFFF'FFFFu;
+    case 6:  // sign-extension edge: all ones below the check, then flip one
+      return static_cast<std::uint32_t>(-1) << rng_below(20);
+    default:
+      return static_cast<std::uint32_t>(rng());
+  }
+}
+
+void TraceFuzzer::seg_boundary_values() {
+  // A dense array hammered with words that sit on the compressibility
+  // boundary, so VCP flags flip between writes to the same word.
+  const std::uint32_t base =
+      0x0010'0000u + 0x2000u * rng_below(64);
+  const std::uint32_t words = 64 + rng_below(192);
+  const std::uint32_t burst = 24 + rng_below(40);
+  std::uint64_t last_load = kNone;
+  for (std::uint32_t i = 0; i < burst; ++i) {
+    const std::uint32_t addr = base + 4 * rng_below(words);
+    if (rng_below(3) == 0) {
+      last_load = emit_load(addr, last_load);
+    } else {
+      emit_store(addr, boundary_value(addr), last_load);
+    }
+    if (rng_below(8) == 0) emit_branch(rng_below(2) != 0);
+  }
+}
+
+void TraceFuzzer::seg_pointer_chain() {
+  // Linked nodes parked a few words either side of 32K-region edges: the
+  // next-pointers alternate between same-region (compressible) and
+  // cross-region (incompressible) prefixes as the chase hops boundaries.
+  const std::uint32_t chain_base =
+      0x0200'0000u + kRegionBytes * rng_below(32);
+  const std::uint32_t nodes = 6 + rng_below(10);
+  std::vector<std::uint32_t> node_addr(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    const std::uint32_t edge = chain_base + (i + 1) * kRegionBytes;
+    const std::int32_t jitter = 4 * (static_cast<std::int32_t>(rng_below(8)) - 4);
+    node_addr[i] = static_cast<std::uint32_t>(static_cast<std::int64_t>(edge) + jitter);
+  }
+  for (std::uint32_t i = 0; i + 1 < nodes; ++i) {
+    emit_store(node_addr[i], node_addr[i + 1]);
+  }
+  emit_store(node_addr[nodes - 1], node_addr[0]);
+  // Chase it: each load depends on the previous (serial pointer chase).
+  std::uint64_t last = kNone;
+  const std::uint32_t hops = nodes + rng_below(2 * nodes);
+  for (std::uint32_t hop = 0; hop < hops; ++hop) {
+    last = emit_load(node_addr[hop % nodes], last);
+    if (rng_below(6) == 0) emit_branch(true);
+  }
+}
+
+void TraceFuzzer::seg_ping_pong() {
+  // Primary/affiliated ping-pong: the CPP hierarchy pairs L2 line X with
+  // X^1 (byte address ^ 0x80 for 128-byte lines). Alternating accesses
+  // exercise affiliated prefetch, PA/AA flag churn, and affiliated hits.
+  const std::uint32_t primary =
+      (0x0300'0000u + 0x100u * rng_below(4096)) & ~0x7Fu;
+  const std::uint32_t affiliated = primary ^ 0x80u;
+  const std::uint32_t rounds = 16 + rng_below(32);
+  std::uint64_t last_load = kNone;
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    const std::uint32_t side = (i & 1) ? affiliated : primary;
+    const std::uint32_t addr = side + 4 * rng_below(32);
+    if (rng_below(4) == 0) {
+      emit_store(addr, boundary_value(addr), last_load);
+    } else {
+      last_load = emit_load(addr, kNone);
+    }
+    if (rng_below(10) == 0) emit_alu();
+  }
+}
+
+void TraceFuzzer::seg_conflict_storm() {
+  // Dirty-eviction storm: walk more same-set lines than the associativity
+  // holds, storing boundary values so every eviction writes back a line
+  // whose compressed size the caches must re-derive.
+  const std::uint32_t set_offset = 0x80u * rng_below(64);
+  const std::uint32_t base = 0x0400'0000u + set_offset;
+  const std::uint32_t ways = 6 + rng_below(8);  // > any config's assoc
+  const std::uint32_t rounds = 2 + rng_below(3);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      const std::uint32_t line = base + w * kRegionBytes;  // same set, L1+L2
+      const std::uint32_t addr = line + 4 * rng_below(32);
+      emit_store(addr, boundary_value(addr));
+      if (rng_below(3) == 0) emit_load(line + 4 * rng_below(32));
+    }
+    emit_branch(r + 1 < rounds);
+  }
+}
+
+void TraceFuzzer::seg_affiliated_rmw() {
+  // Read-modify-write races on both halves of an affiliated pair: a load
+  // feeds a store to the *other* line, so stale affiliated copies would be
+  // observed architecturally if eviction/update logic mishandled them.
+  const std::uint32_t primary =
+      (0x0500'0000u + 0x200u * rng_below(2048)) & ~0x7Fu;
+  const std::uint32_t affiliated = primary ^ 0x80u;
+  const std::uint32_t rounds = 12 + rng_below(20);
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    const std::uint32_t src = (i & 1) ? affiliated : primary;
+    const std::uint32_t dst = (i & 1) ? primary : affiliated;
+    const std::uint32_t off = 4 * rng_below(32);
+    const std::uint64_t loaded = emit_load(src + off);
+    // The new value rides the loaded one's compressibility boundary.
+    emit_store(dst + off, image_.read_word(align_word(src + off)) + 1,
+               loaded);
+    if (rng_below(5) == 0) emit_branch(rng_below(2) != 0);
+  }
+}
+
+cpu::Trace TraceFuzzer::generate() {
+  trace_.clear();
+  image_ = mem::SparseMemory(options_.fill_seed);
+  pc_slot_ = 0;
+  std::uint32_t segment = 0;
+  while (trace_.size() < options_.target_ops) {
+    // Fresh code block per segment: distinct PCs per strategy burst.
+    pc_base_ = 0x0001'0000u + 0x1000u * (segment++ & 0xFFFu);
+    pc_slot_ = 0;
+    switch (rng_below(5)) {
+      case 0: seg_boundary_values(); break;
+      case 1: seg_pointer_chain(); break;
+      case 2: seg_ping_pong(); break;
+      case 3: seg_conflict_storm(); break;
+      default: seg_affiliated_rmw(); break;
+    }
+    if (rng_below(3) == 0) emit_alu();
+  }
+  trace_.resize(options_.target_ops);
+  cpu::Trace out;
+  out.swap(trace_);
+  normalize_trace(out, options_.fill_seed);  // resize may have orphaned deps
+  return out;
+}
+
+void normalize_trace(cpu::Trace& trace, std::uint32_t fill_seed) {
+  mem::SparseMemory image(fill_seed);
+  for (cpu::MicroOp& op : trace) {
+    if (op.kind == cpu::OpKind::kLoad) {
+      op.addr = align_word(op.addr);
+      op.value = image.read_word(op.addr);
+    } else if (op.kind == cpu::OpKind::kStore) {
+      op.addr = align_word(op.addr);
+      image.write_word(op.addr, op.value);
+    }
+  }
+}
+
+namespace {
+
+/// Removes [begin, begin+count), remapping producer distances across the
+/// gap (edges into the removed range are dropped) and re-normalising load
+/// values so the candidate stays architecturally self-consistent.
+cpu::Trace remove_range(const cpu::Trace& trace, std::size_t begin,
+                        std::size_t count, std::uint32_t fill_seed) {
+  constexpr std::size_t kGone = ~std::size_t{0};
+  std::vector<std::size_t> new_index(trace.size(), kGone);
+  cpu::Trace out;
+  out.reserve(trace.size() - count);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i >= begin && i < begin + count) continue;
+    new_index[i] = out.size();
+    out.push_back(trace[i]);
+  }
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (new_index[i] == kGone) continue;
+    cpu::MicroOp& op = out[new_index[i]];
+    const auto remap = [&](std::uint8_t dep) -> std::uint8_t {
+      if (dep == 0 || dep > i) return dep;  // none / pre-trace: already ready
+      const std::size_t producer = i - dep;
+      if (new_index[producer] == kGone) return 0;
+      const std::size_t distance = new_index[i] - new_index[producer];
+      return distance <= cpu::kMaxDepDistance
+                 ? static_cast<std::uint8_t>(distance)
+                 : 0;
+    };
+    op.dep1 = remap(op.dep1);
+    op.dep2 = remap(op.dep2);
+  }
+  normalize_trace(out, fill_seed);
+  return out;
+}
+
+}  // namespace
+
+cpu::Trace shrink_trace(cpu::Trace failing,
+                        const std::function<bool(const cpu::Trace&)>& still_fails,
+                        const ShrinkOptions& options, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+  s = ShrinkStats{};
+  if (failing.empty()) return failing;
+
+  const auto eval = [&](const cpu::Trace& candidate) {
+    ++s.evaluations;
+    return still_fails(candidate);
+  };
+  const auto budget_left = [&] { return s.evaluations < options.max_evaluations; };
+
+  // Phase 1: shortest failing prefix, by binary search. (The predicate need
+  // not be monotone in prefix length; this is the standard heuristic and the
+  // ddmin pass below cleans up whatever it misses.)
+  std::size_t lo = 1;
+  std::size_t hi = failing.size();
+  while (lo < hi && budget_left()) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (eval(remove_range(failing, mid, failing.size() - mid,
+                          options.fill_seed))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (hi < failing.size()) {
+    cpu::Trace prefix =
+        remove_range(failing, hi, failing.size() - hi, options.fill_seed);
+    if (eval(prefix)) failing = std::move(prefix);
+  }
+
+  // Phase 2: delta-debugging chunk removal, halving the chunk size until a
+  // full single-op pass removes nothing.
+  std::size_t chunk = std::max<std::size_t>(1, failing.size() / 2);
+  while (budget_left()) {
+    ++s.rounds;
+    bool removed_any = false;
+    for (std::size_t begin = 0; begin < failing.size() && budget_left();) {
+      const std::size_t count = std::min(chunk, failing.size() - begin);
+      if (count == failing.size()) break;  // never try the empty trace
+      cpu::Trace candidate =
+          remove_range(failing, begin, count, options.fill_seed);
+      if (eval(candidate)) {
+        failing = std::move(candidate);
+        removed_any = true;  // same begin now addresses the next chunk
+      } else {
+        begin += count;
+      }
+    }
+    if (chunk > 1) {
+      chunk /= 2;
+    } else if (!removed_any) {
+      break;
+    }
+  }
+  return failing;
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+sim::ConfigKind parse_config(const std::string& name) {
+  for (sim::ConfigKind kind : sim::kAllConfigs) {
+    if (sim::config_name(kind) == name) return kind;
+  }
+  throw std::runtime_error("repro: unknown config '" + name + "'");
+}
+
+FaultKind parse_fault_kind(const std::string& name) {
+  for (FaultKind kind :
+       {FaultKind::kPayloadBit, FaultKind::kPayloadBitSilent,
+        FaultKind::kPaFlag, FaultKind::kAaFlag, FaultKind::kVcpFlag,
+        FaultKind::kDropResponseWord, FaultKind::kDelayFill}) {
+    if (fault_kind_name(kind) == name) return kind;
+  }
+  throw std::runtime_error("repro: unknown fault kind '" + name + "'");
+}
+
+}  // namespace
+
+void save_repro(const std::string& dir, const ReproCase& repro) {
+  fs::create_directories(dir);
+  const fs::path trace_path = fs::path(dir) / (repro.name + ".cpctrace");
+  cpu::write_trace_file(trace_path.string(), repro.trace);
+
+  const fs::path repro_path = fs::path(dir) / (repro.name + ".repro");
+  std::ofstream out(repro_path);
+  if (!out) {
+    throw std::runtime_error("repro: cannot write " + repro_path.string());
+  }
+  out << "cpc-repro v1\n";
+  out << "name " << repro.name << '\n';
+  out << "trace " << repro.name << ".cpctrace\n";
+  out << "expect " << (repro.expect_divergence ? "divergence" : "clean")
+      << '\n';
+  out << "origin-seed " << repro.origin_seed << '\n';
+  out << "fill-seed " << repro.fill_seed << '\n';
+  if (repro.fault) {
+    out << "fault " << fault_kind_name(repro.fault->command.kind)
+        << " level=" << repro.fault->command.level
+        << " seed=" << repro.fault->command.seed
+        << " delay=" << repro.fault->command.delay_cycles
+        << " trigger=" << repro.fault->trigger_access
+        << " config=" << sim::config_name(repro.fault_config) << '\n';
+  }
+  if (!out.flush()) {
+    throw std::runtime_error("repro: short write to " + repro_path.string());
+  }
+}
+
+ReproCase load_repro(const std::string& repro_path) {
+  std::ifstream in(repro_path);
+  if (!in) throw std::runtime_error("repro: cannot open " + repro_path);
+  std::string header;
+  std::getline(in, header);
+  if (header != "cpc-repro v1") {
+    throw std::runtime_error("repro: bad header in " + repro_path);
+  }
+
+  ReproCase repro;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "name") {
+      fields >> repro.name;
+    } else if (key == "trace") {
+      std::string rel;
+      fields >> rel;
+      repro.trace_path = (fs::path(repro_path).parent_path() / rel).string();
+    } else if (key == "expect") {
+      std::string what;
+      fields >> what;
+      if (what != "divergence" && what != "clean") {
+        throw std::runtime_error("repro: bad expect '" + what + "'");
+      }
+      repro.expect_divergence = what == "divergence";
+    } else if (key == "origin-seed") {
+      fields >> repro.origin_seed;
+    } else if (key == "fill-seed") {
+      fields >> repro.fill_seed;
+    } else if (key == "fault") {
+      std::string kind_name;
+      fields >> kind_name;
+      FaultPlan plan;
+      plan.command.kind = parse_fault_kind(kind_name);
+      std::string attr;
+      while (fields >> attr) {
+        const std::size_t eq = attr.find('=');
+        if (eq == std::string::npos) {
+          throw std::runtime_error("repro: bad fault attribute '" + attr + "'");
+        }
+        const std::string k = attr.substr(0, eq);
+        const std::string v = attr.substr(eq + 1);
+        if (k == "level") {
+          plan.command.level = std::stoi(v);
+        } else if (k == "seed") {
+          plan.command.seed = std::stoull(v);
+        } else if (k == "delay") {
+          plan.command.delay_cycles =
+              static_cast<unsigned>(std::stoul(v));
+        } else if (k == "trigger") {
+          plan.trigger_access = std::stoull(v);
+        } else if (k == "config") {
+          repro.fault_config = parse_config(v);
+        } else {
+          throw std::runtime_error("repro: unknown fault attribute '" + k + "'");
+        }
+      }
+      repro.fault = plan;
+    } else {
+      throw std::runtime_error("repro: unknown key '" + key + "' in " +
+                               repro_path);
+    }
+    if (fields.fail() && !fields.eof()) {
+      throw std::runtime_error("repro: malformed line '" + line + "'");
+    }
+  }
+  if (repro.trace_path.empty()) {
+    throw std::runtime_error("repro: missing trace line in " + repro_path);
+  }
+  repro.trace = cpu::read_trace_file(repro.trace_path);
+  return repro;
+}
+
+std::vector<std::string> list_repro_files(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".repro") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace cpc::verify

@@ -1,0 +1,129 @@
+#pragma once
+// Seeded property-based trace fuzzing for the differential oracle.
+//
+// TraceFuzzer generates adversarial micro-op workloads aimed squarely at
+// the compression cache's hard cases (paper §2–3): small values straddling
+// the compressibility boundary, pointer chains hopping across 32K-region
+// edges, primary/affiliated ping-pong, dirty-eviction storms on a single
+// cache set, and read-modify-write races on affiliated copies. Traces are
+// generated against an internal SparseMemory image (same CPC_MEM_FILL fill
+// pattern as every hierarchy), so every load carries the architecturally
+// correct expected value — the traces are self-checking by construction
+// and valid input for any MemoryHierarchy.
+//
+// shrink_trace() is the automatic minimiser: binary-search the shortest
+// failing prefix, then delta-debug chunks away, re-normalising load values
+// after every candidate edit so candidates stay self-consistent. Shrunk
+// divergences become permanent regression cases (tests/corpus/) via the
+// ReproCase save/load helpers.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/micro_op.hpp"
+#include "mem/sparse_memory.hpp"
+#include "sim/experiment.hpp"
+#include "verify/metadata_auditor.hpp"
+
+namespace cpc::verify {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint32_t target_ops = 4096;
+  /// Fill pattern the generated loads assume; must match the hierarchies'
+  /// (it defaults to CPC_MEM_FILL exactly like theirs do).
+  std::uint32_t fill_seed = mem::fill_seed_from_env();
+};
+
+class TraceFuzzer {
+ public:
+  explicit TraceFuzzer(const FuzzOptions& options);
+
+  /// Generates one adversarial, self-consistent trace.
+  cpu::Trace generate();
+
+ private:
+  static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+
+  // Strategy segments (each emits a bounded burst of ops).
+  void seg_boundary_values();
+  void seg_pointer_chain();
+  void seg_ping_pong();
+  void seg_conflict_storm();
+  void seg_affiliated_rmw();
+
+  std::uint64_t emit_load(std::uint32_t addr, std::uint64_t producer = kNone);
+  void emit_store(std::uint32_t addr, std::uint32_t value,
+                  std::uint64_t producer = kNone);
+  void emit_branch(bool taken);
+  void emit_alu();
+  std::uint8_t distance_to(std::uint64_t producer) const;
+  std::uint32_t next_pc();
+  std::uint32_t boundary_value(std::uint32_t addr);
+
+  FuzzOptions options_;
+  std::uint64_t rng_state_;
+  std::uint64_t rng();
+  std::uint32_t rng_below(std::uint32_t bound);
+
+  cpu::Trace trace_;
+  mem::SparseMemory image_;
+  std::uint32_t pc_base_ = 0x0001'0000;
+  std::uint32_t pc_slot_ = 0;
+};
+
+/// Rewrites every load's expected value by replaying the trace's stores
+/// through a fresh fill-patterned image. After any structural edit
+/// (removal, reordering) this restores self-consistency.
+void normalize_trace(cpu::Trace& trace,
+                     std::uint32_t fill_seed = mem::fill_seed_from_env());
+
+struct ShrinkOptions {
+  /// Predicate-evaluation budget; shrinking stops when exhausted.
+  std::size_t max_evaluations = 500;
+  std::uint32_t fill_seed = mem::fill_seed_from_env();
+};
+
+struct ShrinkStats {
+  std::size_t evaluations = 0;
+  std::size_t rounds = 0;
+};
+
+/// Minimises `failing` while `still_fails` holds: first a binary search
+/// for the shortest failing prefix, then delta-debugging chunk removal.
+/// Deterministic: the same inputs always shrink to the same trace.
+cpu::Trace shrink_trace(cpu::Trace failing,
+                        const std::function<bool(const cpu::Trace&)>& still_fails,
+                        const ShrinkOptions& options = {},
+                        ShrinkStats* stats = nullptr);
+
+/// One committed regression case: a minimal trace plus the conditions
+/// (optional armed fault) under which the differential oracle must react.
+struct ReproCase {
+  std::string name;
+  std::string trace_path;  ///< resolved, next to the .repro file
+  cpu::Trace trace;
+  /// True: the oracle must report a divergence (fault reproducers).
+  /// False: the differential run must be clean (fixed-bug reproducers).
+  bool expect_divergence = false;
+  std::optional<FaultPlan> fault;
+  sim::ConfigKind fault_config = sim::ConfigKind::kCPP;
+  std::uint64_t origin_seed = 0;
+  std::uint32_t fill_seed = 0;
+};
+
+/// Writes `<dir>/<name>.cpctrace` + `<dir>/<name>.repro`.
+void save_repro(const std::string& dir, const ReproCase& repro);
+
+/// Loads a `.repro` sidecar and its trace. Throws std::runtime_error on a
+/// malformed file.
+ReproCase load_repro(const std::string& repro_path);
+
+/// All `.repro` files under `dir`, sorted by name (empty when the
+/// directory does not exist).
+std::vector<std::string> list_repro_files(const std::string& dir);
+
+}  // namespace cpc::verify

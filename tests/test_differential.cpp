@@ -1,0 +1,419 @@
+// Differential shadow oracle + cross-config metamorphic checks + fuzzing.
+//
+// The lockstep five-configuration runs are the PR's core property: every
+// committed load must equal the shadow golden model on BC, BCC, HAC, BCP
+// and CPP, and the cross-configuration metamorphic relations (identical
+// commit streams, traffic(CPP) <= traffic(BC), miss sanity, traffic-meter
+// consistency) must hold on real workloads and on adversarial fuzzer
+// traces alike. The fault-side tests prove the oracle earns its keep: a
+// laundered payload strike that every structural audit misses is caught
+// architecturally and shrinks to a committed-corpus-sized reproducer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "cpu/micro_op.hpp"
+#include "sim/experiment.hpp"
+#include "verify/oracle/differential.hpp"
+#include "verify/oracle/oracle_hierarchy.hpp"
+#include "verify/trace_fuzzer.hpp"
+#include "workload/workloads.hpp"
+
+#ifndef CPC_CORPUS_DIR
+#define CPC_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace cpc {
+namespace {
+
+std::shared_ptr<const cpu::Trace> workload_trace(const char* name,
+                                                 std::uint64_t ops) {
+  const workload::Workload& wl = workload::find_workload(name);
+  workload::WorkloadParams params;
+  params.target_ops = ops;
+  return std::make_shared<const cpu::Trace>(workload::generate(wl, params));
+}
+
+std::shared_ptr<const cpu::Trace> fuzz_trace(std::uint64_t seed,
+                                             std::uint32_t ops) {
+  verify::FuzzOptions options;
+  options.seed = seed;
+  options.target_ops = ops;
+  return std::make_shared<const cpu::Trace>(
+      verify::TraceFuzzer(options).generate());
+}
+
+std::uint64_t count_accesses(const cpu::Trace& trace) {
+  std::uint64_t n = 0;
+  for (const cpu::MicroOp& op : trace) {
+    if (op.kind == cpu::OpKind::kLoad || op.kind == cpu::OpKind::kStore) ++n;
+  }
+  return n;
+}
+
+// ---- lockstep five-config equivalence ---------------------------------
+
+TEST(Differential, FiveConfigLockstepCleanOnWorkloads) {
+  for (const char* name : {"olden.treeadd", "olden.mst", "spec2000.181.mcf"}) {
+    SCOPED_TRACE(name);
+    // 40k ops: enough for every kernel (mcf included) to finish its
+    // store-only build phase and commit loads.
+    const verify::DifferentialReport report =
+        verify::run_differential(workload_trace(name, 40'000));
+    EXPECT_TRUE(report.clean()) << report.summary();
+    ASSERT_EQ(report.outcomes.size(), 5u);
+    for (const verify::ConfigOutcome& outcome : report.outcomes) {
+      EXPECT_TRUE(outcome.ok) << outcome.config << ": " << outcome.failure;
+      EXPECT_EQ(outcome.divergence_count, 0u);
+      EXPECT_GT(outcome.committed_loads, 0u);
+      EXPECT_EQ(outcome.commit_hash, report.outcomes.front().commit_hash);
+    }
+  }
+}
+
+TEST(Differential, FuzzerSeedsAllClean) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const verify::DifferentialReport report =
+        verify::run_differential(fuzz_trace(seed, 768));
+    EXPECT_TRUE(report.clean()) << "fuzz seed " << seed << ":\n"
+                                << report.summary();
+  }
+}
+
+// ---- cross-config property checker (pure, on mutated real outcomes) ----
+
+class CrossConfigCheck : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = fuzz_trace(21, 1024);
+    report_ = new verify::DifferentialReport(verify::run_differential(trace_));
+    for (const cpu::MicroOp& op : *trace_) {
+      if (op.kind == cpu::OpKind::kLoad) ++loads_;
+      if (op.kind == cpu::OpKind::kStore) ++stores_;
+    }
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    report_ = nullptr;
+    trace_.reset();
+  }
+
+  static std::shared_ptr<const cpu::Trace> trace_;
+  static verify::DifferentialReport* report_;
+  static std::uint64_t loads_;
+  static std::uint64_t stores_;
+};
+
+std::shared_ptr<const cpu::Trace> CrossConfigCheck::trace_;
+verify::DifferentialReport* CrossConfigCheck::report_ = nullptr;
+std::uint64_t CrossConfigCheck::loads_ = 0;
+std::uint64_t CrossConfigCheck::stores_ = 0;
+
+bool has_violation(const std::vector<verify::PropertyViolation>& violations,
+                   verify::Property property) {
+  for (const verify::PropertyViolation& violation : violations) {
+    if (violation.property == property) return true;
+  }
+  return false;
+}
+
+TEST_F(CrossConfigCheck, RealOutcomesSatisfyEveryProperty) {
+  ASSERT_TRUE(report_->clean()) << report_->summary();
+  EXPECT_TRUE(
+      verify::check_cross_config(report_->outcomes, loads_, stores_).empty());
+}
+
+TEST_F(CrossConfigCheck, DetectsCommitStreamDivergence) {
+  std::vector<verify::ConfigOutcome> outcomes = report_->outcomes;
+  outcomes.back().commit_hash ^= 1;  // CPP served some load differently
+  EXPECT_TRUE(has_violation(
+      verify::check_cross_config(outcomes, loads_, stores_),
+      verify::Property::kCommitStreamEqual));
+}
+
+TEST_F(CrossConfigCheck, DetectsCommittedOpMismatch) {
+  std::vector<verify::ConfigOutcome> outcomes = report_->outcomes;
+  outcomes[2].committed_loads += 3;  // HAC dropped/duplicated commits
+  EXPECT_TRUE(has_violation(
+      verify::check_cross_config(outcomes, loads_, stores_),
+      verify::Property::kCommittedOpsEqual));
+}
+
+TEST_F(CrossConfigCheck, DetectsBcBccTimingSplit) {
+  std::vector<verify::ConfigOutcome> outcomes = report_->outcomes;
+  outcomes[1].run.core.cycles += 10;  // BCC may never change timing
+  EXPECT_TRUE(has_violation(
+      verify::check_cross_config(outcomes, loads_, stores_),
+      verify::Property::kBcBccTimingIdentical));
+}
+
+TEST_F(CrossConfigCheck, DetectsCppTrafficRegression) {
+  std::vector<verify::ConfigOutcome> outcomes = report_->outcomes;
+  // Inflate CPP's metered fetch traffic past BC's while its fetched-line
+  // count stays at or below BC's: the Fig. 10 fetch-path claim must trip.
+  ASSERT_LE(outcomes[4].run.hierarchy.mem_fetch_lines +
+                outcomes[4].run.hierarchy.prefetch_lines,
+            outcomes[0].run.hierarchy.mem_fetch_lines +
+                outcomes[0].run.hierarchy.prefetch_lines);
+  const std::uint64_t gap =
+      outcomes[0].run.hierarchy.traffic.fetch_half_units() -
+      outcomes[4].run.hierarchy.traffic.fetch_half_units();
+  outcomes[4].run.hierarchy.traffic.add_compressed_words(gap + 2);
+  EXPECT_TRUE(has_violation(
+      verify::check_cross_config(outcomes, loads_, stores_),
+      verify::Property::kTrafficCppLeBc));
+}
+
+TEST_F(CrossConfigCheck, DetectsMissCountInsanity) {
+  std::vector<verify::ConfigOutcome> outcomes = report_->outcomes;
+  outcomes[3].run.hierarchy.l2_misses =
+      outcomes[3].run.hierarchy.l1_misses + 1;  // L2 demand misses > L1
+  EXPECT_TRUE(has_violation(
+      verify::check_cross_config(outcomes, loads_, stores_),
+      verify::Property::kMissSanity));
+}
+
+TEST_F(CrossConfigCheck, DetectsRequestStreamLoss) {
+  std::vector<verify::ConfigOutcome> outcomes = report_->outcomes;
+  outcomes[0].run.hierarchy.reads -= 1;  // BC swallowed a request
+  EXPECT_TRUE(has_violation(
+      verify::check_cross_config(outcomes, loads_, stores_),
+      verify::Property::kAccessCountsMatchTrace));
+}
+
+// ---- the oracle catches what structural audits cannot ------------------
+
+// Scans small (trigger, seed) pairs exactly like `cpc_fuzz --self-check`:
+// a laundered payload strike can be masked (victim word overwritten or
+// evicted clean before any load), so a handful of arming points is tried.
+std::optional<verify::FaultPlan> find_caught_strike(
+    const std::shared_ptr<const cpu::Trace>& trace,
+    verify::DifferentialOptions& options) {
+  for (const std::uint64_t trigger : {8, 16, 24, 32, 48}) {
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+      verify::FaultPlan plan;
+      plan.command.kind = verify::FaultKind::kPayloadBitSilent;
+      plan.command.level = 1;
+      plan.command.seed = seed;
+      plan.trigger_access = trigger;
+      options.fault = plan;
+      if (verify::run_differential(trace, options).total_divergences() > 0) {
+        return plan;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(Differential, OracleCatchesLaunderedPayloadStrike) {
+  const auto trace = fuzz_trace(5, 4096);
+  verify::DifferentialOptions options;
+  options.fault_config = sim::ConfigKind::kCPP;
+  const std::optional<verify::FaultPlan> plan =
+      find_caught_strike(trace, options);
+  ASSERT_TRUE(plan.has_value())
+      << "no small-trigger laundered strike was oracle-visible";
+
+  options.fault = plan;
+  const verify::DifferentialReport report =
+      verify::run_differential(trace, options);
+  ASSERT_GT(report.total_divergences(), 0u);
+
+  // Only the faulted configuration diverges, and its diagnostic is fully
+  // populated: the structured record a bug report is built from.
+  for (const verify::ConfigOutcome& outcome : report.outcomes) {
+    EXPECT_TRUE(outcome.ok) << outcome.config << ": " << outcome.failure;
+    if (outcome.config != "CPP") {
+      EXPECT_EQ(outcome.divergence_count, 0u) << outcome.config;
+      continue;
+    }
+    ASSERT_GT(outcome.divergence_count, 0u);
+    ASSERT_FALSE(outcome.divergences.empty());
+    const Diagnostic& diagnostic = outcome.divergences.front();
+    EXPECT_EQ(diagnostic.invariant, Invariant::kShadowDivergence);
+    EXPECT_NE(diagnostic.site.find("CPP"), std::string::npos);
+    EXPECT_GT(diagnostic.cycle, 0u);
+    EXPECT_NE(diagnostic.detail.find("expected"), std::string::npos);
+  }
+
+  // The acceptance bar: the failure shrinks to a corpus-sized reproducer
+  // that still diverges.
+  verify::ShrinkStats stats;
+  const cpu::Trace shrunk = verify::shrink_trace(
+      *trace,
+      [&](const cpu::Trace& candidate) {
+        return verify::run_differential(
+                   std::make_shared<const cpu::Trace>(candidate), options)
+                   .total_divergences() > 0;
+      },
+      verify::ShrinkOptions{}, &stats);
+  EXPECT_LE(count_accesses(shrunk), 64u);
+  EXPECT_LT(shrunk.size(), trace->size());
+  EXPECT_GT(stats.evaluations, 0u);
+  EXPECT_GT(verify::run_differential(
+                std::make_shared<const cpu::Trace>(shrunk), options)
+                .total_divergences(),
+            0u);
+}
+
+// ---- shrinker: deterministic and minimal -------------------------------
+
+TEST(TraceShrinker, DeterministicAndMinimalOnMonotonePredicate) {
+  const auto trace = fuzz_trace(7, 1024);
+  // Monotone predicate independent of load values: >= 10 stores survive.
+  const auto ten_stores = [](const cpu::Trace& candidate) {
+    std::uint64_t stores = 0;
+    for (const cpu::MicroOp& op : candidate) {
+      if (op.kind == cpu::OpKind::kStore) ++stores;
+    }
+    return stores >= 10;
+  };
+  verify::ShrinkOptions options;
+  options.max_evaluations = 2000;
+  verify::ShrinkStats stats_a;
+  const cpu::Trace a = verify::shrink_trace(*trace, ten_stores, options,
+                                            &stats_a);
+  verify::ShrinkStats stats_b;
+  const cpu::Trace b = verify::shrink_trace(*trace, ten_stores, options,
+                                            &stats_b);
+
+  // Bit-identical across runs (same inputs, same result)...
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pc, b[i].pc);
+    EXPECT_EQ(a[i].addr, b[i].addr);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+  EXPECT_EQ(stats_a.evaluations, stats_b.evaluations);
+
+  // ...and 1-minimal: exactly the 10 stores remain.
+  EXPECT_TRUE(ten_stores(a));
+  EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(TraceShrinker, NormalizationKeepsCandidatesSelfConsistent) {
+  // Shrunk traces must stay valid oracle input: every load's recorded value
+  // equals what replaying the stores over the fill pattern produces, so a
+  // clean differential run on the shrunk trace stays clean.
+  const auto trace = fuzz_trace(13, 512);
+  const cpu::Trace shrunk = verify::shrink_trace(
+      *trace,
+      [](const cpu::Trace& candidate) { return count_accesses(candidate) >= 8; },
+      verify::ShrinkOptions{});
+  EXPECT_EQ(count_accesses(shrunk), 8u);
+  const verify::DifferentialReport report = verify::run_differential(
+      std::make_shared<const cpu::Trace>(shrunk));
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+// ---- wrong-path isolation (the commit-time store hook) -----------------
+
+TEST(WrongPath, SpeculativeStoresNeverPolluteShadowOrMemory) {
+  verify::DifferentialOptions options;
+  options.core.wrongpath_depth = 4;
+  const verify::DifferentialReport report =
+      verify::run_differential(fuzz_trace(11, 2048), options);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  std::uint64_t squashed = 0;
+  std::uint64_t probes = 0;
+  for (const verify::ConfigOutcome& outcome : report.outcomes) {
+    squashed += outcome.run.core.wrongpath_stores_squashed;
+    probes += outcome.run.core.wrongpath_loads;
+    // Speculative probes are visible below the core but never commit.
+    EXPECT_GT(outcome.stream_reads, outcome.committed_loads);
+  }
+  // The regression only bites if speculation actually happened.
+  EXPECT_GT(squashed, 0u);
+  EXPECT_GT(probes, 0u);
+}
+
+TEST(WrongPath, IssueTimeStoreBugIsCaughtByOracle) {
+  // The conflated design this PR guards against: speculative stores writing
+  // the data cache at issue. The shadow oracle (fed only by committed
+  // stores) must flag the resulting architectural corruption.
+  verify::DifferentialOptions options;
+  options.core.wrongpath_depth = 4;
+  options.core.wrongpath_stores_to_dcache = true;
+  const verify::DifferentialReport report =
+      verify::run_differential(fuzz_trace(11, 2048), options);
+  EXPECT_GT(report.total_divergences(), 0u) << report.summary();
+}
+
+// ---- committed corpus replays ------------------------------------------
+
+verify::DifferentialOptions repro_options(const verify::ReproCase& repro) {
+  verify::DifferentialOptions options;
+  options.fault = repro.fault;
+  options.fault_config = repro.fault_config;
+  return options;
+}
+
+TEST(Corpus, EveryCommittedReproducerReplays) {
+  const std::vector<std::string> files =
+      verify::list_repro_files(CPC_CORPUS_DIR);
+  ASSERT_FALSE(files.empty()) << "no .repro files under " << CPC_CORPUS_DIR;
+  for (const std::string& path : files) {
+    SCOPED_TRACE(path);
+    const verify::ReproCase repro = verify::load_repro(path);
+    EXPECT_LE(count_accesses(repro.trace), 64u);
+    const verify::DifferentialReport report = verify::run_differential(
+        std::make_shared<const cpu::Trace>(repro.trace),
+        repro_options(repro));
+    if (repro.expect_divergence) {
+      EXPECT_GT(report.total_divergences(), 0u)
+          << "reproducer no longer diverges:\n"
+          << report.summary();
+    } else {
+      EXPECT_TRUE(report.clean()) << report.summary();
+    }
+  }
+}
+
+TEST(Corpus, ReproCasesRoundTripThroughDisk) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "cpc-repro-roundtrip";
+  std::filesystem::remove_all(dir);
+
+  verify::ReproCase repro;
+  repro.name = "roundtrip-case";
+  repro.trace = *fuzz_trace(3, 64);
+  repro.expect_divergence = true;
+  verify::FaultPlan plan;
+  plan.command.kind = verify::FaultKind::kPayloadBitSilent;
+  plan.command.level = 1;
+  plan.command.seed = 9;
+  plan.trigger_access = 8;
+  repro.fault = plan;
+  repro.fault_config = sim::ConfigKind::kCPP;
+  repro.origin_seed = 3;
+  repro.fill_seed = 0;
+  verify::save_repro(dir.string(), repro);
+
+  const std::vector<std::string> files = verify::list_repro_files(dir.string());
+  ASSERT_EQ(files.size(), 1u);
+  const verify::ReproCase loaded = verify::load_repro(files.front());
+  EXPECT_EQ(loaded.name, repro.name);
+  EXPECT_EQ(loaded.expect_divergence, repro.expect_divergence);
+  ASSERT_TRUE(loaded.fault.has_value());
+  EXPECT_EQ(loaded.fault->command.kind, plan.command.kind);
+  EXPECT_EQ(loaded.fault->command.seed, plan.command.seed);
+  EXPECT_EQ(loaded.fault->trigger_access, plan.trigger_access);
+  EXPECT_EQ(loaded.fault_config, sim::ConfigKind::kCPP);
+  ASSERT_EQ(loaded.trace.size(), repro.trace.size());
+  for (std::size_t i = 0; i < loaded.trace.size(); ++i) {
+    EXPECT_EQ(loaded.trace[i].pc, repro.trace[i].pc);
+    EXPECT_EQ(loaded.trace[i].addr, repro.trace[i].addr);
+    EXPECT_EQ(loaded.trace[i].value, repro.trace[i].value);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cpc

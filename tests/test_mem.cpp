@@ -69,6 +69,41 @@ TEST(SparseMemory, RandomizedReadYourWrites) {
   }
 }
 
+TEST(SparseMemory, FillPatternIsDeterministicPerSeed) {
+  SparseMemory a(0xC0FFEEu), b(0xC0FFEEu);
+  for (std::uint32_t addr : {0u, 0x40u, 0x0010'0000u, 0xffff'fffcu}) {
+    EXPECT_EQ(a.read_word(addr), b.read_word(addr));
+    EXPECT_EQ(a.read_word(addr), fill_word_for(addr, 0xC0FFEEu));
+    EXPECT_NE(a.read_word(addr), fill_word_for(addr, 0xC0FFEFu));
+  }
+  // Seed zero keeps the historical zero-fill behaviour.
+  EXPECT_EQ(fill_word_for(0x1234u, 0u), 0u);
+}
+
+TEST(SparseMemory, NeighbourWriteDoesNotDisturbFill) {
+  // Materialising a page on first write must not change what the page's
+  // other words read as — the fuzzer's self-consistency depends on it.
+  SparseMemory m(7u);
+  const std::uint32_t before = m.read_word(0x2004u);
+  m.write_word(0x2000u, 0xdeadbeefu);
+  EXPECT_EQ(m.read_word(0x2004u), before);
+  EXPECT_EQ(m.read_word(0x2004u), fill_word_for(0x2004u, 7u));
+  EXPECT_EQ(m.read_word(0x2000u), 0xdeadbeefu);
+}
+
+TEST(SparseMemory, FingerprintIgnoresFillValuedWords) {
+  SparseMemory m(42u);
+  EXPECT_EQ(m.fingerprint(), 0u);
+  // Writing the fill value back is indistinguishable from never writing.
+  m.write_word(0x3000u, m.fill_word(0x3000u));
+  EXPECT_EQ(m.fingerprint(), 0u);
+  m.write_word(0x3000u, m.fill_word(0x3000u) ^ 1u);
+  const std::uint64_t changed = m.fingerprint();
+  EXPECT_NE(changed, 0u);
+  m.write_word(0x3000u, m.fill_word(0x3000u));
+  EXPECT_EQ(m.fingerprint(), 0u);
+}
+
 TEST(HeapAllocator, EightByteAlignment) {
   HeapAllocator heap;
   for (std::uint32_t size : {1u, 7u, 8u, 9u, 24u, 100u}) {
