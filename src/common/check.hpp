@@ -7,19 +7,28 @@
 // which line address, at what point of the run) so that auditors, the
 // fault-injection campaign and the sweep journal can report machine-readable
 // failures instead of bare strings.
+//
+// The Invariant enum is paired with the X-macro table in
+// common/invariant_registry.def; the static_asserts below prove at compile
+// time that every enumerator has a registered stable name, replacing any
+// runtime "unknown id" handling.
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "common/registry_check.hpp"
+
 namespace cpc {
 
 /// Identity of a guarded structural invariant. Stable ids: tools and the
-/// fault-campaign journal refer to these by name.
+/// fault-campaign journal refer to these by name. Every enumerator needs a
+/// row in common/invariant_registry.def (compile-time enforced).
 enum class Invariant : std::uint8_t {
-  kGeneric = 0,              ///< legacy string-only check()
+  kGeneric = 0,              ///< site-specific check with no finer class
   kAffiliatedOverUncompressed,  ///< AA bit set over an uncompressed primary word
   kAffiliatedNotCompressible,   ///< affiliated word fails the compression round-trip
   kVcpMismatch,              ///< VCP flag disagrees with the compression scheme
@@ -35,6 +44,55 @@ enum class Invariant : std::uint8_t {
   kShadowDivergence,         ///< committed load disagrees with the shadow golden model
   kMetamorphicProperty,      ///< cross-configuration metamorphic relation broken
 };
+
+/// Number of Invariant enumerators. Referencing the last enumerator keeps
+/// this in lock-step with the enum; cpc_lint CPC-L007 cross-checks the full
+/// enumerator list against the registry rows.
+inline constexpr std::size_t kInvariantCount =
+    static_cast<std::size_t>(Invariant::kMetamorphicProperty) + 1;
+
+/// One registry row: enumerator, stable machine-readable name, summary.
+struct InvariantInfo {
+  Invariant id;
+  const char* name;
+  const char* summary;
+};
+
+/// Generated from invariant_registry.def, in enum order.
+inline constexpr InvariantInfo kInvariantRegistry[] = {
+#define CPC_INVARIANT_ROW(id, name, summary) {Invariant::id, name, summary},
+#include "common/invariant_registry.def"
+#undef CPC_INVARIANT_ROW
+};
+
+inline constexpr bool invariant_registered(Invariant id) {
+  for (const InvariantInfo& row : kInvariantRegistry) {
+    if (row.id == id) return true;
+  }
+  return false;
+}
+
+namespace detail {
+inline constexpr std::size_t kInvariantRows =
+    sizeof(kInvariantRegistry) / sizeof(kInvariantRegistry[0]);
+
+inline constexpr bool invariant_rows_in_enum_order() {
+  for (std::size_t i = 0; i < kInvariantRows; ++i) {
+    if (static_cast<std::size_t>(kInvariantRegistry[i].id) != i) return false;
+  }
+  return true;
+}
+}  // namespace detail
+
+static_assert(detail::kInvariantRows == kInvariantCount,
+              "invariant_registry.def row count disagrees with the Invariant "
+              "enum — every enumerator needs exactly one CPC_INVARIANT_ROW");
+static_assert(registry::DenseRegistry<Invariant, kInvariantCount,
+                                      &invariant_registered>::value,
+              "invariant registry density check");
+static_assert(detail::invariant_rows_in_enum_order(),
+              "invariant_registry.def rows must appear in Invariant "
+              "declaration order (name lookup indexes the table by value)");
 
 const char* invariant_name(Invariant id);
 
@@ -55,10 +113,6 @@ struct Diagnostic {
 
 class InvariantViolation : public std::logic_error {
  public:
-  explicit InvariantViolation(const std::string& message)
-      : std::logic_error(message) {
-    diagnostic_.detail = message;
-  }
   explicit InvariantViolation(Diagnostic diagnostic)
       : std::logic_error(diagnostic.to_string()),
         diagnostic_(std::move(diagnostic)) {}
@@ -69,10 +123,6 @@ class InvariantViolation : public std::logic_error {
   Diagnostic diagnostic_;
 };
 
-inline void check(bool condition, const std::string& message) {
-  if (!condition) throw InvariantViolation(message);
-}
-
 /// Structured check. `make` is only invoked on failure, so call sites can
 /// build the Diagnostic (two strings) lazily inside hot validation loops.
 template <typename MakeDiagnostic>
@@ -80,27 +130,30 @@ inline void check_diag(bool condition, MakeDiagnostic&& make) {
   if (!condition) throw InvariantViolation(std::forward<MakeDiagnostic>(make)());
 }
 
+/// Always-on structural check for conditions that compile-time analysis has
+/// already made unreachable-in-practice (e.g. registry density). Throws a
+/// kGeneric InvariantViolation carrying the call site; exists instead of a
+/// bare string throw so even "impossible" branches report structured
+/// diagnostics. CPC-L004 lints against reintroducing string throws.
+#define CPC_CHECK(condition, message)                                      \
+  ::cpc::check_diag((condition), [&] {                                     \
+    return ::cpc::Diagnostic{::cpc::Invariant::kGeneric,                   \
+                             std::string(__FILE__) + ":" +                 \
+                                 std::to_string(__LINE__),                 \
+                             0, 0, (message)};                             \
+  })
+
 // --- inline implementations -------------------------------------------
 
 inline const char* invariant_name(Invariant id) {
-  switch (id) {
-    case Invariant::kGeneric: return "generic";
-    case Invariant::kAffiliatedOverUncompressed: return "affiliated-over-uncompressed";
-    case Invariant::kAffiliatedNotCompressible: return "affiliated-not-compressible";
-    case Invariant::kVcpMismatch: return "vcp-mismatch";
-    case Invariant::kDoubleResidency: return "double-residency";
-    case Invariant::kDirtyEmpty: return "dirty-empty";
-    case Invariant::kLineEcc: return "line-ecc";
-    case Invariant::kResponseIncomplete: return "response-incomplete";
-    case Invariant::kTrafficMismatch: return "traffic-mismatch";
-    case Invariant::kCounterRegression: return "counter-regression";
-    case Invariant::kLccSharedIncompressible: return "lcc-shared-incompressible";
-    case Invariant::kLccDuplicateResident: return "lcc-duplicate-resident";
-    case Invariant::kLccLineEcc: return "lcc-line-ecc";
-    case Invariant::kShadowDivergence: return "shadow-divergence";
-    case Invariant::kMetamorphicProperty: return "metamorphic-property";
-  }
-  return "?";
+  const auto index = static_cast<std::size_t>(id);
+  // Unreachable for any real enumerator: the DenseRegistry static_assert
+  // above proves a registry row exists per Invariant, so an out-of-range id
+  // means the byte itself was corrupted (demoted runtime "unknown id"
+  // branch — see docs/static_analysis.md).
+  CPC_CHECK(index < kInvariantCount,
+            "corrupt Invariant id — registry density is compile-time checked");
+  return kInvariantRegistry[index].name;
 }
 
 inline std::string Diagnostic::to_string() const {

@@ -1,0 +1,72 @@
+#pragma once
+// Annotated mutex wrappers for clang thread-safety analysis.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no capability
+// attributes, so `-Wthread-safety` cannot see them acquire anything. These
+// zero-overhead wrappers re-export the same operations with the
+// annotations attached; every CPC_GUARDED_BY member in the project is
+// guarded by a cpc::Mutex and locked through cpc::MutexLock.
+//
+// CondVar wraps std::condition_variable_any so waiting takes the annotated
+// Mutex directly (std::condition_variable insists on
+// std::unique_lock<std::mutex>, which the analysis cannot track).
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace cpc {
+
+/// std::mutex with capability annotations. BasicLockable, so it also works
+/// as the lock argument of std::condition_variable_any.
+class CPC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CPC_ACQUIRE() { mutex_.lock(); }
+  void unlock() CPC_RELEASE() { mutex_.unlock(); }
+  bool try_lock() CPC_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII guard over cpc::Mutex (the annotated std::lock_guard).
+class CPC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) CPC_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() CPC_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable that waits on a cpc::Mutex the caller already holds.
+class CondVar {
+ public:
+  /// Releases `mutex` while blocked, reacquires before returning — the
+  /// capability is held across the call from the analysis's point of view,
+  /// matching how guarded state may be re-read right after waking.
+  template <typename Rep, typename Period>
+  void wait_for(Mutex& mutex, const std::chrono::duration<Rep, Period>& budget)
+      CPC_REQUIRES(mutex) {
+    cv_.wait_for(mutex, budget);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace cpc

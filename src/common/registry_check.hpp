@@ -1,0 +1,51 @@
+#pragma once
+// Compile-time density check for X-macro registry tables.
+//
+// Each hand-maintained enum registry (Invariant, FaultKind, the sweep
+// counters) pairs the enum with a table generated from a .def file. This
+// header supplies the static_assert machinery proving the table has a row
+// for *every* enumerator: deleting a row from the .def while keeping the
+// enumerator fails the build, and the failing instantiation names the
+// missing enumerator, e.g.
+//
+//   error: static assertion failed ... registry table is missing a row ...
+//   note: in instantiation of 'row_present<cpc::Invariant::kVcpMismatch>'
+//
+// Usage (enumerators must be contiguous and start at 0):
+//
+//   static_assert(cpc::registry::DenseRegistry<
+//                     Invariant, kInvariantCount, &invariant_registered>::value);
+//
+// The reverse direction — an enumerator added to the enum but not to the
+// .def — is covered by the kCount size static_assert at each registry site
+// plus cpc_lint check CPC-L007, which textually diffs the enum declaration
+// against the .def rows.
+
+#include <cstddef>
+#include <utility>
+
+namespace cpc::registry {
+
+template <typename Enum, std::size_t Count, bool (*HasRow)(Enum)>
+struct DenseRegistry {
+  /// One instantiation per enumerator: the static_assert fires exactly for
+  /// the value with no table row, and the compiler's instantiation note
+  /// names it.
+  template <Enum V>
+  static constexpr bool row_present() {
+    static_assert(HasRow(V),
+                  "registry table is missing a row for the enumerator named "
+                  "in the 'in instantiation of row_present<...>' note below — "
+                  "restore its line in the corresponding .def file");
+    return true;
+  }
+
+  template <std::size_t... Is>
+  static constexpr bool check_all(std::index_sequence<Is...>) {
+    return (row_present<static_cast<Enum>(Is)>() && ... && true);
+  }
+
+  static constexpr bool value = check_all(std::make_index_sequence<Count>{});
+};
+
+}  // namespace cpc::registry

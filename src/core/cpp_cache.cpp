@@ -347,9 +347,11 @@ bool CppCache::strike_random(const verify::FaultCommand& command) {
     case verify::FaultKind::kVcpFlag:
       line.strike_vcp_flag(rng() % n);
       return true;
-    default:
+    case verify::FaultKind::kDropResponseWord:
+    case verify::FaultKind::kDelayFill:
       return false;  // drop/delay faults live in the hierarchy, not the array
   }
+  return false;  // unreachable: the switch above is exhaustive
 }
 
 }  // namespace cpc::core

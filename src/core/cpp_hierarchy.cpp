@@ -351,9 +351,14 @@ bool CppHierarchy::inject_fault(const verify::FaultCommand& command) {
       delay_armed_ = true;
       delay_cycles_ = command.delay_cycles;
       return true;
-    default:
+    case verify::FaultKind::kPayloadBit:
+    case verify::FaultKind::kPayloadBitSilent:
+    case verify::FaultKind::kPaFlag:
+    case verify::FaultKind::kAaFlag:
+    case verify::FaultKind::kVcpFlag:
       return (command.level == 2 ? l2_ : l1_).strike_random(command);
   }
+  return false;  // unreachable: the switch above is exhaustive
 }
 
 void CppHierarchy::validate() const {

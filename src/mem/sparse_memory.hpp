@@ -85,6 +85,8 @@ class SparseMemory {
   /// final memory image against the golden run's.
   std::uint64_t fingerprint() const {
     std::uint64_t fp = 0;
+    // cpc-lint: allow(CPC-L002) — the per-word mix is summed, and addition
+    // commutes, so the unordered page iteration order cannot reach the result.
     for (const auto& [page_no, page] : pages_) {
       const std::uint32_t base = page_no * kPageBytes;
       for (std::uint32_t i = 0; i < kWordsPerPage; ++i) {

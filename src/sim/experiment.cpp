@@ -7,7 +7,12 @@
 #include "cache/baseline_hierarchy.hpp"
 #include "cache/prefetch_hierarchy.hpp"
 #include "core/cpp_hierarchy.hpp"
+// The experiment factory is where the sim layer deliberately reaches up into
+// verify/ to offer audited/oracle hierarchy wrappers — the one sanctioned
+// inversion of the sim(5) < verify(6) layering.
+// cpc-lint: allow(CPC-L006)
 #include "verify/metadata_auditor.hpp"
+// cpc-lint: allow(CPC-L006)
 #include "verify/oracle/oracle_hierarchy.hpp"
 
 namespace cpc::sim {

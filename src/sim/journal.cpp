@@ -58,47 +58,47 @@ std::string unescape(std::string_view s) {
   return out;
 }
 
-/// The counters an `ok` line serializes, in order. Kept in one place so the
-/// writer and the parser cannot drift.
+/// Scalar counters per `ok` line, counted from the registry, plus the
+/// TrafficMeter half-unit pair appended by hand.
+constexpr std::size_t kScalarCounters = 0
+#define CPC_SWEEP_COUNTER(group, field) +1
+#include "sim/sweep_counters.def"
+#undef CPC_SWEEP_COUNTER
+    ;
+constexpr std::size_t kCounterCount = kScalarCounters + 2;
+
+// The wire format is versioned: journals written before a registry change
+// must not half-parse under the new layout. If this assert fires you
+// changed sweep_counters.def — bump kVersion alongside it.
+static_assert(kCounterCount == 30,
+              "sweep journal wire format changed (sim/sweep_counters.def) — "
+              "bump kVersion and update this pin");
+
+/// The counters an `ok` line serializes, in registry order. Writer and
+/// parser expand the same X-macro list, so the two cannot drift.
 std::vector<std::uint64_t> pack_counters(const JobResult& r) {
-  const cpu::CoreStats& c = r.run.core;
-  const cache::HierarchyStats& h = r.run.hierarchy;
+  const cpu::CoreStats& core = r.run.core;
+  const cache::HierarchyStats& hier = r.run.hierarchy;
   return {
-      c.cycles,        c.committed,      c.loads,
-      c.stores,        c.branches,       c.mispredicts,
-      c.icache_misses, c.value_mismatches, c.miss_cycles,
-      c.ready_sum_miss_cycles, c.ready_sum_all_cycles, c.ops_depending_on_miss,
-      h.reads,         h.writes,         h.l1_misses,
-      h.l2_misses,     h.l1_affiliated_hits, h.l2_affiliated_hits,
-      h.l1_pbuf_hits,  h.l2_pbuf_hits,   h.l1_writebacks,
-      h.mem_writebacks, h.mem_fetch_lines, h.prefetch_lines,
-      h.l1_prefetch_inserts, h.l2_prefetch_inserts, h.partial_promotions,
-      h.affiliated_demotions, h.traffic.fetch_half_units(),
-      h.traffic.writeback_half_units(),
+#define CPC_SWEEP_COUNTER(group, field) group.field,
+#include "sim/sweep_counters.def"
+#undef CPC_SWEEP_COUNTER
+      hier.traffic.fetch_half_units(),
+      hier.traffic.writeback_half_units(),
   };
 }
 
 void unpack_counters(const std::vector<std::uint64_t>& v, JobResult& r) {
-  cpu::CoreStats& c = r.run.core;
-  cache::HierarchyStats& h = r.run.hierarchy;
+  cpu::CoreStats& core = r.run.core;
+  cache::HierarchyStats& hier = r.run.hierarchy;
   std::size_t i = 0;
-  c.cycles = v[i++]; c.committed = v[i++]; c.loads = v[i++];
-  c.stores = v[i++]; c.branches = v[i++]; c.mispredicts = v[i++];
-  c.icache_misses = v[i++]; c.value_mismatches = v[i++]; c.miss_cycles = v[i++];
-  c.ready_sum_miss_cycles = v[i++]; c.ready_sum_all_cycles = v[i++];
-  c.ops_depending_on_miss = v[i++];
-  h.reads = v[i++]; h.writes = v[i++]; h.l1_misses = v[i++];
-  h.l2_misses = v[i++]; h.l1_affiliated_hits = v[i++]; h.l2_affiliated_hits = v[i++];
-  h.l1_pbuf_hits = v[i++]; h.l2_pbuf_hits = v[i++]; h.l1_writebacks = v[i++];
-  h.mem_writebacks = v[i++]; h.mem_fetch_lines = v[i++]; h.prefetch_lines = v[i++];
-  h.l1_prefetch_inserts = v[i++]; h.l2_prefetch_inserts = v[i++];
-  h.partial_promotions = v[i++]; h.affiliated_demotions = v[i++];
+#define CPC_SWEEP_COUNTER(group, field) group.field = v[i++];
+#include "sim/sweep_counters.def"
+#undef CPC_SWEEP_COUNTER
   const std::uint64_t fetch_half = v[i++];
   const std::uint64_t wb_half = v[i++];
-  h.traffic.restore(fetch_half, wb_half);
+  hier.traffic.restore(fetch_half, wb_half);
 }
-
-constexpr std::size_t kCounterCount = 30;
 
 std::string header_line(std::uint64_t fingerprint, std::size_t jobs) {
   char buf[96];
@@ -177,6 +177,9 @@ SweepJournal::Restored SweepJournal::load(const std::string& path,
 
 SweepJournal::SweepJournal(const std::string& path, std::uint64_t fingerprint,
                            std::size_t jobs, bool append) {
+  // The journal is not shared until the constructor returns; the lock keeps
+  // the thread-safety analysis's view of out_ uniform instead of waiving it.
+  const MutexLock lock(mutex_);
   out_.open(path, append ? (std::ios::out | std::ios::app)
                          : (std::ios::out | std::ios::trunc));
   if (!out_) throw std::runtime_error("cannot open sweep journal: " + path);
@@ -189,12 +192,12 @@ void SweepJournal::record_ok(const JobResult& result) {
        << escape(result.run.config) << ' ' << result.wall_seconds << ' '
        << result.ops_per_second;
   for (const std::uint64_t counter : pack_counters(result)) line << ' ' << counter;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   out_ << line.str() << '\n' << std::flush;
 }
 
 void SweepJournal::record_failure(std::size_t index, const std::string& what) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   out_ << "fail " << index << ' ' << escape(what) << '\n' << std::flush;
 }
 

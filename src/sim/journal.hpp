@@ -17,11 +17,11 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "sim/job.hpp"
 
 namespace cpc::sim {
@@ -57,8 +57,10 @@ class SweepJournal {
   void record_failure(std::size_t index, const std::string& what);
 
  private:
-  std::mutex mutex_;
-  std::ofstream out_;
+  Mutex mutex_;
+  /// Entry lines are composed off-lock and appended under mutex_, so
+  /// concurrent record_* calls from pool workers cannot interleave bytes.
+  std::ofstream out_ CPC_GUARDED_BY(mutex_);
 };
 
 }  // namespace cpc::sim

@@ -45,7 +45,7 @@ std::shared_ptr<const cpu::Trace> TraceCache::get(
   std::promise<std::shared_ptr<const cpu::Trace>> promise;
   std::shared_future<std::shared_ptr<const cpu::Trace>> existing;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (const auto& entry : entries_) {
       if (entry->name == workload.name && entry->trace_ops == trace_ops &&
           entry->seed == seed) {
@@ -120,6 +120,10 @@ namespace {
 /// One background thread that raises per-job cancel flags when their
 /// wall-clock deadline passes. Jobs register/deregister around each
 /// attempt; the simulation notices the flag cooperatively.
+///
+/// Shared state (the deadline list and the stop flag) is CPC_GUARDED_BY the
+/// watchdog mutex; the clang thread-safety build proves every touch happens
+/// under it. The cancel flags themselves are atomics owned by the jobs.
 class Watchdog {
  public:
   explicit Watchdog(std::chrono::milliseconds budget) : budget_(budget) {
@@ -128,7 +132,7 @@ class Watchdog {
 
   ~Watchdog() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -141,7 +145,7 @@ class Watchdog {
    public:
     Scope(Watchdog& dog, std::atomic<bool>* flag) : dog_(dog) {
       if (dog_.enabled()) {
-        std::lock_guard<std::mutex> lock(dog_.mutex_);
+        const MutexLock lock(dog_.mutex_);
         it_ = dog_.entries_.insert(
             dog_.entries_.end(),
             {std::chrono::steady_clock::now() + dog_.budget_, flag});
@@ -150,7 +154,7 @@ class Watchdog {
     }
     ~Scope() {
       if (armed_) {
-        std::lock_guard<std::mutex> lock(dog_.mutex_);
+        const MutexLock lock(dog_.mutex_);
         dog_.entries_.erase(it_);
       }
     }
@@ -166,9 +170,9 @@ class Watchdog {
 
  private:
   void loop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     while (!stop_) {
-      cv_.wait_for(lock, std::chrono::milliseconds(10));
+      cv_.wait_for(mutex_, std::chrono::milliseconds(10));
       const auto now = std::chrono::steady_clock::now();
       for (auto& [deadline, flag] : entries_) {
         if (now >= deadline) flag->store(true, std::memory_order_relaxed);
@@ -177,11 +181,11 @@ class Watchdog {
   }
 
   std::chrono::milliseconds budget_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_;
+  CondVar cv_;
   std::list<std::pair<std::chrono::steady_clock::time_point, std::atomic<bool>*>>
-      entries_;
-  bool stop_ = false;
+      entries_ CPC_GUARDED_BY(mutex_);
+  bool stop_ CPC_GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 
@@ -223,7 +227,7 @@ std::vector<JobResult> SweepRunner::run(std::vector<Job> jobs,
   std::vector<JobResult> results(jobs.size());
   TraceCache traces;
   std::atomic<std::size_t> completed{0};
-  std::mutex log_mutex;
+  Mutex log_mutex;
 
   parallel_for(jobs.size(), [&](std::size_t i) {
     const Job& job = jobs[i];
@@ -232,7 +236,7 @@ std::vector<JobResult> SweepRunner::run(std::vector<Job> jobs,
 
     const std::size_t done = completed.fetch_add(1) + 1;
     if (!quiet) {
-      std::lock_guard<std::mutex> lock(log_mutex);
+      const MutexLock lock(log_mutex);
       std::cerr << "  [" << done << "/" << jobs.size() << "] "
                 << (job.workload.name.empty() ? "<trace>" : job.workload.name)
                 << "/" << out.run.config << ": " << out.run.core.cycles
@@ -274,8 +278,8 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
   TraceCache traces;
   Watchdog watchdog(std::chrono::milliseconds(options.job_timeout_ms));
   std::atomic<std::size_t> completed{static_cast<std::size_t>(report.resumed)};
-  std::mutex log_mutex;
-  std::mutex failures_mutex;
+  Mutex log_mutex;
+  Mutex failures_mutex;
 
   parallel_for(jobs.size(), [&](std::size_t i) {
     if (restored[i]) return;
@@ -315,7 +319,7 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
     if (out.ok) {
       if (journal) journal->record_ok(out);
       if (!options.quiet) {
-        std::lock_guard<std::mutex> lock(log_mutex);
+        const MutexLock lock(log_mutex);
         std::cerr << "  [" << done << "/" << jobs.size() << "] "
                   << (job.workload.name.empty() ? "<trace>" : job.workload.name)
                   << "/" << out.run.config << ": " << out.run.core.cycles
@@ -324,13 +328,13 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
     } else {
       if (journal) journal->record_failure(i, failure.what);
       if (!options.quiet) {
-        std::lock_guard<std::mutex> lock(log_mutex);
+        const MutexLock lock(log_mutex);
         std::cerr << "  [" << done << "/" << jobs.size() << "] job " << i << " ("
                   << (failure.tag.empty() ? "untagged" : failure.tag)
                   << ") FAILED after " << failure.attempts
                   << " attempt(s): " << failure.what << "\n";
       }
-      std::lock_guard<std::mutex> lock(failures_mutex);
+      const MutexLock lock(failures_mutex);
       report.failures.push_back(std::move(failure));
     }
   });

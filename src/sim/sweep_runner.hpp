@@ -12,12 +12,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/mutex.hpp"
 #include "cpu/micro_op.hpp"
 #include "sim/job.hpp"
 #include "workload/workloads.hpp"
@@ -42,8 +42,11 @@ class TraceCache {
 
  private:
   struct Entry;
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;
+  Mutex mutex_;
+  /// Keyed dedup table. Only the table itself is guarded: each Entry's
+  /// shared_future is internally synchronized, so waiting on a generation
+  /// in flight happens outside the lock.
+  std::vector<std::unique_ptr<Entry>> entries_ CPC_GUARDED_BY(mutex_);
 };
 
 /// One failed job of a contained sweep (SweepRunner::run_contained).

@@ -7,10 +7,20 @@
 // cache::MemoryHierarchy::inject_fault; the default implementation refuses
 // every command, so fault hooks are zero-cost for uninstrumented designs.
 //
-// This header is dependency-free on purpose: it is included from
+// The FaultKind enum is paired with the X-macro table in
+// verify/fault_registry.def: stable names, campaign-rotation membership and
+// the level-2 strike flag live there, and the static_asserts below keep the
+// table dense — a new fault kind cannot ship without an explicit
+// rotation/exclusion decision.
+//
+// This header is dependency-free on the rest of the tree on purpose (the
+// common/ headers it pulls are leaf utilities): it is included from
 // cache/hierarchy.hpp, below every concrete cache implementation.
 
+#include <cstddef>
 #include <cstdint>
+
+#include "common/registry_check.hpp"
 
 namespace cpc::verify {
 
@@ -20,8 +30,8 @@ enum class FaultKind : std::uint8_t {
   /// state — the model of an undetectable array fault (multi-bit upset
   /// matching the codeword, or buggy ECC-update logic). No structural audit
   /// can see it; only the differential shadow oracle (verify/oracle/) can,
-  /// which is why it is excluded from FaultInjector::variants() — the
-  /// audit-based campaign would rightly classify it as silent.
+  /// which is why its registry row says in_rotation=false — the audit-based
+  /// campaign would rightly classify it as silent.
   kPayloadBitSilent,
   kPaFlag,            ///< flip one PA (primary availability) flag bit
   kAaFlag,            ///< flip one AA (affiliated availability) flag bit
@@ -30,17 +40,63 @@ enum class FaultKind : std::uint8_t {
   kDelayFill,         ///< add latency to the next memory fill
 };
 
-inline const char* fault_kind_name(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kPayloadBit: return "payload-bit";
-    case FaultKind::kPayloadBitSilent: return "payload-bit-silent";
-    case FaultKind::kPaFlag: return "pa-flag";
-    case FaultKind::kAaFlag: return "aa-flag";
-    case FaultKind::kVcpFlag: return "vcp-flag";
-    case FaultKind::kDropResponseWord: return "drop-response-word";
-    case FaultKind::kDelayFill: return "delay-fill";
+/// Number of FaultKind enumerators (kept in lock-step by referencing the
+/// last one; cpc_lint CPC-L007 cross-checks the full list).
+inline constexpr std::size_t kFaultKindCount =
+    static_cast<std::size_t>(FaultKind::kDelayFill) + 1;
+
+/// One registry row: see fault_registry.def for column semantics.
+struct FaultKindInfo {
+  FaultKind kind;
+  const char* name;
+  bool strikes_level2;
+  bool in_rotation;
+  unsigned delay_cycles;
+};
+
+/// Generated from fault_registry.def, in enum order.
+inline constexpr FaultKindInfo kFaultRegistry[] = {
+#define CPC_FAULT_ROW(kind, name, l2, rotation, delay) \
+  {FaultKind::kind, name, l2, rotation, delay},
+#include "verify/fault_registry.def"
+#undef CPC_FAULT_ROW
+};
+
+inline constexpr bool fault_kind_registered(FaultKind kind) {
+  for (const FaultKindInfo& row : kFaultRegistry) {
+    if (row.kind == kind) return true;
   }
-  return "?";
+  return false;
+}
+
+namespace detail {
+inline constexpr std::size_t kFaultRows =
+    sizeof(kFaultRegistry) / sizeof(kFaultRegistry[0]);
+
+inline constexpr bool fault_rows_in_enum_order() {
+  for (std::size_t i = 0; i < kFaultRows; ++i) {
+    if (static_cast<std::size_t>(kFaultRegistry[i].kind) != i) return false;
+  }
+  return true;
+}
+}  // namespace detail
+
+static_assert(detail::kFaultRows == kFaultKindCount,
+              "fault_registry.def row count disagrees with the FaultKind "
+              "enum — every enumerator needs exactly one CPC_FAULT_ROW");
+static_assert(registry::DenseRegistry<FaultKind, kFaultKindCount,
+                                      &fault_kind_registered>::value,
+              "fault registry density check");
+static_assert(detail::fault_rows_in_enum_order(),
+              "fault_registry.def rows must appear in FaultKind declaration "
+              "order (name lookup indexes the table by value)");
+
+inline const char* fault_kind_name(FaultKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  // Unreachable for any real enumerator (registry density is compile-time
+  // checked); "?" survives only for a corrupted byte, and this header must
+  // stay exception-free for the cache layer.
+  return index < kFaultKindCount ? kFaultRegistry[index].name : "?";
 }
 
 /// One injectable fault. `seed` supplies all the entropy target selection

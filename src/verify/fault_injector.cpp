@@ -3,14 +3,21 @@
 namespace cpc::verify {
 
 const std::vector<FaultCommand>& FaultInjector::variants() {
-  static const std::vector<FaultCommand> kVariants = {
-      {FaultKind::kPayloadBit, 1, 0, 0},  {FaultKind::kPayloadBit, 2, 0, 0},
-      {FaultKind::kPaFlag, 1, 0, 0},      {FaultKind::kPaFlag, 2, 0, 0},
-      {FaultKind::kAaFlag, 1, 0, 0},      {FaultKind::kAaFlag, 2, 0, 0},
-      {FaultKind::kVcpFlag, 1, 0, 0},     {FaultKind::kVcpFlag, 2, 0, 0},
-      {FaultKind::kDropResponseWord, 1, 0, 0},
-      {FaultKind::kDelayFill, 1, 0, 50},
-  };
+  // Generated from fault_registry.def so the rotation cannot drift from the
+  // fault model: every in_rotation row contributes its L1 variant (plus the
+  // L2 variant for strike kinds), in registry order. Rows with
+  // in_rotation=false (kPayloadBitSilent) are the documented exclusions.
+  static const std::vector<FaultCommand> kVariants = [] {
+    std::vector<FaultCommand> rotation;
+    for (const FaultKindInfo& row : kFaultRegistry) {
+      if (!row.in_rotation) continue;
+      rotation.push_back({row.kind, 1, 0, row.delay_cycles});
+      if (row.strikes_level2) {
+        rotation.push_back({row.kind, 2, 0, row.delay_cycles});
+      }
+    }
+    return rotation;
+  }();
   return kVariants;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "verify/fault.hpp"
 #include "verify/metadata_auditor.hpp"
 
@@ -37,7 +38,11 @@ class FaultInjector {
  private:
   std::uint64_t fault_seed(std::size_t k, std::uint64_t salt) const;
 
-  std::uint64_t master_seed_;
+  // Campaign state is immutable after construction (plans are pure
+  // functions of master_seed_ and k), so an injector may be shared across
+  // worker threads read-only; per-run mutation lives in GuardedHierarchy,
+  // which SweepRunner confines to one worker.
+  CPC_THREAD_CONFINED std::uint64_t master_seed_;
 };
 
 }  // namespace cpc::verify

@@ -33,8 +33,12 @@ void MetadataAuditor::audit_now(const cache::MemoryHierarchy& hierarchy) {
 
 void MetadataAuditor::check_monotonic(const cache::MemoryHierarchy& hierarchy) {
   const cache::HierarchyStats& s = hierarchy.stats();
-  const CounterSnapshot now{s.reads,      s.writes,          s.l1_misses,
-                            s.l2_misses,  s.mem_fetch_lines, s.traffic.half_units()};
+  CounterSnapshot now;
+#define CPC_MONOTONIC_COUNTER(field) now.field = s.field;
+#include "verify/monotonic_counters.def"
+#undef CPC_MONOTONIC_COUNTER
+  now.traffic_half_units = s.traffic.half_units();
+
   const auto monotonic = [&](std::uint64_t before, std::uint64_t after,
                              const char* counter) {
     check_diag(after >= before, [&] {
@@ -45,12 +49,20 @@ void MetadataAuditor::check_monotonic(const cache::MemoryHierarchy& hierarchy) {
                             std::to_string(after) + ")"};
     });
   };
-  monotonic(last_.reads, now.reads, "reads");
-  monotonic(last_.writes, now.writes, "writes");
-  monotonic(last_.l1_misses, now.l1_misses, "l1_misses");
-  monotonic(last_.l2_misses, now.l2_misses, "l2_misses");
-  monotonic(last_.mem_fetch_lines, now.mem_fetch_lines, "mem_fetch_lines");
-  monotonic(last_.traffic_half_units, now.traffic_half_units, "traffic half-units");
+  // Every snapshotted counter is audited by construction: the list below is
+  // the same X-macro expansion that defines CounterSnapshot, and the sizeof
+  // static_assert in the header pins the two together. The historical
+  // "unknown counter" escape is therefore compile-time dead; CPC_CHECK
+  // documents the residual assumption instead of re-deriving it at runtime.
+  CPC_CHECK(sizeof(CounterSnapshot) ==
+                (kMonotonicCounters + 1) * sizeof(std::uint64_t),
+            "CounterSnapshot layout drifted from monotonic_counters.def "
+            "(statically asserted in metadata_auditor.hpp)");
+#define CPC_MONOTONIC_COUNTER(field) monotonic(last_.field, now.field, #field);
+#include "verify/monotonic_counters.def"
+#undef CPC_MONOTONIC_COUNTER
+  monotonic(last_.traffic_half_units, now.traffic_half_units,
+            "traffic half-units");
   last_ = now;
 }
 

@@ -13,6 +13,7 @@
 // auditor, and optionally injects one planned FaultCommand at a chosen
 // access ordinal (the campaign's injection mechanism).
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -45,14 +46,29 @@ class MetadataAuditor {
   void audit_now(const cache::MemoryHierarchy& hierarchy);
 
  private:
+  /// Snapshot of the audited counters, generated from
+  /// verify/monotonic_counters.def (plus the traffic half-unit total, which
+  /// is a TrafficMeter method rather than a plain field).
   struct CounterSnapshot {
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    std::uint64_t l1_misses = 0;
-    std::uint64_t l2_misses = 0;
-    std::uint64_t mem_fetch_lines = 0;
+#define CPC_MONOTONIC_COUNTER(field) std::uint64_t field = 0;
+#include "verify/monotonic_counters.def"
+#undef CPC_MONOTONIC_COUNTER
     std::uint64_t traffic_half_units = 0;
   };
+
+  /// Registry rows, counted. The sizeof pin below proves every snapshot
+  /// field has a registry row: add a field without a row (or vice versa)
+  /// and the build fails here instead of the counter silently escaping the
+  /// audit at runtime.
+  static constexpr std::size_t kMonotonicCounters = 0
+#define CPC_MONOTONIC_COUNTER(field) +1
+#include "verify/monotonic_counters.def"
+#undef CPC_MONOTONIC_COUNTER
+      ;
+  static_assert(sizeof(CounterSnapshot) ==
+                    (kMonotonicCounters + 1) * sizeof(std::uint64_t),
+                "CounterSnapshot and verify/monotonic_counters.def drifted — "
+                "every audited counter needs exactly one registry row");
 
   void check_monotonic(const cache::MemoryHierarchy& hierarchy);
 

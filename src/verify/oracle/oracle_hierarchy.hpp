@@ -20,6 +20,7 @@
 
 #include "cache/hierarchy.hpp"
 #include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 #include "cpu/commit_observer.hpp"
 #include "verify/oracle/shadow_memory.hpp"
 
@@ -103,14 +104,19 @@ class OracleHierarchy final : public cache::MemoryHierarchy,
   std::unique_ptr<cache::MemoryHierarchy> owned_;
   cache::MemoryHierarchy* inner_;
   Options options_;
-  ShadowMemory shadow_;
 
-  std::vector<Diagnostic> divergences_;
-  std::uint64_t divergence_count_ = 0;
-  std::uint64_t committed_loads_ = 0;
-  std::uint64_t commit_hash_ = 0x9e3779b97f4a7c15ull;
-  std::uint64_t stream_reads_ = 0;
-  std::uint64_t stream_writes_ = 0;
+  // Commit-stream state is deliberately lock-free: SweepRunner confines each
+  // oracle (like the hierarchy it wraps) to the single worker thread running
+  // its job, so these buffers are never shared. CPC_THREAD_CONFINED records
+  // that claim; anything cross-thread must instead be CPC_GUARDED_BY a
+  // cpc::Mutex and proven by the clang -Wthread-safety build.
+  CPC_THREAD_CONFINED ShadowMemory shadow_;
+  CPC_THREAD_CONFINED std::vector<Diagnostic> divergences_;
+  CPC_THREAD_CONFINED std::uint64_t divergence_count_ = 0;
+  CPC_THREAD_CONFINED std::uint64_t committed_loads_ = 0;
+  CPC_THREAD_CONFINED std::uint64_t commit_hash_ = 0x9e3779b97f4a7c15ull;
+  CPC_THREAD_CONFINED std::uint64_t stream_reads_ = 0;
+  CPC_THREAD_CONFINED std::uint64_t stream_writes_ = 0;
 };
 
 }  // namespace cpc::verify

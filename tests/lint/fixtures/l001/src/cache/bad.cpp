@@ -1,0 +1,17 @@
+// CPC-L001 seeded violations: wall-clock and entropy sources in src/cache/.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+unsigned bad_entropy() {
+  std::random_device device;
+  return device();
+}
+
+long bad_wall_clock() {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  const auto t1 = std::chrono::system_clock::now();
+  (void)t1;
+  return static_cast<long>(time(nullptr));
+}

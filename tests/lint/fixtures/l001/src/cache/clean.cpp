@@ -1,0 +1,12 @@
+// CPC-L001 clean twin: seeded engines and simulated time only.
+#include <cstdint>
+#include <random>
+
+std::uint32_t seeded_draw(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);  // deterministic from its seed — allowed
+  return static_cast<std::uint32_t>(rng());
+}
+
+// Identifiers merely containing banned substrings must not match.
+std::uint64_t wall_time_cycles = 0;
+std::uint64_t runtime(std::uint64_t cycles) { return wall_time_cycles + cycles; }

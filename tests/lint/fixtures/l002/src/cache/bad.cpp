@@ -1,0 +1,14 @@
+// CPC-L002 seeded violations: iterating an unordered container.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t bad_sum_in_observed_order() {
+  std::unordered_map<std::uint32_t, std::uint32_t> counts;
+  std::uint64_t out = 0;
+  for (const auto& [key, value] : counts) {
+    out = out * 31 + key + value;  // order-dependent fold
+  }
+  auto it = counts.begin();  // explicit iterator walk, same hazard
+  (void)it;
+  return out;
+}

@@ -1,0 +1,14 @@
+// CPC-L002 clean twin: point lookups into unordered containers are fine,
+// and ordered containers may be iterated freely.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+std::uint64_t clean_lookup(std::uint32_t key) {
+  std::unordered_map<std::uint32_t, std::uint32_t> counts;
+  const auto hit = counts.find(key);
+  std::map<std::uint32_t, std::uint32_t> ordered;
+  std::uint64_t out = hit == counts.end() ? 0 : hit->second;
+  for (const auto& [k, v] : ordered) out += k + v;
+  return out;
+}

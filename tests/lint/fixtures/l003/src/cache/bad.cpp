@@ -1,0 +1,18 @@
+// CPC-L003 seeded violations: a non-exhaustive enum switch and an
+// unwaived default.
+enum class Shade { kLight, kMedium, kDark };
+
+int missing_case(Shade shade) {
+  switch (shade) {
+    case Shade::kLight: return 1;
+    case Shade::kMedium: return 2;
+  }
+  return 0;
+}
+
+int unwaived_default(Shade shade) {
+  switch (shade) {
+    case Shade::kLight: return 1;
+    default: return 0;
+  }
+}

@@ -1,0 +1,18 @@
+// CPC-L003 clean twin: exhaustive switch, and an int switch (not an enum —
+// default is fine there).
+enum class Tone { kLow, kHigh };
+
+int exhaustive(Tone tone) {
+  switch (tone) {
+    case Tone::kLow: return 1;
+    case Tone::kHigh: return 2;
+  }
+  return 0;  // unreachable
+}
+
+int int_switch(int v) {
+  switch (v & 3) {
+    case 0: return 1;
+    default: return 0;
+  }
+}

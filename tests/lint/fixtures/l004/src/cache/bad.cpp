@@ -1,0 +1,15 @@
+// CPC-L004 seeded violations: naked std exceptions in a layer that has
+// structured diagnostics, and a string-built InvariantViolation.
+#include <stdexcept>
+
+struct InvariantViolation {
+  explicit InvariantViolation(const char* w) : what(w) {}
+  const char* what;
+};
+
+void bad_naked_throw(bool broken) {
+  if (broken) throw std::runtime_error("metadata corrupt");
+  throw std::logic_error("unreachable");
+}
+
+void bad_string_violation() { throw InvariantViolation("pa/aa drift"); }

@@ -1,0 +1,16 @@
+// CPC-L004 clean twin: structured diagnostics only. (out_of_range and
+// friends are not on the ban list — only runtime_error/logic_error are.)
+#include <stdexcept>
+
+struct Diagnostic {
+  int invariant = 0;
+  const char* site = "";
+};
+struct InvariantViolation {
+  explicit InvariantViolation(const Diagnostic& d) : diagnostic(d) {}
+  Diagnostic diagnostic;
+};
+
+void clean_structured_throw(bool broken) {
+  if (broken) throw InvariantViolation(Diagnostic{1, "l1::read"});
+}

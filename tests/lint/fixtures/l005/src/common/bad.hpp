@@ -1,0 +1,7 @@
+#include <vector>
+#pragma once
+// CPC-L005 seeded violations: #pragma once is not the first directive, and
+// a using-namespace leaks into every includer.
+using namespace std;
+
+inline vector<int> leaky() { return {}; }

@@ -1,0 +1,7 @@
+#pragma once
+// CPC-L005 clean twin: pragma first, namespaces used explicitly.
+#include <vector>
+
+namespace cpc::fixture {
+inline std::vector<int> tidy() { return {}; }
+}  // namespace cpc::fixture

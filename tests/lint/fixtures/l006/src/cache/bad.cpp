@@ -1,0 +1,5 @@
+// CPC-L006 seeded violation: the cache layer (rank 2) reaching up into the
+// sim layer (rank 5). Never compiled — only the include directive matters.
+#include "sim/journal.hpp"
+
+int bad_layering() { return 0; }

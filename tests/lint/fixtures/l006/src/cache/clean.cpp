@@ -1,0 +1,8 @@
+// CPC-L006 clean twin: includes at or below the cache layer's rank, plus
+// the documented rank-0 exception verify/fault.hpp.
+#include "common/check.hpp"
+#include "compress/scheme.hpp"
+#include "mem/sparse_memory.hpp"
+#include "verify/fault.hpp"
+
+int clean_layering() { return 0; }

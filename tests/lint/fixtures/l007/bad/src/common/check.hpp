@@ -1,0 +1,11 @@
+#pragma once
+// CPC-L007 seeded violation: the enum declares kLineEcc between the two
+// registry rows, so the .def next door is missing a row.
+
+namespace cpc {
+enum class Invariant {
+  kGeneric,
+  kLineEcc,
+  kVcpMismatch,
+};
+}  // namespace cpc

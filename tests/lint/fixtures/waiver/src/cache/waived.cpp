@@ -1,0 +1,23 @@
+// Waiver round-trip: every seeded violation below carries an allow() —
+// linting this file must exit 0. Both waiver placements are exercised:
+// trailing on the offending line, and on the comment line directly above.
+#include <chrono>
+
+// cpc-lint: allow(CPC-L006)
+#include "sim/journal.hpp"
+
+enum class Gear { kLow, kHigh };
+
+long waived_clock() {
+  const auto t0 = std::chrono::steady_clock::now();  // cpc-lint: allow(CPC-L001)
+  return t0.time_since_epoch().count();
+}
+
+int waived_default(Gear gear) {
+  switch (gear) {
+    case Gear::kLow: return 1;
+    // a default here stands in for "future gears" — deliberate
+    // cpc-lint: allow(CPC-L003)
+    default: return 0;
+  }
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Golden-fixture harness for cpc_lint: every check ID must fire on its
+# seeded-violation fixture (exit 1, correct ID in the output), stay silent
+# on the clean twin (exit 0), and the waiver corpus must lint clean.
+#
+# Usage: run_lint_fixtures.sh <path-to-cpc_lint> <fixtures-dir>
+set -u
+
+lint="${1:?usage: run_lint_fixtures.sh <cpc_lint> <fixtures-dir>}"
+fixtures="${2:?usage: run_lint_fixtures.sh <cpc_lint> <fixtures-dir>}"
+failures=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+# expect_findings <id> <path>: exit 1 and the ID present in stdout.
+expect_findings() {
+  local id="$1" path="$2" out rc
+  out="$("$lint" "$path" 2>/dev/null)"
+  rc=$?
+  if [ "$rc" -ne 1 ]; then
+    fail "$path: expected exit 1, got $rc"
+  elif ! printf '%s\n' "$out" | grep -q "$id"; then
+    fail "$path: expected a $id finding, got: $out"
+  fi
+}
+
+# expect_clean <path>: exit 0 and no output.
+expect_clean() {
+  local path="$1" out rc
+  out="$("$lint" "$path" 2>/dev/null)"
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    fail "$path: expected exit 0, got $rc: $out"
+  fi
+}
+
+for n in 1 2 3 4 5 6 7; do
+  id="CPC-L00$n"
+  dir="$fixtures/l00$n"
+  [ -d "$dir" ] || { fail "missing fixture dir $dir"; continue; }
+  if [ -d "$dir/bad" ]; then  # paired-tree layout (registry checks)
+    expect_findings "$id" "$dir/bad"
+    expect_clean "$dir/clean"
+  else
+    expect_findings "$id" "$dir"/src/*/bad.*
+    expect_clean "$dir"/src/*/clean.*
+  fi
+done
+
+# Waiver round-trip: seeded violations, all waived — must lint clean.
+expect_clean "$fixtures/waiver"
+
+# Usage errors take the distinct exit code 2.
+"$lint" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "no-args invocation: expected exit 2"
+"$lint" "$fixtures/definitely-not-a-path" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "missing-path invocation: expected exit 2"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures fixture check(s) failed" >&2
+  exit 1
+fi
+echo "all lint fixtures behaved"
