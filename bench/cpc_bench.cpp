@@ -1,0 +1,290 @@
+// cpc_bench — the benchmark harness behind the BENCH_<n>.json perf
+// trajectory and the CI perf-regression gate (docs/benchmarking.md).
+//
+// Replays the kernel suite (and the committed fuzz corpus, when present)
+// through SweepRunner via sim::run_bench_suites, prints a per-suite summary,
+// optionally writes the schema-versioned JSON report, and optionally gates
+// the measured ops/sec against a committed baseline report.
+//
+// Exit codes follow tools/cli_util.hpp, with one harness-specific reading:
+//   0 — success (and, with --check, the gate passed)
+//   1 — performance regression (--check failed) or internal error
+//   2 — usage error
+//   3 — bad input (missing/malformed baseline JSON, unknown workload)
+//   4 — invariant violation (a benchmarked run corrupted its hierarchy)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "core/cpp_hierarchy.hpp"
+#include "sim/bench_meter.hpp"
+#include "verify/fault.hpp"
+
+namespace {
+
+struct Options {
+  cpc::sim::BenchRunOptions run;
+  std::string out_path;       ///< write the JSON report here ("" = don't)
+  std::string check_path;     ///< gate against this baseline ("" = don't)
+  double min_ratio = 0.85;    ///< gate floor: current >= ratio * baseline
+  double handicap = 1.0;      ///< divide measured ops/sec (gate self-test)
+  bool trip_invariant = false;  ///< exit-code self-test (exit 4)
+  bool help = false;
+};
+
+void print_usage(std::ostream& out) {
+  out << "usage: cpc_bench [options]\n"
+         "\n"
+         "Benchmark the simulator: replay the kernel suite (14 workloads x 5\n"
+         "paper configs) and the fuzz corpus through SweepRunner, measuring\n"
+         "simulated-ops/sec. See docs/benchmarking.md.\n"
+         "\n"
+         "  --quick            quick mode: 120k ops/kernel, median-of-3 "
+         "repeats\n"
+         "  --full             full mode: 600k ops/kernel, 1 repeat "
+         "(default)\n"
+         "  --ops N            micro-ops per kernel trace (overrides mode)\n"
+         "  --seed S           workload generator seed (default 0x5eed)\n"
+         "  --repeats N        repeats per suite; the median gates\n"
+         "  --jobs N           sweep threads (default 1 for stable timing;\n"
+         "                     0 = CPC_JOBS or hardware concurrency)\n"
+         "  --workloads a,b,c  kernel-name filter (default: all 14)\n"
+         "  --corpus DIR       fuzz-corpus directory (default tests/corpus;\n"
+         "                     missing directory skips the suite)\n"
+         "  --out FILE         write the JSON report (the BENCH_<n>.json "
+         "schema)\n"
+         "  --check FILE       gate against a baseline report; exit 1 when\n"
+         "                     any suite's median ops/sec falls below\n"
+         "                     min-ratio x baseline\n"
+         "  --min-ratio R      gate floor (default 0.85)\n"
+         "  --handicap X       divide measured ops/sec by X before gating\n"
+         "                     (CI uses --handicap 2 to prove the gate "
+         "fires)\n"
+         "  --verbose          progress lines on stderr\n"
+         "  --trip-invariant   self-test: corrupt a CPP hierarchy and exit\n"
+         "                     through the invariant path (CTest pins exit "
+         "4)\n"
+         "  --help             this text\n";
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(text, &used, 0);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw cpc::cli::BadInput("flag " + flag + " needs an unsigned integer, got '" +
+                             text + "'");
+  }
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size() || !(value > 0.0)) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw cpc::cli::BadInput("flag " + flag + " needs a positive number, got '" +
+                             text + "'");
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Parses argv. Returns false (usage error) on unknown flags or missing
+/// values; BadInput for well-formed flags with unparseable values.
+bool parse_args(int argc, char** argv, Options& options) {
+  bool ops_overridden = false;
+  bool repeats_overridden = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw cpc::cli::BadInput("flag " + arg + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+      return true;
+    } else if (arg == "--quick") {
+      options.run.mode = "quick";
+    } else if (arg == "--full") {
+      options.run.mode = "full";
+    } else if (arg == "--ops") {
+      options.run.trace_ops = parse_u64(arg, value());
+      ops_overridden = true;
+    } else if (arg == "--seed") {
+      options.run.seed = parse_u64(arg, value());
+    } else if (arg == "--repeats") {
+      options.run.repeats = static_cast<unsigned>(parse_u64(arg, value()));
+      repeats_overridden = true;
+    } else if (arg == "--jobs") {
+      options.run.threads = static_cast<unsigned>(parse_u64(arg, value()));
+    } else if (arg == "--workloads") {
+      options.run.workloads = split_csv(value());
+    } else if (arg == "--corpus") {
+      options.run.corpus_dir = value();
+    } else if (arg == "--out") {
+      options.out_path = value();
+    } else if (arg == "--check") {
+      options.check_path = value();
+    } else if (arg == "--min-ratio") {
+      options.min_ratio = parse_double(arg, value());
+    } else if (arg == "--handicap") {
+      options.handicap = parse_double(arg, value());
+    } else if (arg == "--verbose") {
+      options.run.quiet = false;
+    } else if (arg == "--trip-invariant") {
+      options.trip_invariant = true;
+    } else {
+      std::cerr << "cpc_bench: unknown flag '" << arg << "'\n";
+      return false;
+    }
+  }
+  // Mode presets apply only where no explicit flag took priority.
+  if (options.run.mode == "quick") {
+    if (!ops_overridden) options.run.trace_ops = 120'000;
+    if (!repeats_overridden) options.run.repeats = 3;
+  } else {
+    if (!ops_overridden) options.run.trace_ops = 600'000;
+    if (!repeats_overridden) options.run.repeats = 1;
+  }
+  return true;
+}
+
+/// Deliberately corrupts CPP metadata and validates; the resulting
+/// InvariantViolation unwinds through guarded_main as exit 4, pinning the
+/// harness's exit-code contract end to end (same shape as cpc_faultcamp).
+int trip_invariant() {
+  using namespace cpc;
+  core::CppHierarchy hierarchy;
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    hierarchy.write(i * 4, i % 7);  // compressible lines → PA flags to strike
+  }
+  verify::FaultCommand command;
+  command.kind = verify::FaultKind::kPaFlag;
+  command.level = 1;
+  command.seed = 42;
+  if (!hierarchy.inject_fault(command)) {
+    std::cerr << "error: no resident line to corrupt\n";
+    return cpc::cli::kExitError;
+  }
+  hierarchy.validate();  // throws InvariantViolation → exit 4
+  std::cerr << "error: corrupted metadata passed validation\n";
+  return cpc::cli::kExitError;
+}
+
+cpc::sim::BenchReport load_baseline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw cpc::cli::BadInput("cannot open baseline report '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return cpc::sim::BenchReport::from_json(
+        cpc::sim::JsonValue::parse(text.str()));
+  } catch (const cpc::sim::JsonError& error) {
+    throw cpc::cli::BadInput("baseline report '" + path +
+                             "': " + error.what());
+  }
+}
+
+void apply_handicap(cpc::sim::BenchReport& report, double handicap) {
+  if (handicap == 1.0) return;
+  for (cpc::sim::BenchSuiteResult& suite : report.suites) {
+    suite.wall_seconds *= handicap;
+    suite.ops_per_second /= handicap;
+    for (double& repeat : suite.repeat_ops_per_second) repeat /= handicap;
+    for (cpc::sim::BenchJobRecord& job : suite.jobs) {
+      job.wall_seconds *= handicap;
+      job.ops_per_second /= handicap;
+    }
+  }
+}
+
+void print_summary(const cpc::sim::BenchReport& report) {
+  std::cout.precision(4);
+  for (const cpc::sim::BenchSuiteResult& suite : report.suites) {
+    std::cout << suite.name << ": " << suite.median_ops_per_second() / 1e6
+              << "M ops/s (" << suite.jobs.size() << " jobs, "
+              << suite.committed_total << " ops, median of "
+              << suite.repeat_ops_per_second.size() << ")\n";
+  }
+  std::cout << "peak RSS: " << report.rss_peak_bytes / (1024.0 * 1024.0)
+            << " MiB, threads: " << report.threads << "\n";
+}
+
+int run(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) {
+    print_usage(std::cerr);
+    return cpc::cli::kExitUsage;
+  }
+  if (options.help) {
+    print_usage(std::cout);
+    return cpc::cli::kExitOk;
+  }
+  if (options.trip_invariant) {
+    return trip_invariant();
+  }
+
+  // Load the baseline *before* the (multi-second) measurement so a bad path
+  // fails fast.
+  cpc::sim::BenchReport baseline;
+  if (!options.check_path.empty()) {
+    baseline = load_baseline(options.check_path);
+  }
+
+  cpc::sim::BenchReport report = cpc::sim::run_bench_suites(options.run);
+  apply_handicap(report, options.handicap);
+  print_summary(report);
+
+  if (!options.out_path.empty()) {
+    std::ofstream out(options.out_path, std::ios::binary);
+    if (!out) {
+      throw cpc::cli::BadInput("cannot write report to '" + options.out_path +
+                               "'");
+    }
+    out << report.to_json().dump();
+    if (!out.flush()) {
+      throw std::runtime_error("short write to '" + options.out_path + "'");
+    }
+  }
+
+  if (!options.check_path.empty()) {
+    const cpc::sim::GateResult gate =
+        cpc::sim::perf_gate(baseline, report, options.min_ratio);
+    for (const std::string& line : gate.lines) {
+      std::cout << "gate: " << line << "\n";
+    }
+    if (!gate.ok) {
+      std::cerr << "cpc_bench: performance regression — median ops/sec fell "
+                   "below "
+                << options.min_ratio << "x the baseline\n";
+      return cpc::cli::kExitError;
+    }
+  }
+  return cpc::cli::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cpc::cli::guarded_main([&] { return run(argc, argv); });
+}

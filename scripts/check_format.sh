@@ -1,15 +1,32 @@
 #!/usr/bin/env bash
 # clang-format dry-run over the C++ tree. Exits non-zero if any file needs
-# reformatting (CI runs this as a non-blocking, advisory step).
+# reformatting.
 #
-#   ./scripts/check_format.sh          # check, list offending files
-#   ./scripts/check_format.sh --fix    # reformat in place
+#   ./scripts/check_format.sh                 # check, list offending files
+#   ./scripts/check_format.sh --fix           # reformat in place
+#   ./scripts/check_format.sh --patch F.diff  # write a unified diff, no edits
+#
+# The formatter is version-pinned: Google-style output drifts between
+# clang-format majors, so an unpinned check flip-flops depending on who ran
+# it last. CI installs the pinned major (see .github/workflows/ci.yml); a
+# different local major is an error unless CPC_FORMAT_ALLOW_ANY=1.
+# Override the binary with CLANG_FORMAT=/path/to/clang-format-NN.
 
 set -u
 cd "$(dirname "$0")/.."
 
-if ! command -v clang-format >/dev/null 2>&1; then
-  echo "error: clang-format not found on PATH (apt-get install clang-format)" >&2
+PINNED_MAJOR=18
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found on PATH (apt-get install clang-format-$PINNED_MAJOR)" >&2
+  exit 2
+fi
+
+major="$("$CLANG_FORMAT" --version | grep -oE '[0-9]+' | head -n1)"
+if [[ "$major" != "$PINNED_MAJOR" && "${CPC_FORMAT_ALLOW_ANY:-0}" != "1" ]]; then
+  echo "error: $CLANG_FORMAT is major $major, but the project pins $PINNED_MAJOR" >&2
+  echo "       (set CPC_FORMAT_ALLOW_ANY=1 to run anyway — results may disagree with CI)" >&2
   exit 2
 fi
 
@@ -17,20 +34,31 @@ mapfile -t files < <(find src tests bench tools examples \
   -name '*.cpp' -o -name '*.hpp' | sort)
 
 if [[ "${1:-}" == "--fix" ]]; then
-  clang-format -i "${files[@]}"
+  "$CLANG_FORMAT" -i "${files[@]}"
   echo "reformatted ${#files[@]} files"
   exit 0
 fi
 
+patch_out=""
+if [[ "${1:-}" == "--patch" ]]; then
+  patch_out="${2:?usage: check_format.sh --patch <output-file>}"
+  : > "$patch_out"
+fi
+
 status=0
 for f in "${files[@]}"; do
-  if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
     echo "needs formatting: $f"
     status=1
+    if [[ -n "$patch_out" ]]; then
+      "$CLANG_FORMAT" "$f" | diff -u --label "a/$f" --label "b/$f" "$f" - >> "$patch_out"
+    fi
   fi
 done
 
 if [[ $status -eq 0 ]]; then
   echo "all ${#files[@]} files clean"
+elif [[ -n "$patch_out" ]]; then
+  echo "wrote fix patch to $patch_out (apply with: git apply $patch_out)"
 fi
 exit $status

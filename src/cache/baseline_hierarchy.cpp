@@ -28,9 +28,8 @@ void BaselineHierarchy::retire_l1_victim(const BasicCache::Evicted& victim) {
   } else {
     // Non-allocating write-back straight to memory.
     ++stats_.mem_writebacks;
-    for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
-      memory_.write_word(base + i * 4, victim.words[i]);
-    }
+    memory_.write_words(base, static_cast<std::uint32_t>(victim.words.size()),
+                        victim.words.data());
     meter_line_transfer(stats_.traffic, victim.words, base, format_,
                         /*writeback=*/true);
   }
@@ -40,9 +39,8 @@ void BaselineHierarchy::retire_l2_victim(const BasicCache::Evicted& victim) {
   if (!victim.valid || !victim.dirty) return;
   ++stats_.mem_writebacks;
   const std::uint32_t base = config_.l2.base_of_line(victim.line_addr);
-  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
-    memory_.write_word(base + i * 4, victim.words[i]);
-  }
+  memory_.write_words(base, static_cast<std::uint32_t>(victim.words.size()),
+                      victim.words.data());
   meter_line_transfer(stats_.traffic, victim.words, base, format_,
                       /*writeback=*/true);
 }
@@ -62,13 +60,14 @@ BasicCache::Line& BaselineHierarchy::ensure_l2_line(std::uint32_t addr,
   ++stats_.mem_fetch_lines;
 
   const std::uint32_t base = config_.l2.base_of_line(line_addr);
-  std::vector<std::uint32_t> words(config_.l2.words_per_line());
-  for (std::uint32_t i = 0; i < words.size(); ++i) {
-    words[i] = memory_.read_word(base + i * 4);
-  }
-  meter_line_transfer(stats_.traffic, words, base, format_, /*writeback=*/false);
+  line_scratch_.resize(config_.l2.words_per_line());
+  memory_.read_words(base, static_cast<std::uint32_t>(line_scratch_.size()),
+                     line_scratch_.data());
+  meter_line_transfer(stats_.traffic, line_scratch_, base, format_,
+                      /*writeback=*/false);
 
-  retire_l2_victim(l2_.fill(line_addr, words));
+  l2_.fill(line_addr, line_scratch_, evict_scratch_);
+  retire_l2_victim(evict_scratch_);
   BasicCache::Line* line = l2_.find(line_addr);
   assert(line != nullptr);
   return *line;
@@ -95,7 +94,8 @@ BasicCache::Line& BaselineHierarchy::ensure_l1_line(std::uint32_t addr,
   const std::uint32_t word0 = config_.l2.word_of(base);
   const std::span<const std::uint32_t> half{l2_line.words.data() + word0,
                                             config_.l1.words_per_line()};
-  retire_l1_victim(l1_.fill(line_addr, half));
+  l1_.fill(line_addr, half, evict_scratch_);
+  retire_l1_victim(evict_scratch_);
   BasicCache::Line* line = l1_.find(line_addr);
   assert(line != nullptr);
   return *line;

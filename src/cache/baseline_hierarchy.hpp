@@ -64,6 +64,9 @@ class BaselineHierarchy : public MemoryHierarchy {
   BasicCache l1_;
   BasicCache l2_;
   mem::SparseMemory memory_;
+  // Reused across misses so the fill/evict path stays allocation-free.
+  std::vector<std::uint32_t> line_scratch_;
+  BasicCache::Evicted evict_scratch_;
 };
 
 }  // namespace cpc::cache

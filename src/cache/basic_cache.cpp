@@ -36,23 +36,29 @@ BasicCache::Line& BasicCache::lru_way(std::uint32_t set) {
 
 BasicCache::Evicted BasicCache::fill(std::uint32_t line_addr,
                                      std::span<const std::uint32_t> words) {
+  Evicted out;
+  fill(line_addr, words, out);
+  return out;
+}
+
+void BasicCache::fill(std::uint32_t line_addr,
+                      std::span<const std::uint32_t> words, Evicted& out) {
   assert(find(line_addr) == nullptr && "fill of already-resident line");
   assert(words.size() == geo_.words_per_line());
   Line& slot = lru_way(geo_.set_of_line(line_addr));
 
-  Evicted out;
+  out.valid = false;
   if (slot.valid) {
     out.valid = true;
     out.dirty = slot.dirty;
     out.line_addr = slot.line_addr;
-    out.words = slot.words;
+    out.words.assign(slot.words.begin(), slot.words.end());
   }
   slot.valid = true;
   slot.dirty = false;
   slot.line_addr = line_addr;
   std::copy(words.begin(), words.end(), slot.words.begin());
   touch(slot);
-  return out;
 }
 
 BasicCache::Evicted BasicCache::invalidate(std::uint32_t line_addr) {

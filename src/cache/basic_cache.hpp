@@ -45,6 +45,12 @@ class BasicCache {
   /// of the set if necessary. `line_addr` must not currently be resident.
   Evicted fill(std::uint32_t line_addr, std::span<const std::uint32_t> words);
 
+  /// As above, but writes the victim into `out`, reusing its word storage —
+  /// the hierarchies keep one Evicted as scratch so the steady-state fill
+  /// path never touches the allocator.
+  void fill(std::uint32_t line_addr, std::span<const std::uint32_t> words,
+            Evicted& out);
+
   /// Invalidates the line if resident; returns its prior content.
   Evicted invalidate(std::uint32_t line_addr);
 

@@ -32,10 +32,11 @@ LineCompressionHierarchy::LineCompressionHierarchy(HierarchyConfig config,
 bool LineCompressionHierarchy::fully_compressible(
     const std::vector<std::uint32_t>& words, std::uint32_t line_addr) const {
   const std::uint32_t base = config_.l1.base_of_line(line_addr);
-  for (std::uint32_t i = 0; i < words.size(); ++i) {
-    if (!scheme_.is_compressible(words[i], base + i * 4)) return false;
-  }
-  return true;
+  const std::uint32_t all = words.size() >= 32
+                                ? ~0u
+                                : (1u << words.size()) - 1u;
+  return scheme_.classify_words(words.data(), words.size(), base)
+             .compressible() == all;
 }
 
 LineCompressionHierarchy::Resident* LineCompressionHierarchy::find(
@@ -69,9 +70,8 @@ void LineCompressionHierarchy::retire(Resident& resident) {
     return;
   }
   ++stats_.mem_writebacks;
-  for (std::uint32_t i = 0; i < resident.words.size(); ++i) {
-    memory_.write_word(base + i * 4, resident.words[i]);
-  }
+  memory_.write_words(base, static_cast<std::uint32_t>(resident.words.size()),
+                      resident.words.data());
   meter_line_transfer(stats_.traffic, resident.words, base, TransferFormat::kCompressed,
                       /*writeback=*/true, scheme_);
 }
@@ -118,9 +118,8 @@ void LineCompressionHierarchy::retire_l2_victim(const BasicCache::Evicted& victi
   if (!victim.valid || !victim.dirty) return;
   ++stats_.mem_writebacks;
   const std::uint32_t base = config_.l2.base_of_line(victim.line_addr);
-  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
-    memory_.write_word(base + i * 4, victim.words[i]);
-  }
+  memory_.write_words(base, static_cast<std::uint32_t>(victim.words.size()),
+                      victim.words.data());
   meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kCompressed,
                       /*writeback=*/true, scheme_);
 }
@@ -139,9 +138,7 @@ BasicCache::Line& LineCompressionHierarchy::ensure_l2_line(std::uint32_t addr,
   ++stats_.mem_fetch_lines;
   const std::uint32_t base = config_.l2.base_of_line(line_addr);
   std::vector<std::uint32_t> words(config_.l2.words_per_line());
-  for (std::uint32_t i = 0; i < words.size(); ++i) {
-    words[i] = memory_.read_word(base + i * 4);
-  }
+  memory_.read_words(base, static_cast<std::uint32_t>(words.size()), words.data());
   meter_line_transfer(stats_.traffic, words, base, TransferFormat::kCompressed,
                       /*writeback=*/false, scheme_);
   retire_l2_victim(l2_.fill(line_addr, words));

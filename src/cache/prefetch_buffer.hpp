@@ -3,10 +3,16 @@
 // buffer helps the L1 cache and a 32-entry buffer helps the L2 cache in the
 // BCP configuration). Prefetched lines are always clean: a write first moves
 // the line into the cache proper.
+//
+// Slot storage is preallocated and recycled: an insert copies the words into
+// the evicted (or a free) slot's vector, whose capacity survives, so the
+// steady state performs no allocation at all. BCP inserts on every miss —
+// on the order of a million times per benchmark run — which is why this
+// container deliberately has no take-by-value API.
 
+#include <cstddef>
 #include <cstdint>
-#include <list>
-#include <optional>
+#include <span>
 #include <vector>
 
 namespace cpc::cache {
@@ -19,54 +25,86 @@ class PrefetchBuffer {
   };
 
   PrefetchBuffer(std::uint32_t entries, std::uint32_t words_per_line)
-      : capacity_(entries), words_per_line_(words_per_line) {}
+      : capacity_(entries), words_per_line_(words_per_line) {
+    slots_.resize(capacity_);
+    order_.reserve(capacity_);
+    free_.reserve(capacity_);
+    for (std::uint32_t i = capacity_; i-- > 0;) free_.push_back(i);
+  }
 
   bool contains(std::uint32_t line_addr) const {
-    for (const Entry& e : entries_) {
-      if (e.line_addr == line_addr) return true;
-    }
-    return false;
+    return position_of(line_addr) != kNone;
   }
 
-  /// Removes and returns the entry for `line_addr` (used when an access hits
-  /// the buffer and the line moves into the cache).
-  std::optional<Entry> take(std::uint32_t line_addr) {
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->line_addr == line_addr) {
-        Entry out = std::move(*it);
-        entries_.erase(it);
-        return out;
-      }
-    }
-    return std::nullopt;
+  /// Buffered entry for `line_addr`, or nullptr. Does not change LRU order;
+  /// pair with touch()/erase() to consume the hit. The pointer is stable
+  /// until the entry is erased or evicted.
+  const Entry* find(std::uint32_t line_addr) const {
+    const std::size_t pos = position_of(line_addr);
+    return pos == kNone ? nullptr : &slots_[order_[pos]];
+  }
+  Entry* find(std::uint32_t line_addr) {
+    const std::size_t pos = position_of(line_addr);
+    return pos == kNone ? nullptr : &slots_[order_[pos]];
   }
 
-  /// Inserts a prefetched line, evicting the LRU entry if full. A line
-  /// already buffered is refreshed (moved to MRU, content replaced).
-  void insert(std::uint32_t line_addr, std::vector<std::uint32_t> words) {
-    take(line_addr);  // drop any stale copy
-    if (entries_.size() == capacity_) entries_.pop_back();  // back = LRU
-    entries_.push_front(Entry{line_addr, std::move(words)});
+  /// Removes the entry for `line_addr` (no-op when absent); its storage is
+  /// recycled by a later insert.
+  void erase(std::uint32_t line_addr) {
+    const std::size_t pos = position_of(line_addr);
+    if (pos == kNone) return;
+    free_.push_back(order_[pos]);
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+
+  /// Inserts a prefetched line at MRU, evicting the LRU entry if full. A
+  /// line already buffered is refreshed (moved to MRU, content replaced).
+  void insert(std::uint32_t line_addr, std::span<const std::uint32_t> words) {
+    if (capacity_ == 0) return;
+    erase(line_addr);  // drop any stale copy
+    std::uint32_t slot = 0;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = order_.back();  // back = LRU
+      order_.pop_back();
+    }
+    slots_[slot].line_addr = line_addr;
+    slots_[slot].words.assign(words.begin(), words.end());
+    order_.insert(order_.begin(), slot);
   }
 
   /// Marks a buffered line most-recently-used.
   void touch(std::uint32_t line_addr) {
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->line_addr == line_addr) {
-        entries_.splice(entries_.begin(), entries_, it);
-        return;
-      }
-    }
+    const std::size_t pos = position_of(line_addr);
+    if (pos == kNone || pos == 0) return;
+    const std::uint32_t slot = order_[pos];
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(pos));
+    order_.insert(order_.begin(), slot);
   }
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return order_.size(); }
   std::uint32_t capacity() const { return capacity_; }
   std::uint32_t words_per_line() const { return words_per_line_; }
 
  private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// Index into order_ of the entry for `line_addr`, or kNone. The buffers
+  /// hold 8 or 32 entries, so a linear scan beats any index structure.
+  std::size_t position_of(std::uint32_t line_addr) const {
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (slots_[order_[i]].line_addr == line_addr) return i;
+    }
+    return kNone;
+  }
+
   std::uint32_t capacity_;
   std::uint32_t words_per_line_;
-  std::list<Entry> entries_;  // front = MRU, back = LRU
+  std::vector<Entry> slots_;        // stable storage, recycled across inserts
+  std::vector<std::uint32_t> order_;  // slot indices, front = MRU, back = LRU
+  std::vector<std::uint32_t> free_;   // slots not currently in order_
 };
 
 }  // namespace cpc::cache

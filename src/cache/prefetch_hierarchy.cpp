@@ -13,20 +13,19 @@ PrefetchHierarchy::PrefetchHierarchy(HierarchyConfig config,
       l1_buffer_(l1_buffer_entries, config.l1.words_per_line()),
       l2_buffer_(l2_buffer_entries, config.l2.words_per_line()) {}
 
-std::vector<std::uint32_t> PrefetchHierarchy::read_memory_line(std::uint32_t base,
-                                                               std::uint32_t words,
-                                                               bool prefetch) {
-  std::vector<std::uint32_t> out(words);
-  for (std::uint32_t i = 0; i < words; ++i) out[i] = memory_.read_word(base + i * 4);
+const std::vector<std::uint32_t>& PrefetchHierarchy::read_memory_line(
+    std::uint32_t base, std::uint32_t words, bool prefetch) {
+  line_scratch_.resize(words);
+  memory_.read_words(base, words, line_scratch_.data());
   // BCP transfers everything uncompressed; prefetches are real bus traffic.
-  meter_line_transfer(stats_.traffic, out, base, TransferFormat::kUncompressed,
-                      /*writeback=*/false);
+  meter_line_transfer(stats_.traffic, line_scratch_, base,
+                      TransferFormat::kUncompressed, /*writeback=*/false);
   if (prefetch) {
     ++stats_.prefetch_lines;
   } else {
     ++stats_.mem_fetch_lines;
   }
-  return out;
+  return line_scratch_;
 }
 
 void PrefetchHierarchy::retire_l1_victim(const BasicCache::Evicted& victim) {
@@ -42,18 +41,18 @@ void PrefetchHierarchy::retire_l1_victim(const BasicCache::Evicted& victim) {
     return;
   }
   // The line may be sitting in the L2 prefetch buffer; keep that copy
-  // coherent while writing through to memory.
-  if (auto entry = l2_buffer_.take(l2_line_addr)) {
+  // coherent while writing through to memory (updated in place and moved to
+  // MRU, exactly what the old take-then-reinsert did).
+  if (PrefetchBuffer::Entry* entry = l2_buffer_.find(l2_line_addr)) {
     const std::uint32_t word0 = config_.l2.word_of(base);
     for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
       entry->words[word0 + i] = victim.words[i];
     }
-    l2_buffer_.insert(l2_line_addr, std::move(entry->words));
+    l2_buffer_.touch(l2_line_addr);
   }
   ++stats_.mem_writebacks;
-  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
-    memory_.write_word(base + i * 4, victim.words[i]);
-  }
+  memory_.write_words(base, static_cast<std::uint32_t>(victim.words.size()),
+                      victim.words.data());
   meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kUncompressed,
                       /*writeback=*/true);
 }
@@ -62,9 +61,8 @@ void PrefetchHierarchy::retire_l2_victim(const BasicCache::Evicted& victim) {
   if (!victim.valid || !victim.dirty) return;
   ++stats_.mem_writebacks;
   const std::uint32_t base = config_.l2.base_of_line(victim.line_addr);
-  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
-    memory_.write_word(base + i * 4, victim.words[i]);
-  }
+  memory_.write_words(base, static_cast<std::uint32_t>(victim.words.size()),
+                      victim.words.data());
   meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kUncompressed,
                       /*writeback=*/true);
 }
@@ -75,11 +73,13 @@ BasicCache::Line& PrefetchHierarchy::ensure_l2_line(std::uint32_t l2_line_addr,
     l2_.touch(*line);
     return *line;
   }
-  if (auto entry = l2_buffer_.take(l2_line_addr)) {
+  if (const PrefetchBuffer::Entry* entry = l2_buffer_.find(l2_line_addr)) {
     // Demand reference moves the prefetched line into the cache proper.
     ++stats_.l2_pbuf_hits;
     result.served_by = ServedBy::kL2PrefetchBuffer;
-    retire_l2_victim(l2_.fill(l2_line_addr, entry->words));
+    l2_.fill(l2_line_addr, entry->words, evict_scratch_);
+    retire_l2_victim(evict_scratch_);
+    l2_buffer_.erase(l2_line_addr);
     BasicCache::Line* line = l2_.find(l2_line_addr);
     assert(line != nullptr);
     return *line;
@@ -91,8 +91,10 @@ BasicCache::Line& PrefetchHierarchy::ensure_l2_line(std::uint32_t l2_line_addr,
   ++stats_.l2_misses;
 
   const std::uint32_t base = config_.l2.base_of_line(l2_line_addr);
-  auto words = read_memory_line(base, config_.l2.words_per_line(), /*prefetch=*/false);
-  retire_l2_victim(l2_.fill(l2_line_addr, words));
+  const auto& words =
+      read_memory_line(base, config_.l2.words_per_line(), /*prefetch=*/false);
+  l2_.fill(l2_line_addr, words, evict_scratch_);
+  retire_l2_victim(evict_scratch_);
 
   // Prefetch-on-miss applies uniformly at this level: every L2 line miss
   // (demand or triggered by an L1-level prefetch) pulls the next L2 line
@@ -108,12 +110,13 @@ BasicCache::Line& PrefetchHierarchy::ensure_l2_line(std::uint32_t l2_line_addr,
 void PrefetchHierarchy::prefetch_into_l2_buffer(std::uint32_t l2_line_addr) {
   if (l2_.find(l2_line_addr) != nullptr || l2_buffer_.contains(l2_line_addr)) return;
   const std::uint32_t base = config_.l2.base_of_line(l2_line_addr);
-  l2_buffer_.insert(l2_line_addr,
-                    read_memory_line(base, config_.l2.words_per_line(), /*prefetch=*/true));
+  l2_buffer_.insert(
+      l2_line_addr,
+      read_memory_line(base, config_.l2.words_per_line(), /*prefetch=*/true));
   ++stats_.l2_prefetch_inserts;
 }
 
-std::vector<std::uint32_t> PrefetchHierarchy::fetch_half_line_from_l2_side(
+const std::vector<std::uint32_t>& PrefetchHierarchy::fetch_half_line_from_l2_side(
     std::uint32_t l1_line_addr, bool demand, AccessResult& result) {
   const std::uint32_t base = config_.l1.base_of_line(l1_line_addr);
   const std::uint32_t l2_line_addr = config_.l2.line_of(base);
@@ -122,28 +125,34 @@ std::vector<std::uint32_t> PrefetchHierarchy::fetch_half_line_from_l2_side(
 
   if (demand) {
     BasicCache::Line& line = ensure_l2_line(l2_line_addr, /*demand=*/true, result);
-    return {line.words.begin() + word0, line.words.begin() + word0 + n};
+    half_scratch_.assign(line.words.begin() + word0,
+                         line.words.begin() + word0 + n);
+    return half_scratch_;
   }
 
   // Prefetch request: read without disturbing L2 residency. A miss fetches
   // the enclosing L2 line from memory into the L2 *buffer* (it is prefetch
   // data and must not pollute the L2 cache).
   if (BasicCache::Line* line = l2_.find(l2_line_addr)) {
-    return {line->words.begin() + word0, line->words.begin() + word0 + n};
+    half_scratch_.assign(line->words.begin() + word0,
+                         line->words.begin() + word0 + n);
+    return half_scratch_;
   }
-  if (auto entry = l2_buffer_.take(l2_line_addr)) {
-    std::vector<std::uint32_t> half{entry->words.begin() + word0,
-                                    entry->words.begin() + word0 + n};
-    l2_buffer_.insert(l2_line_addr, std::move(entry->words));  // keep buffered, MRU
-    return half;
+  if (const PrefetchBuffer::Entry* entry = l2_buffer_.find(l2_line_addr)) {
+    half_scratch_.assign(entry->words.begin() + word0,
+                         entry->words.begin() + word0 + n);
+    l2_buffer_.touch(l2_line_addr);  // keep buffered, MRU
+    return half_scratch_;
   }
   const std::uint32_t l2_base = config_.l2.base_of_line(l2_line_addr);
-  auto words = read_memory_line(l2_base, config_.l2.words_per_line(), /*prefetch=*/true);
-  std::vector<std::uint32_t> half{words.begin() + word0, words.begin() + word0 + n};
-  l2_buffer_.insert(l2_line_addr, std::move(words));
-  // This was an L2 miss too, so the L2-level prefetch-on-miss also fires.
+  const auto& words =
+      read_memory_line(l2_base, config_.l2.words_per_line(), /*prefetch=*/true);
+  half_scratch_.assign(words.begin() + word0, words.begin() + word0 + n);
+  l2_buffer_.insert(l2_line_addr, words);
+  // This was an L2 miss too, so the L2-level prefetch-on-miss also fires
+  // (and reuses line_scratch_ — half_scratch_ already holds our copy).
   prefetch_into_l2_buffer(l2_line_addr + 1);
-  return half;
+  return half_scratch_;
 }
 
 void PrefetchHierarchy::prefetch_into_l1_buffer(std::uint32_t l1_line_addr) {
@@ -163,12 +172,14 @@ BasicCache::Line& PrefetchHierarchy::ensure_l1_line(std::uint32_t addr,
     result.served_by = ServedBy::kL1;
     return *line;
   }
-  if (auto entry = l1_buffer_.take(line_addr)) {
+  if (const PrefetchBuffer::Entry* entry = l1_buffer_.find(line_addr)) {
     // Prefetch-buffer hit: not a miss (section 4.4); line moves into L1.
     ++stats_.l1_pbuf_hits;
     result.latency = config_.latency.l1_hit;
     result.served_by = ServedBy::kL1PrefetchBuffer;
-    retire_l1_victim(l1_.fill(line_addr, entry->words));
+    l1_.fill(line_addr, entry->words, evict_scratch_);
+    retire_l1_victim(evict_scratch_);
+    l1_buffer_.erase(line_addr);
     BasicCache::Line* line = l1_.find(line_addr);
     assert(line != nullptr);
     return *line;
@@ -179,8 +190,10 @@ BasicCache::Line& PrefetchHierarchy::ensure_l1_line(std::uint32_t addr,
   result.latency = config_.latency.l2_hit;
   ++stats_.l1_misses;
 
-  auto words = fetch_half_line_from_l2_side(line_addr, /*demand=*/true, result);
-  retire_l1_victim(l1_.fill(line_addr, words));
+  const auto& words = fetch_half_line_from_l2_side(line_addr, /*demand=*/true, result);
+  l1_.fill(line_addr, words, evict_scratch_);
+  retire_l1_victim(evict_scratch_);
+  // The prefetch below reuses half_scratch_; the fill above already copied.
   prefetch_into_l1_buffer(line_addr + 1);
 
   BasicCache::Line* line = l1_.find(line_addr);

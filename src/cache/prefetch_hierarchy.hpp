@@ -44,10 +44,11 @@ class PrefetchHierarchy : public MemoryHierarchy {
   /// Reads an L1-sized line image out of the L2 side (L2 cache, L2 buffer,
   /// or memory). `demand` distinguishes demand fills from L1-level
   /// prefetches: only demand L2 misses count as misses and trigger the
-  /// L2-level next-line prefetch.
-  std::vector<std::uint32_t> fetch_half_line_from_l2_side(std::uint32_t l1_line_addr,
-                                                          bool demand,
-                                                          AccessResult& result);
+  /// L2-level next-line prefetch. Returns a reference to half_scratch_,
+  /// valid until the next call — callers copy out before triggering
+  /// further prefetches.
+  const std::vector<std::uint32_t>& fetch_half_line_from_l2_side(
+      std::uint32_t l1_line_addr, bool demand, AccessResult& result);
 
   /// Ensures the L2 line is resident in the L2 cache proper.
   BasicCache::Line& ensure_l2_line(std::uint32_t l2_line_addr, bool demand,
@@ -59,8 +60,11 @@ class PrefetchHierarchy : public MemoryHierarchy {
   void retire_l1_victim(const BasicCache::Evicted& victim);
   void retire_l2_victim(const BasicCache::Evicted& victim);
 
-  std::vector<std::uint32_t> read_memory_line(std::uint32_t base, std::uint32_t words,
-                                              bool prefetch);
+  /// Reads a line image from memory into line_scratch_ and meters the
+  /// transfer. The reference is valid until the next call.
+  const std::vector<std::uint32_t>& read_memory_line(std::uint32_t base,
+                                                     std::uint32_t words,
+                                                     bool prefetch);
 
   HierarchyConfig config_;
   BasicCache l1_;
@@ -68,6 +72,11 @@ class PrefetchHierarchy : public MemoryHierarchy {
   PrefetchBuffer l1_buffer_;
   PrefetchBuffer l2_buffer_;
   mem::SparseMemory memory_;
+  // Reused line images: every fill/prefetch on the hot path copies through
+  // these instead of allocating a fresh vector per miss.
+  std::vector<std::uint32_t> line_scratch_;
+  std::vector<std::uint32_t> half_scratch_;
+  BasicCache::Evicted evict_scratch_;
 };
 
 }  // namespace cpc::cache

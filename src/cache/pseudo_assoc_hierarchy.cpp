@@ -17,9 +17,8 @@ void PseudoAssocHierarchy::retire_l2_victim(const BasicCache::Evicted& victim) {
   if (!victim.valid || !victim.dirty) return;
   ++stats_.mem_writebacks;
   const std::uint32_t base = config_.l2.base_of_line(victim.line_addr);
-  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
-    memory_.write_word(base + i * 4, victim.words[i]);
-  }
+  memory_.write_words(base, static_cast<std::uint32_t>(victim.words.size()),
+                      victim.words.data());
   meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kUncompressed,
                       /*writeback=*/true);
 }
@@ -37,13 +36,13 @@ BasicCache::Line& PseudoAssocHierarchy::ensure_l2_line(std::uint32_t addr,
   ++stats_.l2_misses;
   ++stats_.mem_fetch_lines;
   const std::uint32_t base = config_.l2.base_of_line(line_addr);
-  std::vector<std::uint32_t> words(config_.l2.words_per_line());
-  for (std::uint32_t i = 0; i < words.size(); ++i) {
-    words[i] = memory_.read_word(base + i * 4);
-  }
-  meter_line_transfer(stats_.traffic, words, base, TransferFormat::kUncompressed,
-                      /*writeback=*/false);
-  retire_l2_victim(l2_.fill(line_addr, words));
+  line_scratch_.resize(config_.l2.words_per_line());
+  memory_.read_words(base, static_cast<std::uint32_t>(line_scratch_.size()),
+                     line_scratch_.data());
+  meter_line_transfer(stats_.traffic, line_scratch_, base,
+                      TransferFormat::kUncompressed, /*writeback=*/false);
+  l2_.fill(line_addr, line_scratch_, evict_scratch_);
+  retire_l2_victim(evict_scratch_);
   BasicCache::Line* line = l2_.find(line_addr);
   assert(line != nullptr);
   return *line;

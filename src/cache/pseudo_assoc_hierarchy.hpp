@@ -67,6 +67,9 @@ class PseudoAssocHierarchy : public MemoryHierarchy {
   BasicCache l2_;
   mem::SparseMemory memory_;
   std::uint64_t slow_hits_ = 0;
+  // Reused across misses so the fill/evict path stays allocation-free.
+  std::vector<std::uint32_t> line_scratch_;
+  BasicCache::Evicted evict_scratch_;
 };
 
 }  // namespace cpc::cache

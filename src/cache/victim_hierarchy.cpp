@@ -11,9 +11,8 @@ void VictimHierarchy::retire_l2_victim(const BasicCache::Evicted& victim) {
   if (!victim.valid || !victim.dirty) return;
   ++stats_.mem_writebacks;
   const std::uint32_t base = config_.l2.base_of_line(victim.line_addr);
-  for (std::uint32_t i = 0; i < victim.words.size(); ++i) {
-    memory_.write_word(base + i * 4, victim.words[i]);
-  }
+  memory_.write_words(base, static_cast<std::uint32_t>(victim.words.size()),
+                      victim.words.data());
   meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kUncompressed,
                       /*writeback=*/true);
 }
@@ -32,9 +31,7 @@ BasicCache::Line& VictimHierarchy::ensure_l2_line(std::uint32_t addr,
   ++stats_.mem_fetch_lines;
   const std::uint32_t base = config_.l2.base_of_line(line_addr);
   std::vector<std::uint32_t> words(config_.l2.words_per_line());
-  for (std::uint32_t i = 0; i < words.size(); ++i) {
-    words[i] = memory_.read_word(base + i * 4);
-  }
+  memory_.read_words(base, static_cast<std::uint32_t>(words.size()), words.data());
   meter_line_transfer(stats_.traffic, words, base, TransferFormat::kUncompressed,
                       /*writeback=*/false);
   retire_l2_victim(l2_.fill(line_addr, words));
@@ -55,9 +52,8 @@ void VictimHierarchy::retire_entry(Entry entry) {
     return;
   }
   ++stats_.mem_writebacks;
-  for (std::uint32_t i = 0; i < entry.words.size(); ++i) {
-    memory_.write_word(base + i * 4, entry.words[i]);
-  }
+  memory_.write_words(base, static_cast<std::uint32_t>(entry.words.size()),
+                      entry.words.data());
   meter_line_transfer(stats_.traffic, entry.words, base, TransferFormat::kUncompressed,
                       /*writeback=*/true);
 }

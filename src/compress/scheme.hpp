@@ -18,6 +18,7 @@
 // stored with the value; the VC (value-compressed) flag lives outside the
 // value (in the cache line's flag array, see cpc::core::CompressedLine).
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -36,6 +37,19 @@ struct CompressedWord {
   std::uint32_t bits = 0;
 
   friend bool operator==(const CompressedWord&, const CompressedWord&) = default;
+};
+
+/// Per-word classification bit-masks for a run of consecutive words (FPC
+/// uses the same trick: classify a whole line into per-class bit vectors,
+/// then count/test with mask ops instead of a branch per word). Bit i
+/// describes word i. The masks are disjoint: a word that passes both the
+/// small-value and the pointer test is reported small, matching the
+/// priority in Scheme::classify.
+struct WordClassMasks {
+  std::uint32_t small = 0;    ///< word is a small value (VT = 0)
+  std::uint32_t pointer = 0;  ///< word compresses as a pointer (VT = 1)
+
+  constexpr std::uint32_t compressible() const { return small | pointer; }
 };
 
 /// A compression scheme with a configurable compressed width.
@@ -71,20 +85,62 @@ class Scheme {
   /// Classifies `value` stored at `address` (paper checks (i)-(iii), Fig. 8a).
   /// The small-value checks win ties with the pointer check; both decodings
   /// agree whenever both conditions hold, so the priority is unobservable.
-  ValueClass classify(std::uint32_t value, std::uint32_t address) const;
+  ///
+  /// Branch-free: the small-value test is the classic biased range check
+  /// (value + 2^(P-1) fits in P bits, with the unsigned wrap-around landing
+  /// exactly on small_min), the pointer test XORs away the shared prefix.
+  /// scheme.cpp static_asserts this against a straight transcription of the
+  /// paper's definition over boundary values and a pseudo-random sweep.
+  constexpr ValueClass classify(std::uint32_t value, std::uint32_t address) const {
+    const std::uint32_t small = small_test(value);
+    const std::uint32_t ptr = pointer_test(value, address);
+    // small → 0 (kSmallValue); else ptr → 1 (kPointer); else 2.
+    return static_cast<ValueClass>((1u - small) * (2u - ptr));
+  }
 
-  bool is_compressible(std::uint32_t value, std::uint32_t address) const {
-    return classify(value, address) != ValueClass::kIncompressible;
+  constexpr bool is_compressible(std::uint32_t value, std::uint32_t address) const {
+    return (small_test(value) | pointer_test(value, address)) != 0;
+  }
+
+  /// Classifies `count` consecutive words whose first word lives at
+  /// `base_addr`, one pass, no per-word branches (the loop auto-vectorizes).
+  /// `count` must be at most 32 — a cache line, not an arbitrary buffer.
+  constexpr WordClassMasks classify_words(const std::uint32_t* words,
+                                          std::size_t count,
+                                          std::uint32_t base_addr) const {
+    WordClassMasks m;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t addr = base_addr + static_cast<std::uint32_t>(i) * 4;
+      const std::uint32_t small = small_test(words[i]);
+      const std::uint32_t ptr = pointer_test(words[i], addr);
+      m.small |= small << i;
+      m.pointer |= (ptr & (small ^ 1u)) << i;
+    }
+    return m;
   }
 
   /// Compresses `value` stored at `address`; empty when incompressible.
-  std::optional<CompressedWord> compress(std::uint32_t value,
-                                         std::uint32_t address) const;
+  constexpr std::optional<CompressedWord> compress(std::uint32_t value,
+                                                   std::uint32_t address) const {
+    const std::uint32_t small = small_test(value);
+    const std::uint32_t ptr = pointer_test(value, address);
+    if ((small | ptr) == 0) return std::nullopt;
+    // VT is set only for pointer-compressed words (small wins ties).
+    const std::uint32_t vt = (ptr & (small ^ 1u)) << payload_bits_;
+    return CompressedWord{(value & payload_mask()) | vt};
+  }
 
   /// Reconstructs the original word from its compressed form. `address` must
   /// be the address the word is stored at (pointer prefixes are borrowed
   /// from it, paper Fig. 1a).
-  std::uint32_t decompress(CompressedWord cw, std::uint32_t address) const;
+  constexpr std::uint32_t decompress(CompressedWord cw, std::uint32_t address) const {
+    const std::uint32_t payload = cw.bits & payload_mask();
+    // All-ones when VT is set: prefix comes from the address; otherwise the
+    // payload's sign bit is replicated upward.
+    const std::uint32_t use_addr = 0u - ((cw.bits >> payload_bits_) & 1u);
+    const std::uint32_t sign = 0u - (payload >> (payload_bits_ - 1));
+    return (((address & use_addr) | (sign & ~use_addr)) & prefix_mask()) | payload;
+  }
 
   friend bool operator==(const Scheme&, const Scheme&) = default;
 
@@ -92,6 +148,18 @@ class Scheme {
   constexpr std::uint32_t payload_mask() const { return (1u << payload_bits_) - 1; }
   constexpr std::uint32_t vt_mask() const { return 1u << payload_bits_; }
   constexpr std::uint32_t prefix_mask() const { return ~payload_mask(); }
+
+  /// 1 when bits [P-1 .. 31] of `value` are all equal (sign extension).
+  constexpr std::uint32_t small_test(std::uint32_t value) const {
+    const std::uint32_t bias = 1u << (payload_bits_ - 1);
+    return ((value + bias) >> payload_bits_) == 0 ? 1u : 0u;
+  }
+
+  /// 1 when the high (32 - P) bits of `value` match those of `address`.
+  constexpr std::uint32_t pointer_test(std::uint32_t value,
+                                       std::uint32_t address) const {
+    return ((value ^ address) >> payload_bits_) == 0 ? 1u : 0u;
+  }
 
   unsigned payload_bits_;
 };

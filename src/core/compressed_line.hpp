@@ -74,18 +74,26 @@ class CompressedLine {
   /// compressed to uncompressed storage (the transition of section 3.3).
   bool set_primary_word(std::uint32_t i, std::uint32_t value, std::uint32_t addr,
                         const compress::Scheme& scheme) {
-    const bool was_compressed = has_primary(i) && primary_compressed(i);
-    if (has_primary(i)) ecc_ ^= mix(primary_[i], kPrimarySalt + i);
-    ecc_ ^= flag_ecc();
+    const std::uint32_t bit = 1u << i;
+    const bool was_present = (pa_ & bit) != 0;
+    const bool was_compressed = was_present && (vcp_ & bit) != 0;
+    if (was_present) ecc_ ^= mix(primary_[i], kPrimarySalt + i);
     primary_[i] = value;
-    pa_ |= 1u << i;
     const bool now_compressed = scheme.is_compressible(value, addr);
-    if (now_compressed) {
-      vcp_ |= 1u << i;
-    } else {
-      vcp_ &= ~(1u << i);
+    // Incremental flag maintenance: XOR-ing the whole flag fold out and back
+    // in cancels every unchanged contribution, so only the PA/VCP terms that
+    // actually move are folded — this is the hottest mutator in the CPP
+    // fill/write-back path.
+    const std::uint32_t new_pa = pa_ | bit;
+    const std::uint32_t new_vcp = now_compressed ? (vcp_ | bit) : (vcp_ & ~bit);
+    if (new_pa != pa_) {
+      ecc_ ^= mix(pa_, kPaSalt) ^ mix(new_pa, kPaSalt);
+      pa_ = new_pa;
     }
-    ecc_ ^= flag_ecc();
+    if (new_vcp != vcp_) {
+      ecc_ ^= mix(vcp_, kVcpSalt) ^ mix(new_vcp, kVcpSalt);
+      vcp_ = new_vcp;
+    }
     ecc_ ^= mix(value, kPrimarySalt + i);
     return was_compressed && !now_compressed;
   }
@@ -106,25 +114,41 @@ class CompressedLine {
   }
 
   void set_affiliated_word(std::uint32_t i, compress::CompressedWord cw) {
-    if (has_affiliated(i)) ecc_ ^= mix(affiliated_[i], kAffiliatedSalt + i);
-    ecc_ ^= flag_ecc();
+    const std::uint32_t bit = 1u << i;
+    if ((aa_ & bit) != 0) ecc_ ^= mix(affiliated_[i], kAffiliatedSalt + i);
     affiliated_[i] = cw.bits;
-    aa_ |= 1u << i;
-    ecc_ ^= flag_ecc();
+    if ((aa_ & bit) == 0) {
+      // Only the AA contribution of the flag fold moves (see
+      // set_primary_word for the cancellation argument).
+      ecc_ ^= mix(aa_, kAaSalt);
+      aa_ |= bit;
+      ecc_ ^= mix(aa_, kAaSalt);
+    }
     ecc_ ^= mix(cw.bits, kAffiliatedSalt + i);
   }
 
   void drop_affiliated_word(std::uint32_t i) {
     if (!has_affiliated(i)) return;
     ecc_ ^= mix(affiliated_[i], kAffiliatedSalt + i);
-    ecc_ ^= flag_ecc();
+    ecc_ ^= mix(aa_, kAaSalt);
     aa_ &= ~(1u << i);
-    ecc_ ^= flag_ecc();
+    ecc_ ^= mix(aa_, kAaSalt);
   }
 
   void drop_all_affiliated() {
     aa_ = 0;
     ecc_ = ecc_over_current_state();
+  }
+
+  /// Wipes both halves at once (a fresh install into an audited slot).
+  /// Equivalent to clear_primary() + drop_all_affiliated(): with every flag
+  /// zeroed the ECC fold degenerates to flag_ecc(), so no per-word loop.
+  void reset_content() {
+    pa_ = 0;
+    aa_ = 0;
+    vcp_ = 0;
+    dirty = false;
+    ecc_ = flag_ecc();
   }
 
   // --- metadata/payload ECC ---------------------------------------------

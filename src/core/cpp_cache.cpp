@@ -1,8 +1,11 @@
 #include "core/cpp_cache.hpp"
 
+#include <array>
 #include <cassert>
 #include <random>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -123,32 +126,28 @@ CompressedLine& CppCache::install(const IncomingLine& incoming, WritebackSink& s
   CompressedLine& slot = victim_way(geo_.set_of_line(L));
   if (slot.valid) {
     audit_line(slot, "evict");
-    if (slot.dirty && slot.pa_mask() != 0) {
-      std::vector<std::uint32_t> words(n, 0);
-      for (std::uint32_t i = 0; i < n; ++i) {
-        if (slot.has_primary(i)) words[i] = slot.primary_word(i);
-      }
-      sink.writeback(slot.line_addr, slot.pa_mask(), words);
-    }
-    std::vector<std::uint32_t> keep(n, 0);
+    // One snapshot of the victim's primary words serves both the dirty
+    // write-back and the demotion attempt.
+    std::array<std::uint32_t, 32> kept{};
     for (std::uint32_t i = 0; i < n; ++i) {
-      if (slot.has_primary(i)) keep[i] = slot.primary_word(i);
+      if (slot.has_primary(i)) kept[i] = slot.primary_word(i);
+    }
+    const std::span<const std::uint32_t> kept_span(kept.data(), n);
+    if (slot.dirty && slot.pa_mask() != 0) {
+      sink.writeback(slot.line_addr, slot.pa_mask(), kept_span);
     }
     const std::uint32_t victim_addr = slot.line_addr;
     const std::uint32_t victim_mask = slot.pa_mask();
     // Invalidate before demotion so the demoted copy is the only copy.
     slot.valid = false;
-    slot.clear_primary();
-    slot.drop_all_affiliated();
-    demote_into_affiliated(victim_addr, victim_mask, keep);
+    slot.reset_content();
+    demote_into_affiliated(victim_addr, victim_mask, kept_span);
   }
 
   slot.valid = true;
-  slot.dirty = false;
   slot.line_addr = L;
-  slot.clear_primary();
-  slot.drop_all_affiliated();
-  slot.valid = true;  // clear_primary leaves valid untouched; be explicit anyway
+  slot.reset_content();
+  slot.valid = true;  // reset_content leaves valid untouched; be explicit anyway
 
   for (std::uint32_t i = 0; i < n; ++i) {
     if ((merged.present >> i) & 1u) {

@@ -11,6 +11,7 @@
 // and traffic metering. Dirty data leaving the cache is handed to a
 // WritebackSink.
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -32,15 +33,36 @@ class WritebackSink {
                          std::span<const std::uint32_t> words) = 0;
 };
 
+/// Fixed-capacity word buffer for line images moving between levels. Lines
+/// are at most 32 words (the flag masks are 32 bits wide), so the storage
+/// lives inline — building or copying a line image never allocates, which
+/// matters because one IncomingLine is materialised per cache miss.
+class LineWords {
+ public:
+  void assign(std::uint32_t n, std::uint32_t value) {
+    size_ = n;
+    for (std::uint32_t i = 0; i < n; ++i) data_[i] = value;
+  }
+  std::uint32_t size() const { return size_; }
+  std::uint32_t& operator[](std::size_t i) { return data_[i]; }
+  std::uint32_t operator[](std::size_t i) const { return data_[i]; }
+  std::uint32_t* data() { return data_.data(); }
+  const std::uint32_t* data() const { return data_.data(); }
+
+ private:
+  std::array<std::uint32_t, 32> data_{};
+  std::uint32_t size_ = 0;
+};
+
 /// A (possibly partial) line image moving into a CppCache: the primary
 /// line's available words plus the prefetched compressible words of its
 /// affiliated line.
 struct IncomingLine {
   std::uint32_t line_addr = 0;
   std::uint32_t present = 0;  ///< mask over primary words
-  std::vector<std::uint32_t> words;  ///< full line size; valid where `present`
+  LineWords words;  ///< full line size; valid where `present`
   std::uint32_t aff_present = 0;  ///< mask over affiliated (line_addr ^ mask) words
-  std::vector<std::uint32_t> aff_words;  ///< compressed forms; valid where `aff_present`
+  LineWords aff_words;  ///< compressed forms; valid where `aff_present`
 };
 
 class CppCache {

@@ -1,9 +1,9 @@
 #include "core/cpp_hierarchy.hpp"
 
+#include <array>
 #include <bit>
 #include <cassert>
 #include <random>
-#include <vector>
 
 #include "common/check.hpp"
 
@@ -89,16 +89,18 @@ CppHierarchy::L2View CppHierarchy::ensure_l2_word(std::uint32_t addr,
   in.aff_words.assign(n2, 0);
   in.present = full_mask(n2);
   const std::uint32_t base = options_.config.l2.base_of_line(q);
-  for (std::uint32_t i = 0; i < n2; ++i) in.words[i] = memory_.read_word(base + i * 4);
+  memory_.read_words(base, n2, in.words.data());
   stats_.traffic.add_uncompressed_words(n2);
 
   if (options_.prefetch_l2) {
     const std::uint32_t buddy = l2_.buddy_of(q);
+    std::array<std::uint32_t, 32> aff{};
+    memory_.read_words(options_.config.l2.base_of_line(buddy), n2, aff.data());
     for (std::uint32_t i = 0; i < n2; ++i) {
       // A half-slot frees up only where the primary word is compressible.
       if (!options_.scheme.is_compressible(in.words[i], l2_.word_addr(q, i))) continue;
       const std::uint32_t aff_addr = l2_.word_addr(buddy, i);
-      const auto cw = options_.scheme.compress(memory_.read_word(aff_addr), aff_addr);
+      const auto cw = options_.scheme.compress(aff[i], aff_addr);
       if (!cw) continue;
       in.aff_present |= 1u << i;
       in.aff_words[i] = cw->bits;
@@ -240,32 +242,29 @@ void CppHierarchy::accept_l1_writeback(std::uint32_t l1_line, std::uint32_t mask
   // Not resident at L2: non-allocating write-back straight to memory,
   // transferred in compressed form.
   ++stats_.mem_writebacks;
-  for (std::uint32_t i = 0; i < n1; ++i) {
-    if (!((mask >> i) & 1u)) continue;
-    const std::uint32_t addr = base + i * 4;
-    memory_.write_word(addr, words[i]);
-    if (options_.scheme.is_compressible(words[i], addr)) {
-      stats_.traffic.add_writeback_compressed_words();
-    } else {
-      stats_.traffic.add_writeback_uncompressed_words();
-    }
-  }
+  write_back_words(base, n1, mask, words);
 }
 
 void CppHierarchy::writeback_to_memory(std::uint32_t l2_line, std::uint32_t mask,
                                        std::span<const std::uint32_t> words) {
   ++stats_.mem_writebacks;
-  const std::uint32_t base = options_.config.l2.base_of_line(l2_line);
-  for (std::uint32_t i = 0; i < options_.config.l2.words_per_line(); ++i) {
-    if (!((mask >> i) & 1u)) continue;
-    const std::uint32_t addr = base + i * 4;
-    memory_.write_word(addr, words[i]);
-    if (options_.scheme.is_compressible(words[i], addr)) {
-      stats_.traffic.add_writeback_compressed_words();
-    } else {
-      stats_.traffic.add_writeback_uncompressed_words();
-    }
-  }
+  write_back_words(options_.config.l2.base_of_line(l2_line),
+                   options_.config.l2.words_per_line(), mask, words);
+}
+
+void CppHierarchy::write_back_words(std::uint32_t base, std::uint32_t n,
+                                    std::uint32_t mask,
+                                    std::span<const std::uint32_t> words) {
+  if (mask == 0) return;
+  memory_.write_words(base, n, mask, words.data());
+  // Classify the line in one branch-free pass; masked-out lanes are computed
+  // and discarded, which is cheaper than a test per word.
+  const std::uint32_t compressible =
+      options_.scheme.classify_words(words.data(), n, base).compressible() & mask;
+  const auto nc = static_cast<std::uint32_t>(std::popcount(compressible));
+  stats_.traffic.add_writeback_compressed_words(nc);
+  stats_.traffic.add_writeback_uncompressed_words(
+      static_cast<std::uint32_t>(std::popcount(mask)) - nc);
 }
 
 CompressedLine& CppHierarchy::fill_l1_line(std::uint32_t addr,

@@ -107,6 +107,12 @@ class CppHierarchy : public cache::MemoryHierarchy {
   void writeback_to_memory(std::uint32_t l2_line, std::uint32_t mask,
                            std::span<const std::uint32_t> words);
 
+  /// Writes the masked words of a line image (based at `base`, `n` words
+  /// long) to memory and meters them as write-back traffic, classifying the
+  /// whole line in one batched pass instead of a branch per word.
+  void write_back_words(std::uint32_t base, std::uint32_t n, std::uint32_t mask,
+                        std::span<const std::uint32_t> words);
+
   /// Ensures the L1 line containing `addr` is primary resident with the
   /// requested word present; used by both the read and the write miss paths.
   CompressedLine& fill_l1_line(std::uint32_t addr, cache::AccessResult& result);

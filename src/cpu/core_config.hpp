@@ -78,6 +78,12 @@ struct CoreConfig {
   cache::CacheGeometry icache{8 * 1024, 64, 1};
 
   std::uint32_t bimod_entries = 2048;
+
+  /// Disables the quiescent-cycle fast-forward in OooCore::run, forcing the
+  /// reference cycle-by-cycle loop. The fast-forward is provably equivalent
+  /// (tests/test_core_fastforward.cpp runs both paths and compares every
+  /// counter); this escape hatch exists so that proof stays executable.
+  bool disable_cycle_skip = false;
 };
 
 }  // namespace cpc::cpu

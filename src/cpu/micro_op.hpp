@@ -6,7 +6,9 @@
 // experiments observe (dependence-limited throughput, the memory reference
 // stream, branch behaviour) without committing to a concrete ISA encoding.
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace cpc::cpu {
@@ -38,6 +40,21 @@ struct MicroOp {
 
   bool branch_taken() const { return (flags & kFlagTaken) != 0; }
 };
+
+// The in-memory layout is pinned to the 16-byte .cpctrace wire record
+// (cpu/trace_io.hpp): pc, addr, value as u32 at offsets 0/4/8, then kind,
+// dep1, dep2, flags as single bytes at 12..15, no padding. trace_io relies
+// on this to bulk-memcpy whole batches on little-endian hosts; if a field
+// is added or reordered, these fire and the trace format must be versioned.
+static_assert(std::is_trivially_copyable_v<MicroOp>);
+static_assert(sizeof(MicroOp) == 16);
+static_assert(offsetof(MicroOp, pc) == 0);
+static_assert(offsetof(MicroOp, addr) == 4);
+static_assert(offsetof(MicroOp, value) == 8);
+static_assert(offsetof(MicroOp, kind) == 12);
+static_assert(offsetof(MicroOp, dep1) == 13);
+static_assert(offsetof(MicroOp, dep2) == 14);
+static_assert(offsetof(MicroOp, flags) == 15);
 
 using Trace = std::vector<MicroOp>;
 

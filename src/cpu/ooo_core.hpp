@@ -14,7 +14,6 @@
 // paper's Fig. 15 reports.
 
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <vector>
 
@@ -86,41 +85,59 @@ class OooCore {
   CoreStats run(std::span<const MicroOp> trace);
 
  private:
-  struct WindowEntry {
-    std::uint64_t idx = 0;  // trace index
-    bool issued = false;
-    bool in_lsq = false;
-    std::uint64_t done_cycle = 0;  // valid once issued
-    std::uint32_t loaded_value = 0;  // loads: the word the hierarchy returned
-  };
-
   /// Issues the wrong-path probes a mispredicted branch at `pc` shadows.
   void issue_wrongpath_probes(std::uint32_t pc, std::uint32_t target,
                               CoreStats& stats);
 
-  bool deps_ready(const MicroOp& op, std::uint64_t idx, std::uint64_t cycle) const;
   bool producer_done(std::uint64_t producer, std::uint64_t cycle) const;
-  bool memory_order_clear(std::span<const MicroOp> trace, std::size_t window_pos) const;
+  bool memory_order_clear(std::span<const MicroOp> trace,
+                          std::uint64_t first_unissued, std::uint64_t idx) const;
+
+  /// The cycle at which `op`'s producers are all complete (0 when already
+  /// complete), or kPendingCycle while a producer has not issued yet and
+  /// the answer is unknowable. Once every producer has issued the result is
+  /// final and is memoized in ready_at_ring_.
+  std::uint64_t compute_ready_at(const MicroOp& op, std::uint64_t idx) const;
 
   void record_dispatch(std::uint64_t idx);
   void record_done(std::uint64_t idx, std::uint64_t done);
+
+  /// Earliest future cycle at which a quiescent pipeline (no commit, issue,
+  /// dispatch or fetch this cycle) can make progress again, or kNobodyIdx
+  /// when no event is in sight. See the fast-forward block in run().
+  std::uint64_t next_event_cycle(std::span<const MicroOp> trace,
+                                 std::uint64_t cycle, std::uint64_t commit_idx,
+                                 std::uint64_t first_unissued,
+                                 std::uint64_t disp_idx, std::uint64_t fetch_idx,
+                                 std::uint64_t fetch_blocked_until,
+                                 std::uint64_t redirect_op) const;
 
   CoreConfig cfg_;
   cache::MemoryHierarchy& dcache_;
   BimodalPredictor predictor_;
   InstructionCache icache_;
 
-  // Completion-time ring indexed by trace position. Sized far beyond the
-  // maximum dependence distance plus in-flight span, so a slot is never
-  // reused while a consumer may still ask about it.
-  static constexpr std::size_t kRingSize = 1024;
-  std::vector<std::uint64_t> done_ring_;
-  std::vector<std::uint64_t> who_ring_;
-  std::vector<bool> missed_ring_;  // producer was an L1-missing load
+  // Per-op pipeline state lives in rings indexed by trace position (SoA:
+  // one array per field instead of a deque of structs). Ops are fetched,
+  // dispatched and committed strictly in trace order, so the window and IFQ
+  // always hold CONSECUTIVE trace indices and reduce to three cursors in
+  // run(); the rings are sized far beyond the maximum dependence distance
+  // plus in-flight span, so a slot is never reused while a consumer may
+  // still ask about it.
+  static constexpr std::size_t kRingSize = 1024;  // power of two
+  static constexpr std::uint64_t kRingMask = kRingSize - 1;
+  std::vector<std::uint64_t> done_ring_;   // completion cycle (kPending)
+  std::vector<std::uint64_t> who_ring_;    // trace index occupying the slot
+  std::vector<std::uint8_t> missed_ring_;  // producer was an L1-missing load
+  std::vector<std::uint8_t> issued_ring_;  // left the scheduler
+  std::vector<std::uint64_t> ready_at_ring_;  // compute_ready_at memo
+  std::vector<std::uint32_t> loaded_ring_; // loads: word the hierarchy returned
 
-  std::deque<WindowEntry> window_;
-  std::deque<std::uint64_t> ifq_;  // fetched trace indices
-  std::vector<std::uint64_t> outstanding_miss_ends_;
+  /// Latest completion cycle of any L1-missing load issued so far. A miss is
+  /// outstanding at cycle c exactly when this exceeds c, which is all the
+  /// Fig. 15 statistics need — no per-miss list required.
+  std::uint64_t max_miss_end_ = 0;
+
   std::uint32_t wrongpath_salt_ = 0;  // decorrelates successive mispredicts
   std::uint32_t wrongpath_data_anchor_ = 0;  // last fetched memory-op address
 };

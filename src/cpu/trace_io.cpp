@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -12,6 +13,12 @@ namespace cpc::cpu {
 namespace {
 
 constexpr std::size_t kOpBytes = 16;
+
+// On little-endian hosts the MicroOp memory image IS the wire record (the
+// static_asserts in micro_op.hpp pin the layout), so encode/decode are a
+// straight memcpy per batch. Big-endian hosts take the per-field path.
+constexpr bool kWireLayoutMatches =
+    std::endian::native == std::endian::little && sizeof(MicroOp) == kOpBytes;
 
 void put_u32(char* p, std::uint32_t v) {
   p[0] = static_cast<char>(v & 0xff);
@@ -45,25 +52,31 @@ void write_trace(std::ostream& out, const Trace& trace) {
   put_u64(header + 16, trace.size());
   out.write(header, sizeof(header));
 
-  // Buffered encode, 4096 ops at a time.
-  std::array<char, 4096 * kOpBytes> buffer;
-  std::size_t filled = 0;
-  for (const MicroOp& op : trace) {
-    char* p = buffer.data() + filled;
-    put_u32(p + 0, op.pc);
-    put_u32(p + 4, op.addr);
-    put_u32(p + 8, op.value);
-    p[12] = static_cast<char>(op.kind);
-    p[13] = static_cast<char>(op.dep1);
-    p[14] = static_cast<char>(op.dep2);
-    p[15] = static_cast<char>(op.flags);
-    filled += kOpBytes;
-    if (filled == buffer.size()) {
-      out.write(buffer.data(), static_cast<std::streamsize>(filled));
-      filled = 0;
+  if constexpr (kWireLayoutMatches) {
+    // Bulk encode: the op array is already in wire format.
+    out.write(reinterpret_cast<const char*>(trace.data()),
+              static_cast<std::streamsize>(trace.size() * kOpBytes));
+  } else {
+    // Buffered per-field encode, 4096 ops at a time.
+    std::array<char, 4096 * kOpBytes> buffer;
+    std::size_t filled = 0;
+    for (const MicroOp& op : trace) {
+      char* p = buffer.data() + filled;
+      put_u32(p + 0, op.pc);
+      put_u32(p + 4, op.addr);
+      put_u32(p + 8, op.value);
+      p[12] = static_cast<char>(op.kind);
+      p[13] = static_cast<char>(op.dep1);
+      p[14] = static_cast<char>(op.dep2);
+      p[15] = static_cast<char>(op.flags);
+      filled += kOpBytes;
+      if (filled == buffer.size()) {
+        out.write(buffer.data(), static_cast<std::streamsize>(filled));
+        filled = 0;
+      }
     }
+    if (filled > 0) out.write(buffer.data(), static_cast<std::streamsize>(filled));
   }
-  if (filled > 0) out.write(buffer.data(), static_cast<std::streamsize>(filled));
   if (!out) throw TraceIoError("trace write failed");
 }
 
@@ -134,20 +147,34 @@ Trace read_trace(std::istream& in) {
     if (!in || in.gcount() != static_cast<std::streamsize>(batch * kOpBytes)) {
       throw TraceIoError("truncated trace body");
     }
-    for (std::size_t i = 0; i < batch; ++i) {
-      const char* p = buffer.data() + i * kOpBytes;
-      MicroOp op;
-      op.pc = get_u32(p + 0);
-      op.addr = get_u32(p + 4);
-      op.value = get_u32(p + 8);
-      op.kind = static_cast<OpKind>(static_cast<std::uint8_t>(p[12]));
-      if (static_cast<std::uint8_t>(p[12]) > static_cast<std::uint8_t>(OpKind::kBranch)) {
-        throw TraceIoError("corrupt op kind");
+    if constexpr (kWireLayoutMatches) {
+      // Bulk decode, then validate kinds in a separate branch-light scan
+      // (the only field with unrepresentable wire values).
+      const std::size_t first = trace.size();
+      trace.resize(first + batch);
+      std::memcpy(trace.data() + first, buffer.data(), batch * kOpBytes);
+      for (std::size_t i = 0; i < batch; ++i) {
+        if (static_cast<std::uint8_t>(trace[first + i].kind) >
+            static_cast<std::uint8_t>(OpKind::kBranch)) {
+          throw TraceIoError("corrupt op kind");
+        }
       }
-      op.dep1 = static_cast<std::uint8_t>(p[13]);
-      op.dep2 = static_cast<std::uint8_t>(p[14]);
-      op.flags = static_cast<std::uint8_t>(p[15]);
-      trace.push_back(op);
+    } else {
+      for (std::size_t i = 0; i < batch; ++i) {
+        const char* p = buffer.data() + i * kOpBytes;
+        MicroOp op;
+        op.pc = get_u32(p + 0);
+        op.addr = get_u32(p + 4);
+        op.value = get_u32(p + 8);
+        op.kind = static_cast<OpKind>(static_cast<std::uint8_t>(p[12]));
+        if (static_cast<std::uint8_t>(p[12]) > static_cast<std::uint8_t>(OpKind::kBranch)) {
+          throw TraceIoError("corrupt op kind");
+        }
+        op.dep1 = static_cast<std::uint8_t>(p[13]);
+        op.dep2 = static_cast<std::uint8_t>(p[14]);
+        op.flags = static_cast<std::uint8_t>(p[15]);
+        trace.push_back(op);
+      }
     }
     remaining -= batch;
   }

@@ -16,10 +16,10 @@
 // and journal resumes bit-reproducible even when a trace reads memory it
 // never wrote.
 
+#include <array>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
-#include <unordered_map>
 
 namespace cpc::mem {
 
@@ -54,10 +54,18 @@ constexpr std::uint32_t fill_word_for(std::uint32_t addr, std::uint32_t seed) {
 /// Addresses are byte addresses; word accesses are 4-byte aligned (the low
 /// two bits are ignored, matching the word-level access model the paper's
 /// study uses).
+///
+/// Storage is a flat two-level page table: the 20-bit page number splits
+/// into a 10-bit root index and a 10-bit leaf index, so a lookup is two
+/// pointer hops with no hashing and no probe sequence — and iteration is
+/// naturally address-ordered, which keeps fingerprint() deterministic
+/// without leaning on "addition commutes" arguments.
 class SparseMemory {
  public:
   static constexpr std::uint32_t kPageBytes = 4096;
   static constexpr std::uint32_t kWordsPerPage = kPageBytes / 4;
+  static constexpr std::uint32_t kRootEntries = 1024;  // high 10 page bits
+  static constexpr std::uint32_t kLeafEntries = 1024;  // low 10 page bits
 
   SparseMemory() : fill_seed_(fill_seed_from_env()) {}
   explicit SparseMemory(std::uint32_t fill_seed) : fill_seed_(fill_seed) {}
@@ -76,38 +84,99 @@ class SparseMemory {
     touch_page(addr).words[word_index(addr)] = value;
   }
 
-  /// Number of pages that have been written at least once.
-  std::size_t resident_pages() const { return pages_.size(); }
+  /// Bulk read of `n` consecutive words starting at `addr`. Equivalent to
+  /// `n` read_word() calls, but the page-table walk is hoisted to once per
+  /// page instead of once per word — cache-line fills are the hot caller.
+  void read_words(std::uint32_t addr, std::uint32_t n, std::uint32_t* out) const {
+    std::uint32_t i = 0;
+    while (i < n) {
+      const std::uint32_t a = addr + i * 4;
+      const std::uint32_t w = word_index(a);
+      const std::uint32_t left_in_page = kWordsPerPage - w;
+      const std::uint32_t chunk = n - i < left_in_page ? n - i : left_in_page;
+      if (const Page* page = find_page(a)) {
+        for (std::uint32_t k = 0; k < chunk; ++k) out[i + k] = page->words[w + k];
+      } else {
+        for (std::uint32_t k = 0; k < chunk; ++k) out[i + k] = fill_word(a + k * 4);
+      }
+      i += chunk;
+    }
+  }
 
-  /// Order-independent hash over all words differing from the fill pattern
-  /// (fill-valued words are indistinguishable from unwritten locations by
-  /// construction). Used by the fault campaign to compare a faulted run's
-  /// final memory image against the golden run's.
+  /// Bulk write of the masked words among `n` consecutive words starting at
+  /// `addr` (bit i of `mask` selects word i, n <= 32). Equivalent to one
+  /// write_word() per set mask bit, with the page-table walk hoisted to once
+  /// per touched page — line write-backs are the hot caller.
+  void write_words(std::uint32_t addr, std::uint32_t n, std::uint32_t mask,
+                   const std::uint32_t* in) {
+    std::uint32_t i = 0;
+    while (i < n) {
+      const std::uint32_t a = addr + i * 4;
+      const std::uint32_t w = word_index(a);
+      const std::uint32_t left_in_page = kWordsPerPage - w;
+      const std::uint32_t chunk = n - i < left_in_page ? n - i : left_in_page;
+      const std::uint32_t chunk_mask =
+          (chunk >= 32 ? ~0u : (1u << chunk) - 1u) & (mask >> i);
+      if (chunk_mask != 0) {
+        Page& page = touch_page(a);
+        for (std::uint32_t k = 0; k < chunk; ++k) {
+          if ((chunk_mask >> k) & 1u) page.words[w + k] = in[i + k];
+        }
+      }
+      i += chunk;
+    }
+  }
+
+  /// Unmasked convenience overload: writes all `n` words (n <= 32).
+  void write_words(std::uint32_t addr, std::uint32_t n, const std::uint32_t* in) {
+    write_words(addr, n, n >= 32 ? 0xffff'ffffu : (1u << n) - 1u, in);
+  }
+
+  /// Number of pages that have been written at least once.
+  std::size_t resident_pages() const { return resident_pages_; }
+
+  /// Hash over all words differing from the fill pattern (fill-valued words
+  /// are indistinguishable from unwritten locations by construction). The
+  /// page table iterates in address order, and the per-word mix is summed
+  /// (addition commutes), so the value matches the historical
+  /// unordered-container implementation bit for bit. Used by the fault
+  /// campaign to compare a faulted run's final memory image against the
+  /// golden run's.
   std::uint64_t fingerprint() const {
     std::uint64_t fp = 0;
-    // cpc-lint: allow(CPC-L002) — the per-word mix is summed, and addition
-    // commutes, so the unordered page iteration order cannot reach the result.
-    for (const auto& [page_no, page] : pages_) {
-      const std::uint32_t base = page_no * kPageBytes;
-      for (std::uint32_t i = 0; i < kWordsPerPage; ++i) {
-        const std::uint32_t v = page->words[i];
-        if (v == fill_word(base + i * 4)) continue;
-        std::uint64_t x = (static_cast<std::uint64_t>(base + i * 4) << 32) | v;
-        x *= 0x9e3779b97f4a7c15ull;
-        x ^= x >> 29;
-        x *= 0xbf58476d1ce4e5b9ull;
-        x ^= x >> 32;
-        fp += x;  // addition commutes: page iteration order cannot matter
+    for (std::uint32_t r = 0; r < kRootEntries; ++r) {
+      const Leaf* leaf = root_[r].get();
+      if (leaf == nullptr) continue;
+      for (std::uint32_t l = 0; l < kLeafEntries; ++l) {
+        const Page* page = leaf->pages[l].get();
+        if (page == nullptr) continue;
+        const std::uint32_t base = (r * kLeafEntries + l) * kPageBytes;
+        for (std::uint32_t i = 0; i < kWordsPerPage; ++i) {
+          const std::uint32_t v = page->words[i];
+          if (v == fill_word(base + i * 4)) continue;
+          std::uint64_t x = (static_cast<std::uint64_t>(base + i * 4) << 32) | v;
+          x *= 0x9e3779b97f4a7c15ull;
+          x ^= x >> 29;
+          x *= 0xbf58476d1ce4e5b9ull;
+          x ^= x >> 32;
+          fp += x;
+        }
       }
     }
     return fp;
   }
 
-  void clear() { pages_.clear(); }
+  void clear() {
+    for (auto& leaf : root_) leaf.reset();
+    resident_pages_ = 0;
+  }
 
  private:
   struct Page {
     std::uint32_t words[kWordsPerPage] = {};
+  };
+  struct Leaf {
+    std::array<std::unique_ptr<Page>, kLeafEntries> pages;
   };
 
   static constexpr std::uint32_t page_number(std::uint32_t addr) {
@@ -116,16 +185,25 @@ class SparseMemory {
   static constexpr std::uint32_t word_index(std::uint32_t addr) {
     return (addr % kPageBytes) / 4;
   }
+  static constexpr std::uint32_t root_index(std::uint32_t addr) {
+    return page_number(addr) / kLeafEntries;
+  }
+  static constexpr std::uint32_t leaf_index(std::uint32_t addr) {
+    return page_number(addr) % kLeafEntries;
+  }
 
   const Page* find_page(std::uint32_t addr) const {
-    auto it = pages_.find(page_number(addr));
-    return it == pages_.end() ? nullptr : it->second.get();
+    const Leaf* leaf = root_[root_index(addr)].get();
+    return leaf == nullptr ? nullptr : leaf->pages[leaf_index(addr)].get();
   }
 
   Page& touch_page(std::uint32_t addr) {
-    auto& slot = pages_[page_number(addr)];
+    std::unique_ptr<Leaf>& leaf = root_[root_index(addr)];
+    if (!leaf) leaf = std::make_unique<Leaf>();
+    std::unique_ptr<Page>& slot = leaf->pages[leaf_index(addr)];
     if (!slot) {
       slot = std::make_unique<Page>();
+      ++resident_pages_;
       if (fill_seed_ != 0) {
         // A fresh page starts as the fill pattern, so a word is never
         // observed to change value just because a neighbour was written.
@@ -139,7 +217,8 @@ class SparseMemory {
   }
 
   std::uint32_t fill_seed_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+  std::array<std::unique_ptr<Leaf>, kRootEntries> root_;
+  std::size_t resident_pages_ = 0;
 };
 
 }  // namespace cpc::mem

@@ -1,0 +1,899 @@
+#include "sim/bench_meter.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <iterator>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "cpu/trace_io.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace cpc::sim {
+
+// ---------------------------------------------------------------------------
+// Timing primitives
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Stopwatch::Stopwatch() : origin_ns_(monotonic_ns()) {}
+
+void Stopwatch::restart() { origin_ns_ = monotonic_ns(); }
+
+double Stopwatch::seconds() const {
+  return static_cast<double>(monotonic_ns() - origin_ns_) * 1e-9;
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue
+// ---------------------------------------------------------------------------
+
+JsonValue JsonValue::null() { return JsonValue{}; }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::integer(std::uint64_t u) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = static_cast<double>(u);
+  v.exact_ = u;
+  v.has_exact_ = true;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw JsonError("JSON value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) throw JsonError("JSON value is not a number");
+  return num_;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind_ != Kind::kNumber) throw JsonError("JSON value is not a number");
+  if (has_exact_) return exact_;
+  if (num_ < 0 || std::floor(num_) != num_) {
+    throw JsonError("JSON number is not an unsigned integer");
+  }
+  return static_cast<std::uint64_t>(num_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) throw JsonError("JSON value is not a string");
+  return str_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return arr_.size();
+  if (kind_ == Kind::kObject) return obj_.size();
+  throw JsonError("JSON value has no size");
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  if (kind_ != Kind::kArray) throw JsonError("JSON value is not an array");
+  if (index >= arr_.size()) throw JsonError("JSON array index out of range");
+  return arr_[index];
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ != Kind::kArray) throw JsonError("JSON value is not an array");
+  arr_.push_back(std::move(v));
+}
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  const JsonValue* found = find(key);
+  if (found == nullptr) throw JsonError("missing JSON key '" + key + "'");
+  return *found;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) throw JsonError("JSON value is not an object");
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::set(const std::string& key, JsonValue v) {
+  if (kind_ != Kind::kObject) throw JsonError("JSON value is not an object");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double d, std::uint64_t exact,
+                 bool has_exact) {
+  char buf[40];
+  if (has_exact) {
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), exact);
+    (void)ec;
+    out.append(buf, p);
+    return;
+  }
+  if (!std::isfinite(d)) {
+    out += "0";  // JSON has no inf/nan; timing fields never legitimately are
+    return;
+  }
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), d);  // shortest form
+  (void)ec;
+  out.append(buf, p);
+}
+
+void indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: dump_number(out, num_, exact_, has_exact_); return;
+    case Kind::kString: dump_string(out, str_); return;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      // Arrays of scalars print inline; arrays with any composite print one
+      // element per line (keeps job lists readable, repeat lists compact).
+      const bool inline_ok =
+          std::all_of(arr_.begin(), arr_.end(), [](const JsonValue& v) {
+            return v.kind_ != Kind::kArray && v.kind_ != Kind::kObject;
+          });
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        if (inline_ok) {
+          if (i > 0) out += ' ';
+        } else {
+          out += '\n';
+          indent(out, depth + 1);
+        }
+        arr_[i].dump_to(out, depth + 1);
+      }
+      if (!inline_ok) {
+        out += '\n';
+        indent(out, depth);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '\n';
+        indent(out, depth + 1);
+        dump_string(out, obj_[i].first);
+        out += ": ";
+        obj_[i].second.dump_to(out, depth + 1);
+      }
+      out += '\n';
+      indent(out, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::null();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      expect(':');
+      obj.set(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+              }
+            }
+            // Reports only ever emit \u00XX control escapes; decode the
+            // basic-multilingual-plane scalar as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a number");
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral && token[0] != '-') {
+      std::uint64_t exact = 0;
+      const auto [p, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), exact);
+      if (ec == std::errc{} && p == token.data() + token.size()) {
+        return JsonValue::integer(exact);
+      }
+    }
+    double d = 0.0;
+    const auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc{} || p != token.data() + token.size()) {
+      fail("malformed number '" + token + "'");
+    }
+    return JsonValue::number(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------------
+
+std::uint64_t stats_fingerprint(const RunResult& run) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const cpu::CoreStats& core = run.core;
+  const cache::HierarchyStats& hier = run.hierarchy;
+#define CPC_SWEEP_COUNTER(group, field) fold(group.field);
+#include "sim/sweep_counters.def"
+#undef CPC_SWEEP_COUNTER
+  fold(hier.traffic.fetch_half_units());
+  fold(hier.traffic.writeback_half_units());
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Report <-> JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parse_hex64(const std::string& s) {
+  if (s.size() < 3 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X')) {
+    throw JsonError("expected 0x-prefixed fingerprint, got '" + s + "'");
+  }
+  std::uint64_t v = 0;
+  const auto [p, ec] =
+      std::from_chars(s.data() + 2, s.data() + s.size(), v, 16);
+  if (ec != std::errc{} || p != s.data() + s.size()) {
+    throw JsonError("malformed fingerprint '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+double BenchSuiteResult::median_ops_per_second() const {
+  if (repeat_ops_per_second.empty()) return ops_per_second;
+  std::vector<double> sorted = repeat_ops_per_second;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted[sorted.size() / 2];
+}
+
+const BenchSuiteResult* BenchReport::find_suite(const std::string& name) const {
+  for (const BenchSuiteResult& suite : suites) {
+    if (suite.name == name) return &suite;
+  }
+  return nullptr;
+}
+
+JsonValue BenchReport::to_json() const {
+  JsonValue root = JsonValue::object();
+  root.set("schema_version", JsonValue::integer(schema_version));
+  root.set("mode", JsonValue::string(mode));
+  root.set("threads", JsonValue::integer(threads));
+  root.set("repeats", JsonValue::integer(repeats));
+  root.set("rss_peak_bytes", JsonValue::integer(rss_peak_bytes));
+  JsonValue suite_array = JsonValue::array();
+  for (const BenchSuiteResult& suite : suites) {
+    JsonValue s = JsonValue::object();
+    s.set("name", JsonValue::string(suite.name));
+    s.set("committed_total", JsonValue::integer(suite.committed_total));
+    s.set("wall_seconds", JsonValue::number(suite.wall_seconds));
+    s.set("ops_per_second", JsonValue::number(suite.ops_per_second));
+    JsonValue repeats_arr = JsonValue::array();
+    for (const double r : suite.repeat_ops_per_second) {
+      repeats_arr.push_back(JsonValue::number(r));
+    }
+    s.set("repeat_ops_per_second", std::move(repeats_arr));
+    JsonValue jobs_arr = JsonValue::array();
+    for (const BenchJobRecord& job : suite.jobs) {
+      JsonValue j = JsonValue::object();
+      j.set("workload", JsonValue::string(job.workload));
+      j.set("config", JsonValue::string(job.config));
+      j.set("trace_ops", JsonValue::integer(job.trace_ops));
+      j.set("seed", JsonValue::integer(job.seed));
+      j.set("committed", JsonValue::integer(job.committed));
+      j.set("cycles", JsonValue::integer(job.cycles));
+      j.set("l1_misses", JsonValue::integer(job.l1_misses));
+      j.set("l2_misses", JsonValue::integer(job.l2_misses));
+      j.set("traffic_half_units", JsonValue::integer(job.traffic_half_units));
+      j.set("fingerprint", JsonValue::string(hex64(job.fingerprint)));
+      j.set("wall_seconds", JsonValue::number(job.wall_seconds));
+      j.set("ops_per_second", JsonValue::number(job.ops_per_second));
+      jobs_arr.push_back(std::move(j));
+    }
+    s.set("jobs", std::move(jobs_arr));
+    suite_array.push_back(std::move(s));
+  }
+  root.set("suites", std::move(suite_array));
+  return root;
+}
+
+BenchReport BenchReport::from_json(const JsonValue& root) {
+  BenchReport report;
+  const std::uint64_t version = root.get("schema_version").as_u64();
+  if (version != kBenchSchemaVersion) {
+    throw JsonError("unsupported benchmark schema version " +
+                    std::to_string(version) + " (this build reads version " +
+                    std::to_string(kBenchSchemaVersion) + ")");
+  }
+  report.schema_version = static_cast<std::uint32_t>(version);
+  report.mode = root.get("mode").as_string();
+  report.threads = static_cast<unsigned>(root.get("threads").as_u64());
+  report.repeats = static_cast<unsigned>(root.get("repeats").as_u64());
+  report.rss_peak_bytes = root.get("rss_peak_bytes").as_u64();
+  const JsonValue& suite_array = root.get("suites");
+  for (std::size_t i = 0; i < suite_array.size(); ++i) {
+    const JsonValue& s = suite_array.at(i);
+    BenchSuiteResult suite;
+    suite.name = s.get("name").as_string();
+    suite.committed_total = s.get("committed_total").as_u64();
+    suite.wall_seconds = s.get("wall_seconds").as_double();
+    suite.ops_per_second = s.get("ops_per_second").as_double();
+    const JsonValue& repeats_arr = s.get("repeat_ops_per_second");
+    for (std::size_t r = 0; r < repeats_arr.size(); ++r) {
+      suite.repeat_ops_per_second.push_back(repeats_arr.at(r).as_double());
+    }
+    const JsonValue& jobs_arr = s.get("jobs");
+    for (std::size_t j = 0; j < jobs_arr.size(); ++j) {
+      const JsonValue& jv = jobs_arr.at(j);
+      BenchJobRecord job;
+      job.workload = jv.get("workload").as_string();
+      job.config = jv.get("config").as_string();
+      job.trace_ops = jv.get("trace_ops").as_u64();
+      job.seed = jv.get("seed").as_u64();
+      job.committed = jv.get("committed").as_u64();
+      job.cycles = jv.get("cycles").as_u64();
+      job.l1_misses = jv.get("l1_misses").as_u64();
+      job.l2_misses = jv.get("l2_misses").as_u64();
+      job.traffic_half_units = jv.get("traffic_half_units").as_u64();
+      job.fingerprint = parse_hex64(jv.get("fingerprint").as_string());
+      job.wall_seconds = jv.get("wall_seconds").as_double();
+      job.ops_per_second = jv.get("ops_per_second").as_double();
+      suite.jobs.push_back(std::move(job));
+    }
+    report.suites.push_back(std::move(suite));
+  }
+  return report;
+}
+
+void BenchReport::clear_timing_fields() {
+  rss_peak_bytes = 0;
+  for (BenchSuiteResult& suite : suites) {
+    suite.wall_seconds = 0.0;
+    suite.ops_per_second = 0.0;
+    suite.repeat_ops_per_second.clear();
+    for (BenchJobRecord& job : suite.jobs) {
+      job.wall_seconds = 0.0;
+      job.ops_per_second = 0.0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suite execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SuitePlan {
+  std::string name;
+  /// Job identities: (display name, trace, seed) per workload; each is
+  /// crossed with the five paper configurations.
+  struct Input {
+    std::string display;
+    std::shared_ptr<const cpu::Trace> trace;
+    std::uint64_t seed = 0;
+  };
+  std::vector<Input> inputs;
+};
+
+std::vector<Job> plan_jobs(const SuitePlan& plan) {
+  std::vector<Job> jobs;
+  jobs.reserve(plan.inputs.size() * std::size(kAllConfigs));
+  for (const SuitePlan::Input& input : plan.inputs) {
+    for (const ConfigKind kind : kAllConfigs) {
+      Job job;
+      job.trace = input.trace;
+      job.trace_ops = input.trace->size();
+      job.seed = input.seed;
+      job.make_hierarchy = [kind] { return make_hierarchy(kind); };
+      job.tag = config_name(kind);
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+/// Runs one repeat of a suite and appends/validates its records.
+void run_suite_once(const SweepRunner& runner, const SuitePlan& plan,
+                    BenchSuiteResult& suite, bool first_repeat, bool quiet) {
+  std::vector<JobResult> results = runner.run(plan_jobs(plan), quiet);
+
+  std::uint64_t committed = 0;
+  double wall = 0.0;
+  const std::size_t configs = std::size(kAllConfigs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JobResult& result = results[i];
+    if (result.run.core.value_mismatches != 0) {
+      throw std::runtime_error("benchmark run produced load-value mismatches in " +
+                               plan.inputs[i / configs].display + "/" +
+                               result.run.config);
+    }
+    committed += result.run.core.committed;
+    wall += result.wall_seconds;
+
+    BenchJobRecord record;
+    record.workload = plan.inputs[i / configs].display;
+    record.config = result.run.config;
+    record.trace_ops = plan.inputs[i / configs].trace->size();
+    record.seed = plan.inputs[i / configs].seed;
+    record.committed = result.run.core.committed;
+    record.cycles = result.run.core.cycles;
+    record.l1_misses = result.run.hierarchy.l1_misses;
+    record.l2_misses = result.run.hierarchy.l2_misses;
+    record.traffic_half_units = result.run.hierarchy.traffic.half_units();
+    record.fingerprint = stats_fingerprint(result.run);
+    record.wall_seconds = result.wall_seconds;
+    record.ops_per_second = result.ops_per_second;
+
+    if (first_repeat) {
+      suite.jobs.push_back(std::move(record));
+    } else {
+      // Later repeats must reproduce every deterministic field bit-exactly —
+      // a free cross-check that the simulator stayed deterministic.
+      const BenchJobRecord& expect = suite.jobs[i];
+      if (expect.fingerprint != record.fingerprint ||
+          expect.committed != record.committed ||
+          expect.cycles != record.cycles) {
+        throw std::runtime_error(
+            "non-deterministic simulation between benchmark repeats: " +
+            record.workload + "/" + record.config);
+      }
+    }
+  }
+  if (first_repeat) suite.committed_total = committed;
+  if (first_repeat) {
+    suite.wall_seconds = wall;
+    suite.ops_per_second =
+        wall > 0.0 ? static_cast<double>(committed) / wall : 0.0;
+  }
+  suite.repeat_ops_per_second.push_back(
+      wall > 0.0 ? static_cast<double>(committed) / wall : 0.0);
+}
+
+SuitePlan plan_kernel_suite(const BenchRunOptions& options) {
+  SuitePlan plan;
+  plan.name = "kernels";
+  std::vector<workload::Workload> workloads;
+  if (options.workloads.empty()) {
+    workloads = workload::all_workloads();
+  } else {
+    for (const std::string& name : options.workloads) {
+      workloads.push_back(workload::find_workload(name));
+    }
+  }
+  for (const workload::Workload& wl : workloads) {
+    SuitePlan::Input input;
+    input.display = wl.name;
+    input.seed = options.seed;
+    input.trace = std::make_shared<const cpu::Trace>(
+        workload::generate(wl, {options.trace_ops, options.seed}));
+    plan.inputs.push_back(std::move(input));
+  }
+  return plan;
+}
+
+std::optional<SuitePlan> plan_corpus_suite(const BenchRunOptions& options) {
+  namespace fs = std::filesystem;
+  if (options.corpus_dir.empty()) return std::nullopt;
+  std::error_code ec;
+  if (!fs::is_directory(options.corpus_dir, ec)) return std::nullopt;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(options.corpus_dir, ec)) {
+    if (entry.path().extension() == ".cpctrace") paths.push_back(entry.path());
+  }
+  if (ec || paths.empty()) return std::nullopt;
+  std::sort(paths.begin(), paths.end());
+
+  SuitePlan plan;
+  plan.name = "corpus";
+  for (const fs::path& path : paths) {
+    SuitePlan::Input input;
+    input.display = path.stem().string();
+    input.seed = 0;
+    input.trace = std::make_shared<const cpu::Trace>(
+        cpu::read_trace_file(path.string()));
+    plan.inputs.push_back(std::move(input));
+  }
+  return plan;
+}
+
+}  // namespace
+
+BenchReport run_bench_suites(const BenchRunOptions& options) {
+  BenchReport report;
+  report.mode = options.mode;
+  report.repeats = options.repeats == 0 ? 1 : options.repeats;
+
+  const SweepRunner runner(options.threads);
+  report.threads = runner.threads();
+
+  std::vector<SuitePlan> plans;
+  plans.push_back(plan_kernel_suite(options));
+  if (std::optional<SuitePlan> corpus = plan_corpus_suite(options)) {
+    plans.push_back(std::move(*corpus));
+  } else if (!options.quiet) {
+    std::cerr << "cpc_bench: no corpus at '" << options.corpus_dir
+              << "' — skipping the corpus suite\n";
+  }
+
+  for (const SuitePlan& plan : plans) {
+    BenchSuiteResult suite;
+    suite.name = plan.name;
+    for (unsigned repeat = 0; repeat < report.repeats; ++repeat) {
+      if (!options.quiet) {
+        std::cerr << "suite " << plan.name << ": repeat " << (repeat + 1) << "/"
+                  << report.repeats << "\n";
+      }
+      run_suite_once(runner, plan, suite, repeat == 0, options.quiet);
+    }
+    report.suites.push_back(std::move(suite));
+  }
+
+  report.rss_peak_bytes = peak_rss_bytes();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------------
+
+GateResult perf_gate(const BenchReport& baseline, const BenchReport& current,
+                     double min_ratio) {
+  GateResult gate;
+  gate.worst_ratio = std::numeric_limits<double>::infinity();
+  for (const BenchSuiteResult& base : baseline.suites) {
+    const BenchSuiteResult* cur = current.find_suite(base.name);
+    std::ostringstream line;
+    line.precision(3);
+    if (cur == nullptr) {
+      line << base.name << ": MISSING from current report";
+      gate.ok = false;
+      gate.lines.push_back(line.str());
+      continue;
+    }
+    const double base_ops = base.median_ops_per_second();
+    const double cur_ops = cur->median_ops_per_second();
+    if (base_ops <= 0.0) {
+      line << base.name << ": baseline has no ops/sec — skipped";
+      gate.lines.push_back(line.str());
+      continue;
+    }
+    if (base.wall_seconds < kGateNoiseFloorSeconds) {
+      line << base.name << ": baseline ran " << base.wall_seconds
+           << "s, under the " << kGateNoiseFloorSeconds
+           << "s noise floor — informational only";
+      gate.lines.push_back(line.str());
+      continue;
+    }
+    const double ratio = cur_ops / base_ops;
+    gate.worst_ratio = std::min(gate.worst_ratio, ratio);
+    const bool pass = ratio >= min_ratio;
+    line << base.name << ": " << cur_ops << " ops/s vs baseline " << base_ops
+         << " (" << ratio << "x, floor " << min_ratio << "x) "
+         << (pass ? "PASS" : "FAIL");
+    gate.lines.push_back(line.str());
+    if (!pass) gate.ok = false;
+
+    // Deterministic-field drift is informational: a behaviour-changing
+    // commit re-blesses the baseline, the perf gate only guards speed.
+    std::size_t drifted = 0;
+    std::map<std::pair<std::string, std::string>, std::uint64_t> expected;
+    for (const BenchJobRecord& job : base.jobs) {
+      expected[{job.workload, job.config}] = job.fingerprint;
+    }
+    for (const BenchJobRecord& job : cur->jobs) {
+      const auto it = expected.find({job.workload, job.config});
+      if (it != expected.end() && it->second != job.fingerprint) ++drifted;
+    }
+    if (drifted > 0) {
+      line.str("");
+      gate.lines.push_back(base.name + ": " + std::to_string(drifted) +
+                           " job fingerprint(s) drifted from the baseline — "
+                           "simulation behaviour changed; re-bless with "
+                           "cpc_bench --out if intended");
+    }
+  }
+  if (gate.lines.empty()) {
+    gate.lines.push_back("no comparable suites between baseline and current");
+    gate.ok = false;
+  }
+  return gate;
+}
+
+}  // namespace cpc::sim

@@ -1,0 +1,234 @@
+#pragma once
+// BenchMeter — the project's one sanctioned wall-clock timing module and the
+// engine behind `cpc_bench` (bench/cpc_bench.cpp).
+//
+// Everything here exists to keep performance measurement centralized and the
+// emitted trajectory files (`BENCH_<n>.json`) diffable:
+//
+//   * Stopwatch / peak_rss_bytes() — the only places the repository reads a
+//     clock or the allocator high-water mark. CPC-L008 (tools/cpc_lint.cpp)
+//     bans direct std::chrono use everywhere else in src/, tools/ and
+//     bench/, so timing cannot leak into simulation results.
+//   * JsonValue — a minimal ordered JSON document model (std-only writer and
+//     recursive-descent parser) for the schema-versioned benchmark reports.
+//   * BenchReport — the `BENCH_<n>.json` schema: per-suite, per-job records
+//     whose non-timing fields (committed ops, cycles, a fingerprint over
+//     every sweep counter) are bit-deterministic across runs; only
+//     `wall_seconds` / `ops_per_second` / `peak_rss_bytes` vary, so two runs
+//     of the harness diff cleanly.
+//   * run_bench_suites() — replays the kernel suite and the committed fuzz
+//     corpus through SweepRunner and fills a BenchReport.
+//   * perf_gate() — the CI regression rule: current ops/sec must stay above
+//     `min_ratio` x baseline ops/sec per suite (median across repeats).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/job.hpp"
+
+namespace cpc::sim {
+
+// ---------------------------------------------------------------------------
+// Timing primitives (the sanctioned clock)
+// ---------------------------------------------------------------------------
+
+/// Monotonic wall-clock stopwatch. The ONLY way repository code outside the
+/// sweep watchdog may measure elapsed real time (CPC-L008).
+class Stopwatch {
+ public:
+  Stopwatch();           ///< starts running
+  void restart();        ///< resets the origin to now
+  double seconds() const;  ///< elapsed seconds since construction/restart
+
+ private:
+  std::uint64_t origin_ns_ = 0;
+};
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss);
+/// 0 where the platform does not report it.
+std::uint64_t peak_rss_bytes();
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model
+// ---------------------------------------------------------------------------
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Ordered JSON value: objects preserve insertion order so emitted reports
+/// are stable byte-for-byte. Numbers are stored as doubles plus an exact
+/// unsigned-integer sidecar so 64-bit counters round-trip losslessly.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue integer(std::uint64_t u);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool as_bool() const;
+  double as_double() const;
+  std::uint64_t as_u64() const;  ///< exact when emitted via integer()
+  const std::string& as_string() const;
+
+  // Array access.
+  std::size_t size() const;
+  const JsonValue& at(std::size_t index) const;
+  void push_back(JsonValue v);
+
+  // Object access. `get` throws JsonError naming the missing key;
+  // `find` returns nullptr.
+  const JsonValue& get(const std::string& key) const;
+  const JsonValue* find(const std::string& key) const;
+  void set(const std::string& key, JsonValue v);
+
+  /// Serializes with 2-space indentation and a trailing newline at the top
+  /// level, so emitted files are stable and diff-friendly.
+  std::string dump() const;
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static JsonValue parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::uint64_t exact_ = 0;
+  bool has_exact_ = false;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+// ---------------------------------------------------------------------------
+// Benchmark report schema
+// ---------------------------------------------------------------------------
+
+/// Bump when the JSON layout changes shape. Readers reject other versions.
+inline constexpr std::uint32_t kBenchSchemaVersion = 1;
+
+/// Order-sensitive FNV-1a hash over every scalar sweep counter of a run
+/// (the sim/sweep_counters.def wire order plus the traffic half-units).
+/// Identical across thread counts and machines for a correct simulator —
+/// this is what "oracle-verified bit-identical" pins in a trajectory file.
+std::uint64_t stats_fingerprint(const RunResult& run);
+
+/// One (workload x config) simulation inside a suite.
+struct BenchJobRecord {
+  std::string workload;  ///< workload name, or corpus trace stem
+  std::string config;    ///< "BC".."CPP"
+  // Deterministic fields.
+  std::uint64_t trace_ops = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t traffic_half_units = 0;
+  std::uint64_t fingerprint = 0;  ///< stats_fingerprint() of the run
+  // Timing fields (excluded from determinism comparisons).
+  double wall_seconds = 0.0;
+  double ops_per_second = 0.0;
+};
+
+/// One suite: the kernel sweep or the corpus replay.
+struct BenchSuiteResult {
+  std::string name;
+  std::vector<BenchJobRecord> jobs;
+  std::uint64_t committed_total = 0;   ///< deterministic
+  double wall_seconds = 0.0;           ///< timing: sum of job sim times
+  double ops_per_second = 0.0;         ///< timing: committed_total / wall
+  /// Timing: ops/sec of every repeat (index 0 = the recorded jobs above);
+  /// the gate compares medians of these.
+  std::vector<double> repeat_ops_per_second;
+
+  double median_ops_per_second() const;
+};
+
+struct BenchReport {
+  std::uint32_t schema_version = kBenchSchemaVersion;
+  std::string mode;  ///< "full" or "quick"
+  unsigned threads = 1;
+  unsigned repeats = 1;
+  std::vector<BenchSuiteResult> suites;
+  std::uint64_t rss_peak_bytes = 0;  ///< timing-class field
+
+  const BenchSuiteResult* find_suite(const std::string& name) const;
+
+  JsonValue to_json() const;
+  /// Throws JsonError on schema-version or shape mismatch.
+  static BenchReport from_json(const JsonValue& root);
+
+  /// Zeroes every timing-class field (wall_seconds, ops_per_second,
+  /// repeat lists, RSS) in place. Two runs of the same suite must dump()
+  /// identical JSON after this — the determinism contract the tests pin.
+  void clear_timing_fields();
+};
+
+// ---------------------------------------------------------------------------
+// Suite execution
+// ---------------------------------------------------------------------------
+
+struct BenchRunOptions {
+  std::uint64_t trace_ops = 300'000;  ///< per-workload kernel trace length
+  std::uint64_t seed = 0x5eed;
+  unsigned repeats = 1;     ///< run each suite this many times (median gates)
+  unsigned threads = 1;     ///< SweepRunner thread count (0 = default)
+  bool quiet = true;
+  std::string mode = "full";
+  /// Workload filter (names); empty = every registered kernel.
+  std::vector<std::string> workloads;
+  /// Directory holding the committed fuzz corpus (*.cpctrace). Empty or
+  /// missing directory skips the corpus suite.
+  std::string corpus_dir = "tests/corpus";
+};
+
+/// Runs the kernel suite (and, when available, the corpus suite) and
+/// returns the filled report. Simulation results are checked for value
+/// mismatches; a corrupt hierarchy throws InvariantViolation.
+BenchReport run_bench_suites(const BenchRunOptions& options);
+
+// ---------------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------------
+
+/// Suites whose baseline measured less wall time than this are too short to
+/// time meaningfully (the committed fuzz corpus is a few hundred ops); the
+/// gate reports them informationally instead of failing on timer noise.
+inline constexpr double kGateNoiseFloorSeconds = 0.05;
+
+struct GateResult {
+  bool ok = true;
+  /// Worst current/baseline median-ops-per-second ratio across the suites
+  /// both reports contain (+inf when nothing is comparable).
+  double worst_ratio = 0.0;
+  /// Human-readable per-suite lines (ratio, pass/fail, fingerprint drift).
+  std::vector<std::string> lines;
+};
+
+/// Compares `current` against `baseline`: every suite present in both must
+/// keep median ops/sec >= min_ratio x the baseline's. Deterministic-field
+/// drift (changed fingerprints) is reported in `lines` but does not fail
+/// the gate — perf and correctness are gated by different jobs.
+GateResult perf_gate(const BenchReport& baseline, const BenchReport& current,
+                     double min_ratio);
+
+}  // namespace cpc::sim

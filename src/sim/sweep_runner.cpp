@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "sim/bench_meter.hpp"
 #include "sim/journal.hpp"
 
 namespace cpc::sim {
@@ -199,11 +200,9 @@ void execute_job(const Job& job, std::size_t i, TraceCache& traces,
       job.trace ? job.trace : traces.get(job.workload, job.trace_ops, job.seed);
 
   auto hierarchy = job.make_hierarchy();
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch timer;
   out.run = run_trace_on(*trace, *hierarchy, job.core_config);
-  out.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  out.wall_seconds = timer.seconds();
   out.ops_per_second =
       out.wall_seconds > 0.0
           ? static_cast<double>(out.run.core.committed) / out.wall_seconds

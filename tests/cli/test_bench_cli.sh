@@ -1,0 +1,71 @@
+#!/bin/sh
+# End-to-end check of cpc_bench's exit-code contract (bench/cpc_bench.cpp):
+#   0 = success / gate passed, 1 = performance regression, 2 = usage error,
+#   3 = bad input, 4 = invariant violation.
+# Usage: test_bench_cli.sh <path-to-cpc_bench>
+set -u
+
+BENCH="${1:?usage: test_bench_cli.sh <cpc_bench>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+expect() {
+  # expect <wanted-code> <label> <cmd...>
+  wanted="$1"; label="$2"; shift 2
+  "$@" >"$TMP/stdout" 2>"$TMP/stderr"
+  got=$?
+  if [ "$got" -ne "$wanted" ]; then
+    echo "FAIL: $label: expected exit $wanted, got $got" >&2
+    sed 's/^/  stderr: /' "$TMP/stderr" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $label (exit $got)"
+  fi
+}
+
+# --- usage errors (2) --------------------------------------------------------
+expect 2 "unknown flag" "$BENCH" --bogus
+expect 0 "--help"       "$BENCH" --help
+
+# --- bad input (3) -----------------------------------------------------------
+expect 3 "flag missing its value"  "$BENCH" --ops
+expect 3 "non-numeric --ops"       "$BENCH" --ops banana
+expect 3 "non-positive --handicap" "$BENCH" --handicap 0
+expect 3 "missing baseline" \
+  "$BENCH" --check "$TMP/no-such-baseline.json" --ops 2000 \
+           --workloads olden.treeadd --repeats 1 --corpus "$TMP/absent"
+printf 'not json at all' > "$TMP/garbage.json"
+expect 3 "malformed baseline" \
+  "$BENCH" --check "$TMP/garbage.json" --ops 2000 \
+           --workloads olden.treeadd --repeats 1 --corpus "$TMP/absent"
+expect 3 "unknown workload" \
+  "$BENCH" --ops 2000 --workloads no.such.workload --repeats 1 \
+           --corpus "$TMP/absent"
+
+# --- invariant violation (4) -------------------------------------------------
+expect 4 "--trip-invariant" "$BENCH" --trip-invariant
+
+# --- success (0) and regression (1) ------------------------------------------
+# A real (small) measurement that clears the gate's noise floor, written as
+# the baseline; the workloads are cheap pointer kernels so this stays fast.
+expect 0 "measurement writes a report" \
+  "$BENCH" --ops 300000 --workloads olden.treeadd,olden.health \
+           --repeats 1 --jobs 1 --corpus "$TMP/absent" \
+           --out "$TMP/baseline.json"
+expect 0 "self-gate passes" \
+  "$BENCH" --ops 300000 --workloads olden.treeadd,olden.health \
+           --repeats 1 --jobs 1 --corpus "$TMP/absent" \
+           --check "$TMP/baseline.json" --min-ratio 0.2
+# --handicap divides the measured ops/sec before gating; a 100x handicap is
+# an injected regression no floor tolerates — the gate must fire.
+expect 1 "handicapped run fails the gate" \
+  "$BENCH" --ops 300000 --workloads olden.treeadd,olden.health \
+           --repeats 1 --jobs 1 --corpus "$TMP/absent" \
+           --check "$TMP/baseline.json" --min-ratio 0.85 --handicap 100
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES cpc_bench exit-code check(s) failed" >&2
+  exit 1
+fi
+echo "cpc_bench exit-code contract holds"

@@ -1,0 +1,9 @@
+// CPC-L008 seeded violation: ad-hoc chrono timing outside bench_meter.
+#include <chrono>
+
+double bad_elapsed_seconds() {
+  // Duration arithmetic alone (no clock read, so CPC-L001 stays quiet) is
+  // still a violation: all timing goes through sim::Stopwatch.
+  const std::chrono::duration<double> window = std::chrono::milliseconds(250);
+  return window.count();
+}

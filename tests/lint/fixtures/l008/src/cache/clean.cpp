@@ -1,0 +1,12 @@
+// CPC-L008 clean twin: durations held as plain doubles; identifiers that
+// merely contain "chrono" must not match.
+#include <cstdint>
+
+struct ChronologyEntry {
+  double seconds = 0.0;
+  std::uint64_t ops = 0;
+};
+
+double chronology_rate(const ChronologyEntry& e) {
+  return e.seconds > 0.0 ? static_cast<double>(e.ops) / e.seconds : 0.0;
+}

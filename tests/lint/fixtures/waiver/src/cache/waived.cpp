@@ -1,7 +1,7 @@
 // Waiver round-trip: every seeded violation below carries an allow() —
 // linting this file must exit 0. Both waiver placements are exercised:
 // trailing on the offending line, and on the comment line directly above.
-#include <chrono>
+#include <chrono>  // cpc-lint: allow(CPC-L008)
 
 // cpc-lint: allow(CPC-L006)
 #include "sim/journal.hpp"
@@ -9,7 +9,7 @@
 enum class Gear { kLow, kHigh };
 
 long waived_clock() {
-  const auto t0 = std::chrono::steady_clock::now();  // cpc-lint: allow(CPC-L001)
+  const auto t0 = std::chrono::steady_clock::now();  // cpc-lint: allow(CPC-L001, CPC-L008)
   return t0.time_since_epoch().count();
 }
 

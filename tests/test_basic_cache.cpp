@@ -117,14 +117,16 @@ TEST(BasicCache, DistinctTagsSameSetCoexistUpToWays) {
 
 // ---- prefetch buffer -------------------------------------------------------
 
-TEST(PrefetchBuffer, TakeRemovesEntry) {
+TEST(PrefetchBuffer, FindThenEraseRemovesEntry) {
   PrefetchBuffer b(4, 16);
   b.insert(7, line_data(16, 0));
   EXPECT_TRUE(b.contains(7));
-  const auto e = b.take(7);
-  ASSERT_TRUE(e.has_value());
+  const auto* e = b.find(7);
+  ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->line_addr, 7u);
+  b.erase(7);
   EXPECT_FALSE(b.contains(7));
+  EXPECT_EQ(b.size(), 0u);
 }
 
 TEST(PrefetchBuffer, EvictsLruWhenFull) {
@@ -153,12 +155,26 @@ TEST(PrefetchBuffer, ReinsertRefreshesContent) {
   b.insert(1, line_data(16, 0));
   b.insert(1, line_data(16, 42));
   EXPECT_EQ(b.size(), 1u);
-  EXPECT_EQ(b.take(1)->words.at(0), 42u);
+  ASSERT_NE(b.find(1), nullptr);
+  EXPECT_EQ(b.find(1)->words.at(0), 42u);
 }
 
-TEST(PrefetchBuffer, TakeMissingReturnsNullopt) {
+TEST(PrefetchBuffer, FindMissingReturnsNull) {
   PrefetchBuffer b(2, 16);
-  EXPECT_FALSE(b.take(9).has_value());
+  EXPECT_EQ(b.find(9), nullptr);
+  b.erase(9);  // erasing an absent line is a no-op
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(PrefetchBuffer, RecyclesSlotStorageAcrossEvictions) {
+  PrefetchBuffer b(2, 16);
+  b.insert(1, line_data(16, 1));
+  b.insert(2, line_data(16, 2));
+  const std::uint32_t* stable = b.find(1)->words.data();
+  b.insert(3, line_data(16, 3));  // evicts 1, reusing its slot's vector
+  ASSERT_NE(b.find(3), nullptr);
+  EXPECT_EQ(b.find(3)->words.data(), stable);
+  EXPECT_EQ(b.find(3)->words.at(0), 3u);
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// BenchMeter: the BENCH_<n>.json schema must round-trip through its own
+// JSON model, reject other schema versions while ignoring unknown keys
+// (annotation keys in committed baselines are legal), keep every
+// non-timing field bit-deterministic across runs, and gate regressions.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/bench_meter.hpp"
+
+namespace cpc {
+namespace {
+
+/// A small but real report: one workload, every config, two repeats.
+/// ~15k simulated ops keeps the whole suite comfortably sub-second.
+sim::BenchReport tiny_report() {
+  sim::BenchRunOptions options;
+  options.trace_ops = 3000;
+  options.seed = 0xbead;
+  options.repeats = 2;
+  options.threads = 1;
+  options.mode = "quick";
+  options.workloads = {"olden.treeadd"};
+  options.corpus_dir = "";  // skip the corpus suite: not present under ctest
+  return sim::run_bench_suites(options);
+}
+
+TEST(BenchJson, ReportRoundTripsThroughItsOwnModel) {
+  const sim::BenchReport report = tiny_report();
+  ASSERT_FALSE(report.suites.empty());
+  ASSERT_FALSE(report.suites[0].jobs.empty());
+
+  const std::string text = report.to_json().dump();
+  const sim::BenchReport back =
+      sim::BenchReport::from_json(sim::JsonValue::parse(text));
+
+  EXPECT_EQ(back.schema_version, report.schema_version);
+  EXPECT_EQ(back.mode, report.mode);
+  EXPECT_EQ(back.threads, report.threads);
+  EXPECT_EQ(back.repeats, report.repeats);
+  ASSERT_EQ(back.suites.size(), report.suites.size());
+  for (std::size_t s = 0; s < report.suites.size(); ++s) {
+    const sim::BenchSuiteResult& a = report.suites[s];
+    const sim::BenchSuiteResult& b = back.suites[s];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.committed_total, a.committed_total);
+    EXPECT_EQ(b.repeat_ops_per_second.size(), a.repeat_ops_per_second.size());
+    ASSERT_EQ(b.jobs.size(), a.jobs.size());
+    for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+      EXPECT_EQ(b.jobs[j].workload, a.jobs[j].workload);
+      EXPECT_EQ(b.jobs[j].config, a.jobs[j].config);
+      EXPECT_EQ(b.jobs[j].trace_ops, a.jobs[j].trace_ops);
+      EXPECT_EQ(b.jobs[j].seed, a.jobs[j].seed);
+      EXPECT_EQ(b.jobs[j].committed, a.jobs[j].committed);
+      EXPECT_EQ(b.jobs[j].cycles, a.jobs[j].cycles);
+      EXPECT_EQ(b.jobs[j].l1_misses, a.jobs[j].l1_misses);
+      EXPECT_EQ(b.jobs[j].l2_misses, a.jobs[j].l2_misses);
+      EXPECT_EQ(b.jobs[j].traffic_half_units, a.jobs[j].traffic_half_units);
+      EXPECT_EQ(b.jobs[j].fingerprint, a.jobs[j].fingerprint);
+    }
+  }
+  // The dump itself must be stable: serialize → parse → serialize is a
+  // fixed point (this is what makes committed baselines diffable).
+  EXPECT_EQ(back.to_json().dump(), text);
+}
+
+TEST(BenchJson, RejectsOtherSchemaVersions) {
+  sim::BenchReport report;  // empty shell is enough to serialize
+  sim::JsonValue root = report.to_json();
+  root.set("schema_version",
+           sim::JsonValue::integer(sim::kBenchSchemaVersion + 1));
+  EXPECT_THROW(sim::BenchReport::from_json(root), sim::JsonError);
+}
+
+TEST(BenchJson, IgnoresUnknownKeys) {
+  const sim::BenchReport report = tiny_report();
+  sim::JsonValue root = report.to_json();
+  // Annotation keys like the committed baseline's pre-optimization block
+  // must not break readers.
+  sim::JsonValue note = sim::JsonValue::object();
+  note.set("ops_per_second", sim::JsonValue::number(1.0e6));
+  root.set("pre_optimization", note);
+  root.set("comment", sim::JsonValue::string("extra keys are legal"));
+  const sim::BenchReport back = sim::BenchReport::from_json(root);
+  EXPECT_EQ(back.suites.size(), report.suites.size());
+}
+
+TEST(BenchJson, MalformedDocumentsThrow) {
+  EXPECT_THROW(sim::JsonValue::parse("{"), sim::JsonError);
+  EXPECT_THROW(sim::JsonValue::parse("{} trailing"), sim::JsonError);
+  EXPECT_THROW(sim::BenchReport::from_json(sim::JsonValue::parse("[1,2]")),
+               sim::JsonError);
+}
+
+TEST(BenchDeterminism, NonTimingFieldsIdenticalAcrossRuns) {
+  sim::BenchReport first = tiny_report();
+  sim::BenchReport second = tiny_report();
+  // Timing differs run to run; everything else must not.
+  first.clear_timing_fields();
+  second.clear_timing_fields();
+  EXPECT_EQ(first.to_json().dump(), second.to_json().dump());
+}
+
+TEST(BenchDeterminism, ClearTimingFieldsZeroesOnlyTimingClassFields) {
+  sim::BenchReport report = tiny_report();
+  const std::uint64_t committed = report.suites[0].committed_total;
+  const std::uint64_t fingerprint = report.suites[0].jobs[0].fingerprint;
+  report.clear_timing_fields();
+  EXPECT_EQ(report.suites[0].committed_total, committed);
+  EXPECT_EQ(report.suites[0].jobs[0].fingerprint, fingerprint);
+  EXPECT_EQ(report.rss_peak_bytes, 0u);
+  for (const sim::BenchSuiteResult& suite : report.suites) {
+    EXPECT_EQ(suite.wall_seconds, 0.0);
+    EXPECT_EQ(suite.ops_per_second, 0.0);
+    EXPECT_TRUE(suite.repeat_ops_per_second.empty());
+    for (const sim::BenchJobRecord& job : suite.jobs) {
+      EXPECT_EQ(job.wall_seconds, 0.0);
+      EXPECT_EQ(job.ops_per_second, 0.0);
+    }
+  }
+}
+
+/// Builds a one-suite report with the given per-repeat ops/sec and a wall
+/// time safely above the gate's noise floor.
+sim::BenchReport synthetic(std::vector<double> repeats) {
+  sim::BenchReport report;
+  sim::BenchSuiteResult suite;
+  suite.name = "kernels";
+  suite.committed_total = 1'000'000;
+  suite.wall_seconds = 10.0;
+  suite.ops_per_second = repeats.front();
+  suite.repeat_ops_per_second = std::move(repeats);
+  report.suites.push_back(std::move(suite));
+  return report;
+}
+
+TEST(BenchGate, PassesAtParityAndFailsBelowTheFloor) {
+  const sim::BenchReport baseline = synthetic({100.0, 110.0, 120.0});
+
+  const sim::GateResult parity =
+      sim::perf_gate(baseline, synthetic({100.0, 110.0, 120.0}), 0.85);
+  EXPECT_TRUE(parity.ok);
+  EXPECT_NEAR(parity.worst_ratio, 1.0, 1e-12);
+
+  // Median 55 vs 110: a 2x slowdown (exactly what --handicap 2 simulates)
+  // must trip an 0.85 floor.
+  const sim::GateResult slow =
+      sim::perf_gate(baseline, synthetic({55.0, 50.0, 60.0}), 0.85);
+  EXPECT_FALSE(slow.ok);
+  EXPECT_NEAR(slow.worst_ratio, 0.5, 1e-12);
+
+  // The gate compares medians, so one noisy repeat must not fail it.
+  const sim::GateResult noisy =
+      sim::perf_gate(baseline, synthetic({30.0, 105.0, 115.0}), 0.85);
+  EXPECT_TRUE(noisy.ok);
+}
+
+TEST(BenchGate, ShortSuitesAreInformationalOnly) {
+  sim::BenchReport baseline = synthetic({100.0});
+  baseline.suites[0].wall_seconds = sim::kGateNoiseFloorSeconds / 10.0;
+  // A huge "regression" on a microscopic suite is timer noise, not signal.
+  const sim::GateResult gate =
+      sim::perf_gate(baseline, synthetic({1.0}), 0.85);
+  EXPECT_TRUE(gate.ok);
+}
+
+TEST(BenchMeter, StopwatchIsMonotonic) {
+  const sim::Stopwatch timer;
+  const double t0 = timer.seconds();
+  const double t1 = timer.seconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(t1, t0);
+}
+
+}  // namespace
+}  // namespace cpc

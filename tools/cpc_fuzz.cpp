@@ -21,13 +21,13 @@
 // --replay runs one committed .repro case and verifies its expectation
 // (clean, or divergence for fault reproducers). CTest replays the corpus.
 
-#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "cpu/trace_io.hpp"
+#include "sim/bench_meter.hpp"
 #include "verify/oracle/differential.hpp"
 #include "verify/trace_fuzzer.hpp"
 
@@ -71,12 +71,8 @@ verify::DifferentialReport run_once(const cpu::Trace& trace,
 /// divergence is shrunk and archived.
 int fuzz(std::uint64_t seed, std::uint32_t ops, double budget_sec,
          std::uint64_t iters, unsigned jobs, const std::string& out_dir) {
-  const auto start = std::chrono::steady_clock::now();
-  const auto elapsed = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-  };
+  const sim::Stopwatch timer;  // the sanctioned clock (CPC-L008)
+  const auto elapsed = [&] { return timer.seconds(); };
 
   verify::DifferentialOptions options;
   options.jobs = jobs;

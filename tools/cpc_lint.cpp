@@ -32,6 +32,13 @@
 //             rows one-to-one and in order. (The build's static_asserts
 //             catch deleted rows; this catches the textual direction so a
 //             mismatch is reported with names before you even compile.)
+//   CPC-L008  centralized timing: direct std::chrono use (including the
+//             <chrono> include) is banned in src/, tools/ and bench/ outside
+//             the sanctioned clock sites — sim/bench_meter.{hpp,cpp} (the
+//             Stopwatch), sim/sweep_runner.cpp (watchdog deadline
+//             arithmetic) and common/mutex.hpp (CondVar::wait_for takes a
+//             chrono duration). Everything else times through
+//             sim::Stopwatch so benchmark numbers share one clock.
 //
 // Waivers: append `// cpc-lint: allow(CPC-LXXX)` to the offending line, or
 // place it on its own comment line directly above. Waivers are per-line and
@@ -607,6 +614,39 @@ void check_l007(const SourceFile& f,
 }
 
 // ---------------------------------------------------------------------------
+// CPC-L008 — centralized wall-clock timing
+// ---------------------------------------------------------------------------
+
+void check_l008(const SourceFile& f, std::vector<Finding>& findings) {
+  // Wall-clock measurement funnels through sim::Stopwatch so every reported
+  // duration comes from one clock with one set of caveats. The allowlist is
+  // the Stopwatch itself, the sweep watchdog's deadline arithmetic, and the
+  // mutex shim whose wait_for signature is inherently a chrono duration.
+  static const char* const kSanctioned[] = {
+      "src/sim/bench_meter.hpp",
+      "src/sim/bench_meter.cpp",
+      "src/sim/sweep_runner.cpp",
+      "src/common/mutex.hpp",
+  };
+  if (f.category != "src" && f.category != "tools" && f.category != "bench") {
+    return;
+  }
+  for (const char* ok : kSanctioned) {
+    if (ends_with(f.display, ok)) return;
+  }
+  static const std::regex kChronoUse(R"(\bstd\s*::\s*chrono\b)");
+  static const std::regex kChronoInclude(R"(#\s*include\s*<chrono>)");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (std::regex_search(f.code[i], kChronoUse) ||
+        std::regex_search(f.code[i], kChronoInclude)) {
+      report(findings, f, i + 1, "CPC-L008",
+             "direct std::chrono use outside the sanctioned timing sites — "
+             "measure through sim::Stopwatch (sim/bench_meter.hpp)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -663,7 +703,7 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: cpc_lint <path>...\n"
-                   "Project static analysis; checks CPC-L001..CPC-L007.\n"
+                   "Project static analysis; checks CPC-L001..CPC-L008.\n"
                    "Exit: 0 clean, 1 findings, 2 usage/IO error.\n";
       return 0;
     }
@@ -721,6 +761,7 @@ int main(int argc, char** argv) {
     check_l005(f, findings);
     check_l006(f, findings);
     check_l007(f, enums, findings);
+    check_l008(f, findings);
   }
 
   std::sort(findings.begin(), findings.end(),
