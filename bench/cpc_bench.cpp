@@ -52,6 +52,9 @@ void print_usage(std::ostream& out) {
          "  --repeats N        repeats per suite; the median gates\n"
          "  --jobs N           sweep threads (default 1 for stable timing;\n"
          "                     0 = CPC_JOBS or hardware concurrency)\n"
+         "  --procs N          shard each suite across N supervised worker\n"
+         "                     processes (crash-isolated; deterministic\n"
+         "                     fields stay bit-identical to --jobs runs)\n"
          "  --workloads a,b,c  kernel-name filter (default: all 14)\n"
          "  --corpus DIR       fuzz-corpus directory (default tests/corpus;\n"
          "                     missing directory skips the suite)\n"
@@ -135,6 +138,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       repeats_overridden = true;
     } else if (arg == "--jobs") {
       options.run.threads = static_cast<unsigned>(parse_u64(arg, value()));
+    } else if (arg == "--procs") {
+      options.run.procs = static_cast<unsigned>(parse_u64(arg, value()));
     } else if (arg == "--workloads") {
       options.run.workloads = split_csv(value());
     } else if (arg == "--corpus") {

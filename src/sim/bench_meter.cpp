@@ -17,6 +17,7 @@
 #endif
 
 #include "cpu/trace_io.hpp"
+#include "sim/shard_supervisor.hpp"
 #include "sim/sweep_runner.hpp"
 
 namespace cpc::sim {
@@ -691,8 +692,25 @@ std::vector<Job> plan_jobs(const SuitePlan& plan) {
 
 /// Runs one repeat of a suite and appends/validates its records.
 void run_suite_once(const SweepRunner& runner, const SuitePlan& plan,
-                    BenchSuiteResult& suite, bool first_repeat, bool quiet) {
-  std::vector<JobResult> results = runner.run(plan_jobs(plan), quiet);
+                    BenchSuiteResult& suite, bool first_repeat, bool quiet,
+                    unsigned procs) {
+  std::vector<JobResult> results;
+  if (procs > 0) {
+    ShardOptions shard = ShardOptions::from_env();
+    shard.procs = procs;
+    shard.run.quiet = quiet;
+    RunReport report = runner.run_sharded(plan_jobs(plan), shard);
+    if (!report.failures.empty()) {
+      // The benchmark contract is run()'s: any job failure is fatal.
+      const JobFailure& failure = report.failures.front();
+      throw std::runtime_error("sharded benchmark job " +
+                               std::to_string(failure.index) + " (" +
+                               failure.tag + ") failed: " + failure.what);
+    }
+    results = std::move(report.results);
+  } else {
+    results = runner.run(plan_jobs(plan), quiet);
+  }
 
   std::uint64_t committed = 0;
   double wall = 0.0;
@@ -820,7 +838,8 @@ BenchReport run_bench_suites(const BenchRunOptions& options) {
         std::cerr << "suite " << plan.name << ": repeat " << (repeat + 1) << "/"
                   << report.repeats << "\n";
       }
-      run_suite_once(runner, plan, suite, repeat == 0, options.quiet);
+      run_suite_once(runner, plan, suite, repeat == 0, options.quiet,
+                     options.procs);
     }
     report.suites.push_back(std::move(suite));
   }

@@ -192,6 +192,11 @@ struct BenchRunOptions {
   std::uint64_t seed = 0x5eed;
   unsigned repeats = 1;     ///< run each suite this many times (median gates)
   unsigned threads = 1;     ///< SweepRunner thread count (0 = default)
+  /// Process-sharded execution (sim/shard_supervisor.hpp): > 0 runs each
+  /// suite across this many supervised worker processes. Deterministic
+  /// fields (fingerprints included) stay bit-identical to threaded runs;
+  /// timing-class fields differ as usual. 0 = in-process.
+  unsigned procs = 0;
   bool quiet = true;
   std::string mode = "full";
   /// Workload filter (names); empty = every registered kernel.

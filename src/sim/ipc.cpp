@@ -1,0 +1,354 @@
+#include "sim/ipc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <iostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CPC_IPC_POSIX 1
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <time.h>  // nanosleep (timespec); no wall-clock reads here
+#include <unistd.h>
+#endif
+
+// The RLIMIT_AS fence is incompatible with AddressSanitizer's shadow
+// mappings (ASan reserves terabytes of virtual address space up front), so
+// sanitized builds keep isolation but skip the fence.
+#if defined(__SANITIZE_ADDRESS__)
+#define CPC_IPC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CPC_IPC_ASAN 1
+#endif
+#endif
+
+namespace cpc::sim::ipc {
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xffu));
+  }
+}
+
+std::uint32_t read_u32(const char* bytes) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+/// magic(4) + version(1) + type(1) + length(4) + crc(4).
+constexpr std::size_t kHeaderBytes = 14;
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  std::uint32_t crc = 0xffffffffu;
+  for (const char c : bytes) {
+    crc = kCrcTable[(crc ^ static_cast<unsigned char>(c)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (corrupt_) return;
+  // Reclaim parsed prefix before growing, so long streams stay O(frame).
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (corrupt_) return Status::kCorrupt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderBytes) return Status::kNeedMore;
+  const char* head = buffer_.data() + consumed_;
+  const std::uint32_t magic = read_u32(head);
+  const auto version = static_cast<std::uint8_t>(head[4]);
+  const auto type = static_cast<std::uint8_t>(head[5]);
+  const std::uint32_t length = read_u32(head + 6);
+  const std::uint32_t crc = read_u32(head + 10);
+  if (magic != kFrameMagic || version != kWireVersion ||
+      type >= kFrameTypeCount || length > kMaxFramePayload) {
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+  if (available < kHeaderBytes + length) return Status::kNeedMore;
+  const std::string_view payload(head + kHeaderBytes, length);
+  if (crc32(payload) != crc) {
+    corrupt_ = true;
+    return Status::kCorrupt;
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(payload);
+  consumed_ += kHeaderBytes + length;
+  return Status::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+// Payload packing
+// ---------------------------------------------------------------------------
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_string(std::string& out, std::string_view value) {
+  put_u64(out, value.size());
+  out.append(value);
+}
+
+bool get_u64(std::string_view& in, std::uint64_t& value) {
+  if (in.size() < 8) return false;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  in.remove_prefix(8);
+  value = v;
+  return true;
+}
+
+bool get_string(std::string_view& in, std::string& value) {
+  std::uint64_t size = 0;
+  std::string_view probe = in;
+  if (!get_u64(probe, size)) return false;
+  if (probe.size() < size) return false;
+  value.assign(probe.substr(0, size));
+  in = probe.substr(size);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Process wrappers
+// ---------------------------------------------------------------------------
+
+#if defined(CPC_IPC_POSIX)
+
+bool process_isolation_supported() { return true; }
+
+bool write_frame(int fd, FrameType type, std::string_view payload) {
+  const std::string frame = encode_frame(type, payload);
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE et al: the supervisor is gone
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+void apply_rlimit(std::uint64_t rlimit_as_mb) {
+  if (rlimit_as_mb == 0) return;
+#if defined(CPC_IPC_ASAN)
+  std::fprintf(stderr,
+               "note: skipping RLIMIT_AS fence (%llu MiB) under "
+               "AddressSanitizer\n",
+               static_cast<unsigned long long>(rlimit_as_mb));
+#else
+  struct rlimit limit;
+  if (::getrlimit(RLIMIT_AS, &limit) != 0) return;
+  const rlim_t cap = static_cast<rlim_t>(rlimit_as_mb) << 20;
+  limit.rlim_cur =
+      limit.rlim_max == RLIM_INFINITY ? cap : std::min(cap, limit.rlim_max);
+  ::setrlimit(RLIMIT_AS, &limit);
+#endif
+}
+
+}  // namespace
+
+ChildProcess spawn_worker(const SpawnOptions& options,
+                          const std::function<void(int write_fd)>& body) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    std::cerr << "spawn_worker: pipe failed: " << std::strerror(errno) << "\n";
+    return {};
+  }
+  const long pid = ::fork();
+  if (pid < 0) {
+    std::cerr << "spawn_worker: fork failed: " << std::strerror(errno) << "\n";
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    // Child. A dead supervisor must surface as a write error, not SIGPIPE.
+    ::close(fds[0]);
+    std::signal(SIGPIPE, SIG_IGN);
+    apply_rlimit(options.rlimit_as_mb);
+    try {
+      body(fds[1]);
+    } catch (...) {
+      // Never unwind into the parent's state; the supervisor sees the
+      // nonzero exit and requeues the worker's unfinished jobs.
+      ::_exit(86);
+    }
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  ChildProcess child;
+  child.pid = pid;
+  child.read_fd = fds[0];
+  return child;
+}
+
+namespace {
+
+ExitStatus decode_wait_status(int status) {
+  ExitStatus out;
+  if (WIFEXITED(status)) {
+    out.exited = true;
+    out.code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    out.signaled = true;
+    out.code = WTERMSIG(status);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool try_wait(ChildProcess& child, ExitStatus& status) {
+  if (!child.valid()) return false;
+  int raw = 0;
+  const long r = ::waitpid(static_cast<pid_t>(child.pid), &raw, WNOHANG);
+  if (r <= 0) return false;  // still running (or EINTR — caller re-polls)
+  status = decode_wait_status(raw);
+  child.pid = -1;
+  return true;
+}
+
+ExitStatus wait_blocking(ChildProcess& child) {
+  if (!child.valid()) return {};
+  int raw = 0;
+  while (::waitpid(static_cast<pid_t>(child.pid), &raw, 0) < 0) {
+    if (errno != EINTR) return {};
+  }
+  child.pid = -1;
+  return decode_wait_status(raw);
+}
+
+void kill_hard(const ChildProcess& child) {
+  if (child.valid()) ::kill(static_cast<pid_t>(child.pid), SIGKILL);
+}
+
+long read_some(int fd, char* buffer, std::size_t size) {
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, size);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno != EINTR) return -1;
+  }
+}
+
+bool poll_readable(const std::vector<int>& fds, int timeout_ms,
+                   std::vector<bool>& ready) {
+  ready.assign(fds.size(), false);
+  std::vector<struct pollfd> polls;
+  polls.reserve(fds.size());
+  for (const int fd : fds) {
+    polls.push_back({fd, POLLIN, 0});
+  }
+  const int r = ::poll(polls.data(), static_cast<nfds_t>(polls.size()),
+                       timeout_ms);
+  if (r < 0) return errno == EINTR;  // interrupted counts as "nothing ready"
+  for (std::size_t i = 0; i < polls.size(); ++i) {
+    ready[i] = (polls[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
+  return true;
+}
+
+void sleep_ms(std::uint64_t ms) {
+  struct timespec request;
+  request.tv_sec = static_cast<time_t>(ms / 1000);
+  request.tv_nsec = static_cast<long>((ms % 1000) * 1'000'000);
+  while (::nanosleep(&request, &request) != 0 && errno == EINTR) {
+  }
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+#else  // !CPC_IPC_POSIX — every entry point degrades to "unsupported"
+
+bool process_isolation_supported() { return false; }
+
+bool write_frame(int, FrameType, std::string_view) { return false; }
+
+ChildProcess spawn_worker(const SpawnOptions&,
+                          const std::function<void(int)>&) {
+  return {};
+}
+
+bool try_wait(ChildProcess&, ExitStatus&) { return false; }
+ExitStatus wait_blocking(ChildProcess&) { return {}; }
+void kill_hard(const ChildProcess&) {}
+long read_some(int, char*, std::size_t) { return -1; }
+
+bool poll_readable(const std::vector<int>& fds, int, std::vector<bool>& ready) {
+  ready.assign(fds.size(), false);
+  return false;
+}
+
+void sleep_ms(std::uint64_t) {}
+void close_fd(int& fd) { fd = -1; }
+
+#endif  // CPC_IPC_POSIX
+
+}  // namespace cpc::sim::ipc

@@ -1,0 +1,182 @@
+#pragma once
+// Supervisor <-> worker plumbing for process-sharded sweeps
+// (sim/shard_supervisor.hpp). Two layers live here:
+//
+//   * A length-prefixed, CRC-guarded, schema-versioned frame protocol for
+//     the result pipe. Every frame is
+//
+//       magic 'CPCF' (u32 LE) | version (u8) | type (u8) |
+//       payload length (u32 LE) | crc32(payload) (u32 LE) | payload bytes
+//
+//     so a reader can resynchronise deterministically: a bad magic, unknown
+//     version/type, oversized length or CRC mismatch marks the stream
+//     corrupt (the supervisor treats that as a worker crash). The payload
+//     of result frames reuses the sweep-journal line format (sim/journal.hpp),
+//     which carries its own counter-schema pin.
+//
+//   * Thin POSIX process wrappers (fork + pipe + waitpid + kill +
+//     setrlimit(RLIMIT_AS) + poll) so raw process syscalls stay confined to
+//     ipc.cpp — cpc_lint CPC-L009 bans them everywhere else. On platforms
+//     without fork() the wrappers report process_isolation_supported() ==
+//     false and sharded execution falls back to in-process containment.
+//
+// Nothing here touches std::chrono (CPC-L008): sleeping goes through
+// nanosleep and elapsed time is the caller's sim::Stopwatch.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpc::sim::ipc {
+
+// ---------------------------------------------------------------------------
+// Frame protocol
+// ---------------------------------------------------------------------------
+
+/// Bump when the frame header or any payload layout changes shape; a
+/// supervisor refuses frames from a different version outright.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// 'CPCF' little-endian.
+inline constexpr std::uint32_t kFrameMagic = 0x46435043u;
+
+/// Upper bound on one frame's payload. Generously above any journal line or
+/// failure record; a length field beyond this is corruption, not data.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 0,   ///< worker came up (payload: u64 shard id)
+  kJobStart,    ///< worker begins a job (payload: u64 job index)
+  kHeartbeat,   ///< liveness beacon, empty payload
+  kResult,      ///< one completed job (payload: journal `ok` line)
+  kFailure,     ///< one contained job failure (payload: packed JobFailure)
+  kDone,        ///< slice finished (payload: packed TraceCache stats)
+  kBlob,        ///< tool-defined payload (cpc_faultcamp campaign records)
+};
+
+/// Number of FrameType enumerators (decoder range check).
+inline constexpr std::uint8_t kFrameTypeCount =
+    static_cast<std::uint8_t>(FrameType::kBlob) + 1;
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `bytes`.
+std::uint32_t crc32(std::string_view bytes);
+
+/// Serializes one frame (header + payload) into a byte string.
+std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Writes one frame to `fd`, retrying on EINTR and short writes. Returns
+/// false when the pipe is gone (EPIPE — the reader died) or on any other
+/// write error; callers treat that as "supervisor lost", not fatal.
+bool write_frame(int fd, FrameType type, std::string_view payload);
+
+/// Incremental frame parser over an arbitrary chunking of the byte stream.
+class FrameDecoder {
+ public:
+  enum class Status : std::uint8_t {
+    kNeedMore,  ///< no complete frame buffered yet
+    kFrame,     ///< one frame extracted into the out-parameter
+    kCorrupt,   ///< stream violated the protocol; decoder is poisoned
+  };
+
+  void feed(const char* data, std::size_t size);
+  void feed(std::string_view bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Extracts the next complete frame. Once kCorrupt is returned every
+  /// subsequent call returns kCorrupt — a sheared stream cannot be trusted
+  /// again.
+  Status next(Frame& out);
+
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< bytes of buffer_ already parsed
+  bool corrupt_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Payload packing (little-endian, length-prefixed strings)
+// ---------------------------------------------------------------------------
+
+void put_u64(std::string& out, std::uint64_t value);
+void put_string(std::string& out, std::string_view value);
+
+/// Consuming readers: advance `in` past the field. Return false (leaving
+/// the output untouched) when the payload is truncated.
+bool get_u64(std::string_view& in, std::uint64_t& value);
+bool get_string(std::string_view& in, std::string& value);
+
+// ---------------------------------------------------------------------------
+// Process wrappers (POSIX; no-ops reporting unsupported elsewhere)
+// ---------------------------------------------------------------------------
+
+/// True when fork/pipe/waitpid are available (and therefore run_sharded can
+/// actually shard). Sanitized builds still support isolation — only the
+/// address-space rlimit fence is skipped there.
+bool process_isolation_supported();
+
+/// How a child ended.
+struct ExitStatus {
+  bool exited = false;    ///< normal termination (code below)
+  bool signaled = false;  ///< killed by a signal (code = signal number)
+  int code = 0;
+  bool clean() const { return exited && code == 0; }
+};
+
+struct SpawnOptions {
+  /// setrlimit(RLIMIT_AS) soft cap applied inside the child, in MiB.
+  /// 0 leaves the limit untouched. Ignored (with a one-line stderr note)
+  /// under AddressSanitizer, whose shadow mappings need the full address
+  /// space.
+  std::uint64_t rlimit_as_mb = 0;
+};
+
+/// A forked worker and the read end of its result pipe.
+struct ChildProcess {
+  long pid = -1;
+  int read_fd = -1;
+  bool valid() const { return pid > 0; }
+};
+
+/// Forks a worker. The child closes the read end, applies SpawnOptions,
+/// runs `body(write_fd)` and _exit(0)s (or _exit(86) if body throws — the
+/// child must never run the parent's atexit/stack unwinding). The parent
+/// closes the write end and returns the child handle; an invalid handle
+/// means fork/pipe failed (errno text on stderr).
+ChildProcess spawn_worker(const SpawnOptions& options,
+                          const std::function<void(int write_fd)>& body);
+
+/// Non-blocking reap. Returns true once the child has been collected (at
+/// which point `child.pid` is invalidated so it cannot be waited twice).
+bool try_wait(ChildProcess& child, ExitStatus& status);
+
+/// Blocking reap (EINTR-safe). Invalidates `child.pid`.
+ExitStatus wait_blocking(ChildProcess& child);
+
+/// SIGKILL. Safe to call on an already-dead (but unreaped) child.
+void kill_hard(const ChildProcess& child);
+
+/// EINTR-safe read(2). Returns bytes read, 0 at EOF, -1 on error.
+long read_some(int fd, char* buffer, std::size_t size);
+
+/// Waits up to `timeout_ms` for any of `fds` to become readable (or hung
+/// up). `ready` is resized to match `fds`; ready[i] is true when fds[i]
+/// has data or EOF pending. Returns false on poll error.
+bool poll_readable(const std::vector<int>& fds, int timeout_ms,
+                   std::vector<bool>& ready);
+
+/// nanosleep-based millisecond sleep (EINTR-resumed).
+void sleep_ms(std::uint64_t ms);
+
+/// close(2) if open, then marks the fd invalid.
+void close_fd(int& fd);
+
+}  // namespace cpc::sim::ipc

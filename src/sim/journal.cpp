@@ -109,6 +109,58 @@ std::string header_line(std::uint64_t fingerprint, std::size_t jobs) {
 
 }  // namespace
 
+std::string encode_ok_line(const JobResult& result) {
+  std::ostringstream line;
+  line << "ok " << result.index << ' ' << escape(result.tag) << ' '
+       << escape(result.run.config) << ' ' << result.wall_seconds << ' '
+       << result.ops_per_second;
+  for (const std::uint64_t counter : pack_counters(result)) {
+    line << ' ' << counter;
+  }
+  return line.str();
+}
+
+std::string encode_fail_line(std::size_t index, const std::string& what) {
+  std::ostringstream line;
+  line << "fail " << index << ' ' << escape(what);
+  return line.str();
+}
+
+JournalEntry decode_journal_line(const std::string& line, std::size_t jobs) {
+  JournalEntry entry;
+  std::istringstream fields(line);
+  std::string kind;
+  std::size_t index = 0;
+  if (!(fields >> kind >> index) || index >= jobs) return entry;
+  entry.index = index;
+  if (kind == "fail") {
+    std::string what;
+    fields >> what;  // an empty `what` still decodes (escaped as %-)
+    entry.what = unescape(what);
+    entry.kind = JournalEntry::Kind::kFail;
+    return entry;
+  }
+  if (kind != "ok") return entry;
+  std::string tag, config;
+  JobResult result;
+  if (!(fields >> tag >> config >> result.wall_seconds >>
+        result.ops_per_second)) {
+    return entry;  // truncated line (the process died mid-write)
+  }
+  std::vector<std::uint64_t> counters(kCounterCount);
+  for (std::uint64_t& counter : counters) {
+    if (!(fields >> counter)) return entry;
+  }
+  result.index = index;
+  result.tag = unescape(tag);
+  result.run.config = unescape(config);
+  unpack_counters(counters, result);
+  result.ok = true;
+  entry.result = std::move(result);
+  entry.kind = JournalEntry::Kind::kOk;
+  return entry;
+}
+
 std::uint64_t grid_fingerprint(const std::vector<Job>& jobs) {
   std::uint64_t hash = 0xcbf29ce484222325ull;
   fnv1a_u64(hash, jobs.size());
@@ -137,36 +189,18 @@ SweepJournal::Restored SweepJournal::load(const std::string& path,
   restored.header_matched = true;
 
   while (std::getline(in, line)) {
-    std::istringstream fields(line);
-    std::string kind;
-    std::size_t index = 0;
-    if (!(fields >> kind >> index) || index >= jobs) continue;
-    if (kind == "fail") {
-      // Last-wins: a trailing failure re-opens the job for the resumed run.
-      restored.results[index].reset();
-      continue;
-    }
-    if (kind != "ok") continue;
-    std::string tag, config;
-    JobResult result;
-    if (!(fields >> tag >> config >> result.wall_seconds >> result.ops_per_second)) {
-      continue;  // truncated line (the process died mid-write)
-    }
-    std::vector<std::uint64_t> counters(kCounterCount);
-    bool complete = true;
-    for (std::uint64_t& counter : counters) {
-      if (!(fields >> counter)) {
-        complete = false;
+    JournalEntry entry = decode_journal_line(line, jobs);
+    switch (entry.kind) {
+      case JournalEntry::Kind::kOk:
+        restored.results[entry.index] = std::move(entry.result);
         break;
-      }
+      case JournalEntry::Kind::kFail:
+        // Last-wins: a trailing failure re-opens the job for the resumed run.
+        restored.results[entry.index].reset();
+        break;
+      case JournalEntry::Kind::kMalformed:
+        break;  // truncated tail or foreign text — ignore
     }
-    if (!complete) continue;
-    result.index = index;
-    result.tag = unescape(tag);
-    result.run.config = unescape(config);
-    unpack_counters(counters, result);
-    result.ok = true;
-    restored.results[index] = std::move(result);
   }
   restored.restored_ok = 0;
   for (const auto& slot : restored.results) {
@@ -187,18 +221,15 @@ SweepJournal::SweepJournal(const std::string& path, std::uint64_t fingerprint,
 }
 
 void SweepJournal::record_ok(const JobResult& result) {
-  std::ostringstream line;
-  line << "ok " << result.index << ' ' << escape(result.tag) << ' '
-       << escape(result.run.config) << ' ' << result.wall_seconds << ' '
-       << result.ops_per_second;
-  for (const std::uint64_t counter : pack_counters(result)) line << ' ' << counter;
+  const std::string line = encode_ok_line(result);
   const MutexLock lock(mutex_);
-  out_ << line.str() << '\n' << std::flush;
+  out_ << line << '\n' << std::flush;
 }
 
 void SweepJournal::record_failure(std::size_t index, const std::string& what) {
+  const std::string line = encode_fail_line(index, what);
   const MutexLock lock(mutex_);
-  out_ << "fail " << index << ' ' << escape(what) << '\n' << std::flush;
+  out_ << line << '\n' << std::flush;
 }
 
 }  // namespace cpc::sim

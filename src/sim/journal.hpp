@@ -29,6 +29,32 @@ namespace cpc::sim {
 /// Order-sensitive FNV-1a hash over the identity of every job in the grid.
 std::uint64_t grid_fingerprint(const std::vector<Job>& jobs);
 
+/// One parsed journal body line. The same line grammar doubles as the
+/// payload of sharded-sweep result frames (sim/ipc.hpp kResult), so the
+/// counter schema is pinned in exactly one place (the kCounterCount
+/// static_assert in journal.cpp).
+struct JournalEntry {
+  enum class Kind : std::uint8_t {
+    kOk,         ///< complete `ok` record; `result` is valid
+    kFail,       ///< `fail` record; `index`/`what` are valid
+    kMalformed,  ///< truncated or foreign line — skip it
+  };
+  Kind kind = Kind::kMalformed;
+  std::size_t index = 0;
+  JobResult result;  ///< restored statistics; hierarchy is always null
+  std::string what;
+};
+
+/// Serializes one completed job as a journal `ok` line (no newline).
+std::string encode_ok_line(const JobResult& result);
+
+/// Serializes one failure as a journal `fail` line (no newline).
+std::string encode_fail_line(std::size_t index, const std::string& what);
+
+/// Parses one body line. `jobs` bounds the index: entries at or beyond it
+/// decode as kMalformed (a journal can never resurrect an out-of-grid job).
+JournalEntry decode_journal_line(const std::string& line, std::size_t jobs);
+
 class SweepJournal {
  public:
   struct Restored {

@@ -1,0 +1,711 @@
+#include "sim/shard_supervisor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "sim/bench_meter.hpp"
+#include "sim/ipc.hpp"
+#include "sim/journal.hpp"
+
+namespace cpc::sim {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire payloads (on top of ipc frames)
+// ---------------------------------------------------------------------------
+
+std::string encode_stats_payload(const TraceCache::Stats& stats) {
+  std::string out;
+  ipc::put_u64(out, stats.hits);
+  ipc::put_u64(out, stats.compressed_hits);
+  ipc::put_u64(out, stats.misses);
+  ipc::put_u64(out, stats.evictions);
+  ipc::put_u64(out, stats.compressed_evictions);
+  ipc::put_u64(out, stats.decoded_bytes);
+  ipc::put_u64(out, stats.compressed_bytes);
+  return out;
+}
+
+bool decode_stats_payload(std::string_view in, TraceCache::Stats& stats) {
+  return ipc::get_u64(in, stats.hits) &&
+         ipc::get_u64(in, stats.compressed_hits) &&
+         ipc::get_u64(in, stats.misses) && ipc::get_u64(in, stats.evictions) &&
+         ipc::get_u64(in, stats.compressed_evictions) &&
+         ipc::get_u64(in, stats.decoded_bytes) &&
+         ipc::get_u64(in, stats.compressed_bytes);
+}
+
+std::string encode_failure_payload(const JobFailure& failure) {
+  std::string out;
+  ipc::put_u64(out, failure.index);
+  ipc::put_string(out, failure.tag);
+  ipc::put_u64(out, failure.attempts);
+  ipc::put_u64(out, failure.history.size());
+  for (const JobFailure::Attempt& attempt : failure.history) {
+    ipc::put_string(out, attempt.what);
+    ipc::put_u64(out, attempt.timed_out ? 1 : 0);
+    ipc::put_u64(out, attempt.diagnostic ? 1 : 0);
+    if (attempt.diagnostic) {
+      ipc::put_u64(out, static_cast<std::uint64_t>(
+                            attempt.diagnostic->invariant));
+      ipc::put_string(out, attempt.diagnostic->site);
+      ipc::put_u64(out, attempt.diagnostic->cycle);
+      ipc::put_u64(out, attempt.diagnostic->line_addr);
+      ipc::put_string(out, attempt.diagnostic->detail);
+    }
+  }
+  return out;
+}
+
+bool decode_failure_payload(std::string_view in, JobFailure& failure) {
+  std::uint64_t index = 0, attempts = 0, history_size = 0;
+  if (!ipc::get_u64(in, index) || !ipc::get_string(in, failure.tag) ||
+      !ipc::get_u64(in, attempts) || !ipc::get_u64(in, history_size)) {
+    return false;
+  }
+  failure.index = static_cast<std::size_t>(index);
+  failure.attempts = static_cast<unsigned>(attempts);
+  if (history_size > 1024) return false;  // corrupt length, not data
+  failure.history.clear();
+  for (std::uint64_t i = 0; i < history_size; ++i) {
+    JobFailure::Attempt attempt;
+    std::uint64_t timed_out = 0, has_diagnostic = 0;
+    if (!ipc::get_string(in, attempt.what) || !ipc::get_u64(in, timed_out) ||
+        !ipc::get_u64(in, has_diagnostic)) {
+      return false;
+    }
+    attempt.timed_out = timed_out != 0;
+    if (has_diagnostic != 0) {
+      Diagnostic diagnostic;
+      std::uint64_t invariant = 0, cycle = 0, line_addr = 0;
+      if (!ipc::get_u64(in, invariant) ||
+          !ipc::get_string(in, diagnostic.site) ||
+          !ipc::get_u64(in, cycle) || !ipc::get_u64(in, line_addr) ||
+          !ipc::get_string(in, diagnostic.detail)) {
+        return false;
+      }
+      diagnostic.invariant = invariant < kInvariantCount
+                                 ? static_cast<Invariant>(invariant)
+                                 : Invariant::kGeneric;
+      diagnostic.cycle = cycle;
+      diagnostic.line_addr = static_cast<std::uint32_t>(line_addr);
+      attempt.diagnostic = std::move(diagnostic);
+    }
+    failure.history.push_back(std::move(attempt));
+  }
+  if (!failure.history.empty()) {
+    const JobFailure::Attempt& first = failure.history.front();
+    failure.what = first.what;
+    failure.timed_out = first.timed_out;
+    failure.diagnostic = first.diagnostic;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection (CPC_CRASH_JOB=<index>:<mode>)
+// ---------------------------------------------------------------------------
+
+enum class CrashMode : std::uint8_t {
+  kNone,
+  kSegv,
+  kAbort,
+  kOom,
+  kHang,
+  kExit3,
+};
+
+struct CrashPlan {
+  std::size_t job_index = 0;
+  CrashMode mode = CrashMode::kNone;
+};
+
+CrashPlan parse_crash_plan() {
+  CrashPlan plan;
+  const char* env = std::getenv("CPC_CRASH_JOB");
+  if (env == nullptr) return plan;
+  const std::string spec(env);
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    std::cerr << "warning: ignoring malformed CPC_CRASH_JOB='" << spec
+              << "' (want <index>:<mode>)\n";
+    return plan;
+  }
+  char* end = nullptr;
+  const unsigned long long index = std::strtoull(spec.c_str(), &end, 10);
+  if (end != spec.c_str() + colon) {
+    std::cerr << "warning: ignoring malformed CPC_CRASH_JOB index in '"
+              << spec << "'\n";
+    return plan;
+  }
+  const std::string mode = spec.substr(colon + 1);
+  if (mode == "segv") {
+    plan.mode = CrashMode::kSegv;
+  } else if (mode == "abort") {
+    plan.mode = CrashMode::kAbort;
+  } else if (mode == "oom") {
+    plan.mode = CrashMode::kOom;
+  } else if (mode == "hang") {
+    plan.mode = CrashMode::kHang;
+  } else if (mode == "exit3") {
+    plan.mode = CrashMode::kExit3;
+  } else {
+    std::cerr << "warning: unknown CPC_CRASH_JOB mode '" << mode
+              << "' (want segv|abort|oom|hang|exit3)\n";
+    return plan;
+  }
+  plan.job_index = static_cast<std::size_t>(index);
+  return plan;
+}
+
+/// Allocation loop that lets bad_alloc escape a noexcept frame: terminate()
+/// raises SIGABRT, which is exactly the "worker OOM-killed" shape the
+/// supervisor must contain. With an RLIMIT_AS fence the loop dies early; on
+/// unfenced builds the bounded loop ends in an impossible single allocation
+/// so the crash stays deterministic without exhausting the host.
+[[noreturn]] void crash_oom() noexcept {
+  std::vector<char*> leaked;
+  constexpr std::size_t kBlock = 64u << 20;
+  for (int i = 0; i < 8; ++i) {  // <= 512 MiB of real pressure
+    char* block = new char[kBlock];
+    std::memset(block, 0xab, kBlock);
+    leaked.push_back(block);
+  }
+  char* impossible = new char[(1ull << 62)];
+  leaked.push_back(impossible);
+  std::abort();  // unreachable: one of the allocations above must throw
+}
+
+/// Dies per the plan when this (job, first process attempt) matches. The
+/// hook only fires on process_attempt == 0 so the retried job completes —
+/// the containment path under test is "crash once, recover".
+void maybe_crash(const CrashPlan& plan, std::size_t job_index,
+                 unsigned process_attempt, std::atomic<bool>& heartbeats) {
+  if (plan.mode == CrashMode::kNone) return;
+  if (plan.job_index != job_index || process_attempt != 0) return;
+  switch (plan.mode) {
+    case CrashMode::kNone:
+      return;
+    case CrashMode::kSegv: {
+      volatile int* null_pointer = nullptr;
+      *null_pointer = 1;
+      return;
+    }
+    case CrashMode::kAbort:
+      std::abort();
+    case CrashMode::kOom:
+      crash_oom();
+    case CrashMode::kHang:
+      // Stop heartbeating and freeze: only the supervisor's silence
+      // watchdog (SIGKILL) can end this worker.
+      heartbeats.store(false, std::memory_order_relaxed);
+      while (true) ipc::sleep_ms(1000);
+    case CrashMode::kExit3:
+      std::_Exit(3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// One unit of shard work: which job, and how many workers already died
+/// while running it (the crash-retry counter).
+struct ShardTask {
+  std::size_t job_index = 0;
+  unsigned process_attempt = 0;
+};
+
+/// Runs one shard slice inside the forked child. Jobs are reached through
+/// the fork-inherited address space — only results cross the pipe.
+void worker_body(int write_fd, std::uint64_t shard_id,
+                 const std::vector<Job>& jobs,
+                 const std::vector<ShardTask>& tasks,
+                 const ShardOptions& options) {
+  Mutex write_mutex;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> heartbeats{true};
+  std::atomic<bool> supervisor_gone{false};
+  const auto send = [&](ipc::FrameType type, std::string_view payload) {
+    const MutexLock lock(write_mutex);
+    if (!ipc::write_frame(write_fd, type, payload)) {
+      supervisor_gone.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  };
+
+  {
+    std::string hello;
+    ipc::put_u64(hello, shard_id);
+    send(ipc::FrameType::kHello, hello);
+  }
+  std::thread beater([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ipc::sleep_ms(options.heartbeat_ms);
+      if (stop.load(std::memory_order_relaxed)) return;
+      if (!heartbeats.load(std::memory_order_relaxed)) continue;
+      if (!send(ipc::FrameType::kHeartbeat, {})) return;
+    }
+  });
+
+  const CrashPlan crash_plan = parse_crash_plan();
+  TraceCache traces;  // shared across the slice; bounded via CPC_TRACE_CACHE_MB
+  const SweepRunner runner(1);  // process parallelism supersedes threads
+  RunOptions per_job;
+  per_job.quiet = true;
+  per_job.retries = options.run.retries;
+  per_job.job_timeout_ms = options.run.job_timeout_ms;
+
+  for (const ShardTask& task : tasks) {
+    if (supervisor_gone.load(std::memory_order_relaxed)) break;
+    {
+      std::string start;
+      ipc::put_u64(start, task.job_index);
+      if (!send(ipc::FrameType::kJobStart, start)) break;
+    }
+    maybe_crash(crash_plan, task.job_index, task.process_attempt, heartbeats);
+
+    Job job = jobs[task.job_index];
+    JobFailure failure;
+    failure.index = task.job_index;
+    failure.tag = job.tag;
+    try {
+      // Pre-resolve through the worker-wide cache so a slice with repeated
+      // (workload, ops, seed) keys generates each trace once.
+      if (!job.trace) {
+        job.trace = traces.get(job.workload, job.trace_ops, job.seed);
+      }
+    } catch (const std::exception& error) {
+      JobFailure::Attempt attempt;
+      attempt.what = std::string("trace generation failed: ") + error.what();
+      failure.history.push_back(attempt);
+      failure.what = attempt.what;
+      failure.attempts = 1;
+      send(ipc::FrameType::kFailure, encode_failure_payload(failure));
+      continue;
+    }
+
+    std::vector<Job> single;
+    single.push_back(std::move(job));
+    RunReport report = runner.run_contained(std::move(single), per_job);
+    if (report.failures.empty() && report.results.size() == 1 &&
+        report.results[0].ok) {
+      JobResult& result = report.results[0];
+      result.index = task.job_index;
+      send(ipc::FrameType::kResult, encode_ok_line(result));
+    } else {
+      if (!report.failures.empty()) failure = std::move(report.failures[0]);
+      failure.index = task.job_index;
+      if (failure.tag.empty()) failure.tag = jobs[task.job_index].tag;
+      send(ipc::FrameType::kFailure, encode_failure_payload(failure));
+    }
+  }
+
+  send(ipc::FrameType::kDone, encode_stats_payload(traces.stats()));
+  stop.store(true, std::memory_order_relaxed);
+  beater.join();
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------------
+
+struct WorkerState {
+  ipc::ChildProcess child;
+  ipc::FrameDecoder decoder;
+  std::vector<ShardTask> tasks;
+  std::set<std::size_t> finished;  ///< job indices this worker reported
+  std::optional<ShardTask> in_flight;
+  Stopwatch silence;    ///< since the last frame of any kind
+  Stopwatch job_clock;  ///< since the last kJobStart
+  bool done_seen = false;
+  bool alive = false;
+};
+
+std::string describe_exit(const ipc::ExitStatus& status) {
+  if (status.signaled) {
+    std::string name = "signal " + std::to_string(status.code);
+    if (status.code == SIGKILL) name += " (SIGKILL)";
+    if (status.code == SIGSEGV) name += " (SIGSEGV)";
+    if (status.code == SIGABRT) name += " (SIGABRT)";
+    return name;
+  }
+  if (status.exited) return "exit code " + std::to_string(status.code);
+  return "unknown termination";
+}
+
+}  // namespace
+
+ShardOptions ShardOptions::from_env() {
+  ShardOptions options;
+  options.run = RunOptions::from_env();
+  const auto parse_u64 = [](const char* env, std::uint64_t& out,
+                            std::uint64_t max) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && value <= max) {
+      out = value;
+      return true;
+    }
+    return false;
+  };
+  if (const char* env = std::getenv("CPC_PROCS")) {
+    std::uint64_t value = 0;
+    if (parse_u64(env, value, 4096)) {
+      options.procs = static_cast<unsigned>(value);
+    } else {
+      std::cerr << "warning: ignoring unparseable CPC_PROCS='" << env << "'\n";
+    }
+  }
+  if (const char* env = std::getenv("CPC_SHARD_RLIMIT_MB")) {
+    if (!parse_u64(env, options.rlimit_as_mb, 1ull << 24)) {
+      std::cerr << "warning: ignoring unparseable CPC_SHARD_RLIMIT_MB='" << env
+                << "'\n";
+    }
+  }
+  if (const char* env = std::getenv("CPC_SHARD_SILENCE_MS")) {
+    if (!parse_u64(env, options.silence_budget_ms, 1ull << 32)) {
+      std::cerr << "warning: ignoring unparseable CPC_SHARD_SILENCE_MS='"
+                << env << "'\n";
+    }
+  }
+  return options;
+}
+
+ShardSupervisor::ShardSupervisor(ShardOptions options)
+    : options_(std::move(options)) {}
+
+RunReport ShardSupervisor::run(std::vector<Job> jobs) const {
+  const ShardOptions& options = options_;
+  unsigned procs = options.procs == 0 ? default_job_count() : options.procs;
+  if (!jobs.empty()) {
+    procs = static_cast<unsigned>(
+        std::min<std::size_t>(procs, jobs.size()));
+  }
+  if (procs <= 1 || !ipc::process_isolation_supported()) {
+    // Degraded mode: same containment semantics, one address space.
+    return SweepRunner().run_contained(std::move(jobs), options.run);
+  }
+
+  RunReport report;
+  report.results.resize(jobs.size());
+  std::vector<bool> done(jobs.size(), false);
+
+  // Journal restore — byte-compatible with run_contained's, so a sweep
+  // started in-process can resume sharded and vice versa.
+  std::unique_ptr<SweepJournal> journal;
+  if (!options.run.journal_path.empty()) {
+    const std::uint64_t fingerprint = grid_fingerprint(jobs);
+    SweepJournal::Restored prior = SweepJournal::load(
+        options.run.journal_path, fingerprint, jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (prior.results[i]) {
+        report.results[i] = std::move(*prior.results[i]);
+        done[i] = true;
+      }
+    }
+    report.resumed = prior.restored_ok;
+    journal = std::make_unique<SweepJournal>(
+        options.run.journal_path, fingerprint, jobs.size(),
+        /*append=*/prior.header_matched);
+    if (!options.run.quiet && report.resumed > 0) {
+      std::cerr << "  resuming: " << report.resumed << "/" << jobs.size()
+                << " jobs restored from " << options.run.journal_path << "\n";
+    }
+  }
+
+  std::vector<ShardTask> pending;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!done[i]) pending.push_back({i, 0});
+  }
+
+  std::deque<WorkerState> workers;
+  std::uint64_t next_shard_id = 0;
+  const auto spawn = [&](std::vector<ShardTask> tasks) {
+    workers.emplace_back();
+    WorkerState& w = workers.back();
+    w.tasks = std::move(tasks);
+    const std::uint64_t shard_id = next_shard_id++;
+    ipc::SpawnOptions spawn_options;
+    spawn_options.rlimit_as_mb = options.rlimit_as_mb;
+    // The child reads jobs/tasks/options through the fork-inherited
+    // address space; only result frames flow back through the pipe.
+    w.child = ipc::spawn_worker(spawn_options, [&](int write_fd) {
+      worker_body(write_fd, shard_id, jobs, w.tasks, options);
+    });
+    w.alive = w.child.valid();
+    w.silence.restart();
+    if (!w.alive && !options.run.quiet) {
+      std::cerr << "  shard " << shard_id << ": spawn failed\n";
+    }
+  };
+
+  // Initial round-robin partition. Sequential job indices land on
+  // different workers, spreading each workload's configs across shards.
+  for (unsigned p = 0; p < procs; ++p) {
+    std::vector<ShardTask> slice;
+    for (std::size_t i = p; i < pending.size(); i += procs) {
+      slice.push_back(pending[i]);
+    }
+    if (!slice.empty()) spawn(std::move(slice));
+  }
+
+  std::size_t completed = report.resumed;
+  const std::size_t total = jobs.size();
+  unsigned restarts_used = 0;
+
+  const auto record_failure = [&](JobFailure failure) {
+    if (done[failure.index]) return;
+    done[failure.index] = true;
+    ++completed;
+    if (journal) journal->record_failure(failure.index, failure.what);
+    if (!options.run.quiet) {
+      std::cerr << "  [" << completed << "/" << total << "] job "
+                << failure.index << " ("
+                << (failure.tag.empty() ? "untagged" : failure.tag)
+                << ") FAILED after " << failure.attempts
+                << " attempt(s): " << failure.what << "\n";
+    }
+    report.failures.push_back(std::move(failure));
+  };
+
+  const auto record_result = [&](JobResult result) {
+    if (done[result.index]) return;
+    const std::size_t index = result.index;
+    done[index] = true;
+    ++completed;
+    if (journal) journal->record_ok(result);
+    if (!options.run.quiet) {
+      const std::string& name = jobs[index].workload.name;
+      std::cerr << "  [" << completed << "/" << total << "] "
+                << (name.empty() ? "<trace>" : name) << "/"
+                << result.run.config << ": " << result.run.core.cycles
+                << " cycles (" << result.wall_seconds << "s)\n";
+    }
+    report.results[index] = std::move(result);
+  };
+
+  // Worker death: keep its finished jobs, charge the in-flight job one
+  // crash attempt, re-shard the rest onto a replacement (budget allowing).
+  const auto handle_death = [&](WorkerState& w, const ipc::ExitStatus& status,
+                                const std::string& reason) {
+    ipc::close_fd(w.child.read_fd);
+    w.alive = false;
+    std::vector<ShardTask> requeue;
+    for (const ShardTask& task : w.tasks) {
+      if (w.finished.count(task.job_index) || done[task.job_index]) continue;
+      ShardTask next = task;
+      if (w.in_flight && w.in_flight->job_index == task.job_index) {
+        next.process_attempt = w.in_flight->process_attempt + 1;
+        if (next.process_attempt > options.crash_retries) {
+          JobFailure failure;
+          failure.index = task.job_index;
+          failure.tag = jobs[task.job_index].tag;
+          JobFailure::Attempt attempt;
+          attempt.what = "worker died (" + describe_exit(status) +
+                         (reason.empty() ? "" : ", " + reason) +
+                         ") while running this job";
+          failure.history.assign(next.process_attempt, attempt);
+          failure.what = attempt.what;
+          failure.attempts = next.process_attempt;
+          record_failure(std::move(failure));
+          continue;
+        }
+      }
+      requeue.push_back(next);
+    }
+    w.in_flight.reset();
+    const bool clean = status.clean() && w.done_seen;
+    if (!clean && !options.run.quiet) {
+      std::cerr << "  shard worker died: " << describe_exit(status)
+                << (reason.empty() ? "" : " — " + reason) << ", "
+                << requeue.size() << " job(s) re-sharded\n";
+    }
+    if (requeue.empty()) return;
+    if (restarts_used >= options.restart_budget) {
+      for (const ShardTask& task : requeue) {
+        JobFailure failure;
+        failure.index = task.job_index;
+        failure.tag = jobs[task.job_index].tag;
+        JobFailure::Attempt attempt;
+        attempt.what = "worker restart budget exhausted (" +
+                       std::to_string(options.restart_budget) +
+                       " respawns) — job not re-run";
+        failure.history.push_back(attempt);
+        failure.what = attempt.what;
+        failure.attempts = 1;
+        record_failure(std::move(failure));
+      }
+      return;
+    }
+    // Deterministic, jitter-free exponential backoff: respawn r waits
+    // base << r (capped). Identical inputs replay identically.
+    const std::uint64_t backoff = std::min<std::uint64_t>(
+        options.backoff_base_ms << std::min(restarts_used, 5u), 2000);
+    ipc::sleep_ms(backoff);
+    ++restarts_used;
+    spawn(std::move(requeue));
+  };
+
+  const auto handle_frames = [&](WorkerState& w) {
+    ipc::Frame frame;
+    while (true) {
+      const ipc::FrameDecoder::Status status = w.decoder.next(frame);
+      if (status == ipc::FrameDecoder::Status::kNeedMore) return true;
+      if (status == ipc::FrameDecoder::Status::kCorrupt) return false;
+      switch (frame.type) {
+        case ipc::FrameType::kHello:
+        case ipc::FrameType::kHeartbeat:
+        case ipc::FrameType::kBlob:
+          break;  // liveness only (kBlob is tool-level, never in sweeps)
+        case ipc::FrameType::kJobStart: {
+          std::string_view payload(frame.payload);
+          std::uint64_t index = 0;
+          if (!ipc::get_u64(payload, index)) return false;
+          for (const ShardTask& task : w.tasks) {
+            if (task.job_index == index) {
+              w.in_flight = task;
+              break;
+            }
+          }
+          w.job_clock.restart();
+          break;
+        }
+        case ipc::FrameType::kResult: {
+          JournalEntry entry =
+              decode_journal_line(frame.payload, jobs.size());
+          if (entry.kind != JournalEntry::Kind::kOk) return false;
+          w.finished.insert(entry.index);
+          if (w.in_flight && w.in_flight->job_index == entry.index) {
+            w.in_flight.reset();
+          }
+          record_result(std::move(entry.result));
+          break;
+        }
+        case ipc::FrameType::kFailure: {
+          JobFailure failure;
+          if (!decode_failure_payload(frame.payload, failure)) return false;
+          if (failure.index >= jobs.size()) return false;
+          w.finished.insert(failure.index);
+          if (w.in_flight && w.in_flight->job_index == failure.index) {
+            w.in_flight.reset();
+          }
+          record_failure(std::move(failure));
+          break;
+        }
+        case ipc::FrameType::kDone: {
+          TraceCache::Stats stats;
+          if (!decode_stats_payload(frame.payload, stats)) return false;
+          report.trace_cache.merge(stats);
+          w.done_seen = true;
+          break;
+        }
+      }
+    }
+  };
+
+  std::vector<int> fds;
+  std::vector<std::size_t> fd_worker;
+  std::vector<bool> ready;
+  char buffer[4096];
+  while (true) {
+    fds.clear();
+    fd_worker.clear();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i].alive) {
+        fds.push_back(workers[i].child.read_fd);
+        fd_worker.push_back(i);
+      }
+    }
+    if (fds.empty()) break;
+    ipc::poll_readable(fds, 20, ready);
+
+    for (std::size_t slot = 0; slot < fds.size(); ++slot) {
+      if (!ready[slot]) continue;
+      WorkerState& w = workers[fd_worker[slot]];
+      if (!w.alive) continue;
+      const long n = ipc::read_some(w.child.read_fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        w.silence.restart();
+        w.decoder.feed(buffer, static_cast<std::size_t>(n));
+        if (!handle_frames(w)) {
+          // Protocol corruption: the stream cannot be trusted; treat the
+          // worker as crashed.
+          ipc::kill_hard(w.child);
+          const ipc::ExitStatus status = ipc::wait_blocking(w.child);
+          handle_death(w, status, "corrupt result stream");
+        }
+      } else {
+        // EOF (or read error): the worker is gone; classify via waitpid.
+        const ipc::ExitStatus status = ipc::wait_blocking(w.child);
+        handle_death(w, status, "");
+      }
+    }
+
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      WorkerState& w = workers[i];
+      if (!w.alive) continue;
+      const auto ms = [](const Stopwatch& clock) {
+        return static_cast<std::uint64_t>(clock.seconds() * 1000.0);
+      };
+      if (options.silence_budget_ms > 0 &&
+          ms(w.silence) > options.silence_budget_ms) {
+        ipc::kill_hard(w.child);
+        const ipc::ExitStatus status = ipc::wait_blocking(w.child);
+        handle_death(w, status,
+                     "no frames for " + std::to_string(ms(w.silence)) +
+                         "ms (hung)");
+        continue;
+      }
+      if (options.run.job_timeout_ms > 0 && w.in_flight &&
+          ms(w.job_clock) >
+              options.run.job_timeout_ms + options.kill_grace_ms) {
+        ipc::kill_hard(w.child);
+        const ipc::ExitStatus status = ipc::wait_blocking(w.child);
+        handle_death(w, status,
+                     "job exceeded wall-clock budget and the grace period");
+      }
+    }
+  }
+
+  // Safety net: a job neither reported nor requeued (spawn failure with an
+  // exhausted budget) must still surface — zero silently-lost jobs.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (done[i]) continue;
+    JobFailure failure;
+    failure.index = i;
+    failure.tag = jobs[i].tag;
+    JobFailure::Attempt attempt;
+    attempt.what = "job was never executed (worker spawn failed)";
+    failure.history.push_back(attempt);
+    failure.what = attempt.what;
+    record_failure(std::move(failure));
+  }
+
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const JobFailure& a, const JobFailure& b) {
+              return a.index < b.index;
+            });
+  report.worker_restarts = restarts_used;
+  return report;
+}
+
+RunReport SweepRunner::run_sharded(std::vector<Job> jobs,
+                                   const ShardOptions& options) const {
+  return ShardSupervisor(options).run(std::move(jobs));
+}
+
+}  // namespace cpc::sim

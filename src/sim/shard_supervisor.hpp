@@ -1,0 +1,103 @@
+#pragma once
+// ShardSupervisor — process-sharded sweep execution with crash isolation.
+//
+// run_contained (sim/sweep_runner.hpp) contains C++ exceptions; it cannot
+// contain process death (segfault, OOM kill, runaway allocation, a hard
+// hang). The supervisor adds that boundary: the job grid is partitioned
+// round-robin across N fork()ed workers, each worker simulates its slice
+// in-process (reusing the containment/retry/watchdog machinery on
+// single-job grids) and streams per-job results back over a CRC-guarded
+// frame pipe (sim/ipc.hpp) whose result payloads are journal `ok` lines —
+// the same schema-pinned wire format the resume journal uses.
+//
+// Supervision, per worker:
+//   * heartbeat frames every `heartbeat_ms`; any frame refreshes the
+//     silence clock, and a worker silent for `silence_budget_ms` is
+//     SIGKILLed (catches hard hangs that cooperative cancellation cannot).
+//   * when `run.job_timeout_ms` is set, a job running past the budget plus
+//     `kill_grace_ms` is SIGKILLed too — the in-worker watchdog gets the
+//     grace window to cancel cooperatively first.
+//   * setrlimit(RLIMIT_AS) fences runaway allocations to the worker
+//     (`rlimit_as_mb`; skipped under AddressSanitizer).
+//
+// A worker that dies by any signal is contained: its completed jobs are
+// kept, the job it was running is retried up to `crash_retries` times
+// (then recorded as a JobFailure naming the signal), its remaining jobs
+// are re-sharded onto a replacement worker, and respawns draw from a
+// bounded `restart_budget` with deterministic exponential backoff (no
+// jitter — reseeding is jitterless so a re-run of a crashed job replays
+// the identical simulation). Results merge in job-index order, so N-process
+// output is bit-identical to the serial run; the journal makes a killed
+// *supervisor* resumable exactly like run_contained.
+//
+// Crash-path testing: CPC_CRASH_JOB=<index>:<mode> makes the worker that
+// picks up job <index> die deterministically on its first attempt —
+// modes segv, abort, oom, hang, exit3 (docs/robustness.md).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sweep_runner.hpp"
+
+namespace cpc::sim {
+
+/// Policy knobs for process-sharded sweeps. Defaults are production-safe;
+/// tests tighten the clocks via the environment.
+struct ShardOptions {
+  /// Worker process count; 0 resolves like CPC_JOBS (default_job_count).
+  /// 1 (or an unsupported platform) degrades to in-process run_contained.
+  unsigned procs = 0;
+
+  /// Per-job containment policy, applied inside each worker (retries,
+  /// cooperative watchdog, quiet) and to the supervisor-side journal.
+  RunOptions run;
+
+  /// RLIMIT_AS soft cap per worker in MiB; 0 = no fence.
+  std::uint64_t rlimit_as_mb = 0;
+
+  /// Worker heartbeat period.
+  std::uint64_t heartbeat_ms = 50;
+
+  /// A worker producing no frame for this long is presumed hung and
+  /// SIGKILLed. Must comfortably exceed heartbeat_ms plus the longest
+  /// uninterruptible stretch (trace generation).
+  std::uint64_t silence_budget_ms = 30'000;
+
+  /// Grace on top of run.job_timeout_ms before the supervisor SIGKILLs a
+  /// worker whose in-process watchdog failed to cancel the job.
+  std::uint64_t kill_grace_ms = 2'000;
+
+  /// Total worker respawns allowed across the sweep. Once exhausted, the
+  /// dead worker's unfinished jobs are recorded as failures.
+  unsigned restart_budget = 8;
+
+  /// Times a job whose worker died mid-run is retried (in a fresh worker)
+  /// before being recorded as failed. Distinct from run.retries, which
+  /// handles in-process exceptions.
+  unsigned crash_retries = 1;
+
+  /// Deterministic backoff before respawn r: backoff_base_ms << r, capped
+  /// at 2s. No jitter — restarts must be reproducible.
+  std::uint64_t backoff_base_ms = 50;
+
+  /// Reads CPC_PROCS, CPC_SHARD_RLIMIT_MB and CPC_SHARD_SILENCE_MS on top
+  /// of RunOptions::from_env().
+  static ShardOptions from_env();
+};
+
+class ShardSupervisor {
+ public:
+  explicit ShardSupervisor(ShardOptions options);
+
+  /// Executes the grid across worker processes and returns the merged
+  /// report (results in job-index order, failures sorted, trace-cache
+  /// stats summed across workers, worker_restarts counted). Never throws
+  /// for job or worker failures; throws only for supervisor-level errors
+  /// (unopenable journal).
+  RunReport run(std::vector<Job> jobs) const;
+
+ private:
+  ShardOptions options_;
+};
+
+}  // namespace cpc::sim

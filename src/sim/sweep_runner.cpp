@@ -14,6 +14,7 @@
 
 #include "sim/bench_meter.hpp"
 #include "sim/journal.hpp"
+#include "sim/trace_codec.hpp"
 
 namespace cpc::sim {
 
@@ -32,43 +33,174 @@ unsigned default_job_count() {
 
 struct TraceCache::Entry {
   std::string name;
-  std::uint64_t trace_ops;
-  std::uint64_t seed;
+  std::uint64_t trace_ops = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t last_use = 0;  ///< LRU clock value of the latest touch
+  /// Decoded tier: null while generating or after demotion.
+  std::shared_ptr<const cpu::Trace> decoded;
+  /// Compressed tier: built once at generation time in bounded caches and
+  /// kept until the whole entry is dropped. Shared so an on-demand decode
+  /// can read the blob outside the lock while an eviction races it.
+  std::shared_ptr<const std::vector<std::uint8_t>> compressed;
+  /// In-flight generation; co-requesters wait here.
   std::shared_future<std::shared_ptr<const cpu::Trace>> future;
 };
 
-TraceCache::TraceCache() = default;
+std::uint64_t TraceCache::capacity_from_env() {
+  constexpr std::uint64_t kDefaultBytes = 512ull << 20;
+  constexpr std::uint64_t kMaxMb = 1ull << 24;  // 16 TiB: shift cannot wrap
+  if (const char* env = std::getenv("CPC_TRACE_CACHE_MB")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && value <= kMaxMb) {
+      return static_cast<std::uint64_t>(value) << 20;  // 0 = unbounded
+    }
+    std::cerr << "warning: ignoring unparseable CPC_TRACE_CACHE_MB='" << env
+              << "'\n";
+  }
+  return kDefaultBytes;
+}
+
+TraceCache::TraceCache() : TraceCache(capacity_from_env()) {}
+TraceCache::TraceCache(std::uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
 TraceCache::~TraceCache() = default;
+
+void TraceCache::Stats::merge(const Stats& other) {
+  hits += other.hits;
+  compressed_hits += other.compressed_hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  compressed_evictions += other.compressed_evictions;
+  decoded_bytes += other.decoded_bytes;
+  compressed_bytes += other.compressed_bytes;
+}
+
+TraceCache::Stats TraceCache::stats() const {
+  const MutexLock lock(mutex_);
+  return stats_;
+}
+
+TraceCache::Entry* TraceCache::find_locked(const workload::Workload& workload,
+                                           std::uint64_t trace_ops,
+                                           std::uint64_t seed) {
+  for (const auto& entry : entries_) {
+    if (entry->name == workload.name && entry->trace_ops == trace_ops &&
+        entry->seed == seed) {
+      return entry.get();
+    }
+  }
+  return nullptr;
+}
+
+void TraceCache::enforce_budget_locked() {
+  if (capacity_bytes_ == 0) return;
+  // Demotions first — cheap, the compressed sidecar already exists. The
+  // entry just touched carries the newest tick, so it is demoted last.
+  while (stats_.decoded_bytes + stats_.compressed_bytes > capacity_bytes_) {
+    Entry* victim = nullptr;
+    for (const auto& entry : entries_) {
+      if (!entry->decoded) continue;
+      if (victim == nullptr || entry->last_use < victim->last_use) {
+        victim = entry.get();
+      }
+    }
+    if (victim == nullptr) break;  // nothing left to demote
+    stats_.decoded_bytes -=
+        victim->decoded->size() * sizeof(cpu::MicroOp);
+    victim->decoded.reset();
+    ++stats_.evictions;
+  }
+  // Still over (the blobs alone exceed the cap): drop whole LRU entries;
+  // their traces regenerate from the workload on the next request.
+  while (stats_.compressed_bytes > capacity_bytes_) {
+    std::size_t victim = entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& entry = *entries_[i];
+      if (entry.decoded || !entry.compressed) continue;  // hot or in flight
+      if (victim == entries_.size() ||
+          entry.last_use < entries_[victim]->last_use) {
+        victim = i;
+      }
+    }
+    if (victim == entries_.size()) break;
+    stats_.compressed_bytes -= entries_[victim]->compressed->size();
+    ++stats_.compressed_evictions;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+}
 
 std::shared_ptr<const cpu::Trace> TraceCache::get(
     const workload::Workload& workload, std::uint64_t trace_ops,
     std::uint64_t seed) {
   std::promise<std::shared_ptr<const cpu::Trace>> promise;
-  std::shared_future<std::shared_ptr<const cpu::Trace>> existing;
+  std::shared_future<std::shared_ptr<const cpu::Trace>> in_flight;
+  std::shared_ptr<const std::vector<std::uint8_t>> blob;
   {
     const MutexLock lock(mutex_);
-    for (const auto& entry : entries_) {
-      if (entry->name == workload.name && entry->trace_ops == trace_ops &&
-          entry->seed == seed) {
-        existing = entry->future;
-        break;
+    ++tick_;
+    if (Entry* entry = find_locked(workload, trace_ops, seed)) {
+      entry->last_use = tick_;
+      if (entry->decoded) {
+        ++stats_.hits;
+        return entry->decoded;
       }
-    }
-    if (!existing.valid()) {
-      auto entry = std::make_unique<Entry>();
-      entry->name = workload.name;
-      entry->trace_ops = trace_ops;
-      entry->seed = seed;
-      entry->future = promise.get_future().share();
-      entries_.push_back(std::move(entry));
+      if (entry->compressed) {
+        ++stats_.compressed_hits;
+        blob = entry->compressed;  // decode on demand, outside the lock
+      } else {
+        ++stats_.hits;  // generation in flight; join it below
+        in_flight = entry->future;
+      }
+    } else {
+      ++stats_.misses;
+      auto fresh = std::make_unique<Entry>();
+      fresh->name = workload.name;
+      fresh->trace_ops = trace_ops;
+      fresh->seed = seed;
+      fresh->last_use = tick_;
+      fresh->future = promise.get_future().share();
+      entries_.push_back(std::move(fresh));
     }
   }
-  if (existing.valid()) return existing.get();  // wait outside the lock
+  if (in_flight.valid()) return in_flight.get();  // wait outside the lock
+  if (blob) {
+    auto trace =
+        std::make_shared<const cpu::Trace>(trace_codec::decompress(*blob));
+    const MutexLock lock(mutex_);
+    if (Entry* entry = find_locked(workload, trace_ops, seed)) {
+      if (!entry->decoded) {  // promote (a racing decode may have won)
+        entry->decoded = trace;
+        stats_.decoded_bytes += trace->size() * sizeof(cpu::MicroOp);
+        enforce_budget_locked();
+      }
+      entry->last_use = tick_;
+    }
+    return trace;
+  }
   // First requester generates outside the lock; co-waiters block on the
   // shared_future instead of regenerating.
   try {
     auto trace = std::make_shared<const cpu::Trace>(
         workload::generate(workload, {trace_ops, seed}));
+    std::shared_ptr<const std::vector<std::uint8_t>> compressed;
+    if (capacity_bytes_ != 0) {
+      compressed = std::make_shared<const std::vector<std::uint8_t>>(
+          trace_codec::compress(*trace));
+    }
+    {
+      const MutexLock lock(mutex_);
+      if (Entry* entry = find_locked(workload, trace_ops, seed)) {
+        entry->decoded = trace;
+        entry->compressed = std::move(compressed);
+        entry->last_use = tick_;
+        stats_.decoded_bytes += trace->size() * sizeof(cpu::MicroOp);
+        if (entry->compressed) {
+          stats_.compressed_bytes += entry->compressed->size();
+        }
+        enforce_budget_locked();
+      }
+    }
     promise.set_value(trace);
     return trace;
   } catch (...) {
@@ -290,9 +422,7 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
     failure.tag = job.tag;
     const unsigned attempts = 1 + options.retries;
     for (unsigned attempt = 0; attempt < attempts; ++attempt) {
-      failure.attempts = attempt + 1;
-      failure.timed_out = false;
-      failure.diagnostic.reset();
+      JobFailure::Attempt record;
       std::atomic<bool> cancel{false};
       Job guarded = job;  // per-attempt cancel wiring; the job stays const
       guarded.core_config.cancel = watchdog.enabled() ? &cancel : nullptr;
@@ -302,16 +432,27 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
         execute_job(guarded, i, traces, out);
         break;
       } catch (const InvariantViolation& violation) {
-        failure.what = violation.what();
-        failure.diagnostic = violation.diagnostic();
+        record.what = violation.what();
+        record.diagnostic = violation.diagnostic();
       } catch (const cpu::SimulationCancelled& cancelled) {
-        failure.what = cancelled.what();
-        failure.timed_out = true;
+        record.what = cancelled.what();
+        record.timed_out = true;
       } catch (const std::exception& error) {
-        failure.what = error.what();
+        record.what = error.what();
       } catch (...) {
-        failure.what = "unknown exception";
+        record.what = "unknown exception";
       }
+      // Every failing attempt is appended; the primary fields below report
+      // the first one, so a retry that fails differently (e.g. watchdog
+      // trip, then a clean error) cannot overwrite the root cause.
+      failure.history.push_back(std::move(record));
+    }
+    if (!out.ok && !failure.history.empty()) {
+      const JobFailure::Attempt& first = failure.history.front();
+      failure.what = first.what;
+      failure.timed_out = first.timed_out;
+      failure.diagnostic = first.diagnostic;
+      failure.attempts = static_cast<unsigned>(failure.history.size());
     }
 
     const std::size_t done = completed.fetch_add(1) + 1;
@@ -340,6 +481,7 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
 
   std::sort(report.failures.begin(), report.failures.end(),
             [](const JobFailure& a, const JobFailure& b) { return a.index < b.index; });
+  report.trace_cache = traces.stats();
   return report;
 }
 

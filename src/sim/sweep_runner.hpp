@@ -31,18 +31,59 @@ unsigned default_job_count();
 /// Deduplicates trace generation across the jobs of one sweep: jobs sharing
 /// a (workload, ops, seed) key block on one generation instead of each
 /// regenerating the trace. Thread-safe.
+///
+/// Memory is bounded (ZipCache-style two-tier store): decoded traces live
+/// in an LRU tier charged at 16 bytes/op; when the byte budget overflows,
+/// the least-recently-used decoded trace is demoted to a compact
+/// delta-varint blob (sim/trace_codec.hpp) and decoded on demand at its
+/// next hit; if the budget still overflows, whole LRU blobs are dropped and
+/// their traces regenerate from the workload on the next request. The
+/// budget comes from CPC_TRACE_CACHE_MB (default 512 MiB; 0 = unbounded,
+/// which also skips the compression pass entirely).
 class TraceCache {
  public:
-  TraceCache();
+  /// Counters a sweep reports (RunReport::trace_cache). Byte fields are the
+  /// tiers' footprints when the snapshot was taken, not cumulative totals.
+  struct Stats {
+    std::uint64_t hits = 0;             ///< served from the decoded tier
+    std::uint64_t compressed_hits = 0;  ///< decoded on demand from tier 2
+    std::uint64_t misses = 0;           ///< full workload generation
+    std::uint64_t evictions = 0;        ///< decoded → compressed demotions
+    std::uint64_t compressed_evictions = 0;  ///< entries dropped entirely
+    std::uint64_t decoded_bytes = 0;
+    std::uint64_t compressed_bytes = 0;
+
+    /// Accumulates `other` (sharded sweeps sum their workers' stats).
+    void merge(const Stats& other);
+  };
+
+  /// Budget from CPC_TRACE_CACHE_MB: a parseable value is MiB (0 disables
+  /// the bound), anything else falls back to the 512 MiB default.
+  static std::uint64_t capacity_from_env();
+
+  TraceCache();  ///< capacity_from_env()
+  explicit TraceCache(std::uint64_t capacity_bytes);
   ~TraceCache();  // out-of-line: Entry is incomplete here
 
   std::shared_ptr<const cpu::Trace> get(const workload::Workload& workload,
                                         std::uint64_t trace_ops,
                                         std::uint64_t seed);
 
+  Stats stats() const;
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+
  private:
   struct Entry;
-  Mutex mutex_;
+  Entry* find_locked(const workload::Workload& workload,
+                     std::uint64_t trace_ops, std::uint64_t seed)
+      CPC_REQUIRES(mutex_);
+  /// Demotes/drops LRU entries until the two tiers fit the budget.
+  void enforce_budget_locked() CPC_REQUIRES(mutex_);
+
+  const std::uint64_t capacity_bytes_;
+  mutable Mutex mutex_;
+  std::uint64_t tick_ CPC_GUARDED_BY(mutex_) = 0;  ///< LRU clock
+  Stats stats_ CPC_GUARDED_BY(mutex_);
   /// Keyed dedup table. Only the table itself is guarded: each Entry's
   /// shared_future is internally synchronized, so waiting on a generation
   /// in flight happens outside the lock.
@@ -50,15 +91,29 @@ class TraceCache {
 };
 
 /// One failed job of a contained sweep (SweepRunner::run_contained).
+///
+/// The primary fields report the FIRST failing attempt — the root cause.
+/// A job that trips the watchdog and then fails its retry differently must
+/// not have the original cause overwritten by the retry's error; the full
+/// per-attempt record lives in `history`.
 struct JobFailure {
+  /// One failing attempt of this job, in attempt order.
+  struct Attempt {
+    std::string what;
+    bool timed_out = false;  ///< the watchdog cancelled this attempt
+    /// Set when this attempt died on an InvariantViolation.
+    std::optional<Diagnostic> diagnostic;
+  };
+
   std::size_t index = 0;
   std::string tag;
-  std::string what;  ///< final attempt's exception text
-  /// Set when the failure was an InvariantViolation (structured identity of
-  /// the tripped invariant).
+  std::string what;  ///< first failing attempt's exception text (root cause)
+  /// Set when the first failing attempt was an InvariantViolation
+  /// (structured identity of the tripped invariant).
   std::optional<Diagnostic> diagnostic;
-  bool timed_out = false;  ///< the watchdog cancelled the final attempt
+  bool timed_out = false;  ///< the watchdog cancelled the first attempt
   unsigned attempts = 1;   ///< total attempts consumed (1 + retries used)
+  std::vector<Attempt> history;  ///< every failing attempt, in order
 };
 
 /// Policy knobs for run_contained.
@@ -86,6 +141,10 @@ struct RunReport {
   std::vector<JobResult> results;
   std::vector<JobFailure> failures;
   std::size_t resumed = 0;  ///< jobs restored from the journal, not re-run
+  /// Trace-cache behaviour of the sweep (sharded runs sum their workers').
+  TraceCache::Stats trace_cache;
+  /// Worker respawns a sharded run consumed (0 for in-process sweeps).
+  unsigned worker_restarts = 0;
   bool all_ok() const { return failures.empty(); }
 };
 
@@ -117,6 +176,15 @@ class SweepRunner {
   /// resumes where it left off. Unlike run(), never throws for job errors.
   RunReport run_contained(std::vector<Job> jobs,
                           const RunOptions& options = {}) const;
+
+  /// Process-sharded variant of run_contained(): the grid is partitioned
+  /// across forked worker processes supervised for crashes, hangs and OOM
+  /// kills (sim/shard_supervisor.hpp — defined there, next to the
+  /// supervisor it delegates to). Merged output is bit-identical to the
+  /// serial run; falls back to run_contained when process isolation is
+  /// unavailable or one process is requested.
+  RunReport run_sharded(std::vector<Job> jobs,
+                        const struct ShardOptions& options) const;
 
  private:
   unsigned threads_;

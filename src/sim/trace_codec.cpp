@@ -1,0 +1,145 @@
+#include "sim/trace_codec.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace cpc::sim::trace_codec {
+
+namespace {
+
+// Header byte layout. The low nibble holds the OpKind (9 enumerators fit
+// with room to spare); kRawEscape marks an op stored as its raw 16 bytes —
+// taken when the flags field carries bits this codec does not model, so a
+// future MicroOp flag can never be silently dropped.
+constexpr std::uint8_t kKindMask = 0x0f;
+constexpr std::uint8_t kRawEscape = 0x0f;
+constexpr std::uint8_t kBitTaken = 0x10;
+constexpr std::uint8_t kBitDep1 = 0x20;
+constexpr std::uint8_t kBitDep2 = 0x40;
+constexpr std::uint8_t kBitValue = 0x80;
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint32_t zigzag(std::uint32_t delta) {
+  const auto s = static_cast<std::int32_t>(delta);
+  return (static_cast<std::uint32_t>(s) << 1) ^
+         static_cast<std::uint32_t>(s >> 31);
+}
+
+std::uint32_t unzigzag(std::uint32_t z) {
+  return (z >> 1) ^ (~(z & 1u) + 1u);
+}
+
+/// Blob cursor with hard bounds checks; every read validates before
+/// touching memory.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  std::uint8_t byte() {
+    CPC_CHECK(pos < size, "trace codec: truncated blob (header byte)");
+    return data[pos++];
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      CPC_CHECK(pos < size && shift < 64,
+                "trace codec: truncated or overlong varint");
+      const std::uint8_t b = data[pos++];
+      value |= static_cast<std::uint64_t>(b & 0x7fu) << shift;
+      if ((b & 0x80u) == 0) return value;
+      shift += 7;
+    }
+  }
+
+  void raw(void* out, std::size_t n) {
+    CPC_CHECK(pos + n <= size, "trace codec: truncated raw escape");
+    std::memcpy(out, data + pos, n);
+    pos += n;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(const cpu::Trace& trace) {
+  std::vector<std::uint8_t> out;
+  out.reserve(trace.size() * 5 + 10);  // typical: ~4-5 bytes/op
+  put_varint(out, trace.size());
+  std::uint32_t prev_pc = 0;
+  std::uint32_t prev_addr = 0;
+  for (const cpu::MicroOp& op : trace) {
+    const std::uint8_t extra_flags =
+        static_cast<std::uint8_t>(op.flags & ~cpu::MicroOp::kFlagTaken);
+    if (extra_flags != 0 ||
+        static_cast<std::uint8_t>(op.kind) >= kRawEscape) {
+      out.push_back(kRawEscape);
+      const std::size_t at = out.size();
+      out.resize(at + sizeof(cpu::MicroOp));
+      std::memcpy(out.data() + at, &op, sizeof(cpu::MicroOp));
+    } else {
+      std::uint8_t header = static_cast<std::uint8_t>(op.kind);
+      if ((op.flags & cpu::MicroOp::kFlagTaken) != 0) header |= kBitTaken;
+      if (op.dep1 != 0) header |= kBitDep1;
+      if (op.dep2 != 0) header |= kBitDep2;
+      if (op.value != 0) header |= kBitValue;
+      out.push_back(header);
+      put_varint(out, zigzag(op.pc - prev_pc));
+      put_varint(out, zigzag(op.addr - prev_addr));
+      if (op.value != 0) put_varint(out, op.value);
+      if (op.dep1 != 0) out.push_back(op.dep1);
+      if (op.dep2 != 0) out.push_back(op.dep2);
+    }
+    prev_pc = op.pc;
+    prev_addr = op.addr;
+  }
+  out.shrink_to_fit();
+  return out;
+}
+
+cpu::Trace decompress(const std::vector<std::uint8_t>& blob) {
+  Reader in{blob.data(), blob.size()};
+  const std::uint64_t count = in.varint();
+  // A count implying more bytes than the blob could possibly hold (one
+  // header byte minimum per op) is corruption, not a big trace.
+  CPC_CHECK(count <= blob.size(),
+            "trace codec: op count exceeds blob capacity");
+  cpu::Trace trace;
+  trace.reserve(count);
+  std::uint32_t prev_pc = 0;
+  std::uint32_t prev_addr = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t header = in.byte();
+    cpu::MicroOp op;
+    if ((header & kKindMask) == kRawEscape) {
+      in.raw(&op, sizeof(cpu::MicroOp));
+    } else {
+      op.kind = static_cast<cpu::OpKind>(header & kKindMask);
+      op.flags = (header & kBitTaken) != 0 ? cpu::MicroOp::kFlagTaken
+                                           : std::uint8_t{0};
+      op.pc = prev_pc + unzigzag(static_cast<std::uint32_t>(in.varint()));
+      op.addr = prev_addr + unzigzag(static_cast<std::uint32_t>(in.varint()));
+      op.value = (header & kBitValue) != 0
+                     ? static_cast<std::uint32_t>(in.varint())
+                     : 0;
+      op.dep1 = (header & kBitDep1) != 0 ? in.byte() : std::uint8_t{0};
+      op.dep2 = (header & kBitDep2) != 0 ? in.byte() : std::uint8_t{0};
+    }
+    prev_pc = op.pc;
+    prev_addr = op.addr;
+    trace.push_back(op);
+  }
+  CPC_CHECK(in.pos == in.size, "trace codec: trailing bytes after last op");
+  return trace;
+}
+
+}  // namespace cpc::sim::trace_codec

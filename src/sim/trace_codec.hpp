@@ -1,0 +1,31 @@
+#pragma once
+// Compact in-RAM encoding of micro-op traces for the bounded TraceCache's
+// compressed tier (sim/sweep_runner.hpp). Kernel traces are dense delta
+// streams — consecutive pcs and effective addresses differ by small strides,
+// most ops carry no value and short dependence distances — so a per-op
+// header byte plus zigzag-varint deltas compresses them 3-6x. This is the
+// ZipCache-style "compressed RAM tier": entries demoted from the decoded
+// tier keep their bytes here and are decoded on demand instead of being
+// regenerated from the workload.
+//
+// The format is an internal cache representation, not a wire format: blobs
+// never leave the process and carry no version header. Round-trip fidelity
+// is absolute — decompress(compress(t)) == t bit-for-bit, with a raw-escape
+// path for any op whose flags a future MicroOp revision may add.
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/micro_op.hpp"
+
+namespace cpc::sim::trace_codec {
+
+/// Encodes `trace` into a self-describing blob (leading varint op count).
+std::vector<std::uint8_t> compress(const cpu::Trace& trace);
+
+/// Exact inverse of compress(). Throws InvariantViolation (kGeneric) on a
+/// truncated or malformed blob — cache memory corrupting is an invariant
+/// failure, not an input error.
+cpu::Trace decompress(const std::vector<std::uint8_t>& blob);
+
+}  // namespace cpc::sim::trace_codec

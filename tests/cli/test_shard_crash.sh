@@ -1,0 +1,87 @@
+#!/bin/sh
+# Crash matrix for process-sharded sweeps (sim/shard_supervisor.hpp): every
+# CPC_CRASH_JOB mode (segv, abort, exit3, hang, oom) must be contained —
+# the sweep exits 0 and its deterministic CSV columns are byte-identical to
+# the serial run — and a SIGKILLed *supervisor* must resume from its journal.
+# Usage: test_shard_crash.sh <dir-with-tool-binaries>
+set -u
+
+BIN="${1:?usage: test_shard_crash.sh <tool-dir>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+CONFIGS="BC,BCC,HAC,BCP,CPP"
+
+fail() {
+  echo "FAIL: $1" >&2
+  [ -f "$TMP/stderr" ] && sed 's/^/  stderr: /' "$TMP/stderr" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# The timing columns (wall_seconds, ops_per_sec) legitimately differ between
+# runs; everything before them must not.
+deterministic_csv() { cut -d, -f1-6 "$1"; }
+
+"$BIN/cpc_tracegen" olden.treeadd "$TMP/t.cpctrace" 60000 >/dev/null 2>&1 \
+  || { echo "FAIL: cpc_tracegen" >&2; exit 1; }
+
+# --- serial baseline ---------------------------------------------------------
+"$BIN/cpc_run" --sweep "$TMP/t.cpctrace" "$CONFIGS" \
+  >"$TMP/serial.csv" 2>"$TMP/stderr" || { fail "serial sweep"; exit 1; }
+
+# --- clean sharded run is bit-identical --------------------------------------
+"$BIN/cpc_run" --sweep --procs 3 "$TMP/t.cpctrace" "$CONFIGS" \
+  >"$TMP/sharded.csv" 2>"$TMP/stderr" || fail "clean --procs 3 sweep"
+if ! deterministic_csv "$TMP/serial.csv" >"$TMP/a"; then fail "cut serial"; fi
+deterministic_csv "$TMP/sharded.csv" >"$TMP/b"
+cmp -s "$TMP/a" "$TMP/b" || fail "clean sharded CSV differs from serial"
+echo "ok: clean --procs 3 matches serial"
+
+# --- the five crash modes ----------------------------------------------------
+# Job 2 of the 5-config grid dies on its first attempt; the retried attempt
+# must complete and the merged output must still match the serial run.
+for mode in segv abort exit3 hang oom; do
+  case "$mode" in
+    hang) extra_env="CPC_SHARD_SILENCE_MS=1500" ;;
+    oom)  extra_env="CPC_SHARD_RLIMIT_MB=192" ;;
+    *)    extra_env="" ;;
+  esac
+  if env CPC_CRASH_JOB="2:$mode" ${extra_env:+$extra_env} \
+      "$BIN/cpc_run" --sweep --procs 3 "$TMP/t.cpctrace" "$CONFIGS" \
+      >"$TMP/crash.csv" 2>"$TMP/stderr"; then
+    deterministic_csv "$TMP/crash.csv" >"$TMP/b"
+    if cmp -s "$TMP/a" "$TMP/b"; then
+      echo "ok: crash mode $mode contained, output identical"
+    else
+      fail "crash mode $mode: CSV differs from serial"
+    fi
+    grep -q "shard worker died" "$TMP/stderr" \
+      || fail "crash mode $mode: no worker death reported on stderr"
+  else
+    fail "crash mode $mode: sweep exited non-zero"
+  fi
+done
+
+# --- killed supervisor resumes from its journal ------------------------------
+# SIGKILL the whole sharded run shortly after it starts; whatever was
+# journaled before the kill restores, the rest re-runs, and the final CSV is
+# still identical to serial. (If the run won the race and finished, the
+# resume pass restores everything — the assertion holds either way.)
+"$BIN/cpc_run" --sweep --procs 2 --journal "$TMP/resume.journal" \
+  "$TMP/t.cpctrace" "$CONFIGS" >/dev/null 2>&1 &
+SUPERVISOR=$!
+sleep 0.2
+kill -9 "$SUPERVISOR" 2>/dev/null
+wait "$SUPERVISOR" 2>/dev/null
+"$BIN/cpc_run" --sweep --procs 2 --journal "$TMP/resume.journal" \
+  "$TMP/t.cpctrace" "$CONFIGS" >"$TMP/resumed.csv" 2>"$TMP/stderr" \
+  || fail "journal resume pass exited non-zero"
+deterministic_csv "$TMP/resumed.csv" >"$TMP/b"
+cmp -s "$TMP/a" "$TMP/b" || fail "resumed CSV differs from serial"
+echo "ok: supervisor kill + journal resume"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES shard-crash check(s) failed" >&2
+  exit 1
+fi
+echo "all shard-crash checks passed"

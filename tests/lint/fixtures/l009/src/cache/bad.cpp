@@ -1,0 +1,14 @@
+// CPC-L009 seeded violation: raw process management outside sim/ipc.cpp.
+// (Never compiled — fixture corpus only.)
+
+int bad_spawn_and_reap() {
+  int fds[2];
+  if (pipe(fds) != 0) return -1;
+  const long pid = fork();
+  if (pid == 0) return 0;  // child
+  int status = 0;
+  waitpid(static_cast<int>(pid), &status, 0);
+  kill(static_cast<int>(pid), 9);
+  killpg(static_cast<int>(pid), 9);
+  return status;
+}

@@ -1,0 +1,15 @@
+// CPC-L009 clean twin: identifiers that merely contain the syscall names
+// (forked_path, pipeline, killer), members named like them (.kill()), and
+// qualified wrappers (ipc::kill_hard) must not match.
+
+struct Watchdog;
+Watchdog& the_watchdog();
+Watchdog* watchdog_ptr();
+
+int forked_path_pipeline(int killer) {
+  the_watchdog().kill();   // member .kill() is not ::kill()
+  watchdog_ptr()->fork();  // member ->fork() is not ::fork()
+  int pipeline = 2;        // substring 'pipe' inside an identifier
+  int forkful = killer;    // substring 'fork'
+  return pipeline + forkful;
+}

@@ -21,3 +21,8 @@ int waived_default(Gear gear) {
     default: return 0;
   }
 }
+
+long waived_fork() {
+  // a hypothetical one-off spawn outside the ipc layer — deliberate
+  return fork();  // cpc-lint: allow(CPC-L009)
+}

@@ -37,7 +37,7 @@ expect_clean() {
   fi
 }
 
-for n in 1 2 3 4 5 6 7 8; do
+for n in 1 2 3 4 5 6 7 8 9; do
   id="CPC-L00$n"
   dir="$fixtures/l00$n"
   [ -d "$dir" ] || { fail "missing fixture dir $dir"; continue; }

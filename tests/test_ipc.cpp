@@ -1,0 +1,209 @@
+// The shard-supervisor wire protocol (sim/ipc.hpp): CRC vectors, frame
+// round-trips under arbitrary chunking, corruption poisoning, payload
+// packers, and the POSIX process wrappers themselves.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/ipc.hpp"
+
+namespace cpc::sim::ipc {
+namespace {
+
+TEST(Crc32, MatchesKnownVectors) {
+  // Standard IEEE 802.3 check values.
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(FrameCodec, RoundTripsEveryTypeInOneFeed) {
+  FrameDecoder decoder;
+  std::string stream;
+  for (std::uint8_t t = 0; t < kFrameTypeCount; ++t) {
+    stream += encode_frame(static_cast<FrameType>(t),
+                           "payload-" + std::to_string(t));
+  }
+  decoder.feed(stream);
+  Frame frame;
+  for (std::uint8_t t = 0; t < kFrameTypeCount; ++t) {
+    ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame) << int(t);
+    EXPECT_EQ(frame.type, static_cast<FrameType>(t));
+    EXPECT_EQ(frame.payload, "payload-" + std::to_string(t));
+  }
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kNeedMore);
+  EXPECT_FALSE(decoder.corrupt());
+}
+
+TEST(FrameCodec, SurvivesByteAtATimeChunking) {
+  const std::string stream =
+      encode_frame(FrameType::kResult, "ok 3 BCP BCP 0.5 100") +
+      encode_frame(FrameType::kHeartbeat, "");
+  FrameDecoder decoder;
+  Frame frame;
+  int frames = 0;
+  for (const char byte : stream) {
+    decoder.feed(&byte, 1);
+    while (decoder.next(frame) == FrameDecoder::Status::kFrame) ++frames;
+  }
+  EXPECT_EQ(frames, 2);
+  EXPECT_FALSE(decoder.corrupt());
+}
+
+TEST(FrameCodec, EmptyAndLargePayloads) {
+  std::string large(100'000, '\xab');
+  large[12345] = 'x';
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(FrameType::kBlob, large));
+  decoder.feed(encode_frame(FrameType::kDone, ""));
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.payload, large);
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kDone);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameCodec, FlippedPayloadBitIsCorruptAndPoisons) {
+  std::string stream = encode_frame(FrameType::kResult, "ok 0 a b 1 2");
+  stream[stream.size() - 3] ^= 0x01;  // payload byte — CRC must catch it
+  FrameDecoder decoder;
+  decoder.feed(stream);
+  decoder.feed(encode_frame(FrameType::kHeartbeat, ""));  // valid follower
+  Frame frame;
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kCorrupt);
+  EXPECT_TRUE(decoder.corrupt());
+  // Poisoned forever: the valid follower frame is unreachable by design.
+  EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kCorrupt);
+}
+
+TEST(FrameCodec, BadMagicVersionTypeAndLengthAreCorrupt) {
+  const auto expect_corrupt = [](std::string stream) {
+    FrameDecoder decoder;
+    decoder.feed(stream);
+    Frame frame;
+    EXPECT_EQ(decoder.next(frame), FrameDecoder::Status::kCorrupt);
+  };
+  std::string bad_magic = encode_frame(FrameType::kHello, "x");
+  bad_magic[0] = 'X';
+  expect_corrupt(bad_magic);
+
+  std::string bad_version = encode_frame(FrameType::kHello, "x");
+  bad_version[4] = static_cast<char>(kWireVersion + 1);
+  expect_corrupt(bad_version);
+
+  std::string bad_type = encode_frame(FrameType::kHello, "x");
+  bad_type[5] = static_cast<char>(kFrameTypeCount);
+  expect_corrupt(bad_type);
+
+  std::string bad_length = encode_frame(FrameType::kHello, "x");
+  bad_length[9] = '\x7f';  // length beyond kMaxFramePayload
+  expect_corrupt(bad_length);
+}
+
+TEST(PayloadPackers, RoundTripAndDetectTruncation) {
+  std::string out;
+  put_u64(out, 0);
+  put_u64(out, 0xdeadbeefcafef00dull);
+  put_string(out, "");
+  put_string(out, std::string("embedded\0nul", 12));
+
+  std::string_view in(out);
+  std::uint64_t a = 1, b = 0;
+  std::string s1 = "x", s2;
+  ASSERT_TRUE(get_u64(in, a));
+  ASSERT_TRUE(get_u64(in, b));
+  ASSERT_TRUE(get_string(in, s1));
+  ASSERT_TRUE(get_string(in, s2));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 0xdeadbeefcafef00dull);
+  EXPECT_TRUE(s1.empty());
+  EXPECT_EQ(s2, std::string("embedded\0nul", 12));
+  EXPECT_TRUE(in.empty());
+
+  // Truncated reads fail without consuming.
+  std::string_view short_in = std::string_view(out).substr(0, 3);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(get_u64(short_in, v));
+  std::string s;
+  EXPECT_FALSE(get_string(short_in, s));
+}
+
+TEST(ProcessWrappers, SpawnStreamsFramesAndExitsClean) {
+  if (!process_isolation_supported()) GTEST_SKIP() << "no fork() here";
+  ChildProcess child = spawn_worker({}, [](int write_fd) {
+    EXPECT_TRUE(write_frame(write_fd, FrameType::kHello, "hi"));
+    EXPECT_TRUE(write_frame(write_fd, FrameType::kDone, "bye"));
+  });
+  ASSERT_TRUE(child.valid());
+
+  FrameDecoder decoder;
+  char buffer[256];
+  long n = 0;
+  while ((n = read_some(child.read_fd, buffer, sizeof(buffer))) > 0) {
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(n, 0) << "pipe must end in EOF, not error";
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.payload, "hi");
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.payload, "bye");
+
+  const ExitStatus status = wait_blocking(child);
+  EXPECT_TRUE(status.clean());
+  close_fd(child.read_fd);
+  EXPECT_EQ(child.read_fd, -1);
+}
+
+TEST(ProcessWrappers, ThrowingBodyExitsWithCode86) {
+  if (!process_isolation_supported()) GTEST_SKIP() << "no fork() here";
+  ChildProcess child = spawn_worker(
+      {}, [](int) { throw std::runtime_error("worker body exploded"); });
+  ASSERT_TRUE(child.valid());
+  const ExitStatus status = wait_blocking(child);
+  EXPECT_TRUE(status.exited);
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.code, 86);
+  close_fd(child.read_fd);
+}
+
+TEST(ProcessWrappers, KillHardReportsTheSignal) {
+  if (!process_isolation_supported()) GTEST_SKIP() << "no fork() here";
+  ChildProcess child = spawn_worker({}, [](int) {
+    while (true) sleep_ms(50);
+  });
+  ASSERT_TRUE(child.valid());
+  kill_hard(child);
+  const ExitStatus status = wait_blocking(child);
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.code, SIGKILL);
+  EXPECT_FALSE(status.clean());
+  close_fd(child.read_fd);
+}
+
+TEST(ProcessWrappers, PollSeesDataAndEof) {
+  if (!process_isolation_supported()) GTEST_SKIP() << "no fork() here";
+  ChildProcess child = spawn_worker({}, [](int write_fd) {
+    write_frame(write_fd, FrameType::kHeartbeat, "");
+  });
+  ASSERT_TRUE(child.valid());
+  std::vector<bool> ready;
+  bool got_data = false;
+  for (int spins = 0; spins < 200 && !got_data; ++spins) {
+    ASSERT_TRUE(poll_readable({child.read_fd}, 50, ready));
+    ASSERT_EQ(ready.size(), 1u);
+    got_data = ready[0];
+  }
+  EXPECT_TRUE(got_data) << "heartbeat never became readable";
+  wait_blocking(child);
+  close_fd(child.read_fd);
+}
+
+}  // namespace
+}  // namespace cpc::sim::ipc

@@ -1,0 +1,278 @@
+// ShardSupervisor (sim/shard_supervisor.hpp): process-sharded sweeps must
+// be bit-identical to serial runs, contain worker death in every crash
+// mode, respect the restart/crash-retry budgets, and resume from the same
+// journal run_contained writes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/ipc.hpp"
+#include "sim/job.hpp"
+#include "sim/shard_supervisor.hpp"
+#include "sim/sweep_runner.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc {
+namespace {
+
+std::vector<sim::Job> config_grid(std::uint64_t trace_ops) {
+  std::vector<sim::Job> jobs;
+  for (const char* name : {"olden.treeadd", "olden.health"}) {
+    const workload::Workload& wl = workload::find_workload(name);
+    for (sim::ConfigKind kind : sim::kAllConfigs) {
+      jobs.push_back(sim::make_config_job(wl, trace_ops, 0x5eed, kind));
+    }
+  }
+  return jobs;
+}
+
+/// Six BC jobs over one shared trace; `poison_index` throws in-worker
+/// (contained failure), `crash_index` aborts the whole worker process.
+std::vector<sim::Job> crashable_grid(
+    const std::shared_ptr<const cpu::Trace>& trace, int poison_index,
+    int crash_index = -1) {
+  std::vector<sim::Job> jobs;
+  for (int i = 0; i < 6; ++i) {
+    sim::Job job;
+    job.trace = trace;
+    job.tag = "job" + std::to_string(i);
+    if (i == poison_index) {
+      job.make_hierarchy = []() -> std::unique_ptr<cache::MemoryHierarchy> {
+        throw std::runtime_error("deliberate job failure");
+      };
+    } else if (i == crash_index) {
+      job.make_hierarchy = []() -> std::unique_ptr<cache::MemoryHierarchy> {
+        std::abort();  // kills the worker process, not just the job
+      };
+    } else {
+      job.make_hierarchy = [] {
+        return sim::make_hierarchy(sim::ConfigKind::kBC);
+      };
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::shared_ptr<const cpu::Trace> small_trace(std::uint64_t ops = 3'000) {
+  return std::make_shared<const cpu::Trace>(workload::generate(
+      workload::find_workload("olden.treeadd"), {ops, 0x5eed}));
+}
+
+sim::ShardOptions quiet_shards(unsigned procs) {
+  sim::ShardOptions options;
+  options.procs = procs;
+  options.run.quiet = true;
+  return options;
+}
+
+void expect_counters_identical(const sim::JobResult& a,
+                               const sim::JobResult& b) {
+  SCOPED_TRACE("job " + std::to_string(a.index) + " (" + a.tag + ")");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.tag, b.tag);
+  EXPECT_EQ(a.run.config, b.run.config);
+  EXPECT_EQ(a.run.core.cycles, b.run.core.cycles);
+  EXPECT_EQ(a.run.core.committed, b.run.core.committed);
+  EXPECT_EQ(a.run.core.mispredicts, b.run.core.mispredicts);
+  EXPECT_EQ(a.run.core.miss_cycles, b.run.core.miss_cycles);
+  EXPECT_EQ(a.run.hierarchy.l1_misses, b.run.hierarchy.l1_misses);
+  EXPECT_EQ(a.run.hierarchy.l2_misses, b.run.hierarchy.l2_misses);
+  EXPECT_EQ(a.run.hierarchy.traffic.half_units(),
+            b.run.hierarchy.traffic.half_units());
+}
+
+TEST(ShardSupervisor, ShardedSweepBitIdenticalToSerial) {
+  if (!sim::ipc::process_isolation_supported()) {
+    GTEST_SKIP() << "no fork() here";
+  }
+  const sim::SweepRunner runner(1);
+  sim::RunOptions serial_options;
+  serial_options.quiet = true;
+  const sim::RunReport serial =
+      runner.run_contained(config_grid(5'000), serial_options);
+  ASSERT_TRUE(serial.all_ok());
+
+  const sim::RunReport sharded =
+      runner.run_sharded(config_grid(5'000), quiet_shards(3));
+  ASSERT_TRUE(sharded.all_ok());
+  ASSERT_EQ(sharded.results.size(), serial.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    expect_counters_identical(serial.results[i], sharded.results[i]);
+  }
+  EXPECT_EQ(sharded.worker_restarts, 0u);
+  // Worker-local trace caches report through the merged stats.
+  EXPECT_GT(sharded.trace_cache.misses, 0u);
+  EXPECT_GT(sharded.trace_cache.hits + sharded.trace_cache.misses +
+                sharded.trace_cache.compressed_hits,
+            0u);
+}
+
+TEST(ShardSupervisor, InWorkerExceptionIsAContainedJobFailure) {
+  if (!sim::ipc::process_isolation_supported()) {
+    GTEST_SKIP() << "no fork() here";
+  }
+  const sim::SweepRunner runner(1);
+  const sim::RunReport report = runner.run_sharded(
+      crashable_grid(small_trace(), /*poison=*/3), quiet_shards(2));
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].index, 3u);
+  EXPECT_EQ(report.failures[0].what, "deliberate job failure");
+  EXPECT_EQ(report.failures[0].attempts, 1u);
+  EXPECT_EQ(report.worker_restarts, 0u) << "an exception must not cost a "
+                                           "worker restart";
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(report.results[i].ok, i != 3) << "job " << i;
+  }
+}
+
+TEST(ShardSupervisor, WorkerDeathIsRetriedOnceThenFails) {
+  if (!sim::ipc::process_isolation_supported()) {
+    GTEST_SKIP() << "no fork() here";
+  }
+  // Job 2 aborts the worker on *every* attempt, so the single crash retry
+  // (crash_retries = 1) is consumed and the job is recorded as failed with
+  // the signal named — while every other job still completes.
+  const sim::SweepRunner runner(1);
+  sim::ShardOptions options = quiet_shards(2);
+  options.backoff_base_ms = 1;  // keep the test fast
+  const sim::RunReport report = runner.run_sharded(
+      crashable_grid(small_trace(), /*poison=*/-1, /*crash=*/2), options);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].index, 2u);
+  EXPECT_EQ(report.failures[0].attempts, 2u);  // initial + 1 crash retry
+  EXPECT_NE(report.failures[0].what.find("worker died"), std::string::npos)
+      << report.failures[0].what;
+  EXPECT_GE(report.worker_restarts, 2u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(report.results[i].ok, i != 2) << "job " << i;
+  }
+}
+
+TEST(ShardSupervisor, ExhaustedRestartBudgetFailsRemainingJobsLoudly) {
+  if (!sim::ipc::process_isolation_supported()) {
+    GTEST_SKIP() << "no fork() here";
+  }
+  const sim::SweepRunner runner(1);
+  sim::ShardOptions options = quiet_shards(2);
+  options.restart_budget = 0;  // first death already exceeds the budget
+  options.backoff_base_ms = 1;
+  const sim::RunReport report = runner.run_sharded(
+      crashable_grid(small_trace(), /*poison=*/-1, /*crash=*/0), options);
+  // Round-robin: worker 0 held jobs {0, 2, 4}. Job 0 killed it; with no
+  // respawns allowed all three must surface as failures — never silently
+  // vanish — and worker 1's jobs {1, 3, 5} still complete.
+  ASSERT_EQ(report.failures.size(), 3u);
+  EXPECT_EQ(report.failures[0].index, 0u);
+  EXPECT_EQ(report.failures[1].index, 2u);
+  EXPECT_EQ(report.failures[2].index, 4u);
+  for (std::size_t i : {1u, 3u, 5u}) {
+    EXPECT_TRUE(report.results[i].ok) << "job " << i;
+  }
+}
+
+TEST(ShardSupervisor, CrashHookMatrixContainsEveryFastMode) {
+  if (!sim::ipc::process_isolation_supported()) {
+    GTEST_SKIP() << "no fork() here";
+  }
+  const sim::SweepRunner runner(1);
+  sim::RunOptions serial_options;
+  serial_options.quiet = true;
+  const sim::RunReport serial =
+      runner.run_contained(config_grid(3'000), serial_options);
+
+  for (const char* mode : {"segv", "abort", "exit3", "hang"}) {
+    SCOPED_TRACE(mode);
+    ASSERT_EQ(setenv("CPC_CRASH_JOB", (std::string("4:") + mode).c_str(), 1),
+              0);
+    sim::ShardOptions options = quiet_shards(3);
+    options.backoff_base_ms = 1;
+    options.silence_budget_ms = 1'000;  // trip the hang watchdog quickly
+    const sim::RunReport report =
+        runner.run_sharded(config_grid(3'000), options);
+    ASSERT_EQ(unsetenv("CPC_CRASH_JOB"), 0);
+
+    EXPECT_TRUE(report.all_ok())
+        << "crashed job must be retried to completion";
+    EXPECT_GE(report.worker_restarts, 1u);
+    ASSERT_EQ(report.results.size(), serial.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+      expect_counters_identical(serial.results[i], report.results[i]);
+    }
+  }
+}
+
+TEST(ShardSupervisor, ResumesFromJournalAcrossExecutionModes) {
+  if (!sim::ipc::process_isolation_supported()) {
+    GTEST_SKIP() << "no fork() here";
+  }
+  const std::string path = ::testing::TempDir() + "/cpc_shard_test.journal";
+  std::remove(path.c_str());
+  const auto trace = small_trace();
+  const sim::SweepRunner runner(1);
+
+  // Sharded first pass: job 4 fails (contained), five jobs journaled ok.
+  sim::ShardOptions options = quiet_shards(2);
+  options.run.journal_path = path;
+  const sim::RunReport first =
+      runner.run_sharded(crashable_grid(trace, 4), options);
+  ASSERT_EQ(first.failures.size(), 1u);
+  EXPECT_EQ(first.resumed, 0u);
+
+  // Sharded resume: the five completed jobs restore, only job 4 re-runs.
+  const sim::RunReport second =
+      runner.run_sharded(crashable_grid(trace, -1), options);
+  EXPECT_TRUE(second.all_ok());
+  EXPECT_EQ(second.resumed, 5u);
+
+  // Cross-mode: the same journal resumes an in-process contained sweep.
+  sim::RunOptions contained;
+  contained.quiet = true;
+  contained.journal_path = path;
+  const sim::RunReport third =
+      runner.run_contained(crashable_grid(trace, -1), contained);
+  EXPECT_TRUE(third.all_ok());
+  EXPECT_EQ(third.resumed, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(ShardSupervisor, SingleProcessRequestFallsBackToInProcess) {
+  const sim::SweepRunner runner(1);
+  const sim::RunReport report = runner.run_sharded(
+      crashable_grid(small_trace(), /*poison=*/1), quiet_shards(1));
+  ASSERT_EQ(report.results.size(), 6u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].index, 1u);
+  EXPECT_EQ(report.worker_restarts, 0u);
+}
+
+TEST(ShardSupervisor, ShardOptionsReadTheEnvironment) {
+  ASSERT_EQ(setenv("CPC_PROCS", "6", 1), 0);
+  ASSERT_EQ(setenv("CPC_SHARD_RLIMIT_MB", "512", 1), 0);
+  ASSERT_EQ(setenv("CPC_SHARD_SILENCE_MS", "12345", 1), 0);
+  sim::ShardOptions options = sim::ShardOptions::from_env();
+  EXPECT_EQ(options.procs, 6u);
+  EXPECT_EQ(options.rlimit_as_mb, 512u);
+  EXPECT_EQ(options.silence_budget_ms, 12'345u);
+
+  // Garbage keeps the defaults instead of half-parsing.
+  ASSERT_EQ(setenv("CPC_PROCS", "many", 1), 0);
+  EXPECT_EQ(sim::ShardOptions::from_env().procs, 0u);
+
+  ASSERT_EQ(unsetenv("CPC_PROCS"), 0);
+  ASSERT_EQ(unsetenv("CPC_SHARD_RLIMIT_MB"), 0);
+  ASSERT_EQ(unsetenv("CPC_SHARD_SILENCE_MS"), 0);
+  options = sim::ShardOptions::from_env();
+  EXPECT_EQ(options.procs, 0u);
+  EXPECT_EQ(options.rlimit_as_mb, 0u);
+}
+
+}  // namespace
+}  // namespace cpc

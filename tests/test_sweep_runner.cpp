@@ -20,6 +20,7 @@
 #include "sim/job.hpp"
 #include "sim/journal.hpp"
 #include "sim/sweep_runner.hpp"
+#include "sim/trace_codec.hpp"
 #include "workload/workloads.hpp"
 
 namespace cpc {
@@ -455,6 +456,31 @@ TEST(SweepJournal, TruncatedTrailingLineIsIgnored) {
   std::remove(path.c_str());
 }
 
+TEST(ContainedSweep, RetryHistoryPreservesTheRootCause) {
+  // Regression: a job that fails differently on retry must keep the FIRST
+  // attempt's error as `what` (the root cause), with every attempt in
+  // `history` — the retry's message used to overwrite the original.
+  const auto trace = small_trace();
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  std::vector<sim::Job> jobs = poisonable_grid(trace, -1);
+  jobs[1].make_hierarchy = [calls]() -> std::unique_ptr<cache::MemoryHierarchy> {
+    if (calls->fetch_add(1) == 0) throw std::runtime_error("first cause");
+    throw std::runtime_error("second cause");
+  };
+  const sim::SweepRunner runner(2);
+  sim::RunOptions options;
+  options.quiet = true;
+  options.retries = 1;
+  const sim::RunReport report = runner.run_contained(std::move(jobs), options);
+  ASSERT_EQ(report.failures.size(), 1u);
+  const sim::JobFailure& failure = report.failures[0];
+  EXPECT_EQ(failure.what, "first cause");
+  EXPECT_EQ(failure.attempts, 2u);
+  ASSERT_EQ(failure.history.size(), 2u);
+  EXPECT_EQ(failure.history[0].what, "first cause");
+  EXPECT_EQ(failure.history[1].what, "second cause");
+}
+
 TEST(TraceCache, SharesOneGenerationPerKey) {
   sim::TraceCache cache;
   const workload::Workload& wl = workload::find_workload("olden.treeadd");
@@ -466,6 +492,98 @@ TEST(TraceCache, SharesOneGenerationPerKey) {
   EXPECT_NE(a.get(), different_seed.get());
   const auto different_ops = cache.get(wl, 3'000, 1);
   EXPECT_NE(a.get(), different_ops.get());
+}
+
+void expect_same_trace(const cpu::Trace& a, const cpu::Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].pc, b[i].pc) << "op " << i;
+    ASSERT_EQ(a[i].addr, b[i].addr) << "op " << i;
+    ASSERT_EQ(a[i].value, b[i].value) << "op " << i;
+    ASSERT_EQ(a[i].kind, b[i].kind) << "op " << i;
+  }
+}
+
+TEST(TraceCache, OverflowDemotesToCompressedTierAndDecodesOnDemand) {
+  // Size the budget from the actual footprints (generators overshoot the
+  // requested op count): big enough for one decoded trace plus both
+  // compressed sidecars, too small for two decoded traces — so the second
+  // insertion must demote the first to the compressed tier, not drop it.
+  const workload::Workload& treeadd = workload::find_workload("olden.treeadd");
+  const workload::Workload& health = workload::find_workload("olden.health");
+  const cpu::Trace gen_tree = workload::generate(treeadd, {2'000, 1});
+  const cpu::Trace gen_health = workload::generate(health, {2'000, 1});
+  const std::size_t decoded_tree = gen_tree.size() * sizeof(cpu::MicroOp);
+  const std::size_t decoded_health = gen_health.size() * sizeof(cpu::MicroOp);
+  const std::size_t blobs = sim::trace_codec::compress(gen_tree).size() +
+                            sim::trace_codec::compress(gen_health).size();
+  sim::TraceCache cache(decoded_health + blobs + decoded_tree / 2);
+
+  const auto first = cache.get(treeadd, 2'000, 1);
+  cache.get(health, 2'000, 1);
+  sim::TraceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_GE(stats.evictions, 1u) << "budget overflow must demote, not grow";
+  EXPECT_LE(stats.decoded_bytes, cache.capacity_bytes());
+
+  // The demoted trace is served by decoding the blob — not regenerated —
+  // and must be bit-identical to the original generation.
+  const auto again = cache.get(treeadd, 2'000, 1);
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u) << "a demoted entry must not regenerate";
+  EXPECT_GE(stats.compressed_hits, 1u);
+  expect_same_trace(*first, *again);
+  expect_same_trace(*again, gen_tree);
+}
+
+TEST(TraceCache, ImpossiblyTightBudgetDropsEntriesAndRegenerates) {
+  // One byte of budget: nothing fits even compressed, so entries are dropped
+  // wholesale (compressed_evictions) and the next request is a fresh miss —
+  // the degenerate configuration must degrade, never deadlock or grow.
+  sim::TraceCache cache(/*capacity_bytes=*/1);
+  const workload::Workload& wl = workload::find_workload("olden.treeadd");
+  const auto a = cache.get(wl, 2'000, 1);
+  const auto b = cache.get(wl, 2'000, 1);
+  const sim::TraceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_GE(stats.compressed_evictions, 1u);
+  expect_same_trace(*a, *b);
+}
+
+TEST(TraceCache, ZeroCapacityDisablesTheBound) {
+  sim::TraceCache cache(/*capacity_bytes=*/0);
+  const workload::Workload& treeadd = workload::find_workload("olden.treeadd");
+  const workload::Workload& health = workload::find_workload("olden.health");
+  cache.get(treeadd, 2'000, 1);
+  cache.get(health, 2'000, 1);
+  cache.get(treeadd, 2'000, 1);
+  const sim::TraceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.compressed_evictions, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(TraceCache, CapacityComesFromTheEnvironment) {
+  ASSERT_EQ(setenv("CPC_TRACE_CACHE_MB", "64", 1), 0);
+  EXPECT_EQ(sim::TraceCache::capacity_from_env(), 64ull << 20);
+  ASSERT_EQ(setenv("CPC_TRACE_CACHE_MB", "0", 1), 0);
+  EXPECT_EQ(sim::TraceCache::capacity_from_env(), 0u);
+  ASSERT_EQ(setenv("CPC_TRACE_CACHE_MB", "garbage", 1), 0);
+  EXPECT_EQ(sim::TraceCache::capacity_from_env(), 512ull << 20);
+  ASSERT_EQ(unsetenv("CPC_TRACE_CACHE_MB"), 0);
+  EXPECT_EQ(sim::TraceCache::capacity_from_env(), 512ull << 20);
+}
+
+TEST(TraceCache, SweepReportCarriesTheCacheStats) {
+  const sim::SweepRunner runner(2);
+  sim::RunOptions options;
+  options.quiet = true;
+  const sim::RunReport report =
+      runner.run_contained(fig10_style_grid(2'000), options);
+  ASSERT_TRUE(report.all_ok());
+  // Two workloads × five configs: two generations, eight dedup hits.
+  EXPECT_EQ(report.trace_cache.misses, 2u);
+  EXPECT_EQ(report.trace_cache.hits + report.trace_cache.compressed_hits, 8u);
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 // cpc_faultcamp — seeded fault-injection campaign over the CPP hierarchy.
 //
 //   cpc_faultcamp [--workloads a,b,c] [--faults K] [--ops N] [--seed S]
-//                 [--master-seed S] [--stride N] [--summary PATH]
+//                 [--master-seed S] [--stride N] [--summary PATH] [--procs N]
 //   cpc_faultcamp --trip-invariant
 //
 // For each workload the driver runs one fault-free golden simulation, then K
@@ -13,15 +13,24 @@
 // --trip-invariant deliberately corrupts a CPP cache's metadata and runs the
 // validator; the process exits with the invariant-violation code (4). CTest
 // uses it to pin the exit-code contract.
+//
+// --procs N shards the per-workload campaigns across N forked worker
+// processes (sim/ipc.hpp frames); a crashed worker's unfinished workloads
+// are re-run in-process, so a worker segfault cannot lose campaign results.
 
+#include <algorithm>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/cpp_hierarchy.hpp"
+#include "sim/ipc.hpp"
 #include "verify/campaign.hpp"
 #include "verify/fault.hpp"
 
@@ -33,7 +42,7 @@ int usage() {
   std::cerr
       << "usage: cpc_faultcamp [--workloads a,b,c] [--faults K] [--ops N]\n"
          "                     [--seed S] [--master-seed S] [--stride N]\n"
-         "                     [--summary PATH]\n"
+         "                     [--summary PATH] [--procs N]\n"
          "       cpc_faultcamp --trip-invariant\n";
   return cpc::cli::kExitUsage;
 }
@@ -119,6 +128,194 @@ void write_summary(const std::string& path,
          " delay effects).\n";
 }
 
+// ---------------------------------------------------------------------------
+// Process-sharded campaigns (--procs)
+// ---------------------------------------------------------------------------
+
+/// Serializes a campaign result (prefixed with its workload-list index) for
+/// a kBlob frame. Counts are recomputed on decode from the record outcomes.
+std::string pack_campaign(std::size_t order,
+                          const cpc::verify::CampaignResult& result) {
+  namespace ipc = cpc::sim::ipc;
+  std::string out;
+  ipc::put_u64(out, order);
+  ipc::put_string(out, result.workload);
+  ipc::put_u64(out, result.golden_cycles);
+  ipc::put_u64(out, result.golden_accesses);
+  ipc::put_u64(out, result.records.size());
+  for (const cpc::verify::FaultRecord& record : result.records) {
+    ipc::put_u64(out, record.index);
+    ipc::put_u64(out, static_cast<std::uint64_t>(record.command.kind));
+    ipc::put_u64(out, static_cast<std::uint64_t>(record.command.level));
+    ipc::put_u64(out, record.command.seed);
+    ipc::put_u64(out, record.command.delay_cycles);
+    ipc::put_u64(out, record.trigger_access);
+    ipc::put_u64(out, static_cast<std::uint64_t>(record.outcome));
+    ipc::put_string(out, record.detection);
+  }
+  return out;
+}
+
+bool unpack_campaign(std::string_view in, std::size_t& order,
+                     cpc::verify::CampaignResult& result) {
+  namespace ipc = cpc::sim::ipc;
+  using cpc::verify::FaultKind;
+  using cpc::verify::FaultOutcome;
+  std::uint64_t order64 = 0, records = 0;
+  std::uint64_t golden_cycles = 0, golden_accesses = 0;
+  if (!ipc::get_u64(in, order64) || !ipc::get_string(in, result.workload) ||
+      !ipc::get_u64(in, golden_cycles) ||
+      !ipc::get_u64(in, golden_accesses) || !ipc::get_u64(in, records)) {
+    return false;
+  }
+  order = static_cast<std::size_t>(order64);
+  result.golden_cycles = golden_cycles;
+  result.golden_accesses = golden_accesses;
+  if (records > (1u << 20)) return false;
+  result.records.clear();
+  for (std::uint64_t i = 0; i < records; ++i) {
+    cpc::verify::FaultRecord record;
+    std::uint64_t index = 0, kind = 0, level = 0, delay = 0, outcome = 0;
+    if (!ipc::get_u64(in, index) || !ipc::get_u64(in, kind) ||
+        !ipc::get_u64(in, level) || !ipc::get_u64(in, record.command.seed) ||
+        !ipc::get_u64(in, delay) || !ipc::get_u64(in, record.trigger_access) ||
+        !ipc::get_u64(in, outcome) || !ipc::get_string(in, record.detection)) {
+      return false;
+    }
+    if (kind >= cpc::verify::kFaultKindCount || outcome > 4) return false;
+    record.index = static_cast<std::size_t>(index);
+    record.command.kind = static_cast<FaultKind>(kind);
+    record.command.level = static_cast<int>(level);
+    record.command.delay_cycles = static_cast<unsigned>(delay);
+    record.outcome = static_cast<FaultOutcome>(outcome);
+    switch (record.outcome) {
+      case FaultOutcome::kMasked:
+        ++result.masked;
+        break;
+      case FaultOutcome::kDetected:
+        ++result.detected;
+        break;
+      case FaultOutcome::kTimingOnly:
+        ++result.timing_only;
+        break;
+      case FaultOutcome::kSilent:
+        ++result.silent;
+        break;
+      case FaultOutcome::kNotInjected:
+        ++result.not_injected;
+        break;
+    }
+    result.records.push_back(std::move(record));
+  }
+  return true;
+}
+
+/// Runs the campaigns sharded across `procs` forked workers. A worker that
+/// dies (crash, OOM kill) only costs a warning: its unfinished workloads are
+/// re-run in this process, so the merged result list is always complete and
+/// ordered exactly like the serial run.
+std::vector<cpc::verify::CampaignResult> run_campaigns_sharded(
+    const std::vector<std::string>& workloads,
+    const cpc::verify::CampaignOptions& base, unsigned procs) {
+  namespace ipc = cpc::sim::ipc;
+  using cpc::verify::CampaignResult;
+
+  std::vector<std::optional<CampaignResult>> slots(workloads.size());
+  struct Shard {
+    ipc::ChildProcess child;
+    ipc::FrameDecoder decoder;
+    bool alive = false;
+  };
+  std::deque<Shard> shards;
+  procs = static_cast<unsigned>(
+      std::min<std::size_t>(procs, workloads.size()));
+  for (unsigned p = 0; p < procs; ++p) {
+    std::vector<std::size_t> slice;
+    for (std::size_t i = p; i < workloads.size(); i += procs) {
+      slice.push_back(i);
+    }
+    shards.emplace_back();
+    Shard& shard = shards.back();
+    shard.child = ipc::spawn_worker({}, [&, slice](int write_fd) {
+      for (const std::size_t index : slice) {
+        cpc::verify::CampaignOptions options = base;
+        options.workload = workloads[index];
+        const CampaignResult result = cpc::verify::run_campaign(options);
+        if (!ipc::write_frame(write_fd, ipc::FrameType::kBlob,
+                              pack_campaign(index, result))) {
+          return;  // supervisor gone
+        }
+      }
+      ipc::write_frame(write_fd, ipc::FrameType::kDone, {});
+    });
+    shard.alive = shard.child.valid();
+  }
+
+  std::vector<int> fds;
+  std::vector<std::size_t> fd_shard;
+  std::vector<bool> ready;
+  char buffer[4096];
+  const auto drain = [&](Shard& shard) {
+    ipc::Frame frame;
+    while (shard.decoder.next(frame) == ipc::FrameDecoder::Status::kFrame) {
+      if (frame.type != ipc::FrameType::kBlob) continue;
+      std::size_t order = 0;
+      CampaignResult result;
+      if (unpack_campaign(frame.payload, order, result) &&
+          order < slots.size()) {
+        std::cerr << "campaign: " << result.workload << " done ("
+                  << result.total() << " faults)\n";
+        slots[order] = std::move(result);
+      }
+    }
+  };
+  while (true) {
+    fds.clear();
+    fd_shard.clear();
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i].alive) {
+        fds.push_back(shards[i].child.read_fd);
+        fd_shard.push_back(i);
+      }
+    }
+    if (fds.empty()) break;
+    ipc::poll_readable(fds, 50, ready);
+    for (std::size_t slot = 0; slot < fds.size(); ++slot) {
+      if (!ready[slot]) continue;
+      Shard& shard = shards[fd_shard[slot]];
+      const long n = ipc::read_some(shard.child.read_fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        shard.decoder.feed(buffer, static_cast<std::size_t>(n));
+        drain(shard);
+      } else {
+        const ipc::ExitStatus status = ipc::wait_blocking(shard.child);
+        ipc::close_fd(shard.child.read_fd);
+        shard.alive = false;
+        if (!status.clean()) {
+          std::cerr << "warning: campaign worker died ("
+                    << (status.signaled ? "signal " : "exit code ")
+                    << status.code << ") — unfinished workloads re-run "
+                    << "in-process\n";
+        }
+      }
+    }
+  }
+
+  // Anything a dead worker never reported runs here, in order.
+  std::vector<CampaignResult> results;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    if (!slots[i]) {
+      cpc::verify::CampaignOptions options = base;
+      options.workload = workloads[i];
+      std::cerr << "campaign: " << workloads[i] << " (" << options.faults
+                << " faults, " << options.trace_ops << " ops, re-run)...\n";
+      slots[i] = cpc::verify::run_campaign(options);
+    }
+    results.push_back(std::move(*slots[i]));
+  }
+  return results;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,6 +325,7 @@ int main(int argc, char** argv) {
                                         "spec2000.181.mcf"};
   verify::CampaignOptions base;
   std::string summary_path;
+  unsigned procs = 0;
   bool trip = false;
 
   const auto value_of = [&](int& i, const std::string& arg) -> const char* {
@@ -163,6 +361,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--summary") {
       if ((v = value_of(i, arg)) == nullptr) return usage();
       summary_path = v;
+    } else if (arg == "--procs") {
+      if ((v = value_of(i, arg)) == nullptr) return usage();
+      procs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else {
       std::cerr << "error: unknown argument '" << arg << "'\n";
       return usage();
@@ -178,15 +379,23 @@ int main(int argc, char** argv) {
 
     std::vector<verify::CampaignResult> results;
     bool all_clean = true;
-    for (const std::string& workload : workloads) {
-      verify::CampaignOptions options = base;
-      options.workload = workload;
-      std::cerr << "campaign: " << workload << " (" << options.faults
-                << " faults, " << options.trace_ops << " ops)...\n";
-      verify::CampaignResult result = verify::run_campaign(options);
-      print_campaign(result, std::cout);
-      all_clean = all_clean && result.clean();
-      results.push_back(std::move(result));
+    if (procs > 1 && sim::ipc::process_isolation_supported()) {
+      results = run_campaigns_sharded(workloads, base, procs);
+      for (const verify::CampaignResult& result : results) {
+        print_campaign(result, std::cout);
+        all_clean = all_clean && result.clean();
+      }
+    } else {
+      for (const std::string& workload : workloads) {
+        verify::CampaignOptions options = base;
+        options.workload = workload;
+        std::cerr << "campaign: " << workload << " (" << options.faults
+                  << " faults, " << options.trace_ops << " ops)...\n";
+        verify::CampaignResult result = verify::run_campaign(options);
+        print_campaign(result, std::cout);
+        all_clean = all_clean && result.clean();
+        results.push_back(std::move(result));
+      }
     }
     if (!summary_path.empty()) write_summary(summary_path, results, base);
     if (!all_clean) {

@@ -39,6 +39,14 @@
 //             arithmetic) and common/mutex.hpp (CondVar::wait_for takes a
 //             chrono duration). Everything else times through
 //             sim::Stopwatch so benchmark numbers share one clock.
+//   CPC-L009  centralized process management: raw fork()/vfork()/waitpid()/
+//             wait3()/wait4()/pipe()/pipe2()/kill()/killpg() calls are
+//             banned in src/, tools/ and bench/ outside sim/ipc.cpp and
+//             sim/shard_supervisor.cpp.
+//             Process supervision concentrates in the ipc layer so signal
+//             handling, EINTR retries, fd hygiene and sanitizer caveats are
+//             solved once — everything else shards through
+//             sim::ipc::spawn_worker / ShardSupervisor.
 //
 // Waivers: append `// cpc-lint: allow(CPC-LXXX)` to the offending line, or
 // place it on its own comment line directly above. Waivers are per-line and
@@ -377,7 +385,11 @@ void check_l003(const SourceFile& f,
   const JoinedCode joined(f.code);
   const std::string& text = joined.text;
   static const std::regex kSwitch(R"(\bswitch\s*\()");
-  static const std::regex kCase(R"(\bcase\s+([\w:]+)\s*:)");
+  // The label must end on a word char: with a bare `[\w:]+` a label whose
+  // next statement begins with `::` (e.g. `::_Exit(3);`) greedily matches
+  // `Enum::kValue:` as the capture and the statement's colon as the
+  // terminator, mangling the enumerator name.
+  static const std::regex kCase(R"(\bcase\s+([\w:]*\w)\s*:)");
   static const std::regex kDefault(R"(\bdefault\s*:)");
   for (std::sregex_iterator it(text.begin(), text.end(), kSwitch), end;
        it != end; ++it) {
@@ -647,6 +659,41 @@ void check_l008(const SourceFile& f, std::vector<Finding>& findings) {
 }
 
 // ---------------------------------------------------------------------------
+// CPC-L009 — centralized process management
+// ---------------------------------------------------------------------------
+
+void check_l009(const SourceFile& f, std::vector<Finding>& findings) {
+  // fork() in a process with threads, waitpid vs SIGCHLD races, EINTR on
+  // pipe writes, RLIMIT_AS under sanitizers: each is solved exactly once,
+  // in the ipc layer. Everything else goes through sim::ipc::spawn_worker
+  // or the ShardSupervisor, so crash containment has one implementation.
+  static const char* const kSanctioned[] = {
+      "src/sim/ipc.cpp",
+      "src/sim/shard_supervisor.cpp",
+  };
+  if (f.category != "src" && f.category != "tools" && f.category != "bench") {
+    return;
+  }
+  for (const char* ok : kSanctioned) {
+    if (ends_with(f.display, ok)) return;
+  }
+  // The look-behind class also excludes '.' and '>' so member functions
+  // (future.wait(), cv->wait()) don't trip the syscall names. Bare wait()
+  // is not matched at all — too many innocent members are named `wait`;
+  // the reap syscalls that matter are the waitpid family.
+  static const std::regex kProcessCall(
+      R"((^|[^:_\w.>])(fork|vfork|waitpid|wait3|wait4|pipe|pipe2|kill|killpg)\s*\()");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (std::regex_search(f.code[i], kProcessCall)) {
+      report(findings, f, i + 1, "CPC-L009",
+             "raw process-management call outside the ipc layer — spawn and "
+             "supervise through sim::ipc (sim/ipc.hpp) or the "
+             "ShardSupervisor (sim/shard_supervisor.hpp)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -703,7 +750,7 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: cpc_lint <path>...\n"
-                   "Project static analysis; checks CPC-L001..CPC-L008.\n"
+                   "Project static analysis; checks CPC-L001..CPC-L009.\n"
                    "Exit: 0 clean, 1 findings, 2 usage/IO error.\n";
       return 0;
     }
@@ -762,6 +809,7 @@ int main(int argc, char** argv) {
     check_l006(f, findings);
     check_l007(f, enums, findings);
     check_l008(f, findings);
+    check_l009(f, findings);
   }
 
   std::sort(findings.begin(), findings.end(),

@@ -14,6 +14,11 @@
 // --timeout-ms arms the per-job watchdog (default from CPC_JOB_TIMEOUT_MS);
 // --journal checkpoints completed jobs so a killed sweep resumes where it
 // left off. Any of --retries/--timeout-ms/--journal implies --contain.
+//
+// --procs N (or CPC_PROCS) shards the sweep across N supervised worker
+// processes (sim/shard_supervisor.hpp): a worker crash, hang or OOM kill
+// is contained and its jobs re-run, and merged output stays bit-identical
+// to the serial run. Implies --contain.
 
 #include <cstdlib>
 #include <iostream>
@@ -25,6 +30,7 @@
 #include "cpu/trace_io.hpp"
 #include "sim/experiment.hpp"
 #include "sim/job.hpp"
+#include "sim/shard_supervisor.hpp"
 #include "sim/sweep_runner.hpp"
 #include "stats/table.hpp"
 
@@ -34,9 +40,9 @@ namespace {
 
 int usage() {
   std::cerr << "usage: cpc_run <trace-file> [BC|BCC|HAC|BCP|CPP|all]\n"
-               "       cpc_run --sweep [--jobs N] [--contain] [--retries N]\n"
-               "               [--timeout-ms N] [--journal PATH] <trace-file> "
-               "[config[,config...]]\n";
+               "       cpc_run --sweep [--jobs N] [--procs N] [--contain]\n"
+               "               [--retries N] [--timeout-ms N] [--journal PATH]\n"
+               "               <trace-file> [config[,config...]]\n";
   return cpc::cli::kExitUsage;
 }
 
@@ -76,6 +82,8 @@ std::vector<cpc::sim::ConfigKind> parse_configs(
 struct SweepFlags {
   unsigned jobs = 0;  // 0 = CPC_JOBS / hardware concurrency
   bool contain = false;
+  /// Process-sharded execution (--procs / CPC_PROCS). 0 = in-process sweep.
+  unsigned procs = 0;
   cpc::sim::RunOptions options = cpc::sim::RunOptions::from_env();
 };
 
@@ -109,7 +117,15 @@ int run_sweep_mode(const std::string& trace_path,
   const sim::SweepRunner runner(flags.jobs);
   std::vector<sim::JobResult> results;
   std::vector<sim::JobFailure> failures;
-  if (flags.contain) {
+  sim::ShardOptions shard = sim::ShardOptions::from_env();  // reads CPC_PROCS
+  const bool sharded = flags.procs > 0 || shard.procs > 0;
+  if (flags.procs > 0) shard.procs = flags.procs;
+  if (sharded) {
+    shard.run = flags.options;
+    sim::RunReport report = runner.run_sharded(std::move(sweep), shard);
+    results = std::move(report.results);
+    failures = std::move(report.failures);
+  } else if (flags.contain) {
     sim::RunReport report = runner.run_contained(std::move(sweep), flags.options);
     results = std::move(report.results);
     failures = std::move(report.failures);
@@ -120,7 +136,7 @@ int run_sweep_mode(const std::string& trace_path,
   std::cout << "config,cycles,ipc,l1_misses,l2_misses,mem_words,"
                "wall_seconds,ops_per_sec\n";
   for (const sim::JobResult& result : results) {
-    if (flags.contain && !result.ok) continue;  // reported below
+    if ((flags.contain || sharded) && !result.ok) continue;  // reported below
     if (result.run.core.value_mismatches != 0) {
       throw cli::BadInput(std::to_string(result.run.core.value_mismatches) +
                           " value mismatches in " + result.tag +
@@ -175,6 +191,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(arg.c_str() + 7, nullptr, 10));
     } else if (arg == "--contain") {
       flags.contain = true;
+    } else if (arg == "--procs") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.procs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg.rfind("--procs=", 0) == 0) {
+      flags.procs =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 8, nullptr, 10));
     } else if (arg == "--retries") {
       const char* v = value_of(i, arg);
       if (v == nullptr) return usage();
