@@ -1,0 +1,122 @@
+#include "net/protocol.hpp"
+
+#include <stdexcept>
+
+#include "sim/ipc.hpp"
+
+namespace cpc::net {
+
+namespace {
+
+using sim::ipc::get_string;
+using sim::ipc::get_u64;
+using sim::ipc::put_string;
+using sim::ipc::put_u64;
+
+}  // namespace
+
+std::string encode_job_spec(const JobSpec& spec) {
+  std::string out;
+  put_string(out, spec.trace_path);
+  put_string(out, spec.workload);
+  put_u64(out, spec.trace_ops);
+  put_u64(out, spec.seed);
+  put_string(out, spec.configs);
+  put_u64(out, spec.deadline_ms);
+  return out;
+}
+
+bool decode_job_spec(std::string_view in, JobSpec& spec) {
+  JobSpec parsed;
+  if (!get_string(in, parsed.trace_path)) return false;
+  if (!get_string(in, parsed.workload)) return false;
+  if (!get_u64(in, parsed.trace_ops)) return false;
+  if (!get_u64(in, parsed.seed)) return false;
+  if (!get_string(in, parsed.configs)) return false;
+  if (!get_u64(in, parsed.deadline_ms)) return false;
+  if (!in.empty()) return false;  // trailing bytes: not a spec we wrote
+  spec = std::move(parsed);
+  return true;
+}
+
+std::string encode_message(const Message& message) {
+  std::string out;
+  put_u64(out, kProtocolVersion);
+  put_u64(out, static_cast<std::uint64_t>(message.kind));
+  put_string(out, message.id);
+  put_u64(out, message.a);
+  put_u64(out, message.b);
+  put_string(out, message.text);
+  return out;
+}
+
+bool decode_message(std::string_view in, Message& message) {
+  std::uint64_t version = 0;
+  std::uint64_t kind = 0;
+  Message parsed;
+  if (!get_u64(in, version) || version != kProtocolVersion) return false;
+  if (!get_u64(in, kind) || kind >= kMsgKindCount) return false;
+  parsed.kind = static_cast<MsgKind>(kind);
+  if (!get_string(in, parsed.id)) return false;
+  if (!get_u64(in, parsed.a)) return false;
+  if (!get_u64(in, parsed.b)) return false;
+  if (!get_string(in, parsed.text)) return false;
+  if (!in.empty()) return false;
+  message = std::move(parsed);
+  return true;
+}
+
+std::string frame_message(const Message& message) {
+  return sim::ipc::encode_frame(sim::ipc::FrameType::kBlob,
+                                encode_message(message));
+}
+
+std::vector<sim::ConfigKind> parse_config_list(const std::string& csv) {
+  std::vector<sim::ConfigKind> kinds;
+  if (csv.empty()) {
+    kinds.assign(std::begin(sim::kAllConfigs), std::end(sim::kAllConfigs));
+    return kinds;
+  }
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    const std::string name = csv.substr(start, end - start);
+    start = end + 1;
+    if (name.empty()) {
+      if (comma == std::string::npos) break;
+      continue;
+    }
+    if (name == "all") {
+      kinds.insert(kinds.end(), std::begin(sim::kAllConfigs),
+                   std::end(sim::kAllConfigs));
+      continue;
+    }
+    bool found = false;
+    for (sim::ConfigKind kind : sim::kAllConfigs) {
+      if (sim::config_name(kind) == name) {
+        kinds.push_back(kind);
+        found = true;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("unknown config '" + name +
+                                  "' (want BC, BCC, HAC, BCP, CPP or all)");
+    }
+  }
+  if (kinds.empty()) {
+    // "," and friends: all-separator input must not become a zero-job sweep.
+    throw std::invalid_argument(
+        "empty config list (want BC, BCC, HAC, BCP, CPP or all)");
+  }
+  return kinds;
+}
+
+std::uint64_t effective_deadline_ms(std::uint64_t request_ms,
+                                    std::uint64_t env_ms) {
+  if (request_ms == 0) return env_ms;
+  if (env_ms == 0) return request_ms;
+  return request_ms < env_ms ? request_ms : env_ms;
+}
+
+}  // namespace cpc::net

@@ -1,0 +1,110 @@
+#pragma once
+// Request/response grammar of the sweep service (tools/cpc_serve.cpp).
+//
+// Transport: every message travels as one sim::ipc frame of type kBlob —
+// the same magic/version/CRC-guarded container the shard pipes use, so both
+// directions of the socket inherit the decoder's corruption poisoning for
+// free. The kBlob payload starts with a u64 message kind followed by the
+// packed fields below (ipc::put_u64/put_string little-endian packing).
+// Peers may also send bare kHeartbeat frames as liveness beacons; they
+// carry no protocol meaning.
+//
+// Conversation shape:
+//
+//   client                          daemon
+//   ------                          ------
+//   kSubmit(id, spec, resume) --->
+//                             <---  kAccepted(id, job_count, queue_depth)
+//                              |or| kShed(reason)      — admission queue full
+//                              |or| kRejected(reason)  — malformed request
+//                              |or| kDraining(reason)  — SIGTERM drain active
+//                             <---  kResult(id, job_index, journal-ok-line)*
+//                             <---  kJobFailed(id, job_index, what)*
+//                             <---  kSweepDone(id, ok_count, fail_count)
+//
+// Results stream incrementally, in completion order; the journal `ok` line
+// payload is the exact schema-pinned wire format the resume journal and the
+// shard pipes use (sim/journal.hpp), so a result can be re-sent verbatim
+// from the on-disk journal after a daemon restart. A client that
+// reconnects mid-stream re-sends kSubmit with resume = 1 and receives every
+// journaled result again (it deduplicates by job index).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace cpc::net {
+
+/// Bump when any message layout below changes shape; a daemon refuses
+/// messages from a different protocol version outright.
+inline constexpr std::uint64_t kProtocolVersion = 1;
+
+enum class MsgKind : std::uint8_t {
+  kSubmit = 0,  ///< client -> daemon: run this sweep (payload: JobSpec)
+  kAccepted,    ///< daemon -> client: queued (a = job count, b = queue depth)
+  kShed,        ///< daemon -> client: admission queue full, try later
+  kRejected,    ///< daemon -> client: request malformed (text = reason)
+  kDraining,    ///< daemon -> client: draining, refusing new work
+  kResult,      ///< daemon -> client: one job done (a = index, text = ok line)
+  kJobFailed,   ///< daemon -> client: one job failed (a = index, text = what)
+  kSweepDone,   ///< daemon -> client: all jobs done (a = ok, b = failed)
+};
+
+/// Number of MsgKind enumerators (decoder range check).
+inline constexpr std::uint64_t kMsgKindCount =
+    static_cast<std::uint64_t>(MsgKind::kSweepDone) + 1;
+
+/// What one submission asks the daemon to simulate: either a pre-recorded
+/// trace file (daemon-side path — AF_UNIX means one host) or a registered
+/// workload kernel, across a config list.
+struct JobSpec {
+  std::string trace_path;  ///< replay this .cpctrace file; "" = workload mode
+  std::string workload;    ///< registered kernel name (workload mode)
+  std::uint64_t trace_ops = 0;  ///< micro-ops to generate (workload mode)
+  /// Generator seed (workload mode). The default matches
+  /// workload::WorkloadParams / cpc_tracegen, so a seedless workload
+  /// submission simulates the same trace those tools produce by default.
+  std::uint64_t seed = 0x5eed;
+  std::string configs;     ///< "BC,CPP", "all", ... (cpc_run grammar)
+  /// Per-job wall-clock deadline in ms, layered on CPC_JOB_TIMEOUT_MS: the
+  /// effective budget is the tighter of the two; 0 defers to the env.
+  std::uint64_t deadline_ms = 0;
+};
+
+/// One protocol message. `a`/`b` are the kind-specific integers documented
+/// on MsgKind; unused fields stay zero/empty and still round-trip.
+struct Message {
+  MsgKind kind = MsgKind::kShed;
+  std::string id;     ///< submission id (client-chosen, daemon-echoed)
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string text;   ///< reason / what / journal ok-line / encoded JobSpec
+};
+
+/// Serializes a spec (also the daemon's on-disk `<id>.req` format, so a
+/// restarted daemon re-enqueues exactly what the client asked for).
+std::string encode_job_spec(const JobSpec& spec);
+bool decode_job_spec(std::string_view in, JobSpec& spec);
+
+/// Message <-> kBlob payload. decode_message returns false on truncation,
+/// an unknown kind, or a foreign protocol version.
+std::string encode_message(const Message& message);
+bool decode_message(std::string_view in, Message& message);
+
+/// Convenience: a fully framed message, ready for write_socket.
+std::string frame_message(const Message& message);
+
+/// Parses the cpc_run config grammar ("CPP", "BC,BCC", "all", empty = all).
+/// Throws std::invalid_argument naming the unknown config.
+std::vector<sim::ConfigKind> parse_config_list(const std::string& csv);
+
+/// Builds the effective per-job watchdog budget: the tighter of the
+/// request's deadline and the environment's CPC_JOB_TIMEOUT_MS (either may
+/// be 0 = unlimited).
+std::uint64_t effective_deadline_ms(std::uint64_t request_ms,
+                                    std::uint64_t env_ms);
+
+}  // namespace cpc::net

@@ -1,0 +1,180 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CPC_NET_POSIX 1
+#include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace cpc::net {
+
+#if defined(CPC_NET_POSIX)
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Fills `addr` from `path`; false when the path overflows sun_path (the
+/// AF_UNIX hard limit, ~107 bytes).
+bool make_address(const std::string& path, sockaddr_un& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return false;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool sockets_supported() { return true; }
+
+int listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr;
+  if (!make_address(path, addr)) {
+    std::cerr << "listen_unix: socket path too long: " << path << "\n";
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "listen_unix: socket failed: " << std::strerror(errno) << "\n";
+    return -1;
+  }
+  // A daemon that died without cleanup leaves the socket file behind; the
+  // bind would fail with EADDRINUSE forever. Unlinking is safe: a *live*
+  // daemon holds the listening fd, not the name, and two daemons on one
+  // path is an operator error either way.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::cerr << "listen_unix: bind(" << path
+              << ") failed: " << std::strerror(errno) << "\n";
+    int doomed = fd;
+    close_socket(doomed);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0 || !set_nonblocking(fd)) {
+    std::cerr << "listen_unix: listen(" << path
+              << ") failed: " << std::strerror(errno) << "\n";
+    int doomed = fd;
+    close_socket(doomed);
+    ::unlink(path.c_str());
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr;
+  if (!make_address(path, addr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    int doomed = fd;
+    close_socket(doomed);
+    return -1;
+  }
+  // A client must see a dead daemon as a write error, never a SIGPIPE
+  // (write_socket uses MSG_NOSIGNAL, but belt and braces for any raw write).
+  std::signal(SIGPIPE, SIG_IGN);
+  return fd;
+}
+
+int accept_client(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      if (!set_nonblocking(fd)) {
+        int doomed = fd;
+        close_socket(doomed);
+        return -1;
+      }
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return -1;  // EAGAIN (nothing pending) or a hard error
+  }
+}
+
+long read_socket(int fd, char* buffer, std::size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, size, 0);
+    if (n > 0) return static_cast<long>(n);
+    if (n == 0) return -1;  // orderly EOF: the peer is finished
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+long write_socket(int fd, const char* buffer, std::size_t size) {
+  while (true) {
+    const ssize_t n = ::send(fd, buffer, size, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;  // EPIPE et al: the peer is gone
+  }
+}
+
+bool poll_sockets(std::vector<PollFd>& fds, int timeout_ms) {
+  std::vector<struct pollfd> polls;
+  polls.reserve(fds.size());
+  for (const PollFd& item : fds) {
+    short events = POLLIN;
+    if (item.want_write) events |= POLLOUT;
+    polls.push_back({item.fd, events, 0});
+  }
+  const int r =
+      ::poll(polls.data(), static_cast<nfds_t>(polls.size()), timeout_ms);
+  for (PollFd& item : fds) {
+    item.readable = item.writable = item.hangup = false;
+  }
+  if (r < 0) return errno == EINTR;  // interrupted counts as "nothing ready"
+  for (std::size_t i = 0; i < polls.size(); ++i) {
+    fds[i].readable = (polls[i].revents & POLLIN) != 0;
+    fds[i].writable = (polls[i].revents & POLLOUT) != 0;
+    fds[i].hangup = (polls[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+  }
+  return true;
+}
+
+void close_socket(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+void unlink_socket(const std::string& path) { ::unlink(path.c_str()); }
+
+#else  // !CPC_NET_POSIX — every entry point degrades to "unsupported"
+
+bool sockets_supported() { return false; }
+int listen_unix(const std::string&, int) { return -1; }
+int connect_unix(const std::string&) { return -1; }
+int accept_client(int) { return -1; }
+long read_socket(int, char*, std::size_t) { return -1; }
+long write_socket(int, const char*, std::size_t) { return -1; }
+bool poll_sockets(std::vector<PollFd>& fds, int) {
+  for (PollFd& item : fds) {
+    item.readable = item.writable = item.hangup = false;
+  }
+  return false;
+}
+void close_socket(int& fd) { fd = -1; }
+void unlink_socket(const std::string&) {}
+
+#endif  // CPC_NET_POSIX
+
+}  // namespace cpc::net

@@ -1,0 +1,70 @@
+#pragma once
+// Unix-domain socket plumbing for the sweep service (tools/cpc_serve.cpp,
+// tools/cpc_client.cpp). Thin POSIX wrappers, in the spirit of the process
+// wrappers in sim/ipc.hpp: raw socket syscalls (socket/bind/listen/accept/
+// connect) stay confined to socket.cpp — cpc_lint CPC-L010 bans them
+// everywhere else — so fd hygiene, EINTR retries, SIGPIPE suppression and
+// non-blocking semantics are solved exactly once.
+//
+// Byte streams over these fds carry sim::ipc frames (the same CRC-guarded
+// length-prefixed format the shard pipes use); the request/response grammar
+// on top lives in net/protocol.hpp.
+//
+// On platforms without AF_UNIX every entry point degrades to "unsupported"
+// (sockets_supported() == false) exactly like ipc::process_isolation_
+// supported().
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cpc::net {
+
+/// True when AF_UNIX sockets are available (and cpc_serve can serve).
+bool sockets_supported();
+
+/// Creates, binds and listens on a Unix-domain socket at `path`. A stale
+/// socket file from a dead daemon is unlinked first. The returned fd is
+/// non-blocking. Returns -1 with an errno line on stderr.
+int listen_unix(const std::string& path, int backlog);
+
+/// Connects to the daemon at `path`. Blocking; the fd stays blocking (the
+/// client's writes are sequential). Returns -1 silently — callers retry
+/// with backoff, and a missing daemon is an expected state.
+int connect_unix(const std::string& path);
+
+/// Accepts one pending client off a listen_unix() fd. The returned fd is
+/// non-blocking. Returns -1 when nothing is pending (or on error).
+int accept_client(int listen_fd);
+
+/// Reads once. Returns bytes read (> 0), 0 when a non-blocking fd has no
+/// data right now (EAGAIN), and -1 on EOF or a hard error — for a stream
+/// socket both mean "this peer is finished". EINTR is retried.
+long read_socket(int fd, char* buffer, std::size_t size);
+
+/// Writes once (MSG_NOSIGNAL — a dead peer is a return value, never a
+/// SIGPIPE). Returns bytes written (>= 0; 0 when the send buffer is full on
+/// a non-blocking fd) or -1 on EPIPE/hard error. EINTR is retried.
+long write_socket(int fd, const char* buffer, std::size_t size);
+
+/// One fd of a poll_sockets() set. `want_write` asks for writability (an
+/// outbox is pending); the three outputs are filled by the call.
+struct PollFd {
+  int fd = -1;
+  bool want_write = false;
+  bool readable = false;
+  bool writable = false;
+  bool hangup = false;  ///< peer closed (POLLHUP/POLLERR)
+};
+
+/// poll(2) over the set, up to `timeout_ms`. Returns false on a hard poll
+/// error (EINTR counts as "nothing ready", matching ipc::poll_readable).
+bool poll_sockets(std::vector<PollFd>& fds, int timeout_ms);
+
+/// close(2) if open, then marks the fd invalid.
+void close_socket(int& fd);
+
+/// unlink(2) for the socket path on daemon shutdown; missing file is fine.
+void unlink_socket(const std::string& path);
+
+}  // namespace cpc::net

@@ -45,13 +45,20 @@ double Stopwatch::seconds() const {
 
 std::uint64_t peak_rss_bytes() {
 #if defined(__unix__) || defined(__APPLE__)
-  struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  const auto maxrss_bytes = [](int who) -> std::uint64_t {
+    struct rusage usage {};
+    if (getrusage(who, &usage) != 0) return 0;
 #if defined(__APPLE__)
-  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
 #else
-  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
 #endif
+  };
+  // RUSAGE_CHILDREN carries the largest maxrss among reaped children — the
+  // fork()ed shard workers of a --procs sweep, which RUSAGE_SELF never sees.
+  // The honest high-water mark of the process tree (largest single process)
+  // is the max of the two; serial runs have no children and are unchanged.
+  return std::max(maxrss_bytes(RUSAGE_SELF), maxrss_bytes(RUSAGE_CHILDREN));
 #else
   return 0;
 #endif

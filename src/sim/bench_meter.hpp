@@ -49,8 +49,10 @@ class Stopwatch {
   std::uint64_t origin_ns_ = 0;
 };
 
-/// Peak resident set size of this process in bytes (getrusage ru_maxrss);
-/// 0 where the platform does not report it.
+/// Peak resident set size in bytes: the largest single process in this
+/// process's tree — max of getrusage(RUSAGE_SELF) and RUSAGE_CHILDREN
+/// ru_maxrss, so fork()ed shard workers (--procs) are counted, not just the
+/// supervisor. 0 where the platform does not report it.
 std::uint64_t peak_rss_bytes();
 
 // ---------------------------------------------------------------------------

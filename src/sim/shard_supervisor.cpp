@@ -26,7 +26,11 @@ namespace {
 // Wire payloads (on top of ipc frames)
 // ---------------------------------------------------------------------------
 
-std::string encode_stats_payload(const TraceCache::Stats& stats) {
+/// kDone payload: the worker's trace-cache counters (spill tier included)
+/// followed by its own peak RSS, so the supervisor can report the largest
+/// worker of the run (RunReport::worker_rss_peak_bytes).
+std::string encode_done_payload(const TraceCache::Stats& stats,
+                                std::uint64_t rss_bytes) {
   std::string out;
   ipc::put_u64(out, stats.hits);
   ipc::put_u64(out, stats.compressed_hits);
@@ -35,16 +39,29 @@ std::string encode_stats_payload(const TraceCache::Stats& stats) {
   ipc::put_u64(out, stats.compressed_evictions);
   ipc::put_u64(out, stats.decoded_bytes);
   ipc::put_u64(out, stats.compressed_bytes);
+  ipc::put_u64(out, stats.spill_writes);
+  ipc::put_u64(out, stats.spill_hits);
+  ipc::put_u64(out, stats.spill_bytes);
+  ipc::put_u64(out, stats.spill_drops);
+  ipc::put_u64(out, stats.spill_quarantined);
+  ipc::put_u64(out, rss_bytes);
   return out;
 }
 
-bool decode_stats_payload(std::string_view in, TraceCache::Stats& stats) {
+bool decode_done_payload(std::string_view in, TraceCache::Stats& stats,
+                         std::uint64_t& rss_bytes) {
   return ipc::get_u64(in, stats.hits) &&
          ipc::get_u64(in, stats.compressed_hits) &&
          ipc::get_u64(in, stats.misses) && ipc::get_u64(in, stats.evictions) &&
          ipc::get_u64(in, stats.compressed_evictions) &&
          ipc::get_u64(in, stats.decoded_bytes) &&
-         ipc::get_u64(in, stats.compressed_bytes);
+         ipc::get_u64(in, stats.compressed_bytes) &&
+         ipc::get_u64(in, stats.spill_writes) &&
+         ipc::get_u64(in, stats.spill_hits) &&
+         ipc::get_u64(in, stats.spill_bytes) &&
+         ipc::get_u64(in, stats.spill_drops) &&
+         ipc::get_u64(in, stats.spill_quarantined) &&
+         ipc::get_u64(in, rss_bytes);
 }
 
 std::string encode_failure_payload(const JobFailure& failure) {
@@ -264,6 +281,10 @@ void worker_body(int write_fd, std::uint64_t shard_id,
   const CrashPlan crash_plan = parse_crash_plan();
   TraceCache traces;  // shared across the slice; bounded via CPC_TRACE_CACHE_MB
   const SweepRunner runner(1);  // process parallelism supersedes threads
+  // Deliberately NOT forwarded: streaming callbacks (they belong to the
+  // supervisor process) and the sweep cancel pointer (fork gave this child
+  // a copy-on-write snapshot of the flag that the supervisor can never
+  // flip; cancellation reaches workers as SIGKILL instead).
   RunOptions per_job;
   per_job.quiet = true;
   per_job.retries = options.run.retries;
@@ -314,7 +335,8 @@ void worker_body(int write_fd, std::uint64_t shard_id,
     }
   }
 
-  send(ipc::FrameType::kDone, encode_stats_payload(traces.stats()));
+  send(ipc::FrameType::kDone,
+       encode_done_payload(traces.stats(), peak_rss_bytes()));
   stop.store(true, std::memory_order_relaxed);
   beater.join();
 }
@@ -427,6 +449,14 @@ RunReport ShardSupervisor::run(std::vector<Job> jobs) const {
     }
   }
 
+  // Restored jobs replay through the streaming hook (same contract as
+  // run_contained) before any worker spawns.
+  if (options.run.on_result) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (done[i]) options.run.on_result(report.results[i]);
+    }
+  }
+
   std::vector<ShardTask> pending;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (!done[i]) pending.push_back({i, 0});
@@ -472,6 +502,7 @@ RunReport ShardSupervisor::run(std::vector<Job> jobs) const {
     done[failure.index] = true;
     ++completed;
     if (journal) journal->record_failure(failure.index, failure.what);
+    if (options.run.on_failure) options.run.on_failure(failure);
     if (!options.run.quiet) {
       std::cerr << "  [" << completed << "/" << total << "] job "
                 << failure.index << " ("
@@ -488,6 +519,7 @@ RunReport ShardSupervisor::run(std::vector<Job> jobs) const {
     done[index] = true;
     ++completed;
     if (journal) journal->record_ok(result);
+    if (options.run.on_result) options.run.on_result(result);
     if (!options.run.quiet) {
       const std::string& name = jobs[index].workload.name;
       std::cerr << "  [" << completed << "/" << total << "] "
@@ -608,8 +640,13 @@ RunReport ShardSupervisor::run(std::vector<Job> jobs) const {
         }
         case ipc::FrameType::kDone: {
           TraceCache::Stats stats;
-          if (!decode_stats_payload(frame.payload, stats)) return false;
+          std::uint64_t rss_bytes = 0;
+          if (!decode_done_payload(frame.payload, stats, rss_bytes)) {
+            return false;
+          }
           report.trace_cache.merge(stats);
+          report.worker_rss_peak_bytes =
+              std::max(report.worker_rss_peak_bytes, rss_bytes);
           w.done_seen = true;
           break;
         }
@@ -621,7 +658,23 @@ RunReport ShardSupervisor::run(std::vector<Job> jobs) const {
   std::vector<std::size_t> fd_worker;
   std::vector<bool> ready;
   char buffer[4096];
+  bool cancelled = false;
   while (true) {
+    // Sweep-level cancel (the cpc_serve client vanished): the results so
+    // far are journaled and valid; everything still running is abandoned by
+    // killing the workers outright.
+    if (!cancelled && options.run.cancel != nullptr &&
+        options.run.cancel->load(std::memory_order_relaxed)) {
+      cancelled = true;
+      for (WorkerState& w : workers) {
+        if (!w.alive) continue;
+        ipc::kill_hard(w.child);
+        ipc::wait_blocking(w.child);
+        ipc::close_fd(w.child.read_fd);
+        w.alive = false;
+      }
+      break;
+    }
     fds.clear();
     fd_worker.clear();
     for (std::size_t i = 0; i < workers.size(); ++i) {
@@ -681,15 +734,20 @@ RunReport ShardSupervisor::run(std::vector<Job> jobs) const {
     }
   }
 
-  // Safety net: a job neither reported nor requeued (spawn failure with an
-  // exhausted budget) must still surface — zero silently-lost jobs.
+  // Safety net: a job neither reported nor requeued (sweep cancelled, or a
+  // spawn failure with an exhausted budget) must still surface — zero
+  // silently-lost jobs. Cancelled jobs are not journaled as failures by
+  // this path being after the loop — record_failure journals them, which
+  // is harmless: fail lines never restore, so a resume re-runs them.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (done[i]) continue;
     JobFailure failure;
     failure.index = i;
     failure.tag = jobs[i].tag;
     JobFailure::Attempt attempt;
-    attempt.what = "job was never executed (worker spawn failed)";
+    attempt.what = cancelled
+                       ? "sweep cancelled before this job completed"
+                       : "job was never executed (worker spawn failed)";
     failure.history.push_back(attempt);
     failure.what = attempt.what;
     record_failure(std::move(failure));

@@ -4,8 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <iterator>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <list>
@@ -13,6 +18,7 @@
 #include <utility>
 
 #include "sim/bench_meter.hpp"
+#include "sim/ipc.hpp"
 #include "sim/journal.hpp"
 #include "sim/trace_codec.hpp"
 
@@ -61,11 +67,33 @@ std::uint64_t TraceCache::capacity_from_env() {
   return kDefaultBytes;
 }
 
-TraceCache::TraceCache() : TraceCache(capacity_from_env()) {}
-TraceCache::TraceCache(std::uint64_t capacity_bytes)
-    : capacity_bytes_(capacity_bytes) {}
-TraceCache::~TraceCache() = default;
+TraceCache::SpillConfig TraceCache::spill_from_env() {
+  SpillConfig spill;
+  if (const char* env = std::getenv("CPC_TRACE_SPILL_DIR")) {
+    spill.dir = env;
+  }
+  if (spill.dir.empty()) return spill;
+  if (const char* env = std::getenv("CPC_TRACE_SPILL_MB")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    constexpr std::uint64_t kMaxMb = 1ull << 24;  // 16 TiB: shift cannot wrap
+    if (end != env && *end == '\0' && value <= kMaxMb) {
+      spill.capacity_bytes = static_cast<std::uint64_t>(value) << 20;
+    } else {
+      std::cerr << "warning: ignoring unparseable CPC_TRACE_SPILL_MB='" << env
+                << "'\n";
+    }
+  }
+  return spill;
+}
 
+TraceCache::TraceCache() : TraceCache(capacity_from_env(), spill_from_env()) {}
+TraceCache::TraceCache(std::uint64_t capacity_bytes)
+    : TraceCache(capacity_bytes, SpillConfig{}) {}
+TraceCache::TraceCache(std::uint64_t capacity_bytes, SpillConfig spill)
+    : capacity_bytes_(capacity_bytes), spill_(std::move(spill)) {
+  if (!spill_.dir.empty()) scan_spill_dir();
+}
 void TraceCache::Stats::merge(const Stats& other) {
   hits += other.hits;
   compressed_hits += other.compressed_hits;
@@ -74,11 +102,276 @@ void TraceCache::Stats::merge(const Stats& other) {
   compressed_evictions += other.compressed_evictions;
   decoded_bytes += other.decoded_bytes;
   compressed_bytes += other.compressed_bytes;
+  spill_writes += other.spill_writes;
+  spill_hits += other.spill_hits;
+  spill_bytes += other.spill_bytes;
+  spill_drops += other.spill_drops;
+  spill_quarantined += other.spill_quarantined;
 }
 
 TraceCache::Stats TraceCache::stats() const {
   const MutexLock lock(mutex_);
   return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Disk spill tier
+//
+// File layout: "CPCS" magic, version byte, then (key hash, blob size, blob
+// CRC32) as little-endian u64 fields, then the trace_codec blob. Every
+// reload re-verifies all three before the blob is trusted; a mismatch
+// quarantines the file (renamed `.quarantined`) instead of deleting it, so
+// a corrupt blob stays available for post-mortem. Files are named
+// `<seq>-<hash16>.spill` — the monotonic sequence number doubles as the
+// eviction order (oldest write evicts first), deliberately avoiding mtime
+// so no wall clock is read (CPC-L001/L008).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kSpillMagic[4] = {'C', 'P', 'C', 'S'};
+constexpr char kSpillVersion = 1;
+
+/// FNV-1a over the cache key; names the spill file and is embedded in it.
+std::uint64_t spill_key_hash(const std::string& name, std::uint64_t trace_ops,
+                             std::uint64_t seed) {
+  std::uint64_t hash = 14695981039346656037ull;
+  const auto mix_byte = [&hash](unsigned char byte) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  };
+  for (const char c : name) mix_byte(static_cast<unsigned char>(c));
+  mix_byte(0xff);  // separator: the name can never collide into the ints
+  for (int shift = 0; shift < 64; shift += 8) {
+    mix_byte(static_cast<unsigned char>((trace_ops >> shift) & 0xff));
+  }
+  for (int shift = 0; shift < 64; shift += 8) {
+    mix_byte(static_cast<unsigned char>((seed >> shift) & 0xff));
+  }
+  return hash;
+}
+
+std::string spill_hash_hex(std::uint64_t hash) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return hex;
+}
+
+/// Parses `<seq>-<hash16>.spill`; false for any other file name.
+bool parse_spill_name(const std::string& name, std::uint64_t& seq,
+                      std::uint64_t& hash) {
+  const std::string suffix = ".spill";
+  if (name.size() < suffix.size() + 18 ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  const std::size_t dash = name.find('-');
+  if (dash == std::string::npos ||
+      name.size() - suffix.size() - (dash + 1) != 16) {
+    return false;
+  }
+  char* end = nullptr;
+  seq = std::strtoull(name.c_str(), &end, 10);
+  if (end != name.c_str() + dash) return false;
+  hash = std::strtoull(name.c_str() + dash + 1, &end, 16);
+  return end == name.c_str() + name.size() - suffix.size();
+}
+
+}  // namespace
+
+void TraceCache::scan_spill_dir() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(spill_.dir, ec);
+  if (ec) {
+    std::cerr << "warning: cannot create trace spill dir '" << spill_.dir
+              << "': " << ec.message() << "\n";
+    return;
+  }
+  std::vector<SpillFile> found;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(spill_.dir, ec)) {
+    if (ec) break;
+    std::error_code file_ec;
+    if (!entry.is_regular_file(file_ec)) continue;
+    SpillFile file;
+    if (!parse_spill_name(entry.path().filename().string(), file.seq,
+                          file.key_hash)) {
+      continue;  // .tmp leftovers, .quarantined files, strangers
+    }
+    file.bytes = static_cast<std::uint64_t>(entry.file_size(file_ec));
+    if (file_ec) continue;
+    file.path = entry.path().string();
+    found.push_back(std::move(file));
+  }
+  // Oldest first, so a duplicated key (two sharded writers racing) keeps
+  // its first copy and the index rebuild is deterministic.
+  std::sort(found.begin(), found.end(),
+            [](const SpillFile& a, const SpillFile& b) { return a.seq < b.seq; });
+  const MutexLock lock(mutex_);
+  for (SpillFile& file : found) {
+    bool duplicate = false;
+    for (const SpillFile& have : spill_index_) {
+      if (have.key_hash == file.key_hash) {
+        duplicate = true;
+        break;
+      }
+    }
+    spill_seq_ = std::max(spill_seq_, file.seq + 1);
+    if (duplicate) continue;
+    stats_.spill_bytes += file.bytes;
+    spill_index_.push_back(std::move(file));
+  }
+}
+
+TraceCache::~TraceCache() {
+  // A dying cache donates its surviving blobs to the disk tier: every sweep
+  // gets a fresh TraceCache (and every shard worker its own), so without
+  // this flush a long-lived daemon would only spill under memory pressure
+  // and each new submission would regenerate every trace from scratch. The
+  // store below dedups against keys already on disk and respects the cap.
+  const MutexLock lock(mutex_);
+  if (spill_.dir.empty()) return;
+  for (const auto& entry : entries_) {
+    if (!entry->compressed) continue;
+    spill_store_locked(
+        spill_key_hash(entry->name, entry->trace_ops, entry->seed),
+        *entry->compressed);
+  }
+}
+
+void TraceCache::spill_store_locked(std::uint64_t key_hash,
+                                    const std::vector<std::uint8_t>& blob) {
+  if (spill_.dir.empty()) return;
+  for (const SpillFile& have : spill_index_) {
+    if (have.key_hash == key_hash) return;  // already on disk (deterministic)
+  }
+  std::string payload;
+  payload.append(kSpillMagic, sizeof(kSpillMagic));
+  payload.push_back(kSpillVersion);
+  ipc::put_u64(payload, key_hash);
+  ipc::put_u64(payload, blob.size());
+  ipc::put_u64(payload, ipc::crc32(std::string_view(
+                            reinterpret_cast<const char*>(blob.data()),
+                            blob.size())));
+  payload.append(reinterpret_cast<const char*>(blob.data()), blob.size());
+
+  const std::uint64_t cap = spill_.capacity_bytes;
+  if (cap != 0 && payload.size() > cap) {
+    ++stats_.spill_drops;  // a blob the whole tier cannot hold
+    return;
+  }
+  // Evict oldest writes until the new file fits the cap.
+  namespace fs = std::filesystem;
+  while (cap != 0 && !spill_index_.empty() &&
+         stats_.spill_bytes + payload.size() > cap) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < spill_index_.size(); ++i) {
+      if (spill_index_[i].seq < spill_index_[victim].seq) victim = i;
+    }
+    std::error_code ec;
+    fs::remove(spill_index_[victim].path, ec);
+    stats_.spill_bytes -= spill_index_[victim].bytes;
+    ++stats_.spill_drops;
+    spill_index_.erase(spill_index_.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+  }
+
+  SpillFile file;
+  file.key_hash = key_hash;
+  file.seq = spill_seq_++;
+  file.bytes = payload.size();
+  file.path = spill_.dir + "/" + std::to_string(file.seq) + "-" +
+              spill_hash_hex(key_hash) + ".spill";
+  // Write-then-rename: a reader (this process or a sibling shard worker
+  // sharing the directory) never sees a half-written file.
+  const std::string tmp = file.path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out.good()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      ++stats_.spill_drops;
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, file.path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    ++stats_.spill_drops;
+    return;
+  }
+  stats_.spill_bytes += file.bytes;
+  ++stats_.spill_writes;
+  spill_index_.push_back(std::move(file));
+}
+
+bool TraceCache::spill_lookup_locked(std::uint64_t key_hash,
+                                     std::string& path) {
+  for (const SpillFile& file : spill_index_) {
+    if (file.key_hash == key_hash) {
+      path = file.path;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TraceCache::spill_forget_locked(const std::string& path) {
+  for (std::size_t i = 0; i < spill_index_.size(); ++i) {
+    if (spill_index_[i].path == path) {
+      stats_.spill_bytes -= spill_index_[i].bytes;
+      spill_index_.erase(spill_index_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> TraceCache::spill_load(
+    std::uint64_t key_hash, const std::string& path) {
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      // Racing delete by a sibling process (or cap eviction): an ordinary
+      // miss, not corruption.
+      const MutexLock lock(mutex_);
+      spill_forget_locked(path);
+      return nullptr;
+    }
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  const auto quarantine = [&] {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::rename(path, path + ".quarantined", ec);
+    const MutexLock lock(mutex_);
+    spill_forget_locked(path);
+    ++stats_.spill_quarantined;
+    std::cerr << "warning: quarantined corrupt trace spill file " << path
+              << "\n";
+    return nullptr;
+  };
+  if (bytes.size() < sizeof(kSpillMagic) + 1 ||
+      std::memcmp(bytes.data(), kSpillMagic, sizeof(kSpillMagic)) != 0 ||
+      bytes[sizeof(kSpillMagic)] != kSpillVersion) {
+    return quarantine();
+  }
+  std::string_view in(bytes);
+  in.remove_prefix(sizeof(kSpillMagic) + 1);
+  std::uint64_t stored_hash = 0, blob_size = 0, blob_crc = 0;
+  if (!ipc::get_u64(in, stored_hash) || !ipc::get_u64(in, blob_size) ||
+      !ipc::get_u64(in, blob_crc) || stored_hash != key_hash ||
+      blob_size != in.size() || ipc::crc32(in) != blob_crc) {
+    return quarantine();
+  }
+  return std::make_shared<const std::vector<std::uint8_t>>(
+      reinterpret_cast<const std::uint8_t*>(in.data()),
+      reinterpret_cast<const std::uint8_t*>(in.data()) + in.size());
 }
 
 TraceCache::Entry* TraceCache::find_locked(const workload::Workload& workload,
@@ -111,8 +404,10 @@ void TraceCache::enforce_budget_locked() {
     victim->decoded.reset();
     ++stats_.evictions;
   }
-  // Still over (the blobs alone exceed the cap): drop whole LRU entries;
-  // their traces regenerate from the workload on the next request.
+  // Still over (the blobs alone exceed the cap): drop whole LRU entries.
+  // With a spill tier the dropped blob goes to disk first and reloads
+  // CRC-verified on the next request; without one it regenerates from the
+  // workload.
   while (stats_.compressed_bytes > capacity_bytes_) {
     std::size_t victim = entries_.size();
     for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -124,6 +419,12 @@ void TraceCache::enforce_budget_locked() {
       }
     }
     if (victim == entries_.size()) break;
+    if (!spill_.dir.empty()) {
+      const Entry& doomed = *entries_[victim];
+      spill_store_locked(
+          spill_key_hash(doomed.name, doomed.trace_ops, doomed.seed),
+          *doomed.compressed);
+    }
     stats_.compressed_bytes -= entries_[victim]->compressed->size();
     ++stats_.compressed_evictions;
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
@@ -136,6 +437,10 @@ std::shared_ptr<const cpu::Trace> TraceCache::get(
   std::promise<std::shared_ptr<const cpu::Trace>> promise;
   std::shared_future<std::shared_ptr<const cpu::Trace>> in_flight;
   std::shared_ptr<const std::vector<std::uint8_t>> blob;
+  const std::uint64_t key_hash =
+      spill_.dir.empty() ? 0 : spill_key_hash(workload.name, trace_ops, seed);
+  std::string spilled_path;
+  bool try_spill = false;
   {
     const MutexLock lock(mutex_);
     ++tick_;
@@ -161,6 +466,9 @@ std::shared_ptr<const cpu::Trace> TraceCache::get(
       fresh->last_use = tick_;
       fresh->future = promise.get_future().share();
       entries_.push_back(std::move(fresh));
+      if (!spill_.dir.empty()) {
+        try_spill = spill_lookup_locked(key_hash, spilled_path);
+      }
     }
   }
   if (in_flight.valid()) return in_flight.get();  // wait outside the lock
@@ -178,8 +486,47 @@ std::shared_ptr<const cpu::Trace> TraceCache::get(
     }
     return trace;
   }
-  // First requester generates outside the lock; co-waiters block on the
-  // shared_future instead of regenerating.
+  // First requester resolves outside the lock; co-waiters block on the
+  // shared_future instead of regenerating. A spilled blob is tried first —
+  // on any verification or decode failure the file is quarantined and the
+  // trace regenerates from the workload as if the spill never existed.
+  if (try_spill) {
+    if (auto candidate = spill_load(key_hash, spilled_path)) {
+      try {
+        auto trace = std::make_shared<const cpu::Trace>(
+            trace_codec::decompress(*candidate));
+        {
+          const MutexLock lock(mutex_);
+          // A spill hit is not a miss: the registration above charged one.
+          --stats_.misses;
+          ++stats_.spill_hits;
+          if (Entry* entry = find_locked(workload, trace_ops, seed)) {
+            entry->decoded = trace;
+            if (capacity_bytes_ != 0) entry->compressed = candidate;
+            entry->last_use = tick_;
+            stats_.decoded_bytes += trace->size() * sizeof(cpu::MicroOp);
+            if (entry->compressed) {
+              stats_.compressed_bytes += entry->compressed->size();
+            }
+            enforce_budget_locked();
+          }
+        }
+        promise.set_value(trace);
+        return trace;
+      } catch (const std::exception&) {
+        // The header and CRC matched but the blob does not decode: treat
+        // exactly like any other corruption.
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        fs::rename(spilled_path, spilled_path + ".quarantined", ec);
+        const MutexLock lock(mutex_);
+        spill_forget_locked(spilled_path);
+        ++stats_.spill_quarantined;
+        std::cerr << "warning: quarantined undecodable trace spill file "
+                  << spilled_path << "\n";
+      }
+    }
+  }
   try {
     auto trace = std::make_shared<const cpu::Trace>(
         workload::generate(workload, {trace_ops, seed}));
@@ -251,16 +598,19 @@ void SweepRunner::parallel_for(
 namespace {
 
 /// One background thread that raises per-job cancel flags when their
-/// wall-clock deadline passes. Jobs register/deregister around each
-/// attempt; the simulation notices the flag cooperatively.
+/// wall-clock deadline passes — or all at once when the sweep-level cancel
+/// (a disconnected cpc_serve client) fires. Jobs register/deregister around
+/// each attempt; the simulation notices the flag cooperatively.
 ///
 /// Shared state (the deadline list and the stop flag) is CPC_GUARDED_BY the
 /// watchdog mutex; the clang thread-safety build proves every touch happens
 /// under it. The cancel flags themselves are atomics owned by the jobs.
 class Watchdog {
  public:
-  explicit Watchdog(std::chrono::milliseconds budget) : budget_(budget) {
-    if (budget_.count() > 0) thread_ = std::thread([this] { loop(); });
+  Watchdog(std::chrono::milliseconds budget,
+           const std::atomic<bool>* sweep_cancel)
+      : budget_(budget), sweep_cancel_(sweep_cancel) {
+    if (enabled()) thread_ = std::thread([this] { loop(); });
   }
 
   ~Watchdog() {
@@ -272,16 +622,22 @@ class Watchdog {
     if (thread_.joinable()) thread_.join();
   }
 
-  bool enabled() const { return budget_.count() > 0; }
+  bool enabled() const {
+    return budget_.count() > 0 || sweep_cancel_ != nullptr;
+  }
 
   class Scope {
    public:
     Scope(Watchdog& dog, std::atomic<bool>* flag) : dog_(dog) {
       if (dog_.enabled()) {
+        // No per-job budget means no deadline: only a sweep cancel can
+        // raise the flag.
+        const auto deadline =
+            dog_.budget_.count() > 0
+                ? std::chrono::steady_clock::now() + dog_.budget_
+                : std::chrono::steady_clock::time_point::max();
         const MutexLock lock(dog_.mutex_);
-        it_ = dog_.entries_.insert(
-            dog_.entries_.end(),
-            {std::chrono::steady_clock::now() + dog_.budget_, flag});
+        it_ = dog_.entries_.insert(dog_.entries_.end(), {deadline, flag});
         armed_ = true;
       }
     }
@@ -306,14 +662,20 @@ class Watchdog {
     const MutexLock lock(mutex_);
     while (!stop_) {
       cv_.wait_for(mutex_, std::chrono::milliseconds(10));
+      const bool cancel_all =
+          sweep_cancel_ != nullptr &&
+          sweep_cancel_->load(std::memory_order_relaxed);
       const auto now = std::chrono::steady_clock::now();
       for (auto& [deadline, flag] : entries_) {
-        if (now >= deadline) flag->store(true, std::memory_order_relaxed);
+        if (cancel_all || now >= deadline) {
+          flag->store(true, std::memory_order_relaxed);
+        }
       }
     }
   }
 
   std::chrono::milliseconds budget_;
+  const std::atomic<bool>* sweep_cancel_;
   Mutex mutex_;
   CondVar cv_;
   std::list<std::pair<std::chrono::steady_clock::time_point, std::atomic<bool>*>>
@@ -407,15 +769,53 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
   }
 
   TraceCache traces;
-  Watchdog watchdog(std::chrono::milliseconds(options.job_timeout_ms));
+  Watchdog watchdog(std::chrono::milliseconds(options.job_timeout_ms),
+                    options.cancel);
   std::atomic<std::size_t> completed{static_cast<std::size_t>(report.resumed)};
   Mutex log_mutex;
   Mutex failures_mutex;
+  Mutex callback_mutex;
+  const auto notify_result = [&](const JobResult& result) {
+    if (!options.on_result) return;
+    const MutexLock lock(callback_mutex);
+    options.on_result(result);
+  };
+  const auto notify_failure = [&](const JobFailure& failure) {
+    if (!options.on_failure) return;
+    const MutexLock lock(callback_mutex);
+    options.on_failure(failure);
+  };
+  const auto sweep_cancelled = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+
+  // A resumed consumer still sees every result: replay the restored ones
+  // through the streaming hook before any fresh job runs.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (restored[i]) notify_result(report.results[i]);
+  }
 
   parallel_for(jobs.size(), [&](std::size_t i) {
     if (restored[i]) return;
     const Job& job = jobs[i];
     JobResult& out = report.results[i];
+
+    if (sweep_cancelled()) {
+      // Not journaled: a resume of this grid re-runs the cancelled jobs.
+      JobFailure failure;
+      failure.index = i;
+      failure.tag = job.tag;
+      JobFailure::Attempt attempt;
+      attempt.what = "sweep cancelled before this job started";
+      failure.history.push_back(attempt);
+      failure.what = attempt.what;
+      failure.attempts = 0;
+      notify_failure(failure);
+      const MutexLock lock(failures_mutex);
+      report.failures.push_back(std::move(failure));
+      return;
+    }
 
     JobFailure failure;
     failure.index = i;
@@ -435,8 +835,12 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
         record.what = violation.what();
         record.diagnostic = violation.diagnostic();
       } catch (const cpu::SimulationCancelled& cancelled) {
-        record.what = cancelled.what();
-        record.timed_out = true;
+        if (sweep_cancelled()) {
+          record.what = "sweep cancelled";  // the client left, not a timeout
+        } else {
+          record.what = cancelled.what();
+          record.timed_out = true;
+        }
       } catch (const std::exception& error) {
         record.what = error.what();
       } catch (...) {
@@ -446,6 +850,7 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
       // the first one, so a retry that fails differently (e.g. watchdog
       // trip, then a clean error) cannot overwrite the root cause.
       failure.history.push_back(std::move(record));
+      if (sweep_cancelled()) break;  // retries cannot outlive the sweep
     }
     if (!out.ok && !failure.history.empty()) {
       const JobFailure::Attempt& first = failure.history.front();
@@ -458,6 +863,7 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
     const std::size_t done = completed.fetch_add(1) + 1;
     if (out.ok) {
       if (journal) journal->record_ok(out);
+      notify_result(out);
       if (!options.quiet) {
         const MutexLock lock(log_mutex);
         std::cerr << "  [" << done << "/" << jobs.size() << "] "
@@ -467,6 +873,7 @@ RunReport SweepRunner::run_contained(std::vector<Job> jobs,
       }
     } else {
       if (journal) journal->record_failure(i, failure.what);
+      notify_failure(failure);
       if (!options.quiet) {
         const MutexLock lock(log_mutex);
         std::cerr << "  [" << done << "/" << jobs.size() << "] job " << i << " ("

@@ -8,6 +8,7 @@
 // Thread count resolution, in priority order:
 //   explicit constructor argument > CPC_JOBS env var > hardware_concurrency.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -32,7 +33,7 @@ unsigned default_job_count();
 /// a (workload, ops, seed) key block on one generation instead of each
 /// regenerating the trace. Thread-safe.
 ///
-/// Memory is bounded (ZipCache-style two-tier store): decoded traces live
+/// Memory is bounded (ZipCache-style tiered store): decoded traces live
 /// in an LRU tier charged at 16 bytes/op; when the byte budget overflows,
 /// the least-recently-used decoded trace is demoted to a compact
 /// delta-varint blob (sim/trace_codec.hpp) and decoded on demand at its
@@ -40,6 +41,15 @@ unsigned default_job_count();
 /// their traces regenerate from the workload on the next request. The
 /// budget comes from CPC_TRACE_CACHE_MB (default 512 MiB; 0 = unbounded,
 /// which also skips the compression pass entirely).
+///
+/// An optional third tier spills the compressed blobs to disk before they
+/// are dropped (CPC_TRACE_SPILL_DIR; size-capped via CPC_TRACE_SPILL_MB):
+/// a spilled blob reloads CRC-verified instead of regenerating, so a
+/// long-lived daemon degrades to disk reads instead of recompute-thrash. A
+/// spill file that fails verification is quarantined (renamed aside), never
+/// trusted. The directory may be shared by the forked workers of one
+/// sharded sweep — files are written via atomic rename and every reader
+/// verifies, so a racing delete is just a miss.
 class TraceCache {
  public:
   /// Counters a sweep reports (RunReport::trace_cache). Byte fields are the
@@ -52,18 +62,36 @@ class TraceCache {
     std::uint64_t compressed_evictions = 0;  ///< entries dropped entirely
     std::uint64_t decoded_bytes = 0;
     std::uint64_t compressed_bytes = 0;
+    std::uint64_t spill_writes = 0;  ///< blobs written to the disk tier
+    std::uint64_t spill_hits = 0;    ///< blobs reloaded instead of regenerated
+    std::uint64_t spill_bytes = 0;   ///< disk-tier footprint at snapshot time
+    std::uint64_t spill_drops = 0;   ///< blobs evicted from disk (or too big)
+    std::uint64_t spill_quarantined = 0;  ///< corrupt files renamed aside
 
     /// Accumulates `other` (sharded sweeps sum their workers' stats).
     void merge(const Stats& other);
+  };
+
+  /// Disk spill tier shape; an empty `dir` disables the tier.
+  struct SpillConfig {
+    std::string dir;
+    std::uint64_t capacity_bytes = 0;  ///< 0 = uncapped directory
   };
 
   /// Budget from CPC_TRACE_CACHE_MB: a parseable value is MiB (0 disables
   /// the bound), anything else falls back to the 512 MiB default.
   static std::uint64_t capacity_from_env();
 
-  TraceCache();  ///< capacity_from_env()
+  /// Spill tier from CPC_TRACE_SPILL_DIR (unset/empty = no spill tier) and
+  /// CPC_TRACE_SPILL_MB (unset/unparseable = uncapped).
+  static SpillConfig spill_from_env();
+
+  TraceCache();  ///< capacity_from_env() + spill_from_env()
   explicit TraceCache(std::uint64_t capacity_bytes);
-  ~TraceCache();  // out-of-line: Entry is incomplete here
+  TraceCache(std::uint64_t capacity_bytes, SpillConfig spill);
+  /// Flushes surviving compressed blobs to the spill tier (when one is
+  /// configured) so the next cache instance reloads instead of regenerating.
+  ~TraceCache();
 
   std::shared_ptr<const cpu::Trace> get(const workload::Workload& workload,
                                         std::uint64_t trace_ops,
@@ -74,20 +102,48 @@ class TraceCache {
 
  private:
   struct Entry;
+  /// One file of the disk tier this instance knows about.
+  struct SpillFile {
+    std::uint64_t key_hash = 0;
+    std::uint64_t seq = 0;  ///< write order; lowest-seq files evict first
+    std::uint64_t bytes = 0;
+    std::string path;
+  };
+
   Entry* find_locked(const workload::Workload& workload,
                      std::uint64_t trace_ops, std::uint64_t seed)
       CPC_REQUIRES(mutex_);
-  /// Demotes/drops LRU entries until the two tiers fit the budget.
+  /// Demotes/drops LRU entries until the two tiers fit the budget; dropped
+  /// blobs are offered to the disk tier first.
   void enforce_budget_locked() CPC_REQUIRES(mutex_);
+  /// Rebuilds the disk-tier index from the directory (constructor).
+  void scan_spill_dir();
+  /// Writes one blob to the disk tier (atomic rename), evicting oldest
+  /// files past the cap. No-op when the key is already on disk.
+  void spill_store_locked(std::uint64_t key_hash,
+                          const std::vector<std::uint8_t>& blob)
+      CPC_REQUIRES(mutex_);
+  /// Index lookup (path copy out so the file read happens unlocked).
+  bool spill_lookup_locked(std::uint64_t key_hash, std::string& path)
+      CPC_REQUIRES(mutex_);
+  /// Verifies + decompresses a spill file read outside the lock; on any
+  /// mismatch quarantines it (rename to `.quarantined`) and returns null.
+  std::shared_ptr<const std::vector<std::uint8_t>> spill_load(
+      std::uint64_t key_hash, const std::string& path);
+  /// Drops `path` from the index (racing delete / quarantine).
+  void spill_forget_locked(const std::string& path) CPC_REQUIRES(mutex_);
 
   const std::uint64_t capacity_bytes_;
+  const SpillConfig spill_;
   mutable Mutex mutex_;
   std::uint64_t tick_ CPC_GUARDED_BY(mutex_) = 0;  ///< LRU clock
+  std::uint64_t spill_seq_ CPC_GUARDED_BY(mutex_) = 0;
   Stats stats_ CPC_GUARDED_BY(mutex_);
   /// Keyed dedup table. Only the table itself is guarded: each Entry's
   /// shared_future is internally synchronized, so waiting on a generation
   /// in flight happens outside the lock.
   std::vector<std::unique_ptr<Entry>> entries_ CPC_GUARDED_BY(mutex_);
+  std::vector<SpillFile> spill_index_ CPC_GUARDED_BY(mutex_);
 };
 
 /// One failed job of a contained sweep (SweepRunner::run_contained).
@@ -130,6 +186,20 @@ struct RunOptions {
   /// written by the same grid restores completed jobs (null hierarchy) and
   /// re-runs the rest.
   std::string journal_path;
+  /// Streaming hooks for incremental consumers (the cpc_serve daemon):
+  /// invoked once per job as it settles, in completion order, with calls
+  /// serialized (never concurrently). on_result also fires for
+  /// journal-restored jobs, so a resumed consumer still sees every result.
+  /// Sharded runs invoke these in the supervisor process only. Empty =
+  /// disabled.
+  std::function<void(const JobResult&)> on_result;
+  std::function<void(const JobFailure&)> on_failure;
+  /// Cooperative sweep-level cancel (a disconnected client's orphaned
+  /// submission): when non-null and set, jobs not yet started are recorded
+  /// as "sweep cancelled" failures, the running job's cooperative cancel
+  /// flag is raised (in-process) or its worker killed (sharded), and the
+  /// sweep returns early. Completed results stay valid and journaled.
+  const std::atomic<bool>* cancel = nullptr;
 
   /// Reads CPC_JOB_TIMEOUT_MS (and nothing else) on top of the defaults.
   static RunOptions from_env();
@@ -145,6 +215,9 @@ struct RunReport {
   TraceCache::Stats trace_cache;
   /// Worker respawns a sharded run consumed (0 for in-process sweeps).
   unsigned worker_restarts = 0;
+  /// Largest worker-process maxrss a sharded run observed over the ipc
+  /// channel (0 for in-process sweeps).
+  std::uint64_t worker_rss_peak_bytes = 0;
   bool all_ok() const { return failures.empty(); }
 };
 

@@ -1,0 +1,179 @@
+#!/bin/sh
+# End-to-end matrix for the sweep service (tools/cpc_serve.cpp):
+#   1. four concurrent clients against a --procs 2 daemon each stream a CSV
+#      bit-identical (deterministic columns) to a serial cpc_run sweep
+#   2. a client SIGKILLed mid-stream gets its sweep cancelled; the daemon
+#      survives and serves the next submission normally
+#   3. with --queue-max 1, a third simultaneous submission is shed with an
+#      explicit reply (client exit 1, "shed" on stderr)
+#   4. SIGTERM drains: daemon exits 0, removes its socket, leaks no workers
+#   5. a SIGKILLed daemon restarted on the same --state-dir resumes from the
+#      journal; a reconnecting client ends with the full bit-identical CSV
+# Usage: test_serve.sh <dir-with-tool-binaries>
+set -u
+
+BIN="${1:?usage: test_serve.sh <tool-dir>}"
+TMP="$(mktemp -d)"
+FAILURES=0
+DAEMON_PID=""
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+deterministic_csv() { cut -d, -f1-6 "$1"; }
+
+# Polls for a predicate command up to ~15s.
+wait_for() {
+  i=0
+  while [ "$i" -lt 150 ]; do
+    if "$@" 2>/dev/null; then return 0; fi
+    sleep 0.1
+    i=$((i + 1))
+  done
+  return 1
+}
+
+socket_ready() { [ -S "$1" ]; }
+log_contains() { grep -q "$2" "$1"; }
+
+start_daemon() {  # start_daemon <log> <args...>
+  log="$1"; shift
+  "$BIN/cpc_serve" "$@" >"$log" 2>&1 &
+  DAEMON_PID=$!
+}
+
+"$BIN/cpc_tracegen" olden.treeadd "$TMP/t.cpctrace" 60000 >/dev/null 2>&1 \
+  || { echo "FAIL: cpc_tracegen" >&2; exit 1; }
+# A deliberately slow grid (25 jobs over a 5M-op trace) for the tests that
+# need a sweep still in flight when something is killed.
+"$BIN/cpc_tracegen" olden.treeadd "$TMP/long.cpctrace" 5000000 >/dev/null 2>&1 \
+  || { echo "FAIL: cpc_tracegen (long)" >&2; exit 1; }
+ALLCFG="BC,BCC,HAC,BCP,CPP"
+LONGCFG="$ALLCFG,$ALLCFG,$ALLCFG,$ALLCFG,$ALLCFG"
+
+"$BIN/cpc_run" --sweep "$TMP/t.cpctrace" "$ALLCFG" >"$TMP/serial.csv" 2>/dev/null \
+  || { echo "FAIL: serial baseline"; exit 1; }
+"$BIN/cpc_run" --sweep "$TMP/long.cpctrace" "$LONGCFG" >"$TMP/serial_long.csv" 2>/dev/null \
+  || { echo "FAIL: serial long baseline"; exit 1; }
+deterministic_csv "$TMP/serial.csv" >"$TMP/expect"
+deterministic_csv "$TMP/serial_long.csv" >"$TMP/expect_long"
+
+# --- 1. four concurrent clients, sharded daemon ------------------------------
+SOCK="$TMP/serve.sock"
+start_daemon "$TMP/serve1.log" --socket "$SOCK" --procs 2 --state-dir "$TMP/state1"
+wait_for socket_ready "$SOCK" || fail "daemon socket never appeared"
+
+for i in 1 2 3 4; do
+  "$BIN/cpc_client" --socket "$SOCK" --id "con$i" --quiet \
+    "$TMP/t.cpctrace" "$ALLCFG" >"$TMP/con$i.csv" 2>"$TMP/con$i.err" &
+  eval "CPID$i=\$!"
+done
+for i in 1 2 3 4; do
+  eval "pid=\$CPID$i"
+  wait "$pid" || fail "concurrent client $i exited nonzero"
+  deterministic_csv "$TMP/con$i.csv" >"$TMP/got"
+  cmp -s "$TMP/expect" "$TMP/got" \
+    || fail "concurrent client $i CSV differs from serial"
+done
+echo "ok: 4 concurrent clients bit-identical to serial"
+
+# --- 2. client killed mid-stream: sweep cancelled, daemon survives -----------
+"$BIN/cpc_client" --socket "$SOCK" --id doomed --quiet \
+  "$TMP/long.cpctrace" "$LONGCFG" >"$TMP/doomed.csv" 2>/dev/null &
+DOOMED=$!
+sleep 1
+kill -9 "$DOOMED" 2>/dev/null
+wait "$DOOMED" 2>/dev/null
+wait_for log_contains "$TMP/serve1.log" "cancelled doomed" \
+  || fail "daemon never cancelled the orphaned sweep"
+"$BIN/cpc_client" --socket "$SOCK" --id after-kill --quiet \
+  "$TMP/t.cpctrace" "$ALLCFG" >"$TMP/after.csv" 2>"$TMP/after.err" \
+  || fail "submission after client kill failed"
+deterministic_csv "$TMP/after.csv" >"$TMP/got"
+cmp -s "$TMP/expect" "$TMP/got" || fail "post-kill CSV differs from serial"
+echo "ok: orphaned sweep cancelled, daemon kept serving"
+
+# Drain daemon 1 (also exercised, with leak checks, in step 4).
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "daemon 1 drain exited nonzero"
+DAEMON_PID=""
+
+# --- 3. load shedding at --queue-max 1 ---------------------------------------
+SOCK2="$TMP/serve2.sock"
+start_daemon "$TMP/serve2.log" --socket "$SOCK2" --procs 2 --queue-max 1 \
+  --state-dir "$TMP/state2"
+wait_for socket_ready "$SOCK2" || fail "daemon 2 socket never appeared"
+
+"$BIN/cpc_client" --socket "$SOCK2" --id busy --quiet \
+  "$TMP/long.cpctrace" "$LONGCFG" >/dev/null 2>&1 &
+BUSY=$!
+wait_for log_contains "$TMP/serve2.log" "running busy" \
+  || fail "busy sweep never started"
+"$BIN/cpc_client" --socket "$SOCK2" --id queued --quiet \
+  "$TMP/long.cpctrace" "$LONGCFG" >/dev/null 2>&1 &
+QUEUED=$!
+wait_for log_contains "$TMP/serve2.log" "accepted queued" \
+  || fail "second submission never queued"
+if "$BIN/cpc_client" --socket "$SOCK2" --id shedme --quiet \
+    "$TMP/t.cpctrace" "$ALLCFG" >/dev/null 2>"$TMP/shed.err"; then
+  fail "third simultaneous submission was not shed"
+else
+  grep -qi "shed" "$TMP/shed.err" || fail "no shed notice on client stderr"
+fi
+echo "ok: queue-max 1 sheds the overflow submission"
+kill -9 "$BUSY" "$QUEUED" 2>/dev/null
+wait "$BUSY" 2>/dev/null
+wait "$QUEUED" 2>/dev/null
+
+# --- 4. SIGTERM drain: exit 0, socket gone, no leaked workers ----------------
+wait_for log_contains "$TMP/serve2.log" "cancelled busy" \
+  || fail "daemon 2 never cancelled after client kills"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+RC=$?
+DAEMON_PID=""
+[ "$RC" -eq 0 ] || fail "drain exit code $RC (want 0)"
+[ -S "$SOCK2" ] && fail "drained daemon left its socket behind"
+LEAKED="$(pgrep -f "cpc_serve.*$TMP" 2>/dev/null | wc -l)"
+[ "$LEAKED" -eq 0 ] || fail "$LEAKED cpc_serve process(es) leaked past drain"
+echo "ok: SIGTERM drain clean (exit 0, no leaked processes)"
+
+# --- 5. SIGKILL + restart: journal resume, client stream still bit-exact -----
+SOCK3="$TMP/serve3.sock"
+start_daemon "$TMP/serve3.log" --socket "$SOCK3" --state-dir "$TMP/state3"
+wait_for socket_ready "$SOCK3" || fail "daemon 3 socket never appeared"
+"$BIN/cpc_client" --socket "$SOCK3" --id phoenix --quiet \
+  --retries 8 --backoff-ms 200 \
+  "$TMP/long.cpctrace" "$LONGCFG" >"$TMP/phoenix.csv" 2>"$TMP/phoenix.err" &
+PHOENIX=$!
+# Let at least one result land in the journal, then murder the daemon.
+first_rows() { [ "$(wc -l <"$TMP/phoenix.csv")" -ge 2 ]; }
+wait_for first_rows || fail "no streamed rows before daemon kill"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null
+sleep 0.5
+start_daemon "$TMP/serve3b.log" --socket "$SOCK3" --state-dir "$TMP/state3"
+wait_for socket_ready "$SOCK3" || fail "restarted daemon socket never appeared"
+wait "$PHOENIX" || fail "client across daemon restart exited nonzero"
+deterministic_csv "$TMP/phoenix.csv" >"$TMP/got"
+cmp -s "$TMP/expect_long" "$TMP/got" \
+  || fail "post-restart CSV differs from serial long baseline"
+grep -q "restored" "$TMP/serve3b.log" "$TMP/phoenix.err" 2>/dev/null || true
+echo "ok: SIGKILL + restart resumed from the journal, stream bit-exact"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "daemon 3 drain exited nonzero"
+DAEMON_PID=""
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES serve check(s) failed" >&2
+  exit 1
+fi
+echo "all serve checks passed"

@@ -1,0 +1,21 @@
+// CPC-L010 seeded violation: raw socket management outside src/net/.
+// (Never compiled — fixture corpus only.)
+
+int bad_socket_server() {
+  const int fd = socket(1, 1, 0);
+  if (bind(fd, nullptr, 0) != 0) return -1;
+  if (listen(fd, 8) != 0) return -1;
+  const int peer = accept(fd, nullptr, nullptr);
+  setsockopt(peer, 0, 0, nullptr, 0);
+  sendmsg(peer, nullptr, 0);
+  recvmsg(peer, nullptr, 0);
+  struct pollfd;
+  poll(nullptr, 0, 50);
+  return peer;
+}
+
+int bad_socket_client() {
+  int pair[2];
+  socketpair(1, 1, 0, pair);
+  return connect(pair[0], nullptr, 0);
+}

@@ -1,0 +1,18 @@
+// CPC-L010 clean twin: identifiers that merely contain the syscall names
+// (socket_path, disconnect, bindings), members named like them
+// (.connect()), qualified wrappers (net::listen_unix, std::bind) and the
+// deliberately unmatched send()/recv() names must not match.
+
+struct Channel;
+Channel& the_channel();
+
+int clean_socket_talk(int socket_fd) {
+  the_channel().connect();     // member .connect() is not ::connect()
+  net::listen_unix("x", 8);    // qualified wrapper
+  auto f = std::bind(&clean_socket_talk, 0);  // std::bind is not ::bind
+  int bindings = socket_fd;    // substring 'bind' inside an identifier
+  int disconnect = bindings;   // substring 'connect'
+  send(socket_fd, nullptr, 0); // send/recv deliberately unmatched (L010 doc)
+  recv(socket_fd, nullptr, 0, 0);
+  return disconnect;
+}

@@ -26,3 +26,8 @@ long waived_fork() {
   // a hypothetical one-off spawn outside the ipc layer — deliberate
   return fork();  // cpc-lint: allow(CPC-L009)
 }
+
+int waived_socket() {
+  // a hypothetical one-off socket outside the net layer — deliberate
+  return socket(1, 1, 0);  // cpc-lint: allow(CPC-L010)
+}

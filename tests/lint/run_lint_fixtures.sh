@@ -37,9 +37,9 @@ expect_clean() {
   fi
 }
 
-for n in 1 2 3 4 5 6 7 8 9; do
-  id="CPC-L00$n"
-  dir="$fixtures/l00$n"
+for n in 01 02 03 04 05 06 07 08 09 10; do
+  id="CPC-L0$n"
+  dir="$fixtures/l0$n"
   [ -d "$dir" ] || { fail "missing fixture dir $dir"; continue; }
   if [ -d "$dir/bad" ]; then  # paired-tree layout (registry checks)
     expect_findings "$id" "$dir/bad"

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/bench_meter.hpp"
+#include "sim/ipc.hpp"
 
 namespace cpc {
 namespace {
@@ -173,6 +174,33 @@ TEST(BenchMeter, StopwatchIsMonotonic) {
   const double t1 = timer.seconds();
   EXPECT_GE(t0, 0.0);
   EXPECT_GE(t1, t0);
+}
+
+TEST(BenchMeter, PeakRssIncludesReapedChildren) {
+  // Sharded sweeps do their allocating in fork()ed workers; a peak_rss that
+  // only read RUSAGE_SELF under-reported every --procs run. Spawn a child
+  // that demonstrably touches ~128 MiB, reap it, and require the meter to
+  // see at least most of that (fold-in happens at wait() time).
+  if (!sim::ipc::process_isolation_supported()) {
+    GTEST_SKIP() << "no fork() on this platform";
+  }
+  constexpr std::uint64_t kBlock = 128ull << 20;
+  sim::ipc::ChildProcess child =
+      sim::ipc::spawn_worker({}, [](int /*write_fd*/) {
+        // Touch every page so the pages are actually resident; the
+        // deliberate leak is irrelevant — the child _exit()s right after.
+        volatile char* block = new char[kBlock];
+        for (std::uint64_t i = 0; i < kBlock; i += 4096) {
+          block[i] = static_cast<char>(i);
+        }
+      });
+  ASSERT_TRUE(child.valid());
+  const sim::ipc::ExitStatus status = sim::ipc::wait_blocking(child);
+  sim::ipc::close_fd(child.read_fd);
+  ASSERT_TRUE(status.clean());
+  // Generous slack: allocator/sanitizer overhead differs, but a meter that
+  // missed the child entirely would report this process's few tens of MiB.
+  EXPECT_GE(sim::peak_rss_bytes(), 100ull << 20);
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+// net/protocol.hpp + net/socket.hpp: message and job-spec codecs must
+// round-trip exactly and reject truncation/foreign versions/unknown kinds;
+// the config grammar and deadline layering are shared with cpc_run; and a
+// framed message must survive a real Unix-socket hop end to end.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "sim/experiment.hpp"
+#include "sim/ipc.hpp"
+
+namespace cpc {
+namespace {
+
+net::Message sample_message() {
+  net::Message msg;
+  msg.kind = net::MsgKind::kResult;
+  msg.id = "sweep-7";
+  msg.a = 3;
+  msg.b = 0xdeadbeefcafe;
+  msg.text = "ok 3 CPP 0.5 1e6";
+  return msg;
+}
+
+TEST(NetProtocol, MessageRoundTripsExactly) {
+  const net::Message msg = sample_message();
+  net::Message back;
+  ASSERT_TRUE(net::decode_message(net::encode_message(msg), back));
+  EXPECT_EQ(back.kind, msg.kind);
+  EXPECT_EQ(back.id, msg.id);
+  EXPECT_EQ(back.a, msg.a);
+  EXPECT_EQ(back.b, msg.b);
+  EXPECT_EQ(back.text, msg.text);
+}
+
+TEST(NetProtocol, DecodeRejectsDamage) {
+  const std::string wire = net::encode_message(sample_message());
+  net::Message out;
+  // Truncation at every prefix length must fail, never read past the end.
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(net::decode_message(wire.substr(0, n), out)) << n;
+  }
+  // Trailing garbage is corruption, not padding.
+  EXPECT_FALSE(net::decode_message(wire + "x", out));
+  // A foreign protocol version is refused outright (first u64 of the wire).
+  std::string foreign = wire;
+  foreign[0] = static_cast<char>(foreign[0] ^ 0x40);
+  EXPECT_FALSE(net::decode_message(foreign, out));
+  // An out-of-range message kind (second u64) is refused.
+  std::string bad_kind = wire;
+  bad_kind[8] = static_cast<char>(0x7f);
+  EXPECT_FALSE(net::decode_message(bad_kind, out));
+}
+
+TEST(NetProtocol, JobSpecRoundTripsExactly) {
+  net::JobSpec spec;
+  spec.trace_path = "/data/t.cpctrace";
+  spec.workload = "olden.treeadd";
+  spec.trace_ops = 60000;
+  spec.seed = 0x5eed;
+  spec.configs = "BC,CPP";
+  spec.deadline_ms = 1500;
+  net::JobSpec back;
+  ASSERT_TRUE(net::decode_job_spec(net::encode_job_spec(spec), back));
+  EXPECT_EQ(back.trace_path, spec.trace_path);
+  EXPECT_EQ(back.workload, spec.workload);
+  EXPECT_EQ(back.trace_ops, spec.trace_ops);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.configs, spec.configs);
+  EXPECT_EQ(back.deadline_ms, spec.deadline_ms);
+
+  const std::string wire = net::encode_job_spec(spec);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(net::decode_job_spec(wire.substr(0, n), back)) << n;
+  }
+  EXPECT_FALSE(net::decode_job_spec(wire + "x", back));
+}
+
+TEST(NetProtocol, ConfigGrammarMatchesCpcRun) {
+  EXPECT_EQ(net::parse_config_list("all").size(), 5u);
+  EXPECT_EQ(net::parse_config_list("").size(), 5u);
+  const std::vector<sim::ConfigKind> pair = net::parse_config_list("BC,CPP");
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0], sim::ConfigKind::kBC);
+  EXPECT_EQ(pair[1], sim::ConfigKind::kCPP);
+  EXPECT_THROW(net::parse_config_list("BC,XYZ"), std::invalid_argument);
+  EXPECT_THROW(net::parse_config_list(","), std::invalid_argument);
+}
+
+TEST(NetProtocol, DeadlineLayersOnEnvironment) {
+  EXPECT_EQ(net::effective_deadline_ms(0, 0), 0u);       // both unlimited
+  EXPECT_EQ(net::effective_deadline_ms(500, 0), 500u);   // request only
+  EXPECT_EQ(net::effective_deadline_ms(0, 700), 700u);   // env only
+  EXPECT_EQ(net::effective_deadline_ms(500, 700), 500u); // tighter wins
+  EXPECT_EQ(net::effective_deadline_ms(900, 700), 700u);
+}
+
+TEST(NetSocket, FramedMessageSurvivesAUnixSocketHop) {
+  if (!net::sockets_supported()) {
+    GTEST_SKIP() << "no AF_UNIX on this platform";
+  }
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "net_hop.sock").string();
+  const int listen_fd = net::listen_unix(path, 4);
+  ASSERT_GE(listen_fd, 0);
+  const int client_fd = net::connect_unix(path);
+  ASSERT_GE(client_fd, 0);
+  int server_fd = -1;
+  for (int spin = 0; spin < 200 && server_fd < 0; ++spin) {
+    server_fd = net::accept_client(listen_fd);
+    if (server_fd < 0) sim::ipc::sleep_ms(5);
+  }
+  ASSERT_GE(server_fd, 0);
+
+  // Client → server: one framed message, pushed through the blocking side.
+  const net::Message msg = sample_message();
+  const std::string wire = net::frame_message(msg);
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const long n = net::write_socket(client_fd, wire.data() + off,
+                                     wire.size() - off);
+    ASSERT_GE(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+
+  // Server side: nonblocking reads feed the shared frame decoder.
+  sim::ipc::FrameDecoder decoder;
+  sim::ipc::Frame frame;
+  char buffer[256];
+  bool got_frame = false;
+  for (int spin = 0; spin < 200 && !got_frame; ++spin) {
+    const long n = net::read_socket(server_fd, buffer, sizeof(buffer));
+    ASSERT_GE(n, 0) << "peer closed unexpectedly";
+    if (n == 0) {
+      sim::ipc::sleep_ms(5);
+      continue;
+    }
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+    got_frame =
+        decoder.next(frame) != sim::ipc::FrameDecoder::Status::kNeedMore;
+  }
+  ASSERT_TRUE(got_frame);
+  ASSERT_EQ(frame.type, sim::ipc::FrameType::kBlob);
+  net::Message back;
+  ASSERT_TRUE(net::decode_message(frame.payload, back));
+  EXPECT_EQ(back.id, msg.id);
+  EXPECT_EQ(back.text, msg.text);
+
+  // Closing the client surfaces as EOF (-1) on the server side.
+  int fd = client_fd;
+  net::close_socket(fd);
+  long n = 0;
+  for (int spin = 0; spin < 200; ++spin) {
+    n = net::read_socket(server_fd, buffer, sizeof(buffer));
+    if (n != 0) break;
+    sim::ipc::sleep_ms(5);
+  }
+  EXPECT_LT(n, 0);
+
+  fd = server_fd;
+  net::close_socket(fd);
+  fd = listen_fd;
+  net::close_socket(fd);
+  net::unlink_socket(path);
+}
+
+}  // namespace
+}  // namespace cpc

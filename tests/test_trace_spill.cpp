@@ -1,0 +1,213 @@
+// TraceCache disk spill tier (sim/sweep_runner.hpp): blobs evicted from the
+// in-memory compressed tier land in CPC_TRACE_SPILL_DIR, reload bit-exactly
+// across cache instances (CRC-verified), corrupt files are quarantined
+// instead of trusted, and a size cap evicts oldest-first.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sweep_runner.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kOps = 5000;
+constexpr std::uint64_t kSeed = 42;
+
+/// A fresh, empty spill directory under the test tmp dir.
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+const workload::Workload& treeadd() {
+  return workload::find_workload("olden.treeadd");
+}
+
+bool traces_identical(const cpu::Trace& a, const cpu::Trace& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(cpu::MicroOp)) == 0);
+}
+
+std::vector<fs::path> files_with_extension(const fs::path& dir,
+                                           const std::string& ext) {
+  std::vector<fs::path> out;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ext) out.push_back(entry.path());
+  }
+  return out;
+}
+
+// Every cache below gets a 1-byte memory budget, forcing traces straight
+// through the decoded and compressed tiers and out to disk.
+
+TEST(TraceSpill, RoundTripAcrossInstancesIsBitExact) {
+  const fs::path dir = fresh_dir("spill_roundtrip");
+  const cpu::Trace reference = workload::generate(treeadd(), {kOps, kSeed});
+
+  {
+    sim::TraceCache cache(1, {dir.string(), 0});
+    const auto trace = cache.get(treeadd(), kOps, kSeed);
+    ASSERT_TRUE(trace != nullptr);
+    EXPECT_TRUE(traces_identical(*trace, reference));
+    const sim::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.spill_writes, 1u);
+    EXPECT_GT(stats.spill_bytes, 0u);
+  }
+  ASSERT_EQ(files_with_extension(dir, ".spill").size(), 1u);
+
+  // A brand-new cache (think: daemon restart) must serve the same key from
+  // disk — spill_hits, not misses — and the reload must be bit-exact.
+  sim::TraceCache reborn(1, {dir.string(), 0});
+  const auto trace = reborn.get(treeadd(), kOps, kSeed);
+  ASSERT_TRUE(trace != nullptr);
+  EXPECT_TRUE(traces_identical(*trace, reference));
+  const sim::TraceCache::Stats stats = reborn.stats();
+  EXPECT_EQ(stats.spill_hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.spill_quarantined, 0u);
+}
+
+TEST(TraceSpill, CorruptFileIsQuarantinedNotTrusted) {
+  const fs::path dir = fresh_dir("spill_corrupt");
+  const cpu::Trace reference = workload::generate(treeadd(), {kOps, kSeed});
+  {
+    sim::TraceCache cache(1, {dir.string(), 0});
+    (void)cache.get(treeadd(), kOps, kSeed);
+  }
+  const std::vector<fs::path> spills = files_with_extension(dir, ".spill");
+  ASSERT_EQ(spills.size(), 1u);
+
+  // Flip one byte in the middle of the blob: the stored CRC no longer
+  // matches, so the loader must refuse the file.
+  {
+    std::fstream f(spills[0], std::ios::in | std::ios::out | std::ios::binary);
+    const std::uint64_t size = fs::file_size(spills[0]);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&byte, 1);
+  }
+
+  sim::TraceCache cache(1, {dir.string(), 0});
+  const auto trace = cache.get(treeadd(), kOps, kSeed);
+  ASSERT_TRUE(trace != nullptr);
+  // The corrupt blob was discarded and the trace regenerated — identical
+  // data, honest counters, and the bad file set aside for inspection.
+  EXPECT_TRUE(traces_identical(*trace, reference));
+  const sim::TraceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.spill_quarantined, 1u);
+  EXPECT_EQ(stats.spill_hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(files_with_extension(dir, ".quarantined").size(), 1u);
+  // The regenerated blob re-spills under a fresh sequence number; the
+  // quarantined original must not have been resurrected.
+  const std::vector<fs::path> respilled = files_with_extension(dir, ".spill");
+  ASSERT_EQ(respilled.size(), 1u);
+  EXPECT_NE(respilled[0].filename().string()[0], '0');
+  EXPECT_EQ(stats.spill_writes, 1u);
+}
+
+TEST(TraceSpill, CapEvictsOldestFirstAndDropsOversizedBlobs) {
+  // Measure real spill-file sizes first (compression ratios are not worth
+  // predicting in a test), then replay against caps derived from them.
+  const fs::path probe = fresh_dir("spill_probe");
+  {
+    sim::TraceCache cache(1, {probe.string(), 0});
+    (void)cache.get(treeadd(), kOps, kSeed);
+    (void)cache.get(treeadd(), kOps, kSeed + 1);
+  }
+  const std::vector<fs::path> spilled = files_with_extension(probe, ".spill");
+  ASSERT_EQ(spilled.size(), 2u);
+  std::uint64_t first_size = 0, second_size = 0;
+  for (const fs::path& p : spilled) {
+    // Filenames are <seq>-<hash>.spill; seq 0 sorts first.
+    (p.filename().string()[0] == '0' ? first_size : second_size) =
+        fs::file_size(p);
+  }
+  ASSERT_GT(first_size, 0u);
+  ASSERT_GT(second_size, 0u);
+
+  // Cap that holds either blob but not both: the second spill must evict
+  // the first (oldest) file, never itself.
+  {
+    const fs::path dir = fresh_dir("spill_cap");
+    sim::TraceCache cache(1, {dir.string(), first_size + second_size - 1});
+    (void)cache.get(treeadd(), kOps, kSeed);
+    (void)cache.get(treeadd(), kOps, kSeed + 1);
+    const sim::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.spill_writes, 2u);
+    EXPECT_EQ(stats.spill_drops, 1u);
+    EXPECT_EQ(stats.spill_bytes, second_size);
+    const std::vector<fs::path> left = files_with_extension(dir, ".spill");
+    ASSERT_EQ(left.size(), 1u);
+    // The survivor is the newer write (seq 1).
+    EXPECT_EQ(left[0].filename().string()[0], '1');
+  }
+
+  // Cap smaller than any blob: nothing may be written at all.
+  {
+    const fs::path dir = fresh_dir("spill_toosmall");
+    sim::TraceCache cache(1, {dir.string(), 16});
+    (void)cache.get(treeadd(), kOps, kSeed);
+    const sim::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.spill_writes, 0u);
+    EXPECT_EQ(stats.spill_drops, 1u);
+    EXPECT_TRUE(files_with_extension(dir, ".spill").empty());
+  }
+}
+
+TEST(TraceSpill, SurvivingEntriesFlushToDiskOnDestruction) {
+  // An ample budget means nothing spills under pressure — but a dying cache
+  // (sweep finished, shard worker exiting) must still donate its blobs to
+  // the disk tier, or a daemon's next submission regenerates everything.
+  const fs::path dir = fresh_dir("spill_flush");
+  const cpu::Trace reference = workload::generate(treeadd(), {kOps, kSeed});
+  {
+    sim::TraceCache cache(256ull << 20, {dir.string(), 0});
+    (void)cache.get(treeadd(), kOps, kSeed);
+    const sim::TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.spill_writes, 0u);  // no pressure: nothing spilled yet
+  }
+  ASSERT_EQ(files_with_extension(dir, ".spill").size(), 1u);
+
+  {
+    sim::TraceCache reborn(256ull << 20, {dir.string(), 0});
+    const auto trace = reborn.get(treeadd(), kOps, kSeed);
+    ASSERT_TRUE(trace != nullptr);
+    EXPECT_TRUE(traces_identical(*trace, reference));
+    const sim::TraceCache::Stats stats = reborn.stats();
+    EXPECT_EQ(stats.spill_hits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+  }
+  // The reloaded entry was already on disk: dying again must not duplicate.
+  EXPECT_EQ(files_with_extension(dir, ".spill").size(), 1u);
+}
+
+TEST(TraceSpill, DisabledTierTouchesNoDisk) {
+  sim::TraceCache cache(1, {std::string(), 0});
+  const auto trace = cache.get(treeadd(), kOps, kSeed);
+  ASSERT_TRUE(trace != nullptr);
+  const sim::TraceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.spill_writes, 0u);
+  EXPECT_EQ(stats.spill_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace cpc

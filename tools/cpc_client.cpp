@@ -1,0 +1,367 @@
+// cpc_client — submit one sweep to a cpc_serve daemon and stream the
+// results to stdout as the daemon finishes each job.
+//
+//   cpc_client --socket PATH [--id NAME] [--deadline-ms N] [--retries N]
+//              [--backoff-ms N] [--resume] [--quiet]
+//              <trace-file> [config[,config...]]
+//   cpc_client --socket PATH --workload NAME --ops N [--seed N]
+//              [config[,config...]]
+//
+// Output is the cpc_run --sweep CSV (tools/sweep_csv.hpp), printed in job
+// index order regardless of the order results arrive in, so the stream is
+// bit-identical to a serial `cpc_run --sweep` over the same grid.
+//
+// Fault tolerance: the initial connect retries --retries times with capped
+// exponential backoff (base --backoff-ms, cap 2s); a connection dropped
+// mid-stream reconnects the same way and re-submits with the resume flag —
+// the daemon replays journaled results, and per-index deduplication makes
+// the replay invisible in the output.
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "sim/ipc.hpp"
+#include "sim/journal.hpp"
+
+#include "cli_util.hpp"
+#include "sweep_csv.hpp"
+
+namespace {
+
+using namespace cpc;
+
+int usage() {
+  std::cerr
+      << "usage: cpc_client --socket PATH [--id NAME] [--deadline-ms N]\n"
+         "                  [--retries N] [--backoff-ms N] [--resume]\n"
+         "                  [--quiet] <trace-file> [config[,config...]]\n"
+         "       cpc_client --socket PATH --workload NAME --ops N [--seed N]\n"
+         "                  [config[,config...]]\n";
+  return cli::kExitUsage;
+}
+
+struct ClientFlags {
+  std::string socket_path;
+  std::string id;
+  std::uint64_t deadline_ms = 0;
+  unsigned retries = 5;        ///< connect attempts (initial and reconnect)
+  std::uint64_t backoff_ms = 100;  ///< exponential base, capped at 2s
+  bool resume = false;
+  bool quiet = false;
+  net::JobSpec spec;
+};
+
+/// Connects with capped exponential backoff. Returns -1 after exhausting
+/// the attempt budget.
+int connect_with_retry(const ClientFlags& flags) {
+  std::uint64_t delay = flags.backoff_ms;
+  for (unsigned attempt = 0; attempt < flags.retries; ++attempt) {
+    if (attempt != 0) {
+      if (!flags.quiet) {
+        std::cerr << "cpc_client: retrying connect in " << delay << " ms\n";
+      }
+      sim::ipc::sleep_ms(delay);
+      delay = std::min<std::uint64_t>(delay * 2, 2000);
+    }
+    const int fd = net::connect_unix(flags.socket_path);
+    if (fd >= 0) return fd;
+  }
+  std::cerr << "error: cannot connect to " << flags.socket_path << " after "
+            << flags.retries << " attempt(s)\n";
+  return -1;
+}
+
+/// Blocking fd: push the whole buffer out.
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const long n =
+        net::write_socket(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Streaming state that survives reconnects: which indices we have already
+/// seen (daemon replays are deduplicated here) and the in-order print
+/// cursor.
+struct Stream {
+  std::size_t job_count = 0;
+  bool header_printed = false;
+  std::vector<std::optional<sim::JobResult>> results;
+  std::vector<bool> failed;
+  std::size_t next_to_print = 0;
+  bool done = false;
+  std::uint64_t done_ok = 0;
+  std::uint64_t done_fail = 0;
+
+  void flush_ready() {
+    // Print the contiguous prefix of succeeded jobs. The cursor does not
+    // advance past a failed index mid-stream: a reconnect resumes the sweep
+    // and may yet turn that failure into a result, and a row printed out of
+    // order can never be taken back.
+    while (next_to_print < job_count && results[next_to_print].has_value()) {
+      cli::print_sweep_csv_row(std::cout, *results[next_to_print]);
+      std::cout.flush();
+      ++next_to_print;
+    }
+  }
+
+  /// kSweepDone makes the failures final; print what succeeded, in order.
+  void final_flush() {
+    for (; next_to_print < job_count; ++next_to_print) {
+      if (results[next_to_print].has_value()) {
+        cli::print_sweep_csv_row(std::cout, *results[next_to_print]);
+      }
+    }
+    std::cout.flush();
+  }
+
+  /// A lost connection voids any failure whose job lacks a result: the
+  /// resumed sweep re-runs exactly those jobs (journal `fail` lines do not
+  /// restore), so they may still succeed.
+  void forgive_failures() {
+    for (std::size_t i = 0; i < job_count; ++i) {
+      if (!results[i].has_value()) failed[i] = false;
+    }
+  }
+};
+
+enum class FrameVerdict { kContinue, kDisconnected, kRefused };
+
+/// Applies one daemon message to the stream. Returns kRefused for terminal
+/// refusals (shed/drain/reject), which set `exit_code`.
+FrameVerdict apply_message(const net::Message& msg, const ClientFlags& flags,
+                          Stream& stream, int& exit_code) {
+  switch (msg.kind) {
+    case net::MsgKind::kAccepted:
+      stream.job_count = msg.a;
+      stream.results.resize(stream.job_count);
+      stream.failed.resize(stream.job_count, false);
+      if (!stream.header_printed) {
+        std::cout << cli::kSweepCsvHeader << '\n';
+        stream.header_printed = true;
+      }
+      if (!flags.quiet) {
+        std::cerr << "cpc_client: accepted (" << msg.a
+                  << " jobs, queue depth " << msg.b << ")\n";
+      }
+      return FrameVerdict::kContinue;
+    case net::MsgKind::kShed:
+      std::cerr << "cpc_client: shed by daemon: " << msg.text << '\n';
+      exit_code = cli::kExitError;
+      return FrameVerdict::kRefused;
+    case net::MsgKind::kDraining:
+      std::cerr << "cpc_client: daemon draining: " << msg.text << '\n';
+      exit_code = cli::kExitError;
+      return FrameVerdict::kRefused;
+    case net::MsgKind::kRejected:
+      std::cerr << "cpc_client: rejected: " << msg.text << '\n';
+      exit_code = cli::kExitBadInput;
+      return FrameVerdict::kRefused;
+    case net::MsgKind::kResult: {
+      const std::size_t index = static_cast<std::size_t>(msg.a);
+      if (index >= stream.job_count || stream.results[index].has_value()) {
+        return FrameVerdict::kContinue;  // replayed duplicate
+      }
+      sim::JournalEntry entry =
+          sim::decode_journal_line(msg.text, stream.job_count);
+      if (entry.kind != sim::JournalEntry::Kind::kOk) {
+        std::cerr << "cpc_client: dropping malformed result line for job "
+                  << index << '\n';
+        return FrameVerdict::kContinue;
+      }
+      stream.results[index] = std::move(entry.result);
+      stream.flush_ready();
+      return FrameVerdict::kContinue;
+    }
+    case net::MsgKind::kJobFailed: {
+      const std::size_t index = static_cast<std::size_t>(msg.a);
+      if (index >= stream.job_count || stream.failed[index] ||
+          stream.results[index].has_value()) {
+        return FrameVerdict::kContinue;  // replayed duplicate
+      }
+      stream.failed[index] = true;
+      std::cerr << "job " << index << " failed: " << msg.text << '\n';
+      return FrameVerdict::kContinue;
+    }
+    case net::MsgKind::kSweepDone:
+      stream.done = true;
+      stream.done_ok = msg.a;
+      stream.done_fail = msg.b;
+      return FrameVerdict::kContinue;
+    case net::MsgKind::kSubmit:
+      return FrameVerdict::kContinue;  // daemon never sends this; ignore
+  }
+  return FrameVerdict::kContinue;
+}
+
+/// One connection's worth of conversation: submit, then read until
+/// kSweepDone, a refusal, or the socket drops.
+FrameVerdict run_connection(int fd, const ClientFlags& flags, bool resume,
+                            Stream& stream, int& exit_code) {
+  net::Message submit;
+  submit.kind = net::MsgKind::kSubmit;
+  submit.id = flags.id;
+  submit.b = resume ? 1 : 0;
+  submit.text = net::encode_job_spec(flags.spec);
+  if (!send_all(fd, net::frame_message(submit))) {
+    return FrameVerdict::kDisconnected;
+  }
+  sim::ipc::FrameDecoder decoder;
+  char buffer[4096];
+  while (!stream.done) {
+    const long n = net::read_socket(fd, buffer, sizeof(buffer));
+    if (n < 0) return FrameVerdict::kDisconnected;
+    if (n == 0) {  // blocking fd: only transient interruptions land here
+      sim::ipc::sleep_ms(5);
+      continue;
+    }
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+    sim::ipc::Frame frame;
+    while (true) {
+      const sim::ipc::FrameDecoder::Status status = decoder.next(frame);
+      if (status == sim::ipc::FrameDecoder::Status::kNeedMore) break;
+      if (status == sim::ipc::FrameDecoder::Status::kCorrupt) {
+        std::cerr << "cpc_client: corrupt frame from daemon\n";
+        return FrameVerdict::kDisconnected;
+      }
+      if (frame.type == sim::ipc::FrameType::kHeartbeat) continue;
+      if (frame.type != sim::ipc::FrameType::kBlob) continue;
+      net::Message msg;
+      if (!net::decode_message(frame.payload, msg)) {
+        std::cerr << "cpc_client: undecodable message from daemon\n";
+        return FrameVerdict::kDisconnected;
+      }
+      const FrameVerdict verdict =
+          apply_message(msg, flags, stream, exit_code);
+      if (verdict != FrameVerdict::kContinue) return verdict;
+      if (stream.done) break;
+    }
+  }
+  return FrameVerdict::kContinue;
+}
+
+int client_main(const ClientFlags& flags) {
+  Stream stream;
+  int exit_code = cli::kExitOk;
+  bool resume = flags.resume;
+  unsigned drops = 0;
+  while (true) {
+    const int fd = connect_with_retry(flags);
+    if (fd < 0) return cli::kExitError;
+    const FrameVerdict verdict =
+        run_connection(fd, flags, resume, stream, exit_code);
+    int fd_to_close = fd;
+    net::close_socket(fd_to_close);
+    if (verdict == FrameVerdict::kRefused) return exit_code;
+    if (verdict == FrameVerdict::kDisconnected) {
+      if (++drops > flags.retries) {
+        std::cerr << "error: connection to daemon lost " << drops
+                  << " time(s); giving up\n";
+        return cli::kExitError;
+      }
+      if (!flags.quiet) {
+        std::cerr << "cpc_client: connection lost mid-stream; resuming\n";
+      }
+      stream.forgive_failures();
+      resume = true;  // daemon replays journaled results; dedup absorbs them
+      continue;
+    }
+    break;  // kContinue with stream.done
+  }
+  stream.final_flush();
+  if (!flags.quiet) {
+    std::cerr << "cpc_client: sweep done (" << stream.done_ok << " ok, "
+              << stream.done_fail << " failed)\n";
+  }
+  // The daemon's kSweepDone tally is authoritative — per-connection failure
+  // notices may have been voided by a resume that re-ran those jobs.
+  return stream.done_fail > 0 ? cli::kExitError : cli::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientFlags flags;
+  std::vector<std::string> positional;
+  const auto value_of = [&](int& i, const std::string& arg) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "error: " << arg << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.socket_path = v;
+    } else if (arg == "--id") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.id = v;
+    } else if (arg == "--deadline-ms") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.deadline_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--retries") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.retries = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      if (flags.retries == 0) flags.retries = 1;
+    } else if (arg == "--backoff-ms") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.backoff_ms = std::strtoull(v, nullptr, 10);
+      if (flags.backoff_ms == 0) flags.backoff_ms = 1;
+    } else if (arg == "--workload") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.spec.workload = v;
+    } else if (arg == "--ops") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.spec.trace_ops = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.spec.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--resume") {
+      flags.resume = true;
+    } else if (arg == "--quiet") {
+      flags.quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (flags.socket_path.empty()) return usage();
+  if (flags.spec.workload.empty()) {
+    if (positional.empty()) return usage();
+    flags.spec.trace_path = positional.front();
+    positional.erase(positional.begin());
+  }
+  std::string configs;
+  for (const std::string& arg : positional) {
+    if (!configs.empty()) configs += ',';
+    configs += arg;
+  }
+  flags.spec.configs = configs;
+  flags.spec.deadline_ms = flags.deadline_ms;
+  if (flags.id.empty()) {
+    flags.id = "c" + std::to_string(static_cast<unsigned long>(::getpid()));
+  }
+
+  return cpc::cli::guarded_main([&]() -> int { return client_main(flags); });
+}

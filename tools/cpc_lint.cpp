@@ -25,8 +25,9 @@
 //             directive; `using namespace` never appears in a header.
 //   CPC-L006  include layering: a directory may only include headers from
 //             its own rank or below (common < mem/stats/compress < cache <
-//             cpu/core < workload/analysis < sim < verify; tools/tests/bench
-//             are unranked). verify/fault.hpp is a documented rank-0 leaf.
+//             cpu/core < workload/analysis < sim < verify < net;
+//             tools/tests/bench are unranked). verify/fault.hpp is a
+//             documented rank-0 leaf.
 //   CPC-L007  registry sync: the enumerators of cpc::Invariant and
 //             cpc::verify::FaultKind must match their X-macro .def registry
 //             rows one-to-one and in order. (The build's static_asserts
@@ -47,6 +48,13 @@
 //             handling, EINTR retries, fd hygiene and sanitizer caveats are
 //             solved once — everything else shards through
 //             sim::ipc::spawn_worker / ShardSupervisor.
+//   CPC-L010  centralized socket management: raw socket()/bind()/listen()/
+//             accept()/connect()/setsockopt()/sendmsg()/recvmsg()/... calls
+//             are banned in src/, tools/ and bench/ outside net/socket.cpp,
+//             and raw poll()/ppoll() outside net/socket.cpp and sim/ipc.cpp.
+//             Socket setup (SIGPIPE suppression, nonblocking accept, EINTR
+//             retries, sun_path length limits) lives once in cpc::net;
+//             everything else talks through net/socket.hpp.
 //
 // Waivers: append `// cpc-lint: allow(CPC-LXXX)` to the offending line, or
 // place it on its own comment line directly above. Waivers are per-line and
@@ -531,7 +539,7 @@ int dir_rank(const std::string& dir) {
   static const std::map<std::string, int> kRanks = {
       {"common", 0}, {"mem", 1},      {"stats", 1},    {"compress", 1},
       {"cache", 2},  {"cpu", 3},      {"core", 3},     {"workload", 4},
-      {"analysis", 4}, {"sim", 5},    {"verify", 6},
+      {"analysis", 4}, {"sim", 5},    {"verify", 6},   {"net", 7},
   };
   const auto it = kRanks.find(dir);
   return it == kRanks.end() ? -1 : it->second;
@@ -694,6 +702,43 @@ void check_l009(const SourceFile& f, std::vector<Finding>& findings) {
 }
 
 // ---------------------------------------------------------------------------
+// CPC-L010 — centralized socket management
+// ---------------------------------------------------------------------------
+
+void check_l010(const SourceFile& f, std::vector<Finding>& findings) {
+  // SIGPIPE on a vanished peer, nonblocking accept semantics, EINTR
+  // retries, sun_path length limits: socket pitfalls are handled once in
+  // cpc::net (net/socket.hpp). Everything else — the daemon, the client,
+  // tests — goes through that wrapper. poll()/ppoll() is additionally
+  // sanctioned in sim/ipc.cpp, which predates the net layer and multiplexes
+  // shard-worker pipes. (send/recv are deliberately not matched: too many
+  // innocent members share those names.)
+  if (f.category != "src" && f.category != "tools" && f.category != "bench") {
+    return;
+  }
+  const bool in_socket_impl = ends_with(f.display, "src/net/socket.cpp");
+  const bool may_poll =
+      in_socket_impl || ends_with(f.display, "src/sim/ipc.cpp");
+  // Same look-behind class as CPC-L009: '::'-qualified, member and
+  // identifier-suffix uses don't trip the syscall names.
+  static const std::regex kSocketCall(
+      R"((^|[^:_\w.>])(socket|socketpair|bind|listen|accept|accept4|connect|setsockopt|getsockopt|sendto|recvfrom|sendmsg|recvmsg)\s*\()");
+  static const std::regex kPollCall(R"((^|[^:_\w.>])(poll|ppoll)\s*\()");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (!in_socket_impl && std::regex_search(f.code[i], kSocketCall)) {
+      report(findings, f, i + 1, "CPC-L010",
+             "raw socket call outside the net layer — connect and listen "
+             "through cpc::net (net/socket.hpp)");
+    }
+    if (!may_poll && std::regex_search(f.code[i], kPollCall)) {
+      report(findings, f, i + 1, "CPC-L010",
+             "raw poll call outside net/socket.cpp and sim/ipc.cpp — "
+             "multiplex through net::poll_sockets (net/socket.hpp)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -750,7 +795,7 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: cpc_lint <path>...\n"
-                   "Project static analysis; checks CPC-L001..CPC-L009.\n"
+                   "Project static analysis; checks CPC-L001..CPC-L010.\n"
                    "Exit: 0 clean, 1 findings, 2 usage/IO error.\n";
       return 0;
     }
@@ -810,6 +855,7 @@ int main(int argc, char** argv) {
     check_l007(f, enums, findings);
     check_l008(f, findings);
     check_l009(f, findings);
+    check_l010(f, findings);
   }
 
   std::sort(findings.begin(), findings.end(),

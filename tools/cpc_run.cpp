@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cpu/trace_io.hpp"
+#include "net/protocol.hpp"
 #include "sim/experiment.hpp"
 #include "sim/job.hpp"
 #include "sim/shard_supervisor.hpp"
@@ -35,6 +36,7 @@
 #include "stats/table.hpp"
 
 #include "cli_util.hpp"
+#include "sweep_csv.hpp"
 
 namespace {
 
@@ -46,37 +48,22 @@ int usage() {
   return cpc::cli::kExitUsage;
 }
 
+/// Joins the positional config arguments and defers to the shared grammar
+/// (net/protocol.hpp) — the same parser the cpc_serve daemon applies to a
+/// submitted job spec, so CLI and service reject exactly the same inputs.
 std::vector<cpc::sim::ConfigKind> parse_configs(
     const std::vector<std::string>& names) {
   using namespace cpc;
-  std::vector<sim::ConfigKind> kinds;
+  std::string csv;
   for (const std::string& arg : names) {
-    std::stringstream ss{arg};
-    std::string name;
-    while (std::getline(ss, name, ',')) {
-      if (name.empty()) continue;
-      if (name == "all") {
-        kinds.insert(kinds.end(), std::begin(sim::kAllConfigs),
-                     std::end(sim::kAllConfigs));
-        continue;
-      }
-      bool found = false;
-      for (sim::ConfigKind kind : sim::kAllConfigs) {
-        if (sim::config_name(kind) == name) {
-          kinds.push_back(kind);
-          found = true;
-        }
-      }
-      if (!found) {
-        throw cli::BadInput("unknown configuration '" + name +
-                            "' (expected BC, BCC, HAC, BCP, CPP or all)");
-      }
-    }
+    if (!csv.empty()) csv += ',';
+    csv += arg;
   }
-  if (kinds.empty()) {
-    kinds.assign(std::begin(sim::kAllConfigs), std::end(sim::kAllConfigs));
+  try {
+    return net::parse_config_list(csv);
+  } catch (const std::invalid_argument& error) {
+    throw cli::BadInput(error.what());
   }
-  return kinds;
 }
 
 struct SweepFlags {
@@ -86,14 +73,6 @@ struct SweepFlags {
   unsigned procs = 0;
   cpc::sim::RunOptions options = cpc::sim::RunOptions::from_env();
 };
-
-void print_result_row(const cpc::sim::JobResult& result) {
-  std::cout << result.tag << ',' << result.run.core.cycles << ','
-            << result.run.core.ipc() << ',' << result.run.hierarchy.l1_misses
-            << ',' << result.run.hierarchy.l2_misses << ','
-            << result.run.traffic_words() << ',' << result.wall_seconds << ','
-            << result.ops_per_second << '\n';
-}
 
 int run_sweep_mode(const std::string& trace_path,
                    const std::vector<std::string>& config_args,
@@ -133,8 +112,7 @@ int run_sweep_mode(const std::string& trace_path,
     results = runner.run(std::move(sweep));
   }
 
-  std::cout << "config,cycles,ipc,l1_misses,l2_misses,mem_words,"
-               "wall_seconds,ops_per_sec\n";
+  std::cout << cli::kSweepCsvHeader << '\n';
   for (const sim::JobResult& result : results) {
     if ((flags.contain || sharded) && !result.ok) continue;  // reported below
     if (result.run.core.value_mismatches != 0) {
@@ -142,7 +120,7 @@ int run_sweep_mode(const std::string& trace_path,
                           " value mismatches in " + result.tag +
                           " — corrupt trace?");
     }
-    print_result_row(result);
+    cli::print_sweep_csv_row(std::cout, result);
   }
   for (const sim::JobFailure& failure : failures) {
     std::cerr << "job " << failure.index << " ("

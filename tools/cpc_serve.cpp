@@ -1,0 +1,775 @@
+// cpc_serve — long-running sweep service: accepts job submissions from many
+// concurrent clients over a Unix-domain socket and streams per-job results
+// back as they complete.
+//
+//   cpc_serve --socket PATH [--procs N] [--queue-max N] [--state-dir DIR]
+//             [--quiet]
+//
+// Wire format: sim::ipc frames (CRC32-guarded) carrying net/protocol.hpp
+// messages; see that header for the conversation shape. Execution goes
+// through the same engines as cpc_run — SweepRunner::run_contained, or the
+// ShardSupervisor crash-isolation path when --procs > 1 — so streamed
+// results are bit-identical to a serial run.
+//
+// Robustness behaviour (docs/robustness.md "Sweep service" failure matrix):
+//   * admission control: at most --queue-max submissions queue; excess gets
+//     an explicit kShed reply instead of unbounded buffering
+//   * per-request deadlines layer on CPC_JOB_TIMEOUT_MS (the tighter wins)
+//   * a client that disconnects mid-sweep has its submissions cancelled —
+//     queued ones are unqueued, the running one is cancelled cooperatively
+//     (in-process) or its workers killed (sharded)
+//   * SIGTERM/SIGINT drain: stop accepting, finish the in-flight sweep,
+//     notify queued clients, leave queued request files on disk, exit 0
+//   * restart recovery: --state-dir persists each submission (<id>.req),
+//     its checkpoint journal (<id>.journal) and a completion marker
+//     (<id>.done); after a crash the daemon re-enqueues unfinished requests
+//     and the journal skips already-completed jobs
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "cpu/trace_io.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "sim/bench_meter.hpp"
+#include "sim/ipc.hpp"
+#include "sim/journal.hpp"
+#include "sim/shard_supervisor.hpp"
+#include "sim/sweep_runner.hpp"
+#include "workload/workloads.hpp"
+
+#include "cli_util.hpp"
+
+namespace {
+
+using namespace cpc;
+
+volatile std::sig_atomic_t g_drain = 0;
+void request_drain(int) { g_drain = 1; }
+
+int usage() {
+  std::cerr << "usage: cpc_serve --socket PATH [--procs N] [--queue-max N]\n"
+               "                 [--state-dir DIR] [--quiet]\n";
+  return cli::kExitUsage;
+}
+
+struct ServeFlags {
+  std::string socket_path;
+  unsigned procs = 0;         ///< > 1 shards each sweep across workers
+  std::size_t queue_max = 8;  ///< admission bound; excess submissions shed
+  std::string state_dir;      ///< empty = no persistence / restart recovery
+  bool quiet = false;
+};
+
+/// One accepted sweep. `cancel` is the cooperative kill switch shared with
+/// the execution engine (RunOptions::cancel).
+struct Submission {
+  std::string id;
+  net::JobSpec spec;
+  std::size_t job_count = 0;
+  std::atomic<bool> cancel{false};
+};
+using SubmissionPtr = std::shared_ptr<Submission>;
+
+/// State shared between the socket event loop (main thread) and the
+/// executor thread.
+struct ServerState {
+  Mutex mutex;
+  std::deque<SubmissionPtr> queue CPC_GUARDED_BY(mutex);
+  SubmissionPtr running CPC_GUARDED_BY(mutex);
+  /// Messages produced by the executor, for the event loop to route to the
+  /// owning client (or drop, when the owner is gone).
+  std::deque<net::Message> outbound CPC_GUARDED_BY(mutex);
+  bool draining CPC_GUARDED_BY(mutex) = false;
+  bool executor_done CPC_GUARDED_BY(mutex) = false;
+};
+
+struct Client {
+  int fd = -1;
+  sim::ipc::FrameDecoder decoder;
+  std::string outbox;             ///< framed bytes awaiting the socket
+  std::vector<std::string> subs;  ///< submission ids this client owns
+  bool dead = false;
+};
+
+// ---------------------------------------------------------------------------
+// State-dir persistence
+// ---------------------------------------------------------------------------
+
+std::string request_path(const ServeFlags& flags, const std::string& id) {
+  return flags.state_dir + "/" + id + ".req";
+}
+std::string journal_path(const ServeFlags& flags, const std::string& id) {
+  return flags.state_dir + "/" + id + ".journal";
+}
+std::string done_path(const ServeFlags& flags, const std::string& id) {
+  return flags.state_dir + "/" + id + ".done";
+}
+
+/// Atomic write (tmp + rename), same discipline as the trace spill tier.
+bool write_file_atomic(const std::string& path, const std::string& bytes) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+void persist_request(const ServeFlags& flags, const Submission& sub) {
+  if (flags.state_dir.empty()) return;
+  if (!write_file_atomic(request_path(flags, sub.id),
+                         net::encode_job_spec(sub.spec))) {
+    std::cerr << "warning: cannot persist request " << sub.id
+              << " (restart recovery will miss it)\n";
+  }
+  // A fresh submission under a recycled id must not look finished.
+  std::error_code ec;
+  std::filesystem::remove(done_path(flags, sub.id), ec);
+}
+
+void forget_request(const ServeFlags& flags, const std::string& id) {
+  if (flags.state_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove(request_path(flags, id), ec);
+}
+
+void mark_done(const ServeFlags& flags, const std::string& id,
+               std::uint64_t ok_count, std::uint64_t fail_count) {
+  if (flags.state_dir.empty()) return;
+  write_file_atomic(done_path(flags, id), std::to_string(ok_count) + " " +
+                                              std::to_string(fail_count) +
+                                              "\n");
+}
+
+bool read_done(const ServeFlags& flags, const std::string& id,
+               std::uint64_t& ok_count, std::uint64_t& fail_count) {
+  if (flags.state_dir.empty()) return false;
+  std::ifstream in(done_path(flags, id));
+  if (!in.good()) return false;
+  in >> ok_count >> fail_count;
+  return !in.fail();
+}
+
+/// `id` names on-disk files; confine it to a filesystem-safe alphabet.
+bool valid_submission_id(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return id[0] != '.';
+}
+
+// ---------------------------------------------------------------------------
+// Executor thread: drains the submission queue through the sweep engines
+// ---------------------------------------------------------------------------
+
+/// Expands a validated spec into the config-sweep job grid (exactly what
+/// cpc_run --sweep builds, so journals and results line up byte for byte).
+std::vector<sim::Job> build_jobs(const net::JobSpec& spec) {
+  const std::vector<sim::ConfigKind> kinds =
+      net::parse_config_list(spec.configs);
+  std::shared_ptr<const cpu::Trace> trace;
+  if (!spec.trace_path.empty()) {
+    trace = std::make_shared<const cpu::Trace>(
+        cpu::read_trace_file(spec.trace_path));
+  }
+  std::vector<sim::Job> jobs;
+  for (const sim::ConfigKind kind : kinds) {
+    sim::Job job;
+    if (trace) {
+      job.trace = trace;
+    } else {
+      job.workload = workload::find_workload(spec.workload);
+      job.trace_ops = spec.trace_ops;
+      job.seed = spec.seed;
+    }
+    job.make_hierarchy = [kind] { return sim::make_hierarchy(kind); };
+    job.tag = sim::config_name(kind);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void run_submission(ServerState& state, const ServeFlags& flags,
+                    Submission& sub) {
+  const auto post = [&state](net::Message message) {
+    const MutexLock lock(state.mutex);
+    state.outbound.push_back(std::move(message));
+  };
+  const auto cancelled = [&sub] {
+    return sub.cancel.load(std::memory_order_relaxed);
+  };
+  if (cancelled()) {
+    // The owner vanished before the sweep started: abandon it entirely.
+    forget_request(flags, sub.id);
+    return;
+  }
+
+  std::vector<sim::Job> jobs;
+  try {
+    jobs = build_jobs(sub.spec);
+  } catch (const std::exception& error) {
+    // Admission validated the spec, but the environment can still change
+    // underneath us (trace file deleted between submit and run).
+    post({net::MsgKind::kRejected, sub.id, 0, 0,
+          std::string("cannot start sweep: ") + error.what()});
+    forget_request(flags, sub.id);
+    return;
+  }
+
+  sim::RunOptions options = sim::RunOptions::from_env();
+  // The engine's progress/worker-death lines go to the daemon's own log;
+  // a contained shard crash should be visible there, so only --quiet
+  // silences it. Results themselves travel through the callbacks below.
+  options.quiet = flags.quiet;
+  options.job_timeout_ms =
+      net::effective_deadline_ms(sub.spec.deadline_ms, options.job_timeout_ms);
+  if (!flags.state_dir.empty()) {
+    options.journal_path = journal_path(flags, sub.id);
+  }
+  options.cancel = &sub.cancel;
+  std::uint64_t ok_count = 0;
+  std::uint64_t fail_count = 0;
+  // A cancelled submission stops posting: a resubmission under the same id
+  // may already own the stream, and the stale run's "sweep cancelled"
+  // failures must not masquerade as the new run's results. Completed jobs
+  // are journaled either way, so nothing real is lost.
+  options.on_result = [&](const sim::JobResult& result) {
+    ++ok_count;
+    if (cancelled()) return;
+    post({net::MsgKind::kResult, sub.id, result.index, 0,
+          sim::encode_ok_line(result)});
+  };
+  options.on_failure = [&](const sim::JobFailure& failure) {
+    ++fail_count;
+    if (cancelled()) return;
+    post({net::MsgKind::kJobFailed, sub.id, failure.index, 0, failure.what});
+  };
+
+  if (!flags.quiet) {
+    std::cerr << "cpc_serve: running " << sub.id << " (" << sub.job_count
+              << " jobs)\n";
+  }
+  const sim::SweepRunner runner;
+  sim::RunReport report;
+  if (flags.procs > 1) {
+    sim::ShardOptions shard = sim::ShardOptions::from_env();
+    shard.procs = flags.procs;
+    shard.run = options;
+    report = runner.run_sharded(std::move(jobs), shard);
+  } else {
+    report = runner.run_contained(std::move(jobs), options);
+  }
+
+  if (cancelled()) {
+    // Orphaned mid-sweep: completed jobs are journaled; no done marker, so
+    // a resubmission (or restart) re-runs only what is missing. Keep the
+    // request file for restart recovery.
+    if (!flags.quiet) {
+      std::cerr << "cpc_serve: cancelled " << sub.id << " (client gone)\n";
+    }
+    return;
+  }
+  post({net::MsgKind::kSweepDone, sub.id, ok_count, fail_count, {}});
+  mark_done(flags, sub.id, ok_count, fail_count);
+  if (!flags.quiet) {
+    std::cerr << "cpc_serve: finished " << sub.id << " (" << ok_count
+              << " ok, " << fail_count << " failed";
+    if (report.worker_rss_peak_bytes > 0) {
+      std::cerr << ", worker rss peak " << (report.worker_rss_peak_bytes >> 20)
+                << " MiB";
+    }
+    std::cerr << ")\n";
+  }
+}
+
+void executor_loop(ServerState& state, const ServeFlags& flags) {
+  while (true) {
+    SubmissionPtr sub;
+    {
+      const MutexLock lock(state.mutex);
+      if (state.draining) {
+        // Queued submissions stay journaled on disk ("journal the rest");
+        // only the in-flight sweep was finished.
+        state.executor_done = true;
+        return;
+      }
+      if (!state.queue.empty()) {
+        sub = state.queue.front();
+        state.queue.pop_front();
+        state.running = sub;
+      }
+    }
+    if (!sub) {
+      sim::ipc::sleep_ms(20);  // poll; tools may not use CondVar timeouts
+      continue;
+    }
+    run_submission(state, flags, *sub);
+    {
+      const MutexLock lock(state.mutex);
+      state.running.reset();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop (main thread)
+// ---------------------------------------------------------------------------
+
+Client* find_owner(std::vector<std::unique_ptr<Client>>& clients,
+                   const std::string& id) {
+  for (const auto& client : clients) {
+    if (client->dead) continue;
+    for (const std::string& owned : client->subs) {
+      if (owned == id) return client.get();
+    }
+  }
+  return nullptr;
+}
+
+/// Replays a finished submission to a resuming client straight from its
+/// journal — the daemon may have restarted since the sweep ran.
+void replay_finished(const ServeFlags& flags, Client& client,
+                     const std::string& id, std::size_t job_count,
+                     std::uint64_t ok_count, std::uint64_t fail_count) {
+  client.outbox += net::frame_message(
+      {net::MsgKind::kAccepted, id, job_count, 0, {}});
+  std::ifstream in(journal_path(flags, id));
+  std::string line;
+  while (std::getline(in, line)) {
+    const sim::JournalEntry entry = sim::decode_journal_line(line, job_count);
+    if (entry.kind == sim::JournalEntry::Kind::kOk) {
+      client.outbox += net::frame_message(
+          {net::MsgKind::kResult, id, entry.index, 0, line});
+    } else if (entry.kind == sim::JournalEntry::Kind::kFail) {
+      client.outbox += net::frame_message(
+          {net::MsgKind::kJobFailed, id, entry.index, 0, entry.what});
+    }
+  }
+  client.outbox += net::frame_message(
+      {net::MsgKind::kSweepDone, id, ok_count, fail_count, {}});
+}
+
+void handle_submit(ServerState& state, const ServeFlags& flags,
+                   Client& client, const net::Message& msg) {
+  const auto reply = [&client, &msg](net::MsgKind kind, std::uint64_t a,
+                                     std::uint64_t b, std::string text) {
+    client.outbox +=
+        net::frame_message({kind, msg.id, a, b, std::move(text)});
+  };
+  if (!valid_submission_id(msg.id)) {
+    reply(net::MsgKind::kRejected, 0, 0,
+          "invalid submission id (want [A-Za-z0-9._-]{1,64}, no leading dot)");
+    return;
+  }
+  net::JobSpec spec;
+  if (!net::decode_job_spec(msg.text, spec)) {
+    reply(net::MsgKind::kRejected, 0, 0, "malformed job spec payload");
+    return;
+  }
+  // Validate eagerly so a doomed request is refused at admission, not after
+  // queueing behind other sweeps.
+  std::size_t job_count = 0;
+  try {
+    job_count = net::parse_config_list(spec.configs).size();
+    if (spec.trace_path.empty() == spec.workload.empty()) {
+      throw std::invalid_argument(
+          "exactly one of trace path or workload must be set");
+    }
+    if (!spec.workload.empty()) {
+      workload::find_workload(spec.workload);  // throws out_of_range
+      if (spec.trace_ops == 0) {
+        throw std::invalid_argument("workload mode needs trace_ops > 0");
+      }
+    } else {
+      const std::ifstream probe(spec.trace_path, std::ios::binary);
+      if (!probe.good()) {
+        throw std::invalid_argument("trace file unreadable: " +
+                                    spec.trace_path);
+      }
+    }
+  } catch (const std::exception& error) {
+    reply(net::MsgKind::kRejected, 0, 0, error.what());
+    return;
+  }
+
+  // A resuming client whose sweep already finished is served wholly from
+  // the journal — nothing re-runs.
+  std::uint64_t done_ok = 0, done_fail = 0;
+  if (msg.b == 1 && read_done(flags, msg.id, done_ok, done_fail)) {
+    replay_finished(flags, client, msg.id, job_count, done_ok, done_fail);
+    return;
+  }
+
+  SubmissionPtr sub;
+  std::uint64_t depth = 0;
+  {
+    const MutexLock lock(state.mutex);
+    if (state.draining) {
+      reply(net::MsgKind::kDraining, 0, 0,
+            "daemon is draining; resubmit after restart");
+      return;
+    }
+    // A resubmitted id supersedes any stale instance (its previous owner
+    // died, or this is a reconnect): cancel the old run; the journal
+    // carries its completed jobs forward into the new one.
+    if (state.running && state.running->id == msg.id) {
+      state.running->cancel.store(true, std::memory_order_relaxed);
+    }
+    for (auto it = state.queue.begin(); it != state.queue.end();) {
+      if ((*it)->id == msg.id) {
+        (*it)->cancel.store(true, std::memory_order_relaxed);
+        it = state.queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (state.queue.size() >= flags.queue_max) {
+      reply(net::MsgKind::kShed, 0, state.queue.size(),
+            "queue full (" + std::to_string(state.queue.size()) +
+                " submissions pending); retry with backoff");
+      return;
+    }
+    sub = std::make_shared<Submission>();
+    sub->id = msg.id;
+    sub->spec = spec;
+    sub->job_count = job_count;
+    state.queue.push_back(sub);
+    depth = state.queue.size();
+  }
+  persist_request(flags, *sub);
+  bool already_owned = false;
+  for (const std::string& owned : client.subs) {
+    if (owned == msg.id) already_owned = true;
+  }
+  if (!already_owned) client.subs.push_back(msg.id);
+  reply(net::MsgKind::kAccepted, job_count, depth, {});
+  if (!flags.quiet) {
+    std::cerr << "cpc_serve: accepted " << msg.id << " (" << job_count
+              << " jobs, queue depth " << depth << ")\n";
+  }
+}
+
+/// Returns false on protocol corruption (the client is dropped).
+bool handle_frame(ServerState& state, const ServeFlags& flags, Client& client,
+                  const sim::ipc::Frame& frame) {
+  if (frame.type == sim::ipc::FrameType::kHeartbeat) return true;
+  if (frame.type != sim::ipc::FrameType::kBlob) return true;  // ignore
+  net::Message msg;
+  if (!net::decode_message(frame.payload, msg)) return false;
+  if (msg.kind == net::MsgKind::kSubmit) {
+    handle_submit(state, flags, client, msg);
+  }
+  return true;
+}
+
+/// A disconnected client's submissions are orphaned: cancel them so no
+/// compute is spent streaming into the void.
+void cancel_owned(ServerState& state, const ServeFlags& flags,
+                  const Client& client) {
+  const MutexLock lock(state.mutex);
+  for (const std::string& id : client.subs) {
+    if (state.running && state.running->id == id) {
+      state.running->cancel.store(true, std::memory_order_relaxed);
+    }
+    for (auto it = state.queue.begin(); it != state.queue.end();) {
+      if ((*it)->id == id) {
+        (*it)->cancel.store(true, std::memory_order_relaxed);
+        it = state.queue.erase(it);
+        forget_request(flags, id);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+/// Re-enqueues requests persisted by a previous daemon instance that never
+/// finished (no .done marker). Their journals skip completed jobs.
+void recover_state_dir(ServerState& state, const ServeFlags& flags) {
+  if (flags.state_dir.empty()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(flags.state_dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create state dir '" + flags.state_dir +
+                             "': " + ec.message());
+  }
+  std::vector<std::string> ids;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(flags.state_dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    const std::string suffix = ".req";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    ids.push_back(name.substr(0, name.size() - suffix.size()));
+  }
+  std::sort(ids.begin(), ids.end());  // deterministic recovery order
+  for (const std::string& id : ids) {
+    std::uint64_t ok_count = 0, fail_count = 0;
+    if (read_done(flags, id, ok_count, fail_count)) continue;  // finished
+    std::ifstream in(request_path(flags, id), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    net::JobSpec spec;
+    if (!in.good() || !net::decode_job_spec(bytes, spec)) {
+      std::cerr << "warning: ignoring unreadable request file for '" << id
+                << "'\n";
+      continue;
+    }
+    auto sub = std::make_shared<Submission>();
+    sub->id = id;
+    sub->spec = spec;
+    try {
+      sub->job_count = net::parse_config_list(spec.configs).size();
+    } catch (const std::exception&) {
+      std::cerr << "warning: ignoring request '" << id
+                << "' with invalid configs\n";
+      continue;
+    }
+    const MutexLock lock(state.mutex);
+    state.queue.push_back(std::move(sub));
+  }
+  {
+    const MutexLock lock(state.mutex);
+    if (!flags.quiet && !state.queue.empty()) {
+      std::cerr << "cpc_serve: recovered " << state.queue.size()
+                << " unfinished submission(s) from " << flags.state_dir
+                << "\n";
+    }
+  }
+}
+
+int serve_main(const ServeFlags& flags) {
+  if (!net::sockets_supported()) {
+    std::cerr << "error: Unix-domain sockets unsupported on this platform\n";
+    return cli::kExitError;
+  }
+  ServerState state;
+  recover_state_dir(state, flags);
+
+  int listen_fd = net::listen_unix(flags.socket_path, 64);
+  if (listen_fd < 0) return cli::kExitError;
+  std::signal(SIGTERM, request_drain);
+  std::signal(SIGINT, request_drain);
+  if (!flags.quiet) {
+    std::cerr << "cpc_serve: listening on " << flags.socket_path
+              << " (queue-max " << flags.queue_max << ", procs "
+              << (flags.procs == 0 ? 1 : flags.procs) << ")\n";
+  }
+
+  std::thread executor([&state, &flags] { executor_loop(state, flags); });
+  std::vector<std::unique_ptr<Client>> clients;
+  sim::Stopwatch heartbeat_clock;
+  bool drain_started = false;
+  char buffer[4096];
+
+  while (true) {
+    // Signal-driven drain: close the door, tell waiting clients, let the
+    // executor finish the sweep it is on.
+    if (g_drain != 0 && !drain_started) {
+      drain_started = true;
+      net::close_socket(listen_fd);
+      net::unlink_socket(flags.socket_path);
+      const MutexLock lock(state.mutex);
+      state.draining = true;
+      for (const SubmissionPtr& sub : state.queue) {
+        if (Client* owner = find_owner(clients, sub->id)) {
+          owner->outbox += net::frame_message(
+              {net::MsgKind::kDraining, sub->id, 0, 0,
+               "daemon draining; request journaled for restart"});
+        }
+      }
+      if (!flags.quiet) {
+        std::cerr << "cpc_serve: draining (" << state.queue.size()
+                  << " queued submission(s) journaled)\n";
+      }
+    }
+
+    // Route executor output to owners. Messages for dead/vanished owners
+    // are dropped — the journal has them if the client ever resumes.
+    {
+      std::deque<net::Message> pending;
+      {
+        const MutexLock lock(state.mutex);
+        pending.swap(state.outbound);
+      }
+      for (net::Message& msg : pending) {
+        if (Client* owner = find_owner(clients, msg.id)) {
+          owner->outbox += net::frame_message(msg);
+        }
+      }
+    }
+
+    // Periodic heartbeats double as dead-client detection: a vanished peer
+    // turns the next flush into a write error.
+    if (heartbeat_clock.seconds() > 0.5) {
+      heartbeat_clock.restart();
+      for (const auto& client : clients) {
+        if (!client->dead) {
+          client->outbox +=
+              sim::ipc::encode_frame(sim::ipc::FrameType::kHeartbeat, {});
+        }
+      }
+    }
+
+    // Drained and flushed: exit.
+    if (drain_started) {
+      bool executor_done = false;
+      {
+        const MutexLock lock(state.mutex);
+        executor_done = state.executor_done;
+      }
+      bool flushed = true;
+      for (const auto& client : clients) {
+        if (!client->dead && !client->outbox.empty()) flushed = false;
+      }
+      if (executor_done && flushed) break;
+    }
+
+    std::vector<net::PollFd> fds;
+    if (listen_fd >= 0) fds.push_back({listen_fd, false, false, false, false});
+    const std::size_t first_client = fds.size();
+    for (const auto& client : clients) {
+      fds.push_back(
+          {client->fd, !client->outbox.empty(), false, false, false});
+    }
+    net::poll_sockets(fds, 50);
+
+    if (listen_fd >= 0 && fds[0].readable) {
+      while (true) {
+        const int fd = net::accept_client(listen_fd);
+        if (fd < 0) break;
+        auto client = std::make_unique<Client>();
+        client->fd = fd;
+        clients.push_back(std::move(client));
+      }
+    }
+
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      Client& client = *clients[i];
+      const net::PollFd& poll_fd = fds[first_client + i];
+      if (poll_fd.readable || poll_fd.hangup) {
+        while (true) {
+          const long n = net::read_socket(client.fd, buffer, sizeof(buffer));
+          if (n > 0) {
+            client.decoder.feed(buffer, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n < 0) client.dead = true;  // EOF or error
+          break;
+        }
+        sim::ipc::Frame frame;
+        while (!client.dead) {
+          const sim::ipc::FrameDecoder::Status status =
+              client.decoder.next(frame);
+          if (status == sim::ipc::FrameDecoder::Status::kNeedMore) break;
+          if (status == sim::ipc::FrameDecoder::Status::kCorrupt ||
+              !handle_frame(state, flags, client, frame)) {
+            client.dead = true;  // the stream cannot be trusted
+            break;
+          }
+        }
+      }
+      if (!client.dead && !client.outbox.empty() &&
+          (poll_fd.writable || poll_fd.hangup)) {
+        const long n = net::write_socket(client.fd, client.outbox.data(),
+                                         client.outbox.size());
+        if (n < 0) {
+          client.dead = true;
+        } else if (n > 0) {
+          client.outbox.erase(0, static_cast<std::size_t>(n));
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < clients.size();) {
+      if (clients[i]->dead) {
+        cancel_owned(state, flags, *clients[i]);
+        net::close_socket(clients[i]->fd);
+        clients.erase(clients.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  for (const auto& client : clients) {
+    int fd = client->fd;
+    net::close_socket(fd);
+  }
+  executor.join();
+  net::close_socket(listen_fd);
+  net::unlink_socket(flags.socket_path);
+  if (!flags.quiet) std::cerr << "cpc_serve: drained, exiting\n";
+  return cli::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeFlags flags;
+  const auto value_of = [&](int& i, const std::string& arg) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "error: " << arg << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.socket_path = v;
+    } else if (arg == "--procs") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.procs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--queue-max") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.queue_max =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      if (flags.queue_max == 0) flags.queue_max = 1;
+    } else if (arg == "--state-dir") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.state_dir = v;
+    } else if (arg == "--quiet") {
+      flags.quiet = true;
+    } else {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      return usage();
+    }
+  }
+  if (flags.socket_path.empty()) return usage();
+
+  return cpc::cli::guarded_main([&]() -> int { return serve_main(flags); });
+}

@@ -1,0 +1,24 @@
+#pragma once
+// The one definition of the sweep CSV schema shared by cpc_run (serial
+// sweeps) and cpc_client (results streamed back from a cpc_serve daemon).
+// Both tools printing through these helpers is what makes "service output
+// is bit-identical to the serial run" checkable with cmp(1).
+
+#include <ostream>
+
+#include "sim/job.hpp"
+
+namespace cpc::cli {
+
+inline constexpr const char* kSweepCsvHeader =
+    "config,cycles,ipc,l1_misses,l2_misses,mem_words,wall_seconds,ops_per_sec";
+
+inline void print_sweep_csv_row(std::ostream& out,
+                                const cpc::sim::JobResult& result) {
+  out << result.tag << ',' << result.run.core.cycles << ','
+      << result.run.core.ipc() << ',' << result.run.hierarchy.l1_misses << ','
+      << result.run.hierarchy.l2_misses << ',' << result.run.traffic_words()
+      << ',' << result.wall_seconds << ',' << result.ops_per_second << '\n';
+}
+
+}  // namespace cpc::cli
