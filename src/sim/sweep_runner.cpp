@@ -104,7 +104,10 @@ void TraceCache::Stats::merge(const Stats& other) {
   compressed_bytes += other.compressed_bytes;
   spill_writes += other.spill_writes;
   spill_hits += other.spill_hits;
-  spill_bytes += other.spill_bytes;
+  // A gauge, not a counter: every cache sharing CPC_TRACE_SPILL_DIR (shard
+  // workers, supervisor) observes the same directory footprint, so summing
+  // would over-report it once per worker.
+  spill_bytes = std::max(spill_bytes, other.spill_bytes);
   spill_drops += other.spill_drops;
   spill_quarantined += other.spill_quarantined;
 }

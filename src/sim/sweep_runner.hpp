@@ -64,11 +64,13 @@ class TraceCache {
     std::uint64_t compressed_bytes = 0;
     std::uint64_t spill_writes = 0;  ///< blobs written to the disk tier
     std::uint64_t spill_hits = 0;    ///< blobs reloaded instead of regenerated
-    std::uint64_t spill_bytes = 0;   ///< disk-tier footprint at snapshot time
+    std::uint64_t spill_bytes = 0;   ///< disk-tier footprint (gauge, not sum)
     std::uint64_t spill_drops = 0;   ///< blobs evicted from disk (or too big)
     std::uint64_t spill_quarantined = 0;  ///< corrupt files renamed aside
 
     /// Accumulates `other` (sharded sweeps sum their workers' stats).
+    /// `spill_bytes` is the exception: caches sharing a spill dir all see
+    /// the same directory, so merge takes the max instead of summing.
     void merge(const Stats& other);
   };
 

@@ -129,6 +129,22 @@ else
   grep -qi "shed" "$TMP/shed.err" || fail "no shed notice on client stderr"
 fi
 echo "ok: queue-max 1 sheds the overflow submission"
+
+# --- 3b. a shed resubmission must not cancel its in-flight predecessor -------
+# The queue is still full of *other* work (queued), so resubmitting the
+# running id is refused — but the refusal must leave the in-flight busy
+# sweep running, not cancel it first and then shed the replacement.
+if "$BIN/cpc_client" --socket "$SOCK2" --id busy --quiet \
+    "$TMP/t.cpctrace" "$ALLCFG" >/dev/null 2>"$TMP/reshed.err"; then
+  fail "resubmission of the running id while full was not shed"
+else
+  grep -qi "shed" "$TMP/reshed.err" || fail "no shed notice on resubmission"
+fi
+sleep 2
+grep -q "cancelled busy" "$TMP/serve2.log" \
+  && fail "shed resubmission cancelled its in-flight predecessor"
+echo "ok: shed resubmission left the in-flight sweep running"
+
 kill -9 "$BUSY" "$QUEUED" 2>/dev/null
 wait "$BUSY" 2>/dev/null
 wait "$QUEUED" 2>/dev/null

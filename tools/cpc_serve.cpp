@@ -25,6 +25,7 @@
 //     (<id>.done); after a crash the daemon re-enqueues unfinished requests
 //     and the journal skips already-completed jobs
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdlib>
@@ -349,6 +350,22 @@ Client* find_owner(std::vector<std::unique_ptr<Client>>& clients,
   return nullptr;
 }
 
+/// Makes `owner` the sole owner of `id`: a superseding submit (reconnect
+/// under the same id from a new connection) must re-route the stream, or
+/// find_owner would keep feeding the stale connection.
+void claim_ownership(std::vector<std::unique_ptr<Client>>& clients,
+                     Client& owner, const std::string& id) {
+  for (const auto& client : clients) {
+    if (client.get() == &owner) continue;
+    std::vector<std::string>& subs = client->subs;
+    subs.erase(std::remove(subs.begin(), subs.end(), id), subs.end());
+  }
+  if (std::find(owner.subs.begin(), owner.subs.end(), id) ==
+      owner.subs.end()) {
+    owner.subs.push_back(id);
+  }
+}
+
 /// Replays a finished submission to a resuming client straight from its
 /// journal — the daemon may have restarted since the sweep ran.
 void replay_finished(const ServeFlags& flags, Client& client,
@@ -373,6 +390,7 @@ void replay_finished(const ServeFlags& flags, Client& client,
 }
 
 void handle_submit(ServerState& state, const ServeFlags& flags,
+                   std::vector<std::unique_ptr<Client>>& clients,
                    Client& client, const net::Message& msg) {
   const auto reply = [&client, &msg](net::MsgKind kind, std::uint64_t a,
                                      std::uint64_t b, std::string text) {
@@ -432,8 +450,22 @@ void handle_submit(ServerState& state, const ServeFlags& flags,
             "daemon is draining; resubmit after restart");
       return;
     }
-    // A resubmitted id supersedes any stale instance (its previous owner
-    // died, or this is a reconnect): cancel the old run; the journal
+    // Admission first, counting only *other* ids: superseding an entry of
+    // the same id cannot grow the queue, and a shed resubmission must leave
+    // any in-flight instance of its id untouched — cancelling first would
+    // abandon previously accepted work and then refuse the replacement.
+    std::size_t other_depth = 0;
+    for (const SubmissionPtr& queued : state.queue) {
+      if (queued->id != msg.id) ++other_depth;
+    }
+    if (other_depth >= flags.queue_max) {
+      reply(net::MsgKind::kShed, 0, other_depth,
+            "queue full (" + std::to_string(other_depth) +
+                " submissions pending); retry with backoff");
+      return;
+    }
+    // Admitted: a resubmitted id supersedes any stale instance (its previous
+    // owner died, or this is a reconnect): cancel the old run; the journal
     // carries its completed jobs forward into the new one.
     if (state.running && state.running->id == msg.id) {
       state.running->cancel.store(true, std::memory_order_relaxed);
@@ -446,12 +478,6 @@ void handle_submit(ServerState& state, const ServeFlags& flags,
         ++it;
       }
     }
-    if (state.queue.size() >= flags.queue_max) {
-      reply(net::MsgKind::kShed, 0, state.queue.size(),
-            "queue full (" + std::to_string(state.queue.size()) +
-                " submissions pending); retry with backoff");
-      return;
-    }
     sub = std::make_shared<Submission>();
     sub->id = msg.id;
     sub->spec = spec;
@@ -460,11 +486,7 @@ void handle_submit(ServerState& state, const ServeFlags& flags,
     depth = state.queue.size();
   }
   persist_request(flags, *sub);
-  bool already_owned = false;
-  for (const std::string& owned : client.subs) {
-    if (owned == msg.id) already_owned = true;
-  }
-  if (!already_owned) client.subs.push_back(msg.id);
+  claim_ownership(clients, client, msg.id);
   reply(net::MsgKind::kAccepted, job_count, depth, {});
   if (!flags.quiet) {
     std::cerr << "cpc_serve: accepted " << msg.id << " (" << job_count
@@ -473,14 +495,15 @@ void handle_submit(ServerState& state, const ServeFlags& flags,
 }
 
 /// Returns false on protocol corruption (the client is dropped).
-bool handle_frame(ServerState& state, const ServeFlags& flags, Client& client,
-                  const sim::ipc::Frame& frame) {
+bool handle_frame(ServerState& state, const ServeFlags& flags,
+                  std::vector<std::unique_ptr<Client>>& clients,
+                  Client& client, const sim::ipc::Frame& frame) {
   if (frame.type == sim::ipc::FrameType::kHeartbeat) return true;
   if (frame.type != sim::ipc::FrameType::kBlob) return true;  // ignore
   net::Message msg;
   if (!net::decode_message(frame.payload, msg)) return false;
   if (msg.kind == net::MsgKind::kSubmit) {
-    handle_submit(state, flags, client, msg);
+    handle_submit(state, flags, clients, client, msg);
   }
   return true;
 }
@@ -656,6 +679,8 @@ int serve_main(const ServeFlags& flags) {
     std::vector<net::PollFd> fds;
     if (listen_fd >= 0) fds.push_back({listen_fd, false, false, false, false});
     const std::size_t first_client = fds.size();
+    // Only these clients have a PollFd; ones accepted below wait a lap.
+    const std::size_t polled_clients = clients.size();
     for (const auto& client : clients) {
       fds.push_back(
           {client->fd, !client->outbox.empty(), false, false, false});
@@ -672,7 +697,7 @@ int serve_main(const ServeFlags& flags) {
       }
     }
 
-    for (std::size_t i = 0; i < clients.size(); ++i) {
+    for (std::size_t i = 0; i < polled_clients; ++i) {
       Client& client = *clients[i];
       const net::PollFd& poll_fd = fds[first_client + i];
       if (poll_fd.readable || poll_fd.hangup) {
@@ -691,7 +716,7 @@ int serve_main(const ServeFlags& flags) {
               client.decoder.next(frame);
           if (status == sim::ipc::FrameDecoder::Status::kNeedMore) break;
           if (status == sim::ipc::FrameDecoder::Status::kCorrupt ||
-              !handle_frame(state, flags, client, frame)) {
+              !handle_frame(state, flags, clients, client, frame)) {
             client.dead = true;  // the stream cannot be trusted
             break;
           }
