@@ -22,7 +22,7 @@ int main() {
     variants.push_back({std::to_string(width) + "-bit",
                         [width] {
                           core::CppHierarchy::Options o;
-                          o.scheme = compress::Scheme{width};
+                          o.codec = compress::Codec{compress::Scheme{width}};
                           return std::make_unique<core::CppHierarchy>(o);
                         }});
   }

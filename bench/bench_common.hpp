@@ -175,6 +175,39 @@ inline Variant config_variant(sim::ConfigKind kind,
                  core};
 }
 
+/// A Variant for one (config, codec) cell. Under the paper codec this is
+/// config_variant exactly — same label, same hierarchy — so codec grids
+/// keep the legacy column for free.
+inline Variant config_codec_variant(sim::ConfigKind kind,
+                                    compress::Codec codec,
+                                    const cpu::CoreConfig& core = {},
+                                    const cache::LatencyConfig& latency = {}) {
+  return Variant{sim::config_codec_tag(kind, codec),
+                 [kind, codec, latency] {
+                   return sim::make_hierarchy(kind, codec, latency);
+                 },
+                 core};
+}
+
+/// Expands a (config × codec) grid into variants, config-major — the same
+/// cell order as net::JobGrid, cpc_run --sweep and the cpc_serve executor,
+/// so tables and journals line up across harnesses.
+inline std::vector<Variant> codec_grid_variants(
+    const std::vector<sim::ConfigKind>& configs,
+    const std::vector<compress::CodecKind>& codecs,
+    const cpu::CoreConfig& core = {},
+    const cache::LatencyConfig& latency = {}) {
+  std::vector<Variant> variants;
+  variants.reserve(configs.size() * codecs.size());
+  for (const sim::ConfigKind kind : configs) {
+    for (const compress::CodecKind codec : codecs) {
+      variants.push_back(
+          config_codec_variant(kind, compress::Codec{codec}, core, latency));
+    }
+  }
+  return variants;
+}
+
 /// Runs the full workload × variant grid on the shared pool and returns
 /// results indexed [workload][variant] in the submitted order.
 inline std::vector<std::vector<sim::JobResult>> run_variant_grid(

@@ -21,6 +21,7 @@
 
 #include "cli_util.hpp"
 #include "core/cpp_hierarchy.hpp"
+#include "net/protocol.hpp"
 #include "sim/bench_meter.hpp"
 #include "verify/fault.hpp"
 
@@ -56,6 +57,10 @@ void print_usage(std::ostream& out) {
          "                     processes (crash-isolated; deterministic\n"
          "                     fields stay bit-identical to --jobs runs)\n"
          "  --workloads a,b,c  kernel-name filter (default: all 14)\n"
+         "  --codecs LIST      compression codecs crossed with the configs:\n"
+         "                     paper,fpc,bdi,wkdm or all (default: paper,\n"
+         "                     which keeps reports comparable to committed\n"
+         "                     BENCH_<n>.json baselines)\n"
          "  --corpus DIR       fuzz-corpus directory (default tests/corpus;\n"
          "                     missing directory skips the suite)\n"
          "  --out FILE         write the JSON report (the BENCH_<n>.json "
@@ -142,6 +147,12 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.run.procs = static_cast<unsigned>(parse_u64(arg, value()));
     } else if (arg == "--workloads") {
       options.run.workloads = split_csv(value());
+    } else if (arg == "--codecs") {
+      try {
+        options.run.codecs = cpc::net::parse_codec_list(value());
+      } catch (const std::invalid_argument& error) {
+        throw cpc::cli::BadInput(error.what());
+      }
     } else if (arg == "--corpus") {
       options.run.corpus_dir = value();
     } else if (arg == "--out") {

@@ -1,0 +1,55 @@
+#pragma once
+// Per-codec compressibility survey of a trace: classifies every word-level
+// memory access (the Fig. 3 study, under any codec) and costs the final
+// image of every touched line through the codec's whole-line encoder, so
+// cross-codec comparisons include per-word prefixes, dictionary indices
+// and flag arrays (Touché-style tag/metadata accounting — docs/codecs.md).
+// Feeds the codec-mode sweep CSV (cpc_run --codecs) and the codec
+// comparison tables.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "compress/classification_stats.hpp"
+#include "cpu/micro_op.hpp"
+
+namespace cpc::analysis {
+
+/// Single pass over a trace for one codec. The reference stream is
+/// replayed into a word image (stores and loads both deposit the value the
+/// core saw), then each touched line's final image is costed whole — the
+/// same line granularity the transfer path compresses at.
+inline compress::ClassificationStats survey_codec(
+    std::span<const cpu::MicroOp> trace, compress::Codec codec,
+    std::size_t words_per_line = 8) {
+  compress::ClassificationStats stats(codec);
+  std::map<std::uint32_t, std::uint32_t> image;  // word address -> value
+  for (const cpu::MicroOp& op : trace) {
+    if (!cpu::is_memory_op(op.kind)) continue;
+    stats.record(op.value, op.addr);
+    image[op.addr & ~3u] = op.value;
+  }
+  // std::map iterates in address order, so each line groups contiguously;
+  // words the trace never touched stay zero, as they would in a fresh
+  // allocation.
+  const std::uint32_t line_bytes =
+      static_cast<std::uint32_t>(words_per_line) * 4u;
+  std::vector<std::uint32_t> words(words_per_line, 0);
+  auto it = image.begin();
+  while (it != image.end()) {
+    const std::uint32_t base = it->first & ~(line_bytes - 1u);
+    std::fill(words.begin(), words.end(), 0u);
+    while (it != image.end() && (it->first & ~(line_bytes - 1u)) == base) {
+      words[(it->first - base) / 4u] = it->second;
+      ++it;
+    }
+    stats.record_line(words.data(), words_per_line, base);
+  }
+  return stats;
+}
+
+}  // namespace cpc::analysis

@@ -6,10 +6,12 @@
 namespace cpc::cache {
 
 BaselineHierarchy::BaselineHierarchy(std::string name, HierarchyConfig config,
-                                     TransferFormat format)
+                                     TransferFormat format,
+                                     compress::Codec codec)
     : name_(std::move(name)),
       config_(config),
       format_(format),
+      codec_(codec),
       l1_(config.l1),
       l2_(config.l2) {
   assert(config.l2.line_bytes % config.l1.line_bytes == 0);
@@ -31,7 +33,7 @@ void BaselineHierarchy::retire_l1_victim(const BasicCache::Evicted& victim) {
     memory_.write_words(base, static_cast<std::uint32_t>(victim.words.size()),
                         victim.words.data());
     meter_line_transfer(stats_.traffic, victim.words, base, format_,
-                        /*writeback=*/true);
+                        /*writeback=*/true, codec_);
   }
 }
 
@@ -42,7 +44,7 @@ void BaselineHierarchy::retire_l2_victim(const BasicCache::Evicted& victim) {
   memory_.write_words(base, static_cast<std::uint32_t>(victim.words.size()),
                       victim.words.data());
   meter_line_transfer(stats_.traffic, victim.words, base, format_,
-                      /*writeback=*/true);
+                      /*writeback=*/true, codec_);
 }
 
 BasicCache::Line& BaselineHierarchy::ensure_l2_line(std::uint32_t addr,
@@ -64,7 +66,7 @@ BasicCache::Line& BaselineHierarchy::ensure_l2_line(std::uint32_t addr,
   memory_.read_words(base, static_cast<std::uint32_t>(line_scratch_.size()),
                      line_scratch_.data());
   meter_line_transfer(stats_.traffic, line_scratch_, base, format_,
-                      /*writeback=*/false);
+                      /*writeback=*/false, codec_);
 
   l2_.fill(line_addr, line_scratch_, evict_scratch_);
   retire_l2_victim(evict_scratch_);

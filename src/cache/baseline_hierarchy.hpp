@@ -20,7 +20,8 @@ namespace cpc::cache {
 
 class BaselineHierarchy : public MemoryHierarchy {
  public:
-  BaselineHierarchy(std::string name, HierarchyConfig config, TransferFormat format);
+  BaselineHierarchy(std::string name, HierarchyConfig config, TransferFormat format,
+                    compress::Codec codec = compress::kPaperCodec);
 
   AccessResult read(std::uint32_t addr, std::uint32_t& value) override;
   AccessResult write(std::uint32_t addr, std::uint32_t value) override;
@@ -61,6 +62,7 @@ class BaselineHierarchy : public MemoryHierarchy {
   std::string name_;
   HierarchyConfig config_;
   TransferFormat format_;
+  compress::Codec codec_;  ///< meters kCompressed transfers (BCC variants)
   BasicCache l1_;
   BasicCache l2_;
   mem::SparseMemory memory_;

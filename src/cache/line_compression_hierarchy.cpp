@@ -23,8 +23,11 @@ std::uint32_t payload_ecc(const std::vector<std::uint32_t>& words) {
 }  // namespace
 
 LineCompressionHierarchy::LineCompressionHierarchy(HierarchyConfig config,
-                                                   compress::Scheme scheme)
-    : config_(config), scheme_(scheme), l2_(config.l2) {
+                                                   compress::Codec codec)
+    : config_(config),
+      codec_(codec),
+      name_(compress::codec_suffixed_name("LCC", codec)),
+      l2_(config.l2) {
   assert(config_.l1.ways == 1 && "LCC doubles residency inside direct-mapped frames");
   frames_.resize(config_.l1.num_sets());
 }
@@ -35,7 +38,7 @@ bool LineCompressionHierarchy::fully_compressible(
   const std::uint32_t all = words.size() >= 32
                                 ? ~0u
                                 : (1u << words.size()) - 1u;
-  return scheme_.classify_words(words.data(), words.size(), base)
+  return codec_.classify_words(words.data(), words.size(), base)
              .compressible() == all;
 }
 
@@ -73,7 +76,7 @@ void LineCompressionHierarchy::retire(Resident& resident) {
   memory_.write_words(base, static_cast<std::uint32_t>(resident.words.size()),
                       resident.words.data());
   meter_line_transfer(stats_.traffic, resident.words, base, TransferFormat::kCompressed,
-                      /*writeback=*/true, scheme_);
+                      /*writeback=*/true, codec_);
 }
 
 LineCompressionHierarchy::Resident& LineCompressionHierarchy::install(
@@ -121,7 +124,7 @@ void LineCompressionHierarchy::retire_l2_victim(const BasicCache::Evicted& victi
   memory_.write_words(base, static_cast<std::uint32_t>(victim.words.size()),
                       victim.words.data());
   meter_line_transfer(stats_.traffic, victim.words, base, TransferFormat::kCompressed,
-                      /*writeback=*/true, scheme_);
+                      /*writeback=*/true, codec_);
 }
 
 BasicCache::Line& LineCompressionHierarchy::ensure_l2_line(std::uint32_t addr,
@@ -140,7 +143,7 @@ BasicCache::Line& LineCompressionHierarchy::ensure_l2_line(std::uint32_t addr,
   std::vector<std::uint32_t> words(config_.l2.words_per_line());
   memory_.read_words(base, static_cast<std::uint32_t>(words.size()), words.data());
   meter_line_transfer(stats_.traffic, words, base, TransferFormat::kCompressed,
-                      /*writeback=*/false, scheme_);
+                      /*writeback=*/false, codec_);
   retire_l2_victim(l2_.fill(line_addr, words));
   BasicCache::Line* line = l2_.find(line_addr);
   assert(line != nullptr);

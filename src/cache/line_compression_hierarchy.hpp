@@ -26,7 +26,7 @@
 #include "cache/config.hpp"
 #include "cache/hierarchy.hpp"
 #include "cache/traffic_policy.hpp"
-#include "compress/scheme.hpp"
+#include "compress/codec.hpp"
 #include "mem/sparse_memory.hpp"
 
 namespace cpc::cache {
@@ -34,11 +34,11 @@ namespace cpc::cache {
 class LineCompressionHierarchy : public MemoryHierarchy {
  public:
   explicit LineCompressionHierarchy(HierarchyConfig config = kBaselineConfig,
-                                    compress::Scheme scheme = compress::kPaperScheme);
+                                    compress::Codec codec = compress::kPaperCodec);
 
   AccessResult read(std::uint32_t addr, std::uint32_t& value) override;
   AccessResult write(std::uint32_t addr, std::uint32_t value) override;
-  std::string name() const override { return "LCC"; }
+  std::string name() const override { return name_; }
   void validate() const override;
 
   /// Supports kPayloadBit strikes on resident L1 lines (the frame payload
@@ -83,7 +83,8 @@ class LineCompressionHierarchy : public MemoryHierarchy {
   Resident& ensure_line(std::uint32_t addr, AccessResult& result);
 
   HierarchyConfig config_;
-  compress::Scheme scheme_;
+  compress::Codec codec_;
+  std::string name_;
   std::vector<Frame> frames_;  // one per L1 set (direct-mapped frames)
   BasicCache l2_;
   mem::SparseMemory memory_;

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <span>
 
-#include "compress/scheme.hpp"
+#include "compress/codec.hpp"
 #include "mem/traffic_meter.hpp"
 
 namespace cpc::cache {
@@ -26,7 +26,7 @@ inline void meter_line_transfer(mem::TrafficMeter& meter,
                                 std::span<const std::uint32_t> words,
                                 std::uint32_t base_addr, TransferFormat format,
                                 bool writeback,
-                                const compress::Scheme& scheme = compress::kPaperScheme) {
+                                const compress::Codec& codec = compress::kPaperCodec) {
   if (format == TransferFormat::kUncompressed) {
     if (writeback) {
       meter.add_writeback_uncompressed_words(words.size());
@@ -38,7 +38,7 @@ inline void meter_line_transfer(mem::TrafficMeter& meter,
   // One batched classification pass, then two bulk meter updates — the
   // per-word costing is unchanged, only the bookkeeping is amortized.
   const compress::WordClassMasks masks =
-      scheme.classify_words(words.data(), words.size(), base_addr);
+      codec.classify_words(words.data(), words.size(), base_addr);
   const std::uint64_t compressed = std::popcount(masks.compressible());
   const std::uint64_t uncompressed = words.size() - compressed;
   if (writeback) {

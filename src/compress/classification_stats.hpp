@@ -1,26 +1,48 @@
 #pragma once
 // Accumulator for the value-compressibility study of paper Fig. 3:
 // every word-level memory access is classified as compressible small value,
-// compressible pointer, or incompressible.
+// compressible pointer, or incompressible — under any codec, not just the
+// paper's scheme.
+//
+// The line-level accumulator (record_line) additionally totals the
+// whole-line encoding cost the codec reports, split into data and
+// tag/metadata bits, so cross-codec compression ratios are honest about
+// per-word prefixes, dictionary indices and flag arrays (Touché-style
+// accounting — see docs/codecs.md).
 
+#include <cstddef>
 #include <cstdint>
 
-#include "compress/scheme.hpp"
+#include "compress/codec.hpp"
 
 namespace cpc::compress {
 
-/// Counts classified word accesses; feeds bench/fig03_compressibility.
+/// Counts classified word accesses; feeds bench/fig03_compressibility and
+/// the per-codec comparison tables.
 class ClassificationStats {
  public:
-  constexpr explicit ClassificationStats(Scheme scheme = kPaperScheme)
-      : scheme_(scheme) {}
+  constexpr explicit ClassificationStats(Codec codec = kPaperCodec)
+      : codec_(codec) {}
+  /// Width-ablation convenience: the paper codec with a custom scheme.
+  constexpr explicit ClassificationStats(Scheme scheme)
+      : codec_(Codec{scheme}) {}
 
   void record(std::uint32_t value, std::uint32_t address) {
-    switch (scheme_.classify(value, address)) {
+    switch (codec_.classify(value, address)) {
       case ValueClass::kSmallValue: ++small_; break;
       case ValueClass::kPointer: ++pointer_; break;
       case ValueClass::kIncompressible: ++incompressible_; break;
     }
+  }
+
+  /// Accumulates the codec's whole-line encoding cost for one line image.
+  void record_line(const std::uint32_t* words, std::size_t count,
+                   std::uint32_t base_addr) {
+    const LineCompression line = codec_.compress_line(words, count, base_addr);
+    raw_bits_ += static_cast<std::uint64_t>(count) * Codec::kWordBits;
+    data_bits_ += line.data_bits;
+    tag_bits_ += line.tag_bits;
+    ++lines_;
   }
 
   std::uint64_t small_values() const { return small_; }
@@ -42,15 +64,51 @@ class ClassificationStats {
     return t == 0 ? 0.0 : static_cast<double>(pointer_) / static_cast<double>(t);
   }
 
-  void reset() { small_ = pointer_ = incompressible_ = 0; }
+  // --- line accounting (record_line) -------------------------------------
+  std::uint64_t lines() const { return lines_; }
+  std::uint64_t raw_bits() const { return raw_bits_; }
+  std::uint64_t data_bits() const { return data_bits_; }
+  std::uint64_t tag_bits() const { return tag_bits_; }
 
-  const Scheme& scheme() const { return scheme_; }
+  /// raw / (data + tag): > 1 means the codec wins after paying its own
+  /// metadata; 1.0 when nothing was recorded.
+  double line_compression_ratio() const {
+    const std::uint64_t encoded = data_bits_ + tag_bits_;
+    return encoded == 0 ? 1.0
+                        : static_cast<double>(raw_bits_) /
+                              static_cast<double>(encoded);
+  }
+  /// Fraction of the encoded stream that is tag/flag metadata, in [0, 1].
+  double tag_overhead_fraction() const {
+    const std::uint64_t encoded = data_bits_ + tag_bits_;
+    return encoded == 0
+               ? 0.0
+               : static_cast<double>(tag_bits_) / static_cast<double>(encoded);
+  }
+  /// Mean metadata bits per recorded line; 0 when empty.
+  double tag_bits_per_line() const {
+    return lines_ == 0
+               ? 0.0
+               : static_cast<double>(tag_bits_) / static_cast<double>(lines_);
+  }
+
+  void reset() {
+    small_ = pointer_ = incompressible_ = 0;
+    lines_ = raw_bits_ = data_bits_ = tag_bits_ = 0;
+  }
+
+  const Codec& codec() const { return codec_; }
+  const Scheme& scheme() const { return codec_.scheme(); }
 
  private:
-  Scheme scheme_;
+  Codec codec_;
   std::uint64_t small_ = 0;
   std::uint64_t pointer_ = 0;
   std::uint64_t incompressible_ = 0;
+  std::uint64_t lines_ = 0;
+  std::uint64_t raw_bits_ = 0;
+  std::uint64_t data_bits_ = 0;
+  std::uint64_t tag_bits_ = 0;
 };
 
 }  // namespace cpc::compress

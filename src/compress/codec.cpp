@@ -1,0 +1,128 @@
+#include "compress/codec.hpp"
+
+// The Codec members are inline switch-dispatched bit tests. This
+// translation unit holds the executable proof of the word-granularity
+// contract every consumer of a Codec assumes (compress/codec.hpp header
+// comment): for every codec, over boundary values and a pseudo-random
+// sweep of (value, address) pairs — at compile time, so a divergence is a
+// build error:
+//
+//   * compress() succeeds exactly when is_compressible() holds, and
+//     classify() agrees (compressible ⇔ not kIncompressible);
+//   * the encoded form fits compressed_bits() (half-slot packing);
+//   * decompress(compress(v, a), a) == v (exact round trip);
+//   * the word ops are address-deterministic by construction (pure
+//     functions of (value, address) — nothing else to prove).
+//
+// The paper codec additionally must agree with Scheme bit-for-bit; that is
+// free (it delegates), and scheme.cpp carries Scheme's own proof against
+// the paper's prose.
+
+namespace cpc::compress {
+namespace {
+
+constexpr bool word_contract_holds(const Codec& codec, std::uint32_t value,
+                                   std::uint32_t address) {
+  const bool compressible = codec.is_compressible(value, address);
+  if (compressible !=
+      (codec.classify(value, address) != ValueClass::kIncompressible)) {
+    return false;
+  }
+  const std::optional<CompressedWord> cw = codec.compress(value, address);
+  if (cw.has_value() != compressible) return false;
+  if (!cw) return true;
+  if (codec.compressed_bits() < 32 &&
+      (cw->bits >> codec.compressed_bits()) != 0) {
+    return false;
+  }
+  return codec.decompress(*cw, address) == value;
+}
+
+/// classify_words must agree with per-word classify for every lane.
+constexpr bool masks_agree(const Codec& codec, const std::uint32_t* words,
+                           std::size_t count, std::uint32_t base_addr) {
+  const WordClassMasks m = codec.classify_words(words, count, base_addr);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t addr = base_addr + static_cast<std::uint32_t>(i) * 4;
+    const ValueClass cls = codec.classify(words[i], addr);
+    if (((m.small >> i) & 1u) != (cls == ValueClass::kSmallValue ? 1u : 0u)) {
+      return false;
+    }
+    if (((m.pointer >> i) & 1u) != (cls == ValueClass::kPointer ? 1u : 0u)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+constexpr std::uint32_t xorshift(std::uint32_t x) {
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  return x;
+}
+
+constexpr bool check_codec(CodecKind kind) {
+  const Codec codec{kind};
+  // Boundary values around every codec's class edges, plus address-relative
+  // probes (the address-based classes care about value - address).
+  constexpr std::uint32_t kValues[] = {
+      0u,          1u,          0xffffffffu, 7u,          8u,
+      0xfffffff8u, 127u,        128u,        0xffffff80u, 0xfff8u,
+      0x1000u,     0x0fffu,     0x3ffu,      0x400u,      0xfffffc00u,
+      0x4000u,     0x3fffu,     0xffffc000u, 0x7fffu,     0x8000u,
+      0x12340000u, 0x00120000u, 0xdeadbeefu, 0x7fffffffu, 0x80000000u,
+  };
+  constexpr std::uint32_t kAddrs[] = {0u, 0x40u, 0x8000u, 0x12340040u,
+                                      0xfffffe00u};
+  for (std::uint32_t value : kValues) {
+    for (std::uint32_t addr : kAddrs) {
+      if (!word_contract_holds(codec, value, addr)) return false;
+      // Address-relative probes land on the delta/prefix class edges.
+      if (!word_contract_holds(codec, addr + value, addr)) return false;
+      if (!word_contract_holds(codec, addr - value, addr)) return false;
+    }
+  }
+  // Pseudo-random sweep.
+  std::uint32_t v = 0x2545f491u;
+  std::uint32_t a = 0x9e3779b9u;
+  std::uint32_t line[8] = {};
+  for (int i = 0; i < 512; ++i) {
+    v = xorshift(v);
+    a = xorshift(a);
+    if (!word_contract_holds(codec, v, a & ~3u)) return false;
+    line[i % 8] = v;
+    if (i % 8 == 7 && !masks_agree(codec, line, 8, a & ~31u)) return false;
+  }
+  return true;
+}
+
+static_assert(check_codec(CodecKind::kPaper));
+static_assert(check_codec(CodecKind::kFpc));
+static_assert(check_codec(CodecKind::kBdi));
+static_assert(check_codec(CodecKind::kWkdm));
+
+/// Line accounting sanity: a compressible line's payload beats the raw
+/// size, metadata is never reported as free, and no input inflates the
+/// payload past uncompressed.
+constexpr bool check_line_accounting(CodecKind kind) {
+  const Codec codec{kind};
+  constexpr std::uint32_t zeros[8] = {};
+  const LineCompression z = codec.compress_line(zeros, 8, 0x1000u);
+  if (z.data_bits >= 8 * 32) return false;
+  if (z.tag_bits == 0) return false;  // metadata is never free
+  constexpr std::uint32_t noise[8] = {0xdeadbeefu, 0xcafef00du, 0x12345678u,
+                                      0x9abcdef0u, 0x55aa55aau, 0xa5a5a5a5u,
+                                      0x0f0f0f0fu, 0xf0f0f0f0u};
+  const LineCompression x = codec.compress_line(noise, 8, 0x1000u);
+  if (x.data_bits > 8 * 32) return false;
+  return true;
+}
+
+static_assert(check_line_accounting(CodecKind::kPaper));
+static_assert(check_line_accounting(CodecKind::kFpc));
+static_assert(check_line_accounting(CodecKind::kBdi));
+static_assert(check_line_accounting(CodecKind::kWkdm));
+
+}  // namespace
+}  // namespace cpc::compress

@@ -1,0 +1,544 @@
+#pragma once
+// Pluggable word/line compression codecs behind one value-type interface.
+//
+// The paper's Scheme (scheme.hpp) is one point in a design space the
+// related work explores from other angles: FPC's frequent-pattern prefix
+// classes, BDI's base+delta arithmetic, and WK-style small-dictionary
+// coding. Codec wraps all four behind a uniform contract so every
+// hierarchy, bench, and verifier can be swept across a (config × codec)
+// grid.
+//
+// Two granularities, two contracts:
+//
+//  * Word granularity (classify / is_compressible / classify_words /
+//    compress / decompress) drives the CPP half-slot machinery. Every
+//    codec's word operations are stateless, depend only on (value,
+//    address), round-trip exactly, and succeed only when the encoded form
+//    fits compressed_bits() — the invariants CompressedLine and CppCache
+//    assume (an affiliated word must re-compress at its own address).
+//  * Line granularity (compress_line) is pure accounting: the bits a real
+//    implementation of the codec would emit for a whole line, split into
+//    data payload and tag/flag metadata (Touché-style honest overhead
+//    reporting — see docs/codecs.md). Line-level encodings may be
+//    stateful within the line (WKdm's dictionary, BDI's per-line base);
+//    they never feed back into cache-state decisions.
+//
+// Dispatch is a switch on CodecKind rather than a virtual interface: the
+// paper codec's per-word tests sit on the simulator's hottest loops
+// (classify_words vectorizes), and a switch hoisted outside the loop keeps
+// that path byte-for-byte the Scheme code — the bench gate
+// (BENCH_9.json) pins the cost of this refactor.
+//
+// The CodecKind enum is paired with the X-macro table in
+// compress/codec_registry.def; the static_asserts below prove at compile
+// time that every enumerator has a registered stable name.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/registry_check.hpp"
+#include "compress/scheme.hpp"
+
+namespace cpc::compress {
+
+/// Identity of a compression codec. Stable ids: the codec-list grammar,
+/// sweep CSVs and hierarchy name suffixes refer to these by name. Every
+/// enumerator needs a row in compress/codec_registry.def (compile-time
+/// enforced).
+enum class CodecKind : std::uint8_t {
+  kPaper = 0,  ///< Zhang/Gupta small-value + same-region pointer scheme
+  kFpc,        ///< frequent-pattern coding, 3-bit prefix classes
+  kBdi,        ///< base+delta-immediate, zero and address bases
+  kWkdm,       ///< WK-style small-dictionary partial-match coding
+};
+
+/// Number of CodecKind enumerators. Referencing the last enumerator keeps
+/// this in lock-step with the enum; cpc_lint CPC-L007 cross-checks the
+/// full enumerator list against the registry rows.
+inline constexpr std::size_t kCodecKindCount =
+    static_cast<std::size_t>(CodecKind::kWkdm) + 1;
+
+/// One registry row: enumerator, stable machine-readable name, summary.
+struct CodecInfo {
+  CodecKind id;
+  const char* name;
+  const char* summary;
+};
+
+/// Generated from codec_registry.def, in enum order.
+inline constexpr CodecInfo kCodecRegistry[] = {
+#define CPC_CODEC_ROW(id, name, summary) {CodecKind::id, name, summary},
+#include "compress/codec_registry.def"
+#undef CPC_CODEC_ROW
+};
+
+inline constexpr bool codec_registered(CodecKind id) {
+  for (const CodecInfo& row : kCodecRegistry) {
+    if (row.id == id) return true;
+  }
+  return false;
+}
+
+namespace detail {
+inline constexpr std::size_t kCodecRows =
+    sizeof(kCodecRegistry) / sizeof(kCodecRegistry[0]);
+
+inline constexpr bool codec_rows_in_enum_order() {
+  for (std::size_t i = 0; i < kCodecRows; ++i) {
+    if (static_cast<std::size_t>(kCodecRegistry[i].id) != i) return false;
+  }
+  return true;
+}
+}  // namespace detail
+
+static_assert(detail::kCodecRows == kCodecKindCount,
+              "codec_registry.def row count disagrees with the CodecKind "
+              "enum — every enumerator needs exactly one CPC_CODEC_ROW");
+static_assert(registry::DenseRegistry<CodecKind, kCodecKindCount,
+                                      &codec_registered>::value,
+              "codec registry density check");
+static_assert(detail::codec_rows_in_enum_order(),
+              "codec_registry.def rows must appear in CodecKind declaration "
+              "order (name lookup indexes the table by value)");
+
+/// Stable machine-readable name ("paper", "fpc", "bdi", "wkdm").
+inline constexpr const char* codec_name(CodecKind id) {
+  return kCodecRegistry[static_cast<std::size_t>(id)].name;
+}
+
+/// All codecs, in registry order (grid sweeps iterate this).
+inline constexpr CodecKind kAllCodecs[] = {CodecKind::kPaper, CodecKind::kFpc,
+                                           CodecKind::kBdi, CodecKind::kWkdm};
+static_assert(sizeof(kAllCodecs) / sizeof(kAllCodecs[0]) == kCodecKindCount);
+
+/// Whole-line encoding cost report (compress_line). `data_bits` is the
+/// payload a real implementation would emit; `tag_bits` is every metadata
+/// bit that rides along — per-word prefixes/tags/selectors, dictionary
+/// indices, per-line selectors and the VC-style flag array. Keeping the
+/// split explicit is what makes cross-codec ratio comparisons honest about
+/// overhead (Touché-style accounting).
+struct LineCompression {
+  std::uint32_t data_bits = 0;
+  std::uint32_t tag_bits = 0;
+  WordClassMasks masks;  ///< word-granularity class masks (bit i = word i)
+
+  constexpr std::uint32_t total_bits() const { return data_bits + tag_bits; }
+};
+
+/// A concrete codec: kind + parameters. Cheap to copy (two words); every
+/// operation is constexpr and allocation-free.
+class Codec {
+ public:
+  static constexpr unsigned kWordBits = 32;
+  /// The half-slot budget of the CPP physical line: a compressed word of
+  /// any codec must fit these many bits to share a slot (paper Fig. 7).
+  static constexpr unsigned kHalfSlotBits = 16;
+
+  /// The paper codec with the paper's parameters.
+  constexpr Codec() = default;
+
+  /// A codec by kind; non-paper kinds use their fixed 16-bit encodings.
+  constexpr explicit Codec(CodecKind kind) : kind_(kind) {}
+
+  /// The paper codec with a non-default width (the width-ablation benches
+  /// sweep 8/16/24-bit compressed forms). Deliberately implicit: a Scheme
+  /// IS a paper-codec parameterization, and the pre-refactor call sites
+  /// that passed a Scheme keep compiling unchanged.
+  constexpr Codec(Scheme scheme)  // NOLINT(google-explicit-constructor)
+      : kind_(CodecKind::kPaper), scheme_(scheme) {}
+
+  constexpr CodecKind kind() const { return kind_; }
+  constexpr const char* name() const { return codec_name(kind_); }
+
+  /// Paper-scheme parameters. Meaningful for kPaper only; other codecs
+  /// keep the default (their gate models and widths are fixed).
+  constexpr const Scheme& scheme() const { return scheme_; }
+
+  /// Total bits of one compressed word, tag bits included — the storage
+  /// cost that gates half-slot packing.
+  constexpr unsigned compressed_bits() const {
+    return kind_ == CodecKind::kPaper ? scheme_.compressed_bits()
+                                      : kHalfSlotBits;
+  }
+
+  /// Touché-style per-word metadata charge on a transferred line word
+  /// (prefix/tag/selector/flag-array bits living outside the data
+  /// payload): 1 VC bit (paper), 3-bit prefix (FPC), 1 base-selector bit
+  /// (BDI), 2-bit tag (WKdm).
+  constexpr unsigned tag_bits_per_word() const {
+    switch (kind_) {
+      case CodecKind::kPaper: return 1;
+      case CodecKind::kFpc: return kFpcPrefixBits;
+      case CodecKind::kBdi: return 1;
+      case CodecKind::kWkdm: return kWkdmTagBits;
+    }
+    return 0;
+  }
+
+  // --- word granularity --------------------------------------------------
+
+  constexpr ValueClass classify(std::uint32_t value,
+                                std::uint32_t address) const {
+    switch (kind_) {
+      case CodecKind::kPaper:
+        return scheme_.classify(value, address);
+      case CodecKind::kFpc:
+        // Every FPC word class is context-free sign extension: small.
+        return fpc_word_class(value) != kFpcNoClass
+                   ? ValueClass::kSmallValue
+                   : ValueClass::kIncompressible;
+      case CodecKind::kBdi:
+        if (fits_signed(value, kBdiDeltaBits)) return ValueClass::kSmallValue;
+        if (fits_signed(value - address, kBdiDeltaBits)) {
+          return ValueClass::kPointer;
+        }
+        return ValueClass::kIncompressible;
+      case CodecKind::kWkdm:
+        if (wkdm_narrow(value)) return ValueClass::kSmallValue;
+        if (wkdm_addr_match(value, address)) return ValueClass::kPointer;
+        return ValueClass::kIncompressible;
+    }
+    return ValueClass::kIncompressible;
+  }
+
+  constexpr bool is_compressible(std::uint32_t value,
+                                 std::uint32_t address) const {
+    switch (kind_) {
+      case CodecKind::kPaper:
+        return scheme_.is_compressible(value, address);
+      case CodecKind::kFpc:
+        return fits_signed(value, kFpcMaxPayloadBits);
+      case CodecKind::kBdi:
+        return fits_signed(value, kBdiDeltaBits) ||
+               fits_signed(value - address, kBdiDeltaBits);
+      case CodecKind::kWkdm:
+        return wkdm_narrow(value) || wkdm_addr_match(value, address);
+    }
+    return false;
+  }
+
+  /// Classifies `count` consecutive words whose first word lives at
+  /// `base_addr`; `count` must be at most 32 (a cache line). The kind
+  /// switch is hoisted outside the loop so each per-codec loop stays as
+  /// vectorizable as the Scheme original.
+  constexpr WordClassMasks classify_words(const std::uint32_t* words,
+                                          std::size_t count,
+                                          std::uint32_t base_addr) const {
+    switch (kind_) {
+      case CodecKind::kPaper:
+        return scheme_.classify_words(words, count, base_addr);
+      case CodecKind::kFpc: {
+        WordClassMasks m;
+        for (std::size_t i = 0; i < count; ++i) {
+          m.small |= fits_signed_bit(words[i], kFpcMaxPayloadBits) << i;
+        }
+        return m;
+      }
+      case CodecKind::kBdi: {
+        WordClassMasks m;
+        for (std::size_t i = 0; i < count; ++i) {
+          const std::uint32_t addr =
+              base_addr + static_cast<std::uint32_t>(i) * 4;
+          const std::uint32_t small = fits_signed_bit(words[i], kBdiDeltaBits);
+          const std::uint32_t ptr =
+              fits_signed_bit(words[i] - addr, kBdiDeltaBits);
+          m.small |= small << i;
+          m.pointer |= (ptr & (small ^ 1u)) << i;
+        }
+        return m;
+      }
+      case CodecKind::kWkdm: {
+        WordClassMasks m;
+        for (std::size_t i = 0; i < count; ++i) {
+          const std::uint32_t addr =
+              base_addr + static_cast<std::uint32_t>(i) * 4;
+          const std::uint32_t small =
+              fits_signed_bit(words[i], kWkdmLowBits);
+          const std::uint32_t ptr =
+              ((words[i] ^ addr) >> kWkdmLowBits) == 0 ? 1u : 0u;
+          m.small |= small << i;
+          m.pointer |= (ptr & (small ^ 1u)) << i;
+        }
+        return m;
+      }
+    }
+    return {};
+  }
+
+  /// Compresses `value` stored at `address`; empty when incompressible.
+  /// The encoded form always fits compressed_bits().
+  constexpr std::optional<CompressedWord> compress(
+      std::uint32_t value, std::uint32_t address) const {
+    switch (kind_) {
+      case CodecKind::kPaper:
+        return scheme_.compress(value, address);
+      case CodecKind::kFpc: {
+        const unsigned cls = fpc_word_class(value);
+        if (cls == kFpcNoClass) return std::nullopt;
+        return CompressedWord{(cls << kFpcMaxPayloadBits) |
+                              (value & ((1u << kFpcMaxPayloadBits) - 1))};
+      }
+      case CodecKind::kBdi: {
+        if (fits_signed(value, kBdiDeltaBits)) {
+          return CompressedWord{value & ((1u << kBdiDeltaBits) - 1)};
+        }
+        const std::uint32_t delta = value - address;
+        if (fits_signed(delta, kBdiDeltaBits)) {
+          return CompressedWord{(1u << kBdiDeltaBits) |
+                                (delta & ((1u << kBdiDeltaBits) - 1))};
+        }
+        return std::nullopt;
+      }
+      case CodecKind::kWkdm: {
+        if (value == 0) return CompressedWord{0};
+        if (wkdm_narrow(value)) {
+          return CompressedWord{(kWkdmTagNarrow << kWkdmTagShift) |
+                                (value & kWkdmLowMask)};
+        }
+        if (wkdm_addr_match(value, address)) {
+          return CompressedWord{(kWkdmTagAddr << kWkdmTagShift) |
+                                (value & kWkdmLowMask)};
+        }
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Reconstructs the original word from its compressed form. `address`
+  /// must be the address the word is stored at (address-based codecs
+  /// borrow their prefix/base from it).
+  constexpr std::uint32_t decompress(CompressedWord cw,
+                                     std::uint32_t address) const {
+    switch (kind_) {
+      case CodecKind::kPaper:
+        return scheme_.decompress(cw, address);
+      case CodecKind::kFpc: {
+        // Masking the class keeps a strike-corrupted encoded form (the
+        // fault hooks flip stored bits freely) inside the table.
+        const unsigned cls = (cw.bits >> kFpcMaxPayloadBits) & 3u;
+        const std::uint32_t payload =
+            cw.bits & ((1u << kFpcMaxPayloadBits) - 1);
+        // Class 0 is the zero word; wider classes sign-extend their
+        // payload width (the nesting makes any narrower payload correct
+        // at its own width too).
+        if (cls == 0) return 0;
+        return sign_extend(payload, kFpcPayloadWidth[cls]);
+      }
+      case CodecKind::kBdi: {
+        const std::uint32_t delta =
+            sign_extend(cw.bits & ((1u << kBdiDeltaBits) - 1), kBdiDeltaBits);
+        const std::uint32_t use_addr =
+            0u - ((cw.bits >> kBdiDeltaBits) & 1u);
+        return delta + (address & use_addr);
+      }
+      case CodecKind::kWkdm: {
+        const std::uint32_t tag = cw.bits >> kWkdmTagShift;
+        const std::uint32_t payload = cw.bits & kWkdmLowMask;
+        if (tag == kWkdmTagZero) return 0;
+        if (tag == kWkdmTagNarrow) return sign_extend(payload, kWkdmLowBits);
+        return (address & ~kWkdmLowMask) | payload;
+      }
+    }
+    return cw.bits;
+  }
+
+  // --- line granularity (accounting only) --------------------------------
+
+  /// Bits a real implementation of this codec would emit for one line of
+  /// `count` words based at `base_addr`, split into data and tag/metadata
+  /// bits. See the header comment: line encodings may be stateful within
+  /// the line (WKdm dictionary, BDI per-line base) and use richer pattern
+  /// menus than the half-slot word forms (FPC's 16-bit classes).
+  constexpr LineCompression compress_line(const std::uint32_t* words,
+                                          std::size_t count,
+                                          std::uint32_t base_addr) const {
+    LineCompression line;
+    line.masks = classify_words(words, count, base_addr);
+    const std::uint32_t n = static_cast<std::uint32_t>(count);
+    switch (kind_) {
+      case CodecKind::kPaper: {
+        // Per word: payload bits when compressed (VT rides as tag), full
+        // word otherwise; plus one VC flag-array bit per word.
+        std::uint32_t compressed = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+          compressed += (line.masks.compressible() >> i) & 1u;
+        }
+        line.data_bits =
+            compressed * scheme_.payload_bits() + (n - compressed) * kWordBits;
+        line.tag_bits = compressed /* VT */ + n /* VC flags */;
+        return line;
+      }
+      case CodecKind::kFpc: {
+        // The full FPC pattern menu (3-bit prefix per word): zero, 4-bit
+        // sign-extended, one byte, halfword, halfword padded with zeros,
+        // two byte-extended halfwords, uncompressed.
+        for (std::size_t i = 0; i < count; ++i) {
+          line.data_bits += fpc_line_payload_bits(words[i]);
+        }
+        line.tag_bits = n * kFpcPrefixBits;
+        return line;
+      }
+      case CodecKind::kBdi: {
+        // Base+delta: one 32-bit base (the first word), per-word deltas of
+        // the best feasible width from either the zero base or the line
+        // base, one selector bit per word, 2-bit Δ-width selector.
+        const std::uint32_t base = count > 0 ? words[0] : 0;
+        std::uint32_t best = n * kWordBits;  // uncompressed fallback
+        bool encoded = false;
+        for (unsigned delta_bits = 8; delta_bits <= 16; delta_bits += 8) {
+          bool ok = true;
+          for (std::size_t i = 0; i < count && ok; ++i) {
+            ok = fits_signed(words[i], delta_bits) ||
+                 fits_signed(words[i] - base, delta_bits);
+          }
+          if (ok) {
+            best = kWordBits + n * delta_bits;
+            encoded = true;
+            break;  // widths ascend: the first feasible one is smallest
+          }
+        }
+        line.data_bits = best;
+        line.tag_bits = encoded ? n /* base selectors */ + 2 /* Δ width */
+                                : 2;
+        return line;
+      }
+      case CodecKind::kWkdm: {
+        // 16-entry direct-mapped dictionary, reset per line: zero (tag),
+        // exact match (tag+index), partial high-22 match (tag+index+low
+        // bits), miss (tag+full word, inserted).
+        std::uint32_t dict[kWkdmDictSize] = {};
+        bool used[kWkdmDictSize] = {};
+        for (std::size_t i = 0; i < count; ++i) {
+          const std::uint32_t v = words[i];
+          if (v == 0) {
+            line.tag_bits += kWkdmTagBits;
+            continue;
+          }
+          const std::uint32_t idx = wkdm_dict_index(v);
+          if (used[idx] && dict[idx] == v) {
+            line.tag_bits += kWkdmTagBits + kWkdmIndexBits;
+          } else if (used[idx] && ((dict[idx] ^ v) >> kWkdmLowBits) == 0) {
+            line.tag_bits += kWkdmTagBits + kWkdmIndexBits;
+            line.data_bits += kWkdmLowBits;
+            dict[idx] = v;
+          } else {
+            line.tag_bits += kWkdmTagBits;
+            line.data_bits += kWordBits;
+            dict[idx] = v;
+            used[idx] = true;
+          }
+        }
+        return line;
+      }
+    }
+    return line;
+  }
+
+  friend bool operator==(const Codec&, const Codec&) = default;
+
+ private:
+  // --- shared bit helpers -------------------------------------------------
+
+  /// 1 when `value` sign-extends from its low `bits` bits (the biased
+  /// range check of Scheme::small_test, generalized).
+  static constexpr std::uint32_t fits_signed_bit(std::uint32_t value,
+                                                 unsigned bits) {
+    const std::uint32_t bias = 1u << (bits - 1);
+    return ((value + bias) >> bits) == 0 ? 1u : 0u;
+  }
+  static constexpr bool fits_signed(std::uint32_t value, unsigned bits) {
+    return fits_signed_bit(value, bits) != 0;
+  }
+
+  /// Sign-extends the low `width` bits of `bits` (width < 32).
+  static constexpr std::uint32_t sign_extend(std::uint32_t bits,
+                                             unsigned width) {
+    const std::uint32_t sign = 0u - ((bits >> (width - 1)) & 1u);
+    return (bits & ((1u << width) - 1)) | (sign << width);
+  }
+
+  // --- FPC ---------------------------------------------------------------
+  // Half-slot form: 3-bit class in bits [15:13], payload in bits [12:0].
+  // Word classes are the nested sign-extension widths that fit the slot:
+  // zero, 4-bit, 8-bit, 13-bit. The line accounting additionally uses
+  // FPC's 16-bit patterns, which cannot share a half slot.
+  static constexpr unsigned kFpcPrefixBits = 3;
+  static constexpr unsigned kFpcMaxPayloadBits = 13;
+  static constexpr unsigned kFpcNoClass = ~0u;
+  static constexpr unsigned kFpcPayloadWidth[4] = {0, 4, 8, 13};
+
+  static constexpr unsigned fpc_word_class(std::uint32_t value) {
+    if (value == 0) return 0;
+    if (fits_signed(value, 4)) return 1;
+    if (fits_signed(value, 8)) return 2;
+    if (fits_signed(value, 13)) return 3;
+    return kFpcNoClass;
+  }
+
+  /// Payload bits of the best full-menu FPC pattern for one word.
+  static constexpr std::uint32_t fpc_line_payload_bits(std::uint32_t value) {
+    if (value == 0) return 0;
+    if (fits_signed(value, 4)) return 4;
+    if (fits_signed(value, 8)) return 8;
+    if (fits_signed(value, 16)) return 16;
+    if ((value & 0xffffu) == 0) return 16;  // halfword padded with zeros
+    if (fits_signed(value & 0xffffu, 8) && fits_signed(value >> 16, 8)) {
+      return 16;  // two halfwords, each a sign-extended byte
+    }
+    return kWordBits;
+  }
+
+  // --- BDI ---------------------------------------------------------------
+  // Half-slot form: base selector in bit 15 (0 = zero base, 1 = the word's
+  // own address), 15-bit signed delta in bits [14:0]. Unlike the paper's
+  // prefix match, the address base is arithmetic: it also catches pointers
+  // just across an aligned-region boundary.
+  static constexpr unsigned kBdiDeltaBits = 15;
+
+  // --- WKdm --------------------------------------------------------------
+  // Half-slot form: 2-bit tag in bits [15:14] (zero / narrow / address
+  // partial match), 10-bit payload in bits [9:0]. The line accounting uses
+  // the real dictionary.
+  static constexpr unsigned kWkdmLowBits = 10;
+  static constexpr std::uint32_t kWkdmLowMask = (1u << kWkdmLowBits) - 1;
+  static constexpr unsigned kWkdmTagShift = 14;
+  static constexpr unsigned kWkdmTagBits = 2;
+  static constexpr std::uint32_t kWkdmTagZero = 0;
+  static constexpr std::uint32_t kWkdmTagNarrow = 1;
+  static constexpr std::uint32_t kWkdmTagAddr = 2;
+  static constexpr unsigned kWkdmDictSize = 16;
+  static constexpr unsigned kWkdmIndexBits = 4;
+
+  static constexpr bool wkdm_narrow(std::uint32_t value) {
+    return fits_signed(value, kWkdmLowBits);
+  }
+  static constexpr bool wkdm_addr_match(std::uint32_t value,
+                                        std::uint32_t address) {
+    return ((value ^ address) >> kWkdmLowBits) == 0;
+  }
+  /// Direct-mapped dictionary slot for a word: a cheap hash of its high
+  /// (matchable) bits so nearby pointers spread across entries.
+  static constexpr std::uint32_t wkdm_dict_index(std::uint32_t value) {
+    const std::uint32_t high = value >> kWkdmLowBits;
+    return (high ^ (high >> 4) ^ (high >> 9)) & (kWkdmDictSize - 1);
+  }
+
+  CodecKind kind_ = CodecKind::kPaper;
+  Scheme scheme_{};
+};
+
+/// The default codec: the paper's scheme with the paper's parameters.
+inline constexpr Codec kPaperCodec{};
+
+/// Display name for a hierarchy running under `codec`: the bare base name
+/// for the paper codec — existing CSV tags, journals and oracle
+/// fingerprints stay bit-identical — and "<base>@<codec>" otherwise.
+inline std::string codec_suffixed_name(std::string base, const Codec& codec) {
+  if (codec.kind() == CodecKind::kPaper) return base;
+  return base + "@" + codec.name();
+}
+
+}  // namespace cpc::compress

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "compress/codec.hpp"
 #include "compress/scheme.hpp"
 
 namespace cpc::compress {
@@ -48,5 +49,58 @@ constexpr unsigned decompressor_gate_delay(const Scheme&) {
 static_assert(compressor_gate_delay(kPaperScheme) == 8,
               "paper reports a total compressor delay of 8 gate levels");
 static_assert(decompressor_gate_delay(kPaperScheme) == 2);
+
+/// Carry-lookahead adder depth for a `bits`-wide sum: generate/propagate
+/// (1), a log-depth prefix tree, and the final sum stage (1).
+constexpr unsigned adder_gate_levels(unsigned bits) {
+  return 1 + gate_tree_depth(bits) + 1;
+}
+
+/// Per-codec compressor delay, same 2-input-gate-level arithmetic:
+///  * paper — the Fig. 8 model above;
+///  * FPC — the widest pattern test reduces a full 32-bit word (zero
+///    detect) before the same priority encode;
+///  * BDI — a 32-bit subtract (carry-lookahead) feeds a 17-bit range
+///    reduction, then priority encode over the two bases;
+///  * WKdm — a 22-bit comparator tree against the dictionary/address entry
+///    plus priority encode across the tag classes.
+constexpr unsigned compressor_gate_delay(const Codec& codec) {
+  switch (codec.kind()) {
+    case CodecKind::kPaper:
+      return compressor_gate_delay(codec.scheme());
+    case CodecKind::kFpc:
+      return gate_tree_depth(Codec::kWordBits) + kPriorityLevels;
+    case CodecKind::kBdi:
+      return adder_gate_levels(Codec::kWordBits) + gate_tree_depth(17) +
+             kPriorityLevels;
+    case CodecKind::kWkdm:
+      return gate_tree_depth(22) + kPriorityLevels;
+  }
+  return 0;
+}
+
+/// Per-codec decompressor delay: the flag-enabled mux of Fig. 8b for the
+/// prefix/sign codecs, plus an adder stage for BDI's base + delta.
+constexpr unsigned decompressor_gate_delay(const Codec& codec) {
+  switch (codec.kind()) {
+    case CodecKind::kPaper:
+      return decompressor_gate_delay(codec.scheme());
+    case CodecKind::kFpc:
+      return kDecompressLevels + 1;  // class decode feeds the mux selects
+    case CodecKind::kBdi:
+      return adder_gate_levels(Codec::kWordBits);
+    case CodecKind::kWkdm:
+      return kDecompressLevels + 1;  // tag decode feeds the mux selects
+  }
+  return 0;
+}
+
+static_assert(compressor_gate_delay(kPaperCodec) == 8,
+              "the paper codec must keep the paper's 8-gate-level figure");
+static_assert(compressor_gate_delay(Codec{CodecKind::kFpc}) == 8);
+static_assert(compressor_gate_delay(Codec{CodecKind::kBdi}) == 15);
+static_assert(compressor_gate_delay(Codec{CodecKind::kWkdm}) == 8);
+static_assert(decompressor_gate_delay(Codec{CodecKind::kBdi}) == 7,
+              "BDI pays a full adder on the read path");
 
 }  // namespace cpc::compress

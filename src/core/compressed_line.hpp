@@ -30,7 +30,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "compress/scheme.hpp"
+#include "compress/codec.hpp"
 
 namespace cpc::core {
 
@@ -73,13 +73,13 @@ class CompressedLine {
   /// recomputing VCP. Returns true when the word transitioned from
   /// compressed to uncompressed storage (the transition of section 3.3).
   bool set_primary_word(std::uint32_t i, std::uint32_t value, std::uint32_t addr,
-                        const compress::Scheme& scheme) {
+                        const compress::Codec& codec) {
     const std::uint32_t bit = 1u << i;
     const bool was_present = (pa_ & bit) != 0;
     const bool was_compressed = was_present && (vcp_ & bit) != 0;
     if (was_present) ecc_ ^= mix(primary_[i], kPrimarySalt + i);
     primary_[i] = value;
-    const bool now_compressed = scheme.is_compressible(value, addr);
+    const bool now_compressed = codec.is_compressible(value, addr);
     // Incremental flag maintenance: XOR-ing the whole flag fold out and back
     // in cancels every unchanged contribution, so only the PA/VCP terms that
     // actually move are folded — this is the hottest mutator in the CPP

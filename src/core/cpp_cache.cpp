@@ -11,11 +11,11 @@
 
 namespace cpc::core {
 
-CppCache::CppCache(cache::CacheGeometry geometry, compress::Scheme scheme,
+CppCache::CppCache(cache::CacheGeometry geometry, compress::Codec codec,
                    std::uint32_t affiliation_mask, bool affiliation_enabled,
                    std::string label)
     : geo_(geometry),
-      scheme_(scheme),
+      codec_(codec),
       mask_(affiliation_mask),
       affiliation_enabled_(affiliation_enabled),
       label_(std::move(label)) {
@@ -56,7 +56,7 @@ bool CppCache::peek_word(std::uint32_t line_addr, std::uint32_t i,
     return true;
   }
   if (const CompressedLine* h = find_affiliated_host(line_addr); h && h->has_affiliated(i)) {
-    value = scheme_.decompress(h->affiliated_word(i), word_addr(line_addr, i));
+    value = codec_.decompress(h->affiliated_word(i), word_addr(line_addr, i));
     return true;
   }
   return false;
@@ -83,7 +83,7 @@ CompressedLine& CppCache::install(const IncomingLine& incoming, WritebackSink& s
   if (CompressedLine* line = find_primary(L)) {
     for (std::uint32_t i = 0; i < n; ++i) {
       if (((incoming.present >> i) & 1u) && !line->has_primary(i)) {
-        line->set_primary_word(i, incoming.words[i], word_addr(L, i), scheme_);
+        line->set_primary_word(i, incoming.words[i], word_addr(L, i), codec_);
         // An incompressible merged word claims the whole slot: the primary
         // line has priority, so a prefetched affiliated word there is
         // evicted (clean — simply dropped).
@@ -114,7 +114,7 @@ CompressedLine& CppCache::install(const IncomingLine& incoming, WritebackSink& s
     audit_line(*host, "fold-affiliated");
     for (std::uint32_t i = 0; i < n; ++i) {
       if (host->has_affiliated(i) && !((merged.present >> i) & 1u)) {
-        merged.words[i] = scheme_.decompress(host->affiliated_word(i), word_addr(L, i));
+        merged.words[i] = codec_.decompress(host->affiliated_word(i), word_addr(L, i));
         merged.present |= 1u << i;
       }
     }
@@ -151,7 +151,7 @@ CompressedLine& CppCache::install(const IncomingLine& incoming, WritebackSink& s
 
   for (std::uint32_t i = 0; i < n; ++i) {
     if ((merged.present >> i) & 1u) {
-      slot.set_primary_word(i, merged.words[i], word_addr(L, i), scheme_);
+      slot.set_primary_word(i, merged.words[i], word_addr(L, i), codec_);
     }
   }
   slot.dirty = false;  // set_primary_word never dirties; fills are clean
@@ -182,7 +182,7 @@ CompressedLine& CppCache::promote(std::uint32_t line_addr, WritebackSink& sink) 
   img.aff_words.assign(n, 0);
   for (std::uint32_t i = 0; i < n; ++i) {
     if (host->has_affiliated(i)) {
-      img.words[i] = scheme_.decompress(host->affiliated_word(i), word_addr(line_addr, i));
+      img.words[i] = codec_.decompress(host->affiliated_word(i), word_addr(line_addr, i));
       img.present |= 1u << i;
     }
   }
@@ -194,7 +194,7 @@ CompressedLine& CppCache::promote(std::uint32_t line_addr, WritebackSink& sink) 
 void CppCache::write_primary_word(CompressedLine& line, std::uint32_t i,
                                   std::uint32_t value) {
   const std::uint32_t addr = word_addr(line.line_addr, i);
-  const bool lost_compression = line.set_primary_word(i, value, addr, scheme_);
+  const bool lost_compression = line.set_primary_word(i, value, addr, codec_);
   // An uncompressed primary word needs the whole slot: the affiliated word
   // sharing it is evicted (it is clean, so it is simply dropped). The paper
   // gives priority to the primary line's words (section 3.3).
@@ -214,7 +214,7 @@ std::uint32_t CppCache::demote_into_affiliated(std::uint32_t line_addr,
   std::uint32_t packed = 0;
   for (std::uint32_t i = 0; i < geo_.words_per_line(); ++i) {
     if (!((mask >> i) & 1u) || !buddy->slot_free_for_affiliated(i)) continue;
-    const auto cw = scheme_.compress(words[i], word_addr(line_addr, i));
+    const auto cw = codec_.compress(words[i], word_addr(line_addr, i));
     if (!cw) continue;  // incompressible words cannot live in a half-slot
     buddy->set_affiliated_word(i, *cw);
     ++packed;
@@ -245,8 +245,8 @@ void CppCache::validate_line(const CompressedLine& line) const {
       // An affiliated word is stored compressed, so it must decompress to
       // a value that is itself compressible at its address.
       const std::uint32_t aff_addr = word_addr(buddy_of(line.line_addr), i);
-      const std::uint32_t value = scheme_.decompress(line.affiliated_word(i), aff_addr);
-      check_diag(scheme_.is_compressible(value, aff_addr), [&] {
+      const std::uint32_t value = codec_.decompress(line.affiliated_word(i), aff_addr);
+      check_diag(codec_.is_compressible(value, aff_addr), [&] {
         return diag(Invariant::kAffiliatedNotCompressible,
                     "affiliated word " + std::to_string(i) +
                         " does not round-trip through compression");
@@ -254,7 +254,7 @@ void CppCache::validate_line(const CompressedLine& line) const {
     }
     if (line.has_primary(i) && line.primary_compressed(i)) {
       check_diag(
-          scheme_.is_compressible(line.primary_word(i), word_addr(line.line_addr, i)),
+          codec_.is_compressible(line.primary_word(i), word_addr(line.line_addr, i)),
           [&] {
             return diag(Invariant::kVcpMismatch,
                         "VCP flag disagrees with the compression scheme at word " +

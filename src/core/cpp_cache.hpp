@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "cache/config.hpp"
-#include "compress/scheme.hpp"
+#include "compress/codec.hpp"
 #include "core/compressed_line.hpp"
 #include "verify/fault.hpp"
 
@@ -71,12 +71,12 @@ class CppCache {
   /// cache: no affiliated packing, demotion, or affiliated hits (used by the
   /// per-level ablation).
   /// `label` names this level in diagnostics ("L1", "L2").
-  CppCache(cache::CacheGeometry geometry, compress::Scheme scheme,
+  CppCache(cache::CacheGeometry geometry, compress::Codec codec,
            std::uint32_t affiliation_mask = cache::kAffiliationMask,
            bool affiliation_enabled = true, std::string label = "CppCache");
 
   const cache::CacheGeometry& geometry() const { return geo_; }
-  const compress::Scheme& scheme() const { return scheme_; }
+  const compress::Codec& codec() const { return codec_; }
   std::uint32_t affiliation_mask() const { return mask_; }
 
   std::uint32_t buddy_of(std::uint32_t line_addr) const { return line_addr ^ mask_; }
@@ -157,7 +157,7 @@ class CppCache {
   void validate_line(const CompressedLine& line) const;
 
   cache::CacheGeometry geo_;
-  compress::Scheme scheme_;
+  compress::Codec codec_;
   std::uint32_t mask_;
   bool affiliation_enabled_;
   std::string label_;

@@ -18,9 +18,9 @@ constexpr std::uint32_t full_mask(std::uint32_t n) {
 
 CppHierarchy::CppHierarchy(Options options)
     : options_(std::move(options)),
-      l1_(options_.config.l1, options_.scheme, options_.affiliation_mask,
+      l1_(options_.config.l1, options_.codec, options_.affiliation_mask,
           options_.prefetch_l1, "L1"),
-      l2_(options_.config.l2, options_.scheme, options_.affiliation_mask,
+      l2_(options_.config.l2, options_.codec, options_.affiliation_mask,
           options_.prefetch_l2, "L2"),
       l1_sink_(*this),
       l2_sink_(*this) {}
@@ -43,7 +43,7 @@ std::uint32_t CppHierarchy::l2_view_word(const L2View& view, std::uint32_t l2_li
                                          std::uint32_t i) const {
   assert((view.avail >> i) & 1u);
   if (view.primary != nullptr) return view.primary->primary_word(i);
-  return options_.scheme.decompress(view.aff_host->affiliated_word(i),
+  return options_.codec.decompress(view.aff_host->affiliated_word(i),
                                     l2_.word_addr(l2_line, i));
 }
 
@@ -98,9 +98,9 @@ CppHierarchy::L2View CppHierarchy::ensure_l2_word(std::uint32_t addr,
     memory_.read_words(options_.config.l2.base_of_line(buddy), n2, aff.data());
     for (std::uint32_t i = 0; i < n2; ++i) {
       // A half-slot frees up only where the primary word is compressible.
-      if (!options_.scheme.is_compressible(in.words[i], l2_.word_addr(q, i))) continue;
+      if (!options_.codec.is_compressible(in.words[i], l2_.word_addr(q, i))) continue;
       const std::uint32_t aff_addr = l2_.word_addr(buddy, i);
-      const auto cw = options_.scheme.compress(aff[i], aff_addr);
+      const auto cw = options_.codec.compress(aff[i], aff_addr);
       if (!cw) continue;
       in.aff_present |= 1u << i;
       in.aff_words[i] = cw->bits;
@@ -185,13 +185,13 @@ IncomingLine CppHierarchy::l2_request_word(std::uint32_t addr,
         // it is compressible and the corresponding primary word leaves the
         // half-slot free (compressible or absent).
         if ((resp.present >> i) & 1u) {
-          if (!options_.scheme.is_compressible(resp.words[i], l1_.word_addr(l1_line, i))) {
+          if (!options_.codec.is_compressible(resp.words[i], l1_.word_addr(l1_line, i))) {
             continue;
           }
         }
         const std::uint32_t aff_addr = l1_.word_addr(aff_line, i);
         const auto cw =
-            options_.scheme.compress(l2_view_word(aff_view, aff_q, qa), aff_addr);
+            options_.codec.compress(l2_view_word(aff_view, aff_q, qa), aff_addr);
         if (!cw) continue;
         resp.aff_present |= 1u << i;
         resp.aff_words[i] = cw->bits;
@@ -260,7 +260,7 @@ void CppHierarchy::write_back_words(std::uint32_t base, std::uint32_t n,
   // Classify the line in one branch-free pass; masked-out lanes are computed
   // and discarded, which is cheaper than a test per word.
   const std::uint32_t compressible =
-      options_.scheme.classify_words(words.data(), n, base).compressible() & mask;
+      options_.codec.classify_words(words.data(), n, base).compressible() & mask;
   const auto nc = static_cast<std::uint32_t>(std::popcount(compressible));
   stats_.traffic.add_writeback_compressed_words(nc);
   stats_.traffic.add_writeback_uncompressed_words(
@@ -291,7 +291,7 @@ cache::AccessResult CppHierarchy::read(std::uint32_t addr, std::uint32_t& value)
   if (CompressedLine* h = l1_.find_affiliated_host(l1_line); h && h->has_affiliated(w)) {
     // Affiliated hit: data returns one cycle later; reads do not promote.
     l1_.touch(*h);
-    value = options_.scheme.decompress(h->affiliated_word(w), addr & ~3u);
+    value = options_.codec.decompress(h->affiliated_word(w), addr & ~3u);
     ++stats_.l1_affiliated_hits;
     result.latency = options_.config.latency.l1_hit + options_.config.latency.affiliated_extra;
     result.served_by = cache::ServedBy::kL1Affiliated;

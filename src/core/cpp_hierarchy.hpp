@@ -20,7 +20,7 @@
 
 #include "cache/config.hpp"
 #include "cache/hierarchy.hpp"
-#include "compress/scheme.hpp"
+#include "compress/codec.hpp"
 #include "core/cpp_cache.hpp"
 #include "mem/sparse_memory.hpp"
 
@@ -30,7 +30,7 @@ class CppHierarchy : public cache::MemoryHierarchy {
  public:
   struct Options {
     cache::HierarchyConfig config = cache::kBaselineConfig;
-    compress::Scheme scheme = compress::kPaperScheme;
+    compress::Codec codec = compress::kPaperCodec;
     std::uint32_t affiliation_mask = cache::kAffiliationMask;
     bool prefetch_l1 = true;  ///< pack affiliated words at the L1 level
     bool prefetch_l2 = true;  ///< pack affiliated words at the L2 level

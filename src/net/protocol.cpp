@@ -22,6 +22,7 @@ std::string encode_job_spec(const JobSpec& spec) {
   put_u64(out, spec.trace_ops);
   put_u64(out, spec.seed);
   put_string(out, spec.configs);
+  put_string(out, spec.codecs);
   put_u64(out, spec.deadline_ms);
   return out;
 }
@@ -33,6 +34,7 @@ bool decode_job_spec(std::string_view in, JobSpec& spec) {
   if (!get_u64(in, parsed.trace_ops)) return false;
   if (!get_u64(in, parsed.seed)) return false;
   if (!get_string(in, parsed.configs)) return false;
+  if (!get_string(in, parsed.codecs)) return false;
   if (!get_u64(in, parsed.deadline_ms)) return false;
   if (!in.empty()) return false;  // trailing bytes: not a spec we wrote
   spec = std::move(parsed);
@@ -110,6 +112,57 @@ std::vector<sim::ConfigKind> parse_config_list(const std::string& csv) {
         "empty config list (want BC, BCC, HAC, BCP, CPP or all)");
   }
   return kinds;
+}
+
+std::vector<compress::CodecKind> parse_codec_list(const std::string& csv) {
+  std::vector<compress::CodecKind> kinds;
+  if (csv.empty()) {
+    // Unlike the config grammar, empty means "the paper codec" rather than
+    // "everything": a spec that never mentions codecs is the legacy grid.
+    kinds.push_back(compress::CodecKind::kPaper);
+    return kinds;
+  }
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    const std::string name = csv.substr(start, end - start);
+    start = end + 1;
+    if (name.empty()) {
+      if (comma == std::string::npos) break;
+      continue;
+    }
+    if (name == "all") {
+      kinds.insert(kinds.end(), std::begin(compress::kAllCodecs),
+                   std::end(compress::kAllCodecs));
+      continue;
+    }
+    bool found = false;
+    for (compress::CodecKind kind : compress::kAllCodecs) {
+      if (name == compress::codec_name(kind)) {
+        kinds.push_back(kind);
+        found = true;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("unknown codec '" + name +
+                                  "' (want paper, fpc, bdi, wkdm or all)");
+    }
+  }
+  if (kinds.empty()) {
+    // "," and friends: all-separator input must not become a zero-job sweep.
+    throw std::invalid_argument(
+        "empty codec list (want paper, fpc, bdi, wkdm or all)");
+  }
+  return kinds;
+}
+
+JobGrid parse_job_grid(const std::string& configs_csv,
+                       const std::string& codecs_csv) {
+  JobGrid grid;
+  grid.configs = parse_config_list(configs_csv);
+  grid.codecs = parse_codec_list(codecs_csv);
+  return grid;
 }
 
 std::uint64_t effective_deadline_ms(std::uint64_t request_ms,

@@ -34,13 +34,15 @@
 #include <string_view>
 #include <vector>
 
+#include "compress/codec.hpp"
 #include "sim/experiment.hpp"
 
 namespace cpc::net {
 
 /// Bump when any message layout below changes shape; a daemon refuses
 /// messages from a different protocol version outright.
-inline constexpr std::uint64_t kProtocolVersion = 1;
+/// v2: JobSpec gained the `codecs` list (the (config × codec) grid).
+inline constexpr std::uint64_t kProtocolVersion = 2;
 
 enum class MsgKind : std::uint8_t {
   kSubmit = 0,  ///< client -> daemon: run this sweep (payload: JobSpec)
@@ -69,6 +71,9 @@ struct JobSpec {
   /// submission simulates the same trace those tools produce by default.
   std::uint64_t seed = 0x5eed;
   std::string configs;     ///< "BC,CPP", "all", ... (cpc_run grammar)
+  /// Compression codecs to cross the config list with: "paper,fpc", "all",
+  /// ... (cpc_run --codecs grammar); "" = paper only, the legacy grid.
+  std::string codecs;
   /// Per-job wall-clock deadline in ms, layered on CPC_JOB_TIMEOUT_MS: the
   /// effective budget is the tighter of the two; 0 defers to the env.
   std::uint64_t deadline_ms = 0;
@@ -100,6 +105,28 @@ std::string frame_message(const Message& message);
 /// Parses the cpc_run config grammar ("CPP", "BC,BCC", "all", empty = all).
 /// Throws std::invalid_argument naming the unknown config.
 std::vector<sim::ConfigKind> parse_config_list(const std::string& csv);
+
+/// Parses the sibling codec grammar ("paper", "fpc,bdi", "all"). An empty
+/// list means the paper codec only — the pre-codec grid — so every legacy
+/// spec and CLI invocation keeps its exact old meaning. Throws
+/// std::invalid_argument naming the unknown codec (and, like the config
+/// grammar, on all-separator input).
+std::vector<compress::CodecKind> parse_codec_list(const std::string& csv);
+
+/// The (config × codec) grid a spec asks for, flattened config-major —
+/// the one expansion cpc_run, cpc_serve admission/recovery and the tests
+/// all share, so every surface rejects and orders identically.
+struct JobGrid {
+  std::vector<sim::ConfigKind> configs;
+  std::vector<compress::CodecKind> codecs;
+
+  std::size_t job_count() const { return configs.size() * codecs.size(); }
+};
+
+/// Parses both lists of a spec at once. Throws std::invalid_argument on
+/// either grammar error.
+JobGrid parse_job_grid(const std::string& configs_csv,
+                       const std::string& codecs_csv);
 
 /// Builds the effective per-job watchdog budget: the tighter of the
 /// request's deadline and the environment's CPC_JOB_TIMEOUT_MS (either may

@@ -680,18 +680,26 @@ struct SuitePlan {
   std::vector<Input> inputs;
 };
 
-std::vector<Job> plan_jobs(const SuitePlan& plan) {
+std::vector<Job> plan_jobs(const SuitePlan& plan,
+                           const std::vector<compress::CodecKind>& codecs) {
   std::vector<Job> jobs;
-  jobs.reserve(plan.inputs.size() * std::size(kAllConfigs));
+  jobs.reserve(plan.inputs.size() * std::size(kAllConfigs) * codecs.size());
   for (const SuitePlan::Input& input : plan.inputs) {
+    // Config-major, codec-minor — the same cell order as net::JobGrid and
+    // the cpc_run / cpc_serve sweep executors.
     for (const ConfigKind kind : kAllConfigs) {
-      Job job;
-      job.trace = input.trace;
-      job.trace_ops = input.trace->size();
-      job.seed = input.seed;
-      job.make_hierarchy = [kind] { return make_hierarchy(kind); };
-      job.tag = config_name(kind);
-      jobs.push_back(std::move(job));
+      for (const compress::CodecKind codec_kind : codecs) {
+        const compress::Codec codec{codec_kind};
+        Job job;
+        job.trace = input.trace;
+        job.trace_ops = input.trace->size();
+        job.seed = input.seed;
+        job.make_hierarchy = [kind, codec] {
+          return make_hierarchy(kind, codec);
+        };
+        job.tag = config_codec_tag(kind, codec);
+        jobs.push_back(std::move(job));
+      }
     }
   }
   return jobs;
@@ -699,6 +707,7 @@ std::vector<Job> plan_jobs(const SuitePlan& plan) {
 
 /// Runs one repeat of a suite and appends/validates its records.
 void run_suite_once(const SweepRunner& runner, const SuitePlan& plan,
+                    const std::vector<compress::CodecKind>& codecs,
                     BenchSuiteResult& suite, bool first_repeat, bool quiet,
                     unsigned procs) {
   std::vector<JobResult> results;
@@ -706,7 +715,7 @@ void run_suite_once(const SweepRunner& runner, const SuitePlan& plan,
     ShardOptions shard = ShardOptions::from_env();
     shard.procs = procs;
     shard.run.quiet = quiet;
-    RunReport report = runner.run_sharded(plan_jobs(plan), shard);
+    RunReport report = runner.run_sharded(plan_jobs(plan, codecs), shard);
     if (!report.failures.empty()) {
       // The benchmark contract is run()'s: any job failure is fatal.
       const JobFailure& failure = report.failures.front();
@@ -716,27 +725,31 @@ void run_suite_once(const SweepRunner& runner, const SuitePlan& plan,
     }
     results = std::move(report.results);
   } else {
-    results = runner.run(plan_jobs(plan), quiet);
+    results = runner.run(plan_jobs(plan, codecs), quiet);
   }
 
   std::uint64_t committed = 0;
   double wall = 0.0;
-  const std::size_t configs = std::size(kAllConfigs);
+  const std::size_t per_input = std::size(kAllConfigs) * codecs.size();
   for (std::size_t i = 0; i < results.size(); ++i) {
     const JobResult& result = results[i];
     if (result.run.core.value_mismatches != 0) {
       throw std::runtime_error("benchmark run produced load-value mismatches in " +
-                               plan.inputs[i / configs].display + "/" +
-                               result.run.config);
+                               plan.inputs[i / per_input].display + "/" +
+                               result.tag);
     }
     committed += result.run.core.committed;
     wall += result.wall_seconds;
 
     BenchJobRecord record;
-    record.workload = plan.inputs[i / configs].display;
-    record.config = result.run.config;
-    record.trace_ops = plan.inputs[i / configs].trace->size();
-    record.seed = plan.inputs[i / configs].seed;
+    record.workload = plan.inputs[i / per_input].display;
+    // The grid-cell tag, not the hierarchy name: uncompressed configs keep
+    // bare names under every codec, but their report rows must still be
+    // distinguishable per cell. Under the paper codec the tag IS the
+    // hierarchy name, so legacy reports are unchanged byte for byte.
+    record.config = result.tag;
+    record.trace_ops = plan.inputs[i / per_input].trace->size();
+    record.seed = plan.inputs[i / per_input].seed;
     record.committed = result.run.core.committed;
     record.cycles = result.run.core.cycles;
     record.l1_misses = result.run.hierarchy.l1_misses;
@@ -828,6 +841,9 @@ BenchReport run_bench_suites(const BenchRunOptions& options) {
   const SweepRunner runner(options.threads);
   report.threads = runner.threads();
 
+  std::vector<compress::CodecKind> codecs = options.codecs;
+  if (codecs.empty()) codecs.push_back(compress::CodecKind::kPaper);
+
   std::vector<SuitePlan> plans;
   plans.push_back(plan_kernel_suite(options));
   if (std::optional<SuitePlan> corpus = plan_corpus_suite(options)) {
@@ -845,7 +861,7 @@ BenchReport run_bench_suites(const BenchRunOptions& options) {
         std::cerr << "suite " << plan.name << ": repeat " << (repeat + 1) << "/"
                   << report.repeats << "\n";
       }
-      run_suite_once(runner, plan, suite, repeat == 0, options.quiet,
+      run_suite_once(runner, plan, codecs, suite, repeat == 0, options.quiet,
                      options.procs);
     }
     report.suites.push_back(std::move(suite));

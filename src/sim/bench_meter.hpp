@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/codec.hpp"
 #include "sim/experiment.hpp"
 #include "sim/job.hpp"
 
@@ -201,6 +202,12 @@ struct BenchRunOptions {
   unsigned procs = 0;
   bool quiet = true;
   std::string mode = "full";
+  /// Compression codecs to cross with the five paper configurations: every
+  /// suite input runs once per (config, codec) cell, config-major. Empty
+  /// (the default) means the paper codec alone, which keeps every job
+  /// record — tags, fingerprints, ordering — bit-identical to pre-codec
+  /// reports, so committed BENCH_<n>.json baselines stay comparable.
+  std::vector<compress::CodecKind> codecs;
   /// Workload filter (names); empty = every registered kernel.
   std::vector<std::string> workloads;
   /// Directory holding the committed fuzz corpus (*.cpctrace). Empty or

@@ -30,6 +30,12 @@ std::string config_name(ConfigKind kind) {
 
 std::unique_ptr<cache::MemoryHierarchy> make_hierarchy(
     ConfigKind kind, const cache::LatencyConfig& latency) {
+  return make_hierarchy(kind, compress::kPaperCodec, latency);
+}
+
+std::unique_ptr<cache::MemoryHierarchy> make_hierarchy(
+    ConfigKind kind, compress::Codec codec,
+    const cache::LatencyConfig& latency) {
   cache::HierarchyConfig base = cache::kBaselineConfig;
   base.latency = latency;
   cache::HierarchyConfig hac = cache::kHigherAssocConfig;
@@ -37,23 +43,33 @@ std::unique_ptr<cache::MemoryHierarchy> make_hierarchy(
 
   switch (kind) {
     case ConfigKind::kBC:
+      // Uncompressed transfers: the codec cannot change behaviour, so BC
+      // keeps its bare name in every grid cell (it is the normalisation
+      // baseline the figures divide by).
       return std::make_unique<cache::BaselineHierarchy>(
-          "BC", base, cache::TransferFormat::kUncompressed);
+          "BC", base, cache::TransferFormat::kUncompressed, codec);
     case ConfigKind::kBCC:
       return std::make_unique<cache::BaselineHierarchy>(
-          "BCC", base, cache::TransferFormat::kCompressed);
+          compress::codec_suffixed_name("BCC", codec), base,
+          cache::TransferFormat::kCompressed, codec);
     case ConfigKind::kHAC:
       return std::make_unique<cache::BaselineHierarchy>(
-          "HAC", hac, cache::TransferFormat::kUncompressed);
+          "HAC", hac, cache::TransferFormat::kUncompressed, codec);
     case ConfigKind::kBCP:
       return std::make_unique<cache::PrefetchHierarchy>(base);
     case ConfigKind::kCPP: {
       core::CppHierarchy::Options opts;
       opts.config = base;
+      opts.codec = codec;
+      opts.name = compress::codec_suffixed_name("CPP", codec);
       return std::make_unique<core::CppHierarchy>(opts);
     }
   }
   throw std::logic_error("unreachable config kind");
+}
+
+std::string config_codec_tag(ConfigKind kind, compress::Codec codec) {
+  return compress::codec_suffixed_name(config_name(kind), codec);
 }
 
 RunResult run_trace_on(std::span<const cpu::MicroOp> trace,

@@ -11,6 +11,7 @@
 
 #include "cache/config.hpp"
 #include "cache/hierarchy.hpp"
+#include "compress/codec.hpp"
 #include "cpu/core_config.hpp"
 #include "cpu/micro_op.hpp"
 #include "cpu/ooo_core.hpp"
@@ -30,6 +31,20 @@ std::string config_name(ConfigKind kind);
 /// Builds a fresh hierarchy of the given kind with the given latencies.
 std::unique_ptr<cache::MemoryHierarchy> make_hierarchy(
     ConfigKind kind, const cache::LatencyConfig& latency = {});
+
+/// Builds a hierarchy of the given kind running under `codec`. With the
+/// paper codec this is byte-identical to the overload above (legacy names,
+/// legacy behaviour); other codecs name themselves "<config>@<codec>".
+/// BC/HAC/BCP meter uncompressed transfers, so the codec only changes
+/// their tag — they still run so a (config × codec) grid stays rectangular.
+std::unique_ptr<cache::MemoryHierarchy> make_hierarchy(
+    ConfigKind kind, compress::Codec codec,
+    const cache::LatencyConfig& latency = {});
+
+/// Sweep tag of a (config, codec) cell: the bare config name under the
+/// paper codec (pre-refactor CSVs and journals stay bit-identical),
+/// "<config>@<codec>" otherwise.
+std::string config_codec_tag(ConfigKind kind, compress::Codec codec);
 
 /// One complete simulation of a trace on one configuration.
 struct RunResult {

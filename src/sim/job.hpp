@@ -75,4 +75,24 @@ inline Job make_config_job(const workload::Workload& workload,
   return job;
 }
 
+/// Job for one (config, codec) cell of a codec-comparison grid. Under the
+/// paper codec the tag and hierarchy are exactly make_config_job's, so
+/// mixed grids keep legacy journal fingerprints for the paper column.
+inline Job make_config_codec_job(const workload::Workload& workload,
+                                 std::uint64_t trace_ops, std::uint64_t seed,
+                                 ConfigKind kind, compress::Codec codec,
+                                 const cpu::CoreConfig& core_config = {},
+                                 const cache::LatencyConfig& latency = {}) {
+  Job job;
+  job.workload = workload;
+  job.trace_ops = trace_ops;
+  job.seed = seed;
+  job.make_hierarchy = [kind, codec, latency] {
+    return make_hierarchy(kind, codec, latency);
+  };
+  job.core_config = core_config;
+  job.tag = config_codec_tag(kind, codec);
+  return job;
+}
+
 }  // namespace cpc::sim

@@ -256,11 +256,12 @@ DifferentialReport run_differential(std::shared_ptr<const cpu::Trace> trace,
     const std::uint64_t stride = options.audit_stride;
     const std::optional<FaultPlan> plan =
         arm ? options.fault : std::optional<FaultPlan>{};
-    job.make_hierarchy = [kind, stride, plan] {
+    const compress::Codec codec = options.codec;
+    job.make_hierarchy = [kind, stride, plan, codec] {
       // Guard first (metadata audits + fault arming), oracle outermost so
       // run_trace_on wires the commit hook and skips re-guarding.
       auto guard = std::make_unique<GuardedHierarchy>(
-          sim::make_hierarchy(kind), stride);
+          sim::make_hierarchy(kind, codec), stride);
       if (plan) guard->arm_fault(*plan);
       return std::make_unique<OracleHierarchy>(std::move(guard));
     };

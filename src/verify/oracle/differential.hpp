@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "compress/codec.hpp"
 #include "cpu/core_config.hpp"
 #include "cpu/micro_op.hpp"
 #include "sim/experiment.hpp"
@@ -85,6 +86,12 @@ struct DifferentialOptions {
   /// Optional fault to arm on `fault_config` (acceptance/fuzz self-check).
   std::optional<FaultPlan> fault;
   sim::ConfigKind fault_config = sim::ConfigKind::kCPP;
+  /// Compression codec every configuration runs under. The metamorphic
+  /// relations are codec-independent (any codec's compressed word costs at
+  /// most an uncompressed one, and compression never changes a loaded
+  /// value), so the whole oracle reruns per codec. Outcome tags stay the
+  /// bare config names — the property checker keys on them.
+  compress::Codec codec = compress::kPaperCodec;
   bool quiet = true;
 };
 

@@ -1,0 +1,12 @@
+#pragma once
+// CPC-L007 seeded violation: the enum declares kBdi between the fpc and
+// wkdm rows, so codec_registry.def next door is missing a row.
+
+namespace cpc::compress {
+enum class CodecKind {
+  kPaper,
+  kFpc,
+  kBdi,
+  kWkdm,
+};
+}  // namespace cpc::compress

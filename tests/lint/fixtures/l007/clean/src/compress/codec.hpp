@@ -1,0 +1,9 @@
+#pragma once
+// CPC-L007 clean twin: registry rows mirror the enum exactly, in order.
+
+namespace cpc::compress {
+enum class CodecKind {
+  kPaper,
+  kFpc,
+};
+}  // namespace cpc::compress

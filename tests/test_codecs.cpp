@@ -1,0 +1,233 @@
+// Codec framework acceptance (compress/codec.hpp): every registered codec
+// honours the word-level contract on adversarial fuzzer corpora, the
+// line-level accounting stays within structural bounds, the full
+// differential oracle runs clean under every codec, and the paper codec is
+// pinned bit-identical to the pre-refactor scheme path — same stats, same
+// legacy names, same sweep tags.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/codec_survey.hpp"
+#include "compress/classification_stats.hpp"
+#include "compress/codec.hpp"
+#include "compress/gate_model.hpp"
+#include "cpu/micro_op.hpp"
+#include "net/protocol.hpp"
+#include "sim/experiment.hpp"
+#include "verify/oracle/differential.hpp"
+#include "verify/trace_fuzzer.hpp"
+#include "workload/workloads.hpp"
+
+namespace cpc {
+namespace {
+
+std::shared_ptr<const cpu::Trace> fuzz_trace(std::uint64_t seed,
+                                             std::uint32_t ops) {
+  verify::FuzzOptions options;
+  options.seed = seed;
+  options.target_ops = ops;
+  return std::make_shared<const cpu::Trace>(
+      verify::TraceFuzzer(options).generate());
+}
+
+std::shared_ptr<const cpu::Trace> workload_trace(const char* name,
+                                                 std::uint64_t ops) {
+  const workload::Workload& wl = workload::find_workload(name);
+  workload::WorkloadParams params;
+  params.target_ops = ops;
+  return std::make_shared<const cpu::Trace>(workload::generate(wl, params));
+}
+
+// ---- word-level contract on fuzz corpora --------------------------------
+
+TEST(CodecContract, RoundTripsEveryFuzzCorpusWord) {
+  for (const std::uint64_t seed : {1u, 9u, 23u}) {
+    const auto trace = fuzz_trace(seed, 2048);
+    for (const compress::CodecKind kind : compress::kAllCodecs) {
+      const compress::Codec codec{kind};
+      SCOPED_TRACE(std::string("seed ") + std::to_string(seed) + " codec " +
+                   codec.name());
+      for (const cpu::MicroOp& op : *trace) {
+        if (!cpu::is_memory_op(op.kind)) continue;
+        const compress::ValueClass cls = codec.classify(op.value, op.addr);
+        const auto cw = codec.compress(op.value, op.addr);
+        // classify, is_compressible and compress must agree exactly.
+        ASSERT_EQ(codec.is_compressible(op.value, op.addr),
+                  cls != compress::ValueClass::kIncompressible);
+        ASSERT_EQ(cw.has_value(),
+                  cls != compress::ValueClass::kIncompressible);
+        if (!cw) continue;
+        // The encoded form fits the advertised width and round-trips.
+        ASSERT_EQ(cw->bits >> codec.compressed_bits(), 0u);
+        ASSERT_EQ(codec.decompress(*cw, op.addr), op.value);
+      }
+    }
+  }
+}
+
+TEST(CodecContract, ClassifyWordsAgreesWithScalarClassify) {
+  const auto trace = fuzz_trace(5, 2048);
+  std::vector<std::uint32_t> values;
+  for (const cpu::MicroOp& op : *trace) {
+    if (cpu::is_memory_op(op.kind)) values.push_back(op.value);
+  }
+  ASSERT_GE(values.size(), 8u);
+  for (const compress::CodecKind kind : compress::kAllCodecs) {
+    const compress::Codec codec{kind};
+    SCOPED_TRACE(codec.name());
+    for (std::size_t at = 0; at + 8 <= values.size(); at += 8) {
+      const std::uint32_t base =
+          0x1000u + static_cast<std::uint32_t>(at) * 4u;
+      const compress::WordClassMasks masks =
+          codec.classify_words(&values[at], 8, base);
+      for (std::size_t i = 0; i < 8; ++i) {
+        const std::uint32_t addr =
+            base + static_cast<std::uint32_t>(i) * 4u;
+        const compress::ValueClass cls = codec.classify(values[at + i], addr);
+        ASSERT_EQ((masks.small >> i) & 1u,
+                  cls == compress::ValueClass::kSmallValue ? 1u : 0u);
+        ASSERT_EQ((masks.pointer >> i) & 1u,
+                  cls == compress::ValueClass::kPointer ? 1u : 0u);
+      }
+    }
+  }
+}
+
+TEST(CodecContract, LineAccountingStaysWithinStructuralBounds) {
+  const auto trace = fuzz_trace(31, 2048);
+  std::vector<std::uint32_t> values;
+  for (const cpu::MicroOp& op : *trace) {
+    if (cpu::is_memory_op(op.kind)) values.push_back(op.value);
+  }
+  for (const compress::CodecKind kind : compress::kAllCodecs) {
+    const compress::Codec codec{kind};
+    SCOPED_TRACE(codec.name());
+    for (std::size_t at = 0; at + 8 <= values.size(); at += 8) {
+      const std::uint32_t base =
+          0x2000u + static_cast<std::uint32_t>(at) * 4u;
+      const compress::LineCompression line =
+          codec.compress_line(&values[at], 8, base);
+      // Data never exceeds the raw line; metadata is charged but bounded
+      // by the raw line too (a 100%-overhead codec would be a bug).
+      EXPECT_LE(line.data_bits, 8u * compress::Codec::kWordBits);
+      EXPECT_GT(line.tag_bits, 0u);
+      EXPECT_LE(line.tag_bits, 8u * compress::Codec::kWordBits);
+    }
+  }
+}
+
+// ---- trace-level survey --------------------------------------------------
+
+TEST(CodecSurvey, EveryCodecSurveysAWorkloadTrace) {
+  const auto trace = workload_trace("olden.treeadd", 20'000);
+  for (const compress::CodecKind kind : compress::kAllCodecs) {
+    const compress::Codec codec{kind};
+    SCOPED_TRACE(codec.name());
+    const compress::ClassificationStats survey =
+        analysis::survey_codec(*trace, codec);
+    EXPECT_GT(survey.total(), 0u);
+    EXPECT_GT(survey.lines(), 0u);
+    EXPECT_EQ(survey.raw_bits(),
+              survey.lines() * 8 * compress::Codec::kWordBits);
+    // Ratios are well-formed: positive, and the metadata share is a
+    // genuine fraction.
+    EXPECT_GT(survey.line_compression_ratio(), 0.0);
+    EXPECT_GE(survey.tag_overhead_fraction(), 0.0);
+    EXPECT_LT(survey.tag_overhead_fraction(), 1.0);
+    EXPECT_GT(survey.tag_bits_per_line(), 0.0);
+  }
+}
+
+// ---- paper codec pinned bit-identical -----------------------------------
+
+TEST(PaperCodec, HierarchiesBitIdenticalToPreCodecPath) {
+  const auto trace = workload_trace("olden.mst", 20'000);
+  for (const sim::ConfigKind kind : sim::kAllConfigs) {
+    SCOPED_TRACE(sim::config_name(kind));
+    auto legacy = sim::make_hierarchy(kind);
+    auto codec_path = sim::make_hierarchy(kind, compress::kPaperCodec);
+    EXPECT_EQ(legacy->name(), codec_path->name());
+    const sim::RunResult a = sim::run_trace_on(*trace, *legacy);
+    const sim::RunResult b = sim::run_trace_on(*trace, *codec_path);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.committed, b.core.committed);
+    EXPECT_EQ(a.hierarchy.l1_misses, b.hierarchy.l1_misses);
+    EXPECT_EQ(a.hierarchy.l2_misses, b.hierarchy.l2_misses);
+    EXPECT_EQ(a.hierarchy.mem_fetch_lines, b.hierarchy.mem_fetch_lines);
+    EXPECT_EQ(a.hierarchy.mem_writebacks, b.hierarchy.mem_writebacks);
+    EXPECT_EQ(a.hierarchy.traffic.half_units(),
+              b.hierarchy.traffic.half_units());
+  }
+}
+
+TEST(CodecNames, PaperKeepsLegacyNamesOthersSuffix) {
+  EXPECT_EQ(compress::codec_suffixed_name("CPP", compress::kPaperCodec),
+            "CPP");
+  EXPECT_EQ(compress::codec_suffixed_name(
+                "CPP", compress::Codec{compress::CodecKind::kFpc}),
+            "CPP@fpc");
+  EXPECT_EQ(sim::config_codec_tag(sim::ConfigKind::kCPP,
+                                  compress::kPaperCodec),
+            "CPP");
+  EXPECT_EQ(sim::config_codec_tag(sim::ConfigKind::kBC,
+                                  compress::Codec{compress::CodecKind::kBdi}),
+            "BC@bdi");
+  // Hierarchy names: compressed-transfer configs advertise their codec,
+  // uncompressed ones stay bare (the codec cannot change their behaviour).
+  const compress::Codec wkdm{compress::CodecKind::kWkdm};
+  EXPECT_EQ(sim::make_hierarchy(sim::ConfigKind::kCPP, wkdm)->name(),
+            "CPP@wkdm");
+  EXPECT_EQ(sim::make_hierarchy(sim::ConfigKind::kBCC, wkdm)->name(),
+            "BCC@wkdm");
+  EXPECT_EQ(sim::make_hierarchy(sim::ConfigKind::kBC, wkdm)->name(), "BC");
+}
+
+// ---- differential oracle per codec --------------------------------------
+
+TEST(CodecDifferential, EveryCodecRunsTheOracleClean) {
+  const auto trace = fuzz_trace(17, 1024);
+  for (const compress::CodecKind kind : compress::kAllCodecs) {
+    const compress::Codec codec{kind};
+    SCOPED_TRACE(codec.name());
+    verify::DifferentialOptions options;
+    options.codec = codec;
+    const verify::DifferentialReport report =
+        verify::run_differential(trace, options);
+    EXPECT_TRUE(report.clean()) << report.summary();
+  }
+}
+
+TEST(CodecDifferential, WorkloadCleanUnderEveryCodec) {
+  const auto trace = workload_trace("olden.treeadd", 20'000);
+  for (const compress::CodecKind kind : compress::kAllCodecs) {
+    const compress::Codec codec{kind};
+    SCOPED_TRACE(codec.name());
+    verify::DifferentialOptions options;
+    options.codec = codec;
+    const verify::DifferentialReport report =
+        verify::run_differential(trace, options);
+    EXPECT_TRUE(report.clean()) << report.summary();
+  }
+}
+
+// ---- gate model ----------------------------------------------------------
+
+TEST(CodecGateModel, DelaysMatchTheDocumentedBudgets) {
+  using compress::Codec;
+  using compress::CodecKind;
+  EXPECT_EQ(compress::compressor_gate_delay(Codec{}), 8u);
+  EXPECT_EQ(compress::decompressor_gate_delay(Codec{}), 2u);
+  EXPECT_EQ(compress::compressor_gate_delay(Codec{CodecKind::kFpc}), 8u);
+  EXPECT_EQ(compress::compressor_gate_delay(Codec{CodecKind::kBdi}), 15u);
+  EXPECT_EQ(compress::decompressor_gate_delay(Codec{CodecKind::kBdi}), 7u);
+  EXPECT_EQ(compress::compressor_gate_delay(Codec{CodecKind::kWkdm}), 8u);
+}
+
+}  // namespace
+}  // namespace cpc

@@ -65,6 +65,7 @@ TEST(NetProtocol, JobSpecRoundTripsExactly) {
   spec.trace_ops = 60000;
   spec.seed = 0x5eed;
   spec.configs = "BC,CPP";
+  spec.codecs = "paper,fpc";
   spec.deadline_ms = 1500;
   net::JobSpec back;
   ASSERT_TRUE(net::decode_job_spec(net::encode_job_spec(spec), back));
@@ -73,6 +74,7 @@ TEST(NetProtocol, JobSpecRoundTripsExactly) {
   EXPECT_EQ(back.trace_ops, spec.trace_ops);
   EXPECT_EQ(back.seed, spec.seed);
   EXPECT_EQ(back.configs, spec.configs);
+  EXPECT_EQ(back.codecs, spec.codecs);
   EXPECT_EQ(back.deadline_ms, spec.deadline_ms);
 
   const std::string wire = net::encode_job_spec(spec);
@@ -91,6 +93,33 @@ TEST(NetProtocol, ConfigGrammarMatchesCpcRun) {
   EXPECT_EQ(pair[1], sim::ConfigKind::kCPP);
   EXPECT_THROW(net::parse_config_list("BC,XYZ"), std::invalid_argument);
   EXPECT_THROW(net::parse_config_list(","), std::invalid_argument);
+}
+
+TEST(NetProtocol, CodecGrammarMatchesCpcRun) {
+  // Empty means the paper codec only — NOT "all": a spec or CLI invocation
+  // that never mentions codecs must keep its exact pre-codec meaning.
+  const std::vector<compress::CodecKind> legacy = net::parse_codec_list("");
+  ASSERT_EQ(legacy.size(), 1u);
+  EXPECT_EQ(legacy[0], compress::CodecKind::kPaper);
+
+  EXPECT_EQ(net::parse_codec_list("all").size(), compress::kCodecKindCount);
+  const std::vector<compress::CodecKind> pair =
+      net::parse_codec_list("fpc,wkdm");
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0], compress::CodecKind::kFpc);
+  EXPECT_EQ(pair[1], compress::CodecKind::kWkdm);
+  EXPECT_THROW(net::parse_codec_list("fpc,xyz"), std::invalid_argument);
+  EXPECT_THROW(net::parse_codec_list(","), std::invalid_argument);
+}
+
+TEST(NetProtocol, JobGridCountsTheCross) {
+  const net::JobGrid grid = net::parse_job_grid("BC,CPP", "all");
+  EXPECT_EQ(grid.configs.size(), 2u);
+  EXPECT_EQ(grid.codecs.size(), compress::kCodecKindCount);
+  EXPECT_EQ(grid.job_count(), 2u * compress::kCodecKindCount);
+  // Either grammar error surfaces through the combined parser.
+  EXPECT_THROW(net::parse_job_grid("XYZ", "paper"), std::invalid_argument);
+  EXPECT_THROW(net::parse_job_grid("BC", "nope"), std::invalid_argument);
 }
 
 TEST(NetProtocol, DeadlineLayersOnEnvironment) {

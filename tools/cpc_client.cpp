@@ -40,9 +40,11 @@ int usage() {
   std::cerr
       << "usage: cpc_client --socket PATH [--id NAME] [--deadline-ms N]\n"
          "                  [--retries N] [--backoff-ms N] [--resume]\n"
-         "                  [--quiet] <trace-file> [config[,config...]]\n"
+         "                  [--codecs LIST] [--quiet] <trace-file>\n"
+         "                  [config[,config...]]\n"
          "       cpc_client --socket PATH --workload NAME --ops N [--seed N]\n"
-         "                  [config[,config...]]\n";
+         "                  [--codecs LIST] [config[,config...]]\n"
+         "  LIST: paper,fpc,bdi,wkdm or all (default: paper)\n";
   return cli::kExitUsage;
 }
 
@@ -335,6 +337,10 @@ int main(int argc, char** argv) {
       const char* v = value_of(i, arg);
       if (v == nullptr) return usage();
       flags.spec.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--codecs") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.spec.codecs = v;
     } else if (arg == "--resume") {
       flags.resume = true;
     } else if (arg == "--quiet") {

@@ -588,6 +588,8 @@ constexpr RegistryPair kRegistries[] = {
     {"common/check.hpp", "Invariant", "invariant_registry.def",
      "CPC_INVARIANT_ROW"},
     {"verify/fault.hpp", "FaultKind", "fault_registry.def", "CPC_FAULT_ROW"},
+    {"compress/codec.hpp", "CodecKind", "codec_registry.def",
+     "CPC_CODEC_ROW"},
 };
 
 void check_l007(const SourceFile& f,

@@ -1,13 +1,21 @@
 // cpc_run — replay a saved trace on one or all cache configurations and
 // print the paper's metrics.
 //
-//   cpc_run <trace-file> [BC|BCC|HAC|BCP|CPP|all]
-//   cpc_run --sweep [--jobs N] [--contain] [--retries N] [--timeout-ms N]
-//           [--journal PATH] <trace-file> [config[,config...]]
+//   cpc_run [--codecs LIST] <trace-file> [BC|BCC|HAC|BCP|CPP|all]
+//   cpc_run --sweep [--codecs LIST] [--jobs N] [--contain] [--retries N]
+//           [--timeout-ms N] [--journal PATH] <trace-file>
+//           [config[,config...]]
 //
 // --sweep fans the config list across the SweepRunner thread pool (thread
 // count from --jobs, else CPC_JOBS, else hardware concurrency) and writes a
 // CSV report to stdout with per-job wall time and throughput.
+//
+// --codecs crosses the config list with a compression-codec list
+// ("paper,fpc,bdi,wkdm" or "all"; net/protocol.hpp grammar) into a
+// (config × codec) grid. Passing the flag — even as "--codecs paper" —
+// switches sweep output to the extended codec CSV schema
+// (tools/sweep_csv.hpp), which adds the per-codec line-accounting survey;
+// without the flag output is bit-identical to the pre-codec tool.
 //
 // --contain switches the sweep to fault-contained execution: a failing job
 // is reported (with optional --retries) and the remaining jobs still run;
@@ -20,13 +28,17 @@
 // is contained and its jobs re-run, and merged output stays bit-identical
 // to the serial run. Implies --contain.
 
+#include <array>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/codec_survey.hpp"
+#include "compress/codec.hpp"
 #include "cpu/trace_io.hpp"
 #include "net/protocol.hpp"
 #include "sim/experiment.hpp"
@@ -41,18 +53,21 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: cpc_run <trace-file> [BC|BCC|HAC|BCP|CPP|all]\n"
-               "       cpc_run --sweep [--jobs N] [--procs N] [--contain]\n"
-               "               [--retries N] [--timeout-ms N] [--journal PATH]\n"
-               "               <trace-file> [config[,config...]]\n";
+  std::cerr << "usage: cpc_run [--codecs LIST] <trace-file>"
+               " [BC|BCC|HAC|BCP|CPP|all]\n"
+               "       cpc_run --sweep [--codecs LIST] [--jobs N] [--procs N]\n"
+               "               [--contain] [--retries N] [--timeout-ms N]\n"
+               "               [--journal PATH] <trace-file>"
+               " [config[,config...]]\n"
+               "  LIST: paper,fpc,bdi,wkdm or all\n";
   return cpc::cli::kExitUsage;
 }
 
 /// Joins the positional config arguments and defers to the shared grammar
 /// (net/protocol.hpp) — the same parser the cpc_serve daemon applies to a
 /// submitted job spec, so CLI and service reject exactly the same inputs.
-std::vector<cpc::sim::ConfigKind> parse_configs(
-    const std::vector<std::string>& names) {
+cpc::net::JobGrid parse_grid(const std::vector<std::string>& names,
+                             const std::string& codecs_csv) {
   using namespace cpc;
   std::string csv;
   for (const std::string& arg : names) {
@@ -60,7 +75,7 @@ std::vector<cpc::sim::ConfigKind> parse_configs(
     csv += arg;
   }
   try {
-    return net::parse_config_list(csv);
+    return net::parse_job_grid(csv, codecs_csv);
   } catch (const std::invalid_argument& error) {
     throw cli::BadInput(error.what());
   }
@@ -71,6 +86,9 @@ struct SweepFlags {
   bool contain = false;
   /// Process-sharded execution (--procs / CPC_PROCS). 0 = in-process sweep.
   unsigned procs = 0;
+  /// --codecs value; empty = flag absent = paper codec, legacy output.
+  std::string codecs;
+  bool codec_mode = false;  ///< --codecs was passed: extended CSV schema
   cpc::sim::RunOptions options = cpc::sim::RunOptions::from_env();
 };
 
@@ -78,19 +96,26 @@ int run_sweep_mode(const std::string& trace_path,
                    const std::vector<std::string>& config_args,
                    const SweepFlags& flags) {
   using namespace cpc;
-  const std::vector<sim::ConfigKind> kinds = parse_configs(config_args);
+  const net::JobGrid grid = parse_grid(config_args, flags.codecs);
   const auto trace = std::make_shared<const cpu::Trace>(
       cpu::read_trace_file(trace_path));
   std::cerr << trace_path << ": " << trace->size() << " micro-ops, "
-            << kinds.size() << " configuration job(s)\n";
+            << grid.job_count() << " configuration job(s)\n";
 
+  // Config-major expansion, matching net::JobGrid::job_count and the
+  // cpc_serve executor, so journals written by either surface line up.
   std::vector<sim::Job> sweep;
-  for (sim::ConfigKind kind : kinds) {
-    sim::Job job;
-    job.trace = trace;
-    job.make_hierarchy = [kind] { return sim::make_hierarchy(kind); };
-    job.tag = sim::config_name(kind);
-    sweep.push_back(std::move(job));
+  for (sim::ConfigKind kind : grid.configs) {
+    for (compress::CodecKind codec_kind : grid.codecs) {
+      const compress::Codec codec{codec_kind};
+      sim::Job job;
+      job.trace = trace;
+      job.make_hierarchy = [kind, codec] {
+        return sim::make_hierarchy(kind, codec);
+      };
+      job.tag = sim::config_codec_tag(kind, codec);
+      sweep.push_back(std::move(job));
+    }
   }
 
   const sim::SweepRunner runner(flags.jobs);
@@ -112,7 +137,14 @@ int run_sweep_mode(const std::string& trace_path,
     results = runner.run(std::move(sweep));
   }
 
-  std::cout << cli::kSweepCsvHeader << '\n';
+  // The per-codec line-accounting survey is a trace property, not a config
+  // property: compute it once per codec, on first use.
+  std::array<std::optional<compress::ClassificationStats>,
+             compress::kCodecKindCount>
+      surveys;
+  std::cout << (flags.codec_mode ? cli::kCodecSweepCsvHeader
+                                 : cli::kSweepCsvHeader)
+            << '\n';
   for (const sim::JobResult& result : results) {
     if ((flags.contain || sharded) && !result.ok) continue;  // reported below
     if (result.run.core.value_mismatches != 0) {
@@ -120,7 +152,18 @@ int run_sweep_mode(const std::string& trace_path,
                           " value mismatches in " + result.tag +
                           " — corrupt trace?");
     }
-    cli::print_sweep_csv_row(std::cout, result);
+    if (!flags.codec_mode) {
+      cli::print_sweep_csv_row(std::cout, result);
+      continue;
+    }
+    const sim::ConfigKind kind =
+        grid.configs[result.index / grid.codecs.size()];
+    const compress::Codec codec{grid.codecs[result.index %
+                                            grid.codecs.size()]};
+    auto& survey = surveys[static_cast<std::size_t>(codec.kind())];
+    if (!survey) survey = analysis::survey_codec(*trace, codec);
+    cli::print_codec_sweep_csv_row(std::cout, result, sim::config_name(kind),
+                                   codec, *survey);
   }
   for (const sim::JobFailure& failure : failures) {
     std::cerr << "job " << failure.index << " ("
@@ -192,6 +235,14 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       flags.contain = true;
       flags.options.journal_path = v;
+    } else if (arg == "--codecs") {
+      const char* v = value_of(i, arg);
+      if (v == nullptr) return usage();
+      flags.codecs = v;
+      flags.codec_mode = true;
+    } else if (arg.rfind("--codecs=", 0) == 0) {
+      flags.codecs = arg.substr(9);
+      flags.codec_mode = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "error: unknown flag '" << arg << "'\n";
       return usage();
@@ -208,6 +259,12 @@ int main(int argc, char** argv) {
     }
 
     const std::string which = positional.size() > 1 ? positional[1] : "all";
+    std::vector<compress::CodecKind> codecs;
+    try {
+      codecs = net::parse_codec_list(flags.codecs);
+    } catch (const std::invalid_argument& error) {
+      throw cli::BadInput(error.what());
+    }
     const cpu::Trace trace = cpu::read_trace_file(positional[0]);
     std::cout << positional[0] << ": " << trace.size() << " micro-ops\n\n";
 
@@ -215,19 +272,41 @@ int main(int argc, char** argv) {
                        {"cycles", "IPC", "L1 misses", "L2 misses", "mem words"});
     for (sim::ConfigKind kind : sim::kAllConfigs) {
       if (which != "all" && sim::config_name(kind) != which) continue;
-      const sim::RunResult r = sim::run_trace(trace, kind);
-      if (r.core.value_mismatches != 0) {
-        throw cli::BadInput(std::to_string(r.core.value_mismatches) +
-                            " value mismatches — corrupt trace?");
+      for (const compress::CodecKind codec_kind : codecs) {
+        const compress::Codec codec{codec_kind};
+        auto hierarchy = sim::make_hierarchy(kind, codec);
+        const sim::RunResult r = sim::run_trace_on(trace, *hierarchy);
+        if (r.core.value_mismatches != 0) {
+          throw cli::BadInput(std::to_string(r.core.value_mismatches) +
+                              " value mismatches — corrupt trace?");
+        }
+        table.add_row(sim::config_codec_tag(kind, codec),
+                      {r.cycles(), r.core.ipc(), r.l1_misses(), r.l2_misses(),
+                       r.traffic_words()});
       }
-      table.add_row(r.config, {r.cycles(), r.core.ipc(), r.l1_misses(),
-                               r.l2_misses(), r.traffic_words()});
     }
     if (table.rows() == 0) {
       throw cli::BadInput("unknown configuration '" + which +
                           "' (expected BC, BCC, HAC, BCP, CPP or all)");
     }
     std::cout << table.to_ascii(2);
+    if (flags.codec_mode) {
+      // Touché-style accounting over the trace's final memory image: how
+      // well each codec compresses once its own metadata is paid for.
+      stats::Table codec_table(
+          "codec line accounting (final memory image)",
+          {"comp ratio", "tag overhead %", "tag bits/line"});
+      for (const compress::CodecKind codec_kind : codecs) {
+        const compress::Codec codec{codec_kind};
+        const compress::ClassificationStats survey =
+            analysis::survey_codec(trace, codec);
+        codec_table.add_row(std::string(codec.name()),
+                            {survey.line_compression_ratio(),
+                             survey.tag_overhead_fraction() * 100.0,
+                             survey.tag_bits_per_line()});
+      }
+      std::cout << '\n' << codec_table.to_ascii(2);
+    }
     return cli::kExitOk;
   });
 }

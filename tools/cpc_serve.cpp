@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "compress/codec.hpp"
 #include "cpu/trace_io.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
@@ -78,8 +79,13 @@ struct ServeFlags {
 struct Submission {
   std::string id;
   net::JobSpec spec;
-  std::size_t job_count = 0;
+  /// Parsed once at admission (or recovery) from spec.configs/spec.codecs;
+  /// the executor expands it without re-parsing, so admission and execution
+  /// can never disagree about what a spec means.
+  net::JobGrid grid;
   std::atomic<bool> cancel{false};
+
+  std::size_t job_count() const { return grid.job_count(); }
 };
 using SubmissionPtr = std::shared_ptr<Submission>;
 
@@ -186,29 +192,34 @@ bool valid_submission_id(const std::string& id) {
 // Executor thread: drains the submission queue through the sweep engines
 // ---------------------------------------------------------------------------
 
-/// Expands a validated spec into the config-sweep job grid (exactly what
-/// cpc_run --sweep builds, so journals and results line up byte for byte).
-std::vector<sim::Job> build_jobs(const net::JobSpec& spec) {
-  const std::vector<sim::ConfigKind> kinds =
-      net::parse_config_list(spec.configs);
+/// Expands a validated spec into the (config × codec) job grid (exactly
+/// what cpc_run --sweep builds, so journals and results line up byte for
+/// byte). The grid was parsed at admission/recovery; no re-parsing here.
+std::vector<sim::Job> build_jobs(const net::JobSpec& spec,
+                                 const net::JobGrid& grid) {
   std::shared_ptr<const cpu::Trace> trace;
   if (!spec.trace_path.empty()) {
     trace = std::make_shared<const cpu::Trace>(
         cpu::read_trace_file(spec.trace_path));
   }
   std::vector<sim::Job> jobs;
-  for (const sim::ConfigKind kind : kinds) {
-    sim::Job job;
-    if (trace) {
-      job.trace = trace;
-    } else {
-      job.workload = workload::find_workload(spec.workload);
-      job.trace_ops = spec.trace_ops;
-      job.seed = spec.seed;
+  for (const sim::ConfigKind kind : grid.configs) {
+    for (const compress::CodecKind codec_kind : grid.codecs) {
+      const compress::Codec codec{codec_kind};
+      sim::Job job;
+      if (trace) {
+        job.trace = trace;
+      } else {
+        job.workload = workload::find_workload(spec.workload);
+        job.trace_ops = spec.trace_ops;
+        job.seed = spec.seed;
+      }
+      job.make_hierarchy = [kind, codec] {
+        return sim::make_hierarchy(kind, codec);
+      };
+      job.tag = sim::config_codec_tag(kind, codec);
+      jobs.push_back(std::move(job));
     }
-    job.make_hierarchy = [kind] { return sim::make_hierarchy(kind); };
-    job.tag = sim::config_name(kind);
-    jobs.push_back(std::move(job));
   }
   return jobs;
 }
@@ -230,7 +241,7 @@ void run_submission(ServerState& state, const ServeFlags& flags,
 
   std::vector<sim::Job> jobs;
   try {
-    jobs = build_jobs(sub.spec);
+    jobs = build_jobs(sub.spec, sub.grid);
   } catch (const std::exception& error) {
     // Admission validated the spec, but the environment can still change
     // underneath us (trace file deleted between submit and run).
@@ -270,7 +281,7 @@ void run_submission(ServerState& state, const ServeFlags& flags,
   };
 
   if (!flags.quiet) {
-    std::cerr << "cpc_serve: running " << sub.id << " (" << sub.job_count
+    std::cerr << "cpc_serve: running " << sub.id << " (" << sub.job_count()
               << " jobs)\n";
   }
   const sim::SweepRunner runner;
@@ -408,10 +419,11 @@ void handle_submit(ServerState& state, const ServeFlags& flags,
     return;
   }
   // Validate eagerly so a doomed request is refused at admission, not after
-  // queueing behind other sweeps.
-  std::size_t job_count = 0;
+  // queueing behind other sweeps. The grid is parsed exactly once, here;
+  // the executor and the accept reply reuse it.
+  net::JobGrid grid;
   try {
-    job_count = net::parse_config_list(spec.configs).size();
+    grid = net::parse_job_grid(spec.configs, spec.codecs);
     if (spec.trace_path.empty() == spec.workload.empty()) {
       throw std::invalid_argument(
           "exactly one of trace path or workload must be set");
@@ -435,6 +447,7 @@ void handle_submit(ServerState& state, const ServeFlags& flags,
 
   // A resuming client whose sweep already finished is served wholly from
   // the journal — nothing re-runs.
+  const std::size_t job_count = grid.job_count();
   std::uint64_t done_ok = 0, done_fail = 0;
   if (msg.b == 1 && read_done(flags, msg.id, done_ok, done_fail)) {
     replay_finished(flags, client, msg.id, job_count, done_ok, done_fail);
@@ -481,7 +494,7 @@ void handle_submit(ServerState& state, const ServeFlags& flags,
     sub = std::make_shared<Submission>();
     sub->id = msg.id;
     sub->spec = spec;
-    sub->job_count = job_count;
+    sub->grid = grid;
     state.queue.push_back(sub);
     depth = state.queue.size();
   }
@@ -570,10 +583,10 @@ void recover_state_dir(ServerState& state, const ServeFlags& flags) {
     sub->id = id;
     sub->spec = spec;
     try {
-      sub->job_count = net::parse_config_list(spec.configs).size();
+      sub->grid = net::parse_job_grid(spec.configs, spec.codecs);
     } catch (const std::exception&) {
       std::cerr << "warning: ignoring request '" << id
-                << "' with invalid configs\n";
+                << "' with an invalid config or codec list\n";
       continue;
     }
     const MutexLock lock(state.mutex);

@@ -5,7 +5,9 @@
 // is bit-identical to the serial run" checkable with cmp(1).
 
 #include <ostream>
+#include <string>
 
+#include "compress/classification_stats.hpp"
 #include "sim/job.hpp"
 
 namespace cpc::cli {
@@ -19,6 +21,30 @@ inline void print_sweep_csv_row(std::ostream& out,
       << result.run.core.ipc() << ',' << result.run.hierarchy.l1_misses << ','
       << result.run.hierarchy.l2_misses << ',' << result.run.traffic_words()
       << ',' << result.wall_seconds << ',' << result.ops_per_second << '\n';
+}
+
+/// Codec-mode sweep schema (cpc_run --codecs). A separate header rather
+/// than new columns on kSweepCsvHeader: default sweeps stay bit-identical
+/// to pre-codec output, and the journal ok-line schema stays pinned. The
+/// three trailing columns carry the trace-level line-accounting survey for
+/// the row's codec (analysis/codec_survey.hpp) — compression ratio after
+/// paying tag/metadata bits, the metadata share of the encoded stream, and
+/// mean metadata bits per line.
+inline constexpr const char* kCodecSweepCsvHeader =
+    "config,codec,cycles,ipc,l1_misses,l2_misses,mem_words,wall_seconds,"
+    "ops_per_sec,line_comp_ratio,tag_overhead,tag_bits_per_line";
+
+inline void print_codec_sweep_csv_row(
+    std::ostream& out, const cpc::sim::JobResult& result,
+    const std::string& config, const compress::Codec& codec,
+    const compress::ClassificationStats& survey) {
+  out << config << ',' << codec.name() << ',' << result.run.core.cycles << ','
+      << result.run.core.ipc() << ',' << result.run.hierarchy.l1_misses << ','
+      << result.run.hierarchy.l2_misses << ',' << result.run.traffic_words()
+      << ',' << result.wall_seconds << ',' << result.ops_per_second << ','
+      << survey.line_compression_ratio() << ','
+      << survey.tag_overhead_fraction() << ',' << survey.tag_bits_per_line()
+      << '\n';
 }
 
 }  // namespace cpc::cli
