@@ -669,7 +669,9 @@ RunReport ShardSupervisor::run(std::vector<Job> jobs) const {
       for (WorkerState& w : workers) {
         if (!w.alive) continue;
         ipc::kill_hard(w.child);
-        ipc::wait_blocking(w.child);
+        // Reap only: the worker was just SIGKILLed, so its exit status
+        // carries no information the journal doesn't already have.
+        (void)ipc::wait_blocking(w.child);
         ipc::close_fd(w.child.read_fd);
         w.alive = false;
       }

@@ -1,0 +1,8 @@
+// Golden-output seed: one deterministic CPC-L001 finding whose rendered
+// report line is pinned byte-for-byte by tests/lint/golden.expected.
+#include <random>
+
+unsigned golden_entropy() {
+  std::random_device device;
+  return device();
+}

@@ -1,0 +1,11 @@
+// Golden-output seed: one deterministic CPC-L013 finding so the pinned
+// report covers a token-engine-only check alongside a ported one.
+
+namespace demo {
+
+void golden_drain(int fd) {
+  char buffer[64];
+  net::read_socket(fd, buffer, sizeof(buffer));
+}
+
+}  // namespace demo

@@ -1,0 +1,23 @@
+// CPC-L011 seeded violation, file 1 of 2: this translation unit
+// establishes the acquisition order g_a -> g_b (f takes g_b while holding
+// g_a) and defines take_a, which bad_b.cpp calls while holding g_b.
+
+#include "common/mutex.hpp"
+
+namespace demo {
+
+Mutex g_a;
+Mutex g_b;
+
+void take_a() {
+  MutexLock lock(g_a);
+  touch_a();
+}
+
+void f() {
+  MutexLock first(g_a);
+  MutexLock second(g_b);
+  touch_both();
+}
+
+}  // namespace demo

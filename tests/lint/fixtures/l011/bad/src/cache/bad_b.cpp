@@ -1,0 +1,15 @@
+// CPC-L011 seeded violation, file 2 of 2: h acquires g_b and then calls
+// take_a (defined in bad_a.cpp), which acquires g_a — the reverse of f's
+// g_a -> g_b order. The cross-file, interprocedural cycle g_a -> g_b ->
+// g_a is the deadlock the check must name.
+
+#include "common/mutex.hpp"
+
+namespace demo {
+
+void h() {
+  MutexLock lock(g_b);
+  take_a();
+}
+
+}  // namespace demo

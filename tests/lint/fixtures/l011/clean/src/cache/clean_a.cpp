@@ -1,0 +1,22 @@
+// CPC-L011 clean twin, file 1 of 2: same two mutexes, same helper shape,
+// but every path agrees on the order g_a before g_b.
+
+#include "common/mutex.hpp"
+
+namespace demo {
+
+Mutex g_a;
+Mutex g_b;
+
+void take_b() {
+  MutexLock lock(g_b);
+  touch_b();
+}
+
+void f() {
+  MutexLock first(g_a);
+  MutexLock second(g_b);
+  touch_both();
+}
+
+}  // namespace demo

@@ -1,0 +1,14 @@
+// CPC-L011 clean twin, file 2 of 2: h also takes g_a first, then reaches
+// g_b through take_b — consistent with f's order, so the acquisition
+// graph is acyclic.
+
+#include "common/mutex.hpp"
+
+namespace demo {
+
+void h() {
+  MutexLock lock(g_a);
+  take_b();
+}
+
+}  // namespace demo

@@ -1,0 +1,22 @@
+// CPC-L012 seeded violation: serve_loop drives a poll_sockets event loop
+// and reaches sleep_ms through handle_request — a blocking call on the
+// loop thread stalls every connected client.
+
+#include <vector>
+
+namespace demo {
+
+void sleep_ms(int ms);
+
+void handle_request() {
+  sleep_ms(50);
+}
+
+void serve_loop(std::vector<int>& fds) {
+  while (!fds.empty()) {
+    if (!poll_sockets(fds, 50)) return;
+    handle_request();
+  }
+}
+
+}  // namespace demo

@@ -1,0 +1,29 @@
+// CPC-L012 clean twin: the same blocking work exists but runs on a
+// dedicated executor thread — std::thread constructor arguments are not
+// reachable from the poll loop, so the loop itself stays non-blocking.
+
+#include <thread>
+#include <vector>
+
+namespace demo {
+
+void sleep_ms(int ms);
+
+void executor() {
+  sleep_ms(50);
+}
+
+void handle_request() {
+  enqueue_for_executor();
+}
+
+void serve_loop(std::vector<int>& fds) {
+  std::thread worker([] { executor(); });
+  while (!fds.empty()) {
+    if (!poll_sockets(fds, 50)) break;
+    handle_request();
+  }
+  worker.join();
+}
+
+}  // namespace demo

@@ -1,0 +1,12 @@
+// CPC-L013 seeded violation: the read_socket status is dropped on the
+// floor, so a peer hangup or short read turns into silent corruption of
+// whatever the buffer happened to hold.
+
+namespace demo {
+
+void drain(int fd) {
+  char buffer[64];
+  net::read_socket(fd, buffer, sizeof(buffer));
+}
+
+}  // namespace demo

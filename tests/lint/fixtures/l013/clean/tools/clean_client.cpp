@@ -1,0 +1,15 @@
+// CPC-L013 clean twin: one status consumed by control flow, one
+// explicitly discarded with a (void) cast and a rationale — both
+// sanctioned shapes.
+
+namespace demo {
+
+void drain(int fd) {
+  char buffer[64];
+  if (net::read_socket(fd, buffer, sizeof(buffer)) < 0) return;
+  // Best-effort farewell: the peer may already be gone, and a failed
+  // write changes nothing about our own shutdown path.
+  (void)net::write_socket(fd, buffer, sizeof(buffer));
+}
+
+}  // namespace demo

@@ -1,0 +1,11 @@
+// Raises kGeneric only — kDeadRow is detection logic nothing ever runs.
+
+#include "common/check.hpp"
+
+namespace demo {
+
+void audit(bool ok) {
+  if (!ok) raise_violation(Invariant::kGeneric);
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+#pragma once
+// CPC-L014 fixture registry header: the enum and its .def stay in sync
+// (so CPC-L007 is quiet); the coverage gap is that kDeadRow is neither
+// raised in src/ nor tripped in tests/.
+
+namespace demo {
+
+enum class Invariant {
+  kGeneric,
+  kDeadRow,
+};
+
+}  // namespace demo

@@ -1,0 +1,11 @@
+// Trips kGeneric only — no test proves kDeadRow can fire.
+
+#include "common/check.hpp"
+
+namespace demo {
+
+void test_generic_trips() {
+  expect_raised(Invariant::kGeneric);
+}
+
+}  // namespace demo

@@ -1,0 +1,12 @@
+// Raises both registry rows: live detection logic for each enumerator.
+
+#include "common/check.hpp"
+
+namespace demo {
+
+void audit(bool ok, bool stale) {
+  if (!ok) raise_violation(Invariant::kGeneric);
+  if (stale) raise_violation(Invariant::kDeadRow);
+}
+
+}  // namespace demo

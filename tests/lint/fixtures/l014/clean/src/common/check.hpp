@@ -1,0 +1,12 @@
+#pragma once
+// CPC-L014 clean twin registry header: identical enum/.def pair; every
+// row is raised in src/ and tripped in tests/.
+
+namespace demo {
+
+enum class Invariant {
+  kGeneric,
+  kDeadRow,
+};
+
+}  // namespace demo

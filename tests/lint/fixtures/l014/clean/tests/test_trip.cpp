@@ -1,0 +1,15 @@
+// Trips both registry rows: every enumerator has a test proving it fires.
+
+#include "common/check.hpp"
+
+namespace demo {
+
+void test_generic_trips() {
+  expect_raised(Invariant::kGeneric);
+}
+
+void test_dead_row_trips() {
+  expect_raised(Invariant::kDeadRow);
+}
+
+}  // namespace demo

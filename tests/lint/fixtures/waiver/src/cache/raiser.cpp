@@ -1,0 +1,12 @@
+// Raises the waiver corpus's one live registry row so only the waived
+// dead row would otherwise report.
+
+#include "common/check.hpp"
+
+namespace demo {
+
+void audit(bool ok) {
+  if (!ok) raise_violation(Invariant::kGeneric);
+}
+
+}  // namespace demo

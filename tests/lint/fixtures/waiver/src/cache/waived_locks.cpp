@@ -1,0 +1,24 @@
+// Waiver round-trip for CPC-L011: the same in-file lock-order cycle the
+// l011 fixture seeds, suppressed at the reported witness (the nested
+// acquisition on the lexicographically first cycle edge).
+
+#include "common/mutex.hpp"
+
+namespace demo {
+
+Mutex g_a;
+Mutex g_b;
+
+void f() {
+  MutexLock first(g_a);
+  // cpc-lint: allow(CPC-L011) — fixture: cycle acknowledged, waived
+  MutexLock second(g_b);
+}
+
+void h() {
+  MutexLock first(g_b);
+  // cpc-lint: allow(CPC-L011) — fixture: cycle acknowledged, waived
+  MutexLock second(g_a);
+}
+
+}  // namespace demo

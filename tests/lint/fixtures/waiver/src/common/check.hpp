@@ -1,0 +1,12 @@
+#pragma once
+// Waiver round-trip for CPC-L014: kDeadRow is never raised or tripped,
+// but its registry row carries an in-.def waiver with an argument.
+
+namespace demo {
+
+enum class Invariant {
+  kGeneric,
+  kDeadRow,
+};
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// Gives the waiver corpus a tests/ side so the CPC-L014 coverage closure
+// actually runs over it (the check needs both ledger sides in the scan
+// set), and trips the one live row.
+
+#include "common/check.hpp"
+
+namespace demo {
+
+void test_generic_trips() {
+  expect_raised(Invariant::kGeneric);
+}
+
+}  // namespace demo

@@ -1,0 +1,23 @@
+// Waiver round-trips for CPC-L012 and CPC-L013: a blocking call on the
+// poll loop and a discarded status, each suppressed at the finding line.
+
+#include <vector>
+
+namespace demo {
+
+void sleep_ms(int ms);
+
+void handle_request() {
+  // cpc-lint: allow(CPC-L012) — fixture: sanctioned blocking site
+  sleep_ms(50);
+}
+
+void serve_loop(std::vector<int>& fds) {
+  while (!fds.empty()) {
+    // cpc-lint: allow(CPC-L013) — fixture: readiness flags unused here
+    net::poll_sockets(fds, 50);
+    handle_request();
+  }
+}
+
+}  // namespace demo

@@ -37,7 +37,7 @@ expect_clean() {
   fi
 }
 
-for n in 01 02 03 04 05 06 07 08 09 10; do
+for n in 01 02 03 04 05 06 07 08 09 10 11 12 13 14; do
   id="CPC-L0$n"
   dir="$fixtures/l0$n"
   [ -d "$dir" ] || { fail "missing fixture dir $dir"; continue; }

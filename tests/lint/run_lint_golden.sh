@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Golden-output test: cpc_lint's report format — `path:line: CPC-LXXX:
+# message`, sorted by (path, line, ID) — is pinned byte-for-byte against
+# tests/lint/golden.expected. Any formatting drift (separator, ID style,
+# ordering, trailing whitespace) fails this test; update golden.expected
+# deliberately when the format is meant to change.
+#
+# Usage: run_lint_golden.sh <path-to-cpc_lint>
+set -u
+
+lint="${1:?usage: run_lint_golden.sh <cpc_lint>}"
+case "$lint" in */*) lint="$(cd "$(dirname "$lint")" && pwd)/$(basename "$lint")" ;; esac
+
+# Run from this script's own directory so the reported paths are stable
+# relative paths regardless of build directory or invocation cwd.
+cd "$(dirname "$0")" || exit 2
+
+out="$("$lint" fixtures/golden/input 2>/dev/null)"
+rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: expected exit 1 on the golden corpus, got $rc" >&2
+  exit 1
+fi
+
+if ! diff -u golden.expected <(printf '%s\n' "$out") >&2; then
+  echo "FAIL: report format drifted from tests/lint/golden.expected" >&2
+  exit 1
+fi
+echo "golden report format pinned"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Zero-diff proof for the token-engine port: the legacy regex engine
+# (tools/lint/legacy.cpp, the original check bodies kept compiled-in) and
+# the token engine must report byte-identical CPC-L001..L010 findings over
+# the real tree and every fixture corpus. The token engine's L011..L014
+# findings are filtered out before the comparison — the legacy engine
+# never knew those checks.
+#
+# Usage: zero_diff.sh <path-to-cpc_lint> <repo-root>
+set -u
+
+lint="${1:?usage: zero_diff.sh <cpc_lint> <repo-root>}"
+root="${2:?usage: zero_diff.sh <cpc_lint> <repo-root>}"
+failures=0
+
+# Findings with IDs in the ported range, stdout only, exit code ignored
+# (both engines report findings on the seeded fixtures by design).
+ported() {
+  "$lint" --engine "$1" "${@:2}" 2>/dev/null |
+    grep -E ': CPC-L0(0[1-9]|10): ' || true
+}
+
+compare() {
+  local label="$1"
+  shift
+  local legacy_out token_out
+  legacy_out="$(ported legacy "$@")"
+  token_out="$(ported token "$@")"
+  if [ "$legacy_out" != "$token_out" ]; then
+    echo "ZERO-DIFF FAIL on $label:" >&2
+    diff <(printf '%s\n' "$legacy_out") <(printf '%s\n' "$token_out") >&2
+    failures=$((failures + 1))
+  else
+    echo "zero-diff ok: $label"
+  fi
+}
+
+cd "$root" || exit 2
+
+# The real tree — the corpus that matters.
+compare "tree" src tools tests bench
+
+# Every fixture corpus: seeded violations exercise each check's positive
+# path through both engines.
+for dir in tests/lint/fixtures/*/; do
+  compare "${dir%/}" "$dir"
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures corpus(es) diverged between engines" >&2
+  exit 1
+fi
+echo "token engine is zero-diff with the legacy engine on CPC-L001..L010"

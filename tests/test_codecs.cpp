@@ -216,6 +216,31 @@ TEST(CodecDifferential, WorkloadCleanUnderEveryCodec) {
   }
 }
 
+// Exhaustive inverse-contract check: every encodable 16-bit half, under
+// every codec, decompresses to a value that is itself compressible at the
+// same address. This is the evidence behind the CPC-L014 waiver on
+// Invariant::kAffiliatedNotCompressible in common/invariant_registry.def:
+// no stored-bit corruption of an affiliated half can reach that audit arm
+// with the shipped codecs, so it is defense-in-depth against a future
+// codec whose decode range escapes its encode domain.
+TEST(CodecContract, DecodeOfEveryHalfIsRecompressible) {
+  using compress::Codec;
+  using compress::CompressedWord;
+  for (const compress::CodecKind kind : compress::kAllCodecs) {
+    const Codec codec(kind);
+    for (const std::uint32_t addr :
+         {0x0400'0000u, 0x0400'0040u, 0x1234'5678u, 0u}) {
+      for (std::uint32_t half = 0; half <= 0xffffu; ++half) {
+        const std::uint32_t value =
+            codec.decompress(CompressedWord{half}, addr);
+        ASSERT_TRUE(codec.is_compressible(value, addr))
+            << codec.name() << " half 0x" << std::hex << half << " at 0x"
+            << addr << " decodes to non-compressible 0x" << value;
+      }
+    }
+  }
+}
+
 // ---- gate model ----------------------------------------------------------
 
 TEST(CodecGateModel, DelaysMatchTheDocumentedBudgets) {

@@ -138,6 +138,18 @@ TEST_F(CrossConfigCheck, DetectsCommitStreamDivergence) {
       verify::Property::kCommitStreamEqual));
 }
 
+TEST_F(CrossConfigCheck, ViolationDiagnosticTripsMetamorphicProperty) {
+  std::vector<verify::ConfigOutcome> outcomes = report_->outcomes;
+  outcomes.back().commit_hash ^= 1;
+  const std::vector<verify::PropertyViolation> violations =
+      verify::check_cross_config(outcomes, loads_, stores_);
+  ASSERT_FALSE(violations.empty());
+  const Diagnostic diagnostic = violations.front().to_diagnostic();
+  EXPECT_EQ(diagnostic.invariant, Invariant::kMetamorphicProperty);
+  EXPECT_FALSE(diagnostic.site.empty());
+  EXPECT_FALSE(diagnostic.detail.empty());
+}
+
 TEST_F(CrossConfigCheck, DetectsCommittedOpMismatch) {
   std::vector<verify::ConfigOutcome> outcomes = report_->outcomes;
   outcomes[2].committed_loads += 3;  // HAC dropped/duplicated commits

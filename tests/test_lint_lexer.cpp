@@ -1,0 +1,116 @@
+// Unit tests for the lint library's C++ lexer (tools/lint/lexer.cpp):
+// the corner cases that sank the regex engine — raw strings, line
+// splices, block comments with embedded `/*` — must produce the right
+// token stream and the right stripped view.
+
+#include "lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cpc::lint {
+namespace {
+
+std::vector<std::string> texts(const LexOutput& out) {
+  std::vector<std::string> result;
+  for (const auto& tok : out.tokens) result.push_back(tok.text);
+  return result;
+}
+
+TEST(LintLexer, RawStringBodyIsOpaque) {
+  // Everything between the matched delimiters is literal text: the `//`,
+  // the bare `"`, and the decoy `)"` must not end the string, start a
+  // comment, or emit tokens. (The body stays free of CPC-L001-banned
+  // names: the legacy engine can't see through raw strings — the very
+  // bug this lexer fixes — and the zero-diff gate holds it to the token
+  // engine's output on the real tree.)
+  const auto out = lex({R"cpp(auto s = R"ban(opaque() // " )" )ban";)cpp",
+                        "next();"});
+  const std::vector<std::string> expect = {"auto", "s",    "=", "", ";",
+                                           "next", "(",    ")", ";"};
+  EXPECT_EQ(texts(out), expect);
+  ASSERT_EQ(out.tokens[3].kind, TokKind::kString);
+  EXPECT_EQ(out.tokens[3].line, 1u);
+  EXPECT_EQ(out.tokens[5].line, 2u);
+}
+
+TEST(LintLexer, RawStringSpansLines) {
+  const auto out = lex({"auto s = R\"(line one", "line two)\";", "after();"});
+  const std::vector<std::string> expect = {"auto", "s", "=",     "",  ";",
+                                           "after", "(", ")", ";"};
+  EXPECT_EQ(texts(out), expect);
+  // The string token carries its opening line; code resumes on line 3.
+  EXPECT_EQ(out.tokens[3].line, 1u);
+  EXPECT_EQ(out.tokens[5].line, 3u);
+  // The stripped view keeps one entry per physical line with the body
+  // emptied, so line-local checks never see the literal's contents.
+  ASSERT_EQ(out.stripped.size(), 3u);
+  EXPECT_EQ(out.stripped[1].find("line two"), std::string::npos);
+}
+
+TEST(LintLexer, LineSpliceJoinsTokens) {
+  // A backslash-newline splice glues the halves into one identifier.
+  const auto out = lex({"int ab\\", "cd = 3;"});
+  const std::vector<std::string> expect = {"int", "abcd", "=", "3", ";"};
+  EXPECT_EQ(texts(out), expect);
+  EXPECT_EQ(out.tokens[1].line, 1u);
+}
+
+TEST(LintLexer, SplicedDirectiveStaysPreprocessor) {
+  // The continuation line of a spliced #define is still directive
+  // territory: its tokens must carry pp so structural consumers skip it.
+  const auto out = lex({"#define BODY(x) \\", "  do_thing(x)", "real();"});
+  for (const auto& tok : out.tokens) {
+    if (tok.line <= 2) {
+      EXPECT_TRUE(tok.pp) << tok.text;
+    } else {
+      EXPECT_FALSE(tok.pp) << tok.text;
+    }
+  }
+}
+
+TEST(LintLexer, BlockCommentsDoNotNest) {
+  // Per the language, `/*` inside a block comment is plain text: the
+  // comment ends at the FIRST `*/`, and what follows is live code.
+  const auto out = lex({"/* outer /* inner */ after();"});
+  const std::vector<std::string> expect = {"after", "(", ")", ";"};
+  EXPECT_EQ(texts(out), expect);
+}
+
+TEST(LintLexer, MultiLineBlockCommentStripsEveryLine) {
+  const auto out = lex({"before(); /* one", "two std::rand()", "three */ tail();"});
+  const std::vector<std::string> expect = {"before", "(",    ")", ";",
+                                           "tail",   "(",    ")", ";"};
+  EXPECT_EQ(texts(out), expect);
+  ASSERT_EQ(out.stripped.size(), 3u);
+  EXPECT_EQ(out.stripped[1].find("rand"), std::string::npos);
+  EXPECT_EQ(out.tokens[4].line, 3u);
+}
+
+TEST(LintLexer, DigitSeparatorsStayOneNumber) {
+  const auto out = lex({"auto n = 0x1234'5678 + 1'000'000;"});
+  const std::vector<std::string> expect = {"auto", "n",         "=",
+                                           "0x1234'5678", "+", "1'000'000", ";"};
+  EXPECT_EQ(texts(out), expect);
+  EXPECT_EQ(out.tokens[3].kind, TokKind::kNumber);
+}
+
+TEST(LintLexer, CharLiteralIsNotAStringOpener) {
+  // '"' must not open a string: the following identifier is live code.
+  const auto out = lex({"char q = '\"'; live();"});
+  const std::vector<std::string> expect = {"char", "q", "=", "", ";",
+                                           "live", "(", ")", ";"};
+  EXPECT_EQ(texts(out), expect);
+  EXPECT_EQ(out.tokens[3].kind, TokKind::kCharLit);
+}
+
+TEST(LintLexer, ScopeAndArrowAreSingleTokens) {
+  const auto out = lex({"a::b->c;"});
+  const std::vector<std::string> expect = {"a", "::", "b", "->", "c", ";"};
+  EXPECT_EQ(texts(out), expect);
+}
+
+}  // namespace
+}  // namespace cpc::lint

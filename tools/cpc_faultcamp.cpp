@@ -246,7 +246,9 @@ std::vector<cpc::verify::CampaignResult> run_campaigns_sharded(
           return;  // supervisor gone
         }
       }
-      ipc::write_frame(write_fd, ipc::FrameType::kDone, {});
+      // A failed kDone write means the supervisor is gone; the worker is
+      // about to exit either way and has no one left to report to.
+      (void)ipc::write_frame(write_fd, ipc::FrameType::kDone, {});
     });
     shard.alive = shard.child.valid();
   }

@@ -1,805 +1,89 @@
-// cpc_lint — the project's own static-analysis pass.
+// cpc_lint — project static analysis driver.
 //
-// A deliberately dependency-free (no libclang) token/regex linter that
-// enforces the repository invariants a generic tool cannot know about.
-// Each finding carries a stable check ID:
-//
-//   CPC-L001  entropy / wall-clock ban. Simulations must be bit-reproducible
-//             from their seeds: rand()/srand(), std::random_device, time(),
-//             clock(), localtime/gmtime, system_clock and
-//             high_resolution_clock are banned everywhere; steady_clock is
-//             banned in src/ outside src/sim/ (wall-clock timing is a sweep
-//             concern). workload/rng.hpp — the one sanctioned seed source —
-//             is exempt. Seeded mt19937 engines are fine anywhere.
-//   CPC-L002  no iteration over unordered containers that feeds stats or
-//             journal output: unordered iteration order is
-//             implementation-defined and silently breaks reproducibility.
-//             Waive only with a commutativity argument.
-//   CPC-L003  switches over project `enum class` types must enumerate every
-//             enumerator (so adding one is a -Wswitch build error at every
-//             site) — a `default:` needs an explicit waiver.
-//   CPC-L004  no naked std::runtime_error/std::logic_error throws in
-//             src/cache/ and src/core/, where every failure should be a
-//             structured cpc::Diagnostic (InvariantViolation).
-//   CPC-L005  header hygiene: `#pragma once` must be a header's first
-//             directive; `using namespace` never appears in a header.
-//   CPC-L006  include layering: a directory may only include headers from
-//             its own rank or below (common < mem/stats/compress < cache <
-//             cpu/core < workload/analysis < sim < verify < net;
-//             tools/tests/bench are unranked). verify/fault.hpp is a
-//             documented rank-0 leaf.
-//   CPC-L007  registry sync: the enumerators of cpc::Invariant and
-//             cpc::verify::FaultKind must match their X-macro .def registry
-//             rows one-to-one and in order. (The build's static_asserts
-//             catch deleted rows; this catches the textual direction so a
-//             mismatch is reported with names before you even compile.)
-//   CPC-L008  centralized timing: direct std::chrono use (including the
-//             <chrono> include) is banned in src/, tools/ and bench/ outside
-//             the sanctioned clock sites — sim/bench_meter.{hpp,cpp} (the
-//             Stopwatch), sim/sweep_runner.cpp (watchdog deadline
-//             arithmetic) and common/mutex.hpp (CondVar::wait_for takes a
-//             chrono duration). Everything else times through
-//             sim::Stopwatch so benchmark numbers share one clock.
-//   CPC-L009  centralized process management: raw fork()/vfork()/waitpid()/
-//             wait3()/wait4()/pipe()/pipe2()/kill()/killpg() calls are
-//             banned in src/, tools/ and bench/ outside sim/ipc.cpp and
-//             sim/shard_supervisor.cpp.
-//             Process supervision concentrates in the ipc layer so signal
-//             handling, EINTR retries, fd hygiene and sanitizer caveats are
-//             solved once — everything else shards through
-//             sim::ipc::spawn_worker / ShardSupervisor.
-//   CPC-L010  centralized socket management: raw socket()/bind()/listen()/
-//             accept()/connect()/setsockopt()/sendmsg()/recvmsg()/... calls
-//             are banned in src/, tools/ and bench/ outside net/socket.cpp,
-//             and raw poll()/ppoll() outside net/socket.cpp and sim/ipc.cpp.
-//             Socket setup (SIGPIPE suppression, nonblocking accept, EINTR
-//             retries, sun_path length limits) lives once in cpc::net;
-//             everything else talks through net/socket.hpp.
-//
-// Waivers: append `// cpc-lint: allow(CPC-LXXX)` to the offending line, or
-// place it on its own comment line directly above. Waivers are per-line and
-// per-check; a waiver comment with several IDs allows them all.
-//
-// Usage:  cpc_lint <path>...
-// Paths may be files or directories (searched recursively for C++ sources).
-// Directory walks skip anything under a `lint/fixtures` directory — the
-// seeded-violation corpus — unless such a path is passed explicitly.
-// Fixture files under `lint/fixtures/<virtual path>` are categorised by
-// their virtual path, so a fixture can impersonate e.g. src/cache/.
-//
-// Exit codes follow the CLI contract: 0 clean, 1 findings, 2 usage/IO error.
+// The checks live in the lint library (tools/lint/): a comment/string-aware
+// lexer feeds a token engine (checks CPC-L001..L014) and, behind
+// `--engine legacy`, the original regex engine (CPC-L001..L010 only) kept
+// as the reference for the zero-diff port proof (tests/lint/zero_diff.sh).
 
 #include <algorithm>
-#include <cstddef>
+#include <chrono>  // cpc-lint: allow(CPC-L008) — reports lint wall time
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <optional>
-#include <regex>
-#include <set>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "lint/checks.hpp"
+#include "lint/legacy.hpp"
+#include "lint/registry.hpp"
+#include "lint/source.hpp"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-  std::string file;
-  std::size_t line = 0;  // 1-based
-  std::string id;
-  std::string message;
-};
-
-struct SourceFile {
-  fs::path path;
-  std::string display;                 // generic path as given/walked
-  std::vector<std::string> components; // virtual components (fixture-aware)
-  std::string category;                // "src", "tools", "tests", "bench", ...
-  std::string src_dir;                 // directory under src/, if any
-  bool is_header = false;
-  std::vector<std::string> raw;        // original lines
-  std::vector<std::string> code;       // comment- and string-stripped lines
-  std::vector<std::set<std::string>> waivers;  // per line (0-based)
-};
-
-struct EnumDef {
-  std::string file;
-  std::size_t line = 0;
-  std::vector<std::string> enumerators;
-  bool ambiguous = false;  // same name defined differently in two files
-};
-
-// ---------------------------------------------------------------------------
-// Source preparation
-// ---------------------------------------------------------------------------
-
-/// Strips //- and /**/-comments and the contents of string/char literals so
-/// downstream regexes never match inside either. Literal delimiters are kept
-/// (an empty "" remains) so token shapes stay recognisable.
-std::vector<std::string> strip_comments_and_strings(
-    const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block = false;
-  for (const std::string& line : raw) {
-    std::string code;
-    code.reserve(line.size());
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      if (in_block) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block = false;
-          ++i;
-        }
-        continue;
-      }
-      const char c = line[i];
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block = true;
-        ++i;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        code += quote;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) break;
-          ++i;
-        }
-        code += quote;  // unterminated literals just end with the line
-        continue;
-      }
-      code += c;
-    }
-    out.push_back(std::move(code));
+int list_checks() {
+  const cpc::lint::CheckInfo* table = cpc::lint::check_table();
+  for (std::size_t i = 0; i < cpc::lint::kCheckCount; ++i) {
+    const cpc::lint::CheckInfo& info = table[i];
+    // Checks at or above kL011 need the token-level indexes and are not
+    // implemented by the legacy reference engine.
+    const bool both = info.check < cpc::lint::CheckId::kL011;
+    std::cout << info.id << "  " << (both ? "token+legacy" : "token-only ")
+              << "  " << info.title << "\n";
   }
-  return out;
+  return 0;
 }
 
-bool blank(const std::string& s) {
-  return std::all_of(s.begin(), s.end(),
-                     [](unsigned char c) { return std::isspace(c); });
-}
-
-/// Parses `// cpc-lint: allow(CPC-LXXX[, ...])` waivers. A waiver on a line
-/// with code applies to that line; a waiver on a comment-only line applies
-/// to the next line that has code.
-void collect_waivers(SourceFile& f) {
-  static const std::regex kWaiver(R"(cpc-lint:\s*allow\(([^)]*)\))");
-  f.waivers.assign(f.raw.size(), {});
-  std::set<std::string> pending;
-  for (std::size_t i = 0; i < f.raw.size(); ++i) {
-    std::set<std::string> here;
-    std::smatch m;
-    std::string rest = f.raw[i];
-    while (std::regex_search(rest, m, kWaiver)) {
-      std::string ids = m[1];
-      std::replace(ids.begin(), ids.end(), ',', ' ');
-      std::istringstream tokens(ids);
-      std::string id;
-      while (tokens >> id) here.insert(id);
-      rest = m.suffix();
-    }
-    if (blank(f.code[i])) {
-      pending.insert(here.begin(), here.end());
-      continue;
-    }
-    here.insert(pending.begin(), pending.end());
-    pending.clear();
-    f.waivers[i] = std::move(here);
-  }
-}
-
-/// Fills in category / src_dir from the path, looking through a
-/// `lint/fixtures/` prefix so fixtures are categorised by the virtual tree
-/// they impersonate.
-void categorise(SourceFile& f) {
-  std::vector<std::string> parts;
-  for (const fs::path& p : f.path) parts.push_back(p.generic_string());
-  // Fixture re-rooting: categorise by what follows lint/fixtures/.
-  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
-    if (parts[i] == "lint" && parts[i + 1] == "fixtures") {
-      parts.erase(parts.begin(), parts.begin() + static_cast<long>(i) + 2);
-      break;
-    }
-  }
-  f.components = parts;
-  static const std::set<std::string> kTops = {"src",   "tools",    "tests",
-                                             "bench", "examples", "scripts"};
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    if (kTops.count(parts[i])) {
-      f.category = parts[i];
-      if (parts[i] == "src" && i + 2 < parts.size()) f.src_dir = parts[i + 1];
-      break;
-    }
-  }
-}
-
-bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-// ---------------------------------------------------------------------------
-// Reporting
-// ---------------------------------------------------------------------------
-
-void report(std::vector<Finding>& findings, const SourceFile& f,
-            std::size_t line_1based, const std::string& id,
-            std::string message) {
-  const std::size_t idx = line_1based == 0 ? 0 : line_1based - 1;
-  if (idx < f.waivers.size() && f.waivers[idx].count(id)) return;
-  findings.push_back({f.display, line_1based, id, std::move(message)});
-}
-
-// ---------------------------------------------------------------------------
-// CPC-L001 — entropy / wall-clock ban
-// ---------------------------------------------------------------------------
-
-void check_l001(const SourceFile& f, std::vector<Finding>& findings) {
-  if (ends_with(f.display, "workload/rng.hpp")) return;  // the seed source
-  struct Ban {
-    std::regex pattern;
-    const char* what;
-  };
-  static const std::vector<Ban> kBans = {
-      {std::regex(R"(\brand\s*\()"), "rand() — use a seeded workload RNG"},
-      {std::regex(R"(\bsrand\s*\()"), "srand() — use a seeded workload RNG"},
-      {std::regex(R"(\brandom_device\b)"),
-       "std::random_device — nondeterministic entropy"},
-      {std::regex(R"(\btime\s*\()"), "time() — wall clock"},
-      {std::regex(R"(\bclock\s*\()"), "clock() — wall clock"},
-      {std::regex(R"(\blocaltime\b)"), "localtime — wall clock"},
-      {std::regex(R"(\bgmtime\b)"), "gmtime — wall clock"},
-      {std::regex(R"(\bsystem_clock\b)"), "system_clock — wall clock"},
-      {std::regex(R"(\bhigh_resolution_clock\b)"),
-       "high_resolution_clock — may alias system_clock"},
-  };
-  static const std::regex kSteady(R"(\bsteady_clock\b)");
-  const bool steady_banned = f.category == "src" && f.src_dir != "sim";
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    for (const Ban& ban : kBans) {
-      if (std::regex_search(f.code[i], ban.pattern)) {
-        report(findings, f, i + 1, "CPC-L001",
-               std::string("banned entropy/wall-clock source: ") + ban.what);
-      }
-    }
-    if (steady_banned && std::regex_search(f.code[i], kSteady)) {
-      report(findings, f, i + 1, "CPC-L001",
-             "steady_clock outside src/sim/ — simulated time is the only "
-             "clock the model may read");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// CPC-L002 — unordered-container iteration
-// ---------------------------------------------------------------------------
-
-void check_l002(const SourceFile& f, std::vector<Finding>& findings) {
-  // Collect names declared with an unordered container type in this file.
-  static const std::regex kDecl(
-      R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
-  std::set<std::string> names;
-  for (const std::string& line : f.code) {
-    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
-         it != end; ++it) {
-      // Walk the template argument list to its closing '>', then take the
-      // next identifier as the declared name (if the declaration fits on
-      // one line, which repo style guarantees for members).
-      std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
-      int depth = 1;
-      while (pos < line.size() && depth > 0) {
-        if (line[pos] == '<') ++depth;
-        if (line[pos] == '>') --depth;
-        ++pos;
-      }
-      static const std::regex kName(R"(^\s*([A-Za-z_]\w*))");
-      std::smatch m;
-      const std::string tail = line.substr(pos);
-      if (std::regex_search(tail, m, kName)) {
-        const std::string name = m[1];
-        if (name != "iterator" && name != "const_iterator") names.insert(name);
-      }
-    }
-  }
-  if (names.empty()) return;
-  for (const std::string& name : names) {
-    const std::regex range_for(R"(for\s*\([^;{}]*:\s*(?:this->)?)" + name +
-                               R"(\s*\))");
-    for (std::size_t i = 0; i < f.code.size(); ++i) {
-      if (std::regex_search(f.code[i], range_for) ||
-          std::regex_search(
-              f.code[i],
-              std::regex("\\b" + name + R"(\s*\.\s*c?begin\s*\()"))) {
-        report(findings, f, i + 1, "CPC-L002",
-               "iteration over unordered container '" + name +
-                   "' — order is implementation-defined; waive only with a "
-                   "commutativity argument");
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// CPC-L003 — exhaustive enum switches
-// ---------------------------------------------------------------------------
-
-/// Joined view of the stripped file, with a char-offset → line mapping.
-struct JoinedCode {
-  std::string text;
-  std::vector<std::size_t> line_start;  // offset of each line in `text`
-
-  explicit JoinedCode(const std::vector<std::string>& lines) {
-    for (const std::string& line : lines) {
-      line_start.push_back(text.size());
-      text += line;
-      text += '\n';
-    }
-  }
-  std::size_t line_of(std::size_t offset) const {  // 1-based
-    const auto it =
-        std::upper_bound(line_start.begin(), line_start.end(), offset);
-    return static_cast<std::size_t>(it - line_start.begin());
-  }
-};
-
-void collect_enums(const SourceFile& f, std::map<std::string, EnumDef>& enums) {
-  const JoinedCode joined(f.code);
-  static const std::regex kEnum(R"(\benum\s+class\s+([A-Za-z_]\w*)[^{;]*\{)");
-  for (std::sregex_iterator it(joined.text.begin(), joined.text.end(), kEnum),
-       end;
-       it != end; ++it) {
-    const std::size_t open = static_cast<std::size_t>(it->position()) +
-                             static_cast<std::size_t>(it->length()) - 1;
-    const std::size_t close = joined.text.find('}', open);
-    if (close == std::string::npos) continue;
-    EnumDef def;
-    def.file = f.display;
-    def.line = joined.line_of(static_cast<std::size_t>(it->position()));
-    std::istringstream body(
-        joined.text.substr(open + 1, close - open - 1));
-    std::string item;
-    while (std::getline(body, item, ',')) {
-      std::istringstream words(item);
-      std::string name;
-      if (words >> name) {
-        const std::size_t eq = name.find('=');
-        if (eq != std::string::npos) name = name.substr(0, eq);
-        if (!name.empty()) def.enumerators.push_back(name);
-      }
-    }
-    if (def.enumerators.empty()) continue;
-    const std::string enum_name = (*it)[1];
-    auto [existing, inserted] = enums.emplace(enum_name, def);
-    if (!inserted && existing->second.enumerators != def.enumerators) {
-      existing->second.ambiguous = true;  // two unrelated enums share a name
-    }
-  }
-}
-
-void check_l003(const SourceFile& f,
-                const std::map<std::string, EnumDef>& enums,
-                std::vector<Finding>& findings) {
-  const JoinedCode joined(f.code);
-  const std::string& text = joined.text;
-  static const std::regex kSwitch(R"(\bswitch\s*\()");
-  // The label must end on a word char: with a bare `[\w:]+` a label whose
-  // next statement begins with `::` (e.g. `::_Exit(3);`) greedily matches
-  // `Enum::kValue:` as the capture and the statement's colon as the
-  // terminator, mangling the enumerator name.
-  static const std::regex kCase(R"(\bcase\s+([\w:]*\w)\s*:)");
-  static const std::regex kDefault(R"(\bdefault\s*:)");
-  for (std::sregex_iterator it(text.begin(), text.end(), kSwitch), end;
-       it != end; ++it) {
-    // Find the switch body: matching ')' then its '{' ... '}' extent.
-    std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
-    int paren = 1;
-    while (pos < text.size() && paren > 0) {
-      if (text[pos] == '(') ++paren;
-      if (text[pos] == ')') --paren;
-      ++pos;
-    }
-    while (pos < text.size() && text[pos] != '{') ++pos;
-    if (pos >= text.size()) continue;
-    const std::size_t body_open = pos++;
-    int depth = 1;
-    std::vector<std::pair<std::size_t, std::size_t>> depth1;  // [from,to)
-    std::size_t segment = pos;
-    while (pos < text.size() && depth > 0) {
-      if (text[pos] == '{') {
-        if (depth == 1) depth1.emplace_back(segment, pos);
-        ++depth;
-      } else if (text[pos] == '}') {
-        --depth;
-        if (depth == 1) segment = pos + 1;
-      }
-      ++pos;
-    }
-    if (depth == 0 && segment < pos - 1) depth1.emplace_back(segment, pos - 1);
-
-    // Case labels directly inside this switch (not in nested switches).
-    std::set<std::string> cased;
-    std::string enum_name;
-    std::optional<std::size_t> default_off;
-    for (const auto& [from, to] : depth1) {
-      const std::string seg = text.substr(from, to - from);
-      for (std::sregex_iterator c(seg.begin(), seg.end(), kCase), cend;
-           c != cend; ++c) {
-        const std::string label = (*c)[1];
-        const std::size_t last = label.rfind("::");
-        if (last == std::string::npos) continue;  // int switch — not ours
-        cased.insert(label.substr(last + 2));
-        std::string qualifier = label.substr(0, last);
-        const std::size_t prev = qualifier.rfind("::");
-        if (prev != std::string::npos) qualifier = qualifier.substr(prev + 2);
-        enum_name = qualifier;
-      }
-      std::smatch d;
-      if (!default_off && std::regex_search(seg, d, kDefault)) {
-        default_off = from + static_cast<std::size_t>(d.position());
-      }
-    }
-    const auto def = enums.find(enum_name);
-    if (enum_name.empty() || def == enums.end() || def->second.ambiguous) {
-      continue;
-    }
-    const std::size_t switch_line =
-        joined.line_of(static_cast<std::size_t>(it->position()));
-    if (default_off) {
-      report(findings, f, joined.line_of(*default_off), "CPC-L003",
-             "switch over enum " + enum_name +
-                 " has a default: — enumerate every case so -Wswitch guards "
-                 "new enumerators, or waive with justification");
-      continue;
-    }
-    std::vector<std::string> missing;
-    for (const std::string& e : def->second.enumerators) {
-      if (!cased.count(e)) missing.push_back(e);
-    }
-    if (!missing.empty()) {
-      std::string list;
-      for (const std::string& m : missing) {
-        if (!list.empty()) list += ", ";
-        list += m;
-      }
-      report(findings, f, switch_line, "CPC-L003",
-             "switch over enum " + enum_name +
-                 " does not handle: " + list);
-    }
-    (void)body_open;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// CPC-L004 — structured diagnostics where Diagnostic exists
-// ---------------------------------------------------------------------------
-
-void check_l004(const SourceFile& f, std::vector<Finding>& findings) {
-  static const std::regex kStringViolation(R"(InvariantViolation\s*\(\s*")");
-  static const std::regex kNakedThrow(
-      R"(\bthrow\s+std::(runtime_error|logic_error)\s*\()");
-  const bool diagnostic_layer =
-      f.category == "src" && (f.src_dir == "cache" || f.src_dir == "core");
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    if (std::regex_search(f.code[i], kStringViolation)) {
-      report(findings, f, i + 1, "CPC-L004",
-             "InvariantViolation built from a bare string — construct a "
-             "cpc::Diagnostic (invariant, site, addresses, detail) instead");
-    }
-    if (diagnostic_layer && std::regex_search(f.code[i], kNakedThrow)) {
-      report(findings, f, i + 1, "CPC-L004",
-             "naked std exception in a layer with structured diagnostics — "
-             "throw InvariantViolation with a cpc::Diagnostic");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// CPC-L005 — header hygiene
-// ---------------------------------------------------------------------------
-
-void check_l005(const SourceFile& f, std::vector<Finding>& findings) {
-  if (!f.is_header) return;
-  static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
-  bool seen_code = false;
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    const std::string& line = f.code[i];
-    if (!seen_code && !blank(line)) {
-      seen_code = true;
-      std::istringstream first(line);
-      std::string a, b;
-      first >> a >> b;
-      if (a != "#pragma" || b != "once") {
-        report(findings, f, i + 1, "CPC-L005",
-               "#pragma once must be the first directive in a header");
-      }
-    }
-    if (std::regex_search(line, kUsingNamespace)) {
-      report(findings, f, i + 1, "CPC-L005",
-             "using namespace in a header leaks into every includer");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// CPC-L006 — include layering
-// ---------------------------------------------------------------------------
-
-int dir_rank(const std::string& dir) {
-  static const std::map<std::string, int> kRanks = {
-      {"common", 0}, {"mem", 1},      {"stats", 1},    {"compress", 1},
-      {"cache", 2},  {"cpu", 3},      {"core", 3},     {"workload", 4},
-      {"analysis", 4}, {"sim", 5},    {"verify", 6},   {"net", 7},
-  };
-  const auto it = kRanks.find(dir);
-  return it == kRanks.end() ? -1 : it->second;
-}
-
-void check_l006(const SourceFile& f, std::vector<Finding>& findings) {
-  int rank = 100;  // tools/tests/bench/examples may include anything
-  if (f.category == "src") {
-    rank = dir_rank(f.src_dir);
-    if (rank < 0) return;  // unranked src subdirectory
-  }
-  // Matched against the raw line: the stripper empties string literals,
-  // which is exactly where an include path lives.
-  static const std::regex kInclude(R"(^\s*#\s*include\s*"([^"]+)\")");
-  for (std::size_t i = 0; i < f.raw.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(f.raw[i], m, kInclude)) continue;
-    const std::string header = m[1];
-    if (header == "verify/fault.hpp") continue;  // documented rank-0 leaf
-    const std::size_t slash = header.find('/');
-    if (slash == std::string::npos) continue;  // same-directory include
-    const int header_rank = dir_rank(header.substr(0, slash));
-    if (header_rank < 0) continue;  // not a ranked project directory
-    if (header_rank > rank) {
-      report(findings, f, i + 1, "CPC-L006",
-             "include of \"" + header + "\" (layer " +
-                 std::to_string(header_rank) + ") from " + f.src_dir +
-                 "/ (layer " + std::to_string(rank) +
-                 ") inverts the dependency order");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// CPC-L007 — registry / enum sync
-// ---------------------------------------------------------------------------
-
-struct RegistryPair {
-  const char* header_suffix;  // header holding the enum
-  const char* enum_name;
-  const char* def_name;  // .def next to the header
-  const char* row_macro;
-};
-
-constexpr RegistryPair kRegistries[] = {
-    {"common/check.hpp", "Invariant", "invariant_registry.def",
-     "CPC_INVARIANT_ROW"},
-    {"verify/fault.hpp", "FaultKind", "fault_registry.def", "CPC_FAULT_ROW"},
-    {"compress/codec.hpp", "CodecKind", "codec_registry.def",
-     "CPC_CODEC_ROW"},
-};
-
-void check_l007(const SourceFile& f,
-                const std::map<std::string, EnumDef>& enums,
-                std::vector<Finding>& findings) {
-  for (const RegistryPair& reg : kRegistries) {
-    if (!ends_with(f.display, reg.header_suffix)) continue;
-    const fs::path def_path = f.path.parent_path() / reg.def_name;
-    std::ifstream in(def_path);
-    if (!in) {
-      report(findings, f, 1, "CPC-L007",
-             std::string("registry file ") + reg.def_name +
-                 " not found next to " + reg.header_suffix);
-      continue;
-    }
-    std::vector<std::string> def_raw;
-    std::string line;
-    while (std::getline(in, line)) def_raw.push_back(std::move(line));
-    const std::vector<std::string> def_code =
-        strip_comments_and_strings(def_raw);
-    const std::regex row(std::string(reg.row_macro) + R"(\(\s*([A-Za-z_]\w*))");
-    std::vector<std::pair<std::string, std::size_t>> rows;  // name, line
-    for (std::size_t i = 0; i < def_code.size(); ++i) {
-      std::smatch m;
-      if (std::regex_search(def_code[i], m, row)) rows.emplace_back(m[1], i + 1);
-    }
-    const auto def = enums.find(reg.enum_name);
-    if (def == enums.end()) continue;  // enum not in the scanned set
-    const std::vector<std::string>& want = def->second.enumerators;
-    const std::string def_display = def_path.generic_string();
-    for (std::size_t i = 0; i < std::max(want.size(), rows.size()); ++i) {
-      const std::string have = i < rows.size() ? rows[i].first : "<missing>";
-      const std::string need = i < want.size() ? want[i] : "<extra>";
-      if (have == need) continue;
-      findings.push_back(
-          {def_display, i < rows.size() ? rows[i].second : rows.size() + 1,
-           "CPC-L007",
-           std::string(reg.def_name) + " row " + std::to_string(i) + " is '" +
-               have + "' but enum " + reg.enum_name + " declares '" + need +
-               "' — registry rows must mirror the enum exactly, in order"});
-      break;  // one finding per registry is enough to localise the drift
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// CPC-L008 — centralized wall-clock timing
-// ---------------------------------------------------------------------------
-
-void check_l008(const SourceFile& f, std::vector<Finding>& findings) {
-  // Wall-clock measurement funnels through sim::Stopwatch so every reported
-  // duration comes from one clock with one set of caveats. The allowlist is
-  // the Stopwatch itself, the sweep watchdog's deadline arithmetic, and the
-  // mutex shim whose wait_for signature is inherently a chrono duration.
-  static const char* const kSanctioned[] = {
-      "src/sim/bench_meter.hpp",
-      "src/sim/bench_meter.cpp",
-      "src/sim/sweep_runner.cpp",
-      "src/common/mutex.hpp",
-  };
-  if (f.category != "src" && f.category != "tools" && f.category != "bench") {
-    return;
-  }
-  for (const char* ok : kSanctioned) {
-    if (ends_with(f.display, ok)) return;
-  }
-  static const std::regex kChronoUse(R"(\bstd\s*::\s*chrono\b)");
-  static const std::regex kChronoInclude(R"(#\s*include\s*<chrono>)");
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    if (std::regex_search(f.code[i], kChronoUse) ||
-        std::regex_search(f.code[i], kChronoInclude)) {
-      report(findings, f, i + 1, "CPC-L008",
-             "direct std::chrono use outside the sanctioned timing sites — "
-             "measure through sim::Stopwatch (sim/bench_meter.hpp)");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// CPC-L009 — centralized process management
-// ---------------------------------------------------------------------------
-
-void check_l009(const SourceFile& f, std::vector<Finding>& findings) {
-  // fork() in a process with threads, waitpid vs SIGCHLD races, EINTR on
-  // pipe writes, RLIMIT_AS under sanitizers: each is solved exactly once,
-  // in the ipc layer. Everything else goes through sim::ipc::spawn_worker
-  // or the ShardSupervisor, so crash containment has one implementation.
-  static const char* const kSanctioned[] = {
-      "src/sim/ipc.cpp",
-      "src/sim/shard_supervisor.cpp",
-  };
-  if (f.category != "src" && f.category != "tools" && f.category != "bench") {
-    return;
-  }
-  for (const char* ok : kSanctioned) {
-    if (ends_with(f.display, ok)) return;
-  }
-  // The look-behind class also excludes '.' and '>' so member functions
-  // (future.wait(), cv->wait()) don't trip the syscall names. Bare wait()
-  // is not matched at all — too many innocent members are named `wait`;
-  // the reap syscalls that matter are the waitpid family.
-  static const std::regex kProcessCall(
-      R"((^|[^:_\w.>])(fork|vfork|waitpid|wait3|wait4|pipe|pipe2|kill|killpg)\s*\()");
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    if (std::regex_search(f.code[i], kProcessCall)) {
-      report(findings, f, i + 1, "CPC-L009",
-             "raw process-management call outside the ipc layer — spawn and "
-             "supervise through sim::ipc (sim/ipc.hpp) or the "
-             "ShardSupervisor (sim/shard_supervisor.hpp)");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// CPC-L010 — centralized socket management
-// ---------------------------------------------------------------------------
-
-void check_l010(const SourceFile& f, std::vector<Finding>& findings) {
-  // SIGPIPE on a vanished peer, nonblocking accept semantics, EINTR
-  // retries, sun_path length limits: socket pitfalls are handled once in
-  // cpc::net (net/socket.hpp). Everything else — the daemon, the client,
-  // tests — goes through that wrapper. poll()/ppoll() is additionally
-  // sanctioned in sim/ipc.cpp, which predates the net layer and multiplexes
-  // shard-worker pipes. (send/recv are deliberately not matched: too many
-  // innocent members share those names.)
-  if (f.category != "src" && f.category != "tools" && f.category != "bench") {
-    return;
-  }
-  const bool in_socket_impl = ends_with(f.display, "src/net/socket.cpp");
-  const bool may_poll =
-      in_socket_impl || ends_with(f.display, "src/sim/ipc.cpp");
-  // Same look-behind class as CPC-L009: '::'-qualified, member and
-  // identifier-suffix uses don't trip the syscall names.
-  static const std::regex kSocketCall(
-      R"((^|[^:_\w.>])(socket|socketpair|bind|listen|accept|accept4|connect|setsockopt|getsockopt|sendto|recvfrom|sendmsg|recvmsg)\s*\()");
-  static const std::regex kPollCall(R"((^|[^:_\w.>])(poll|ppoll)\s*\()");
-  for (std::size_t i = 0; i < f.code.size(); ++i) {
-    if (!in_socket_impl && std::regex_search(f.code[i], kSocketCall)) {
-      report(findings, f, i + 1, "CPC-L010",
-             "raw socket call outside the net layer — connect and listen "
-             "through cpc::net (net/socket.hpp)");
-    }
-    if (!may_poll && std::regex_search(f.code[i], kPollCall)) {
-      report(findings, f, i + 1, "CPC-L010",
-             "raw poll call outside net/socket.cpp and sim/ipc.cpp — "
-             "multiplex through net::poll_sockets (net/socket.hpp)");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-bool cpp_source(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc" ||
-         ext == ".hh" || ext == ".cxx";
-}
-
-bool under_fixtures(const fs::path& p) {
-  return p.generic_string().find("lint/fixtures") != std::string::npos;
-}
-
-int collect_files(const fs::path& root, std::vector<fs::path>& files) {
-  std::error_code ec;
-  if (fs::is_regular_file(root, ec)) {
-    files.push_back(root);
-    return 0;
-  }
-  if (!fs::is_directory(root, ec)) {
-    std::cerr << "cpc_lint: cannot read " << root << "\n";
+int explain_check(std::string_view id) {
+  const cpc::lint::CheckInfo* info = cpc::lint::find_check(id);
+  if (info == nullptr) {
+    std::cerr << "cpc_lint: unknown check '" << id
+              << "' — see cpc_lint --list\n";
     return 2;
   }
-  const bool root_in_fixtures = under_fixtures(root);
-  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
-       it.increment(ec)) {
-    if (ec) {
-      std::cerr << "cpc_lint: walk error under " << root << ": "
-                << ec.message() << "\n";
-      return 2;
-    }
-    const fs::path& p = it->path();
-    if (it->is_directory()) {
-      const std::string name = p.filename().string();
-      if (!name.empty() && name[0] == '.') it.disable_recursion_pending();
-      if (name == "build") it.disable_recursion_pending();
-      if (!root_in_fixtures && under_fixtures(p)) {
-        it.disable_recursion_pending();
-      }
-      continue;
-    }
-    if (!it->is_regular_file() || !cpp_source(p)) continue;
-    if (!root_in_fixtures && under_fixtures(p)) continue;
-    files.push_back(p);
-  }
+  std::cout << info->id << ": " << info->title << "\n\n" << info->doc << "\n";
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string engine = "token";
   std::vector<fs::path> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: cpc_lint <path>...\n"
-                   "Project static analysis; checks CPC-L001..CPC-L010.\n"
-                   "Exit: 0 clean, 1 findings, 2 usage/IO error.\n";
+      std::cout
+          << "usage: cpc_lint [--engine token|legacy] <path>...\n"
+             "       cpc_lint --list | --explain CPC-L0NN\n"
+             "Project static analysis; checks CPC-L001..CPC-L014.\n"
+             "  --engine legacy   reference regex engine (CPC-L001..L010\n"
+             "                    only; the zero-diff baseline)\n"
+             "  --list            one line per check: ID, engines, title\n"
+             "  --explain ID      print a check's documentation\n"
+             "Exit: 0 clean, 1 findings, 2 usage/IO error.\n";
       return 0;
+    }
+    if (arg == "--list") return list_checks();
+    if (arg == "--explain") {
+      if (i + 1 >= argc) {
+        std::cerr << "cpc_lint: --explain needs a check ID\n";
+        return 2;
+      }
+      return explain_check(argv[i + 1]);
+    }
+    if (arg == "--engine") {
+      if (i + 1 >= argc) {
+        std::cerr << "cpc_lint: --engine needs 'token' or 'legacy'\n";
+        return 2;
+      }
+      engine = argv[++i];
+      if (engine != "token" && engine != "legacy") {
+        std::cerr << "cpc_lint: unknown engine '" << engine << "'\n";
+        return 2;
+      }
+      continue;
     }
     if (!arg.empty() && arg[0] == '-') {
       std::cerr << "cpc_lint: unknown option " << arg << "\n";
@@ -808,71 +92,45 @@ int main(int argc, char** argv) {
     roots.emplace_back(arg);
   }
   if (roots.empty()) {
-    std::cerr << "usage: cpc_lint <path>...\n";
+    std::cerr << "usage: cpc_lint [--engine token|legacy] <path>...\n";
     return 2;
   }
 
+  // cpc-lint: allow(CPC-L008) — single-pass wall time printed to stderr
+  const auto started = std::chrono::steady_clock::now();
+
   std::vector<fs::path> paths;
   for (const fs::path& root : roots) {
-    if (const int rc = collect_files(root, paths)) return rc;
+    if (const int rc = cpc::lint::collect_files(root, paths)) return rc;
   }
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  std::vector<SourceFile> files;
+  std::vector<cpc::lint::SourceFile> files;
   files.reserve(paths.size());
   for (const fs::path& p : paths) {
-    SourceFile f;
-    f.path = p;
-    f.display = p.generic_string();
-    f.is_header = p.extension() == ".hpp" || p.extension() == ".h" ||
-                  p.extension() == ".hh";
-    std::ifstream in(p);
-    if (!in) {
-      std::cerr << "cpc_lint: cannot open " << p << "\n";
-      return 2;
-    }
-    std::string line;
-    while (std::getline(in, line)) f.raw.push_back(std::move(line));
-    f.code = strip_comments_and_strings(f.raw);
-    collect_waivers(f);
-    categorise(f);
+    cpc::lint::SourceFile f;
+    if (!cpc::lint::load_file(p, f)) return 2;
     files.push_back(std::move(f));
   }
 
-  // Pass 1: enum declarations from every scanned file, so switch checks in
-  // one file see enums declared in another.
-  std::map<std::string, EnumDef> enums;
-  for (const SourceFile& f : files) collect_enums(f, enums);
+  std::vector<cpc::lint::Finding> findings =
+      engine == "legacy" ? cpc::lint::run_legacy_checks(files)
+                         : cpc::lint::run_token_checks(files);
+  cpc::lint::sort_findings(findings);
 
-  // Pass 2: the checks.
-  std::vector<Finding> findings;
-  for (const SourceFile& f : files) {
-    check_l001(f, findings);
-    check_l002(f, findings);
-    check_l003(f, enums, findings);
-    check_l004(f, findings);
-    check_l005(f, findings);
-    check_l006(f, findings);
-    check_l007(f, enums, findings);
-    check_l008(f, findings);
-    check_l009(f, findings);
-    check_l010(f, findings);
-  }
-
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.id < b.id;
-            });
-  for (const Finding& finding : findings) {
+  for (const cpc::lint::Finding& finding : findings) {
     std::cout << finding.file << ":" << finding.line << ": " << finding.id
               << ": " << finding.message << "\n";
   }
-  if (!findings.empty()) {
-    std::cerr << "cpc_lint: " << findings.size() << " finding(s)\n";
-    return 1;
-  }
-  return 0;
+
+  // cpc-lint: allow(CPC-L008) — see above; stdout stays format-stable
+  const auto ended = std::chrono::steady_clock::now();
+  // cpc-lint: allow(CPC-L008)
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           ended - started)
+                           .count();
+  std::cerr << "cpc_lint: " << files.size() << " file(s), " << findings.size()
+            << " finding(s), " << elapsed << " ms [" << engine << "]\n";
+  return findings.empty() ? 0 : 1;
 }

@@ -386,6 +386,9 @@ void replay_finished(const ServeFlags& flags, Client& client,
       {net::MsgKind::kAccepted, id, job_count, 0, {}});
   std::ifstream in(journal_path(flags, id));
   std::string line;
+  // cpc-lint: allow(CPC-L012) — the resume contract replays the journal
+  // synchronously before any new result can race it; the read is a local
+  // file bounded by the submission's own job count.
   while (std::getline(in, line)) {
     const sim::JournalEntry entry = sim::decode_journal_line(line, job_count);
     if (entry.kind == sim::JournalEntry::Kind::kOk) {
@@ -624,6 +627,11 @@ int serve_main(const ServeFlags& flags) {
   std::vector<std::unique_ptr<Client>> clients;
   sim::Stopwatch heartbeat_clock;
   bool drain_started = false;
+  // A hard poll error returns immediately, so a persistent one (EBADF,
+  // ENOMEM) would spin this loop at full speed forever. Tolerate a
+  // transient burst, then drain.
+  constexpr int kPollFailureLimit = 100;
+  int poll_failures = 0;
   char buffer[4096];
 
   while (true) {
@@ -698,7 +706,18 @@ int serve_main(const ServeFlags& flags) {
       fds.push_back(
           {client->fd, !client->outbox.empty(), false, false, false});
     }
-    net::poll_sockets(fds, 50);
+    if (!net::poll_sockets(fds, 50)) {
+      if (++poll_failures == kPollFailureLimit) {
+        std::cerr << "cpc_serve: poll failed " << poll_failures
+                  << " times in a row; dropping clients and draining\n";
+        // Owners' sweeps stay journaled for resume; the executor finishes
+        // the in-flight sweep and exits via the normal drain path.
+        for (const auto& client : clients) client->dead = true;
+        g_drain = 1;
+      }
+      continue;  // fd readiness flags are unspecified after a failed poll
+    }
+    poll_failures = 0;
 
     if (listen_fd >= 0 && fds[0].readable) {
       while (true) {

@@ -1,0 +1,974 @@
+#include "lint/checks.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "lint/index.hpp"
+#include "lint/lexer.hpp"
+
+namespace fs = std::filesystem;
+
+namespace cpc::lint {
+namespace {
+
+struct EnumDef {
+  std::string file;
+  std::size_t line = 0;
+  std::vector<std::string> enumerators;
+  bool ambiguous = false;
+};
+
+/// A file under the token engine: the shared Prepared view plus the token
+/// stream the structural checks consume. One lexer pass fills all of it.
+struct TokenFile {
+  Prepared prep;
+  std::vector<Token> tokens;
+};
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+
+bool flow_checked_category(const SourceFile& f) {
+  return f.category == "src" || f.category == "tools" ||
+         f.category == "bench";
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L001 — entropy / wall-clock ban (token port)
+// ---------------------------------------------------------------------------
+
+void check_l001(const TokenFile& tf, std::vector<Finding>& findings) {
+  const Prepared& f = tf.prep;
+  if (ends_with(f.file->display, "workload/rng.hpp")) return;
+  // The call-shaped bans require an immediately following '(' on the same
+  // line (the legacy regexes were line-local); the name bans fire on the
+  // bare identifier.
+  struct Ban {
+    const char* name;
+    bool call_shaped;
+    const char* what;
+  };
+  static const Ban kBans[] = {
+      {"rand", true, "rand() — use a seeded workload RNG"},
+      {"srand", true, "srand() — use a seeded workload RNG"},
+      {"random_device", false, "std::random_device — nondeterministic entropy"},
+      {"time", true, "time() — wall clock"},
+      {"clock", true, "clock() — wall clock"},
+      {"localtime", false, "localtime — wall clock"},
+      {"gmtime", false, "gmtime — wall clock"},
+      {"system_clock", false, "system_clock — wall clock"},
+      {"high_resolution_clock", false,
+       "high_resolution_clock — may alias system_clock"},
+  };
+  const bool steady_banned =
+      f.file->category == "src" && f.file->src_dir != "sim";
+  // (line, ban index) hits; kBans.size() marks steady_clock.
+  std::set<std::pair<std::size_t, std::size_t>> hits;
+  for (std::size_t t = 0; t < tf.tokens.size(); ++t) {
+    const Token& tok = tf.tokens[t];
+    if (!is_ident(tok)) continue;
+    for (std::size_t b = 0; b < std::size(kBans); ++b) {
+      if (tok.text != kBans[b].name) continue;
+      if (kBans[b].call_shaped &&
+          !(t + 1 < tf.tokens.size() && is_punct(tf.tokens[t + 1], "(") &&
+            tf.tokens[t + 1].line == tok.line)) {
+        continue;
+      }
+      hits.emplace(tok.line, b);
+    }
+    if (steady_banned && tok.text == "steady_clock") {
+      hits.emplace(tok.line, std::size(kBans));
+    }
+  }
+  // Emit in the legacy order: line-major, ban-minor (steady last).
+  for (const auto& [line, b] : hits) {
+    if (b < std::size(kBans)) {
+      report(findings, f, line, "CPC-L001",
+             std::string("banned entropy/wall-clock source: ") +
+                 kBans[b].what);
+    } else {
+      report(findings, f, line, "CPC-L001",
+             "steady_clock outside src/sim/ — simulated time is the only "
+             "clock the model may read");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L002 — unordered-container iteration (stripped view, legacy logic)
+// ---------------------------------------------------------------------------
+
+void check_l002(const Prepared& f, std::vector<Finding>& findings) {
+  static const std::regex kDecl(
+      R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
+  std::set<std::string> names;
+  for (const std::string& line : f.code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+         it != end; ++it) {
+      std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
+      int depth = 1;
+      while (pos < line.size() && depth > 0) {
+        if (line[pos] == '<') ++depth;
+        if (line[pos] == '>') --depth;
+        ++pos;
+      }
+      static const std::regex kName(R"(^\s*([A-Za-z_]\w*))");
+      std::smatch m;
+      const std::string tail = line.substr(pos);
+      if (std::regex_search(tail, m, kName)) {
+        const std::string name = m[1];
+        if (name != "iterator" && name != "const_iterator") names.insert(name);
+      }
+    }
+  }
+  if (names.empty()) return;
+  for (const std::string& name : names) {
+    const std::regex range_for(R"(for\s*\([^;{}]*:\s*(?:this->)?)" + name +
+                               R"(\s*\))");
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (std::regex_search(f.code[i], range_for) ||
+          std::regex_search(
+              f.code[i],
+              std::regex("\\b" + name + R"(\s*\.\s*c?begin\s*\()"))) {
+        report(findings, f, i + 1, "CPC-L002",
+               "iteration over unordered container '" + name +
+                   "' — order is implementation-defined; waive only with a "
+                   "commutativity argument");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L003 — exhaustive enum switches (stripped view, legacy logic)
+// ---------------------------------------------------------------------------
+
+struct JoinedCode {
+  std::string text;
+  std::vector<std::size_t> line_start;
+
+  explicit JoinedCode(const std::vector<std::string>& lines) {
+    for (const std::string& line : lines) {
+      line_start.push_back(text.size());
+      text += line;
+      text += '\n';
+    }
+  }
+  std::size_t line_of(std::size_t offset) const {  // 1-based
+    const auto it =
+        std::upper_bound(line_start.begin(), line_start.end(), offset);
+    return static_cast<std::size_t>(it - line_start.begin());
+  }
+};
+
+void collect_enums(const Prepared& f, std::map<std::string, EnumDef>& enums) {
+  const JoinedCode joined(f.code);
+  static const std::regex kEnum(R"(\benum\s+class\s+([A-Za-z_]\w*)[^{;]*\{)");
+  for (std::sregex_iterator it(joined.text.begin(), joined.text.end(), kEnum),
+       end;
+       it != end; ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    const std::size_t close = joined.text.find('}', open);
+    if (close == std::string::npos) continue;
+    EnumDef def;
+    def.file = f.file->display;
+    def.line = joined.line_of(static_cast<std::size_t>(it->position()));
+    std::istringstream body(joined.text.substr(open + 1, close - open - 1));
+    std::string item;
+    while (std::getline(body, item, ',')) {
+      std::istringstream words(item);
+      std::string name;
+      if (words >> name) {
+        const std::size_t eq = name.find('=');
+        if (eq != std::string::npos) name = name.substr(0, eq);
+        if (!name.empty()) def.enumerators.push_back(name);
+      }
+    }
+    if (def.enumerators.empty()) continue;
+    const std::string enum_name = (*it)[1];
+    auto [existing, inserted] = enums.emplace(enum_name, def);
+    if (!inserted && existing->second.enumerators != def.enumerators) {
+      existing->second.ambiguous = true;
+    }
+  }
+}
+
+void check_l003(const Prepared& f, const std::map<std::string, EnumDef>& enums,
+                std::vector<Finding>& findings) {
+  const JoinedCode joined(f.code);
+  const std::string& text = joined.text;
+  static const std::regex kSwitch(R"(\bswitch\s*\()");
+  static const std::regex kCase(R"(\bcase\s+([\w:]*\w)\s*:)");
+  static const std::regex kDefault(R"(\bdefault\s*:)");
+  for (std::sregex_iterator it(text.begin(), text.end(), kSwitch), end;
+       it != end; ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
+    int paren = 1;
+    while (pos < text.size() && paren > 0) {
+      if (text[pos] == '(') ++paren;
+      if (text[pos] == ')') --paren;
+      ++pos;
+    }
+    while (pos < text.size() && text[pos] != '{') ++pos;
+    if (pos >= text.size()) continue;
+    ++pos;
+    int depth = 1;
+    std::vector<std::pair<std::size_t, std::size_t>> depth1;
+    std::size_t segment = pos;
+    while (pos < text.size() && depth > 0) {
+      if (text[pos] == '{') {
+        if (depth == 1) depth1.emplace_back(segment, pos);
+        ++depth;
+      } else if (text[pos] == '}') {
+        --depth;
+        if (depth == 1) segment = pos + 1;
+      }
+      ++pos;
+    }
+    if (depth == 0 && segment < pos - 1) depth1.emplace_back(segment, pos - 1);
+
+    std::set<std::string> cased;
+    std::string enum_name;
+    std::optional<std::size_t> default_off;
+    for (const auto& [from, to] : depth1) {
+      const std::string seg = text.substr(from, to - from);
+      for (std::sregex_iterator c(seg.begin(), seg.end(), kCase), cend;
+           c != cend; ++c) {
+        const std::string label = (*c)[1];
+        const std::size_t last = label.rfind("::");
+        if (last == std::string::npos) continue;
+        cased.insert(label.substr(last + 2));
+        std::string qualifier = label.substr(0, last);
+        const std::size_t prev = qualifier.rfind("::");
+        if (prev != std::string::npos) qualifier = qualifier.substr(prev + 2);
+        enum_name = qualifier;
+      }
+      std::smatch d;
+      if (!default_off && std::regex_search(seg, d, kDefault)) {
+        default_off = from + static_cast<std::size_t>(d.position());
+      }
+    }
+    const auto def = enums.find(enum_name);
+    if (enum_name.empty() || def == enums.end() || def->second.ambiguous) {
+      continue;
+    }
+    const std::size_t switch_line =
+        joined.line_of(static_cast<std::size_t>(it->position()));
+    if (default_off) {
+      report(findings, f, joined.line_of(*default_off), "CPC-L003",
+             "switch over enum " + enum_name +
+                 " has a default: — enumerate every case so -Wswitch guards "
+                 "new enumerators, or waive with justification");
+      continue;
+    }
+    std::vector<std::string> missing;
+    for (const std::string& e : def->second.enumerators) {
+      if (!cased.count(e)) missing.push_back(e);
+    }
+    if (!missing.empty()) {
+      std::string list;
+      for (const std::string& m : missing) {
+        if (!list.empty()) list += ", ";
+        list += m;
+      }
+      report(findings, f, switch_line, "CPC-L003",
+             "switch over enum " + enum_name + " does not handle: " + list);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L004 — structured diagnostics (stripped view, legacy logic)
+// ---------------------------------------------------------------------------
+
+void check_l004(const Prepared& f, std::vector<Finding>& findings) {
+  static const std::regex kStringViolation(R"(InvariantViolation\s*\(\s*")");
+  static const std::regex kNakedThrow(
+      R"(\bthrow\s+std::(runtime_error|logic_error)\s*\()");
+  const bool diagnostic_layer =
+      f.file->category == "src" &&
+      (f.file->src_dir == "cache" || f.file->src_dir == "core");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (std::regex_search(f.code[i], kStringViolation)) {
+      report(findings, f, i + 1, "CPC-L004",
+             "InvariantViolation built from a bare string — construct a "
+             "cpc::Diagnostic (invariant, site, addresses, detail) instead");
+    }
+    if (diagnostic_layer && std::regex_search(f.code[i], kNakedThrow)) {
+      report(findings, f, i + 1, "CPC-L004",
+             "naked std exception in a layer with structured diagnostics — "
+             "throw InvariantViolation with a cpc::Diagnostic");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L005 — header hygiene (stripped view, legacy logic)
+// ---------------------------------------------------------------------------
+
+void check_l005(const Prepared& f, std::vector<Finding>& findings) {
+  if (!f.file->is_header) return;
+  static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
+  bool seen_code = false;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (!seen_code && !blank(line)) {
+      seen_code = true;
+      std::istringstream first(line);
+      std::string a, b;
+      first >> a >> b;
+      if (a != "#pragma" || b != "once") {
+        report(findings, f, i + 1, "CPC-L005",
+               "#pragma once must be the first directive in a header");
+      }
+    }
+    if (std::regex_search(line, kUsingNamespace)) {
+      report(findings, f, i + 1, "CPC-L005",
+             "using namespace in a header leaks into every includer");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L006 — include layering (include graph)
+// ---------------------------------------------------------------------------
+
+int dir_rank(const std::string& dir) {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0},   {"mem", 1},  {"stats", 1},  {"compress", 1},
+      {"cache", 2},    {"cpu", 3},  {"core", 3},   {"workload", 4},
+      {"analysis", 4}, {"sim", 5},  {"verify", 6}, {"net", 7},
+  };
+  const auto it = kRanks.find(dir);
+  return it == kRanks.end() ? -1 : it->second;
+}
+
+void check_l006(const Prepared& f, const IncludeGraph& includes,
+                std::vector<Finding>& findings) {
+  int rank = 100;  // tools/tests/bench/examples may include anything
+  if (f.file->category == "src") {
+    rank = dir_rank(f.file->src_dir);
+    if (rank < 0) return;  // unranked src subdirectory
+  }
+  const auto it = includes.edges.find(f.file->display);
+  if (it == includes.edges.end()) return;
+  for (const IncludeEdge& edge : it->second) {
+    const std::string& header = edge.header;
+    if (header == "verify/fault.hpp") continue;  // documented rank-0 leaf
+    const std::size_t slash = header.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const int header_rank = dir_rank(header.substr(0, slash));
+    if (header_rank < 0) continue;  // not a ranked project directory
+    if (header_rank > rank) {
+      report(findings, f, edge.line, "CPC-L006",
+             "include of \"" + header + "\" (layer " +
+                 std::to_string(header_rank) + ") from " + f.file->src_dir +
+                 "/ (layer " + std::to_string(rank) +
+                 ") inverts the dependency order");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L007 — registry / enum sync
+// ---------------------------------------------------------------------------
+
+struct RegistryPair {
+  const char* header_suffix;
+  const char* enum_name;
+  const char* def_name;
+  const char* row_macro;
+};
+
+constexpr RegistryPair kRegistries[] = {
+    {"common/check.hpp", "Invariant", "invariant_registry.def",
+     "CPC_INVARIANT_ROW"},
+    {"verify/fault.hpp", "FaultKind", "fault_registry.def", "CPC_FAULT_ROW"},
+    {"compress/codec.hpp", "CodecKind", "codec_registry.def",
+     "CPC_CODEC_ROW"},
+    {"lint/registry.hpp", "CheckId", "lint_registry.def", "CPC_LINT_ROW"},
+};
+
+bool load_def(const fs::path& def_path, std::vector<std::string>& raw) {
+  std::ifstream in(def_path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) raw.push_back(std::move(line));
+  return true;
+}
+
+std::vector<std::pair<std::string, std::size_t>> def_rows(
+    const std::vector<std::string>& def_code, const char* row_macro) {
+  const std::regex row(std::string(row_macro) + R"(\(\s*([A-Za-z_]\w*))");
+  std::vector<std::pair<std::string, std::size_t>> rows;
+  for (std::size_t i = 0; i < def_code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(def_code[i], m, row)) rows.emplace_back(m[1], i + 1);
+  }
+  return rows;
+}
+
+void check_l007(const Prepared& f, const std::map<std::string, EnumDef>& enums,
+                std::vector<Finding>& findings) {
+  for (const RegistryPair& reg : kRegistries) {
+    if (!ends_with(f.file->display, reg.header_suffix)) continue;
+    const fs::path def_path = f.file->path.parent_path() / reg.def_name;
+    std::vector<std::string> def_raw;
+    if (!load_def(def_path, def_raw)) {
+      report(findings, f, 1, "CPC-L007",
+             std::string("registry file ") + reg.def_name +
+                 " not found next to " + reg.header_suffix);
+      continue;
+    }
+    const std::vector<std::string> def_code = lex(def_raw).stripped;
+    const auto rows = def_rows(def_code, reg.row_macro);
+    const auto def = enums.find(reg.enum_name);
+    if (def == enums.end()) continue;  // enum not in the scanned set
+    const std::vector<std::string>& want = def->second.enumerators;
+    const std::string def_display = def_path.generic_string();
+    for (std::size_t i = 0; i < std::max(want.size(), rows.size()); ++i) {
+      const std::string have = i < rows.size() ? rows[i].first : "<missing>";
+      const std::string need = i < want.size() ? want[i] : "<extra>";
+      if (have == need) continue;
+      findings.push_back(
+          {def_display, i < rows.size() ? rows[i].second : rows.size() + 1,
+           "CPC-L007",
+           std::string(reg.def_name) + " row " + std::to_string(i) + " is '" +
+               have + "' but enum " + reg.enum_name + " declares '" + need +
+               "' — registry rows must mirror the enum exactly, in order"});
+      break;  // one finding per registry is enough to localise the drift
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L008 — centralized wall-clock timing (stripped view, legacy logic)
+// ---------------------------------------------------------------------------
+
+void check_l008(const Prepared& f, std::vector<Finding>& findings) {
+  static const char* const kSanctioned[] = {
+      "src/sim/bench_meter.hpp",
+      "src/sim/bench_meter.cpp",
+      "src/sim/sweep_runner.cpp",
+      "src/common/mutex.hpp",
+  };
+  if (!flow_checked_category(*f.file)) return;
+  for (const char* ok : kSanctioned) {
+    if (ends_with(f.file->display, ok)) return;
+  }
+  static const std::regex kChronoUse(R"(\bstd\s*::\s*chrono\b)");
+  static const std::regex kChronoInclude(R"(#\s*include\s*<chrono>)");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (std::regex_search(f.code[i], kChronoUse) ||
+        std::regex_search(f.code[i], kChronoInclude)) {
+      report(findings, f, i + 1, "CPC-L008",
+             "direct std::chrono use outside the sanctioned timing sites — "
+             "measure through sim::Stopwatch (sim/bench_meter.hpp)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L009 — centralized process management (stripped view, legacy logic)
+// ---------------------------------------------------------------------------
+
+void check_l009(const Prepared& f, std::vector<Finding>& findings) {
+  static const char* const kSanctioned[] = {
+      "src/sim/ipc.cpp",
+      "src/sim/shard_supervisor.cpp",
+  };
+  if (!flow_checked_category(*f.file)) return;
+  for (const char* ok : kSanctioned) {
+    if (ends_with(f.file->display, ok)) return;
+  }
+  static const std::regex kProcessCall(
+      R"((^|[^:_\w.>])(fork|vfork|waitpid|wait3|wait4|pipe|pipe2|kill|killpg)\s*\()");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (std::regex_search(f.code[i], kProcessCall)) {
+      report(findings, f, i + 1, "CPC-L009",
+             "raw process-management call outside the ipc layer — spawn and "
+             "supervise through sim::ipc (sim/ipc.hpp) or the "
+             "ShardSupervisor (sim/shard_supervisor.hpp)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L010 — centralized socket management (stripped view, legacy logic)
+// ---------------------------------------------------------------------------
+
+void check_l010(const Prepared& f, std::vector<Finding>& findings) {
+  if (!flow_checked_category(*f.file)) return;
+  const bool in_socket_impl = ends_with(f.file->display, "src/net/socket.cpp");
+  const bool may_poll =
+      in_socket_impl || ends_with(f.file->display, "src/sim/ipc.cpp");
+  static const std::regex kSocketCall(
+      R"((^|[^:_\w.>])(socket|socketpair|bind|listen|accept|accept4|connect|setsockopt|getsockopt|sendto|recvfrom|sendmsg|recvmsg)\s*\()");
+  static const std::regex kPollCall(R"((^|[^:_\w.>])(poll|ppoll)\s*\()");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (!in_socket_impl && std::regex_search(f.code[i], kSocketCall)) {
+      report(findings, f, i + 1, "CPC-L010",
+             "raw socket call outside the net layer — connect and listen "
+             "through cpc::net (net/socket.hpp)");
+    }
+    if (!may_poll && std::regex_search(f.code[i], kPollCall)) {
+      report(findings, f, i + 1, "CPC-L010",
+             "raw poll call outside net/socket.cpp and sim/ipc.cpp — "
+             "multiplex through net::poll_sockets (net/socket.hpp)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L011 — lock-order / deadlock-cycle detection
+// ---------------------------------------------------------------------------
+
+struct LockEdge {
+  std::string holder_fn;  // function holding `from` when `to` is acquired
+  std::string file;       // display path of the witness
+  std::size_t line = 0;   // witness line (the nested acquisition or call)
+  std::string via;        // callee name for interprocedural edges, else ""
+};
+
+/// Resolves a call to function-index entries by simple name. Over-broad
+/// names (> 3 candidates) are skipped: a wrong resolution would fabricate
+/// edges, and a deadlock through such a hub would still be caught at its
+/// concrete acquisition sites.
+std::vector<std::size_t> resolve_call(const FunctionIndex& index,
+                                      const std::string& name) {
+  const auto it = index.by_name.find(name);
+  if (it == index.by_name.end() || it->second.size() > 3) return {};
+  return it->second;
+}
+
+std::map<std::size_t, std::set<std::string>> transitive_locks(
+    const FunctionIndex& index) {
+  std::map<std::size_t, std::set<std::string>> trans;
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    for (const LockSite& lock : index.functions[i].locks) {
+      trans[i].insert(lock.mutex);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < index.functions.size(); ++i) {
+      for (const CallSite& call : index.functions[i].calls) {
+        if (call.in_thread_ctor) continue;  // runs on another thread
+        for (const std::size_t callee : resolve_call(index, call.name)) {
+          for (const std::string& m : trans[callee]) {
+            if (trans[i].insert(m).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+  return trans;
+}
+
+void check_l011(const FunctionIndex& index,
+                const std::map<std::string, const Prepared*>& by_display,
+                std::vector<Finding>& findings) {
+  const auto trans = transitive_locks(index);
+
+  // Edge set: from-mutex -> to-mutex with the first witness kept.
+  std::map<std::string, std::map<std::string, LockEdge>> graph;
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    const FunctionDef& fn = index.functions[i];
+    if (!flow_checked_category(*fn.file)) continue;
+    for (const LockSite& held : fn.locks) {
+      for (const LockSite& nested : fn.locks) {
+        if (nested.tok <= held.tok || nested.tok >= held.scope_end) continue;
+        if (nested.mutex == held.mutex) continue;
+        graph[held.mutex].emplace(
+            nested.mutex, LockEdge{fn.qualified, fn.file->display,
+                                   nested.line, ""});
+      }
+      for (const CallSite& call : fn.calls) {
+        if (call.in_thread_ctor) continue;
+        if (call.tok <= held.tok || call.tok >= held.scope_end) continue;
+        for (const std::size_t callee : resolve_call(index, call.name)) {
+          const auto ct = trans.find(callee);
+          if (ct == trans.end()) continue;
+          for (const std::string& m : ct->second) {
+            if (m == held.mutex) continue;
+            graph[held.mutex].emplace(
+                m, LockEdge{fn.qualified, fn.file->display, call.line,
+                            index.functions[callee].qualified});
+          }
+        }
+      }
+    }
+  }
+
+  // Any cycle in the acquisition graph is a potential deadlock. For each
+  // edge a->b, search for a path b ->* a; report each distinct cycle once,
+  // at the witness of its lexicographically first edge.
+  std::set<std::string> reported;
+  for (const auto& [a, outs] : graph) {
+    for (const auto& [b, edge] : outs) {
+      // DFS from b looking for a.
+      std::vector<std::string> path{b};
+      std::set<std::string> visited{b};
+      std::vector<std::string> found;
+      std::function<bool(const std::string&)> dfs =
+          [&](const std::string& node) {
+            if (node == a) return true;
+            const auto it = graph.find(node);
+            if (it == graph.end()) return false;
+            for (const auto& [next, unused] : it->second) {
+              (void)unused;
+              if (next == a) {
+                path.push_back(a);
+                return true;
+              }
+              if (!visited.insert(next).second) continue;
+              path.push_back(next);
+              if (dfs(next)) return true;
+              path.pop_back();
+            }
+            return false;
+          };
+      const bool cyclic = (b == a) || dfs(b);
+      if (!cyclic) continue;
+      // Cycle nodes: a -> b -> ... -> a. Canonicalise by rotating the
+      // smallest node to the front so each cycle is reported once.
+      std::vector<std::string> cycle{a};
+      cycle.insert(cycle.end(), path.begin(), path.end());
+      if (cycle.back() != a) cycle.push_back(a);
+      std::vector<std::string> ring(cycle.begin(), cycle.end() - 1);
+      const std::size_t min_at = static_cast<std::size_t>(
+          std::min_element(ring.begin(), ring.end()) - ring.begin());
+      std::rotate(ring.begin(),
+                  ring.begin() + static_cast<long>(min_at), ring.end());
+      std::string key;
+      for (const std::string& n : ring) key += n + ";";
+      if (!reported.insert(key).second) continue;
+
+      std::string named_path;
+      for (const std::string& n : cycle) {
+        if (!named_path.empty()) named_path += " -> ";
+        named_path += n;
+      }
+      std::string detail;
+      for (std::size_t k = 0; k + 1 < cycle.size(); ++k) {
+        const auto eit = graph.find(cycle[k]);
+        if (eit == graph.end()) continue;
+        const auto wit = eit->second.find(cycle[k + 1]);
+        if (wit == eit->second.end()) continue;
+        const LockEdge& w = wit->second;
+        detail += "; '" + cycle[k + 1] + "' taken while holding '" +
+                  cycle[k] + "' in " + w.holder_fn +
+                  (w.via.empty() ? "" : " (via " + w.via + ")") + " at " +
+                  w.file + ":" + std::to_string(w.line);
+      }
+      const auto prep = by_display.find(edge.file);
+      if (prep == by_display.end()) continue;
+      report(findings, *prep->second, edge.line, "CPC-L011",
+             "lock-order cycle: " + named_path + detail);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L012 — no blocking calls reachable from the poll loop
+// ---------------------------------------------------------------------------
+
+bool blocking_call(const std::string& name) {
+  static const std::set<std::string> kBlocking = {
+      "sleep_ms",      "sleep_for",  "sleep_until", "usleep",
+      "nanosleep",     "wait_blocking", "wait_for", "wait",
+      "connect_unix",  "system",     "getline",     "read_trace_file",
+  };
+  return kBlocking.count(name) != 0;
+}
+
+void check_l012(const FunctionIndex& index,
+                const std::map<std::string, const Prepared*>& by_display,
+                std::vector<Finding>& findings) {
+  // Roots: functions that drive a net::poll_sockets event loop.
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < index.functions.size(); ++i) {
+    if (!flow_checked_category(*index.functions[i].file)) continue;
+    for (const CallSite& call : index.functions[i].calls) {
+      if (call.name == "poll_sockets" && !call.in_thread_ctor) {
+        roots.push_back(i);
+        break;
+      }
+    }
+  }
+  if (roots.empty()) return;
+
+  // BFS over the call graph; std::thread constructor arguments (the
+  // executor thread) are not loop-reachable by construction.
+  std::map<std::size_t, std::size_t> parent;  // fn -> caller (BFS tree)
+  std::vector<std::size_t> queue = roots;
+  std::set<std::size_t> seen(roots.begin(), roots.end());
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::size_t fn = queue[qi];
+    for (const CallSite& call : index.functions[fn].calls) {
+      if (call.in_thread_ctor) continue;
+      for (const std::size_t callee : resolve_call(index, call.name)) {
+        if (!flow_checked_category(*index.functions[callee].file)) continue;
+        if (!seen.insert(callee).second) continue;
+        parent[callee] = fn;
+        queue.push_back(callee);
+      }
+    }
+  }
+
+  std::set<std::pair<std::string, std::size_t>> reported;  // (file, line)
+  for (const std::size_t fn : queue) {
+    const FunctionDef& def = index.functions[fn];
+    for (const CallSite& call : def.calls) {
+      if (call.in_thread_ctor || !blocking_call(call.name)) continue;
+      if (!reported.emplace(def.file->display, call.line).second) continue;
+      std::string path = def.qualified;
+      for (auto at = parent.find(fn); at != parent.end();
+           at = parent.find(at->second)) {
+        path = index.functions[at->second].qualified + " -> " + path;
+      }
+      const auto prep = by_display.find(def.file->display);
+      if (prep == by_display.end()) continue;
+      report(findings, *prep->second, call.line, "CPC-L012",
+             "blocking call '" + call.qualified +
+                 "' is reachable from the poll event loop (" + path +
+                 ") — it stalls every connected client; hand the work to "
+                 "the executor thread or waive with an argument");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L013 — unchecked status returns
+// ---------------------------------------------------------------------------
+
+bool must_check_call(const std::string& name) {
+  static const std::set<std::string> kMustCheck = {
+      "read_socket",   "write_socket", "poll_sockets",
+      "try_wait",      "wait_blocking", "write_frame",
+      "read_some",     "get_u64",      "get_string",
+      "decode_message", "decode_job_spec", "decode_journal_line",
+  };
+  return kMustCheck.count(name) != 0;
+}
+
+std::size_t match_paren_at(const std::vector<Token>& ts, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < ts.size(); ++i) {
+    if (is_punct(ts[i], "(")) ++depth;
+    if (is_punct(ts[i], ")")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return ts.size();
+}
+
+void check_l013(const TokenFile& tf, std::vector<Finding>& findings) {
+  const Prepared& f = tf.prep;
+  if (!flow_checked_category(*f.file)) return;
+  const std::vector<Token>& ts = tf.tokens;
+  for (std::size_t t = 0; t < ts.size(); ++t) {
+    if (ts[t].pp || !is_ident(ts[t]) || !must_check_call(ts[t].text)) continue;
+    if (t + 1 >= ts.size() || !is_punct(ts[t + 1], "(")) continue;
+    // Walk back to the head of the call chain (net::read_socket,
+    // decoder.next, state.journal.append, ...).
+    std::size_t s = t;
+    std::string qualified = ts[t].text;
+    while (s > 0) {
+      const Token& p = ts[s - 1];
+      if ((is_punct(p, "::") || is_punct(p, ".") || is_punct(p, "->")) &&
+          s >= 2 && is_ident(ts[s - 2])) {
+        qualified = ts[s - 2].text + p.text + qualified;
+        s -= 2;
+        continue;
+      }
+      break;
+    }
+    // A discarded call is an expression statement: the chain starts a
+    // statement and the call's value meets a bare ';'.
+    bool statement_start = s == 0;
+    bool explicit_discard = false;
+    if (!statement_start) {
+      const Token& p = ts[s - 1];
+      // ':' is deliberately absent: a call after `case X:` is rare, and
+      // including it would flag the used result of `c ? a : get_u64(f)`.
+      statement_start = is_punct(p, ";") || is_punct(p, "{") ||
+                        is_punct(p, "}") ||
+                        (is_ident(p) && (p.text == "else" || p.text == "do"));
+      if (is_punct(p, ")")) {
+        // Either a `(void)` cast (sanctioned discard) or a control-flow
+        // header like `if (...) call();` (a discard statement).
+        if (s >= 3 && is_ident(ts[s - 2]) && ts[s - 2].text == "void" &&
+            is_punct(ts[s - 3], "(")) {
+          explicit_discard = true;
+        } else {
+          statement_start = true;
+        }
+      }
+    }
+    if (!statement_start || explicit_discard) continue;
+    const std::size_t close = match_paren_at(ts, t + 1);
+    if (close + 1 >= ts.size() || !is_punct(ts[close + 1], ";")) continue;
+    report(findings, f, ts[t].line, "CPC-L013",
+           "result of '" + qualified +
+               "' is discarded — a dropped net/ipc/journal status turns "
+               "errors into silent corruption; consume it or cast to (void) "
+               "with a rationale");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L014 — invariant-coverage closure
+// ---------------------------------------------------------------------------
+
+void check_l014(const std::vector<TokenFile>& files,
+                std::vector<Finding>& findings) {
+  bool have_src = false;
+  bool have_tests = false;
+  for (const TokenFile& tf : files) {
+    if (tf.prep.file->category == "src") have_src = true;
+    if (tf.prep.file->category == "tests") have_tests = true;
+  }
+  // Coverage closure is only meaningful over a whole tree: without both
+  // sides of the src/tests ledger every row would look dead.
+  if (!have_src || !have_tests) return;
+
+  struct CoveragePair {
+    const char* header_suffix;
+    const char* enum_name;
+    const char* def_name;
+    const char* row_macro;
+  };
+  static const CoveragePair kPairs[] = {
+      {"common/check.hpp", "Invariant", "invariant_registry.def",
+       "CPC_INVARIANT_ROW"},
+      {"verify/fault.hpp", "FaultKind", "fault_registry.def",
+       "CPC_FAULT_ROW"},
+  };
+  for (const CoveragePair& pair : kPairs) {
+    const TokenFile* header = nullptr;
+    for (const TokenFile& tf : files) {
+      if (ends_with(tf.prep.file->display, pair.header_suffix)) {
+        header = &tf;
+        break;
+      }
+    }
+    if (header == nullptr) continue;
+    const fs::path def_path =
+        header->prep.file->path.parent_path() / pair.def_name;
+    std::vector<std::string> def_raw;
+    if (!load_def(def_path, def_raw)) continue;  // CPC-L007 reports this
+    const LexOutput def_lex = lex(def_raw);
+    const auto rows = def_rows(def_lex.stripped, pair.row_macro);
+    const auto def_waivers = collect_waivers(def_raw, def_lex.stripped);
+    const std::string def_display = def_path.generic_string();
+
+    // Where is Enum::kRow referenced? The registry header itself doesn't
+    // count (declaring a row is not raising it).
+    std::set<std::string> in_src;
+    std::set<std::string> in_tests;
+    for (const TokenFile& tf : files) {
+      const std::string& category = tf.prep.file->category;
+      const bool src_side =
+          category == "src" &&
+          !ends_with(tf.prep.file->display, pair.header_suffix);
+      const bool test_side = category == "tests";
+      if (!src_side && !test_side) continue;
+      const std::vector<Token>& ts = tf.tokens;
+      for (std::size_t t = 0; t + 2 < ts.size(); ++t) {
+        if (!is_ident(ts[t]) || ts[t].text != pair.enum_name) continue;
+        if (!is_punct(ts[t + 1], "::") || !is_ident(ts[t + 2])) continue;
+        if (src_side) in_src.insert(ts[t + 2].text);
+        if (test_side) in_tests.insert(ts[t + 2].text);
+      }
+    }
+    for (const auto& [name, line] : rows) {
+      const std::size_t idx = line - 1;
+      const bool waived = idx < def_waivers.size() &&
+                          def_waivers[idx].count("CPC-L014") != 0;
+      if (waived) continue;
+      if (in_src.count(name) == 0) {
+        findings.push_back(
+            {def_display, line, "CPC-L014",
+             "registry row '" + name + "' (" + pair.enum_name +
+                 ") is never raised in src/ — dead detection logic; wire it "
+                 "up or remove the row"});
+      }
+      if (in_tests.count(name) == 0) {
+        findings.push_back(
+            {def_display, line, "CPC-L014",
+             "registry row '" + name + "' (" + pair.enum_name +
+                 ") is never tripped in tests/ — add a trip test or waive "
+                 "in the .def with an argument"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_token_checks(const std::vector<SourceFile>& files) {
+  // One lexer pass per file: stripped view, token stream and waivers all
+  // come out of it; every check below shares the result.
+  std::vector<TokenFile> prepared;
+  prepared.reserve(files.size());
+  std::vector<std::vector<Token>> token_streams;
+  token_streams.reserve(files.size());
+  for (const SourceFile& f : files) {
+    LexOutput out = lex(f.raw);
+    TokenFile tf;
+    tf.prep.file = &f;
+    tf.prep.code = std::move(out.stripped);
+    tf.prep.waivers = collect_waivers(f.raw, tf.prep.code);
+    tf.tokens = std::move(out.tokens);
+    token_streams.push_back(tf.tokens);
+    prepared.push_back(std::move(tf));
+  }
+
+  const IncludeGraph includes = build_include_graph(files);
+  const FunctionIndex index = build_function_index(files, token_streams);
+
+  std::map<std::string, EnumDef> enums;
+  for (const TokenFile& tf : prepared) collect_enums(tf.prep, enums);
+
+  std::map<std::string, const Prepared*> by_display;
+  for (const TokenFile& tf : prepared) {
+    by_display[tf.prep.file->display] = &tf.prep;
+  }
+
+  std::vector<Finding> findings;
+  for (const TokenFile& tf : prepared) {
+    check_l001(tf, findings);
+    check_l002(tf.prep, findings);
+    check_l003(tf.prep, enums, findings);
+    check_l004(tf.prep, findings);
+    check_l005(tf.prep, findings);
+    check_l006(tf.prep, includes, findings);
+    check_l007(tf.prep, enums, findings);
+    check_l008(tf.prep, findings);
+    check_l009(tf.prep, findings);
+    check_l010(tf.prep, findings);
+    check_l013(tf, findings);
+  }
+  check_l011(index, by_display, findings);
+  check_l012(index, by_display, findings);
+  check_l014(prepared, findings);
+  return findings;
+}
+
+}  // namespace cpc::lint

@@ -1,0 +1,17 @@
+#pragma once
+// The token engine: checks CPC-L001..L010 ported onto the shared lexer
+// pass (zero-diff against lint/legacy.cpp, proven by
+// tests/lint/zero_diff.sh) plus the flow-aware checks CPC-L011..L014
+// built on the function/call/lock index.
+
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace cpc::lint {
+
+/// Runs every enabled check over the file set. One lexer pass per file
+/// feeds the stripped view, the token stream and the structural indexes.
+std::vector<Finding> run_token_checks(const std::vector<SourceFile>& files);
+
+}  // namespace cpc::lint

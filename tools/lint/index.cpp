@@ -1,0 +1,333 @@
+#include "lint/index.hpp"
+
+#include <regex>
+
+namespace cpc::lint {
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+
+bool control_keyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "new" || s == "delete" ||
+         s == "sizeof" || s == "alignof" || s == "decltype" ||
+         s == "static_assert" || s == "noexcept" || s == "operator" ||
+         s == "throw" || s == "co_return" || s == "co_await";
+}
+
+bool scope_keyword(const std::string& s) {
+  return s == "namespace" || s == "class" || s == "struct" || s == "union" ||
+         s == "enum";
+}
+
+/// Finds the token index of the matching close for the open bracket at
+/// `open` (parens only — braces inside lambda arguments keep parens
+/// balanced). Returns ts.size() if unbalanced.
+std::size_t match_paren(const std::vector<Token>& ts, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < ts.size(); ++i) {
+    if (is_punct(ts[i], "(")) ++depth;
+    if (is_punct(ts[i], ")")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return ts.size();
+}
+
+/// Walks back from the token before `open_paren` over an `ident` /
+/// `::` / `~` chain; returns the chain components in source order
+/// (empty if the preceding token is not an identifier).
+std::vector<std::string> name_chain_before(const std::vector<Token>& ts,
+                                           std::size_t open_paren) {
+  std::vector<std::string> rev;
+  std::size_t j = open_paren;
+  bool expect_ident = true;
+  while (j > 0) {
+    const Token& t = ts[j - 1];
+    if (expect_ident) {
+      if (is_punct(t, "~") && !rev.empty()) {
+        rev.back() = "~" + rev.back();
+        --j;
+        continue;
+      }
+      if (!is_ident(t)) break;
+      rev.push_back(t.text);
+      expect_ident = false;
+      --j;
+      continue;
+    }
+    if (is_punct(t, "::")) {
+      expect_ident = true;
+      --j;
+      continue;
+    }
+    break;
+  }
+  return {rev.rbegin(), rev.rend()};
+}
+
+std::string join_chain(const std::vector<std::string>& chain) {
+  std::string out;
+  for (const std::string& c : chain) {
+    if (!out.empty()) out += "::";
+    out += c;
+  }
+  return out;
+}
+
+/// Normalises a MutexLock constructor argument into a mutex identity:
+/// strips a `this->` prefix, and qualifies a bare member name with the
+/// enclosing class so `mutex_` in TraceCache methods and `mutex_` in
+/// SweepJournal methods stay distinct.
+std::string mutex_identity(const std::vector<Token>& expr,
+                           const std::string& class_name) {
+  std::size_t start = 0;
+  if (expr.size() >= 2 && is_ident(expr[0]) && expr[0].text == "this" &&
+      is_punct(expr[1], "->")) {
+    start = 2;
+  }
+  while (start < expr.size() &&
+         (is_punct(expr[start], "&") || is_punct(expr[start], "*"))) {
+    ++start;
+  }
+  if (start + 1 == expr.size() && is_ident(expr[start])) {
+    const std::string& name = expr[start].text;
+    return class_name.empty() ? name : class_name + "::" + name;
+  }
+  std::string out;
+  for (std::size_t i = start; i < expr.size(); ++i) {
+    out += expr[i].text;
+  }
+  return out;
+}
+
+struct Scope {
+  enum Kind { kContainer, kFunction, kOther };
+  Kind kind = kOther;
+  std::string class_name;     // for containers opened by class/struct/union
+  std::size_t fn = SIZE_MAX;  // functions: index into out.functions
+};
+
+/// Extracts the declared name from a class/struct/union head, skipping
+/// attribute-macro calls (`struct CPC_CAPABILITY("x") Mutex`).
+std::string class_head_name(const std::vector<Token>& head,
+                            std::size_t keyword_pos) {
+  for (std::size_t i = keyword_pos + 1; i < head.size(); ++i) {
+    if (is_punct(head[i], ":")) break;  // base clause
+    if (!is_ident(head[i])) continue;
+    if (head[i].text == "final" || head[i].text == "alignas") continue;
+    if (i + 1 < head.size() && is_punct(head[i + 1], "(")) {
+      // Attribute macro: skip its argument list.
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < head.size(); ++j) {
+        if (is_punct(head[j], "(")) ++depth;
+        if (is_punct(head[j], ")") && --depth == 0) break;
+      }
+      i = j;
+      continue;
+    }
+    return head[i].text;
+  }
+  return {};
+}
+
+}  // namespace
+
+IncludeGraph build_include_graph(const std::vector<SourceFile>& files) {
+  IncludeGraph graph;
+  static const std::regex kInclude(R"(^\s*#\s*include\s*"([^"]+)\")");
+  for (const SourceFile& f : files) {
+    std::vector<IncludeEdge>& edges = graph.edges[f.display];
+    for (std::size_t i = 0; i < f.raw.size(); ++i) {
+      std::smatch m;
+      if (std::regex_search(f.raw[i], m, kInclude)) {
+        edges.push_back({i + 1, m[1]});
+      }
+    }
+  }
+  return graph;
+}
+
+FunctionIndex build_function_index(
+    const std::vector<SourceFile>& files,
+    const std::vector<std::vector<Token>>& tokens) {
+  FunctionIndex out;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    // Structural stream: preprocessor-directive tokens (macro bodies)
+    // carry no scope structure and are skipped wholesale.
+    std::vector<Token> ts;
+    ts.reserve(tokens[fi].size());
+    for (const Token& t : tokens[fi]) {
+      if (!t.pp) ts.push_back(t);
+    }
+
+    std::vector<Scope> stack;
+    std::vector<std::size_t> head;  // token indexes since last ; { }
+    std::size_t current_fn = SIZE_MAX;
+    // Open MutexLock scopes: (lock index in current fn, stack depth).
+    std::vector<std::pair<std::size_t, std::size_t>> open_locks;
+    std::size_t thread_zone_end = 0;  // tokens < this are std::thread args
+
+    auto nearest_class = [&]() -> std::string {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->kind == Scope::kContainer && !it->class_name.empty()) {
+          return it->class_name;
+        }
+      }
+      return {};
+    };
+
+    for (std::size_t t = 0; t < ts.size(); ++t) {
+      const Token& tok = ts[t];
+      if (current_fn != SIZE_MAX && is_ident(tok)) {
+        FunctionDef& fn = out.functions[current_fn];
+        // std::thread constructor arguments run on another thread; their
+        // call extents are excluded from poll-loop reachability.
+        if ((tok.text == "thread" || tok.text == "jthread") &&
+            t >= thread_zone_end) {
+          std::size_t open = t + 1;
+          if (open < ts.size() && is_ident(ts[open])) ++open;  // variable name
+          if (open < ts.size() && is_punct(ts[open], "(")) {
+            const std::size_t close = match_paren(ts, open);
+            if (close > thread_zone_end) thread_zone_end = close;
+          }
+        } else if (tok.text == "MutexLock" && t + 2 < ts.size() &&
+                   is_ident(ts[t + 1]) && is_punct(ts[t + 2], "(")) {
+          const std::size_t close = match_paren(ts, t + 2);
+          std::vector<Token> expr(ts.begin() + static_cast<long>(t) + 3,
+                                  ts.begin() + static_cast<long>(
+                                                   close < ts.size() ? close
+                                                                     : t + 3));
+          LockSite lock;
+          lock.mutex = mutex_identity(expr, fn.class_name);
+          lock.line = tok.line;
+          lock.tok = t;
+          lock.scope_end = SIZE_MAX;  // finalised when the scope closes
+          fn.locks.push_back(lock);
+          open_locks.emplace_back(fn.locks.size() - 1, stack.size());
+        } else if (t + 1 < ts.size() && is_punct(ts[t + 1], "(") &&
+                   !control_keyword(tok.text) && tok.text != "MutexLock") {
+          CallSite call;
+          call.name = tok.text;
+          std::vector<std::string> chain = name_chain_before(ts, t + 1);
+          call.qualified = chain.empty() ? tok.text : join_chain(chain);
+          call.line = tok.line;
+          call.tok = t;
+          call.in_thread_ctor = t < thread_zone_end;
+          fn.calls.push_back(call);
+        }
+      }
+
+      if (is_punct(tok, "{")) {
+        Scope scope;
+        if (current_fn != SIZE_MAX) {
+          scope.kind = Scope::kOther;  // control block / lambda / init
+        } else {
+          // Classify the head accumulated since the last ; { }.
+          std::size_t kw = SIZE_MAX;
+          for (std::size_t h = 0; h < head.size(); ++h) {
+            if (is_ident(ts[head[h]]) && scope_keyword(ts[head[h]].text)) {
+              kw = h;
+              break;
+            }
+          }
+          bool top_level_assign = false;
+          int pd = 0;
+          for (std::size_t h : head) {
+            if (is_punct(ts[h], "(")) ++pd;
+            if (is_punct(ts[h], ")")) --pd;
+            if (pd == 0 && is_punct(ts[h], "=")) top_level_assign = true;
+          }
+          if (kw != SIZE_MAX) {
+            scope.kind = Scope::kContainer;
+            std::vector<Token> head_toks;
+            for (std::size_t h : head) head_toks.push_back(ts[h]);
+            if (ts[head[kw]].text != "namespace" &&
+                ts[head[kw]].text != "enum") {
+              scope.class_name = class_head_name(head_toks, kw);
+            }
+          } else if (top_level_assign || head.empty() ||
+                     is_punct(ts[head.front()], ",")) {
+            scope.kind = Scope::kOther;
+          } else {
+            // Function definition head: name chain before the first
+            // top-level '('.
+            std::size_t open = SIZE_MAX;
+            pd = 0;
+            for (std::size_t h : head) {
+              if (is_punct(ts[h], "(")) {
+                if (pd == 0) {
+                  open = h;
+                  break;
+                }
+                ++pd;
+              }
+              if (is_punct(ts[h], ")")) --pd;
+            }
+            std::vector<std::string> chain;
+            if (open != SIZE_MAX) chain = name_chain_before(ts, open);
+            if (chain.empty() || control_keyword(chain.back())) {
+              scope.kind = Scope::kOther;
+            } else {
+              scope.kind = Scope::kFunction;
+              FunctionDef fn;
+              fn.name = chain.back();
+              fn.qualified = join_chain(chain);
+              fn.class_name =
+                  chain.size() >= 2 ? chain[chain.size() - 2] : nearest_class();
+              fn.file = &files[fi];
+              fn.line = ts[open == 0 ? 0 : open - 1].line;
+              out.functions.push_back(std::move(fn));
+              scope.fn = out.functions.size() - 1;
+              current_fn = scope.fn;
+            }
+          }
+        }
+        stack.push_back(scope);
+        head.clear();
+      } else if (is_punct(tok, "}")) {
+        if (!stack.empty()) {
+          const Scope closed = stack.back();
+          stack.pop_back();
+          // Close RAII lock scopes opened at or below the popped depth.
+          while (!open_locks.empty() &&
+                 open_locks.back().second > stack.size()) {
+            if (current_fn != SIZE_MAX) {
+              out.functions[current_fn]
+                  .locks[open_locks.back().first]
+                  .scope_end = t;
+            }
+            open_locks.pop_back();
+          }
+          if (closed.kind == Scope::kFunction) {
+            current_fn = SIZE_MAX;
+            open_locks.clear();
+          }
+        }
+        head.clear();
+      } else if (is_punct(tok, ";")) {
+        head.clear();
+      } else if (current_fn == SIZE_MAX) {
+        head.push_back(t);
+      }
+    }
+    // Unterminated scopes at EOF: finalise any locks still open.
+    if (current_fn != SIZE_MAX) {
+      for (LockSite& lock : out.functions[current_fn].locks) {
+        if (lock.scope_end == SIZE_MAX) lock.scope_end = ts.size();
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < out.functions.size(); ++i) {
+    out.by_name[out.functions[i].name].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace cpc::lint

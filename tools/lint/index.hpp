@@ -1,0 +1,81 @@
+#pragma once
+// Structural indexes built from the token stream: the include graph and a
+// lightweight function/call/lock index. These power the flow-aware checks
+// (CPC-L011 lock order, CPC-L012 poll-loop blocking, CPC-L013 discarded
+// status) that a line-local pattern engine cannot express.
+//
+// The function index is heuristic by design (no preprocessor, no
+// templates instantiated): it recognises function definitions by their
+// `name(params) ... {` head shape at namespace/class scope, attributes
+// everything inside the body extent (lambdas included) to that function,
+// and resolves calls by name. Constructor bodies after an init list and
+// heavily macro-generated definitions may be missed — the failure mode is
+// a missed edge (false negative), never a phantom finding.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/source.hpp"
+
+namespace cpc::lint {
+
+// ---------------------------------------------------------------------------
+// Include graph
+// ---------------------------------------------------------------------------
+
+struct IncludeEdge {
+  std::size_t line = 0;  // 1-based line of the #include
+  std::string header;    // quoted include path as written
+};
+
+struct IncludeGraph {
+  // Keyed by SourceFile display path; edges in line order.
+  std::map<std::string, std::vector<IncludeEdge>> edges;
+};
+
+IncludeGraph build_include_graph(const std::vector<SourceFile>& files);
+
+// ---------------------------------------------------------------------------
+// Function / call / lock index
+// ---------------------------------------------------------------------------
+
+struct CallSite {
+  std::string name;       // simple callee name ("poll_sockets")
+  std::string qualified;  // ::-qualified chain as written ("net::poll_sockets")
+  std::size_t line = 0;
+  std::size_t tok = 0;         // token index of the callee identifier
+  bool in_thread_ctor = false; // inside std::thread(...) argument extent
+};
+
+struct LockSite {
+  std::string mutex;  // normalised mutex identity ("TraceCache::mutex_")
+  std::size_t line = 0;
+  std::size_t tok = 0;        // token index of the MutexLock keyword
+  std::size_t scope_end = 0;  // first token index past the RAII scope
+};
+
+struct FunctionDef {
+  std::string name;        // simple name ("lookup")
+  std::string qualified;   // as written at the definition ("TraceCache::lookup")
+  std::string class_name;  // enclosing/qualifying class, if any
+  const SourceFile* file = nullptr;
+  std::size_t line = 0;
+  std::vector<CallSite> calls;
+  std::vector<LockSite> locks;
+};
+
+struct FunctionIndex {
+  std::vector<FunctionDef> functions;
+  // simple name -> indexes into `functions`
+  std::map<std::string, std::vector<std::size_t>> by_name;
+};
+
+/// Builds the index from the lexed token streams (parallel to `files`).
+FunctionIndex build_function_index(
+    const std::vector<SourceFile>& files,
+    const std::vector<std::vector<Token>>& tokens);
+
+}  // namespace cpc::lint

@@ -1,0 +1,588 @@
+#include "lint/legacy.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace cpc::lint {
+namespace {
+
+struct EnumDef {
+  std::string file;
+  std::size_t line = 0;
+  std::vector<std::string> enumerators;
+  bool ambiguous = false;  // same name defined differently in two files
+};
+
+// ---------------------------------------------------------------------------
+// Source preparation (the original stripper, byte-for-byte)
+// ---------------------------------------------------------------------------
+
+/// Strips //- and /**/-comments and the contents of string/char literals so
+/// downstream regexes never match inside either. Literal delimiters are kept
+/// (an empty "" remains) so token shapes stay recognisable.
+std::vector<std::string> strip_comments_and_strings(
+    const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string code;
+    code.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        code += quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) break;
+          ++i;
+        }
+        code += quote;  // unterminated literals just end with the line
+        continue;
+      }
+      code += c;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L001 — entropy / wall-clock ban
+// ---------------------------------------------------------------------------
+
+void check_l001(const Prepared& f, std::vector<Finding>& findings) {
+  if (ends_with(f.file->display, "workload/rng.hpp")) return;
+  struct Ban {
+    std::regex pattern;
+    const char* what;
+  };
+  static const std::vector<Ban> kBans = {
+      {std::regex(R"(\brand\s*\()"), "rand() — use a seeded workload RNG"},
+      {std::regex(R"(\bsrand\s*\()"), "srand() — use a seeded workload RNG"},
+      {std::regex(R"(\brandom_device\b)"),
+       "std::random_device — nondeterministic entropy"},
+      {std::regex(R"(\btime\s*\()"), "time() — wall clock"},
+      {std::regex(R"(\bclock\s*\()"), "clock() — wall clock"},
+      {std::regex(R"(\blocaltime\b)"), "localtime — wall clock"},
+      {std::regex(R"(\bgmtime\b)"), "gmtime — wall clock"},
+      {std::regex(R"(\bsystem_clock\b)"), "system_clock — wall clock"},
+      {std::regex(R"(\bhigh_resolution_clock\b)"),
+       "high_resolution_clock — may alias system_clock"},
+  };
+  static const std::regex kSteady(R"(\bsteady_clock\b)");
+  const bool steady_banned =
+      f.file->category == "src" && f.file->src_dir != "sim";
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    for (const Ban& ban : kBans) {
+      if (std::regex_search(f.code[i], ban.pattern)) {
+        report(findings, f, i + 1, "CPC-L001",
+               std::string("banned entropy/wall-clock source: ") + ban.what);
+      }
+    }
+    if (steady_banned && std::regex_search(f.code[i], kSteady)) {
+      report(findings, f, i + 1, "CPC-L001",
+             "steady_clock outside src/sim/ — simulated time is the only "
+             "clock the model may read");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L002 — unordered-container iteration
+// ---------------------------------------------------------------------------
+
+void check_l002(const Prepared& f, std::vector<Finding>& findings) {
+  static const std::regex kDecl(
+      R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
+  std::set<std::string> names;
+  for (const std::string& line : f.code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+         it != end; ++it) {
+      std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
+      int depth = 1;
+      while (pos < line.size() && depth > 0) {
+        if (line[pos] == '<') ++depth;
+        if (line[pos] == '>') --depth;
+        ++pos;
+      }
+      static const std::regex kName(R"(^\s*([A-Za-z_]\w*))");
+      std::smatch m;
+      const std::string tail = line.substr(pos);
+      if (std::regex_search(tail, m, kName)) {
+        const std::string name = m[1];
+        if (name != "iterator" && name != "const_iterator") names.insert(name);
+      }
+    }
+  }
+  if (names.empty()) return;
+  for (const std::string& name : names) {
+    const std::regex range_for(R"(for\s*\([^;{}]*:\s*(?:this->)?)" + name +
+                               R"(\s*\))");
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (std::regex_search(f.code[i], range_for) ||
+          std::regex_search(
+              f.code[i],
+              std::regex("\\b" + name + R"(\s*\.\s*c?begin\s*\()"))) {
+        report(findings, f, i + 1, "CPC-L002",
+               "iteration over unordered container '" + name +
+                   "' — order is implementation-defined; waive only with a "
+                   "commutativity argument");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L003 — exhaustive enum switches
+// ---------------------------------------------------------------------------
+
+/// Joined view of the stripped file, with a char-offset → line mapping.
+struct JoinedCode {
+  std::string text;
+  std::vector<std::size_t> line_start;  // offset of each line in `text`
+
+  explicit JoinedCode(const std::vector<std::string>& lines) {
+    for (const std::string& line : lines) {
+      line_start.push_back(text.size());
+      text += line;
+      text += '\n';
+    }
+  }
+  std::size_t line_of(std::size_t offset) const {  // 1-based
+    const auto it =
+        std::upper_bound(line_start.begin(), line_start.end(), offset);
+    return static_cast<std::size_t>(it - line_start.begin());
+  }
+};
+
+void collect_enums(const Prepared& f, std::map<std::string, EnumDef>& enums) {
+  const JoinedCode joined(f.code);
+  static const std::regex kEnum(R"(\benum\s+class\s+([A-Za-z_]\w*)[^{;]*\{)");
+  for (std::sregex_iterator it(joined.text.begin(), joined.text.end(), kEnum),
+       end;
+       it != end; ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    const std::size_t close = joined.text.find('}', open);
+    if (close == std::string::npos) continue;
+    EnumDef def;
+    def.file = f.file->display;
+    def.line = joined.line_of(static_cast<std::size_t>(it->position()));
+    std::istringstream body(joined.text.substr(open + 1, close - open - 1));
+    std::string item;
+    while (std::getline(body, item, ',')) {
+      std::istringstream words(item);
+      std::string name;
+      if (words >> name) {
+        const std::size_t eq = name.find('=');
+        if (eq != std::string::npos) name = name.substr(0, eq);
+        if (!name.empty()) def.enumerators.push_back(name);
+      }
+    }
+    if (def.enumerators.empty()) continue;
+    const std::string enum_name = (*it)[1];
+    auto [existing, inserted] = enums.emplace(enum_name, def);
+    if (!inserted && existing->second.enumerators != def.enumerators) {
+      existing->second.ambiguous = true;  // two unrelated enums share a name
+    }
+  }
+}
+
+void check_l003(const Prepared& f, const std::map<std::string, EnumDef>& enums,
+                std::vector<Finding>& findings) {
+  const JoinedCode joined(f.code);
+  const std::string& text = joined.text;
+  static const std::regex kSwitch(R"(\bswitch\s*\()");
+  // The label must end on a word char: with a bare `[\w:]+` a label whose
+  // next statement begins with `::` (e.g. `::_Exit(3);`) greedily matches
+  // `Enum::kValue:` as the capture and the statement's colon as the
+  // terminator, mangling the enumerator name.
+  static const std::regex kCase(R"(\bcase\s+([\w:]*\w)\s*:)");
+  static const std::regex kDefault(R"(\bdefault\s*:)");
+  for (std::sregex_iterator it(text.begin(), text.end(), kSwitch), end;
+       it != end; ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
+    int paren = 1;
+    while (pos < text.size() && paren > 0) {
+      if (text[pos] == '(') ++paren;
+      if (text[pos] == ')') --paren;
+      ++pos;
+    }
+    while (pos < text.size() && text[pos] != '{') ++pos;
+    if (pos >= text.size()) continue;
+    const std::size_t body_open = pos++;
+    int depth = 1;
+    std::vector<std::pair<std::size_t, std::size_t>> depth1;  // [from,to)
+    std::size_t segment = pos;
+    while (pos < text.size() && depth > 0) {
+      if (text[pos] == '{') {
+        if (depth == 1) depth1.emplace_back(segment, pos);
+        ++depth;
+      } else if (text[pos] == '}') {
+        --depth;
+        if (depth == 1) segment = pos + 1;
+      }
+      ++pos;
+    }
+    if (depth == 0 && segment < pos - 1) depth1.emplace_back(segment, pos - 1);
+
+    std::set<std::string> cased;
+    std::string enum_name;
+    std::optional<std::size_t> default_off;
+    for (const auto& [from, to] : depth1) {
+      const std::string seg = text.substr(from, to - from);
+      for (std::sregex_iterator c(seg.begin(), seg.end(), kCase), cend;
+           c != cend; ++c) {
+        const std::string label = (*c)[1];
+        const std::size_t last = label.rfind("::");
+        if (last == std::string::npos) continue;  // int switch — not ours
+        cased.insert(label.substr(last + 2));
+        std::string qualifier = label.substr(0, last);
+        const std::size_t prev = qualifier.rfind("::");
+        if (prev != std::string::npos) qualifier = qualifier.substr(prev + 2);
+        enum_name = qualifier;
+      }
+      std::smatch d;
+      if (!default_off && std::regex_search(seg, d, kDefault)) {
+        default_off = from + static_cast<std::size_t>(d.position());
+      }
+    }
+    const auto def = enums.find(enum_name);
+    if (enum_name.empty() || def == enums.end() || def->second.ambiguous) {
+      continue;
+    }
+    const std::size_t switch_line =
+        joined.line_of(static_cast<std::size_t>(it->position()));
+    if (default_off) {
+      report(findings, f, joined.line_of(*default_off), "CPC-L003",
+             "switch over enum " + enum_name +
+                 " has a default: — enumerate every case so -Wswitch guards "
+                 "new enumerators, or waive with justification");
+      continue;
+    }
+    std::vector<std::string> missing;
+    for (const std::string& e : def->second.enumerators) {
+      if (!cased.count(e)) missing.push_back(e);
+    }
+    if (!missing.empty()) {
+      std::string list;
+      for (const std::string& m : missing) {
+        if (!list.empty()) list += ", ";
+        list += m;
+      }
+      report(findings, f, switch_line, "CPC-L003",
+             "switch over enum " + enum_name + " does not handle: " + list);
+    }
+    (void)body_open;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L004 — structured diagnostics where Diagnostic exists
+// ---------------------------------------------------------------------------
+
+void check_l004(const Prepared& f, std::vector<Finding>& findings) {
+  static const std::regex kStringViolation(R"(InvariantViolation\s*\(\s*")");
+  static const std::regex kNakedThrow(
+      R"(\bthrow\s+std::(runtime_error|logic_error)\s*\()");
+  const bool diagnostic_layer =
+      f.file->category == "src" &&
+      (f.file->src_dir == "cache" || f.file->src_dir == "core");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (std::regex_search(f.code[i], kStringViolation)) {
+      report(findings, f, i + 1, "CPC-L004",
+             "InvariantViolation built from a bare string — construct a "
+             "cpc::Diagnostic (invariant, site, addresses, detail) instead");
+    }
+    if (diagnostic_layer && std::regex_search(f.code[i], kNakedThrow)) {
+      report(findings, f, i + 1, "CPC-L004",
+             "naked std exception in a layer with structured diagnostics — "
+             "throw InvariantViolation with a cpc::Diagnostic");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L005 — header hygiene
+// ---------------------------------------------------------------------------
+
+void check_l005(const Prepared& f, std::vector<Finding>& findings) {
+  if (!f.file->is_header) return;
+  static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
+  bool seen_code = false;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (!seen_code && !blank(line)) {
+      seen_code = true;
+      std::istringstream first(line);
+      std::string a, b;
+      first >> a >> b;
+      if (a != "#pragma" || b != "once") {
+        report(findings, f, i + 1, "CPC-L005",
+               "#pragma once must be the first directive in a header");
+      }
+    }
+    if (std::regex_search(line, kUsingNamespace)) {
+      report(findings, f, i + 1, "CPC-L005",
+             "using namespace in a header leaks into every includer");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L006 — include layering
+// ---------------------------------------------------------------------------
+
+int dir_rank(const std::string& dir) {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0},   {"mem", 1},  {"stats", 1},  {"compress", 1},
+      {"cache", 2},    {"cpu", 3},  {"core", 3},   {"workload", 4},
+      {"analysis", 4}, {"sim", 5},  {"verify", 6}, {"net", 7},
+  };
+  const auto it = kRanks.find(dir);
+  return it == kRanks.end() ? -1 : it->second;
+}
+
+void check_l006(const Prepared& f, std::vector<Finding>& findings) {
+  int rank = 100;  // tools/tests/bench/examples may include anything
+  if (f.file->category == "src") {
+    rank = dir_rank(f.file->src_dir);
+    if (rank < 0) return;  // unranked src subdirectory
+  }
+  // Matched against the raw line: the stripper empties string literals,
+  // which is exactly where an include path lives.
+  static const std::regex kInclude(R"(^\s*#\s*include\s*"([^"]+)\")");
+  for (std::size_t i = 0; i < f.file->raw.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.file->raw[i], m, kInclude)) continue;
+    const std::string header = m[1];
+    if (header == "verify/fault.hpp") continue;  // documented rank-0 leaf
+    const std::size_t slash = header.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const int header_rank = dir_rank(header.substr(0, slash));
+    if (header_rank < 0) continue;  // not a ranked project directory
+    if (header_rank > rank) {
+      report(findings, f, i + 1, "CPC-L006",
+             "include of \"" + header + "\" (layer " +
+                 std::to_string(header_rank) + ") from " + f.file->src_dir +
+                 "/ (layer " + std::to_string(rank) +
+                 ") inverts the dependency order");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L007 — registry / enum sync
+// ---------------------------------------------------------------------------
+
+struct RegistryPair {
+  const char* header_suffix;  // header holding the enum
+  const char* enum_name;
+  const char* def_name;  // .def next to the header
+  const char* row_macro;
+};
+
+constexpr RegistryPair kRegistries[] = {
+    {"common/check.hpp", "Invariant", "invariant_registry.def",
+     "CPC_INVARIANT_ROW"},
+    {"verify/fault.hpp", "FaultKind", "fault_registry.def", "CPC_FAULT_ROW"},
+    {"compress/codec.hpp", "CodecKind", "codec_registry.def",
+     "CPC_CODEC_ROW"},
+    {"lint/registry.hpp", "CheckId", "lint_registry.def", "CPC_LINT_ROW"},
+};
+
+void check_l007(const Prepared& f, const std::map<std::string, EnumDef>& enums,
+                std::vector<Finding>& findings) {
+  for (const RegistryPair& reg : kRegistries) {
+    if (!ends_with(f.file->display, reg.header_suffix)) continue;
+    const fs::path def_path = f.file->path.parent_path() / reg.def_name;
+    std::ifstream in(def_path);
+    if (!in) {
+      report(findings, f, 1, "CPC-L007",
+             std::string("registry file ") + reg.def_name +
+                 " not found next to " + reg.header_suffix);
+      continue;
+    }
+    std::vector<std::string> def_raw;
+    std::string line;
+    while (std::getline(in, line)) def_raw.push_back(std::move(line));
+    const std::vector<std::string> def_code =
+        strip_comments_and_strings(def_raw);
+    const std::regex row(std::string(reg.row_macro) + R"(\(\s*([A-Za-z_]\w*))");
+    std::vector<std::pair<std::string, std::size_t>> rows;  // name, line
+    for (std::size_t i = 0; i < def_code.size(); ++i) {
+      std::smatch m;
+      if (std::regex_search(def_code[i], m, row)) rows.emplace_back(m[1], i + 1);
+    }
+    const auto def = enums.find(reg.enum_name);
+    if (def == enums.end()) continue;  // enum not in the scanned set
+    const std::vector<std::string>& want = def->second.enumerators;
+    const std::string def_display = def_path.generic_string();
+    for (std::size_t i = 0; i < std::max(want.size(), rows.size()); ++i) {
+      const std::string have = i < rows.size() ? rows[i].first : "<missing>";
+      const std::string need = i < want.size() ? want[i] : "<extra>";
+      if (have == need) continue;
+      findings.push_back(
+          {def_display, i < rows.size() ? rows[i].second : rows.size() + 1,
+           "CPC-L007",
+           std::string(reg.def_name) + " row " + std::to_string(i) + " is '" +
+               have + "' but enum " + reg.enum_name + " declares '" + need +
+               "' — registry rows must mirror the enum exactly, in order"});
+      break;  // one finding per registry is enough to localise the drift
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L008 — centralized wall-clock timing
+// ---------------------------------------------------------------------------
+
+void check_l008(const Prepared& f, std::vector<Finding>& findings) {
+  static const char* const kSanctioned[] = {
+      "src/sim/bench_meter.hpp",
+      "src/sim/bench_meter.cpp",
+      "src/sim/sweep_runner.cpp",
+      "src/common/mutex.hpp",
+  };
+  const std::string& category = f.file->category;
+  if (category != "src" && category != "tools" && category != "bench") {
+    return;
+  }
+  for (const char* ok : kSanctioned) {
+    if (ends_with(f.file->display, ok)) return;
+  }
+  static const std::regex kChronoUse(R"(\bstd\s*::\s*chrono\b)");
+  static const std::regex kChronoInclude(R"(#\s*include\s*<chrono>)");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (std::regex_search(f.code[i], kChronoUse) ||
+        std::regex_search(f.code[i], kChronoInclude)) {
+      report(findings, f, i + 1, "CPC-L008",
+             "direct std::chrono use outside the sanctioned timing sites — "
+             "measure through sim::Stopwatch (sim/bench_meter.hpp)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L009 — centralized process management
+// ---------------------------------------------------------------------------
+
+void check_l009(const Prepared& f, std::vector<Finding>& findings) {
+  static const char* const kSanctioned[] = {
+      "src/sim/ipc.cpp",
+      "src/sim/shard_supervisor.cpp",
+  };
+  const std::string& category = f.file->category;
+  if (category != "src" && category != "tools" && category != "bench") {
+    return;
+  }
+  for (const char* ok : kSanctioned) {
+    if (ends_with(f.file->display, ok)) return;
+  }
+  static const std::regex kProcessCall(
+      R"((^|[^:_\w.>])(fork|vfork|waitpid|wait3|wait4|pipe|pipe2|kill|killpg)\s*\()");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (std::regex_search(f.code[i], kProcessCall)) {
+      report(findings, f, i + 1, "CPC-L009",
+             "raw process-management call outside the ipc layer — spawn and "
+             "supervise through sim::ipc (sim/ipc.hpp) or the "
+             "ShardSupervisor (sim/shard_supervisor.hpp)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPC-L010 — centralized socket management
+// ---------------------------------------------------------------------------
+
+void check_l010(const Prepared& f, std::vector<Finding>& findings) {
+  const std::string& category = f.file->category;
+  if (category != "src" && category != "tools" && category != "bench") {
+    return;
+  }
+  const bool in_socket_impl = ends_with(f.file->display, "src/net/socket.cpp");
+  const bool may_poll =
+      in_socket_impl || ends_with(f.file->display, "src/sim/ipc.cpp");
+  static const std::regex kSocketCall(
+      R"((^|[^:_\w.>])(socket|socketpair|bind|listen|accept|accept4|connect|setsockopt|getsockopt|sendto|recvfrom|sendmsg|recvmsg)\s*\()");
+  static const std::regex kPollCall(R"((^|[^:_\w.>])(poll|ppoll)\s*\()");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (!in_socket_impl && std::regex_search(f.code[i], kSocketCall)) {
+      report(findings, f, i + 1, "CPC-L010",
+             "raw socket call outside the net layer — connect and listen "
+             "through cpc::net (net/socket.hpp)");
+    }
+    if (!may_poll && std::regex_search(f.code[i], kPollCall)) {
+      report(findings, f, i + 1, "CPC-L010",
+             "raw poll call outside net/socket.cpp and sim/ipc.cpp — "
+             "multiplex through net::poll_sockets (net/socket.hpp)");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_legacy_checks(const std::vector<SourceFile>& files) {
+  std::vector<Prepared> prepared;
+  prepared.reserve(files.size());
+  for (const SourceFile& f : files) {
+    Prepared p;
+    p.file = &f;
+    p.code = strip_comments_and_strings(f.raw);
+    p.waivers = collect_waivers(f.raw, p.code);
+    prepared.push_back(std::move(p));
+  }
+
+  // Pass 1: enum declarations from every scanned file, so switch checks in
+  // one file see enums declared in another.
+  std::map<std::string, EnumDef> enums;
+  for (const Prepared& f : prepared) collect_enums(f, enums);
+
+  // Pass 2: the checks.
+  std::vector<Finding> findings;
+  for (const Prepared& f : prepared) {
+    check_l001(f, findings);
+    check_l002(f, findings);
+    check_l003(f, enums, findings);
+    check_l004(f, findings);
+    check_l005(f, findings);
+    check_l006(f, findings);
+    check_l007(f, enums, findings);
+    check_l008(f, findings);
+    check_l009(f, findings);
+    check_l010(f, findings);
+  }
+  return findings;
+}
+
+}  // namespace cpc::lint

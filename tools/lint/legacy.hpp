@@ -1,0 +1,19 @@
+#pragma once
+// The pre-port regex engine, kept compiled-in behind `--engine legacy` as
+// the living reference for the zero-diff proof: tests/lint/zero_diff.sh
+// runs both engines over the tree and the fixture corpora and diffs their
+// CPC-L001..L010 findings byte-for-byte. The check bodies here are the
+// original tools/cpc_lint.cpp implementations, unmodified apart from the
+// shared SourceFile/Prepared plumbing.
+
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace cpc::lint {
+
+/// Runs checks CPC-L001..L010 with the original regex-over-stripped-lines
+/// implementations (the legacy engine does not know L011..L014).
+std::vector<Finding> run_legacy_checks(const std::vector<SourceFile>& files);
+
+}  // namespace cpc::lint

@@ -1,0 +1,204 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace cpc::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool raw_string_prefix(const std::string& s) {
+  return s == "R" || s == "LR" || s == "uR" || s == "UR" || s == "u8R";
+}
+
+bool exponent_tail(const std::string& number, char c) {
+  if (c != '+' && c != '-') return false;
+  if (number.empty()) return false;
+  const char last = number.back();
+  return last == 'e' || last == 'E' || last == 'p' || last == 'P';
+}
+
+}  // namespace
+
+LexOutput lex(const std::vector<std::string>& raw) {
+  LexOutput out;
+  out.stripped.resize(raw.size());
+
+  bool in_block = false;  // inside a /* */ comment
+  bool pp = false;        // inside a # directive (splice-continued)
+  bool pp_cont = false;   // previous line ended with a backslash
+  std::string cur;        // identifier/number being accumulated
+  bool cur_num = false;
+  std::size_t cur_line = 0;  // 1-based line where `cur` started
+
+  auto flush = [&] {
+    if (cur.empty()) return;
+    out.tokens.push_back({cur_num ? TokKind::kNumber : TokKind::kIdent,
+                          cur, cur_line, pp});
+    cur.clear();
+    cur_num = false;
+  };
+
+  std::size_t li = 0;  // current line (0-based)
+  std::size_t i = 0;   // current column
+  while (li < raw.size()) {
+    const std::string& line = raw[li];
+    if (i >= line.size()) {
+      // End of physical line. A trailing backslash in code splices the
+      // next line on (tokens continue); anything else ends the token.
+      const bool spliced = !line.empty() && line.back() == '\\';
+      if (!spliced || in_block) flush();
+      pp_cont = spliced && !in_block;
+      if (!pp_cont) pp = false;
+      ++li;
+      i = 0;
+      continue;
+    }
+    if (i == 0 && !in_block && !pp_cont) {
+      // Fresh logical line: does it open a preprocessor directive?
+      std::size_t j = 0;
+      while (j < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+        ++j;
+      }
+      pp = j < line.size() && line[j] == '#';
+    }
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      flush();
+      i = line.size();  // rest of the physical line is a comment
+      continue;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      flush();
+      in_block = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' && !cur.empty() && !cur_num && raw_string_prefix(cur)) {
+      // Raw string literal: the prefix identifier is part of the literal.
+      // The stripped view keeps the prefix and an empty "" (the same shape
+      // the line-local checks expect for ordinary strings).
+      const std::size_t open_line = li;
+      cur.clear();
+      cur_num = false;
+      ++i;
+      std::string delim;
+      while (i < raw[li].size() && raw[li][i] != '(') delim += raw[li][i++];
+      if (i < raw[li].size()) ++i;  // past '('
+      const std::string close = ")" + delim + "\"";
+      while (li < raw.size()) {
+        const std::size_t pos = raw[li].find(close, i);
+        if (pos != std::string::npos) {
+          i = pos + close.size();
+          break;
+        }
+        ++li;
+        i = 0;
+      }
+      out.stripped[open_line] += "\"\"";
+      out.tokens.push_back({TokKind::kString, "", open_line + 1, pp});
+      if (li >= raw.size()) break;  // unterminated raw string
+      continue;
+    }
+    if (c == '\'' && cur_num && i + 1 < line.size() &&
+        ident_char(line[i + 1])) {
+      // Digit separator inside a pp-number (30'000), not a char literal.
+      cur += '\'';
+      out.stripped[li] += '\'';
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      flush();
+      const char quote = c;
+      out.stripped[li] += quote;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      out.stripped[li] += quote;  // unterminated literals end with the line
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kCharLit,
+                            "", li + 1, pp});
+      if (i > line.size()) i = line.size();
+      continue;
+    }
+    if (c == '\\' && i + 1 >= line.size()) {
+      // Line splice: the stripped view keeps the backslash; the token
+      // stream joins across it (handled at end-of-line above).
+      out.stripped[li] += c;
+      ++i;
+      continue;
+    }
+    out.stripped[li] += c;
+    if (!cur.empty()) {
+      if (ident_char(c) || (cur_num && (c == '.' || exponent_tail(cur, c)))) {
+        cur += c;
+        ++i;
+        continue;
+      }
+      flush();
+    }
+    if (ident_start(c)) {
+      cur = c;
+      cur_num = false;
+      cur_line = li + 1;
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      cur = c;
+      cur_num = true;
+      cur_line = li + 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Punctuation. "::" and "->" matter structurally; everything else is
+    // a single-character token.
+    if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+      out.stripped[li] += ':';
+      out.tokens.push_back({TokKind::kPunct, "::", li + 1, pp});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+      out.stripped[li] += '>';
+      out.tokens.push_back({TokKind::kPunct, "->", li + 1, pp});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), li + 1, pp});
+    ++i;
+  }
+  flush();
+  return out;
+}
+
+}  // namespace cpc::lint

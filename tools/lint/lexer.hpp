@@ -1,0 +1,49 @@
+#pragma once
+// Comment- and string-aware C++ lexer for the lint library.
+//
+// One pass over a file's raw lines produces both views every check
+// consumes:
+//
+//   * `tokens`  — the token stream (identifiers, numbers, punctuation,
+//     literal placeholders) with 1-based line attribution. Line splices
+//     (backslash-newline) join tokens across physical lines; raw strings,
+//     digit separators and char literals are lexed per the language, so
+//     flow-aware checks (function index, lock scopes) see real structure.
+//   * `stripped` — a per-physical-line view with comments removed and
+//     string/char literal bodies emptied (delimiters kept), the exact
+//     shape the line-local pattern checks were written against.
+//
+// The lexer is deliberately preprocessor-naive: macros are not expanded,
+// and tokens on a `#` directive line carry `pp = true` so structural
+// consumers can skip macro bodies.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpc::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,    // identifier or keyword (text is the spelling)
+  kNumber,   // pp-number, digit separators included in the spelling
+  kPunct,    // punctuation; "::" and "->" are single tokens
+  kString,   // string literal (body dropped, text is empty)
+  kCharLit,  // character literal (body dropped, text is empty)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based physical line of the token's first char
+  bool pp = false;       // token sits on a preprocessor-directive line
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  std::vector<std::string> stripped;  // one entry per input line
+};
+
+LexOutput lex(const std::vector<std::string>& raw);
+
+}  // namespace cpc::lint

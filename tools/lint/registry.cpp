@@ -1,0 +1,39 @@
+#include "lint/registry.hpp"
+
+#include <cstring>
+
+namespace cpc::lint {
+namespace {
+
+constexpr CheckInfo kTable[] = {
+#define CPC_LINT_ROW(sym, id, title, doc) {CheckId::sym, id, title, doc},
+#include "lint/lint_registry.def"
+#undef CPC_LINT_ROW
+};
+
+// The .def must stay dense and in enum order: row i carries CheckId(i).
+// (CPC-L007 additionally lints the textual enum-vs-def direction.)
+static_assert(sizeof(kTable) / sizeof(kTable[0]) == kCheckCount,
+              "lint_registry.def row count != CheckId enumerator count");
+
+constexpr bool rows_in_enum_order() {
+  for (std::size_t i = 0; i < kCheckCount; ++i) {
+    if (kTable[i].check != static_cast<CheckId>(i)) return false;
+  }
+  return true;
+}
+static_assert(rows_in_enum_order(),
+              "lint_registry.def rows are not in CheckId order");
+
+}  // namespace
+
+const CheckInfo* check_table() { return kTable; }
+
+const CheckInfo* find_check(std::string_view id) {
+  for (const CheckInfo& info : kTable) {
+    if (id == info.id) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace cpc::lint

@@ -1,0 +1,51 @@
+#pragma once
+// The check registry: one stable ID per lint check, with title and
+// documentation sourced from lint_registry.def so `--list`/`--explain`
+// output can never drift from the checks themselves.
+//
+// CheckId is declared textually (not X-macro-generated) on purpose: the
+// linter's own CPC-L007 registry-sync check compares these enumerators
+// against the .def rows, which closes the loop on this registry too.
+
+#include <cstddef>
+#include <string_view>
+
+namespace cpc::lint {
+
+enum class CheckId : unsigned {
+  kL001,
+  kL002,
+  kL003,
+  kL004,
+  kL005,
+  kL006,
+  kL007,
+  kL008,
+  kL009,
+  kL010,
+  kL011,
+  kL012,
+  kL013,
+  kL014,
+};
+
+/// Number of checks. Referencing the last enumerator (no kCount sentinel —
+/// CPC-L007 mirrors every enumerator against a .def row) keeps this in
+/// lock-step with the enum.
+inline constexpr std::size_t kCheckCount =
+    static_cast<std::size_t>(CheckId::kL014) + 1;
+
+struct CheckInfo {
+  CheckId check;
+  const char* id;     // stable "CPC-L0NN" finding ID
+  const char* title;  // one-line summary for --list
+  const char* doc;    // documentation paragraph for --explain
+};
+
+/// The full registry table, in CheckId order.
+const CheckInfo* check_table();
+
+/// Looks a check up by its stable ID ("CPC-L011"); nullptr if unknown.
+const CheckInfo* find_check(std::string_view id);
+
+}  // namespace cpc::lint

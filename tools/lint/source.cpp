@@ -1,0 +1,157 @@
+#include "lint/source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace cpc::lint {
+
+bool blank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isspace(c); });
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::set<std::string>> collect_waivers(
+    const std::vector<std::string>& raw,
+    const std::vector<std::string>& code) {
+  static const std::regex kWaiver(R"(cpc-lint:\s*allow\(([^)]*)\))");
+  std::vector<std::set<std::string>> waivers(raw.size());
+  std::set<std::string> pending;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::set<std::string> here;
+    std::smatch m;
+    std::string rest = raw[i];
+    while (std::regex_search(rest, m, kWaiver)) {
+      std::string ids = m[1];
+      std::replace(ids.begin(), ids.end(), ',', ' ');
+      std::istringstream tokens(ids);
+      std::string id;
+      while (tokens >> id) here.insert(id);
+      rest = m.suffix();
+    }
+    if (i < code.size() && blank(code[i])) {
+      pending.insert(here.begin(), here.end());
+      continue;
+    }
+    here.insert(pending.begin(), pending.end());
+    pending.clear();
+    waivers[i] = std::move(here);
+  }
+  return waivers;
+}
+
+void categorise(SourceFile& f) {
+  std::vector<std::string> parts;
+  for (const fs::path& p : f.path) parts.push_back(p.generic_string());
+  // Fixture re-rooting: categorise by what follows lint/fixtures/.
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i] == "lint" && parts[i + 1] == "fixtures") {
+      parts.erase(parts.begin(), parts.begin() + static_cast<long>(i) + 2);
+      break;
+    }
+  }
+  f.components = parts;
+  static const std::set<std::string> kTops = {"src",   "tools",    "tests",
+                                             "bench", "examples", "scripts"};
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (kTops.count(parts[i])) {
+      f.category = parts[i];
+      if (parts[i] == "src" && i + 2 < parts.size()) f.src_dir = parts[i + 1];
+      break;
+    }
+  }
+}
+
+namespace {
+
+bool cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh" || ext == ".cxx";
+}
+
+bool under_fixtures(const fs::path& p) {
+  return p.generic_string().find("lint/fixtures") != std::string::npos;
+}
+
+}  // namespace
+
+int collect_files(const fs::path& root, std::vector<fs::path>& files) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    files.push_back(root);
+    return 0;
+  }
+  if (!fs::is_directory(root, ec)) {
+    std::cerr << "cpc_lint: cannot read " << root << "\n";
+    return 2;
+  }
+  const bool root_in_fixtures = under_fixtures(root);
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      std::cerr << "cpc_lint: walk error under " << root << ": "
+                << ec.message() << "\n";
+      return 2;
+    }
+    const fs::path& p = it->path();
+    if (it->is_directory()) {
+      const std::string name = p.filename().string();
+      if (!name.empty() && name[0] == '.') it.disable_recursion_pending();
+      if (name == "build") it.disable_recursion_pending();
+      if (!root_in_fixtures && under_fixtures(p)) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (!it->is_regular_file() || !cpp_source(p)) continue;
+    if (!root_in_fixtures && under_fixtures(p)) continue;
+    files.push_back(p);
+  }
+  return 0;
+}
+
+bool load_file(const fs::path& p, SourceFile& f) {
+  f.path = p;
+  f.display = p.generic_string();
+  f.is_header = p.extension() == ".hpp" || p.extension() == ".h" ||
+                p.extension() == ".hh";
+  std::ifstream in(p);
+  if (!in) {
+    std::cerr << "cpc_lint: cannot open " << p << "\n";
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) f.raw.push_back(std::move(line));
+  categorise(f);
+  return true;
+}
+
+void report(std::vector<Finding>& findings, const Prepared& f,
+            std::size_t line_1based, const std::string& id,
+            std::string message) {
+  const std::size_t idx = line_1based == 0 ? 0 : line_1based - 1;
+  if (idx < f.waivers.size() && f.waivers[idx].count(id)) return;
+  findings.push_back({f.file->display, line_1based, id, std::move(message)});
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.id < b.id;
+                   });
+}
+
+}  // namespace cpc::lint

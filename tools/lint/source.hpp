@@ -1,0 +1,75 @@
+#pragma once
+// Shared source model for the lint library: file loading, fixture-aware
+// categorisation, waiver collection, findings and report ordering.
+//
+// Both engines (the token engine in lint/checks.cpp and the reference
+// regex engine in lint/legacy.cpp) consume the same SourceFile list and
+// produce the same Finding shape, so the zero-diff comparison in
+// tests/lint/zero_diff.sh diffs nothing but check semantics.
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cpc::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string id;
+  std::string message;
+};
+
+struct SourceFile {
+  std::filesystem::path path;
+  std::string display;                  // generic path as given/walked
+  std::vector<std::string> components;  // virtual components (fixture-aware)
+  std::string category;                 // "src", "tools", "tests", ...
+  std::string src_dir;                  // directory under src/, if any
+  bool is_header = false;
+  std::vector<std::string> raw;  // original lines
+};
+
+/// A file prepared by one engine: its stripped view plus waivers. The
+/// stripped view is engine-supplied (the token engine's comes out of the
+/// lexer, the legacy engine keeps its original stripper) so each engine's
+/// checks see exactly the view they were written against.
+struct Prepared {
+  const SourceFile* file = nullptr;
+  std::vector<std::string> code;               // stripped lines
+  std::vector<std::set<std::string>> waivers;  // per line (0-based)
+};
+
+bool blank(const std::string& s);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Parses `// cpc-lint: allow(CPC-LXXX[, ...])` waivers from the raw
+/// lines. A waiver on a line with code applies to that line; a waiver on
+/// a comment-only line applies to the next line that has code.
+std::vector<std::set<std::string>> collect_waivers(
+    const std::vector<std::string>& raw, const std::vector<std::string>& code);
+
+/// Fills in components / category / src_dir from the path, looking
+/// through a `lint/fixtures/` prefix so fixtures are categorised by the
+/// virtual tree they impersonate.
+void categorise(SourceFile& f);
+
+/// Recursively collects C++ sources under root (skipping build/, dot
+/// directories and lint/fixtures corpora unless passed explicitly).
+/// Returns 0, or 2 on a walk error (message already printed).
+int collect_files(const std::filesystem::path& root,
+                  std::vector<std::filesystem::path>& files);
+
+/// Loads one file; returns false (message printed) if unreadable.
+bool load_file(const std::filesystem::path& p, SourceFile& f);
+
+/// Appends a finding unless the line carries a waiver for this check.
+void report(std::vector<Finding>& findings, const Prepared& f,
+            std::size_t line_1based, const std::string& id,
+            std::string message);
+
+/// Stable report order: (file, line, id), ties kept in emission order.
+void sort_findings(std::vector<Finding>& findings);
+
+}  // namespace cpc::lint
